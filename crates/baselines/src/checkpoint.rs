@@ -1,0 +1,480 @@
+//! OpenAI-style gradient checkpointing (`cybertronai/gradient-checkpointing`),
+//! the re-implementation of Chen et al.'s sublinear-memory training the
+//! paper compares against (§6.1).
+//!
+//! A static set of forward activations is kept ("checkpoints"); every
+//! other feature map is dropped at its last forward use and re-derived in
+//! the backward pass by replaying the segment from the nearest checkpoint.
+//!
+//! * **Memory mode** selects ≈√n evenly spaced *articulation points* —
+//!   activations that are the sole live forward value at their point in
+//!   the schedule, so they split the graph in two — targeting O(√n)
+//!   memory.
+//! * **Speed mode** checkpoints the outputs of all convolutions and
+//!   matrix multiplies ("operations that are typically expensive to
+//!   compute") and recomputes only the cheap elementwise layers. The
+//!   paper's breakdown (Fig. 8b) shows this heuristic can *lose* to
+//!   memory mode — per-layer cost assumptions are exactly what Capuchin
+//!   replaces with measurement.
+
+use std::collections::{HashMap, HashSet};
+
+use capuchin_executor::{AccessEvent, Engine, MemoryPolicy};
+use capuchin_graph::{Graph, OpKind, Phase, ValueKind};
+use capuchin_tensor::TensorKey;
+
+/// Which checkpoint-selection heuristic to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckpointMode {
+    /// ≈√n articulation points, count-based and evenly spaced — the
+    /// faithful reproduction of the OpenAI tool's heuristic.
+    Memory,
+    /// Keep conv/matmul outputs, recompute the rest.
+    Speed,
+    /// A stronger variant we built for the ablation study: checkpoints
+    /// chosen to minimize `checkpoint bytes + largest segment bytes`,
+    /// which matters when tensor sizes are highly non-uniform.
+    MemoryBalanced,
+}
+
+impl std::fmt::Display for CheckpointMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointMode::Memory => f.write_str("memory"),
+            CheckpointMode::Speed => f.write_str("speed"),
+            CheckpointMode::MemoryBalanced => f.write_str("memory-balanced"),
+        }
+    }
+}
+
+/// The gradient-checkpointing policy.
+///
+/// # Examples
+///
+/// ```
+/// use capuchin_baselines::{CheckpointMode, GradientCheckpointing};
+/// use capuchin_executor::{Engine, EngineConfig};
+/// use capuchin_models::ModelKind;
+///
+/// let model = ModelKind::ResNet50.build(4);
+/// let policy = GradientCheckpointing::from_graph(&model.graph, CheckpointMode::Memory);
+/// assert!(policy.checkpoints() > 0);
+/// let mut engine = Engine::new(&model.graph, EngineConfig::default(), Box::new(policy));
+/// engine.run(2).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct GradientCheckpointing {
+    mode: CheckpointMode,
+    /// `(tensor, access_count)` at which to release the tensor.
+    release_at: HashMap<(TensorKey, u32), ()>,
+    /// Schedule position of each value's first backward reader; used to
+    /// decide whether a regenerated intermediate belongs to the segment
+    /// currently being differentiated.
+    bwd_start: HashMap<TensorKey, u32>,
+    checkpoints: usize,
+    released: usize,
+}
+
+impl GradientCheckpointing {
+    /// Derives the static checkpoint plan from the graph.
+    pub fn from_graph(graph: &Graph, mode: CheckpointMode) -> GradientCheckpointing {
+        // Forward activations that the backward pass will re-read.
+        let eligible: Vec<_> = graph
+            .values()
+            .iter()
+            .filter(|v| {
+                v.kind == ValueKind::Activation
+                    && graph.phase(v.producer) == Phase::Forward
+                    && graph
+                        .consumers(v.id)
+                        .iter()
+                        .any(|&o| graph.phase(o) == Phase::Backward)
+            })
+            .map(|v| v.id)
+            .collect();
+
+        let checkpoints: HashSet<_> = match mode {
+            CheckpointMode::Speed => eligible
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    matches!(
+                        graph.op(graph.value(v).producer).kind,
+                        OpKind::Conv2d(_) | OpKind::MatMul { .. }
+                    )
+                })
+                .collect(),
+            CheckpointMode::Memory => {
+                // The tool's own heuristic: √n articulation points,
+                // evenly spaced by position, sizes ignored.
+                let eligible_set: HashSet<_> = eligible.iter().copied().collect();
+                let arts: Vec<_> = articulation_points(graph)
+                    .into_iter()
+                    .filter(|v| eligible_set.contains(v))
+                    .collect();
+                let target = (eligible.len() as f64).sqrt().ceil() as usize;
+                if arts.len() <= target || target == 0 {
+                    arts.into_iter().collect()
+                } else {
+                    let stride = arts.len() as f64 / target as f64;
+                    (0..target)
+                        .map(|i| arts[(i as f64 * stride) as usize])
+                        .collect()
+                }
+            }
+            CheckpointMode::MemoryBalanced => {
+                // Byte-balanced articulation selection: scan candidate
+                // checkpoint counts and pick the one minimizing
+                // (checkpoint bytes + largest segment bytes) — the peak
+                // proxy of O(√n) checkpointing when tensor sizes are
+                // wildly uneven (a stage-1 ResNet map is 64× a stage-4
+                // map).
+                let arts = articulation_points(graph);
+                let eligible_set: HashSet<_> = eligible.iter().copied().collect();
+                // Eligible bytes in producer-op order.
+                let mut sized: Vec<(u32, u64, capuchin_graph::ValueId)> = eligible
+                    .iter()
+                    .map(|&v| (graph.value(v).producer.0, graph.value(v).size_bytes(), v))
+                    .collect();
+                sized.sort();
+                // Only arts the backward pass re-reads can serve as kept
+                // checkpoints.
+                let art_pos: Vec<(u32, capuchin_graph::ValueId)> = arts
+                    .iter()
+                    .filter(|v| eligible_set.contains(v))
+                    .map(|&v| (graph.value(v).producer.0, v))
+                    .collect();
+                let total: u64 = sized.iter().map(|&(_, s, _)| s).sum();
+                let mut best: Option<(u64, HashSet<capuchin_graph::ValueId>)> = None;
+                for k in 1..=art_pos.len().max(1) {
+                    let budget = total / k as u64 + 1;
+                    let mut chosen = HashSet::new();
+                    let mut chosen_bytes = 0u64;
+                    let mut seg = 0u64;
+                    let mut max_seg = 0u64;
+                    let mut idx = 0usize;
+                    for &(pos, v) in &art_pos {
+                        while idx < sized.len() && sized[idx].0 <= pos {
+                            seg += sized[idx].1;
+                            idx += 1;
+                        }
+                        if seg >= budget {
+                            // Checkpointing v removes it from its segment.
+                            chosen.insert(v);
+                            chosen_bytes += graph.value(v).size_bytes();
+                            seg = seg.saturating_sub(graph.value(v).size_bytes());
+                            max_seg = max_seg.max(seg);
+                            seg = 0;
+                        }
+                    }
+                    while idx < sized.len() {
+                        seg += sized[idx].1;
+                        idx += 1;
+                    }
+                    max_seg = max_seg.max(seg);
+                    let cost = chosen_bytes + max_seg;
+                    if std::env::var("CKPT_DEBUG").is_ok() {
+                        eprintln!("k={k} budget={budget} chosen={} chosen_bytes={} max_seg={} cost={cost}", chosen.len(), chosen_bytes, max_seg);
+                    }
+                    if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                        best = Some((cost, chosen));
+                    }
+                }
+                best.map(|(_, c)| c).unwrap_or_default()
+            }
+        };
+
+        // A tensor may only be released if its recompute chain is anchored:
+        // walking its lineage through released/dead nodes must end at
+        // weights, checkpoints, or values still alive at the tensor's
+        // back-access. A chain that reaches a dead graph *input* cannot be
+        // replayed (inputs are not recomputable), so such tensors are kept.
+        let mut checkpoints = checkpoints;
+        let last_reader = |v: capuchin_graph::ValueId| -> u32 {
+            graph.consumers(v).iter().map(|o| o.0).max().unwrap_or(0)
+        };
+        let first_bwd = |v: capuchin_graph::ValueId| -> u32 {
+            graph
+                .consumers(v)
+                .iter()
+                .filter(|&&o| graph.phase(o) == Phase::Backward)
+                .map(|o| o.0)
+                .min()
+                .unwrap_or(u32::MAX)
+        };
+        let mut released_set: HashSet<capuchin_graph::ValueId> = HashSet::new();
+        let mut ordered = eligible.clone();
+        ordered.sort_by_key(|v| graph.value(*v).producer.0);
+        for &v in &ordered {
+            if checkpoints.contains(&v) {
+                continue;
+            }
+            let back = first_bwd(v);
+            let mut ok = true;
+            let mut stack: Vec<capuchin_graph::ValueId> =
+                graph.op(graph.value(v).producer).inputs.clone();
+            let mut seen = HashSet::new();
+            while let Some(u) = stack.pop() {
+                if !seen.insert(u) {
+                    continue;
+                }
+                let uv = graph.value(u);
+                if uv.kind == ValueKind::Weight || checkpoints.contains(&u) {
+                    continue;
+                }
+                if !released_set.contains(&u) && last_reader(u) > back {
+                    continue; // still alive when the replay runs
+                }
+                // Dead or released: must itself be replayable.
+                let producer = graph.op(uv.producer);
+                if producer.kind.is_source() {
+                    ok = false; // a dead graph input cannot be regenerated
+                    break;
+                }
+                stack.extend(producer.inputs.iter().copied());
+            }
+            if ok {
+                released_set.insert(v);
+            } else {
+                checkpoints.insert(v); // keep it: it anchors later chains
+            }
+        }
+
+        let mut release_at = HashMap::new();
+        let mut released = 0;
+        for &v in &released_set {
+            let fwd_reads = graph
+                .consumers(v)
+                .iter()
+                .filter(|&&o| graph.phase(o) == Phase::Forward)
+                .count() as u32;
+            // Access counter at the last forward access (1 = produce).
+            release_at.insert((Engine::key_of(v), 1 + fwd_reads), ());
+            released += 1;
+        }
+
+        let mut bwd_start = HashMap::new();
+        for v in graph.values() {
+            if let Some(&op) = graph
+                .consumers(v.id)
+                .iter()
+                .find(|&&o| graph.phase(o) == Phase::Backward)
+            {
+                bwd_start.insert(Engine::key_of(v.id), op.0);
+            }
+        }
+
+        GradientCheckpointing {
+            mode,
+            release_at,
+            bwd_start,
+            checkpoints: checkpoints.len(),
+            released,
+        }
+    }
+
+    /// Number of checkpointed activations.
+    pub fn checkpoints(&self) -> usize {
+        self.checkpoints
+    }
+
+    /// Number of activations scheduled for recomputation.
+    pub fn released(&self) -> usize {
+        self.released
+    }
+
+    /// The selection mode.
+    pub fn mode(&self) -> CheckpointMode {
+        self.mode
+    }
+}
+
+/// Forward activations that are the *only* live forward value at their
+/// point in the schedule (removing them cuts the forward dataflow) — the
+/// "articulation points" the OpenAI heuristic checkpoints.
+fn articulation_points(graph: &Graph) -> Vec<capuchin_graph::ValueId> {
+    // Last forward reader position per value.
+    let mut last_fwd_read: HashMap<capuchin_graph::ValueId, u32> = HashMap::new();
+    for op in graph.ops() {
+        if graph.phase(op.id) != Phase::Forward {
+            continue;
+        }
+        for &v in &op.inputs {
+            last_fwd_read.insert(v, op.id.0);
+        }
+    }
+    let mut live: HashSet<capuchin_graph::ValueId> = HashSet::new();
+    let mut arts = Vec::new();
+    for op in graph.ops() {
+        if graph.phase(op.id) != Phase::Forward {
+            break;
+        }
+        for &v in &op.inputs {
+            if last_fwd_read.get(&v) == Some(&op.id.0) {
+                live.remove(&v);
+            }
+        }
+        for &v in &op.outputs {
+            if graph.value(v).kind == ValueKind::Activation
+                && last_fwd_read.get(&v).map(|&l| l > op.id.0).unwrap_or(false)
+            {
+                live.insert(v);
+            }
+        }
+        if live.len() == 1 {
+            let &v = live.iter().next().expect("len checked");
+            if arts.last() != Some(&v) {
+                arts.push(v);
+            }
+        }
+    }
+    arts
+}
+
+impl MemoryPolicy for GradientCheckpointing {
+    fn name(&self) -> &str {
+        match self.mode {
+            CheckpointMode::Memory => "openai-memory",
+            CheckpointMode::Speed => "openai-speed",
+            CheckpointMode::MemoryBalanced => "checkpoint-balanced",
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn post_access(&mut self, engine: &mut Engine<'_>, ev: &AccessEvent) {
+        if self.release_at.contains_key(&(ev.key, ev.count)) {
+            engine.release_for_recompute_at(ev.key, ev.end);
+        }
+    }
+
+    fn keep_recompute_intermediate(
+        &mut self,
+        _engine: &Engine<'_>,
+        key: TensorKey,
+        target: TensorKey,
+    ) -> bool {
+        // Segment replay: keep a regenerated intermediate only when its
+        // own backward use is near the target's — i.e. it belongs to the
+        // segment currently being differentiated. In the graph-rewrite
+        // implementation each `tf.gradients` segment materializes its own
+        // recomputed copies and frees them when the segment's backward is
+        // done; copies pulled in from *other* segments (the residual
+        // shortcut cascade) are temporaries there, so they are dropped
+        // here too.
+        let window = match self.mode {
+            CheckpointMode::Speed => 48,
+            CheckpointMode::Memory | CheckpointMode::MemoryBalanced => 160,
+        };
+        match (self.bwd_start.get(&key), self.bwd_start.get(&target)) {
+            (Some(&k), Some(&t)) => k >= t.saturating_sub(8) && k <= t + window,
+            _ => false,
+        }
+    }
+
+    // No on_alloc_failure: a static plan that does not fit defines the
+    // baseline's maximum batch size.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capuchin_executor::{EngineConfig, TfOri};
+    use capuchin_models::ModelKind;
+    use capuchin_sim::DeviceSpec;
+
+    #[test]
+    fn memory_mode_selects_sqrt_checkpoints() {
+        let model = ModelKind::ResNet50.build(2);
+        let p = GradientCheckpointing::from_graph(&model.graph, CheckpointMode::Memory);
+        let eligible = p.checkpoints() + p.released();
+        let sqrt = (eligible as f64).sqrt();
+        assert!(
+            (p.checkpoints() as f64) <= sqrt * 2.0,
+            "{} checkpoints for {} eligible",
+            p.checkpoints(),
+            eligible
+        );
+        assert!(p.released() > p.checkpoints());
+    }
+
+    #[test]
+    fn speed_mode_keeps_conv_outputs() {
+        let model = ModelKind::ResNet50.build(2);
+        let p = GradientCheckpointing::from_graph(&model.graph, CheckpointMode::Speed);
+        // 53 convs + 1 fc matmul (+ mlm-style heads none) — all kept.
+        assert!(p.checkpoints() >= 53);
+    }
+
+    #[test]
+    fn recomputes_in_backward() {
+        let model = ModelKind::ResNet50.build(4);
+        let p = GradientCheckpointing::from_graph(&model.graph, CheckpointMode::Memory);
+        let mut eng = Engine::new(&model.graph, EngineConfig::default(), Box::new(p));
+        let stats = eng.run(2).unwrap();
+        let it = &stats.iters[1];
+        assert!(it.recompute_kernels > 0, "{it:?}");
+        assert_eq!(it.swap_out_bytes, 0, "checkpointing never swaps");
+    }
+
+    #[test]
+    fn memory_mode_reduces_peak() {
+        let model = ModelKind::ResNet50.build(8);
+        let mut tf = Engine::new(&model.graph, EngineConfig::default(), Box::new(TfOri::new()));
+        let tf_peak = tf.run(2).unwrap().iters[1].peak_mem;
+        let p = GradientCheckpointing::from_graph(&model.graph, CheckpointMode::Memory);
+        let mut ck = Engine::new(&model.graph, EngineConfig::default(), Box::new(p));
+        let ck_peak = ck.run(2).unwrap().iters[1].peak_mem;
+        assert!(
+            ck_peak < tf_peak * 6 / 10,
+            "checkpointing should cut peak: {ck_peak} vs {tf_peak}"
+        );
+    }
+
+    #[test]
+    fn extends_max_batch_beyond_tf_ori() {
+        let model = ModelKind::ResNet50.build(16);
+        let cfg = EngineConfig {
+            spec: DeviceSpec::p100_pcie3().with_memory(1 << 30),
+            ..EngineConfig::default()
+        };
+        let mut tf = Engine::new(&model.graph, cfg.clone(), Box::new(TfOri::new()));
+        assert!(tf.run(1).is_err());
+        let p = GradientCheckpointing::from_graph(&model.graph, CheckpointMode::Memory);
+        let mut ck = Engine::new(&model.graph, cfg, Box::new(p));
+        ck.run(2).expect("checkpointing survives");
+    }
+
+    #[test]
+    fn never_releases_chains_anchored_at_dead_inputs() {
+        // Fuzz-found regression: relu(input) has a backward reader (its
+        // ReluGrad), but the input dies right after the relu — releasing
+        // the relu output would make its recompute impossible.
+        use capuchin_graph::Graph;
+        use capuchin_tensor::{DType, Shape};
+        let mut g = Graph::new("regression");
+        let x = g.input("x", Shape::nchw(4, 4, 16, 16), DType::F32);
+        let labels = g.input("labels", Shape::vector(4), DType::I32);
+        let stem = g.relu("stem", x);
+        let c = g.conv2d("conv", stem, 8, 3, 1, 1);
+        let gap = g.global_avg_pool("gap", c);
+        let fc = g.dense("fc", gap, 10);
+        let loss = g.softmax_cross_entropy("loss", fc, labels);
+        capuchin_graph::build_backward(&mut g, loss);
+        for mode in [CheckpointMode::Memory, CheckpointMode::Speed] {
+            let p = GradientCheckpointing::from_graph(&g, mode);
+            let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(p));
+            eng.run(2).unwrap_or_else(|e| panic!("{mode}: {e}"));
+        }
+    }
+
+    #[test]
+    fn articulation_points_exist_in_chain_models() {
+        let model = ModelKind::Vgg16.build(2);
+        let arts = articulation_points(&model.graph);
+        // VGG is a pure chain: nearly every layer output is a cut point.
+        assert!(arts.len() > 20, "{}", arts.len());
+    }
+}

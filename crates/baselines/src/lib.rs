@@ -1,0 +1,31 @@
+//! # capuchin-baselines — the systems Capuchin is compared against
+//!
+//! Faithful re-implementations of the paper's §6.1 baselines on the same
+//! executor hook surface:
+//!
+//! * [`TfOri`] (re-export) — original TensorFlow: no memory management,
+//!   OOM is fatal;
+//! * [`Vdnn`] — vDNN's static layer-wise offload of convolution inputs
+//!   with layer-synchronized transfers and one-layer-lookahead prefetch;
+//! * [`LruSwap`] — computation-oblivious on-demand paging (the
+//!   "virtualized GPU memory" related-work class of §7);
+//! * [`GradientCheckpointing`] — OpenAI's gradient-checkpointing in both
+//!   **memory** (≈√n articulation points) and **speed** (keep conv/matmul
+//!   outputs) modes.
+//!
+//! All three demonstrate the static-analysis limitations the paper argues
+//! against; Capuchin itself lives in the [`capuchin`] crate.
+//!
+//! [`capuchin`]: https://docs.rs/capuchin
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod checkpoint;
+mod lru_swap;
+mod vdnn;
+
+pub use capuchin_executor::TfOri;
+pub use checkpoint::{CheckpointMode, GradientCheckpointing};
+pub use lru_swap::LruSwap;
+pub use vdnn::Vdnn;

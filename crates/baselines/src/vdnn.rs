@@ -1,0 +1,213 @@
+//! vDNN (Rhu et al., MICRO 2016): static layer-wise offload/prefetch.
+//!
+//! The comparison baseline of paper §6: convolution-layer inputs are
+//! offloaded to host memory during the forward pass with *layer-wise
+//! synchronization* (the next layer cannot start until the current layer's
+//! offload completes — the source of Fig. 1's synchronization overhead),
+//! and prefetched back with a static one-layer-lookahead policy during the
+//! backward pass.
+//!
+//! All decisions are made from the computation graph before execution —
+//! precisely the static analysis whose limitations the paper demonstrates:
+//! no notion of per-layer time variation, no overlap measurement, and the
+//! offload set is fixed regardless of actual memory pressure.
+
+use std::collections::HashMap;
+
+use capuchin_executor::{AccessEvent, Engine, MemoryPolicy};
+use capuchin_graph::{Graph, OpId, OpKind, Phase, ValueId};
+use capuchin_tensor::{AccessKind, TensorKey};
+
+/// The static offload plan derived from the graph.
+#[derive(Debug, Clone, Default)]
+struct StaticPlan {
+    /// `(tensor, conv op)` pairs: offload the tensor when this op reads it.
+    offload_at: HashMap<(TensorKey, OpId), ()>,
+    /// Backward op → tensors to prefetch when it executes (one-layer
+    /// lookahead).
+    prefetch_at: HashMap<OpId, Vec<TensorKey>>,
+}
+
+/// The vDNN memory policy.
+///
+/// # Examples
+///
+/// ```
+/// use capuchin_baselines::Vdnn;
+/// use capuchin_executor::{Engine, EngineConfig};
+/// use capuchin_models::ModelKind;
+///
+/// let model = ModelKind::ResNet50.build(4);
+/// let policy = Vdnn::from_graph(&model.graph);
+/// let mut engine = Engine::new(&model.graph, EngineConfig::default(), Box::new(policy));
+/// engine.run(2).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vdnn {
+    plan: StaticPlan,
+    /// Number of convolution layers found (diagnostics).
+    conv_layers: usize,
+}
+
+impl Vdnn {
+    /// Builds the static plan for `graph` by scanning its convolution
+    /// layers.
+    pub fn from_graph(graph: &Graph) -> Vdnn {
+        let mut plan = StaticPlan::default();
+
+        // Forward convolution layers in schedule order with their data
+        // inputs. A "layer" here is the conv unit including its batch
+        // normalization, as in vDNN's layer granularity — both the conv
+        // input and the BN input (the conv output) are offload targets.
+        let convs: Vec<(OpId, ValueId)> = graph
+            .ops()
+            .iter()
+            .filter(|op| {
+                matches!(op.kind, OpKind::Conv2d(_) | OpKind::BatchNorm)
+                    && graph.phase(op.id) == Phase::Forward
+            })
+            .map(|op| (op.id, op.inputs[0]))
+            .collect();
+
+        for &(conv, x) in &convs {
+            plan.offload_at
+                .insert((Engine::key_of(x), conv), ());
+        }
+
+        // Backward ops belonging to each conv layer: the consumers of the
+        // layer's input/filter that run in the backward phase.
+        let bwd_ops_of = |i: usize| -> Vec<OpId> {
+            let (layer, x) = convs[i];
+            let mut ops: Vec<OpId> = graph
+                .op(layer)
+                .inputs
+                .iter()
+                .flat_map(|&input| graph.consumers(input).iter().copied())
+                .chain(graph.consumers(x).iter().copied())
+                .filter(|&o| {
+                    graph.phase(o) == Phase::Backward
+                        && matches!(
+                            graph.op(o).kind,
+                            OpKind::Conv2dBackpropInput(_)
+                                | OpKind::Conv2dBackpropFilter(_)
+                                | OpKind::BatchNormGrad
+                        )
+                })
+                .collect();
+            ops.sort();
+            ops.dedup();
+            ops
+        };
+
+        // One-layer lookahead: when layer i+1's backward starts, prefetch
+        // layer i's offloaded input. The deepest layer is prefetched by
+        // its own backward (on demand).
+        for (i, &(_, x)) in convs.iter().enumerate().take(convs.len().saturating_sub(1)) {
+            let x_i = Engine::key_of(x);
+            for op in bwd_ops_of(i + 1) {
+                plan.prefetch_at.entry(op).or_default().push(x_i);
+            }
+        }
+
+        Vdnn {
+            plan,
+            conv_layers: convs.len(),
+        }
+    }
+
+    /// Number of convolution layers the plan offloads around.
+    pub fn conv_layers(&self) -> usize {
+        self.conv_layers
+    }
+}
+
+impl MemoryPolicy for Vdnn {
+    fn name(&self) -> &str {
+        "vdnn"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn post_access(&mut self, engine: &mut Engine<'_>, ev: &AccessEvent) {
+        // Offload: the conv layer that consumes this tensor just ran; the
+        // copy overlaps the layer but the next layer waits for it
+        // (layer-wise synchronization).
+        if ev.kind == AccessKind::Read
+            && self.plan.offload_at.contains_key(&(ev.key, ev.op))
+        {
+            engine.swap_out_coupled(ev.key, ev.start);
+        }
+        // Static prefetch lookahead.
+        if let Some(targets) = self.plan.prefetch_at.get(&ev.op).cloned() {
+            for t in targets {
+                let _ = engine.swap_in_async(t, ev.start);
+            }
+        }
+    }
+
+    // No on_alloc_failure: vDNN has no on-demand rescue. If the
+    // non-offloaded residual working set does not fit, the run OOMs —
+    // that is vDNN's maximum batch size.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capuchin_executor::{EngineConfig, TfOri};
+    use capuchin_models::ModelKind;
+    use capuchin_sim::DeviceSpec;
+
+    #[test]
+    fn finds_all_resnet_conv_layers() {
+        let model = ModelKind::ResNet50.build(2);
+        let vdnn = Vdnn::from_graph(&model.graph);
+        // 53 convolutions + 53 batch norms.
+        assert_eq!(vdnn.conv_layers(), 106);
+    }
+
+    #[test]
+    fn offloads_and_prefetches() {
+        let model = ModelKind::Vgg16.build(4);
+        let vdnn = Vdnn::from_graph(&model.graph);
+        let mut eng = Engine::new(&model.graph, EngineConfig::default(), Box::new(vdnn));
+        let stats = eng.run(2).unwrap();
+        let it = &stats.iters[1];
+        assert!(it.swap_out_bytes > 0, "vDNN must offload conv inputs");
+        assert!(it.swap_in_bytes > 0, "vDNN must prefetch them back");
+    }
+
+    #[test]
+    fn layerwise_sync_causes_stall() {
+        // On a fast device the offload cannot hide under one layer's
+        // compute; vDNN's coupled synchronization must show up as stall
+        // (the Fig. 1 phenomenon).
+        let model = ModelKind::Vgg16.build(32);
+        let vdnn = Vdnn::from_graph(&model.graph);
+        let mut eng = Engine::new(&model.graph, EngineConfig::default(), Box::new(vdnn));
+        let stats = eng.run(2).unwrap();
+        assert!(
+            stats.iters[1].stall_time > capuchin_sim::Duration::ZERO,
+            "layer-wise sync must stall: {:?}",
+            stats.iters[1]
+        );
+    }
+
+    #[test]
+    fn extends_max_batch_beyond_tf_ori() {
+        // At a memory budget where TF-ori fails, vDNN's offloading lets
+        // VGG16 (whose conv inputs dominate) run. TF-ori needs ~2.9 GiB at
+        // batch 32; vDNN ~2.1 GiB.
+        let model = ModelKind::Vgg16.build(32);
+        let cfg = EngineConfig {
+            spec: DeviceSpec::p100_pcie3().with_memory(2500 << 20),
+            ..EngineConfig::default()
+        };
+        let mut tf = Engine::new(&model.graph, cfg.clone(), Box::new(TfOri::new()));
+        assert!(tf.run(1).is_err(), "tf-ori should OOM at this budget");
+        let vdnn = Vdnn::from_graph(&model.graph);
+        let mut eng = Engine::new(&model.graph, cfg, Box::new(vdnn));
+        eng.run(2).expect("vDNN survives where tf-ori OOMs");
+    }
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the building blocks whose costs bound
+//! the whole system: the BFC allocator, content signatures, graph
+//! construction + autodiff, the simulated executor, and the Policy Maker.
+//!
+//! Run with `cargo bench`. These measure *host* costs of the simulator and
+//! policy machinery (the simulated GPU timeline is free), which is what
+//! determines how fast the experiment harness can sweep configurations.
+
+use capuchin::{make_plan, Capuchin, PlannerConfig};
+use capuchin_bench::{Bench, System};
+use capuchin_executor::{Engine, EngineConfig, TfOri};
+use capuchin_mem::DeviceAllocator;
+use capuchin_models::ModelKind;
+use capuchin_sim::DeviceSpec;
+use capuchin_tensor::sig;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("allocator/alloc_free_1k_mixed", |b| {
+        b.iter_batched(
+            || DeviceAllocator::new(1 << 30),
+            |mut dev| {
+                let mut live = Vec::new();
+                for i in 0..1_000u64 {
+                    let size = 1 + (i * 2_654_435_761) % 262_144;
+                    if let Ok(a) = dev.alloc(size) {
+                        live.push(a);
+                    }
+                    if i % 3 == 0 {
+                        if let Some(a) = live.pop() {
+                            dev.free(a).unwrap();
+                        }
+                    }
+                }
+                for a in live {
+                    dev.free(a).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let inputs: Vec<u64> = (0..8).map(|i| sig::leaf("x", i)).collect();
+    c.bench_function("sig/op_8_inputs", |b| {
+        b.iter(|| sig::op("conv2d", 42, 0, std::hint::black_box(&inputs)))
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    c.bench_function("graph/build_resnet50_with_autodiff", |b| {
+        b.iter(|| ModelKind::ResNet50.build(std::hint::black_box(8)))
+    });
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let model = ModelKind::ResNet50.build(8);
+    c.bench_function("executor/resnet50_b8_iteration", |b| {
+        b.iter_batched(
+            || Engine::new(&model.graph, EngineConfig::default(), Box::new(TfOri::new())),
+            |mut eng| eng.run(1).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_policy_maker(c: &mut Criterion) {
+    // Measure plan construction on a real measured profile: run the
+    // measured iteration once, then re-plan from the captured profile.
+    let model = ModelKind::ResNet50.build(32);
+    let spec = DeviceSpec::p100_pcie3().with_memory(1 << 30);
+    let cfg = EngineConfig {
+        spec: spec.clone(),
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(&model.graph, cfg, Box::new(Capuchin::new()));
+    eng.run(2).expect("measured execution");
+    let profile = eng
+        .policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Capuchin>())
+        .expect("capuchin policy")
+        .profile()
+        .clone();
+    c.bench_function("policy/make_plan_resnet50_b32", |b| {
+        b.iter(|| {
+            make_plan(
+                std::hint::black_box(&profile),
+                &spec,
+                &PlannerConfig::default(),
+            )
+        })
+    });
+}
+
+fn bench_capuchin_iteration(c: &mut Criterion) {
+    // Host-side cost of a fully-managed (guided) iteration — the
+    // simulator's end-to-end speed under the heaviest policy.
+    let bench = Bench {
+        spec: DeviceSpec::p100_pcie3().with_memory(2 << 30),
+        ..Bench::default()
+    };
+    let model = ModelKind::ResNet50.build(32);
+    c.bench_function("executor/capuchin_guided_run", |b| {
+        b.iter(|| bench.run(&model, System::Capuchin, 6).expect("fits"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_allocator,
+    bench_signatures,
+    bench_graph_build,
+    bench_executor,
+    bench_policy_maker,
+    bench_capuchin_iteration,
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Runs every experiment binary in sequence — the one-command full
+//! reproduction. Pass `--quick` to forward reduced sweeps where supported.
+//!
+//! ```sh
+//! cargo run --release -p capuchin-bench --bin all_experiments
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let quick = capuchin_bench::quick_mode();
+    let bins = [
+        "fig1_vdnn_sync",
+        "fig2_conv_times",
+        "fig3_access_pattern",
+        "table2_max_batch",
+        "fig8a_swap_breakdown",
+        "fig8b_recompute_breakdown",
+        "fig9_perf_graph",
+        "overhead_tracking",
+        "table3_eager_max_batch",
+        "fig10_perf_eager",
+        "ablations",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n================= {bin} =================");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("launching {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments complete; artifacts in results/");
+}

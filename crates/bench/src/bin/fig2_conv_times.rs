@@ -1,0 +1,86 @@
+//! Figure 2 — Execution-time variation of InceptionV3's convolution layers.
+//!
+//! The paper measures all 94 convolution layers of InceptionV3 on a P100
+//! and finds a 37× spread (474 µs – 17,727 µs), with 95.7% of layers under
+//! 3 ms — the observation that invalidates "convolution = expensive"
+//! static heuristics.
+
+use capuchin_bench::write_artifact;
+use capuchin_executor::{Engine, EngineConfig, TfOri};
+use capuchin_graph::{OpKind, Phase};
+use capuchin_models::ModelKind;
+use capuchin_sim::TraceKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig2 {
+    batch: usize,
+    conv_layers: usize,
+    min_us: f64,
+    max_us: f64,
+    spread: f64,
+    under_3ms_pct: f64,
+    times_us: Vec<f64>,
+}
+
+fn main() {
+    let batch = 64; // the paper does not state the profiled batch; 64 reproduces the distribution
+    let model = ModelKind::InceptionV3.build(batch);
+    let cfg = EngineConfig {
+        trace: true,
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(&model.graph, cfg, Box::new(TfOri::new()));
+    eng.run(2).expect("InceptionV3 fits at TF-ori max batch");
+    let trace = eng.take_trace().expect("trace enabled");
+
+    // Forward convolution kernel durations, in layer order.
+    let conv_names: Vec<&str> = model
+        .graph
+        .ops()
+        .iter()
+        .filter(|op| {
+            matches!(op.kind, OpKind::Conv2d(_)) && model.graph.phase(op.id) == Phase::Forward
+        })
+        .map(|op| op.name.as_str())
+        .collect();
+    let mut times = Vec::new();
+    for name in &conv_names {
+        if let Some(k) = trace
+            .of_kind(TraceKind::Kernel)
+            .filter(|k| k.label == *name)
+            .last()
+        {
+            times.push(k.duration().as_micros_f64());
+        }
+    }
+
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0, f64::max);
+    let under = times.iter().filter(|&&t| t < 3_000.0).count();
+    let pct = 100.0 * under as f64 / times.len() as f64;
+
+    println!("Fig. 2 — InceptionV3 convolution layer times (batch {batch})");
+    println!("layers: {}   (paper: 94)", times.len());
+    println!("min: {min:.0} us   (paper: 474 us)");
+    println!("max: {max:.0} us   (paper: 17,727 us)");
+    println!("spread: {:.0}x   (paper: 37x)", max / min);
+    println!("under 3 ms: {pct:.1}%   (paper: 95.7%)");
+    println!("\nlayer#  time(us)");
+    for (i, t) in times.iter().enumerate() {
+        println!("{i:>6}  {t:>9.0}");
+    }
+
+    write_artifact(
+        "fig2_conv_times",
+        &Fig2 {
+            batch,
+            conv_layers: times.len(),
+            min_us: min,
+            max_us: max,
+            spread: max / min,
+            under_3ms_pct: pct,
+            times_us: times,
+        },
+    );
+}

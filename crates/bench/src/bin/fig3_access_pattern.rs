@@ -1,0 +1,97 @@
+//! Figure 3 — Regularity of tensor accesses across iterations.
+//!
+//! The paper profiles three ResNet-50 tensors at iterations 5, 10, and 15
+//! and shows fixed access counts and near-identical relative timestamps
+//! (variance < 1 ms) — the property that makes measured-execution-based
+//! planning valid.
+
+use capuchin_bench::write_artifact;
+use capuchin_executor::{Engine, EngineConfig, TfOri};
+use capuchin_models::ModelKind;
+use capuchin_tensor::TensorKey;
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+struct TensorSeries {
+    tensor: String,
+    accesses: usize,
+    /// Relative timestamps (ms) per profiled iteration.
+    times_ms: Vec<Vec<f64>>,
+    max_variance_ms: f64,
+}
+
+fn main() {
+    let model = ModelKind::ResNet50.build(190);
+    let mut eng = Engine::new(
+        &model.graph,
+        EngineConfig::default(),
+        Box::new(TfOri::new()),
+    );
+
+    // Profile iterations 5, 10, 15 as in the paper.
+    let mut profiles: Vec<HashMap<TensorKey, Vec<f64>>> = Vec::new();
+    for iter in 0..16u64 {
+        eng.run(1).expect("fits at TF max batch");
+        if matches!(iter, 5 | 10 | 15) {
+            let start = eng.iter_stats().started_at;
+            let mut per_tensor: HashMap<TensorKey, Vec<f64>> = HashMap::new();
+            for a in eng.access_log() {
+                per_tensor
+                    .entry(a.key)
+                    .or_default()
+                    .push(a.time.saturating_since(start).as_millis_f64());
+            }
+            profiles.push(per_tensor);
+        }
+    }
+
+    // Pick T1 with 4 accesses and T2, T3 with 6, as in the paper.
+    let pick = |want: usize, skip: &[TensorKey]| -> Option<TensorKey> {
+        let mut keys: Vec<_> = profiles[0]
+            .iter()
+            .filter(|(k, v)| v.len() == want && !skip.contains(k))
+            .map(|(&k, _)| k)
+            .collect();
+        keys.sort();
+        // A mid-network tensor is more illustrative than the stem.
+        keys.get(keys.len() / 2).copied()
+    };
+    let t1 = pick(4, &[]).expect("a 4-access tensor exists");
+    let t2 = pick(6, &[]).expect("a 6-access tensor exists");
+    let t3 = pick(6, &[t2]).expect("another 6-access tensor exists");
+
+    println!("Fig. 3 — ResNet-50 tensor access timeline at iterations 5/10/15 (batch 190)");
+    let mut series = Vec::new();
+    for key in [t1, t2, t3] {
+        let name = model
+            .graph
+            .value(capuchin_executor::Engine::value_of(key))
+            .name
+            .clone();
+        let times: Vec<Vec<f64>> = profiles.iter().map(|p| p[&key].clone()).collect();
+        // Max across accesses of the spread across iterations.
+        let accesses = times[0].len();
+        let mut max_var: f64 = 0.0;
+        for i in 0..accesses {
+            let vals: Vec<f64> = times.iter().map(|t| t[i]).collect();
+            let spread = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - vals.iter().cloned().fold(f64::INFINITY, f64::min);
+            max_var = max_var.max(spread);
+        }
+        println!(
+            "{name}: {accesses} accesses, times (iter 5) = {:?} ms, cross-iteration variance = {max_var:.3} ms (paper: <1 ms)",
+            times[0].iter().map(|t| (t * 10.0).round() / 10.0).collect::<Vec<_>>()
+        );
+        assert!(times[0] == times[1] && times[1] == times[2],
+            "the simulator is deterministic: identical timelines expected");
+        series.push(TensorSeries {
+            tensor: name,
+            accesses,
+            times_ms: times,
+            max_variance_ms: max_var,
+        });
+    }
+    println!("\naccess patterns are exactly repeated across iterations — the paper's premise holds by construction in steady state");
+    write_artifact("fig3_access_pattern", &series);
+}

@@ -1,0 +1,90 @@
+//! Figure 9 — Training speed vs batch size, graph mode, for all six
+//! workloads under TF-ori, vDNN, OpenAI (both modes), and Capuchin.
+//!
+//! Paper highlights to reproduce in shape: Capuchin tracks TF-ori until
+//! TF-ori's limit and degrades gracefully beyond it (<3% loss at +20%
+//! batch); vDNN loses up to 70–74% on the ResNets; OpenAI sits between;
+//! systems disappear from the series once they exceed their maximum batch.
+
+use capuchin_bench::{quick_mode, row, write_artifact, Bench, System};
+use capuchin_models::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    model: &'static str,
+    system: &'static str,
+    batch: usize,
+    /// samples/second; `None` = OOM at this batch.
+    throughput: Option<f64>,
+}
+
+/// Batch sweeps mirroring the paper's x-axes.
+fn sweep(kind: ModelKind) -> Vec<usize> {
+    let (start, step, count) = match kind {
+        ModelKind::Vgg16 => (200, 10, 9),          // 200..280
+        ModelKind::ResNet50 => (140, 70, 9),       // 140..700
+        ModelKind::InceptionV3 => (110, 60, 9),    // 110..590
+        ModelKind::ResNet152 => (50, 65, 9),       // 50..570
+        ModelKind::InceptionV4 => (60, 40, 9),     // 60..380
+        ModelKind::BertBase => (40, 40, 9),        // 40..360
+        ModelKind::DenseNet121 => (50, 15, 8),     // eager-only workload
+    };
+    (0..count).map(|i| start + i * step).collect()
+}
+
+fn main() {
+    let bench = Bench::default();
+    let quick = quick_mode();
+    let models: &[ModelKind] = if quick {
+        &[ModelKind::ResNet50]
+    } else {
+        &[
+            ModelKind::Vgg16,
+            ModelKind::ResNet50,
+            ModelKind::InceptionV3,
+            ModelKind::ResNet152,
+            ModelKind::InceptionV4,
+            ModelKind::BertBase,
+        ]
+    };
+    let systems = [
+        System::TfOri,
+        System::Vdnn,
+        System::OpenAiMemory,
+        System::OpenAiSpeed,
+        System::Capuchin,
+    ];
+
+    let mut points = Vec::new();
+    for &kind in models {
+        let batches = sweep(kind);
+        println!("\nFig. 9 — {} (samples/sec; '-' = OOM)", kind.name());
+        let mut widths = vec![10usize];
+        widths.extend(batches.iter().map(|_| 8));
+        let mut header = vec!["batch".to_owned()];
+        header.extend(batches.iter().map(|b| b.to_string()));
+        println!("{}", row(&header, &widths));
+        for system in systems {
+            if kind == ModelKind::BertBase && system == System::Vdnn {
+                continue;
+            }
+            let mut cells = vec![system.name().to_owned()];
+            for &b in &batches {
+                let tput = bench.throughput(kind, b, system);
+                cells.push(
+                    tput.map(|t| format!("{t:.1}"))
+                        .unwrap_or_else(|| "-".to_owned()),
+                );
+                points.push(Point {
+                    model: kind.name(),
+                    system: system.name(),
+                    batch: b,
+                    throughput: tput,
+                });
+            }
+            println!("{}", row(&cells, &widths));
+        }
+    }
+    write_artifact("fig9_perf_graph", &points);
+}

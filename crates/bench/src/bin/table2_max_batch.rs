@@ -1,0 +1,107 @@
+//! Table 2 — Maximum batch size in graph mode.
+//!
+//! Paper (16 GB P100):
+//!
+//! | Model        | TF-ori | vDNN | OpenAI | Capuchin |
+//! |--------------|-------:|-----:|-------:|---------:|
+//! | Vgg16        |    228 |  272 |    260 |      350 |
+//! | ResNet-50    |    190 |  520 |    540 |     1014 |
+//! | ResNet-152   |     86 |  330 |    440 |      798 |
+//! | InceptionV3  |    160 |  400 |    400 |      716 |
+//! | InceptionV4  |     88 |  220 |    220 |      468 |
+//! | BERT         |     64 |    – |    210 |      450 |
+//!
+//! ("OpenAI" is the better of its two modes; vDNN is CNN-only.)
+
+use capuchin_bench::{quick_mode, row, write_artifact, Bench, System};
+use capuchin_models::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    tf_ori: usize,
+    vdnn: Option<usize>,
+    openai_memory: usize,
+    openai_speed: usize,
+    capuchin: usize,
+}
+
+fn main() {
+    let bench = Bench::default();
+    let quick = quick_mode();
+    let workloads: &[(ModelKind, usize)] = if quick {
+        &[(ModelKind::ResNet50, 190), (ModelKind::BertBase, 64)]
+    } else {
+        &[
+            (ModelKind::Vgg16, 228),
+            (ModelKind::ResNet50, 190),
+            (ModelKind::ResNet152, 86),
+            (ModelKind::InceptionV3, 160),
+            (ModelKind::InceptionV4, 88),
+            (ModelKind::BertBase, 64),
+        ]
+    };
+
+    println!("Table 2: maximum batch size, graph mode (simulated 16 GB P100)");
+    let widths = [12, 8, 8, 10, 10, 10, 9, 9];
+    println!(
+        "{}",
+        row(
+            &["Model", "TF-ori", "vDNN", "OpenAI-M", "OpenAI-S", "Capuchin", "Cap/TF", "Cap/2nd"]
+                .map(String::from),
+            &widths
+        )
+    );
+
+    let mut rows = Vec::new();
+    let mut ratio_tf_sum = 0.0;
+    let mut ratio_2nd_sum = 0.0;
+    for &(kind, seed) in workloads {
+        let tf = bench.max_batch(kind, System::TfOri, seed);
+        let vdnn = if kind == ModelKind::BertBase {
+            None // vDNN is CNN-specific (paper: "not available on BERT")
+        } else {
+            Some(bench.max_batch(kind, System::Vdnn, tf.max(2)))
+        };
+        let om = bench.max_batch(kind, System::OpenAiMemory, tf.max(2));
+        let os = bench.max_batch(kind, System::OpenAiSpeed, tf.max(2));
+        let cap = bench.max_batch(kind, System::Capuchin, tf.max(2));
+        let second = vdnn.unwrap_or(0).max(om).max(os);
+        let r_tf = cap as f64 / tf.max(1) as f64;
+        let r_2nd = cap as f64 / second.max(1) as f64;
+        ratio_tf_sum += r_tf;
+        ratio_2nd_sum += r_2nd;
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.name().to_owned(),
+                    tf.to_string(),
+                    vdnn.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+                    om.to_string(),
+                    os.to_string(),
+                    cap.to_string(),
+                    format!("{r_tf:.2}x"),
+                    format!("{r_2nd:.2}x"),
+                ],
+                &widths
+            )
+        );
+        rows.push(Row {
+            model: kind.name(),
+            tf_ori: tf,
+            vdnn,
+            openai_memory: om,
+            openai_speed: os,
+            capuchin: cap,
+        });
+    }
+    let n = workloads.len() as f64;
+    println!(
+        "\naverage Capuchin/TF-ori = {:.2}x (paper: 5.49x), Capuchin/2nd-best = {:.2}x (paper: 1.84x)",
+        ratio_tf_sum / n,
+        ratio_2nd_sum / n
+    );
+    write_artifact("table2_max_batch", &rows);
+}

@@ -1,0 +1,50 @@
+//! Table 3 — Maximum batch size in eager mode.
+//!
+//! Paper: ResNet-50 122 (TF) vs 300 (Capuchin, 2.46x); DenseNet 70 vs 190
+//! (2.71x). No other system supports eager mode ("no other works are
+//! capable of optimizing memory in this mode").
+
+use capuchin_bench::{row, write_artifact, Bench, System};
+use capuchin_models::ModelKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    model: &'static str,
+    tf_ori: usize,
+    capuchin: usize,
+}
+
+fn main() {
+    let bench = Bench::eager();
+    println!("Table 3: maximum batch size, eager mode");
+    let widths = [12, 10, 10, 8];
+    println!(
+        "{}",
+        row(&["Model", "TF-ori", "Capuchin", "ratio"].map(String::from), &widths)
+    );
+    let mut rows = Vec::new();
+    for (kind, seed) in [(ModelKind::ResNet50, 122), (ModelKind::DenseNet121, 70)] {
+        let tf = bench.max_batch(kind, System::TfOri, seed);
+        let cap = bench.max_batch(kind, System::Capuchin, tf.max(2));
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.name().to_owned(),
+                    tf.to_string(),
+                    cap.to_string(),
+                    format!("{:.2}x", cap as f64 / tf.max(1) as f64),
+                ],
+                &widths
+            )
+        );
+        rows.push(Row {
+            model: kind.name(),
+            tf_ori: tf,
+            capuchin: cap,
+        });
+    }
+    println!("(paper: ResNet-50 122 -> 300 = 2.46x; DenseNet 70 -> 190 = 2.71x)");
+    write_artifact("table3_eager_max_batch", &rows);
+}

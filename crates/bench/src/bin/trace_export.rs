@@ -1,0 +1,104 @@
+//! Export a simulated timeline as a Chrome trace (`chrome://tracing` /
+//! Perfetto) for visual inspection of overlap, stalls, and swap traffic.
+//!
+//! ```sh
+//! cargo run --release -p capuchin-bench --bin trace_export -- [model] [batch] [system]
+//! # e.g.
+//! cargo run --release -p capuchin-bench --bin trace_export -- resnet50 300 capuchin
+//! ```
+//!
+//! Writes `results/trace_<model>_<batch>_<system>.json`.
+
+use capuchin_bench::System;
+use capuchin_executor::{Engine, EngineConfig};
+use capuchin_models::ModelKind;
+use capuchin_sim::{StreamKind, TraceKind};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ChromeEvent {
+    name: String,
+    cat: String,
+    ph: &'static str,
+    ts: f64,
+    dur: f64,
+    pid: u32,
+    tid: u32,
+}
+
+fn parse_model(s: &str) -> ModelKind {
+    match s {
+        "vgg16" => ModelKind::Vgg16,
+        "resnet50" => ModelKind::ResNet50,
+        "resnet152" => ModelKind::ResNet152,
+        "inceptionv3" => ModelKind::InceptionV3,
+        "inceptionv4" => ModelKind::InceptionV4,
+        "densenet" => ModelKind::DenseNet121,
+        "bert" => ModelKind::BertBase,
+        other => panic!("unknown model `{other}`"),
+    }
+}
+
+fn parse_system(s: &str) -> System {
+    match s {
+        "tf-ori" => System::TfOri,
+        "vdnn" => System::Vdnn,
+        "openai-m" => System::OpenAiMemory,
+        "openai-s" => System::OpenAiSpeed,
+        "capuchin" => System::Capuchin,
+        other => panic!("unknown system `{other}`"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model_name = args.get(1).map(String::as_str).unwrap_or("resnet50");
+    let batch: usize = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let system = parse_system(args.get(3).map(String::as_str).unwrap_or("capuchin"));
+    let kind = parse_model(model_name);
+
+    let model = kind.build(batch);
+    let cfg = EngineConfig {
+        trace: true,
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(&model.graph, cfg, system.policy(&model.graph));
+    eng.run(system.warm_iters())
+        .unwrap_or_else(|e| panic!("{kind} b={batch} under {system}: {e}"));
+    let trace = eng.take_trace().expect("trace enabled");
+
+    let events: Vec<ChromeEvent> = trace
+        .events()
+        .iter()
+        .map(|e| ChromeEvent {
+            name: e.label.clone(),
+            cat: match e.kind {
+                TraceKind::Kernel => "kernel",
+                TraceKind::SwapOut => "swap-out",
+                TraceKind::SwapIn => "swap-in",
+                TraceKind::Stall => "stall",
+            }
+            .to_owned(),
+            ph: "X",
+            ts: e.start.as_micros_f64(),
+            dur: e.duration().as_micros_f64(),
+            pid: 1,
+            tid: match e.stream {
+                StreamKind::Compute => 1,
+                StreamKind::CopyOut => 2,
+                StreamKind::CopyIn => 3,
+            },
+        })
+        .collect();
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = format!("results/trace_{model_name}_{batch}_{system}.json");
+    std::fs::write(&path, serde_json::to_string(&events).expect("serialize")).expect("write");
+    println!(
+        "wrote {path} ({} events) — open in chrome://tracing or ui.perfetto.dev",
+        events.len()
+    );
+}

@@ -1,0 +1,299 @@
+//! # capuchin-bench — the experiment harness
+//!
+//! Shared machinery for regenerating every table and figure of the paper's
+//! evaluation (§6): system/policy factories, maximum-batch-size search,
+//! throughput measurement, and JSON artifact emission. One binary per
+//! exhibit lives in `src/bin/` (see `DESIGN.md` for the experiment index).
+
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::path::Path;
+
+use capuchin::{Capuchin, CapuchinConfig};
+use capuchin_baselines::{CheckpointMode, GradientCheckpointing, TfOri, Vdnn};
+use capuchin_executor::{Engine, EngineConfig, ExecMode, MemoryPolicy, RunStats};
+use capuchin_graph::Graph;
+use capuchin_models::{Model, ModelKind};
+use capuchin_sim::DeviceSpec;
+use serde::Serialize;
+
+/// The systems compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum System {
+    /// Original TensorFlow (no memory management).
+    TfOri,
+    /// vDNN layer-wise offload.
+    Vdnn,
+    /// OpenAI gradient-checkpointing, memory mode.
+    OpenAiMemory,
+    /// OpenAI gradient-checkpointing, speed mode.
+    OpenAiSpeed,
+    /// Capuchin (full hybrid policy).
+    Capuchin,
+    /// Capuchin restricted to swapping (Fig. 8a breakdowns).
+    CapuchinSwapOnly,
+    /// Capuchin restricted to recomputation (Fig. 8b breakdowns).
+    CapuchinRecomputeOnly,
+}
+
+impl System {
+    /// The four headline systems of Table 2 / Fig. 9.
+    pub const HEADLINE: [System; 4] = [
+        System::TfOri,
+        System::Vdnn,
+        System::OpenAiMemory,
+        System::Capuchin,
+    ];
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            System::TfOri => "TF-ori",
+            System::Vdnn => "vDNN",
+            System::OpenAiMemory => "OpenAI-M",
+            System::OpenAiSpeed => "OpenAI-S",
+            System::Capuchin => "Capuchin",
+            System::CapuchinSwapOnly => "Capuchin(swap)",
+            System::CapuchinRecomputeOnly => "Capuchin(recompute)",
+        }
+    }
+
+    /// Instantiates the policy for a graph.
+    pub fn policy(self, graph: &Graph) -> Box<dyn MemoryPolicy> {
+        match self {
+            System::TfOri => Box::new(TfOri::new()),
+            System::Vdnn => Box::new(Vdnn::from_graph(graph)),
+            System::OpenAiMemory => Box::new(GradientCheckpointing::from_graph(
+                graph,
+                CheckpointMode::Memory,
+            )),
+            System::OpenAiSpeed => Box::new(GradientCheckpointing::from_graph(
+                graph,
+                CheckpointMode::Speed,
+            )),
+            System::Capuchin => Box::new(Capuchin::new()),
+            System::CapuchinSwapOnly => {
+                Box::new(Capuchin::with_config(CapuchinConfig::swap_only()))
+            }
+            System::CapuchinRecomputeOnly => {
+                Box::new(Capuchin::with_config(CapuchinConfig::recompute_only()))
+            }
+        }
+    }
+
+    /// Iterations needed for the system's steady state (Capuchin needs the
+    /// measured iteration plus refinement rounds).
+    pub fn warm_iters(self) -> u64 {
+        match self {
+            System::Capuchin | System::CapuchinSwapOnly | System::CapuchinRecomputeOnly => 10,
+            _ => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Harness-wide run configuration.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    /// Device spec (defaults to the paper's 16 GB P100).
+    pub spec: DeviceSpec,
+    /// Graph or eager execution.
+    pub mode: ExecMode,
+}
+
+impl Default for Bench {
+    fn default() -> Bench {
+        Bench {
+            spec: DeviceSpec::p100_pcie3(),
+            mode: ExecMode::Graph,
+        }
+    }
+}
+
+impl Bench {
+    /// The eager-mode harness (Table 3 / Fig. 10).
+    pub fn eager() -> Bench {
+        Bench {
+            mode: ExecMode::eager_default(),
+            ..Bench::default()
+        }
+    }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            spec: self.spec.clone(),
+            mode: self.mode,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Runs `system` on `model` for `iters` iterations.
+    ///
+    /// Returns `None` on OOM.
+    pub fn run(&self, model: &Model, system: System, iters: u64) -> Option<RunStats> {
+        let mut engine = Engine::new(
+            &model.graph,
+            self.engine_config(),
+            system.policy(&model.graph),
+        );
+        match engine.run(iters) {
+            Ok(mut stats) => {
+                stats.batch = model.batch;
+                Some(stats)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Steady-state training speed in samples/second, or `None` on OOM.
+    pub fn throughput(&self, kind: ModelKind, batch: usize, system: System) -> Option<f64> {
+        let model = kind.build(batch);
+        let stats = self.run(&model, system, system.warm_iters())?;
+        let last = stats.iters.last().expect("ran iterations");
+        Some(batch as f64 / last.wall().as_secs_f64())
+    }
+
+    /// Whether `system` completes training at `batch`.
+    pub fn fits(&self, kind: ModelKind, batch: usize, system: System) -> bool {
+        let model = kind.build(batch);
+        self.run(&model, system, system.warm_iters()).is_some()
+    }
+
+    /// Maximum batch size: exponential probe from `seed`, then binary
+    /// search to a granularity of ~1.5%.
+    pub fn max_batch(&self, kind: ModelKind, system: System, seed: usize) -> usize {
+        let mut lo = 0usize; // known-good
+        let mut probe = seed.max(2);
+        loop {
+            if self.fits(kind, probe, system) {
+                lo = probe;
+                probe *= 2;
+            } else {
+                break;
+            }
+        }
+        let mut hi = probe; // known-bad
+        if lo == 0 {
+            // The seed itself failed: search downwards.
+            while probe > 1 {
+                probe /= 2;
+                if self.fits(kind, probe, system) {
+                    lo = probe;
+                    break;
+                }
+            }
+            if lo == 0 {
+                return 0;
+            }
+            hi = lo * 2;
+        }
+        let granularity = (lo / 64).max(2);
+        while hi - lo > granularity {
+            let mid = (lo + hi) / 2;
+            if self.fits(kind, mid, system) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Fragmentation makes fit non-monotonic in rare pockets; probe a
+        // few more steps upward so an isolated failure does not understate
+        // the maximum.
+        let mut best = lo;
+        let mut b = lo + granularity;
+        let mut misses = 0;
+        while misses < 5 {
+            if self.fits(kind, b, system) {
+                best = b;
+                misses = 0;
+            } else {
+                misses += 1;
+            }
+            b += granularity;
+        }
+        best
+    }
+}
+
+/// Writes a serializable artifact under `results/` so figures can be
+/// regenerated without re-running the sweep.
+pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let json = serde_json::to_string_pretty(value).expect("serializable artifact");
+            if f.write_all(json.as_bytes()).is_ok() {
+                eprintln!("[artifact] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("[artifact] cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Formats one fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// `--quick` flag: smaller sweeps for smoke runs.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_fits_agree() {
+        let bench = Bench::default();
+        assert!(bench.fits(ModelKind::ResNet50, 32, System::TfOri));
+        let tput = bench.throughput(ModelKind::ResNet50, 32, System::TfOri);
+        assert!(tput.expect("fits") > 10.0);
+    }
+
+    #[test]
+    fn max_batch_search_brackets_correctly() {
+        // Tiny device for a fast search.
+        let bench = Bench {
+            spec: DeviceSpec::p100_pcie3().with_memory(2 << 30),
+            ..Bench::default()
+        };
+        let max = bench.max_batch(ModelKind::ResNet50, System::TfOri, 8);
+        assert!(max > 0);
+        assert!(bench.fits(ModelKind::ResNet50, max, System::TfOri));
+        assert!(!bench.fits(ModelKind::ResNet50, max * 2, System::TfOri));
+    }
+
+    #[test]
+    fn all_systems_instantiate() {
+        let model = ModelKind::ResNet50.build(4);
+        for system in [
+            System::TfOri,
+            System::Vdnn,
+            System::OpenAiMemory,
+            System::OpenAiSpeed,
+            System::Capuchin,
+            System::CapuchinSwapOnly,
+            System::CapuchinRecomputeOnly,
+        ] {
+            let policy = system.policy(&model.graph);
+            assert!(!policy.name().is_empty());
+        }
+    }
+}

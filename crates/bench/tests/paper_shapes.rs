@@ -1,0 +1,89 @@
+//! Regression guards for the paper's headline *shapes*: if a code change
+//! breaks any comparative result the reproduction stands on, one of these
+//! fails. Each check is a fixed-point probe (no searches) so the suite
+//! stays fast in release mode.
+
+use capuchin_bench::{Bench, System};
+use capuchin_models::ModelKind;
+
+#[test]
+fn table2_resnet50_capacity_ordering() {
+    let bench = Bench::default();
+    let kind = ModelKind::ResNet50;
+    // TF-ori: fits ~211, not 280 (paper 190).
+    assert!(bench.fits(kind, 190, System::TfOri));
+    assert!(!bench.fits(kind, 280, System::TfOri));
+    // vDNN and OpenAI-M both clear 500 (paper 520/540).
+    assert!(bench.fits(kind, 500, System::Vdnn));
+    assert!(bench.fits(kind, 500, System::OpenAiMemory));
+    // OpenAI-S dies well before memory mode (paper 300 vs 540).
+    assert!(!bench.fits(kind, 500, System::OpenAiSpeed));
+    // Capuchin clears 1000 (paper 1014).
+    assert!(bench.fits(kind, 1000, System::Capuchin));
+}
+
+#[test]
+fn table2_bert_capacity_ordering() {
+    let bench = Bench::default();
+    let kind = ModelKind::BertBase;
+    assert!(bench.fits(kind, 64, System::TfOri), "paper's TF-ori point");
+    assert!(!bench.fits(kind, 200, System::TfOri));
+    assert!(bench.fits(kind, 400, System::Capuchin), "paper: 450");
+}
+
+#[test]
+fn fig9_throughput_ordering_at_tf_max() {
+    let bench = Bench::default();
+    let kind = ModelKind::ResNet50;
+    let batch = 190;
+    let tf = bench.throughput(kind, batch, System::TfOri).expect("fits");
+    let cap = bench.throughput(kind, batch, System::Capuchin).expect("fits");
+    let vdnn = bench.throughput(kind, batch, System::Vdnn).expect("fits");
+    let om = bench
+        .throughput(kind, batch, System::OpenAiMemory)
+        .expect("fits");
+    // Capuchin adds zero overhead when memory suffices.
+    assert!((cap - tf).abs() / tf < 0.01, "cap={cap} tf={tf}");
+    // vDNN's layer-wise sync loses ~70% on ResNet (paper: 70.0%).
+    assert!(vdnn < tf * 0.45, "vdnn={vdnn} tf={tf}");
+    // Checkpointing sits between vDNN and TF-ori.
+    assert!(om > vdnn && om < tf, "om={om} vdnn={vdnn} tf={tf}");
+}
+
+#[test]
+fn fig9_capuchin_graceful_degradation() {
+    let bench = Bench::default();
+    let kind = ModelKind::ResNet50;
+    let at_base = bench.throughput(kind, 210, System::Capuchin).expect("fits");
+    let at_1_3x = bench.throughput(kind, 280, System::Capuchin).expect("fits");
+    // Paper: <3% loss at +20% batch; allow 5% at +33%.
+    assert!(
+        at_1_3x > at_base * 0.95,
+        "early oversubscription too costly: {at_1_3x} vs {at_base}"
+    );
+}
+
+#[test]
+fn fig8b_speed_heuristic_misfires() {
+    // The paper's §6.2 point: checkpointing's "speed" mode is not reliably
+    // faster — at batch 342 it still runs, but dies long before memory
+    // mode, and Capuchin's measured-cost recomputation beats it there.
+    let bench = Bench::default();
+    let kind = ModelKind::ResNet50;
+    let os = bench
+        .throughput(kind, 342, System::OpenAiSpeed)
+        .expect("speed mode's own max");
+    let cap = bench
+        .throughput(kind, 342, System::Capuchin)
+        .expect("capuchin fits");
+    assert!(cap > os, "cap={cap} openai-s={os}");
+}
+
+#[test]
+fn eager_only_capuchin_extends_the_batch() {
+    let bench = Bench::eager();
+    let kind = ModelKind::DenseNet121;
+    assert!(bench.fits(kind, 80, System::TfOri));
+    assert!(!bench.fits(kind, 120, System::TfOri));
+    assert!(bench.fits(kind, 180, System::Capuchin), "paper: 190");
+}

@@ -1,0 +1,336 @@
+//! `capuchin-cli` — run any workload under any memory policy on the
+//! simulated GPU, from the command line.
+//!
+//! ```text
+//! capuchin-cli models
+//! capuchin-cli run --model resnet50 --batch 300 --policy capuchin
+//! capuchin-cli run --model bert --batch 256 --memory 16GiB --iters 10
+//! capuchin-cli max-batch --model resnet50 --policy capuchin
+//! capuchin-cli plan --model resnet50 --batch 300
+//! ```
+
+use std::collections::HashMap;
+
+use capuchin::Capuchin;
+use capuchin_baselines::{CheckpointMode, GradientCheckpointing, LruSwap, TfOri, Vdnn};
+use capuchin_executor::{Engine, EngineConfig, ExecMode, MemoryPolicy};
+use capuchin_graph::Graph;
+use capuchin_models::ModelKind;
+use capuchin_sim::DeviceSpec;
+
+const USAGE: &str = "\
+capuchin-cli — tensor-based GPU memory management, simulated
+
+USAGE:
+    capuchin-cli models
+    capuchin-cli run       --model <m> --batch <n> [--policy <p>] [--memory <bytes|GiB>]
+                           [--iters <n>] [--eager]
+    capuchin-cli max-batch --model <m> [--policy <p>] [--memory ...] [--eager]
+    capuchin-cli plan      --model <m> --batch <n> [--memory ...]
+
+MODELS:   vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
+POLICIES: tf-ori vdnn openai-memory openai-speed lru capuchin (default)
+MEMORY:   e.g. 16GiB, 800MiB, or raw bytes (default 16GiB)
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_model(s: &str) -> ModelKind {
+    match s.to_lowercase().as_str() {
+        "vgg16" => ModelKind::Vgg16,
+        "resnet50" => ModelKind::ResNet50,
+        "resnet152" => ModelKind::ResNet152,
+        "inceptionv3" => ModelKind::InceptionV3,
+        "inceptionv4" => ModelKind::InceptionV4,
+        "densenet" => ModelKind::DenseNet121,
+        "bert" => ModelKind::BertBase,
+        other => fail(&format!("unknown model `{other}`")),
+    }
+}
+
+fn make_policy(name: &str, graph: &Graph) -> Box<dyn MemoryPolicy> {
+    match name {
+        "tf-ori" => Box::new(TfOri::new()),
+        "vdnn" => Box::new(Vdnn::from_graph(graph)),
+        "openai-memory" => Box::new(GradientCheckpointing::from_graph(
+            graph,
+            CheckpointMode::Memory,
+        )),
+        "openai-speed" => Box::new(GradientCheckpointing::from_graph(
+            graph,
+            CheckpointMode::Speed,
+        )),
+        "lru" => Box::new(LruSwap::new()),
+        "capuchin" => Box::new(Capuchin::new()),
+        other => fail(&format!("unknown policy `{other}`")),
+    }
+}
+
+fn parse_memory(s: &str) -> u64 {
+    let lower = s.to_lowercase();
+    let (num, mult) = if let Some(n) = lower.strip_suffix("gib") {
+        (n, 1u64 << 30)
+    } else if let Some(n) = lower.strip_suffix("mib") {
+        (n, 1u64 << 20)
+    } else if let Some(n) = lower.strip_suffix("gb") {
+        (n, 1_000_000_000)
+    } else if let Some(n) = lower.strip_suffix("mb") {
+        (n, 1_000_000)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| fail(&format!("bad memory size `{s}`")));
+    (v * mult as f64) as u64
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+    eager: bool,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut flags = HashMap::new();
+        let mut eager = false;
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if a == "--eager" {
+                eager = true;
+            } else if let Some(key) = a.strip_prefix("--") {
+                let val = it
+                    .next()
+                    .unwrap_or_else(|| fail(&format!("missing value for --{key}")));
+                flags.insert(key.to_owned(), val.clone());
+            } else {
+                fail(&format!("unexpected argument `{a}`"));
+            }
+        }
+        Args { flags, eager }
+    }
+
+    fn model(&self) -> ModelKind {
+        parse_model(
+            self.flags
+                .get("model")
+                .unwrap_or_else(|| fail("--model is required")),
+        )
+    }
+
+    fn policy_name(&self) -> &str {
+        self.flags.get("policy").map(String::as_str).unwrap_or("capuchin")
+    }
+
+    fn memory(&self) -> u64 {
+        self.flags
+            .get("memory")
+            .map(|s| parse_memory(s))
+            .unwrap_or(16 << 30)
+    }
+
+    fn batch(&self) -> usize {
+        self.flags
+            .get("batch")
+            .unwrap_or_else(|| fail("--batch is required"))
+            .parse()
+            .unwrap_or_else(|_| fail("--batch must be an integer"))
+    }
+
+    fn iters(&self) -> u64 {
+        self.flags
+            .get("iters")
+            .map(|s| s.parse().unwrap_or_else(|_| fail("--iters must be an integer")))
+            .unwrap_or(8)
+    }
+
+    fn config(&self) -> EngineConfig {
+        EngineConfig {
+            spec: DeviceSpec::p100_pcie3().with_memory(self.memory()),
+            mode: if self.eager {
+                ExecMode::eager_default()
+            } else {
+                ExecMode::Graph
+            },
+            ..EngineConfig::default()
+        }
+    }
+}
+
+fn cmd_models() {
+    println!(
+        "{:<14} {:>10} {:>9} {:>14} {:>16}",
+        "model", "ops", "values", "parameters", "activations@b32"
+    );
+    for kind in ModelKind::ALL {
+        let m = kind.build(32);
+        println!(
+            "{:<14} {:>10} {:>9} {:>14} {:>13.2} GiB",
+            kind.name(),
+            m.graph.op_count(),
+            m.graph.value_count(),
+            m.graph.param_count(),
+            m.graph.activation_bytes() as f64 / (1 << 30) as f64,
+        );
+    }
+}
+
+fn cmd_run(args: &Args) {
+    let kind = args.model();
+    let batch = args.batch();
+    let model = kind.build(batch);
+    let policy = make_policy(args.policy_name(), &model.graph);
+    println!(
+        "{} @ batch {batch} under {} ({:.1} GiB device{})",
+        kind.name(),
+        args.policy_name(),
+        args.memory() as f64 / (1 << 30) as f64,
+        if args.eager { ", eager" } else { "" },
+    );
+    let mut eng = Engine::new(&model.graph, args.config(), policy);
+    match eng.run(args.iters()) {
+        Ok(stats) => {
+            println!(
+                "{:>5} {:>10} {:>12} {:>10} {:>9} {:>9} {:>10}",
+                "iter", "wall", "throughput", "swap-out", "recomp", "passive", "stall"
+            );
+            for it in &stats.iters {
+                println!(
+                    "{:>5} {:>8.1}ms {:>10.1}/s {:>7.2}GiB {:>9} {:>9} {:>8.1}ms",
+                    it.iter,
+                    it.wall().as_millis_f64(),
+                    batch as f64 / it.wall().as_secs_f64(),
+                    it.swap_out_bytes as f64 / (1 << 30) as f64,
+                    it.recompute_kernels,
+                    it.passive_evictions,
+                    it.stall_time.as_millis_f64(),
+                );
+            }
+            let last = stats.iters.last().expect("ran");
+            println!(
+                "\nsteady state: {:.1} samples/sec, peak memory {:.2} GiB",
+                batch as f64 / last.wall().as_secs_f64(),
+                last.peak_mem as f64 / (1 << 30) as f64,
+            );
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_max_batch(args: &Args) {
+    let kind = args.model();
+    let cfg = args.config();
+    let policy_name = args.policy_name().to_owned();
+    let fits = |b: usize| -> bool {
+        let model = kind.build(b);
+        let policy = make_policy(&policy_name, &model.graph);
+        Engine::new(&model.graph, cfg.clone(), policy)
+            .run(if policy_name == "capuchin" { 8 } else { 3 })
+            .is_ok()
+    };
+    let (mut lo, mut hi) = (0usize, 8usize);
+    while fits(hi) {
+        lo = hi;
+        hi *= 2;
+    }
+    if lo == 0 {
+        println!("{} cannot run even at batch 8 under {policy_name}", kind.name());
+        return;
+    }
+    while hi - lo > (lo / 64).max(1) {
+        let mid = (lo + hi) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    println!("{} maximum batch under {policy_name}: {lo}", kind.name());
+}
+
+fn cmd_plan(args: &Args) {
+    let kind = args.model();
+    let batch = args.batch();
+    let model = kind.build(batch);
+    let mut eng = Engine::new(&model.graph, args.config(), Box::new(Capuchin::new()));
+    if let Err(e) = eng.run(3) {
+        eprintln!("measured execution failed: {e}");
+        std::process::exit(1);
+    }
+    let cap = eng
+        .policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Capuchin>())
+        .expect("capuchin policy");
+    let profile = cap.profile();
+    let plan = cap.plan();
+    println!("{} @ batch {batch}:", kind.name());
+    println!(
+        "  measured: {} accesses over {} tensors; ideal peak {:.2} GiB; required saving {:.2} GiB",
+        profile.seq.len(),
+        profile.accesses_of.len(),
+        profile.ideal_peak as f64 / (1 << 30) as f64,
+        profile.required_saving as f64 / (1 << 30) as f64,
+    );
+    println!("  plan: {}", plan.summary());
+    let mut swaps: Vec<_> = plan.swaps.iter().collect();
+    swaps.sort_by_key(|(_, e)| std::cmp::Reverse(e.ft_ns));
+    println!("  top swaps by Free Time:");
+    for (key, entry) in swaps.into_iter().take(10) {
+        let info = &profile.info[key];
+        println!(
+            "    {:<42} {:>8.1} MiB  FT {:>9.2} ms  evict@{} back@{}",
+            info.name,
+            info.size as f64 / (1 << 20) as f64,
+            entry.ft_ns as f64 / 1e6,
+            entry.evicted_count,
+            entry.back_count,
+        );
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("models") => cmd_models(),
+        Some("run") => cmd_run(&Args::parse(&argv[1..])),
+        Some("max-batch") => cmd_max_batch(&Args::parse(&argv[1..])),
+        Some("plan") => cmd_plan(&Args::parse(&argv[1..])),
+        Some("--help") | Some("-h") | None => println!("{USAGE}"),
+        Some(other) => fail(&format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sizes_parse() {
+        assert_eq!(parse_memory("16GiB"), 16 << 30);
+        assert_eq!(parse_memory("800MiB"), 800 << 20);
+        assert_eq!(parse_memory("2gb"), 2_000_000_000);
+        assert_eq!(parse_memory("12345"), 12_345);
+        assert_eq!(parse_memory("1.5GiB"), 3 << 29);
+    }
+
+    #[test]
+    fn args_parse_flags_and_eager() {
+        let raw: Vec<String> = ["--model", "resnet50", "--batch", "32", "--eager"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = Args::parse(&raw);
+        assert!(args.eager);
+        assert_eq!(args.batch(), 32);
+        assert_eq!(args.policy_name(), "capuchin");
+        assert_eq!(args.memory(), 16 << 30);
+    }
+}

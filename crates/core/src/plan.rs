@@ -1,0 +1,93 @@
+//! The memory-management plan produced by the policy maker.
+//!
+//! A plan maps *specific tensor accesses* — `(tensor, access_count)` pairs,
+//! exactly the trigger representation of paper §5.2 — to actions: evict by
+//! swap, evict for recomputation, or prefetch a set of tensors
+//! (in-triggers). Plans are serializable for inspection and experiment
+//! artifacts.
+
+use std::collections::{HashMap, HashSet};
+
+use capuchin_sim::{Duration, Time};
+use capuchin_tensor::TensorKey;
+use serde::{Deserialize, Serialize};
+
+/// How an evicted tensor is re-generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictMethod {
+    /// Copy out to host memory, prefetch back before the back-access.
+    Swap,
+    /// Drop and replay the producing op(s) at the back-access.
+    Recompute,
+}
+
+/// Bookkeeping for one tensor chosen for swap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapEntry {
+    /// Access count of the evicted-access.
+    pub evicted_count: u32,
+    /// Access count of the back-access.
+    pub back_count: u32,
+    /// Ideal time of the back-access (measured).
+    pub back_time: Time,
+    /// Host-to-device transfer time for this tensor.
+    pub swap_in_time: Duration,
+    /// Lane-aware latest start for the prefetch: the PCIe lane is held
+    /// exclusively per direction, so prefetches are scheduled backwards
+    /// from the last back-access, each ending no later than the next one
+    /// starts (§4.4).
+    pub planned_start: Time,
+    /// Free Time of the chosen pair; negative FT was accepted only by the
+    /// hybrid phase.
+    pub ft_ns: i64,
+}
+
+/// The full guided-execution plan.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Plan {
+    /// `(tensor, access_count)` → eviction action.
+    pub evictions: HashMap<(TensorKey, u32), EvictMethod>,
+    /// `(tensor, access_count)` of the in-trigger → tensors to prefetch.
+    pub in_triggers: HashMap<(TensorKey, u32), Vec<TensorKey>>,
+    /// Per-swapped-tensor details (for feedback adjustment).
+    pub swaps: HashMap<TensorKey, SwapEntry>,
+    /// Extra prefetch lead accumulated by feedback, per tensor.
+    pub lead: HashMap<TensorKey, Duration>,
+    /// Tensors evicted for recomputation (collective-recompute keep set).
+    pub recompute_keys: HashSet<TensorKey>,
+    /// Total bytes the plan promises to save.
+    pub planned_saving: u64,
+    /// Bytes saved via swap.
+    pub swap_saving: u64,
+    /// Bytes saved via recomputation.
+    pub recompute_saving: u64,
+    /// Whether in-trigger placement models PCIe lane occupancy (our
+    /// refinement) or uses the naive per-tensor estimate (the paper's
+    /// §4.4 starting point, which feedback then adjusts).
+    pub lane_aware: bool,
+}
+
+impl Plan {
+    /// Number of planned evictions.
+    pub fn len(&self) -> usize {
+        self.evictions.len()
+    }
+
+    /// Whether the plan does nothing.
+    pub fn is_empty(&self) -> bool {
+        self.evictions.is_empty()
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} evictions ({} swap / {} recompute), {:.1} MiB planned ({:.1} swap + {:.1} recompute)",
+            self.len(),
+            self.swaps.len(),
+            self.recompute_keys.len(),
+            self.planned_saving as f64 / (1 << 20) as f64,
+            self.swap_saving as f64 / (1 << 20) as f64,
+            self.recompute_saving as f64 / (1 << 20) as f64,
+        )
+    }
+}

@@ -1,0 +1,723 @@
+//! The Policy Maker: turns a measured profile into a guided-execution plan.
+//!
+//! Implements the paper's §4.5 selection procedure:
+//!
+//! 1. **Candidates** — tensors accessed more than once whose reuse interval
+//!    overlaps the peak-memory period.
+//! 2. **Swap phase** — rank candidate access pairs by *Free Time*
+//!    `FT = SwapInStartTime − SwapOutEndTime` (Eq. 1) and take zero-overhead
+//!    swaps (FT ≥ 0) from the top until the required saving is met.
+//! 3. **Hybrid phase** (Algorithm 1) — for the remainder, compare each
+//!    candidate's residual swap overhead (−FT) against its recomputation
+//!    overhead and pick the cheaper, maintaining the *Memory Saving Per
+//!    Second* bookkeeping of Algorithm 2: once a tensor is confirmed for
+//!    recomputation it disappears as a recompute *source* for every other
+//!    candidate, lengthening their chains (the `srcs`/`rp_time`/`ext_time`
+//!    updates).
+//! 4. **In-triggers** — for each swap, walk the measured access sequence
+//!    backwards from the back-access to the latest access that precedes
+//!    `back_access_time − SwapInTime − lead` (§4.4); that access becomes
+//!    the prefetch trigger.
+
+use std::collections::{HashMap, HashSet};
+
+use capuchin_sim::{DeviceSpec, Duration, Time};
+use capuchin_tensor::TensorKey;
+
+use crate::measure::MeasuredProfile;
+use crate::plan::{EvictMethod, Plan, SwapEntry};
+
+/// Planner knobs (ablation switches for the Fig. 8 breakdowns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Allow swap evictions.
+    pub enable_swap: bool,
+    /// Lane-aware in-trigger placement (see [`Plan::lane_aware`]).
+    pub lane_aware: bool,
+    /// Allow recomputation evictions.
+    pub enable_recompute: bool,
+    /// Fraction of the observed peak that defines the peak-memory window.
+    pub peak_threshold: f64,
+    /// Multiplier on the measured required saving (headroom).
+    pub savings_margin: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> PlannerConfig {
+        PlannerConfig {
+            enable_swap: true,
+            lane_aware: true,
+            enable_recompute: true,
+            peak_threshold: 0.80,
+            savings_margin: 1.05,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    key: TensorKey,
+    evicted_count: u32,
+    back_count: u32,
+    /// Ideal end time of the evicted-access kernel.
+    t1_end: Time,
+    /// Ideal start time of the back-access kernel.
+    t2_start: Time,
+    size: u64,
+    /// Free Time in signed nanoseconds (negative = exposed transfer).
+    ft_ns: i64,
+    /// Recompute bookkeeping (Algorithm 2 state).
+    srcs: HashSet<TensorKey>,
+    rp_time: Duration,
+    ext_time: Duration,
+    recomputable: bool,
+}
+
+impl Candidate {
+    fn recompute_overhead(&self) -> Duration {
+        self.rp_time + self.ext_time
+    }
+}
+
+/// Builds a plan from the measured profile.
+pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConfig) -> Plan {
+    let mut plan = Plan {
+        lane_aware: cfg.lane_aware,
+        ..Plan::default()
+    };
+    let mut needed = (profile.required_saving as f64 * cfg.savings_margin) as i64;
+    if needed <= 0 {
+        return plan; // nothing to do: no triggers either
+    }
+
+    // ------------------------------------------------------------------
+    // Candidate generation: best-FT access pair per tensor, restricted to
+    // pairs overlapping the peak window.
+    // ------------------------------------------------------------------
+    let candidate_keys: HashSet<TensorKey> = profile
+        .accesses_of
+        .keys()
+        .copied()
+        .filter(|k| {
+            let info = &profile.info[k];
+            !info.persistent && profile.accesses_of[k].len() >= 2
+        })
+        .collect();
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut ordered_keys: Vec<TensorKey> = candidate_keys.iter().copied().collect();
+    ordered_keys.sort();
+    for &key in &ordered_keys {
+        let info = &profile.info[&key];
+        let out_time = spec.copy_time(info.size, capuchin_sim::CopyDir::DeviceToHost);
+        let in_time = spec.copy_time(info.size, capuchin_sim::CopyDir::HostToDevice);
+        let mut best: Option<Candidate> = None;
+        for (c1, c2, t1_end, t2_start) in profile.pairs_of(key) {
+            if !profile.overlaps_peak(t1_end, t2_start) {
+                continue;
+            }
+            // FT = (back_access − SwapInTime) − (evicted_access + SwapOutTime).
+            let ft_ns = t2_start.as_nanos() as i64
+                - in_time.as_nanos() as i64
+                - (t1_end.as_nanos() as i64 + out_time.as_nanos() as i64);
+            let cand = Candidate {
+                key,
+                evicted_count: c1,
+                back_count: c2,
+                t1_end,
+                t2_start,
+                size: info.size,
+                ft_ns,
+                srcs: HashSet::new(),
+                rp_time: Duration::ZERO,
+                ext_time: Duration::ZERO,
+                recomputable: info.recomputable,
+            };
+            if best.as_ref().map(|b| cand.ft_ns > b.ft_ns).unwrap_or(true) {
+                best = Some(cand);
+            }
+        }
+        if let Some(c) = best {
+            candidates.push(c);
+        }
+    }
+    // Rank by FT descending; ties by size descending (bigger saving
+    // first), then by key for full determinism.
+    candidates.sort_by(|a, b| {
+        b.ft_ns
+            .cmp(&a.ft_ns)
+            .then(b.size.cmp(&a.size))
+            .then(a.key.cmp(&b.key))
+    });
+
+    // ------------------------------------------------------------------
+    // Phase 1: zero-overhead swaps from the top of the FT ranking —
+    // accepted only while the *lane schedule* stays feasible, i.e. every
+    // prefetch can still complete before its back-access without starting
+    // before its own eviction copy has finished. This is the paper's
+    // "swap is the first choice until we cannot choose an in-trigger to
+    // perfectly hide the prefetching overhead" (§4.5), with the exclusive
+    // per-direction PCIe lane made explicit.
+    // ------------------------------------------------------------------
+    let mut accepted: Vec<LaneItem> = Vec::new();
+    let mut rest = Vec::new();
+    for cand in candidates {
+        let item = LaneItem::of(&cand, spec);
+        if cfg.enable_swap
+            && cand.ft_ns >= 0
+            && needed > 0
+            && lane_violation(&accepted, &item) == Duration::ZERO
+        {
+            needed -= cand.size as i64;
+            accepted.push(item);
+            confirm_swap(&mut plan, profile, spec, &cand);
+        } else {
+            rest.push(cand);
+        }
+    }
+    if needed <= 0 || rest.is_empty() {
+        schedule_in_triggers(&mut plan, profile);
+        return plan;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: hybrid (Algorithm 1) with recompute-source bookkeeping
+    // (Algorithm 2).
+    // ------------------------------------------------------------------
+    // Initialize recompute chains assuming all still-unchosen candidates
+    // are resident.
+    let remaining_keys: HashSet<TensorKey> = rest.iter().map(|c| c.key).collect();
+    for cand in &mut rest {
+        match init_recompute(profile, cand, &remaining_keys) {
+            Some((srcs, time)) => {
+                cand.srcs = srcs;
+                cand.rp_time = time;
+            }
+            None => cand.recomputable = false,
+        }
+    }
+
+    // Confirmed recompute targets, with their (evolving) source sets.
+    let mut recomps: Vec<(TensorKey, HashSet<TensorKey>, Duration)> = Vec::new();
+
+    let mut queue = rest;
+    while needed > 0 && !queue.is_empty() {
+        // Candidates stay ranked by FT; take the best head-of-line.
+        let cand = queue.remove(0);
+        let swap_over = if cfg.enable_swap {
+            // Residual swap overhead: any exposed transfer time (−FT)
+            // plus the lane-schedule violation the swap would introduce.
+            let item = LaneItem::of(&cand, spec);
+            let exposed = Duration::from_nanos((-cand.ft_ns).max(0) as u64);
+            Some(exposed + lane_violation(&accepted, &item))
+        } else {
+            None
+        };
+        let rec_over = if cfg.enable_recompute && cand.recomputable {
+            Some(cand.recompute_overhead())
+        } else {
+            None
+        };
+        match (swap_over, rec_over) {
+            (None, None) => continue,
+            (Some(_), None) => {
+                needed -= cand.size as i64;
+                accepted.push(LaneItem::of(&cand, spec));
+                confirm_swap(&mut plan, profile, spec, &cand);
+            }
+            (s, Some(r)) if s.is_none() || r <= s.unwrap() => {
+                needed -= cand.size as i64;
+                confirm_recompute(&mut plan, &cand, &mut recomps, &mut queue);
+            }
+            _ => {
+                needed -= cand.size as i64;
+                accepted.push(LaneItem::of(&cand, spec));
+                confirm_swap(&mut plan, profile, spec, &cand);
+            }
+        }
+    }
+    schedule_in_triggers(&mut plan, profile);
+    plan
+}
+
+/// One swap in the tentative PCIe lane schedule.
+#[derive(Debug, Clone, Copy)]
+struct LaneItem {
+    key: TensorKey,
+    /// Eviction copy may start here (end of the evicted-access kernel).
+    t1_end: Time,
+    /// Prefetch must complete here (start of the back-access kernel).
+    t2_start: Time,
+    out_time: Duration,
+    in_time: Duration,
+}
+
+impl LaneItem {
+    fn of(cand: &Candidate, spec: &DeviceSpec) -> LaneItem {
+        LaneItem {
+            key: cand.key,
+            t1_end: cand.t1_end,
+            t2_start: cand.t2_start,
+            out_time: spec.copy_time(cand.size, capuchin_sim::CopyDir::DeviceToHost),
+            in_time: spec.copy_time(cand.size, capuchin_sim::CopyDir::HostToDevice),
+        }
+    }
+}
+
+/// Simulates both PCIe directions for `accepted ∪ {cand}` and returns the
+/// worst amount by which some prefetch must start before its data has even
+/// finished swapping out (zero = perfectly hideable).
+fn lane_violation(accepted: &[LaneItem], cand: &LaneItem) -> Duration {
+    let mut items: Vec<LaneItem> = accepted.to_vec();
+    items.push(*cand);
+    // Device-to-host lane: FIFO in eviction order.
+    let mut out_end: HashMap<TensorKey, Time> = HashMap::new();
+    items.sort_by_key(|i| i.t1_end);
+    let mut lane = Time::ZERO;
+    for i in &items {
+        let start = i.t1_end.max(lane);
+        lane = start + i.out_time;
+        out_end.insert(i.key, lane);
+    }
+    // Host-to-device lane: latest feasible schedule, laid out backwards.
+    items.sort_by_key(|i| std::cmp::Reverse(i.t2_start));
+    let mut worst = Duration::ZERO;
+    let mut lane_free: Option<Time> = None;
+    for i in &items {
+        let latest_end = match lane_free {
+            Some(t) => i.t2_start.min(t),
+            None => i.t2_start,
+        };
+        let start = latest_end.saturating_sub(i.in_time);
+        let ready = out_end[&i.key];
+        if ready > start {
+            worst = worst.max(ready - start);
+        }
+        lane_free = Some(start);
+    }
+    worst
+}
+
+fn confirm_swap(plan: &mut Plan, profile: &MeasuredProfile, spec: &DeviceSpec, cand: &Candidate) {
+    let in_time = spec.copy_time(cand.size, capuchin_sim::CopyDir::HostToDevice);
+    plan.evictions
+        .insert((cand.key, cand.evicted_count), EvictMethod::Swap);
+    plan.swaps.insert(
+        cand.key,
+        SwapEntry {
+            evicted_count: cand.evicted_count,
+            back_count: cand.back_count,
+            back_time: cand.t2_start,
+            swap_in_time: in_time,
+            planned_start: cand.t2_start.saturating_sub(in_time),
+            ft_ns: cand.ft_ns,
+        },
+    );
+    plan.planned_saving += cand.size;
+    plan.swap_saving += cand.size;
+    let _ = profile; // triggers are installed lane-aware at the end
+}
+
+/// Computes lane-aware prefetch start times and (re)installs every
+/// in-trigger. Prefetches share the host-to-device lane exclusively, so
+/// they are laid out backwards from the latest back-access: each transfer
+/// must finish before both its own back-access and the next transfer's
+/// start.
+pub fn schedule_in_triggers(plan: &mut Plan, profile: &MeasuredProfile) {
+    let mut order: Vec<TensorKey> = plan.swaps.keys().copied().collect();
+    order.sort_by_key(|k| (std::cmp::Reverse(plan.swaps[k].back_time), *k));
+    let mut lane_free: Option<Time> = None;
+    for key in order {
+        let entry = plan.swaps.get_mut(&key).expect("key from plan");
+        let latest_end = match lane_free {
+            Some(t) if plan.lane_aware => entry.back_time.min(t),
+            _ => entry.back_time,
+        };
+        entry.planned_start = latest_end.saturating_sub(entry.swap_in_time);
+        lane_free = Some(entry.planned_start);
+    }
+    let mut keys: Vec<TensorKey> = plan.swaps.keys().copied().collect();
+    keys.sort();
+    for key in keys {
+        install_in_trigger(plan, profile, key);
+    }
+}
+
+/// (Re)installs the prefetch trigger for a swapped tensor, honouring its
+/// accumulated feedback lead.
+pub fn install_in_trigger(plan: &mut Plan, profile: &MeasuredProfile, key: TensorKey) {
+    // Remove any previous trigger pointing at `key`.
+    for targets in plan.in_triggers.values_mut() {
+        targets.retain(|&t| t != key);
+    }
+    plan.in_triggers.retain(|_, v| !v.is_empty());
+
+    let entry = &plan.swaps[&key];
+    let lead = plan.lead.get(&key).copied().unwrap_or(Duration::ZERO);
+    let target_time = entry.planned_start.saturating_sub(lead);
+
+    // Latest access that (a) precedes the target time and (b) follows the
+    // tensor's own evicted-access.
+    let evicted_idx = profile.accesses_of[&key]
+        .iter()
+        .map(|&i| &profile.seq[i])
+        .position(|a| a.count == entry.evicted_count)
+        .map(|pos| profile.accesses_of[&key][pos])
+        .unwrap_or(0);
+    let mut chosen: Option<(TensorKey, u32)> = None;
+    for (idx, a) in profile.seq.iter().enumerate() {
+        if idx <= evicted_idx {
+            continue;
+        }
+        if a.time > target_time {
+            break;
+        }
+        if a.key == key {
+            continue;
+        }
+        chosen = Some((a.key, a.count));
+    }
+    if let Some(trigger) = chosen {
+        plan.in_triggers.entry(trigger).or_default().push(key);
+    }
+    // No valid trigger: the back-access will page the tensor in on demand.
+}
+
+fn confirm_recompute(
+    plan: &mut Plan,
+    cand: &Candidate,
+    recomps: &mut Vec<(TensorKey, HashSet<TensorKey>, Duration)>,
+    queue: &mut [Candidate],
+) {
+    plan.evictions
+        .insert((cand.key, cand.evicted_count), EvictMethod::Recompute);
+    plan.recompute_keys.insert(cand.key);
+    plan.planned_saving += cand.size;
+    plan.recompute_saving += cand.size;
+
+    // Algorithm 2: the confirmed tensor stops being a valid source.
+    let mut ext_ct: u32 = 1;
+    for (_, srcs, _) in recomps.iter_mut() {
+        if srcs.remove(&cand.key) {
+            srcs.extend(cand.srcs.iter().copied());
+            ext_ct += 1;
+        }
+    }
+    recomps.push((cand.key, cand.srcs.clone(), cand.rp_time));
+
+    for other in queue.iter_mut() {
+        if other.srcs.remove(&cand.key) {
+            other.srcs.extend(cand.srcs.iter().copied());
+            other.rp_time += cand.rp_time;
+            other.ext_time = Duration::ZERO;
+            for (_, srcs, _) in recomps.iter() {
+                if srcs.contains(&other.key) {
+                    other.ext_time += other.rp_time;
+                }
+            }
+        }
+        if cand.srcs.contains(&other.key) {
+            other.ext_time = other.rp_time.mul_f64(f64::from(ext_ct));
+        }
+    }
+}
+
+/// Walks the lineage of `cand` to find its recompute sources and replay
+/// time, treating persistent tensors, tensors still alive at the
+/// back-access, and other candidates as available (§4.4).
+fn init_recompute(
+    profile: &MeasuredProfile,
+    cand: &Candidate,
+    candidate_keys: &HashSet<TensorKey>,
+) -> Option<(HashSet<TensorKey>, Duration)> {
+    let mut srcs = HashSet::new();
+    let mut time = Duration::ZERO;
+    let mut stack = vec![cand.key];
+    let mut visited = HashSet::new();
+    while let Some(v) = stack.pop() {
+        if !visited.insert(v) {
+            continue;
+        }
+        let info = profile.info.get(&v)?;
+        if v != cand.key {
+            if info.persistent {
+                continue;
+            }
+            // A lineage node helps only while it is still live at the
+            // back-access; a dead node — even another candidate — must be
+            // replayed (the runtime walks through dead intermediates too).
+            if info.last_access > cand.t2_start {
+                if candidate_keys.contains(&v) {
+                    srcs.insert(v); // assumed in memory (Algorithm 2 adjusts)
+                }
+                continue;
+            }
+        }
+        if !info.recomputable {
+            return None; // chain bottoms out at a graph input
+        }
+        time += info.op_duration;
+        for &i in &info.inputs {
+            stack.push(i);
+        }
+    }
+    Some((srcs, time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{MeasuredAccess, TensorInfo};
+    use capuchin_graph::OpId;
+    use capuchin_tensor::AccessKind;
+
+    const MB: u64 = 1 << 20;
+
+    /// Builds a synthetic measured profile. Each entry:
+    /// (key, size, inputs, op_duration_us, access_times_us).
+    fn profile(
+        tensors: &[(u64, u64, &[u64], u64, &[u64])],
+        required_saving: u64,
+    ) -> MeasuredProfile {
+        let mut p = MeasuredProfile::default();
+        let mut events: Vec<(u64, TensorKey, u32)> = Vec::new();
+        for &(id, size, inputs, op_us, times) in tensors {
+            let key = TensorKey(id);
+            p.info.insert(
+                key,
+                TensorInfo {
+                    size,
+                    inputs: inputs.iter().map(|&i| TensorKey(i)).collect(),
+                    recomputable: true,
+                    persistent: false,
+                    op_duration: Duration::from_micros(op_us),
+                    last_access: Time::from_micros(*times.last().unwrap()),
+                    name: format!("t{id}"),
+                },
+            );
+            for (i, &t) in times.iter().enumerate() {
+                events.push((t, key, i as u32 + 1));
+            }
+        }
+        events.sort();
+        for (t, key, count) in events {
+            let idx = p.seq.len();
+            p.seq.push(MeasuredAccess {
+                key,
+                count,
+                kind: if count == 1 {
+                    AccessKind::Produce
+                } else {
+                    AccessKind::Read
+                },
+                op: OpId(0),
+                time: Time::from_micros(t),
+                end: Time::from_micros(t),
+                mem_in_use: 100,
+            });
+            p.accesses_of.entry(key).or_default().push(idx);
+        }
+        p.required_saving = required_saving;
+        p.peak_mem = 100;
+        // Whole iteration counts as peak so every pair qualifies.
+        p.peak_window = (Time::ZERO, Time::from_micros(10_000_000));
+        p
+    }
+
+    fn spec() -> DeviceSpec {
+        // Round numbers: 10 GB/s both directions, no copy overhead.
+        DeviceSpec {
+            pcie_d2h_bw: 10.0e9,
+            pcie_h2d_bw: 10.0e9,
+            copy_overhead: Duration::ZERO,
+            ..DeviceSpec::p100_pcie3()
+        }
+    }
+
+    #[test]
+    fn empty_plan_when_nothing_required() {
+        let p = profile(&[(1, 64 * MB, &[], 100, &[0, 900_000])], 0);
+        let plan = make_plan(&p, &spec(), &PlannerConfig::default());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn phase1_prefers_longest_free_time() {
+        // Both 64 MiB (swap ~6.4 ms each way); t1 has a 900 ms gap
+        // (FT >> 0), t2 a 14 ms gap (FT barely > 0 = 1.2ms).
+        let p = profile(
+            &[
+                (1, 64 * MB, &[], 100, &[0, 900_000]),
+                (2, 64 * MB, &[], 100, &[1_000, 15_000]),
+            ],
+            64 * MB,
+        );
+        let cfg = PlannerConfig {
+            savings_margin: 1.0,
+            ..PlannerConfig::default()
+        };
+        let plan = make_plan(&p, &spec(), &cfg);
+        assert_eq!(plan.swaps.len(), 1);
+        assert!(plan.swaps.contains_key(&TensorKey(1)), "{plan:?}");
+        assert_eq!(
+            plan.evictions[&(TensorKey(1), 1)],
+            crate::plan::EvictMethod::Swap
+        );
+    }
+
+    #[test]
+    fn pairs_outside_peak_window_are_not_candidates() {
+        let mut p = profile(&[(1, 64 * MB, &[], 100, &[0, 900_000])], 64 * MB);
+        // Peak window far away from the tensor's interval.
+        p.peak_window = (
+            Time::from_micros(2_000_000),
+            Time::from_micros(3_000_000),
+        );
+        let plan = make_plan(&p, &spec(), &PlannerConfig::default());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn hybrid_picks_recompute_when_swap_exposed_and_replay_cheap() {
+        // 256 MiB tensor with only a 10 ms gap: swap needs ~51 ms of
+        // transfer, FT ≈ -41 ms. Recomputing costs 200 us. The hybrid
+        // phase must choose recomputation.
+        let p = profile(
+            &[
+                (0, MB, &[], 50, &[0, 9_000_000]), // alive parent (source)
+                (1, 256 * MB, &[0], 200, &[1_000, 11_000]),
+            ],
+            256 * MB,
+        );
+        let plan = make_plan(&p, &spec(), &PlannerConfig::default());
+        assert!(plan.recompute_keys.contains(&TensorKey(1)), "{plan:?}");
+        assert_eq!(plan.recompute_saving, 256 * MB);
+    }
+
+    #[test]
+    fn hybrid_picks_swap_when_recompute_costlier() {
+        // Same exposed tensor, but replaying it costs 80 ms > 41 ms of
+        // exposed swap time: swap wins.
+        let p = profile(
+            &[
+                (0, MB, &[], 50, &[0, 9_000_000]),
+                (1, 256 * MB, &[0], 80_000, &[1_000, 11_000]),
+            ],
+            256 * MB,
+        );
+        let plan = make_plan(&p, &spec(), &PlannerConfig::default());
+        assert!(plan.swaps.contains_key(&TensorKey(1)), "{plan:?}");
+        assert!(plan.recompute_keys.is_empty());
+    }
+
+    #[test]
+    fn recompute_only_config_never_swaps() {
+        let p = profile(
+            &[
+                (0, MB, &[], 50, &[0, 9_000_000]),
+                (1, 64 * MB, &[0], 100, &[1_000, 900_000]),
+            ],
+            64 * MB,
+        );
+        let cfg = PlannerConfig {
+            enable_swap: false,
+            ..PlannerConfig::default()
+        };
+        let plan = make_plan(&p, &spec(), &cfg);
+        assert!(plan.swaps.is_empty());
+        assert!(plan.recompute_keys.contains(&TensorKey(1)));
+    }
+
+    #[test]
+    fn algorithm2_source_update_lengthens_dependent_chains() {
+        // Paper's example: lineage T1 -> T2 -> T3 -> T4, all short-gap so
+        // swap is hopeless; T3 dies early (last access before the others'
+        // back-accesses), so T4's initial sources are {T2} and T2's {T1}.
+        // Savings require all three of T1, T2, T4; after T2 is confirmed
+        // for recomputation it stops being a source, so T4's chain grows.
+        let p = profile(
+            &[
+                (1, 512 * MB, &[], 1_000, &[0, 20_000]),
+                (2, 512 * MB, &[1], 1_000, &[1_000, 21_000]),
+                (3, 8 * MB, &[2], 10, &[2_000, 3_000]), // dead early
+                (4, 512 * MB, &[3], 1_000, &[3_000, 22_000]),
+            ],
+            3 * 512 * MB,
+        );
+        let cfg = PlannerConfig {
+            enable_swap: false,
+            savings_margin: 1.0,
+            ..PlannerConfig::default()
+        };
+        let plan = make_plan(&p, &spec(), &cfg);
+        // All three big tensors must be recompute-planned.
+        for id in [1u64, 2, 4] {
+            assert!(
+                plan.recompute_keys.contains(&TensorKey(id)),
+                "t{id} missing from {plan:?}"
+            );
+        }
+        // t3 (highest FT, tiny) may legitimately be chosen as well.
+        assert!(plan.recompute_saving >= 3 * 512 * MB);
+    }
+
+    #[test]
+    fn in_trigger_lands_before_swap_in_start() {
+        // Tensor 1 swapped with back-access at 900 ms, swap-in ~6.5 ms.
+        // Accesses of tensor 2 at 100..800 ms provide trigger points.
+        let p = profile(
+            &[
+                (1, 64 * MB, &[], 100, &[0, 900_000]),
+                (2, MB, &[], 10, &[100_000, 300_000, 600_000, 880_000, 899_000]),
+            ],
+            64 * MB,
+        );
+        let plan = make_plan(&p, &spec(), &PlannerConfig::default());
+        let (trigger, targets) = plan
+            .in_triggers
+            .iter()
+            .find(|(_, v)| v.contains(&TensorKey(1)))
+            .expect("in-trigger installed");
+        assert_eq!(targets, &vec![TensorKey(1)]);
+        // The latest access before 900ms - 6.5ms(swap) is t2's 880ms one
+        // (count 4).
+        assert_eq!(*trigger, (TensorKey(2), 4));
+    }
+
+    #[test]
+    fn feedback_lead_moves_trigger_earlier() {
+        let p = profile(
+            &[
+                (1, 64 * MB, &[], 100, &[0, 900_000]),
+                (2, MB, &[], 10, &[100_000, 300_000, 600_000, 880_000, 899_000]),
+            ],
+            64 * MB,
+        );
+        let mut plan = make_plan(&p, &spec(), &PlannerConfig::default());
+        // A huge lead pushes the trigger to an earlier access of t2.
+        plan.lead.insert(TensorKey(1), Duration::from_millis(500));
+        install_in_trigger(&mut plan, &p, TensorKey(1));
+        let (trigger, _) = plan
+            .in_triggers
+            .iter()
+            .find(|(_, v)| v.contains(&TensorKey(1)))
+            .expect("in-trigger installed");
+        assert_eq!(*trigger, (TensorKey(2), 2), "moved to the 300 ms access");
+    }
+
+    #[test]
+    fn non_recomputable_chain_falls_back_to_swap() {
+        // Tensor whose lineage bottoms at a non-recomputable input.
+        let mut p = profile(
+            &[
+                (0, MB, &[], 50, &[0, 2_000]), // dies before back-access
+                (1, 256 * MB, &[0], 200, &[1_000, 11_000]),
+            ],
+            256 * MB,
+        );
+        p.info.get_mut(&TensorKey(0)).unwrap().recomputable = false;
+        let plan = make_plan(&p, &spec(), &PlannerConfig::default());
+        assert!(plan.swaps.contains_key(&TensorKey(1)), "{plan:?}");
+        assert!(plan.recompute_keys.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Determinism: two identical runs must produce byte-identical behaviour,
+//! for every policy, including under memory pressure. This pins down the
+//! HashMap-iteration-order class of bugs (a plan that differs between runs
+//! makes every experiment unreproducible) and underwrites Fig. 3.
+
+use capuchin::{make_plan, Capuchin, PlannerConfig};
+use capuchin_baselines::{CheckpointMode, GradientCheckpointing, LruSwap, Vdnn};
+use capuchin_executor::{Engine, EngineConfig, IterStats, MemoryPolicy};
+use capuchin_models::ModelKind;
+use capuchin_sim::DeviceSpec;
+
+fn fingerprint(stats: &[IterStats]) -> Vec<(u64, u64, u64, u64, u64)> {
+    stats
+        .iter()
+        .map(|it| {
+            (
+                it.wall().as_nanos(),
+                it.peak_mem,
+                it.swap_out_bytes,
+                it.recompute_kernels,
+                it.stall_time.as_nanos(),
+            )
+        })
+        .collect()
+}
+
+fn run_twice(policy_factory: impl Fn(&capuchin_graph::Graph) -> Box<dyn MemoryPolicy>) {
+    let model = ModelKind::ResNet50.build(16);
+    let cfg = EngineConfig {
+        spec: DeviceSpec::p100_pcie3().with_memory(1200 << 20),
+        ..EngineConfig::default()
+    };
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let mut eng = Engine::new(&model.graph, cfg.clone(), policy_factory(&model.graph));
+        let stats = eng.run(8).expect("fits with management");
+        runs.push(fingerprint(&stats.iters));
+    }
+    assert_eq!(runs[0], runs[1], "two identical runs diverged");
+}
+
+#[test]
+fn capuchin_runs_are_reproducible() {
+    run_twice(|_| Box::new(Capuchin::new()));
+}
+
+#[test]
+fn vdnn_runs_are_reproducible() {
+    run_twice(|g| Box::new(Vdnn::from_graph(g)));
+}
+
+#[test]
+fn checkpointing_runs_are_reproducible() {
+    run_twice(|g| {
+        Box::new(GradientCheckpointing::from_graph(g, CheckpointMode::Memory))
+    });
+}
+
+#[test]
+fn lru_runs_are_reproducible() {
+    run_twice(|_| Box::new(LruSwap::new()));
+}
+
+#[test]
+fn plans_are_pure_functions_of_the_profile() {
+    // Same profile + config → identical plan, including trigger placement.
+    let model = ModelKind::ResNet50.build(16);
+    let cfg = EngineConfig {
+        spec: DeviceSpec::p100_pcie3().with_memory(1200 << 20),
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(&model.graph, cfg.clone(), Box::new(Capuchin::new()));
+    eng.run(2).expect("measured");
+    let profile = eng
+        .policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Capuchin>())
+        .expect("capuchin")
+        .profile()
+        .clone();
+    let a = make_plan(&profile, &cfg.spec, &PlannerConfig::default());
+    let b = make_plan(&profile, &cfg.spec, &PlannerConfig::default());
+    assert_eq!(a.evictions, b.evictions);
+    assert_eq!(a.in_triggers, b.in_triggers);
+    assert_eq!(a.planned_saving, b.planned_saving);
+    let mut sa: Vec<_> = a.swaps.iter().collect();
+    let mut sb: Vec<_> = b.swaps.iter().collect();
+    sa.sort_by_key(|(k, _)| **k);
+    sb.sort_by_key(|(k, _)| **k);
+    assert_eq!(sa, sb);
+}

@@ -1,0 +1,157 @@
+//! Tests for the measured-execution profile (TAT) and Capuchin's
+//! mode/plan lifecycle, observed through the policy's public state.
+
+use capuchin::{Capuchin, CapuchinConfig, EvictMethod};
+use capuchin_executor::{Engine, EngineConfig, TfOri};
+use capuchin_models::ModelKind;
+use capuchin_sim::DeviceSpec;
+
+fn cfg(mem: u64) -> EngineConfig {
+    EngineConfig {
+        spec: DeviceSpec::p100_pcie3().with_memory(mem),
+        ..EngineConfig::default()
+    }
+}
+
+fn capuchin_after(mem: u64, iters: u64) -> (Engine<'static>, &'static capuchin_graph::Graph) {
+    // Leak the graph so the engine can live for the test's duration; fine
+    // in tests.
+    let model = Box::leak(Box::new(ModelKind::ResNet50.build(8)));
+    let mut eng = Engine::new(&model.graph, cfg(mem), Box::new(Capuchin::new()));
+    eng.run(iters).expect("runs");
+    (eng, &model.graph)
+}
+
+fn plan_of(eng: &Engine<'_>) -> capuchin::Plan {
+    eng.policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Capuchin>())
+        .expect("capuchin")
+        .plan()
+        .clone()
+}
+
+fn profile_of(eng: &Engine<'_>) -> capuchin::MeasuredProfile {
+    eng.policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Capuchin>())
+        .expect("capuchin")
+        .profile()
+        .clone()
+}
+
+#[test]
+fn no_plan_before_measured_execution() {
+    let (eng, _) = capuchin_after(600 << 20, 1); // only the warm-up iteration
+    assert!(plan_of(&eng).is_empty());
+    assert!(profile_of(&eng).seq.is_empty());
+}
+
+#[test]
+fn profile_populated_after_measured_iteration() {
+    let (eng, _) = capuchin_after(600 << 20, 2);
+    let profile = profile_of(&eng);
+    assert!(!profile.seq.is_empty());
+    assert!(profile.required_saving > 0, "this budget forces evictions");
+    assert!(profile.ideal_peak > 600 << 20, "ideal peak exceeds budget");
+    // Ideal times are stall-corrected and monotonically ordered.
+    for w in profile.seq.windows(2) {
+        assert!(w[0].time <= w[1].time, "measured sequence out of order");
+    }
+    // Peak window is a valid interval.
+    let (w0, w1) = profile.peak_window;
+    assert!(w0 <= w1);
+}
+
+#[test]
+fn plan_triggers_reference_measured_accesses() {
+    let (eng, _) = capuchin_after(600 << 20, 3);
+    let profile = profile_of(&eng);
+    let plan = plan_of(&eng);
+    assert!(!plan.is_empty());
+    for (&(key, count), _method) in &plan.evictions {
+        assert!(
+            profile.time_of(key, count).is_some(),
+            "plan trigger {key}@{count} was never measured"
+        );
+    }
+    // Every swap's in-trigger (if any) precedes its back-access in the
+    // measured timeline.
+    for (trigger, targets) in &plan.in_triggers {
+        let t_trigger = profile.time_of(trigger.0, trigger.1).expect("measured");
+        for target in targets {
+            let entry = &plan.swaps[target];
+            assert!(
+                t_trigger <= entry.back_time,
+                "in-trigger after back-access for {target}"
+            );
+        }
+    }
+    // Saving bookkeeping is self-consistent.
+    assert_eq!(plan.planned_saving, plan.swap_saving + plan.recompute_saving);
+}
+
+#[test]
+fn plan_methods_match_config() {
+    let model = ModelKind::ResNet50.build(8);
+    for (config, want_swap, want_rec) in [
+        (CapuchinConfig::swap_only(), true, false),
+        (CapuchinConfig::recompute_only(), false, true),
+    ] {
+        let mut eng = Engine::new(
+            &model.graph,
+            cfg(600 << 20),
+            Box::new(Capuchin::with_config(config)),
+        );
+        eng.run(3).expect("runs");
+        let plan = plan_of(&eng);
+        let has_swap = plan
+            .evictions
+            .values()
+            .any(|m| *m == EvictMethod::Swap);
+        let has_rec = plan
+            .evictions
+            .values()
+            .any(|m| *m == EvictMethod::Recompute);
+        assert_eq!(has_swap, want_swap, "{config:?}");
+        assert_eq!(has_rec, want_rec, "{config:?}");
+    }
+}
+
+#[test]
+fn required_saving_matches_capacity_gap() {
+    // required_saving ≈ ideal_peak − capacity (the sweep-based estimate).
+    let (eng, _) = capuchin_after(600 << 20, 2);
+    let profile = profile_of(&eng);
+    let capacity = eng.spec().memory_bytes;
+    let gap = profile.ideal_peak.saturating_sub(capacity);
+    assert!(
+        profile.required_saving >= gap,
+        "saving {} < capacity gap {}",
+        profile.required_saving,
+        gap
+    );
+    assert!(
+        profile.required_saving <= gap.max(capacity / 32) + capacity / 16,
+        "saving {} wildly exceeds gap {}",
+        profile.required_saving,
+        gap
+    );
+}
+
+#[test]
+fn ideal_peak_matches_unconstrained_run() {
+    // The sweep-computed ideal peak from a *constrained* measured run
+    // should approximate the true peak of an unconstrained run.
+    let model = ModelKind::ResNet50.build(8);
+    let mut free = Engine::new(&model.graph, cfg(16 << 30), Box::new(TfOri::new()));
+    let true_peak = free.run(2).unwrap().iters[1].peak_mem;
+
+    let (eng, _) = capuchin_after(600 << 20, 2);
+    let ideal = profile_of(&eng).ideal_peak;
+    let ratio = ideal as f64 / true_peak as f64;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "ideal {ideal} vs true {true_peak} (ratio {ratio:.2})"
+    );
+}

@@ -1,0 +1,189 @@
+//! End-to-end behaviour of the Capuchin policy on a real model under
+//! memory oversubscription: measured execution, plan construction, guided
+//! execution, feedback, and the ablation configurations.
+
+use capuchin::{Capuchin, CapuchinConfig};
+use capuchin_executor::{Engine, EngineConfig, ExecError, RunStats, TfOri};
+use capuchin_models::ModelKind;
+use capuchin_sim::DeviceSpec;
+
+const MEM: u64 = 600 << 20; // 600 MiB: oversubscribed for ResNet-50 @ 8
+
+fn cfg(mem: u64) -> EngineConfig {
+    EngineConfig {
+        spec: DeviceSpec::p100_pcie3().with_memory(mem),
+        ..EngineConfig::default()
+    }
+}
+
+fn run_capuchin(mem: u64, ccfg: CapuchinConfig, iters: u64) -> (RunStats, Capuchin) {
+    let model = ModelKind::ResNet50.build(8);
+    let mut eng = Engine::new(
+        &model.graph,
+        cfg(mem),
+        Box::new(Capuchin::with_config(ccfg)),
+    );
+    let stats = eng.run(iters).expect("capuchin must survive oversubscription");
+    // Recover the policy for inspection by rebuilding — instead, expose
+    // observable state through stats only in this test.
+    drop(eng);
+    (stats, Capuchin::with_config(ccfg))
+}
+
+#[test]
+fn capuchin_rescues_oom_where_tf_ori_fails() {
+    let model = ModelKind::ResNet50.build(8);
+    let mut tf = Engine::new(&model.graph, cfg(MEM), Box::new(TfOri::new()));
+    let err = tf.run(1).expect_err("600 MiB must OOM under tf-ori");
+    assert!(matches!(err, ExecError::Oom { .. }));
+
+    let mut cap = Engine::new(&model.graph, cfg(MEM), Box::new(Capuchin::new()));
+    let stats = cap.run(6).expect("capuchin survives");
+    assert_eq!(stats.iters.len(), 6);
+}
+
+#[test]
+fn guided_execution_converges_to_no_passive_evictions() {
+    let (stats, _) = run_capuchin(MEM, CapuchinConfig::default(), 10);
+    // Iteration 1 is measured execution: passive evictions are expected.
+    assert!(
+        stats.iters[1].passive_evictions > 0,
+        "measured execution should hit OOM at this budget"
+    );
+    // The policy stabilizes "usually within 50 iterations" (paper §6.3.2);
+    // in the deterministic simulator a handful of refinement rounds do it.
+    let last = stats.iters.last().unwrap();
+    assert_eq!(
+        last.passive_evictions, 0,
+        "steady state must be fully plan-driven: {last:?}"
+    );
+    // Guided iterations must beat passive-mode (measured) iterations.
+    assert!(
+        last.wall() < stats.iters[1].wall(),
+        "guided {} !< measured {}",
+        last.wall(),
+        stats.iters[1].wall()
+    );
+    // Memory management active: tensors moved or recomputed.
+    assert!(last.swap_out_bytes > 0 || last.recompute_kernels > 0);
+}
+
+#[test]
+fn guided_stalls_shrink_over_iterations() {
+    let (stats, _) = run_capuchin(MEM, CapuchinConfig::default(), 10);
+    let early = stats.iters[2].stall_time;
+    let late = stats.iters.last().unwrap().stall_time;
+    assert!(
+        late <= early,
+        "feedback should not increase stalls: early={early} late={late}"
+    );
+}
+
+#[test]
+fn swap_only_config_never_recomputes() {
+    let (stats, _) = run_capuchin(MEM, CapuchinConfig::swap_only(), 8);
+    let last = stats.iters.last().unwrap();
+    assert_eq!(last.recompute_kernels, 0);
+    assert!(last.swap_out_bytes > 0);
+    assert_eq!(last.passive_evictions, 0);
+}
+
+#[test]
+fn recompute_only_config_never_prefetches() {
+    let (stats, _) = run_capuchin(MEM, CapuchinConfig::recompute_only(), 8);
+    let last = stats.iters.last().unwrap();
+    assert!(last.recompute_kernels > 0, "{last:?}");
+    // No planned swaps; with a fully converged plan nothing pages in.
+    assert_eq!(last.passive_evictions, 0, "{last:?}");
+    assert_eq!(last.swap_in_bytes, 0, "{last:?}");
+}
+
+#[test]
+fn oversubscription_overhead_is_bounded() {
+    // At modest oversubscription Capuchin's slowdown must be small; the
+    // paper reports <3% at +20% batch. Compare guided iterations at an
+    // ~85% memory budget against unconstrained execution.
+    let model = ModelKind::ResNet50.build(64);
+    let mut free = Engine::new(&model.graph, cfg(8 << 30), Box::new(TfOri::new()));
+    let free_stats = free.run(3).unwrap();
+    let free_wall = free_stats.iters.last().unwrap().wall();
+
+    // Oversubscribe the transient (non-weight) memory by 15%.
+    let peak = free_stats.iters.last().unwrap().peak_mem;
+    let weights = model.graph.param_count() * 4;
+    let budget = weights + (peak - weights) * 85 / 100;
+    let mut cap = Engine::new(&model.graph, cfg(budget), Box::new(Capuchin::new()));
+    let cap_stats = cap.run(8).expect("capuchin at 85% budget");
+    let cap_wall = cap_stats.iters.last().unwrap().wall();
+    let ratio = cap_wall.as_secs_f64() / free_wall.as_secs_f64();
+    assert!(
+        ratio < 1.10,
+        "15% oversubscription should cost <10%, got {ratio:.3}"
+    );
+}
+
+#[test]
+fn deeper_oversubscription_costs_more() {
+    let (mild, _) = run_capuchin(700 << 20, CapuchinConfig::default(), 8);
+    let (deep, _) = run_capuchin(450 << 20, CapuchinConfig::default(), 8);
+    assert!(
+        deep.iters.last().unwrap().wall() > mild.iters.last().unwrap().wall(),
+        "more oversubscription must cost more time"
+    );
+}
+
+#[test]
+fn collective_recompute_does_not_slow_things_down() {
+    let with = run_capuchin(
+        500 << 20,
+        CapuchinConfig {
+            collective: true,
+            ..CapuchinConfig::recompute_only()
+        },
+        8,
+    )
+    .0;
+    let without = run_capuchin(
+        500 << 20,
+        CapuchinConfig {
+            collective: false,
+            ..CapuchinConfig::recompute_only()
+        },
+        8,
+    )
+    .0;
+    let w = with.iters.last().unwrap();
+    let wo = without.iters.last().unwrap();
+    // CR trades memory for replay work; it must not *increase* replay
+    // time materially (the win depends on how much slack memory exists).
+    assert!(
+        w.recompute_time.as_nanos() <= wo.recompute_time.as_nanos() * 11 / 10,
+        "CR should not increase recompute work: with={} without={}",
+        w.recompute_time,
+        wo.recompute_time
+    );
+}
+
+#[test]
+fn bert_under_capuchin_survives_oversubscription() {
+    let model = ModelKind::BertBase.build(4);
+    let weights = model.graph.param_count() * 4;
+    let mut free = Engine::new(&model.graph, cfg(16 << 30), Box::new(TfOri::new()));
+    let peak = free.run(2).unwrap().iters.last().unwrap().peak_mem;
+    // Weights are pinned; oversubscribe the transient portion to 80%.
+    // (At batch 4 the 94 MiB MLM weight-gradient is nearly half of a
+    // tighter transient budget, and no contiguous hole that large can be
+    // carved out of a ~1 GiB arena — an honest fragmentation limit that
+    // vanishes at the realistic batch sizes of the Table 2 experiments.)
+    let budget = weights + (peak - weights) * 80 / 100;
+    let mut tf = Engine::new(&model.graph, cfg(budget), Box::new(TfOri::new()));
+    assert!(tf.run(1).is_err(), "80% transient budget must OOM under tf-ori");
+    let mut cap = Engine::new(&model.graph, cfg(budget), Box::new(Capuchin::new()));
+    let stats = cap.run(8).expect("capuchin on BERT");
+    let last = stats.iters.last().unwrap();
+    // Steady state must be no worse than passive mode (the measured
+    // iteration), and any residual passive churn must be a small fraction
+    // of the transient footprint.
+    assert!(last.wall() <= stats.iters[1].wall(), "{last:?}");
+    assert!(last.passive_evict_bytes < (peak - weights) / 4, "{last:?}");
+}

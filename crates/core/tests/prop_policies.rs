@@ -1,0 +1,147 @@
+//! Policy fuzzing: random layer stacks under random memory budgets, run
+//! under every policy. The outcome must always be clean — either the run
+//! completes (and per-iteration accounting holds) or it fails with an
+//! honest OOM. The engine's internal signature assertions additionally
+//! guarantee no silent data corruption on any path the fuzzer finds.
+
+use capuchin::{Capuchin, CapuchinConfig};
+use capuchin_baselines::{CheckpointMode, GradientCheckpointing, Vdnn};
+use capuchin_executor::{Engine, EngineConfig, ExecError, MemoryPolicy};
+use capuchin_graph::{Graph, ValueId};
+use capuchin_sim::DeviceSpec;
+use capuchin_tensor::{DType, Shape};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Layer {
+    Conv { ch: usize },
+    Relu,
+    BatchNorm,
+    Pool,
+    Dropout,
+    Residual,
+}
+
+fn layer_strategy() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        (4usize..24).prop_map(|ch| Layer::Conv { ch }),
+        Just(Layer::Relu),
+        Just(Layer::BatchNorm),
+        Just(Layer::Pool),
+        Just(Layer::Dropout),
+        Just(Layer::Residual),
+    ]
+}
+
+fn build(layers: &[Layer]) -> Graph {
+    let mut g = Graph::new("fuzz");
+    let x = g.input("x", Shape::nchw(4, 4, 16, 16), DType::F32);
+    let labels = g.input("labels", Shape::vector(4), DType::I32);
+    let mut h = g.relu("stem", x);
+    let mut skip = h;
+    for (i, layer) in layers.iter().enumerate() {
+        let name = format!("l{i}");
+        h = match layer {
+            Layer::Conv { ch } => {
+                let out = g.conv2d(&name, h, *ch, 3, 1, 1);
+                skip = out;
+                out
+            }
+            Layer::Relu => g.relu(&name, h),
+            Layer::BatchNorm => g.batch_norm(&name, h),
+            Layer::Pool => {
+                if g.value(h).shape.dim(2) >= 2 {
+                    let out = g.max_pool(&name, h, 2, 2, 0);
+                    skip = out;
+                    out
+                } else {
+                    h
+                }
+            }
+            Layer::Dropout => g.dropout(&name, h, 20),
+            Layer::Residual => {
+                if g.value(skip).shape == g.value(h).shape && skip != h {
+                    g.add(&name, h, skip)
+                } else {
+                    h
+                }
+            }
+        };
+    }
+    let gap = g.global_avg_pool("gap", h);
+    let logits = g.dense("fc", gap, 10);
+    let loss: ValueId = g.softmax_cross_entropy("loss", logits, labels);
+    capuchin_graph::build_backward(&mut g, loss);
+    g
+}
+
+fn policies(g: &Graph) -> Vec<Box<dyn MemoryPolicy>> {
+    vec![
+        Box::new(Capuchin::new()),
+        Box::new(Capuchin::with_config(CapuchinConfig::swap_only())),
+        Box::new(Capuchin::with_config(CapuchinConfig::recompute_only())),
+        Box::new(Vdnn::from_graph(g)),
+        Box::new(GradientCheckpointing::from_graph(g, CheckpointMode::Memory)),
+        Box::new(GradientCheckpointing::from_graph(g, CheckpointMode::Speed)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_policy_is_clean_under_pressure(
+        layers in prop::collection::vec(layer_strategy(), 2..16),
+        budget_kb in 64u64..4096,
+    ) {
+        let g = build(&layers);
+        let cfg = EngineConfig {
+            spec: DeviceSpec::p100_pcie3().with_memory(budget_kb << 10),
+            ..EngineConfig::default()
+        };
+        for policy in policies(&g) {
+            let name = policy.name().to_owned();
+            let mut eng = Engine::new(&g, cfg.clone(), policy);
+            match eng.run(4) {
+                Ok(stats) => {
+                    prop_assert_eq!(stats.iters.len(), 4);
+                    for it in &stats.iters {
+                        // Accounting sanity on every completed iteration.
+                        prop_assert!(it.ended_at >= it.started_at, "{name}");
+                        prop_assert!(it.peak_mem <= cfg.spec.memory_bytes, "{name}");
+                        prop_assert!(it.swap_in_bytes <= it.swap_out_bytes + it.swap_in_bytes);
+                    }
+                    // Iterations 2 and 3 are both steady-state for the
+                    // static policies; they must be identical.
+                    if name.starts_with("openai") || name == "vdnn" {
+                        prop_assert_eq!(
+                            stats.iters[2].wall(), stats.iters[3].wall(),
+                            "{} not steady", name);
+                    }
+                }
+                Err(ExecError::Oom { .. }) => {} // honest OOM is fine
+                Err(other) => prop_assert!(false, "{name}: unexpected {other}"),
+            }
+        }
+    }
+
+    /// Capuchin with ample memory must behave exactly like no policy at
+    /// all — byte-for-byte identical iteration stats.
+    #[test]
+    fn capuchin_is_invisible_without_pressure(
+        layers in prop::collection::vec(layer_strategy(), 2..16),
+    ) {
+        let g = build(&layers);
+        let cfg = EngineConfig::default(); // 16 GiB for a toy graph
+        let mut a = Engine::new(&g, cfg.clone(), Box::new(capuchin_executor::TfOri::new()));
+        let base = a.run(3).unwrap();
+        let mut b = Engine::new(&g, cfg, Box::new(Capuchin::new()));
+        let cap = b.run(3).unwrap();
+        for (x, y) in base.iters.iter().zip(cap.iters.iter()) {
+            prop_assert_eq!(x.wall(), y.wall());
+            prop_assert_eq!(x.peak_mem, y.peak_mem);
+            prop_assert_eq!(y.swap_out_bytes, 0);
+            prop_assert_eq!(y.recompute_kernels, 0);
+        }
+    }
+}

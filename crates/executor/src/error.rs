@@ -1,0 +1,50 @@
+//! Executor errors.
+
+use std::fmt;
+
+use capuchin_mem::OomError;
+
+/// Why a training run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Device memory was exhausted and the active policy could not free
+    /// enough to continue; this defines "maximum batch size exceeded".
+    Oom {
+        /// Op whose allocation failed.
+        op: String,
+        /// Active policy name.
+        policy: String,
+        /// Underlying allocator diagnostics.
+        source: OomError,
+    },
+    /// A recomputation chain bottomed out at a tensor that is neither
+    /// resident, nor swapped out, nor recomputable (a policy planning bug).
+    RecomputeSourceLost {
+        /// The unrecoverable tensor's name.
+        tensor: String,
+    },
+    /// The host staging pool overflowed (practically unreachable with a
+    /// 256 GB pool, but reported honestly).
+    HostOom {
+        /// Bytes requested.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Oom { op, policy, source } => {
+                write!(f, "device OOM at op `{op}` under policy `{policy}`: {source}")
+            }
+            ExecError::RecomputeSourceLost { tensor } => {
+                write!(f, "recompute source lost for tensor `{tensor}`")
+            }
+            ExecError::HostOom { requested } => {
+                write!(f, "host staging pool exhausted ({requested} B requested)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

@@ -1,0 +1,125 @@
+//! Per-iteration and per-run statistics.
+
+use capuchin_sim::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// Counters for one training iteration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IterStats {
+    /// Iteration index (0-based).
+    pub iter: u64,
+    /// Wall-clock start on the simulated timeline.
+    pub started_at: Time,
+    /// Wall-clock end (all streams drained).
+    pub ended_at: Time,
+    /// Peak device memory within the iteration.
+    pub peak_mem: u64,
+    /// Name of the op whose allocation set the peak (diagnostics).
+    pub peak_op: String,
+    /// Bytes proactively or passively copied device→host.
+    pub swap_out_bytes: u64,
+    /// Bytes copied host→device.
+    pub swap_in_bytes: u64,
+    /// Number of on-demand (passive) evictions forced by OOM.
+    pub passive_evictions: u64,
+    /// Bytes evicted by on-demand (passive) evictions.
+    pub passive_evict_bytes: u64,
+    /// Number of kernels re-executed for recomputation.
+    pub recompute_kernels: u64,
+    /// Device time spent in recomputation kernels.
+    pub recompute_time: Duration,
+    /// Compute-stream idle time attributable to memory management (waiting
+    /// for swap-ins, or synchronizing on pending swap-outs at OOM).
+    pub stall_time: Duration,
+    /// Portion of `stall_time` spent waiting for swap-ins (late or
+    /// on-demand prefetches).
+    pub stall_swapin: Duration,
+    /// Portion of `stall_time` spent synchronizing on pending swap-outs
+    /// after an allocation failure.
+    pub stall_oom_sync: Duration,
+    /// Number of tensor accesses recorded.
+    pub accesses: u64,
+    /// Number of kernels launched (including recomputation).
+    pub kernels: u64,
+}
+
+impl IterStats {
+    /// Duration of the iteration.
+    pub fn wall(&self) -> Duration {
+        self.ended_at.saturating_since(self.started_at)
+    }
+}
+
+/// Statistics for a whole run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Per-iteration counters, in order.
+    pub iters: Vec<IterStats>,
+    /// Mini-batch size the run used.
+    pub batch: usize,
+}
+
+impl RunStats {
+    /// Steady-state iteration time: the mean over the last half of the
+    /// run (skipping warm-up / measured-execution iterations).
+    pub fn steady_iter_time(&self) -> Duration {
+        let n = self.iters.len();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let tail = &self.iters[n / 2..];
+        let total: Duration = tail.iter().map(IterStats::wall).sum();
+        Duration::from_nanos(total.as_nanos() / tail.len() as u64)
+    }
+
+    /// Steady-state training speed in samples per second.
+    pub fn throughput(&self) -> f64 {
+        let t = self.steady_iter_time().as_secs_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.batch as f64 / t
+    }
+
+    /// The last iteration's stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run recorded no iterations.
+    pub fn last(&self) -> &IterStats {
+        self.iters.last().expect("run recorded no iterations")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter(iter: u64, start_us: u64, end_us: u64) -> IterStats {
+        IterStats {
+            iter,
+            started_at: Time::from_micros(start_us),
+            ended_at: Time::from_micros(end_us),
+            ..IterStats::default()
+        }
+    }
+
+    #[test]
+    fn steady_time_uses_tail() {
+        let stats = RunStats {
+            iters: vec![iter(0, 0, 1000), iter(1, 1000, 1100), iter(2, 1100, 1200)],
+            batch: 50,
+        };
+        // Tail = last 2 iters, each 100us.
+        assert_eq!(stats.steady_iter_time(), Duration::from_micros(100));
+        let tput = stats.throughput();
+        assert!((tput - 500_000.0).abs() < 1.0, "tput = {tput}");
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let stats = RunStats::default();
+        assert_eq!(stats.steady_iter_time(), Duration::ZERO);
+        assert_eq!(stats.throughput(), 0.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Behavioural tests for the execution engine: residency state machine,
+//! swap and recomputation services, passive eviction, eager mode, and the
+//! access-pattern regularity the paper's design rests on (Fig. 3).
+
+use capuchin_executor::{AccessEvent, Engine, EngineConfig, ExecMode, MemoryPolicy, TfOri};
+use capuchin_graph::{build_backward, Graph, ValueId};
+use capuchin_mem::ALIGNMENT;
+use capuchin_sim::{DeviceSpec, Duration, Time};
+use capuchin_tensor::{AccessKind, DType, Shape, TensorKey};
+
+/// conv → bn → relu → pool → gap → fc → loss at batch 4.
+fn tiny_cnn() -> Graph {
+    let mut g = Graph::new("tiny");
+    let x = g.input("x", Shape::nchw(4, 3, 16, 16), DType::F32);
+    let labels = g.input("labels", Shape::vector(4), DType::I32);
+    let c = g.conv2d("conv1", x, 8, 3, 1, 1);
+    let b = g.batch_norm("bn1", c);
+    let r = g.relu("relu1", b);
+    let p = g.max_pool("pool1", r, 2, 2, 0);
+    let gap = g.global_avg_pool("gap", p);
+    let fc = g.dense("fc", gap, 10);
+    let loss = g.softmax_cross_entropy("loss", fc, labels);
+    build_backward(&mut g, loss);
+    g
+}
+
+fn spec_with_memory(bytes: u64) -> DeviceSpec {
+    DeviceSpec::p100_pcie3().with_memory(bytes)
+}
+
+fn value_named(g: &Graph, name: &str) -> ValueId {
+    g.values()
+        .iter()
+        .find(|v| v.name == name)
+        .unwrap_or_else(|| panic!("no value named {name}"))
+        .id
+}
+
+#[test]
+fn tf_ori_completes_and_only_weights_survive() {
+    let g = tiny_cnn();
+    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(TfOri::new()));
+    let stats = eng.run(3).expect("plenty of memory");
+    assert_eq!(stats.iters.len(), 3);
+    // After a full iteration only persistent weights remain on device.
+    let weight_bytes: u64 = g
+        .values()
+        .iter()
+        .filter(|v| v.kind == capuchin_graph::ValueKind::Weight)
+        .map(|v| v.size_bytes().div_ceil(ALIGNMENT) * ALIGNMENT)
+        .sum();
+    assert_eq!(eng.device().in_use(), weight_bytes);
+    // Iterations after warm-up are identical in duration.
+    assert_eq!(stats.iters[1].wall(), stats.iters[2].wall());
+    assert!(stats.iters[1].wall() > Duration::ZERO);
+}
+
+#[test]
+fn tf_ori_oom_when_memory_tiny() {
+    let g = tiny_cnn();
+    let cfg = EngineConfig {
+        spec: spec_with_memory(64 * 1024),
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(&g, cfg, Box::new(TfOri::new()));
+    let err = eng.run(1).expect_err("64 KiB cannot hold the model");
+    assert!(matches!(err, capuchin_executor::ExecError::Oom { .. }));
+}
+
+/// Evicts the least-recently-accessed unpinned tensor on OOM — a minimal
+/// passive mode.
+struct LruEvictor;
+
+impl MemoryPolicy for LruEvictor {
+    fn name(&self) -> &str {
+        "lru-evictor"
+    }
+
+    fn on_alloc_failure(&mut self, eng: &mut Engine<'_>, _need: u64) -> bool {
+        let mut candidates: Vec<(Time, TensorKey)> = eng
+            .registry()
+            .iter()
+            .filter(|t| {
+                t.status == capuchin_tensor::TensorStatus::In
+                    && !t.meta.persistent
+                    && t.device.is_some()
+                    && !eng.pinned().contains(&t.key())
+            })
+            .map(|t| (t.last_access, t.key()))
+            .collect();
+        candidates.sort();
+        for (_, key) in candidates {
+            if eng.swap_out_sync(key) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[test]
+fn passive_eviction_rescues_oom_and_counts_stall() {
+    let g = tiny_cnn();
+    // Small enough to force evictions, big enough for the working set.
+    let cfg = EngineConfig {
+        spec: spec_with_memory(120 * 1024),
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(&g, cfg, Box::new(LruEvictor));
+    let stats = eng.run(2).expect("evictions should rescue the run");
+    let it = &stats.iters[1];
+    assert!(it.passive_evictions > 0, "no evictions happened");
+    assert!(it.swap_out_bytes > 0);
+    assert!(it.swap_in_bytes > 0, "evicted tensors must come back");
+    assert!(it.stall_time > Duration::ZERO, "passive mode stalls");
+    // Passive mode must be slower than unconstrained execution.
+    let mut free_eng = Engine::new(&g, EngineConfig::default(), Box::new(TfOri::new()));
+    let free = free_eng.run(2).unwrap();
+    assert!(it.wall() > free.iters[1].wall());
+}
+
+/// Proactively swaps out one named tensor right after it is produced, and
+/// prefetches it immediately before its backward use would stall... it
+/// doesn't — the engine's on-demand path covers the back-access.
+struct SwapOne {
+    target: TensorKey,
+}
+
+impl MemoryPolicy for SwapOne {
+    fn name(&self) -> &str {
+        "swap-one"
+    }
+
+    fn post_access(&mut self, eng: &mut Engine<'_>, ev: &AccessEvent) {
+        if ev.key == self.target && ev.kind == AccessKind::Produce {
+            assert!(eng.swap_out_async(self.target, ev.end));
+        }
+    }
+}
+
+#[test]
+fn proactive_swap_roundtrip() {
+    let g = tiny_cnn();
+    let relu = Engine::key_of(value_named(&g, "relu1/out"));
+    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(SwapOne { target: relu }));
+    let stats = eng.run(2).expect("swap roundtrip");
+    let it = &stats.iters[1];
+    assert!(it.swap_out_bytes > 0);
+    assert!(it.swap_in_bytes > 0, "back-access must swap the tensor in");
+    assert_eq!(it.passive_evictions, 0, "proactive, not passive");
+}
+
+/// Releases one tensor for recomputation right after its last forward use.
+struct RecomputeOne {
+    target: TensorKey,
+    /// Access count of the target's evicted-access.
+    after_count: u32,
+}
+
+impl MemoryPolicy for RecomputeOne {
+    fn name(&self) -> &str {
+        "recompute-one"
+    }
+
+    fn post_access(&mut self, eng: &mut Engine<'_>, ev: &AccessEvent) {
+        if ev.key == self.target && ev.count == self.after_count {
+            assert!(eng.release_for_recompute_at(self.target, ev.end));
+        }
+    }
+}
+
+#[test]
+fn recompute_regenerates_identical_contents() {
+    let g = tiny_cnn();
+    // relu1/out: produce(1), read by pool1(2), read by relu grad(3).
+    let relu = Engine::key_of(value_named(&g, "relu1/out"));
+    let policy = RecomputeOne {
+        target: relu,
+        after_count: 2,
+    };
+    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(policy));
+    // The signature assertion inside the engine makes silent corruption
+    // impossible; completing the run is the proof.
+    let stats = eng.run(2).expect("recompute path");
+    let it = &stats.iters[1];
+    assert!(it.recompute_kernels > 0, "no recomputation happened");
+    assert!(it.recompute_time > Duration::ZERO);
+    assert_eq!(it.swap_in_bytes, 0, "recompute, not swap");
+}
+
+#[test]
+fn recompute_chain_regenerates_dead_intermediates() {
+    // Releasing pool1's input (relu1) AND bn1 forces a lineage walk:
+    // recomputing relu1 requires bn1 which requires conv1 (alive).
+    struct RecomputeChain {
+        targets: Vec<(TensorKey, u32)>,
+    }
+    impl MemoryPolicy for RecomputeChain {
+        fn name(&self) -> &str {
+            "recompute-chain"
+        }
+        fn post_access(&mut self, eng: &mut Engine<'_>, ev: &AccessEvent) {
+            for &(key, count) in &self.targets {
+                if ev.key == key && ev.count == count {
+                    assert!(eng.release_for_recompute_at(key, ev.end));
+                }
+            }
+        }
+    }
+    let g = tiny_cnn();
+    let relu = Engine::key_of(value_named(&g, "relu1/out"));
+    let bn = Engine::key_of(value_named(&g, "bn1/out"));
+    // bn1/out: produce(1), read by relu1(2), read by bn grad(3).
+    let policy = RecomputeChain {
+        targets: vec![(relu, 2), (bn, 2)],
+    };
+    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(policy));
+    let stats = eng.run(2).expect("chained recompute");
+    // relu1's back-access recomputes relu1 from bn1 (itself recomputed
+    // from conv1), and bn1's own back-access may recompute again.
+    assert!(stats.iters[1].recompute_kernels >= 2);
+}
+
+#[test]
+fn eager_mode_is_slower_and_heavier() {
+    let g = tiny_cnn();
+    let mut graph_eng = Engine::new(&g, EngineConfig::default(), Box::new(TfOri::new()));
+    let graph_stats = graph_eng.run(2).unwrap();
+    let cfg = EngineConfig {
+        mode: ExecMode::eager_default(),
+        ..EngineConfig::default()
+    };
+    let mut eager_eng = Engine::new(&g, cfg, Box::new(TfOri::new()));
+    let eager_stats = eager_eng.run(2).unwrap();
+    assert!(
+        eager_stats.iters[1].wall() > graph_stats.iters[1].wall(),
+        "eager dispatch overhead must slow the iteration"
+    );
+    assert!(
+        eager_stats.iters[1].peak_mem >= graph_stats.iters[1].peak_mem,
+        "eager lacks in-place gradient reuse"
+    );
+}
+
+#[test]
+fn inplace_gradients_reduce_peak_memory() {
+    let g = tiny_cnn();
+    let on = EngineConfig {
+        inplace_grad: Some(true),
+        ..EngineConfig::default()
+    };
+    let off = EngineConfig {
+        inplace_grad: Some(false),
+        ..EngineConfig::default()
+    };
+    let peak_on = Engine::new(&g, on, Box::new(TfOri::new()))
+        .run(1)
+        .unwrap()
+        .last()
+        .peak_mem;
+    let peak_off = Engine::new(&g, off, Box::new(TfOri::new()))
+        .run(1)
+        .unwrap()
+        .last()
+        .peak_mem;
+    assert!(peak_on < peak_off, "on={peak_on} off={peak_off}");
+}
+
+#[test]
+fn revive_cancels_pending_swap_out() {
+    struct SwapThenRevive {
+        target: TensorKey,
+    }
+    impl MemoryPolicy for SwapThenRevive {
+        fn name(&self) -> &str {
+            "swap-revive"
+        }
+        fn post_access(&mut self, eng: &mut Engine<'_>, ev: &AccessEvent) {
+            if ev.key == self.target && ev.kind == AccessKind::Produce {
+                assert!(eng.swap_out_async(self.target, ev.end));
+                // Immediately revive: the device copy is still valid.
+                assert!(eng.swap_in_async(self.target, ev.end).unwrap());
+            }
+        }
+    }
+    let g = tiny_cnn();
+    let relu = Engine::key_of(value_named(&g, "relu1/out"));
+    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(SwapThenRevive { target: relu }));
+    let stats = eng.run(2).expect("revive path");
+    // Copy-out was issued but no swap-in transfer was ever needed.
+    assert!(stats.iters[1].swap_out_bytes > 0);
+    assert_eq!(stats.iters[1].swap_in_bytes, 0);
+}
+
+/// Records `(key, count, kind)` sequences and relative timestamps.
+#[derive(Default)]
+struct Recorder {
+    sequences: Vec<Vec<(TensorKey, u32, AccessKind)>>,
+    rel_times: Vec<Vec<Duration>>,
+}
+
+impl MemoryPolicy for Recorder {
+    fn name(&self) -> &str {
+        "recorder"
+    }
+
+    fn on_iteration_end(&mut self, eng: &mut Engine<'_>, _iter: u64) {
+        let start = eng.iter_stats().started_at;
+        self.sequences.push(
+            eng.access_log()
+                .iter()
+                .map(|a| (a.key, a.count, a.kind))
+                .collect(),
+        );
+        self.rel_times.push(
+            eng.access_log()
+                .iter()
+                .map(|a| a.time.saturating_since(start))
+                .collect(),
+        );
+    }
+}
+
+#[test]
+fn access_pattern_is_regular_across_iterations() {
+    // The paper's Fig. 3: "the number of occurrences and timestamps in a
+    // iteration are mostly fixed". In the simulator they are exactly fixed
+    // from iteration 1 on (iteration 0 additionally materializes weights).
+    let g = tiny_cnn();
+    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(Recorder::default()));
+    eng.run(4).unwrap();
+    // Recover the recorder.
+    let stats = eng.iter_stats().clone();
+    assert!(stats.accesses > 0);
+    // Compare iterations 1..3 — the recorder lives inside the engine, so
+    // re-run with an external check instead.
+    let mut eng2 = Engine::new(&g, EngineConfig::default(), Box::new(TfOri::new()));
+    let mut seqs = Vec::new();
+    for _ in 0..4 {
+        eng2.run(1).unwrap();
+        let start = eng2.iter_stats().started_at;
+        let seq: Vec<_> = eng2
+            .access_log()
+            .iter()
+            .map(|a| (a.key, a.count, a.kind, a.time.saturating_since(start)))
+            .collect();
+        seqs.push(seq);
+    }
+    assert_eq!(seqs[1], seqs[2], "iterations must be identical");
+    assert_eq!(seqs[2], seqs[3], "iterations must be identical");
+    assert_ne!(
+        seqs[0].len(),
+        seqs[1].len(),
+        "iteration 0 includes weight materialization"
+    );
+}
+
+#[test]
+fn weight_tensors_never_candidates_for_services() {
+    let g = tiny_cnn();
+    let w = Engine::key_of(value_named(&g, "conv1/filter"));
+    struct TryEvictWeight {
+        w: TensorKey,
+        tried: bool,
+    }
+    impl MemoryPolicy for TryEvictWeight {
+        fn name(&self) -> &str {
+            "evict-weight"
+        }
+        fn post_access(&mut self, eng: &mut Engine<'_>, ev: &AccessEvent) {
+            if ev.key == self.w && !self.tried {
+                self.tried = true;
+                assert!(!eng.swap_out_async(self.w, ev.end), "weights must be refused");
+                assert!(!eng.release_for_recompute_at(self.w, ev.end));
+            }
+        }
+    }
+    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(TryEvictWeight { w, tried: false }));
+    eng.run(1).unwrap();
+}

@@ -1,0 +1,603 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! [`build_backward`] extends a forward graph in place with the backward
+//! pass: gradient ops in reverse topological order, `AddN` accumulation for
+//! fan-out values, and a trailing `ApplyGradient` per trainable weight.
+//!
+//! The emitted dependency structure is what creates the paper's memory
+//! problem: most backward ops re-read forward feature maps (`ReluGrad`
+//! reads the relu *output*, `Conv2dBackpropFilter` reads the conv *input*,
+//! `MaxPoolGrad` reads both, ...), so every such feature map has a large
+//! gap between its last forward access and its backward access.
+
+use std::collections::HashMap;
+
+use capuchin_tensor::{DType, Shape};
+
+use crate::graph::{Graph, Phase};
+use crate::op::{OpKind, ValueId, ValueKind};
+
+/// Result of differentiating a graph.
+#[derive(Debug, Clone)]
+pub struct GradInfo {
+    grad_of: HashMap<ValueId, ValueId>,
+}
+
+impl GradInfo {
+    /// The gradient value computed for `v`, if `v` participates in the
+    /// loss computation.
+    pub fn grad_of(&self, v: ValueId) -> Option<ValueId> {
+        self.grad_of.get(&v).copied()
+    }
+
+    /// Number of values that received gradients.
+    pub fn len(&self) -> usize {
+        self.grad_of.len()
+    }
+
+    /// Whether no gradients were produced.
+    pub fn is_empty(&self) -> bool {
+        self.grad_of.is_empty()
+    }
+}
+
+/// Accumulates gradient contributions per value and finalizes fan-in.
+struct GradTape {
+    contributions: HashMap<ValueId, Vec<ValueId>>,
+}
+
+impl GradTape {
+    fn new() -> GradTape {
+        GradTape {
+            contributions: HashMap::new(),
+        }
+    }
+
+    /// Records one gradient contribution. Contributions to `Input` values
+    /// are dropped: like TensorFlow, we prune the gradient of the training
+    /// data itself, so e.g. the first convolution emits no
+    /// `Conv2dBackpropInput`.
+    fn contribute(&mut self, g: &Graph, v: ValueId, grad: ValueId) {
+        if g.value(v).kind == ValueKind::Input {
+            return;
+        }
+        self.contributions.entry(v).or_default().push(grad);
+    }
+
+    fn wants_grad(&self, g: &Graph, v: ValueId) -> bool {
+        g.value(v).kind != ValueKind::Input
+    }
+
+    /// Resolves the full gradient of `v`, emitting an `AddN` if the value
+    /// has several contributions (fan-out in the forward graph).
+    fn resolve(&mut self, g: &mut Graph, v: ValueId) -> Option<ValueId> {
+        let contribs = self.contributions.get(&v)?.clone();
+        match contribs.len() {
+            0 => None,
+            1 => Some(contribs[0]),
+            _ => {
+                let shape = g.value(v).shape.clone();
+                let name = format!("{}/grad_accum", g.value(v).name);
+                let sum = g.add_op(
+                    name,
+                    OpKind::AddN,
+                    Phase::Backward,
+                    &contribs,
+                    &[("out", shape, DType::F32, ValueKind::Gradient)],
+                )[0];
+                // Collapse so later resolves reuse the sum.
+                self.contributions.insert(v, vec![sum]);
+                Some(sum)
+            }
+        }
+    }
+}
+
+/// Emits a backward op producing a single gradient value.
+fn emit(
+    g: &mut Graph,
+    name: String,
+    kind: OpKind,
+    inputs: &[ValueId],
+    out_shape: Shape,
+) -> ValueId {
+    g.add_op(
+        name,
+        kind,
+        Phase::Backward,
+        inputs,
+        &[("out", out_shape, DType::F32, ValueKind::Gradient)],
+    )[0]
+}
+
+/// Differentiates `loss` with respect to every weight, appending the
+/// backward pass and weight updates to `g`.
+///
+/// Returns a [`GradInfo`] mapping forward values to their gradients.
+///
+/// # Panics
+///
+/// Panics if `loss` is not produced by a `SoftmaxCrossEntropy` op, or if
+/// the graph contains a forward op the differentiator does not know
+/// (`Slice`, `AddN`, and other backward-only kinds cannot appear in the
+/// forward graph).
+pub fn build_backward(g: &mut Graph, loss: ValueId) -> GradInfo {
+    assert!(
+        matches!(g.op(g.value(loss).producer).kind, OpKind::SoftmaxCrossEntropy),
+        "loss must come from softmax_cross_entropy"
+    );
+
+    let forward_op_count = g.op_count();
+    let mut tape = GradTape::new();
+
+    // Weight updates are emitted as soon as a weight's last (in reverse
+    // order: first) consumer has been differentiated, mirroring how
+    // dataflow frameworks interleave ApplyGradient into the backward pass
+    // so gradient tensors die quickly instead of accumulating until the
+    // end of the iteration.
+    let mut weight_consumers_left: HashMap<ValueId, usize> = HashMap::new();
+    for op in g.ops().iter().take(forward_op_count) {
+        if op.kind.is_source() {
+            continue;
+        }
+        for &input in &op.inputs {
+            if g.value(input).kind == ValueKind::Weight {
+                *weight_consumers_left.entry(input).or_insert(0) += 1;
+            }
+        }
+    }
+
+    for op_idx in (0..forward_op_count).rev() {
+        let op = g.ops()[op_idx].clone();
+        match op.kind {
+            OpKind::Input | OpKind::Weight => continue,
+            OpKind::SoftmaxCrossEntropy => {
+                // Seed: d(loss)/d(loss) = 1 folded into the fused grad op.
+                if op.outputs[0] != loss {
+                    continue;
+                }
+                let logits = op.inputs[0];
+                let labels = op.inputs[1];
+                let probs = op.outputs[1];
+                let dlogits = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    OpKind::SoftmaxCrossEntropyGrad,
+                    &[probs, labels],
+                    g.value(logits).shape.clone(),
+                );
+                tape.contribute(g, logits, dlogits);
+            }
+            _ => {
+                // Resolve output gradients; skip ops off the loss path.
+                let mut dys = Vec::with_capacity(op.outputs.len());
+                for &out in &op.outputs {
+                    dys.push(tape.resolve(g, out));
+                }
+                if dys.iter().any(Option::is_some) {
+                    differentiate(g, &mut tape, op_idx, &dys);
+                }
+            }
+        }
+        // Emit ApplyGradient for any weight whose contributions are now
+        // complete (this op was its earliest consumer).
+        for &input in &op.inputs {
+            if g.value(input).kind != ValueKind::Weight {
+                continue;
+            }
+            let left = weight_consumers_left
+                .get_mut(&input)
+                .expect("counted above");
+            *left -= 1;
+            if *left == 0 {
+                if let Some(dw) = tape.resolve(g, input) {
+                    g.add_op(
+                        format!("{}/apply", g.value(input).name),
+                        OpKind::ApplyGradient,
+                        Phase::Backward,
+                        &[input, dw],
+                        &[],
+                    );
+                }
+            }
+        }
+    }
+
+    let mut grad_of = HashMap::new();
+    let with_grads: Vec<ValueId> = tape.contributions.keys().copied().collect();
+    for v in with_grads {
+        if let Some(grad) = tape.resolve(g, v) {
+            grad_of.insert(v, grad);
+        }
+    }
+    GradInfo { grad_of }
+}
+
+/// Emits the gradient ops for one forward op given its output gradients.
+fn differentiate(g: &mut Graph, tape: &mut GradTape, op_idx: usize, dys: &[Option<ValueId>]) {
+    let op = g.ops()[op_idx].clone();
+    let dy = dys[0].expect("single-output op with missing grad was filtered");
+    let shape_of = |g: &Graph, v: ValueId| g.value(v).shape.clone();
+
+    match op.kind.clone() {
+        OpKind::Conv2d(attrs) => {
+            let (x, w) = (op.inputs[0], op.inputs[1]);
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad_input", op.name),
+                    OpKind::Conv2dBackpropInput(attrs),
+                    &[w, dy],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+            let dw = emit(
+                g,
+                format!("{}/grad_filter", op.name),
+                OpKind::Conv2dBackpropFilter(attrs),
+                &[x, dy],
+                shape_of(g, w),
+            );
+            tape.contribute(g, w, dw);
+        }
+        OpKind::MatMul { ta, tb } => {
+            let (a, b) = (op.inputs[0], op.inputs[1]);
+            // Derived from y = op_a(A) . op_b(B) for each transpose config.
+            /// One side of the matmul gradient: `(lhs, rhs, ta, tb)`.
+            type MmGrad = (ValueId, ValueId, bool, bool);
+            let (da_args, db_args): (MmGrad, MmGrad) = match (ta, tb) {
+                (false, false) => ((dy, b, false, true), (a, dy, true, false)),
+                (false, true) => ((dy, b, false, false), (dy, a, true, false)),
+                (true, false) => ((b, dy, false, true), (a, dy, false, false)),
+                (true, true) => ((b, dy, true, true), (dy, a, true, true)),
+            };
+            if tape.wants_grad(g, a) {
+                let da = emit(
+                    g,
+                    format!("{}/grad_a", op.name),
+                    OpKind::MatMul {
+                        ta: da_args.2,
+                        tb: da_args.3,
+                    },
+                    &[da_args.0, da_args.1],
+                    shape_of(g, a),
+                );
+                tape.contribute(g, a, da);
+            }
+            if tape.wants_grad(g, b) {
+                let db = emit(
+                    g,
+                    format!("{}/grad_b", op.name),
+                    OpKind::MatMul {
+                        ta: db_args.2,
+                        tb: db_args.3,
+                    },
+                    &[db_args.0, db_args.1],
+                    shape_of(g, b),
+                );
+                tape.contribute(g, b, db);
+            }
+        }
+        OpKind::BiasAdd => {
+            let (x, b) = (op.inputs[0], op.inputs[1]);
+            // dx = dy, pass-through.
+            tape.contribute(g, x, dy);
+            let db = emit(
+                g,
+                format!("{}/grad_bias", op.name),
+                OpKind::BiasAddGrad,
+                &[dy],
+                shape_of(g, b),
+            );
+            tape.contribute(g, b, db);
+        }
+        OpKind::BatchNorm | OpKind::LayerNorm => {
+            let (x, scale, shift) = (op.inputs[0], op.inputs[1], op.inputs[2]);
+            let grad_kind = if op.kind == OpKind::BatchNorm {
+                OpKind::BatchNormGrad
+            } else {
+                OpKind::LayerNormGrad
+            };
+            let outs = g.add_op(
+                format!("{}/grad", op.name),
+                grad_kind,
+                Phase::Backward,
+                &[x, scale, dy],
+                &[
+                    ("dx", shape_of(g, x), DType::F32, ValueKind::Gradient),
+                    ("dscale", shape_of(g, scale), DType::F32, ValueKind::Gradient),
+                    ("dshift", shape_of(g, shift), DType::F32, ValueKind::Gradient),
+                ],
+            );
+            tape.contribute(g, x, outs[0]);
+            tape.contribute(g, scale, outs[1]);
+            tape.contribute(g, shift, outs[2]);
+        }
+        OpKind::Relu => {
+            let x = op.inputs[0];
+            let y = op.outputs[0];
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    OpKind::ReluGrad,
+                    &[y, dy],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+        }
+        OpKind::Gelu => {
+            let x = op.inputs[0];
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    OpKind::GeluGrad,
+                    &[x, dy],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+        }
+        OpKind::Softmax => {
+            let x = op.inputs[0];
+            let y = op.outputs[0];
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    OpKind::SoftmaxGrad,
+                    &[y, dy],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+        }
+        OpKind::MaxPool(attrs) => {
+            let x = op.inputs[0];
+            let y = op.outputs[0];
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    OpKind::MaxPoolGrad(attrs),
+                    &[x, y, dy],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+        }
+        OpKind::AvgPool(attrs) => {
+            let x = op.inputs[0];
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    OpKind::AvgPoolGrad(attrs),
+                    &[dy],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+        }
+        OpKind::GlobalAvgPool => {
+            let x = op.inputs[0];
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    OpKind::GlobalAvgPoolGrad,
+                    &[dy],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+        }
+        OpKind::Add => {
+            // Pass-through to both operands.
+            tape.contribute(g, op.inputs[0], dy);
+            tape.contribute(g, op.inputs[1], dy);
+        }
+        OpKind::ScalarMul { scalar_micros } => {
+            let x = op.inputs[0];
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    OpKind::ScalarMul { scalar_micros },
+                    &[dy],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+        }
+        OpKind::Dropout { rate_pct } => {
+            let x = op.inputs[0];
+            let mask = op.outputs[1];
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    OpKind::DropoutGrad { rate_pct },
+                    &[dy, mask],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+        }
+        OpKind::Concat { axis } => {
+            let mut offset = 0;
+            for (i, &input) in op.inputs.clone().iter().enumerate() {
+                let ishape = shape_of(g, input);
+                let len = ishape.dim(axis);
+                if tape.wants_grad(g, input) {
+                    let dx = emit(
+                        g,
+                        format!("{}/grad_{i}", op.name),
+                        OpKind::Slice { axis, offset, len },
+                        &[dy],
+                        ishape,
+                    );
+                    tape.contribute(g, input, dx);
+                }
+                offset += len;
+            }
+        }
+        OpKind::Reshape | OpKind::Transpose => {
+            let x = op.inputs[0];
+            if tape.wants_grad(g, x) {
+                let dx = emit(
+                    g,
+                    format!("{}/grad", op.name),
+                    op.kind.clone(),
+                    &[dy],
+                    shape_of(g, x),
+                );
+                tape.contribute(g, x, dx);
+            }
+        }
+        OpKind::Embedding => {
+            let (ids, table) = (op.inputs[0], op.inputs[1]);
+            let dtable = emit(
+                g,
+                format!("{}/grad", op.name),
+                OpKind::EmbeddingGrad,
+                &[ids, dy],
+                shape_of(g, table),
+            );
+            tape.contribute(g, table, dtable);
+        }
+        other => panic!("cannot differentiate forward op kind {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use capuchin_tensor::DType;
+
+    /// conv -> bn -> relu -> pool -> gap -> dense -> loss.
+    fn tiny_cnn() -> (Graph, ValueId) {
+        let mut g = Graph::new("tiny");
+        let x = g.input("x", Shape::nchw(4, 3, 16, 16), DType::F32);
+        let labels = g.input("labels", Shape::vector(4), DType::I32);
+        let c = g.conv2d("conv1", x, 8, 3, 1, 1);
+        let b = g.batch_norm("bn1", c);
+        let r = g.relu("relu1", b);
+        let p = g.max_pool("pool1", r, 2, 2, 0);
+        let gap = g.global_avg_pool("gap", p);
+        let fc = g.dense("fc", gap, 10);
+        let loss = g.softmax_cross_entropy("loss", fc, labels);
+        (g, loss)
+    }
+
+    #[test]
+    fn backward_is_valid_and_produces_weight_updates() {
+        let (mut g, loss) = tiny_cnn();
+        let forward_ops = g.op_count();
+        let info = build_backward(&mut g, loss);
+        g.validate().unwrap();
+        assert!(g.op_count() > forward_ops);
+        assert!(!info.is_empty());
+        let apply_count = g
+            .ops()
+            .iter()
+            .filter(|o| o.kind == OpKind::ApplyGradient)
+            .count();
+        // conv filter, bn scale+shift, fc kernel+bias.
+        assert_eq!(apply_count, 5);
+    }
+
+    #[test]
+    fn relu_grad_reads_forward_output() {
+        let (mut g, loss) = tiny_cnn();
+        build_backward(&mut g, loss);
+        let relu_out = g.values().iter().find(|v| v.name == "relu1/out").unwrap().id;
+        let relu_grad = g
+            .ops()
+            .iter()
+            .find(|o| o.kind == OpKind::ReluGrad)
+            .expect("relu grad emitted");
+        assert!(relu_grad.inputs.contains(&relu_out));
+        // The feature map now has a consumer in the backward phase.
+        let has_backward_reader = g
+            .consumers(relu_out)
+            .iter()
+            .any(|&o| g.phase(o) == Phase::Backward);
+        assert!(has_backward_reader);
+    }
+
+    #[test]
+    fn conv_filter_grad_reads_forward_input() {
+        let (mut g, loss) = tiny_cnn();
+        build_backward(&mut g, loss);
+        let x = g.values().iter().find(|v| v.name == "x").unwrap().id;
+        let filt_grad = g
+            .ops()
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Conv2dBackpropFilter(_)))
+            .unwrap();
+        assert!(filt_grad.inputs.contains(&x));
+    }
+
+    #[test]
+    fn fan_out_values_get_addn_accumulation() {
+        let mut g = Graph::new("fanout");
+        let x = g.input("x", Shape::nchw(2, 4, 8, 8), DType::F32);
+        let labels = g.input("labels", Shape::vector(2), DType::I32);
+        // stem output feeds two branches that are summed: residual pattern.
+        let stem = g.relu("stem", x);
+        let a = g.conv2d("branch_a", stem, 4, 3, 1, 1);
+        let sum = g.add("residual", a, stem);
+        let gap = g.global_avg_pool("gap", sum);
+        let fc = g.dense("fc", gap, 10);
+        let loss = g.softmax_cross_entropy("loss", fc, labels);
+        build_backward(&mut g, loss);
+        g.validate().unwrap();
+        let addn = g.ops().iter().filter(|o| o.kind == OpKind::AddN).count();
+        assert!(addn >= 1, "stem has two grad contributions, needs AddN");
+    }
+
+    #[test]
+    fn backward_ops_marked_backward_phase() {
+        let (mut g, loss) = tiny_cnn();
+        let fwd = g.op_count();
+        build_backward(&mut g, loss);
+        for op in g.ops() {
+            let expected = if (op.id.0 as usize) < fwd {
+                Phase::Forward
+            } else {
+                Phase::Backward
+            };
+            assert_eq!(g.phase(op.id), expected, "op {}", op.name);
+        }
+    }
+
+    #[test]
+    fn grad_shapes_match_forward_shapes() {
+        let (mut g, loss) = tiny_cnn();
+        let info = build_backward(&mut g, loss);
+        for v in g.values() {
+            if let Some(dv) = info.grad_of(v.id) {
+                assert_eq!(
+                    g.value(dv).shape,
+                    v.shape,
+                    "grad shape mismatch for {}",
+                    v.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "softmax_cross_entropy")]
+    fn loss_must_be_cross_entropy() {
+        let mut g = Graph::new("bad");
+        let x = g.input("x", Shape::vector(4), DType::F32);
+        let r = g.relu("r", x);
+        build_backward(&mut g, r);
+    }
+}

@@ -1,0 +1,763 @@
+//! The dataflow graph and its builder API.
+//!
+//! Graphs are built append-only: an op may only consume values that already
+//! exist, so creation order is always a valid topological schedule — this
+//! is the order the graph-mode executor issues ops in, and (by
+//! construction) the order an eager program would run them in.
+
+use capuchin_tensor::{DType, Shape};
+use serde::{Deserialize, Serialize};
+
+use crate::op::{Conv2dAttrs, Op, OpId, OpKind, PoolAttrs, Value, ValueId, ValueKind};
+
+/// Which training phase an op belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Built by the user-facing builder API.
+    Forward,
+    /// Emitted by [`build_backward`](crate::build_backward).
+    Backward,
+}
+
+/// A training computation: ops, values, and consumer links.
+///
+/// # Examples
+///
+/// ```
+/// use capuchin_graph::Graph;
+/// use capuchin_tensor::{DType, Shape};
+///
+/// let mut g = Graph::new("tiny");
+/// let x = g.input("x", Shape::nchw(8, 3, 32, 32), DType::F32);
+/// let c = g.conv2d("conv1", x, 16, 3, 1, 1);
+/// let r = g.relu("relu1", c);
+/// assert_eq!(g.value(r).shape.dims(), &[8, 16, 32, 32]);
+/// g.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    ops: Vec<Op>,
+    values: Vec<Value>,
+    phases: Vec<Phase>,
+    consumers: Vec<Vec<OpId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new(name: impl Into<String>) -> Graph {
+        Graph {
+            name: name.into(),
+            ops: Vec::new(),
+            values: Vec::new(),
+            phases: Vec::new(),
+            consumers: Vec::new(),
+        }
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All ops, in creation (= topological) order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Looks up an op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn op(&self, id: OpId) -> &Op {
+        &self.ops[id.0 as usize]
+    }
+
+    /// Looks up a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn value(&self, id: ValueId) -> &Value {
+        &self.values[id.0 as usize]
+    }
+
+    /// Which phase an op belongs to.
+    pub fn phase(&self, id: OpId) -> Phase {
+        self.phases[id.0 as usize]
+    }
+
+    /// Ops that consume a value, in schedule order.
+    pub fn consumers(&self, id: ValueId) -> &[OpId] {
+        &self.consumers[id.0 as usize]
+    }
+
+    /// Number of ops.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of values.
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total parameter element count (weights only).
+    pub fn param_count(&self) -> u64 {
+        self.values
+            .iter()
+            .filter(|v| v.kind == ValueKind::Weight)
+            .map(|v| v.shape.elem_count() as u64)
+            .sum()
+    }
+
+    /// Total bytes of forward activations (the paper's "feature maps").
+    pub fn activation_bytes(&self) -> u64 {
+        self.values
+            .iter()
+            .filter(|v| v.kind == ValueKind::Activation)
+            .map(Value::size_bytes)
+            .sum()
+    }
+
+    /// The schedule: creation order, which is topological by construction.
+    pub fn schedule(&self) -> impl Iterator<Item = OpId> + '_ {
+        (0..self.ops.len() as u32).map(OpId)
+    }
+
+    // ------------------------------------------------------------------
+    // Raw construction
+    // ------------------------------------------------------------------
+
+    fn new_value(
+        &mut self,
+        name: String,
+        shape: Shape,
+        dtype: DType,
+        kind: ValueKind,
+        producer: OpId,
+    ) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(Value {
+            id,
+            name,
+            shape,
+            dtype,
+            kind,
+            producer,
+        });
+        self.consumers.push(Vec::new());
+        id
+    }
+
+    /// Adds an op with explicit output specs; returns the produced values.
+    ///
+    /// This is the primitive the typed builder methods (and the autodiff
+    /// pass) are written in terms of.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input id is out of range.
+    pub fn add_op(
+        &mut self,
+        name: impl Into<String>,
+        kind: OpKind,
+        phase: Phase,
+        inputs: &[ValueId],
+        outputs: &[(&str, Shape, DType, ValueKind)],
+    ) -> Vec<ValueId> {
+        let name = name.into();
+        let id = OpId(self.ops.len() as u32);
+        for &input in inputs {
+            assert!(
+                (input.0 as usize) < self.values.len(),
+                "op {name} consumes non-existent value {input}"
+            );
+            self.consumers[input.0 as usize].push(id);
+        }
+        let out_ids: Vec<ValueId> = outputs
+            .iter()
+            .map(|(suffix, shape, dtype, vkind)| {
+                let vname = if suffix.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{name}/{suffix}")
+                };
+                self.new_value(vname, shape.clone(), *dtype, *vkind, id)
+            })
+            .collect();
+        self.ops.push(Op {
+            id,
+            name,
+            kind,
+            inputs: inputs.to_vec(),
+            outputs: out_ids.clone(),
+        });
+        self.phases.push(phase);
+        out_ids
+    }
+
+    fn unary(
+        &mut self,
+        name: impl Into<String>,
+        kind: OpKind,
+        x: ValueId,
+        out_shape: Shape,
+    ) -> ValueId {
+        let dtype = self.value(x).dtype;
+        self.add_op(
+            name,
+            kind,
+            Phase::Forward,
+            &[x],
+            &[("out", out_shape, dtype, ValueKind::Activation)],
+        )[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Declares a mini-batch input.
+    pub fn input(&mut self, name: impl Into<String>, shape: Shape, dtype: DType) -> ValueId {
+        let name = name.into();
+        self.add_op(
+            name,
+            OpKind::Input,
+            Phase::Forward,
+            &[],
+            &[("", shape, dtype, ValueKind::Input)],
+        )[0]
+    }
+
+    /// Declares a trainable parameter.
+    pub fn weight(&mut self, name: impl Into<String>, shape: Shape) -> ValueId {
+        let name = name.into();
+        self.add_op(
+            name,
+            OpKind::Weight,
+            Phase::Forward,
+            &[],
+            &[("", shape, DType::F32, ValueKind::Weight)],
+        )[0]
+    }
+
+    // ------------------------------------------------------------------
+    // CNN layers
+    // ------------------------------------------------------------------
+
+    /// 2-D convolution with an internally-created `[out_c, in_c, k, k]`
+    /// filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not NCHW.
+    pub fn conv2d(
+        &mut self,
+        name: &str,
+        x: ValueId,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> ValueId {
+        let xs = self.value(x).shape.clone();
+        assert_eq!(xs.rank(), 4, "conv2d input must be NCHW, got {xs}");
+        let (n, c, h, w) = (xs.dim(0), xs.dim(1), xs.dim(2), xs.dim(3));
+        let attrs = Conv2dAttrs {
+            kernel,
+            stride,
+            pad,
+        };
+        let dtype = self.value(x).dtype;
+        let weight = self.weight(format!("{name}/filter"), Shape::new(vec![out_c, c, kernel, kernel]));
+        let out = Shape::nchw(n, out_c, attrs.out_extent(h), attrs.out_extent(w));
+        self.add_op(
+            name,
+            OpKind::Conv2d(attrs),
+            Phase::Forward,
+            &[x, weight],
+            &[("out", out, dtype, ValueKind::Activation)],
+        )[0]
+    }
+
+    /// Batch normalization with internal scale/shift parameters.
+    pub fn batch_norm(&mut self, name: &str, x: ValueId) -> ValueId {
+        let xs = self.value(x).shape.clone();
+        let c = xs.dim(1);
+        let dtype = self.value(x).dtype;
+        let scale = self.weight(format!("{name}/scale"), Shape::vector(c));
+        let shift = self.weight(format!("{name}/shift"), Shape::vector(c));
+        self.add_op(
+            name,
+            OpKind::BatchNorm,
+            Phase::Forward,
+            &[x, scale, shift],
+            &[("out", xs, dtype, ValueKind::Activation)],
+        )[0]
+    }
+
+    /// Max pooling.
+    pub fn max_pool(&mut self, name: &str, x: ValueId, kernel: usize, stride: usize, pad: usize) -> ValueId {
+        let xs = self.value(x).shape.clone();
+        let attrs = PoolAttrs { kernel, stride, pad };
+        let out = Shape::nchw(
+            xs.dim(0),
+            xs.dim(1),
+            attrs.out_extent(xs.dim(2)),
+            attrs.out_extent(xs.dim(3)),
+        );
+        self.unary(name, OpKind::MaxPool(attrs), x, out)
+    }
+
+    /// Average pooling.
+    pub fn avg_pool(&mut self, name: &str, x: ValueId, kernel: usize, stride: usize, pad: usize) -> ValueId {
+        let xs = self.value(x).shape.clone();
+        let attrs = PoolAttrs { kernel, stride, pad };
+        let out = Shape::nchw(
+            xs.dim(0),
+            xs.dim(1),
+            attrs.out_extent(xs.dim(2)),
+            attrs.out_extent(xs.dim(3)),
+        );
+        self.unary(name, OpKind::AvgPool(attrs), x, out)
+    }
+
+    /// Global average pooling (NCHW → NC).
+    pub fn global_avg_pool(&mut self, name: &str, x: ValueId) -> ValueId {
+        let xs = self.value(x).shape.clone();
+        let out = Shape::matrix(xs.dim(0), xs.dim(1));
+        self.unary(name, OpKind::GlobalAvgPool, x, out)
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise / activation
+    // ------------------------------------------------------------------
+
+    /// ReLU activation.
+    pub fn relu(&mut self, name: &str, x: ValueId) -> ValueId {
+        let s = self.value(x).shape.clone();
+        self.unary(name, OpKind::Relu, x, s)
+    }
+
+    /// GELU activation.
+    pub fn gelu(&mut self, name: &str, x: ValueId) -> ValueId {
+        let s = self.value(x).shape.clone();
+        self.unary(name, OpKind::Gelu, x, s)
+    }
+
+    /// Row-wise softmax over the last dimension.
+    pub fn softmax(&mut self, name: &str, x: ValueId) -> ValueId {
+        let s = self.value(x).shape.clone();
+        self.unary(name, OpKind::Softmax, x, s)
+    }
+
+    /// Dropout (modeled deterministically). Like TensorFlow, the random
+    /// keep-mask is materialized as a second output that lives until the
+    /// backward pass reads it.
+    pub fn dropout(&mut self, name: &str, x: ValueId, rate_pct: u8) -> ValueId {
+        let s = self.value(x).shape.clone();
+        let dtype = self.value(x).dtype;
+        self.add_op(
+            name,
+            OpKind::Dropout { rate_pct },
+            Phase::Forward,
+            &[x],
+            &[
+                ("out", s.clone(), dtype, ValueKind::Activation),
+                ("mask", s, dtype, ValueKind::Activation),
+            ],
+        )[0]
+    }
+
+    /// Elementwise residual add.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add(&mut self, name: &str, a: ValueId, b: ValueId) -> ValueId {
+        let sa = self.value(a).shape.clone();
+        let sb = &self.value(b).shape;
+        assert_eq!(&sa, sb, "add operands must have equal shapes");
+        let dtype = self.value(a).dtype;
+        self.add_op(
+            name,
+            OpKind::Add,
+            Phase::Forward,
+            &[a, b],
+            &[("out", sa, dtype, ValueKind::Activation)],
+        )[0]
+    }
+
+    /// Multiplies by a fixed scalar.
+    pub fn scalar_mul(&mut self, name: &str, x: ValueId, scalar: f64) -> ValueId {
+        let s = self.value(x).shape.clone();
+        self.unary(
+            name,
+            OpKind::ScalarMul {
+                scalar_micros: (scalar * 1e6) as i64,
+            },
+            x,
+            s,
+        )
+    }
+
+    /// Concatenates along `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two inputs are given or shapes disagree off-axis.
+    pub fn concat(&mut self, name: &str, inputs: &[ValueId], axis: usize) -> ValueId {
+        assert!(inputs.len() >= 2, "concat needs at least two inputs");
+        let first = self.value(inputs[0]).shape.clone();
+        let mut axis_total = 0;
+        for &v in inputs {
+            let s = &self.value(v).shape;
+            assert_eq!(s.rank(), first.rank(), "concat rank mismatch");
+            for d in 0..first.rank() {
+                if d != axis {
+                    assert_eq!(s.dim(d), first.dim(d), "concat off-axis dim mismatch");
+                }
+            }
+            axis_total += s.dim(axis);
+        }
+        let out = first.with_dim(axis, axis_total);
+        let dtype = self.value(inputs[0]).dtype;
+        self.add_op(
+            name,
+            OpKind::Concat { axis },
+            Phase::Forward,
+            inputs,
+            &[("out", out, dtype, ValueKind::Activation)],
+        )[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Dense / transformer layers
+    // ------------------------------------------------------------------
+
+    /// (Batched) matrix multiply of existing values.
+    ///
+    /// Ranks 2 (`[m,k]`) and 3 (`[b,m,k]`, batched) are supported; the `ta`
+    /// and `tb` flags transpose the trailing two dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or inner-dimension mismatch.
+    pub fn matmul(&mut self, name: &str, a: ValueId, b: ValueId, ta: bool, tb: bool) -> ValueId {
+        let out = self.matmul_shape(a, b, ta, tb);
+        let dtype = self.value(a).dtype;
+        self.add_op(
+            name,
+            OpKind::MatMul { ta, tb },
+            Phase::Forward,
+            &[a, b],
+            &[("out", out, dtype, ValueKind::Activation)],
+        )[0]
+    }
+
+    pub(crate) fn matmul_shape(&self, a: ValueId, b: ValueId, ta: bool, tb: bool) -> Shape {
+        let sa = &self.value(a).shape;
+        let sb = &self.value(b).shape;
+        let ra = sa.rank();
+        let rb = sb.rank();
+        assert!(ra == 2 || ra == 3, "matmul lhs must be rank 2 or 3, got {sa}");
+        let (m, ka) = trailing(sa, ta);
+        let (kb, n) = {
+            let (rows, cols) = trailing(sb, false);
+            if tb {
+                (cols, rows)
+            } else {
+                (rows, cols)
+            }
+        };
+        assert_eq!(ka, kb, "matmul inner dims mismatch: {sa} x {sb} (ta={ta}, tb={tb})");
+        if ra == 3 {
+            if rb == 3 {
+                assert_eq!(sa.dim(0), sb.dim(0), "batched matmul batch mismatch");
+            }
+            Shape::new(vec![sa.dim(0), m, n])
+        } else {
+            assert_eq!(rb, 2, "rank-2 lhs requires rank-2 rhs");
+            Shape::matrix(m, n)
+        }
+    }
+
+    /// Fully-connected layer: internal `[in, units]` weight, matmul, bias.
+    pub fn dense(&mut self, name: &str, x: ValueId, units: usize) -> ValueId {
+        let xs = self.value(x).shape.clone();
+        let in_dim = *xs.dims().last().expect("dense input must have rank >= 1");
+        let w = self.weight(format!("{name}/kernel"), Shape::matrix(in_dim, units));
+        let mm = self.matmul(&format!("{name}/matmul"), x, w, false, false);
+        let bias = self.weight(format!("{name}/bias"), Shape::vector(units));
+        let out_shape = self.value(mm).shape.clone();
+        let dtype = self.value(mm).dtype;
+        self.add_op(
+            format!("{name}/bias_add"),
+            OpKind::BiasAdd,
+            Phase::Forward,
+            &[mm, bias],
+            &[("out", out_shape, dtype, ValueKind::Activation)],
+        )[0]
+    }
+
+    /// Layer normalization with internal gain/bias parameters.
+    pub fn layer_norm(&mut self, name: &str, x: ValueId) -> ValueId {
+        let xs = self.value(x).shape.clone();
+        let d = *xs.dims().last().expect("layer_norm input must have rank >= 1");
+        let dtype = self.value(x).dtype;
+        let gamma = self.weight(format!("{name}/gamma"), Shape::vector(d));
+        let beta = self.weight(format!("{name}/beta"), Shape::vector(d));
+        self.add_op(
+            name,
+            OpKind::LayerNorm,
+            Phase::Forward,
+            &[x, gamma, beta],
+            &[("out", xs, dtype, ValueKind::Activation)],
+        )[0]
+    }
+
+    /// Embedding lookup with an internal `[vocab, dim]` table.
+    pub fn embedding(&mut self, name: &str, ids: ValueId, vocab: usize, dim: usize) -> ValueId {
+        let is = self.value(ids).shape.clone();
+        let table = self.weight(format!("{name}/table"), Shape::matrix(vocab, dim));
+        let mut out_dims = is.dims().to_vec();
+        out_dims.push(dim);
+        self.add_op(
+            name,
+            OpKind::Embedding,
+            Phase::Forward,
+            &[ids, table],
+            &[("out", Shape::new(out_dims), DType::F32, ValueKind::Activation)],
+        )[0]
+    }
+
+    /// Materialized reshape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn reshape(&mut self, name: &str, x: ValueId, shape: Shape) -> ValueId {
+        assert_eq!(
+            self.value(x).shape.elem_count(),
+            shape.elem_count(),
+            "reshape must preserve element count"
+        );
+        self.unary(name, OpKind::Reshape, x, shape)
+    }
+
+    /// Materialized transpose to an explicit output shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn transpose_to(&mut self, name: &str, x: ValueId, shape: Shape) -> ValueId {
+        assert_eq!(
+            self.value(x).shape.elem_count(),
+            shape.elem_count(),
+            "transpose must preserve element count"
+        );
+        self.unary(name, OpKind::Transpose, x, shape)
+    }
+
+    /// Fused softmax cross-entropy; returns the scalar loss (the saved
+    /// probabilities output is wired up by autodiff).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank 2.
+    pub fn softmax_cross_entropy(&mut self, name: &str, logits: ValueId, labels: ValueId) -> ValueId {
+        let ls = self.value(logits).shape.clone();
+        assert_eq!(ls.rank(), 2, "logits must be [batch, classes]");
+        let outs = self.add_op(
+            name,
+            OpKind::SoftmaxCrossEntropy,
+            Phase::Forward,
+            &[logits, labels],
+            &[
+                ("loss", Shape::scalar(), DType::F32, ValueKind::Loss),
+                ("probs", ls, DType::F32, ValueKind::Activation),
+            ],
+        );
+        outs[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /// Checks structural invariants: ids are dense and self-consistent,
+    /// every input precedes its consumer (topological creation order),
+    /// consumer links match, and value producers are correct.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.id.0 as usize != i {
+                return Err(format!("op {} has id {}", i, op.id));
+            }
+            for &input in &op.inputs {
+                let v = &self.values[input.0 as usize];
+                if v.producer.0 >= op.id.0 {
+                    return Err(format!(
+                        "op {} consumes {} produced by later op {}",
+                        op.name, v.name, v.producer
+                    ));
+                }
+                if !self.consumers[input.0 as usize].contains(&op.id) {
+                    return Err(format!("missing consumer link {} -> {}", v.name, op.name));
+                }
+            }
+            for &output in &op.outputs {
+                let v = &self.values[output.0 as usize];
+                if v.producer != op.id {
+                    return Err(format!("value {} has wrong producer", v.name));
+                }
+            }
+        }
+        for (i, v) in self.values.iter().enumerate() {
+            if v.id.0 as usize != i {
+                return Err(format!("value {} has id {}", i, v.id));
+            }
+            let p = &self.ops[v.producer.0 as usize];
+            if !p.outputs.contains(&v.id) {
+                return Err(format!("producer {} does not list {}", p.name, v.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn trailing(s: &Shape, transpose: bool) -> (usize, usize) {
+    let r = s.rank();
+    let (rows, cols) = (s.dim(r - 2), s.dim(r - 1));
+    if transpose {
+        (cols, rows)
+    } else {
+        (rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes_and_weights() {
+        let mut g = Graph::new("t");
+        let x = g.input("x", Shape::nchw(4, 3, 224, 224), DType::F32);
+        let y = g.conv2d("conv1", x, 64, 7, 2, 3);
+        assert_eq!(g.value(y).shape.dims(), &[4, 64, 112, 112]);
+        assert_eq!(g.param_count(), 64 * 3 * 7 * 7);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dense_creates_weight_and_bias() {
+        let mut g = Graph::new("t");
+        let x = g.input("x", Shape::matrix(8, 128), DType::F32);
+        let y = g.dense("fc", x, 10);
+        assert_eq!(g.value(y).shape.dims(), &[8, 10]);
+        assert_eq!(g.param_count(), 128 * 10 + 10);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn matmul_transpose_shapes() {
+        let mut g = Graph::new("t");
+        let a = g.input("a", Shape::matrix(3, 5), DType::F32);
+        let b = g.input("b", Shape::matrix(7, 5), DType::F32);
+        let y = g.matmul("mm", a, b, false, true);
+        assert_eq!(g.value(y).shape.dims(), &[3, 7]);
+    }
+
+    #[test]
+    fn batched_matmul_shapes() {
+        let mut g = Graph::new("t");
+        let a = g.input("a", Shape::new(vec![12, 128, 64]), DType::F32);
+        let b = g.input("b", Shape::new(vec![12, 128, 64]), DType::F32);
+        let y = g.matmul("scores", a, b, false, true);
+        assert_eq!(g.value(y).shape.dims(), &[12, 128, 128]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims mismatch")]
+    fn matmul_mismatch_panics() {
+        let mut g = Graph::new("t");
+        let a = g.input("a", Shape::matrix(3, 5), DType::F32);
+        let b = g.input("b", Shape::matrix(7, 5), DType::F32);
+        let _ = g.matmul("mm", a, b, false, false);
+    }
+
+    #[test]
+    fn concat_sums_axis() {
+        let mut g = Graph::new("t");
+        let a = g.input("a", Shape::nchw(2, 16, 8, 8), DType::F32);
+        let b = g.input("b", Shape::nchw(2, 24, 8, 8), DType::F32);
+        let y = g.concat("cat", &[a, b], 1);
+        assert_eq!(g.value(y).shape.dims(), &[2, 40, 8, 8]);
+    }
+
+    #[test]
+    fn pooling_shapes() {
+        let mut g = Graph::new("t");
+        let x = g.input("x", Shape::nchw(1, 64, 112, 112), DType::F32);
+        let p = g.max_pool("pool", x, 3, 2, 1);
+        assert_eq!(g.value(p).shape.dims(), &[1, 64, 56, 56]);
+        let gap = g.global_avg_pool("gap", p);
+        assert_eq!(g.value(gap).shape.dims(), &[1, 64]);
+    }
+
+    #[test]
+    fn embedding_shapes() {
+        let mut g = Graph::new("t");
+        let ids = g.input("ids", Shape::matrix(4, 128), DType::I32);
+        let e = g.embedding("emb", ids, 30522, 768);
+        assert_eq!(g.value(e).shape.dims(), &[4, 128, 768]);
+    }
+
+    #[test]
+    fn loss_is_scalar_with_saved_probs() {
+        let mut g = Graph::new("t");
+        let x = g.input("x", Shape::matrix(8, 10), DType::F32);
+        let labels = g.input("labels", Shape::vector(8), DType::I32);
+        let loss = g.softmax_cross_entropy("loss", x, labels);
+        assert_eq!(g.value(loss).kind, ValueKind::Loss);
+        assert_eq!(g.value(loss).shape.rank(), 0);
+        // The probs output exists as an activation.
+        let probs = g
+            .values()
+            .iter()
+            .find(|v| v.name == "loss/probs")
+            .expect("probs saved");
+        assert_eq!(probs.shape.dims(), &[8, 10]);
+    }
+
+    #[test]
+    fn consumers_tracked() {
+        let mut g = Graph::new("t");
+        let x = g.input("x", Shape::vector(4), DType::F32);
+        let a = g.relu("r1", x);
+        let _b = g.relu("r2", x);
+        assert_eq!(g.consumers(x).len(), 2);
+        assert_eq!(g.consumers(a).len(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn schedule_is_creation_order() {
+        let mut g = Graph::new("t");
+        let x = g.input("x", Shape::vector(4), DType::F32);
+        let _ = g.relu("r", x);
+        let order: Vec<u32> = g.schedule().map(|o| o.0).collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+}

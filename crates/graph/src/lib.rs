@@ -1,0 +1,36 @@
+//! # capuchin-graph — dataflow IR, autodiff, and cost model
+//!
+//! The framework-side substrate Capuchin runs against: a TensorFlow-like
+//! dataflow graph of tensor-producing operations, reverse-mode autodiff
+//! that generates the backward pass (creating the long forward→backward
+//! reuse gaps the paper exploits), and an analytic kernel cost model with a
+//! cuDNN-style convolution algorithm menu.
+//!
+//! ```
+//! use capuchin_graph::{build_backward, Graph};
+//! use capuchin_tensor::{DType, Shape};
+//!
+//! let mut g = Graph::new("mlp");
+//! let x = g.input("x", Shape::matrix(32, 784), DType::F32);
+//! let labels = g.input("labels", Shape::vector(32), DType::I32);
+//! let h = g.dense("fc1", x, 256);
+//! let h = g.relu("relu1", h);
+//! let logits = g.dense("fc2", h, 10);
+//! let loss = g.softmax_cross_entropy("loss", logits, labels);
+//! let grads = build_backward(&mut g, loss);
+//! assert!(grads.len() > 0);
+//! g.validate().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod autodiff;
+mod cost;
+mod graph;
+mod op;
+
+pub use autodiff::{build_backward, GradInfo};
+pub use cost::{conv_algorithms, kernel_cost, pick_conv_algo, ConvAlgo};
+pub use graph::{Graph, Phase};
+pub use op::{Conv2dAttrs, Op, OpId, OpKind, PoolAttrs, Value, ValueId, ValueKind};

@@ -1,0 +1,403 @@
+//! Operations and values of the dataflow IR.
+//!
+//! A [`Graph`](crate::Graph) is a DAG of [`Op`]s connected by [`Value`]s.
+//! The vocabulary covers what the paper's seven workloads need: the CNN
+//! layer zoo (convolution, pooling, batch-norm, activations) and the
+//! Transformer pieces for BERT (embeddings, layer-norm, batched matmul,
+//! GELU, softmax), plus the backward variants the autodiff pass emits.
+
+use capuchin_tensor::{sig, DType, Shape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an operation within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Index of a value (tensor slot) within its graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ValueId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Role of a value in the training computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// Mini-batch input (images, token ids, labels). Swappable, not
+    /// recomputable.
+    Input,
+    /// Model parameter. Persistent in device memory, never evicted (§2.1).
+    Weight,
+    /// Intermediate feature map produced in the forward pass — the main
+    /// memory optimization target.
+    Activation,
+    /// Backward-pass gradient; temporary, released after its last use.
+    Gradient,
+    /// The scalar training loss.
+    Loss,
+}
+
+/// One tensor slot in the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Value {
+    /// Graph-local id.
+    pub id: ValueId,
+    /// Unique name, e.g. `"conv2_1/out"`.
+    pub name: String,
+    /// Dense shape.
+    pub shape: Shape,
+    /// Element type.
+    pub dtype: DType,
+    /// Role.
+    pub kind: ValueKind,
+    /// Producing operation (`None` would be invalid: even leaves are
+    /// produced by `Input`/`Weight` ops).
+    pub producer: OpId,
+}
+
+impl Value {
+    /// Size of the value's contents in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.shape.size_bytes(self.dtype)
+    }
+}
+
+/// 2-D convolution geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dAttrs {
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+impl Conv2dAttrs {
+    /// Output spatial extent for an input extent `n`.
+    pub fn out_extent(&self, n: usize) -> usize {
+        (n + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    fn words(&self) -> [u64; 3] {
+        [self.kernel as u64, self.stride as u64, self.pad as u64]
+    }
+}
+
+/// Pooling geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolAttrs {
+    /// Square window side.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding.
+    pub pad: usize,
+}
+
+impl PoolAttrs {
+    /// Output spatial extent for an input extent `n`.
+    pub fn out_extent(&self, n: usize) -> usize {
+        (n + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    fn words(&self) -> [u64; 3] {
+        [self.kernel as u64, self.stride as u64, self.pad as u64]
+    }
+}
+
+/// The operation vocabulary.
+///
+/// Forward ops come first; the `*Grad`/`Backprop*` variants are emitted by
+/// [`build_backward`](crate::build_backward). Sources (`Input`, `Weight`)
+/// produce leaf values and execute as (near) zero-cost kernels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Produces a mini-batch input value.
+    Input,
+    /// Produces (materializes) a model parameter.
+    Weight,
+    /// 2-D convolution: `(x, w) -> y`.
+    Conv2d(Conv2dAttrs),
+    /// Convolution data gradient: `(w, dy) -> dx`.
+    Conv2dBackpropInput(Conv2dAttrs),
+    /// Convolution filter gradient: `(x, dy) -> dw`.
+    Conv2dBackpropFilter(Conv2dAttrs),
+    /// (Batched) matrix multiply `(a, b) -> y`, with optional transposes on
+    /// the two trailing dimensions.
+    MatMul {
+        /// Transpose the trailing dims of `a`.
+        ta: bool,
+        /// Transpose the trailing dims of `b`.
+        tb: bool,
+    },
+    /// `(x, b) -> y`, broadcast add over the last dimension.
+    BiasAdd,
+    /// `dy -> db`, reduction over all but the last dimension.
+    BiasAddGrad,
+    /// Batch normalization `(x, scale, shift) -> y`.
+    BatchNorm,
+    /// `(x, scale, dy) -> (dx, dscale, dshift)`.
+    BatchNormGrad,
+    /// Layer normalization `(x, gamma, beta) -> y`.
+    LayerNorm,
+    /// `(x, gamma, dy) -> (dx, dgamma, dbeta)`.
+    LayerNormGrad,
+    /// Rectified linear unit `x -> y`.
+    Relu,
+    /// `(y, dy) -> dx` (uses the *output*, enabling cheap recompute chains).
+    ReluGrad,
+    /// Gaussian error linear unit `x -> y`.
+    Gelu,
+    /// `(x, dy) -> dx` (uses the *input*).
+    GeluGrad,
+    /// Row-wise softmax `x -> y`.
+    Softmax,
+    /// `(y, dy) -> dx`.
+    SoftmaxGrad,
+    /// Max pooling `x -> y`.
+    MaxPool(PoolAttrs),
+    /// `(x, y, dy) -> dx`.
+    MaxPoolGrad(PoolAttrs),
+    /// Average pooling `x -> y`.
+    AvgPool(PoolAttrs),
+    /// `dy -> dx`.
+    AvgPoolGrad(PoolAttrs),
+    /// Spatial global average `x -> y` (NCHW -> NC).
+    GlobalAvgPool,
+    /// `dy -> dx`.
+    GlobalAvgPoolGrad,
+    /// Elementwise sum of exactly two tensors (residual connections).
+    Add,
+    /// Elementwise sum of N tensors (gradient accumulation).
+    AddN,
+    /// Multiply by a compile-time scalar (attention scaling etc.).
+    ScalarMul {
+        /// Fixed-point scalar in millionths, kept integral so the op (and
+        /// its signature) hashes deterministically.
+        scalar_micros: i64,
+    },
+    /// Dropout `x -> y` (deterministic placeholder; the mask is folded into
+    /// the signature, not materialized).
+    Dropout {
+        /// Drop probability in percent.
+        rate_pct: u8,
+    },
+    /// `dy -> dx`.
+    DropoutGrad {
+        /// Drop probability in percent.
+        rate_pct: u8,
+    },
+    /// Concatenation along `axis`.
+    Concat {
+        /// Concatenation axis.
+        axis: usize,
+    },
+    /// Slice along `axis` (used for concat gradients).
+    Slice {
+        /// Sliced axis.
+        axis: usize,
+        /// Start offset on `axis`.
+        offset: usize,
+        /// Length on `axis`.
+        len: usize,
+    },
+    /// Shape change (materialized as a cheap copy).
+    Reshape,
+    /// Dimension permutation (materialized as a cheap copy).
+    Transpose,
+    /// Embedding lookup `(ids, table) -> y`.
+    Embedding,
+    /// `(ids, dy) -> dtable` (sparse scatter-add).
+    EmbeddingGrad,
+    /// Fused softmax + cross-entropy: `(logits, labels) -> (loss, probs)`.
+    SoftmaxCrossEntropy,
+    /// `(probs, labels) -> dlogits` (implicit seed gradient of 1).
+    SoftmaxCrossEntropyGrad,
+    /// SGD update `(w, dw) -> ()`, writes the weight in place.
+    ApplyGradient,
+}
+
+impl OpKind {
+    /// Short stable tag used in signatures and traces.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            OpKind::Input => "input",
+            OpKind::Weight => "weight",
+            OpKind::Conv2d(_) => "conv2d",
+            OpKind::Conv2dBackpropInput(_) => "conv2d_bwd_input",
+            OpKind::Conv2dBackpropFilter(_) => "conv2d_bwd_filter",
+            OpKind::MatMul { .. } => "matmul",
+            OpKind::BiasAdd => "bias_add",
+            OpKind::BiasAddGrad => "bias_add_grad",
+            OpKind::BatchNorm => "batch_norm",
+            OpKind::BatchNormGrad => "batch_norm_grad",
+            OpKind::LayerNorm => "layer_norm",
+            OpKind::LayerNormGrad => "layer_norm_grad",
+            OpKind::Relu => "relu",
+            OpKind::ReluGrad => "relu_grad",
+            OpKind::Gelu => "gelu",
+            OpKind::GeluGrad => "gelu_grad",
+            OpKind::Softmax => "softmax",
+            OpKind::SoftmaxGrad => "softmax_grad",
+            OpKind::MaxPool(_) => "max_pool",
+            OpKind::MaxPoolGrad(_) => "max_pool_grad",
+            OpKind::AvgPool(_) => "avg_pool",
+            OpKind::AvgPoolGrad(_) => "avg_pool_grad",
+            OpKind::GlobalAvgPool => "global_avg_pool",
+            OpKind::GlobalAvgPoolGrad => "global_avg_pool_grad",
+            OpKind::Add => "add",
+            OpKind::AddN => "add_n",
+            OpKind::ScalarMul { .. } => "scalar_mul",
+            OpKind::Dropout { .. } => "dropout",
+            OpKind::DropoutGrad { .. } => "dropout_grad",
+            OpKind::Concat { .. } => "concat",
+            OpKind::Slice { .. } => "slice",
+            OpKind::Reshape => "reshape",
+            OpKind::Transpose => "transpose",
+            OpKind::Embedding => "embedding",
+            OpKind::EmbeddingGrad => "embedding_grad",
+            OpKind::SoftmaxCrossEntropy => "softmax_xent",
+            OpKind::SoftmaxCrossEntropyGrad => "softmax_xent_grad",
+            OpKind::ApplyGradient => "apply_gradient",
+        }
+    }
+
+    /// Hash of the attributes, for content signatures.
+    pub fn attr_hash(&self) -> u64 {
+        match self {
+            OpKind::Conv2d(a) | OpKind::Conv2dBackpropInput(a) | OpKind::Conv2dBackpropFilter(a) => {
+                sig::attrs(&a.words())
+            }
+            OpKind::MatMul { ta, tb } => sig::attrs(&[u64::from(*ta), u64::from(*tb)]),
+            OpKind::MaxPool(a) | OpKind::MaxPoolGrad(a) | OpKind::AvgPool(a)
+            | OpKind::AvgPoolGrad(a) => sig::attrs(&a.words()),
+            OpKind::ScalarMul { scalar_micros } => sig::attrs(&[*scalar_micros as u64]),
+            OpKind::Dropout { rate_pct } | OpKind::DropoutGrad { rate_pct } => {
+                sig::attrs(&[u64::from(*rate_pct)])
+            }
+            OpKind::Concat { axis } => sig::attrs(&[*axis as u64]),
+            OpKind::Slice { axis, offset, len } => {
+                sig::attrs(&[*axis as u64, *offset as u64, *len as u64])
+            }
+            _ => sig::attrs(&[]),
+        }
+    }
+
+    /// Whether this op materializes a leaf value (no tensor inputs).
+    pub fn is_source(&self) -> bool {
+        matches!(self, OpKind::Input | OpKind::Weight)
+    }
+
+    /// Whether this op belongs to the forward pass vocabulary (sources and
+    /// forward layers; everything autodiff emits returns `false`).
+    pub fn is_forward(&self) -> bool {
+        !matches!(
+            self,
+            OpKind::Conv2dBackpropInput(_)
+                | OpKind::Conv2dBackpropFilter(_)
+                | OpKind::BiasAddGrad
+                | OpKind::BatchNormGrad
+                | OpKind::LayerNormGrad
+                | OpKind::ReluGrad
+                | OpKind::GeluGrad
+                | OpKind::SoftmaxGrad
+                | OpKind::MaxPoolGrad(_)
+                | OpKind::AvgPoolGrad(_)
+                | OpKind::GlobalAvgPoolGrad
+                | OpKind::AddN
+                | OpKind::DropoutGrad { .. }
+                | OpKind::Slice { .. }
+                | OpKind::EmbeddingGrad
+                | OpKind::SoftmaxCrossEntropyGrad
+                | OpKind::ApplyGradient
+        )
+    }
+}
+
+/// One node of the dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// Graph-local id.
+    pub id: OpId,
+    /// Unique name, e.g. `"conv2_1"`.
+    pub name: String,
+    /// What the op computes.
+    pub kind: OpKind,
+    /// Consumed values, in positional order.
+    pub inputs: Vec<ValueId>,
+    /// Produced values, in positional order.
+    pub outputs: Vec<ValueId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_attrs_out_extent() {
+        let a = Conv2dAttrs {
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(a.out_extent(56), 56);
+        let s2 = Conv2dAttrs {
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(s2.out_extent(56), 28);
+        let k7 = Conv2dAttrs {
+            kernel: 7,
+            stride: 2,
+            pad: 3,
+        };
+        assert_eq!(k7.out_extent(224), 112);
+    }
+
+    #[test]
+    fn attr_hash_distinguishes_geometry() {
+        let a = OpKind::Conv2d(Conv2dAttrs {
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        });
+        let b = OpKind::Conv2d(Conv2dAttrs {
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        });
+        assert_ne!(a.attr_hash(), b.attr_hash());
+    }
+
+    #[test]
+    fn forward_classification() {
+        assert!(OpKind::Conv2d(Conv2dAttrs {
+            kernel: 1,
+            stride: 1,
+            pad: 0
+        })
+        .is_forward());
+        assert!(OpKind::Input.is_forward());
+        assert!(!OpKind::ReluGrad.is_forward());
+        assert!(!OpKind::ApplyGradient.is_forward());
+    }
+
+    #[test]
+    fn sources_are_sources() {
+        assert!(OpKind::Input.is_source());
+        assert!(OpKind::Weight.is_source());
+        assert!(!OpKind::Relu.is_source());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests: random layer stacks must always differentiate into
+//! valid graphs with the structural invariants the memory system relies
+//! on (schedule topological, every weight updated at most once, gradient
+//! shapes match, feature maps re-read in backward).
+
+use capuchin_graph::{build_backward, Graph, OpKind, Phase, ValueId, ValueKind};
+use capuchin_tensor::{DType, Shape};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Layer {
+    Conv { ch: usize, k: usize },
+    Relu,
+    Gelu,
+    BatchNorm,
+    MaxPool,
+    Dropout,
+    Residual,
+}
+
+fn layer_strategy() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        (1usize..32, prop_oneof![Just(1usize), Just(3)])
+            .prop_map(|(ch, k)| Layer::Conv { ch, k }),
+        Just(Layer::Relu),
+        Just(Layer::Gelu),
+        Just(Layer::BatchNorm),
+        Just(Layer::MaxPool),
+        Just(Layer::Dropout),
+        Just(Layer::Residual),
+    ]
+}
+
+fn build(layers: &[Layer]) -> (Graph, ValueId) {
+    let mut g = Graph::new("random");
+    let x = g.input("x", Shape::nchw(2, 4, 16, 16), DType::F32);
+    let labels = g.input("labels", Shape::vector(2), DType::I32);
+    let mut h = g.relu("stem", x);
+    let mut skip = h;
+    for (i, layer) in layers.iter().enumerate() {
+        let name = format!("l{i}");
+        h = match layer {
+            Layer::Conv { ch, k } => {
+                let pad = k / 2;
+                let out = g.conv2d(&name, h, *ch, *k, 1, pad);
+                skip = out;
+                out
+            }
+            Layer::Relu => g.relu(&name, h),
+            Layer::Gelu => g.gelu(&name, h),
+            Layer::BatchNorm => g.batch_norm(&name, h),
+            Layer::MaxPool => {
+                // Pool only while spatial extent allows it.
+                let s = g.value(h).shape.clone();
+                if s.dim(2) >= 2 {
+                    let out = g.max_pool(&name, h, 2, 2, 0);
+                    skip = out;
+                    out
+                } else {
+                    h
+                }
+            }
+            Layer::Dropout => g.dropout(&name, h, 25),
+            Layer::Residual => {
+                if g.value(skip).shape == g.value(h).shape && skip != h {
+                    g.add(&name, h, skip)
+                } else {
+                    h
+                }
+            }
+        };
+    }
+    let gap = g.global_avg_pool("gap", h);
+    let logits = g.dense("fc", gap, 10);
+    let loss = g.softmax_cross_entropy("loss", logits, labels);
+    (g, loss)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_stacks_differentiate_validly(layers in prop::collection::vec(layer_strategy(), 1..24)) {
+        let (mut g, loss) = build(&layers);
+        let info = build_backward(&mut g, loss);
+        prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        prop_assert!(!info.is_empty());
+
+        // Every weight is consumed by at most one ApplyGradient.
+        let mut applied = std::collections::HashMap::new();
+        for op in g.ops() {
+            if op.kind == OpKind::ApplyGradient {
+                *applied.entry(op.inputs[0]).or_insert(0u32) += 1;
+            }
+        }
+        for (&w, &n) in &applied {
+            prop_assert_eq!(n, 1, "weight {} applied {} times", g.value(w).name, n);
+        }
+        // Every weight on the loss path got an update.
+        for v in g.values() {
+            if v.kind == ValueKind::Weight && info.grad_of(v.id).is_some() {
+                prop_assert!(applied.contains_key(&v.id), "weight {} never applied", v.name);
+            }
+        }
+
+        // Gradient shapes match their primal values.
+        for v in g.values() {
+            if let Some(dv) = info.grad_of(v.id) {
+                prop_assert_eq!(&g.value(dv).shape, &v.shape, "shape mismatch for {}", v.name);
+            }
+        }
+
+        // The schedule is topological: consumers come after producers.
+        for op in g.ops() {
+            for &input in &op.inputs {
+                prop_assert!(g.value(input).producer.0 < op.id.0);
+            }
+        }
+
+        // ApplyGradient for a weight comes after every other reader of
+        // that weight (otherwise in-place updates corrupt readers) —
+        // the invariant behind forward-only recomputability.
+        for op in g.ops() {
+            if op.kind == OpKind::ApplyGradient {
+                let w = op.inputs[0];
+                for &reader in g.consumers(w) {
+                    prop_assert!(reader.0 <= op.id.0,
+                        "op {} reads weight after its update", g.op(reader).name);
+                }
+            }
+        }
+    }
+
+    /// At least one forward feature map is re-read by the backward pass in
+    /// any stack containing a parameterized layer — the source of the
+    /// memory problem the paper solves.
+    #[test]
+    fn backward_rereads_forward_maps(layers in prop::collection::vec(layer_strategy(), 2..24)) {
+        let (mut g, loss) = build(&layers);
+        build_backward(&mut g, loss);
+        let reread = g.values().iter().any(|v| {
+            v.kind == ValueKind::Activation
+                && g.phase(v.producer) == Phase::Forward
+                && g.consumers(v.id).iter().any(|&o| g.phase(o) == Phase::Backward)
+        });
+        prop_assert!(reread);
+    }
+}

@@ -1,0 +1,177 @@
+//! Host (CPU DRAM) staging pool.
+//!
+//! Swapped-out tensors land in pinned host memory. Host DRAM is two orders
+//! of magnitude larger than device memory on the paper's testbed (256 GB vs
+//! 16 GB), so the pool is modeled as simple size accounting with a capacity
+//! check — there is no fragmentation concern for pinned staging buffers,
+//! which are allocated per-tensor and freed on swap-in completion.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of one live host buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostAllocId(u64);
+
+impl fmt::Display for HostAllocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host#{}", self.0)
+    }
+}
+
+/// Error returned when the host pool is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostOomError {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes available.
+    pub available: u64,
+}
+
+impl fmt::Display for HostOomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of host memory: requested {} B, {} B available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for HostOomError {}
+
+/// A counting allocator for pinned host staging buffers.
+///
+/// # Examples
+///
+/// ```
+/// use capuchin_mem::HostPool;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut host = HostPool::new(1 << 30);
+/// let buf = host.alloc(4096)?;
+/// assert_eq!(host.in_use(), 4096);
+/// host.free(buf);
+/// assert_eq!(host.in_use(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostPool {
+    capacity: u64,
+    in_use: u64,
+    peak_in_use: u64,
+    live: HashMap<HostAllocId, u64>,
+    next_id: u64,
+}
+
+impl HostPool {
+    /// Creates a pool of `capacity` bytes.
+    pub fn new(capacity: u64) -> HostPool {
+        HostPool {
+            capacity,
+            in_use: 0,
+            peak_in_use: 0,
+            live: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The paper's testbed: 256 GB of host DRAM.
+    pub fn testbed() -> HostPool {
+        HostPool::new(256 * (1 << 30))
+    }
+
+    /// Total pool size in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently pinned.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// High-water mark of pinned bytes.
+    pub fn peak_in_use(&self) -> u64 {
+        self.peak_in_use
+    }
+
+    /// Number of live buffers.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Pins a staging buffer of `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HostOomError`] when the pool is exhausted.
+    pub fn alloc(&mut self, size: u64) -> Result<HostAllocId, HostOomError> {
+        if self.in_use + size > self.capacity {
+            return Err(HostOomError {
+                requested: size,
+                available: self.capacity - self.in_use,
+            });
+        }
+        let id = HostAllocId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id, size);
+        self.in_use += size;
+        self.peak_in_use = self.peak_in_use.max(self.in_use);
+        Ok(id)
+    }
+
+    /// Unpins a buffer. Unknown ids are ignored (frees are idempotent for
+    /// the host pool, which only does accounting).
+    pub fn free(&mut self, id: HostAllocId) {
+        if let Some(size) = self.live.remove(&id) {
+            self.in_use -= size;
+        }
+    }
+
+    /// Size of a live buffer, if it exists.
+    pub fn size_of(&self, id: HostAllocId) -> Option<u64> {
+        self.live.get(&id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_roundtrip() {
+        let mut pool = HostPool::new(10_000);
+        let a = pool.alloc(6_000).unwrap();
+        let b = pool.alloc(4_000).unwrap();
+        assert_eq!(pool.in_use(), 10_000);
+        assert!(pool.alloc(1).is_err());
+        pool.free(a);
+        assert_eq!(pool.in_use(), 4_000);
+        assert_eq!(pool.size_of(b), Some(4_000));
+        pool.free(b);
+        assert_eq!(pool.live_count(), 0);
+        assert_eq!(pool.peak_in_use(), 10_000);
+    }
+
+    #[test]
+    fn double_free_is_harmless() {
+        let mut pool = HostPool::new(100);
+        let a = pool.alloc(50).unwrap();
+        pool.free(a);
+        pool.free(a);
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn oom_reports_available() {
+        let mut pool = HostPool::new(100);
+        let _ = pool.alloc(80).unwrap();
+        let err = pool.alloc(40).unwrap_err();
+        assert_eq!(err.available, 20);
+        assert_eq!(err.requested, 40);
+    }
+}

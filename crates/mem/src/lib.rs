@@ -1,0 +1,34 @@
+//! # capuchin-mem — device and host memory allocators
+//!
+//! Reimplementation of the allocator substrate Capuchin plugs into
+//! (paper §5.1, "Allocator"): a best-fit-with-coalescing arena allocator
+//! for device memory, modeled on TensorFlow's BFC allocator, plus a pinned
+//! host staging pool for swapped-out tensors.
+//!
+//! The allocator is deliberately realistic about fragmentation: chunk
+//! splitting, eager coalescing, and best-fit search reproduce the conditions
+//! under which the paper's maximum-batch-size numbers were measured.
+//!
+//! ```
+//! use capuchin_mem::{DeviceAllocator, HostPool};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut dev = DeviceAllocator::new(16 * (1 << 30));
+//! let tensor = dev.alloc(64 << 20)?;
+//! // Evict: move the bytes to a pinned host buffer, free the device region.
+//! let mut host = HostPool::testbed();
+//! let staged = host.alloc(tensor.size())?;
+//! dev.free(tensor)?;
+//! # let _ = staged;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod device;
+mod host;
+
+pub use device::{AllocId, Allocation, DeviceAllocator, DeviceMemStats, InvalidAllocation, OomError, ALIGNMENT};
+pub use host::{HostAllocId, HostOomError, HostPool};

@@ -1,0 +1,98 @@
+//! Property tests for the device allocator: arbitrary interleavings of
+//! allocations and frees must preserve the arena invariants (chunks tile the
+//! space, coalescing is eager, accounting matches) and never hand out
+//! overlapping regions.
+
+use capuchin_mem::{Allocation, DeviceAllocator, ALIGNMENT};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    /// Allocate this many bytes.
+    Alloc(u64),
+    /// Free the live allocation at this (wrapped) index.
+    Free(usize),
+}
+
+fn cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (1u64..200_000).prop_map(Cmd::Alloc),
+            2 => any::<usize>().prop_map(Cmd::Free),
+        ],
+        1..200,
+    )
+}
+
+fn overlaps(a: &Allocation, b: &Allocation) -> bool {
+    a.offset() < b.offset() + b.size() && b.offset() < a.offset() + a.size()
+}
+
+proptest! {
+    #[test]
+    fn random_alloc_free_preserves_invariants(script in cmds()) {
+        let mut dev = DeviceAllocator::new(1 << 20);
+        let mut live: Vec<Allocation> = Vec::new();
+        let mut expected_in_use = 0u64;
+
+        for cmd in script {
+            match cmd {
+                Cmd::Alloc(size) => {
+                    match dev.alloc(size) {
+                        Ok(a) => {
+                            prop_assert!(a.size() >= size);
+                            prop_assert_eq!(a.size() % ALIGNMENT, 0);
+                            for other in &live {
+                                prop_assert!(!overlaps(&a, other),
+                                    "overlap: {:?} vs {:?}", a, other);
+                            }
+                            expected_in_use += a.size();
+                            live.push(a);
+                        }
+                        Err(err) => {
+                            // OOM must be honest: the request truly exceeds
+                            // the largest contiguous free region.
+                            prop_assert!(err.largest_free < size.div_ceil(ALIGNMENT) * ALIGNMENT);
+                        }
+                    }
+                }
+                Cmd::Free(idx) => {
+                    if !live.is_empty() {
+                        let a = live.swap_remove(idx % live.len());
+                        expected_in_use -= a.size();
+                        dev.free(a).unwrap();
+                    }
+                }
+            }
+            prop_assert_eq!(dev.in_use(), expected_in_use);
+            if let Err(msg) = dev.check_invariants() {
+                prop_assert!(false, "invariant violated: {}", msg);
+            }
+        }
+
+        // Draining everything restores a pristine arena.
+        for a in live.drain(..) {
+            dev.free(a).unwrap();
+        }
+        prop_assert_eq!(dev.in_use(), 0);
+        prop_assert_eq!(dev.largest_free(), dev.capacity());
+        prop_assert!(dev.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn full_then_empty_cycles(sizes in prop::collection::vec(1u64..50_000, 1..64)) {
+        let mut dev = DeviceAllocator::new(1 << 20);
+        for _cycle in 0..3 {
+            let mut live = Vec::new();
+            for &s in &sizes {
+                if let Ok(a) = dev.alloc(s) {
+                    live.push(a);
+                }
+            }
+            for a in live {
+                dev.free(a).unwrap();
+            }
+            prop_assert_eq!(dev.largest_free(), dev.capacity());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! BERT-Base (Devlin et al., 2018) with a masked-language-model head.
+//!
+//! 12 transformer encoder layers, hidden size 768, 12 attention heads,
+//! 3072-wide feed-forward, vocabulary 30522, sequence length 128 —
+//! ~110M parameters as in the paper's Table 1. The MLM head projects every
+//! position back onto the vocabulary (tying the embedding table), which is
+//! what makes BERT training so memory hungry: the logits and saved softmax
+//! probabilities alone are `batch × seq × 30522` floats.
+
+use capuchin_graph::{Graph, ValueId};
+use capuchin_tensor::{DType, Shape};
+
+use crate::Model;
+
+/// BERT-Base hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner size.
+    pub intermediate: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+}
+
+impl BertConfig {
+    /// The base configuration (110M parameters).
+    pub fn base() -> BertConfig {
+        BertConfig {
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            intermediate: 3072,
+            vocab: 30522,
+            seq_len: 128,
+        }
+    }
+}
+
+fn encoder_layer(g: &mut Graph, name: &str, x: ValueId, cfg: &BertConfig, batch: usize) -> ValueId {
+    let (b, s, h) = (batch, cfg.seq_len, cfg.hidden);
+    let head_dim = h / cfg.heads;
+    let heads = cfg.heads;
+
+    // Self-attention.
+    let q = g.dense(&format!("{name}/attn/query"), x, h);
+    let k = g.dense(&format!("{name}/attn/key"), x, h);
+    let v = g.dense(&format!("{name}/attn/value"), x, h);
+    let split = Shape::new(vec![b * heads, s, head_dim]);
+    let qh = g.transpose_to(&format!("{name}/attn/q_heads"), q, split.clone());
+    let kh = g.transpose_to(&format!("{name}/attn/k_heads"), k, split.clone());
+    let vh = g.transpose_to(&format!("{name}/attn/v_heads"), v, split);
+    let scores = g.matmul(&format!("{name}/attn/scores"), qh, kh, false, true);
+    let scaled = g.scalar_mul(
+        &format!("{name}/attn/scale"),
+        scores,
+        1.0 / (head_dim as f64).sqrt(),
+    );
+    let probs = g.softmax(&format!("{name}/attn/softmax"), scaled);
+    let probs = g.dropout(&format!("{name}/attn/dropout"), probs, 10);
+    let ctx = g.matmul(&format!("{name}/attn/context"), probs, vh, false, false);
+    let merged = g.transpose_to(
+        &format!("{name}/attn/merge"),
+        ctx,
+        Shape::new(vec![b, s, h]),
+    );
+    let attn_out = g.dense(&format!("{name}/attn/output"), merged, h);
+    let attn_out = g.dropout(&format!("{name}/attn/out_dropout"), attn_out, 10);
+    let res1 = g.add(&format!("{name}/attn/residual"), attn_out, x);
+    let norm1 = g.layer_norm(&format!("{name}/attn/layer_norm"), res1);
+
+    // Feed-forward.
+    let ff1 = g.dense(&format!("{name}/ffn/dense1"), norm1, cfg.intermediate);
+    let act = g.gelu(&format!("{name}/ffn/gelu"), ff1);
+    let ff2 = g.dense(&format!("{name}/ffn/dense2"), act, h);
+    let ff2 = g.dropout(&format!("{name}/ffn/dropout"), ff2, 10);
+    let res2 = g.add(&format!("{name}/ffn/residual"), ff2, norm1);
+    g.layer_norm(&format!("{name}/ffn/layer_norm"), res2)
+}
+
+/// BERT-Base with a training batch of `batch` sequences.
+pub fn bert_base(batch: usize) -> Model {
+    bert(BertConfig::base(), batch)
+}
+
+/// BERT with an explicit configuration.
+pub fn bert(cfg: BertConfig, batch: usize) -> Model {
+    let mut g = Graph::new("bert_base");
+    let (b, s, h) = (batch, cfg.seq_len, cfg.hidden);
+
+    let ids = g.input("input_ids", Shape::matrix(b, s), DType::I32);
+    let labels = g.input("mlm_labels", Shape::vector(b * s), DType::I32);
+
+    // Embeddings: token + learned position, then layer-norm + dropout.
+    let tok = g.embedding("embeddings/token", ids, cfg.vocab, h);
+    let pos_table = g.weight("embeddings/position", Shape::matrix(s, h));
+    let pos = g.reshape(
+        "embeddings/position_bcast",
+        pos_table,
+        Shape::new(vec![1, s, h]),
+    );
+    // Broadcast add is modeled as a full-shape add after an explicit tile.
+    let pos_tiled = {
+        let tiles: Vec<ValueId> = (0..1).map(|_| pos).collect();
+        if b == 1 {
+            tiles[0]
+        } else {
+            let many: Vec<ValueId> = std::iter::repeat_n(pos, b).collect();
+            g.concat("embeddings/position_tile", &many, 0)
+        }
+    };
+    let emb = g.add("embeddings/sum", tok, pos_tiled);
+    let emb = g.layer_norm("embeddings/layer_norm", emb);
+    let mut hstate = g.dropout("embeddings/dropout", emb, 10);
+
+    for layer in 0..cfg.layers {
+        hstate = encoder_layer(&mut g, &format!("layer{layer}"), hstate, &cfg, b);
+    }
+
+    // MLM head: transform + project onto the vocabulary.
+    let flat = g.reshape("mlm/flatten", hstate, Shape::matrix(b * s, h));
+    let transform = g.dense("mlm/transform", flat, h);
+    let transform = g.gelu("mlm/gelu", transform);
+    let transform = g.layer_norm("mlm/layer_norm", transform);
+    let logits = g.dense("mlm/logits", transform, cfg.vocab);
+    let loss = g.softmax_cross_entropy("loss", logits, labels);
+    Model::finish(g, loss, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_parameter_count_near_110m() {
+        let m = bert_base(2);
+        let params = m.graph.param_count();
+        // 110M canonical (token embeddings 23.4M + 12 layers * 7.1M + heads).
+        assert!(
+            (105_000_000..135_000_000).contains(&params),
+            "bert params = {params}"
+        );
+    }
+
+    #[test]
+    fn attention_scores_shape() {
+        let m = bert_base(4);
+        let scores = m
+            .graph
+            .values()
+            .iter()
+            .find(|v| v.name == "layer0/attn/scores/out")
+            .unwrap();
+        assert_eq!(scores.shape.dims(), &[4 * 12, 128, 128]);
+    }
+
+    #[test]
+    fn mlm_logits_cover_vocab() {
+        let m = bert_base(2);
+        let logits = m
+            .graph
+            .values()
+            .iter()
+            .find(|v| v.name == "mlm/logits/bias_add/out")
+            .unwrap();
+        assert_eq!(logits.shape.dims(), &[2 * 128, 30522]);
+    }
+
+    #[test]
+    fn twelve_layers_built() {
+        let m = bert_base(1);
+        for layer in 0..12 {
+            assert!(
+                m.graph
+                    .values()
+                    .iter()
+                    .any(|v| v.name == format!("layer{layer}/ffn/layer_norm/out")),
+                "layer {layer} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn validates_with_backward() {
+        bert_base(2).graph.validate().unwrap();
+    }
+
+    #[test]
+    fn batch_one_skips_position_tile() {
+        let m = bert(BertConfig::base(), 1);
+        m.graph.validate().unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! DenseNet-121 (Huang et al., CVPR 2017).
+//!
+//! Dense connectivity makes every layer's output live until the end of its
+//! block (each subsequent layer concatenates all previous outputs), which
+//! is why DenseNet is the paper's second eager-mode workload — its memory
+//! footprint grows quadratically with depth inside a block.
+
+use capuchin_graph::{Graph, ValueId};
+use capuchin_tensor::{DType, Shape};
+
+use crate::Model;
+
+const GROWTH: usize = 32;
+
+/// BN → ReLU → 1×1 conv(4k) → BN → ReLU → 3×3 conv(k), concatenated onto
+/// the running feature stack.
+fn dense_layer(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let b1 = g.batch_norm(&format!("{name}/bn1"), x);
+    let r1 = g.relu(&format!("{name}/relu1"), b1);
+    let c1 = g.conv2d(&format!("{name}/conv1"), r1, 4 * GROWTH, 1, 1, 0);
+    let b2 = g.batch_norm(&format!("{name}/bn2"), c1);
+    let r2 = g.relu(&format!("{name}/relu2"), b2);
+    let c2 = g.conv2d(&format!("{name}/conv2"), r2, GROWTH, 3, 1, 1);
+    g.concat(&format!("{name}/concat"), &[x, c2], 1)
+}
+
+/// BN → ReLU → 1×1 conv (halve channels) → 2×2 average pool.
+fn transition(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let c_in = g.value(x).shape.dim(1);
+    let b = g.batch_norm(&format!("{name}/bn"), x);
+    let r = g.relu(&format!("{name}/relu"), b);
+    let c = g.conv2d(&format!("{name}/conv"), r, c_in / 2, 1, 1, 0);
+    g.avg_pool(&format!("{name}/pool"), c, 2, 2, 0)
+}
+
+/// DenseNet-121 with a training batch of `batch` 224×224 images.
+pub fn densenet121(batch: usize) -> Model {
+    let mut g = Graph::new("densenet121");
+    let x = g.input("images", Shape::nchw(batch, 3, 224, 224), DType::F32);
+    let labels = g.input("labels", Shape::vector(batch), DType::I32);
+
+    let mut h = g.conv2d("conv1", x, 64, 7, 2, 3);
+    h = g.batch_norm("bn1", h);
+    h = g.relu("relu1", h);
+    h = g.max_pool("pool1", h, 3, 2, 1);
+
+    let blocks = [6, 12, 24, 16];
+    for (bi, &layers) in blocks.iter().enumerate() {
+        for li in 0..layers {
+            h = dense_layer(&mut g, &format!("block{}/layer{}", bi + 1, li + 1), h);
+        }
+        if bi + 1 < blocks.len() {
+            h = transition(&mut g, &format!("transition{}", bi + 1), h);
+        }
+    }
+
+    h = g.batch_norm("bn_final", h);
+    h = g.relu("relu_final", h);
+    let gap = g.global_avg_pool("gap", h);
+    let logits = g.dense("fc", gap, 1000);
+    let loss = g.softmax_cross_entropy("loss", logits, labels);
+    Model::finish(g, loss, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capuchin_graph::OpKind;
+
+    #[test]
+    fn parameter_count_near_8m() {
+        let m = densenet121(2);
+        let params = m.graph.param_count();
+        assert!(
+            (7_500_000..8_500_000).contains(&params),
+            "densenet121 params = {params}"
+        );
+    }
+
+    #[test]
+    fn conv_count_is_121_structure() {
+        let m = densenet121(2);
+        let convs = m
+            .graph
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Conv2d(_)))
+            .count();
+        // 1 stem + 58 layers * 2 + 3 transitions = 120 convs (+ fc = 121).
+        assert_eq!(convs, 120);
+    }
+
+    #[test]
+    fn channel_growth_inside_block() {
+        let m = densenet121(2);
+        // Block 1 starts at 64 and adds 32 per layer: 64 + 6*32 = 256.
+        let out = m
+            .graph
+            .values()
+            .iter()
+            .find(|v| v.name == "block1/layer6/concat/out")
+            .unwrap();
+        assert_eq!(out.shape.dim(1), 256);
+        // Final stack: transitions halve; block4 ends at 512 + 16*32 = 1024.
+        let last = m
+            .graph
+            .values()
+            .iter()
+            .find(|v| v.name == "block4/layer16/concat/out")
+            .unwrap();
+        assert_eq!(last.shape.dim(1), 1024);
+        assert_eq!(&last.shape.dims()[2..], &[7, 7]);
+    }
+
+    #[test]
+    fn validates_with_backward() {
+        densenet121(2).graph.validate().unwrap();
+    }
+}

@@ -1,0 +1,315 @@
+//! InceptionV3 and InceptionV4 (Szegedy et al.).
+//!
+//! Faithful module topology (branch structure, channel counts, grid
+//! reductions) over 299×299 inputs. One modeling simplification: the
+//! asymmetric 1×7/7×1 and 1×3/3×1 factorized convolutions are represented
+//! as square 3×3 convolutions with the same channel counts (our conv IR is
+//! square-kernel); the FLOP difference is bounded (9 vs 7 MACs per output)
+//! and the layer count / activation footprint — what the paper's Fig. 2
+//! and the memory experiments measure — is preserved.
+
+use capuchin_graph::{Graph, ValueId};
+use capuchin_tensor::{DType, Shape};
+
+use crate::Model;
+
+/// conv + batch-norm + relu, the basic Inception cell.
+fn cbr(
+    g: &mut Graph,
+    name: &str,
+    x: ValueId,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> ValueId {
+    let c = g.conv2d(&format!("{name}/conv"), x, out_c, kernel, stride, pad);
+    let b = g.batch_norm(&format!("{name}/bn"), c);
+    g.relu(&format!("{name}/relu"), b)
+}
+
+/// Stand-in for an asymmetric (1×k + k×1) factorized conv pair.
+fn asym(g: &mut Graph, name: &str, x: ValueId, out_c: usize) -> ValueId {
+    cbr(g, name, x, out_c, 3, 1, 1)
+}
+
+// ---------------------------------------------------------------------
+// InceptionV3
+// ---------------------------------------------------------------------
+
+fn v3_inception_a(g: &mut Graph, name: &str, x: ValueId, pool_c: usize) -> ValueId {
+    let b1 = cbr(g, &format!("{name}/b1x1"), x, 64, 1, 1, 0);
+    let b5 = cbr(g, &format!("{name}/b5x5_1"), x, 48, 1, 1, 0);
+    let b5 = cbr(g, &format!("{name}/b5x5_2"), b5, 64, 5, 1, 2);
+    let b3 = cbr(g, &format!("{name}/b3x3_1"), x, 64, 1, 1, 0);
+    let b3 = cbr(g, &format!("{name}/b3x3_2"), b3, 96, 3, 1, 1);
+    let b3 = cbr(g, &format!("{name}/b3x3_3"), b3, 96, 3, 1, 1);
+    let bp = g.avg_pool(&format!("{name}/pool"), x, 3, 1, 1);
+    let bp = cbr(g, &format!("{name}/pool_proj"), bp, pool_c, 1, 1, 0);
+    g.concat(&format!("{name}/concat"), &[b1, b5, b3, bp], 1)
+}
+
+fn v3_reduction_a(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let b3 = cbr(g, &format!("{name}/b3x3"), x, 384, 3, 2, 0);
+    let bd = cbr(g, &format!("{name}/bdbl_1"), x, 64, 1, 1, 0);
+    let bd = cbr(g, &format!("{name}/bdbl_2"), bd, 96, 3, 1, 1);
+    let bd = cbr(g, &format!("{name}/bdbl_3"), bd, 96, 3, 2, 0);
+    let bp = g.max_pool(&format!("{name}/pool"), x, 3, 2, 0);
+    g.concat(&format!("{name}/concat"), &[b3, bd, bp], 1)
+}
+
+fn v3_inception_b(g: &mut Graph, name: &str, x: ValueId, c7: usize) -> ValueId {
+    let b1 = cbr(g, &format!("{name}/b1x1"), x, 192, 1, 1, 0);
+    let b7 = cbr(g, &format!("{name}/b7_1"), x, c7, 1, 1, 0);
+    let b7 = asym(g, &format!("{name}/b7_2"), b7, c7);
+    let b7 = asym(g, &format!("{name}/b7_3"), b7, 192);
+    let bd = cbr(g, &format!("{name}/b7dbl_1"), x, c7, 1, 1, 0);
+    let bd = asym(g, &format!("{name}/b7dbl_2"), bd, c7);
+    let bd = asym(g, &format!("{name}/b7dbl_3"), bd, c7);
+    let bd = asym(g, &format!("{name}/b7dbl_4"), bd, c7);
+    let bd = asym(g, &format!("{name}/b7dbl_5"), bd, 192);
+    let bp = g.avg_pool(&format!("{name}/pool"), x, 3, 1, 1);
+    let bp = cbr(g, &format!("{name}/pool_proj"), bp, 192, 1, 1, 0);
+    g.concat(&format!("{name}/concat"), &[b1, b7, bd, bp], 1)
+}
+
+fn v3_reduction_b(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let b3 = cbr(g, &format!("{name}/b3_1"), x, 192, 1, 1, 0);
+    let b3 = cbr(g, &format!("{name}/b3_2"), b3, 320, 3, 2, 0);
+    let b7 = cbr(g, &format!("{name}/b7_1"), x, 192, 1, 1, 0);
+    let b7 = asym(g, &format!("{name}/b7_2"), b7, 192);
+    let b7 = cbr(g, &format!("{name}/b7_3"), b7, 192, 3, 2, 0);
+    let bp = g.max_pool(&format!("{name}/pool"), x, 3, 2, 0);
+    g.concat(&format!("{name}/concat"), &[b3, b7, bp], 1)
+}
+
+fn v3_inception_c(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let b1 = cbr(g, &format!("{name}/b1x1"), x, 320, 1, 1, 0);
+    let b3 = cbr(g, &format!("{name}/b3_1"), x, 384, 1, 1, 0);
+    let b3a = asym(g, &format!("{name}/b3_2a"), b3, 384);
+    let b3b = asym(g, &format!("{name}/b3_2b"), b3, 384);
+    let bd = cbr(g, &format!("{name}/bdbl_1"), x, 448, 1, 1, 0);
+    let bd = cbr(g, &format!("{name}/bdbl_2"), bd, 384, 3, 1, 1);
+    let bda = asym(g, &format!("{name}/bdbl_3a"), bd, 384);
+    let bdb = asym(g, &format!("{name}/bdbl_3b"), bd, 384);
+    let bp = g.avg_pool(&format!("{name}/pool"), x, 3, 1, 1);
+    let bp = cbr(g, &format!("{name}/pool_proj"), bp, 192, 1, 1, 0);
+    g.concat(&format!("{name}/concat"), &[b1, b3a, b3b, bda, bdb, bp], 1)
+}
+
+/// InceptionV3 with a training batch of `batch` 299×299 images.
+pub fn inception_v3(batch: usize) -> Model {
+    let mut g = Graph::new("inception_v3");
+    let x = g.input("images", Shape::nchw(batch, 3, 299, 299), DType::F32);
+    let labels = g.input("labels", Shape::vector(batch), DType::I32);
+
+    // Stem: 299 -> 35.
+    let mut h = cbr(&mut g, "stem/conv1", x, 32, 3, 2, 0);
+    h = cbr(&mut g, "stem/conv2", h, 32, 3, 1, 0);
+    h = cbr(&mut g, "stem/conv3", h, 64, 3, 1, 1);
+    h = g.max_pool("stem/pool1", h, 3, 2, 0);
+    h = cbr(&mut g, "stem/conv4", h, 80, 1, 1, 0);
+    h = cbr(&mut g, "stem/conv5", h, 192, 3, 1, 0);
+    h = g.max_pool("stem/pool2", h, 3, 2, 0);
+
+    h = v3_inception_a(&mut g, "mixed_a1", h, 32);
+    h = v3_inception_a(&mut g, "mixed_a2", h, 64);
+    h = v3_inception_a(&mut g, "mixed_a3", h, 64);
+    h = v3_reduction_a(&mut g, "reduction_a", h);
+    for (i, c7) in [128, 160, 160, 192].iter().enumerate() {
+        h = v3_inception_b(&mut g, &format!("mixed_b{}", i + 1), h, *c7);
+    }
+    h = v3_reduction_b(&mut g, "reduction_b", h);
+    h = v3_inception_c(&mut g, "mixed_c1", h);
+    h = v3_inception_c(&mut g, "mixed_c2", h);
+
+    let gap = g.global_avg_pool("gap", h);
+    let gap = g.dropout("dropout", gap, 20);
+    let logits = g.dense("fc", gap, 1000);
+    let loss = g.softmax_cross_entropy("loss", logits, labels);
+    Model::finish(g, loss, batch)
+}
+
+// ---------------------------------------------------------------------
+// InceptionV4
+// ---------------------------------------------------------------------
+
+fn v4_inception_a(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let b1 = cbr(g, &format!("{name}/b1x1"), x, 96, 1, 1, 0);
+    let b3 = cbr(g, &format!("{name}/b3_1"), x, 64, 1, 1, 0);
+    let b3 = cbr(g, &format!("{name}/b3_2"), b3, 96, 3, 1, 1);
+    let bd = cbr(g, &format!("{name}/bdbl_1"), x, 64, 1, 1, 0);
+    let bd = cbr(g, &format!("{name}/bdbl_2"), bd, 96, 3, 1, 1);
+    let bd = cbr(g, &format!("{name}/bdbl_3"), bd, 96, 3, 1, 1);
+    let bp = g.avg_pool(&format!("{name}/pool"), x, 3, 1, 1);
+    let bp = cbr(g, &format!("{name}/pool_proj"), bp, 96, 1, 1, 0);
+    g.concat(&format!("{name}/concat"), &[b1, b3, bd, bp], 1)
+}
+
+fn v4_reduction_a(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let b3 = cbr(g, &format!("{name}/b3"), x, 384, 3, 2, 0);
+    let bd = cbr(g, &format!("{name}/bdbl_1"), x, 192, 1, 1, 0);
+    let bd = cbr(g, &format!("{name}/bdbl_2"), bd, 224, 3, 1, 1);
+    let bd = cbr(g, &format!("{name}/bdbl_3"), bd, 256, 3, 2, 0);
+    let bp = g.max_pool(&format!("{name}/pool"), x, 3, 2, 0);
+    g.concat(&format!("{name}/concat"), &[b3, bd, bp], 1)
+}
+
+fn v4_inception_b(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let b1 = cbr(g, &format!("{name}/b1x1"), x, 384, 1, 1, 0);
+    let b7 = cbr(g, &format!("{name}/b7_1"), x, 192, 1, 1, 0);
+    let b7 = asym(g, &format!("{name}/b7_2"), b7, 224);
+    let b7 = asym(g, &format!("{name}/b7_3"), b7, 256);
+    let bd = cbr(g, &format!("{name}/b7dbl_1"), x, 192, 1, 1, 0);
+    let bd = asym(g, &format!("{name}/b7dbl_2"), bd, 192);
+    let bd = asym(g, &format!("{name}/b7dbl_3"), bd, 224);
+    let bd = asym(g, &format!("{name}/b7dbl_4"), bd, 224);
+    let bd = asym(g, &format!("{name}/b7dbl_5"), bd, 256);
+    let bp = g.avg_pool(&format!("{name}/pool"), x, 3, 1, 1);
+    let bp = cbr(g, &format!("{name}/pool_proj"), bp, 128, 1, 1, 0);
+    g.concat(&format!("{name}/concat"), &[b1, b7, bd, bp], 1)
+}
+
+fn v4_reduction_b(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let b3 = cbr(g, &format!("{name}/b3_1"), x, 192, 1, 1, 0);
+    let b3 = cbr(g, &format!("{name}/b3_2"), b3, 192, 3, 2, 0);
+    let b7 = cbr(g, &format!("{name}/b7_1"), x, 256, 1, 1, 0);
+    let b7 = asym(g, &format!("{name}/b7_2"), b7, 256);
+    let b7 = asym(g, &format!("{name}/b7_3"), b7, 320);
+    let b7 = cbr(g, &format!("{name}/b7_4"), b7, 320, 3, 2, 0);
+    let bp = g.max_pool(&format!("{name}/pool"), x, 3, 2, 0);
+    g.concat(&format!("{name}/concat"), &[b3, b7, bp], 1)
+}
+
+fn v4_inception_c(g: &mut Graph, name: &str, x: ValueId) -> ValueId {
+    let b1 = cbr(g, &format!("{name}/b1x1"), x, 256, 1, 1, 0);
+    let b3 = cbr(g, &format!("{name}/b3_1"), x, 384, 1, 1, 0);
+    let b3a = asym(g, &format!("{name}/b3_2a"), b3, 256);
+    let b3b = asym(g, &format!("{name}/b3_2b"), b3, 256);
+    let bd = cbr(g, &format!("{name}/bdbl_1"), x, 384, 1, 1, 0);
+    let bd = asym(g, &format!("{name}/bdbl_2"), bd, 448);
+    let bd = asym(g, &format!("{name}/bdbl_3"), bd, 512);
+    let bda = asym(g, &format!("{name}/bdbl_4a"), bd, 256);
+    let bdb = asym(g, &format!("{name}/bdbl_4b"), bd, 256);
+    let bp = g.avg_pool(&format!("{name}/pool"), x, 3, 1, 1);
+    let bp = cbr(g, &format!("{name}/pool_proj"), bp, 256, 1, 1, 0);
+    g.concat(&format!("{name}/concat"), &[b1, b3a, b3b, bda, bdb, bp], 1)
+}
+
+/// InceptionV4 with a training batch of `batch` 299×299 images.
+pub fn inception_v4(batch: usize) -> Model {
+    let mut g = Graph::new("inception_v4");
+    let x = g.input("images", Shape::nchw(batch, 3, 299, 299), DType::F32);
+    let labels = g.input("labels", Shape::vector(batch), DType::I32);
+
+    // Stem: 299 -> 35, with the V4 concat-mixing structure.
+    let mut h = cbr(&mut g, "stem/conv1", x, 32, 3, 2, 0);
+    h = cbr(&mut g, "stem/conv2", h, 32, 3, 1, 0);
+    h = cbr(&mut g, "stem/conv3", h, 64, 3, 1, 1);
+    let p1 = g.max_pool("stem/mix1_pool", h, 3, 2, 0);
+    let c1 = cbr(&mut g, "stem/mix1_conv", h, 96, 3, 2, 0);
+    h = g.concat("stem/mix1", &[p1, c1], 1);
+    let a = cbr(&mut g, "stem/mix2a_1", h, 64, 1, 1, 0);
+    let a = cbr(&mut g, "stem/mix2a_2", a, 96, 3, 1, 0);
+    let b = cbr(&mut g, "stem/mix2b_1", h, 64, 1, 1, 0);
+    let b = asym(&mut g, "stem/mix2b_2", b, 64);
+    let b = cbr(&mut g, "stem/mix2b_3", b, 96, 3, 1, 0);
+    h = g.concat("stem/mix2", &[a, b], 1);
+    let c2 = cbr(&mut g, "stem/mix3_conv", h, 192, 3, 2, 0);
+    let p2 = g.max_pool("stem/mix3_pool", h, 3, 2, 0);
+    h = g.concat("stem/mix3", &[c2, p2], 1);
+
+    for i in 0..4 {
+        h = v4_inception_a(&mut g, &format!("mixed_a{}", i + 1), h);
+    }
+    h = v4_reduction_a(&mut g, "reduction_a", h);
+    for i in 0..7 {
+        h = v4_inception_b(&mut g, &format!("mixed_b{}", i + 1), h);
+    }
+    h = v4_reduction_b(&mut g, "reduction_b", h);
+    for i in 0..3 {
+        h = v4_inception_c(&mut g, &format!("mixed_c{}", i + 1), h);
+    }
+
+    let gap = g.global_avg_pool("gap", h);
+    let gap = g.dropout("dropout", gap, 20);
+    let logits = g.dense("fc", gap, 1000);
+    let loss = g.softmax_cross_entropy("loss", logits, labels);
+    Model::finish(g, loss, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capuchin_graph::OpKind;
+
+    #[test]
+    fn v3_conv_count_near_94() {
+        let m = inception_v3(2);
+        let convs = m
+            .graph
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Conv2d(_)))
+            .count();
+        // The paper counts 94 convolution layers in InceptionV3 (Fig. 2);
+        // without the auxiliary head we land slightly below.
+        assert!((85..=95).contains(&convs), "v3 convs = {convs}");
+    }
+
+    #[test]
+    fn v3_parameter_count_in_range() {
+        let m = inception_v3(2);
+        let params = m.graph.param_count();
+        // Canonical 23.8M; square-kernel stand-ins inflate slightly.
+        assert!(
+            (21_000_000..33_000_000).contains(&params),
+            "v3 params = {params}"
+        );
+    }
+
+    #[test]
+    fn v3_grid_sizes() {
+        let m = inception_v3(2);
+        let find = |name: &str| {
+            m.graph
+                .values()
+                .iter()
+                .find(|v| v.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .shape
+                .clone()
+        };
+        assert_eq!(find("mixed_a3/concat/out").dims()[2..], [35, 35]);
+        assert_eq!(find("mixed_b4/concat/out").dims()[2..], [17, 17]);
+        assert_eq!(find("mixed_c2/concat/out").dims()[2..], [8, 8]);
+        assert_eq!(find("mixed_c2/concat/out").dims()[1], 2048);
+    }
+
+    #[test]
+    fn v4_is_bigger_than_v3() {
+        let v3 = inception_v3(1);
+        let v4 = inception_v4(1);
+        assert!(v4.graph.param_count() > v3.graph.param_count());
+        assert!(v4.graph.op_count() > v3.graph.op_count());
+    }
+
+    #[test]
+    fn v4_final_channels_1536() {
+        let m = inception_v4(2);
+        let last = m
+            .graph
+            .values()
+            .iter()
+            .find(|v| v.name == "mixed_c3/concat/out")
+            .unwrap();
+        assert_eq!(last.shape.dim(1), 1536);
+        assert_eq!(&last.shape.dims()[2..], &[8, 8]);
+    }
+
+    #[test]
+    fn both_validate() {
+        inception_v3(2).graph.validate().unwrap();
+        inception_v4(2).graph.validate().unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! ResNet-50 and ResNet-152 (He et al., CVPR 2016).
+//!
+//! Standard bottleneck residual networks over 224×224 inputs. ResNet-50
+//! uses `[3, 4, 6, 3]` bottleneck blocks per stage, ResNet-152 uses
+//! `[3, 8, 36, 3]`.
+
+use capuchin_graph::{Graph, ValueId};
+use capuchin_tensor::{DType, Shape};
+
+use crate::Model;
+
+/// Builds a bottleneck block: 1×1 reduce, 3×3, 1×1 expand, residual add.
+fn bottleneck(
+    g: &mut Graph,
+    name: &str,
+    x: ValueId,
+    mid_c: usize,
+    out_c: usize,
+    stride: usize,
+) -> ValueId {
+    let c_in = g.value(x).shape.dim(1);
+    let c1 = g.conv2d(&format!("{name}/conv1"), x, mid_c, 1, stride, 0);
+    let b1 = g.batch_norm(&format!("{name}/bn1"), c1);
+    let r1 = g.relu(&format!("{name}/relu1"), b1);
+    let c2 = g.conv2d(&format!("{name}/conv2"), r1, mid_c, 3, 1, 1);
+    let b2 = g.batch_norm(&format!("{name}/bn2"), c2);
+    let r2 = g.relu(&format!("{name}/relu2"), b2);
+    let c3 = g.conv2d(&format!("{name}/conv3"), r2, out_c, 1, 1, 0);
+    let b3 = g.batch_norm(&format!("{name}/bn3"), c3);
+    let shortcut = if c_in != out_c || stride != 1 {
+        let sc = g.conv2d(&format!("{name}/downsample"), x, out_c, 1, stride, 0);
+        g.batch_norm(&format!("{name}/downsample_bn"), sc)
+    } else {
+        x
+    };
+    let sum = g.add(&format!("{name}/add"), b3, shortcut);
+    g.relu(&format!("{name}/relu_out"), sum)
+}
+
+fn resnet(name: &str, blocks: [usize; 4], batch: usize) -> Model {
+    let mut g = Graph::new(name);
+    let x = g.input("images", Shape::nchw(batch, 3, 224, 224), DType::F32);
+    let labels = g.input("labels", Shape::vector(batch), DType::I32);
+
+    let stem = g.conv2d("conv1", x, 64, 7, 2, 3);
+    let stem = g.batch_norm("bn1", stem);
+    let stem = g.relu("relu1", stem);
+    let mut h = g.max_pool("pool1", stem, 3, 2, 1);
+
+    let stage_channels = [(64, 256), (128, 512), (256, 1024), (512, 2048)];
+    for (stage, (&count, &(mid_c, out_c))) in blocks.iter().zip(stage_channels.iter()).enumerate()
+    {
+        for block in 0..count {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            h = bottleneck(
+                &mut g,
+                &format!("stage{}/block{}", stage + 1, block + 1),
+                h,
+                mid_c,
+                out_c,
+                stride,
+            );
+        }
+    }
+
+    let gap = g.global_avg_pool("gap", h);
+    let logits = g.dense("fc", gap, 1000);
+    let loss = g.softmax_cross_entropy("loss", logits, labels);
+    Model::finish(g, loss, batch)
+}
+
+/// ResNet-50 with a training batch of `batch` images.
+pub fn resnet50(batch: usize) -> Model {
+    resnet("resnet50", [3, 4, 6, 3], batch)
+}
+
+/// ResNet-101 with a training batch of `batch` images (not part of the
+/// paper's Table 1; provided for model-zoo completeness).
+pub fn resnet101(batch: usize) -> Model {
+    resnet("resnet101", [3, 4, 23, 3], batch)
+}
+
+/// ResNet-152 with a training batch of `batch` images.
+pub fn resnet152(batch: usize) -> Model {
+    resnet("resnet152", [3, 8, 36, 3], batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capuchin_graph::OpKind;
+
+    #[test]
+    fn resnet50_parameter_count_matches_paper_model() {
+        let m = resnet50(2);
+        let params = m.graph.param_count();
+        // Canonical trainable count is ~25.5M (we model BN with 2 params
+        // per channel, matching the trainable set).
+        assert!(
+            (25_000_000..26_200_000).contains(&params),
+            "resnet50 params = {params}"
+        );
+    }
+
+    #[test]
+    fn resnet50_conv_count() {
+        let m = resnet50(2);
+        let convs = m
+            .graph
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Conv2d(_)))
+            .count();
+        // 1 stem + 16 blocks * 3 + 4 downsamples = 53.
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn resnet101_sits_between_50_and_152() {
+        let p50 = resnet50(1).graph.param_count();
+        let p101 = resnet101(1).graph.param_count();
+        let p152 = resnet152(1).graph.param_count();
+        assert!(p50 < p101 && p101 < p152);
+        // Canonical ~44.5M.
+        assert!((43_000_000..46_000_000).contains(&p101), "{p101}");
+    }
+
+    #[test]
+    fn resnet152_is_much_deeper() {
+        let m50 = resnet50(1);
+        let m152 = resnet152(1);
+        assert!(m152.graph.op_count() > 2 * m50.graph.op_count());
+        let params = m152.graph.param_count();
+        assert!(
+            (57_000_000..62_000_000).contains(&params),
+            "resnet152 params = {params}"
+        );
+    }
+
+    #[test]
+    fn graph_validates_with_backward() {
+        let m = resnet50(2);
+        m.graph.validate().unwrap();
+        assert!(m
+            .graph
+            .ops()
+            .iter()
+            .any(|o| o.kind == OpKind::ApplyGradient));
+    }
+
+    #[test]
+    fn final_spatial_size_is_7x7() {
+        let m = resnet50(2);
+        let last_block = m
+            .graph
+            .values()
+            .iter()
+            .find(|v| v.name == "stage4/block3/relu_out/out")
+            .unwrap();
+        assert_eq!(last_block.shape.dims(), &[2, 2048, 7, 7]);
+    }
+}

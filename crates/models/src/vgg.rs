@@ -1,0 +1,139 @@
+//! VGG-16 (Simonyan & Zisserman, 2014).
+//!
+//! The paper's hardest workload for memory managers: few, huge feature
+//! maps (its first ReLU alone needs ~6 GB at batch 230 — §6.3.1) and a
+//! 123M-parameter classifier head.
+
+use capuchin_graph::Graph;
+use capuchin_tensor::{DType, Shape};
+
+use crate::Model;
+
+/// VGG-16 with a training batch of `batch` 224×224 images.
+pub fn vgg16(batch: usize) -> Model {
+    vgg(
+        "vgg16",
+        &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256],
+            &[512, 512, 512],
+            &[512, 512, 512],
+        ],
+        batch,
+    )
+}
+
+/// VGG-19 with a training batch of `batch` 224×224 images (not part of
+/// the paper's Table 1; provided for model-zoo completeness).
+pub fn vgg19(batch: usize) -> Model {
+    vgg(
+        "vgg19",
+        &[
+            &[64, 64],
+            &[128, 128],
+            &[256, 256, 256, 256],
+            &[512, 512, 512, 512],
+            &[512, 512, 512, 512],
+        ],
+        batch,
+    )
+}
+
+fn vgg(name: &str, stages: &[&[usize]], batch: usize) -> Model {
+    let mut g = Graph::new(name);
+    let x = g.input("images", Shape::nchw(batch, 3, 224, 224), DType::F32);
+    let labels = g.input("labels", Shape::vector(batch), DType::I32);
+
+    let mut h = x;
+    for (si, stage) in stages.iter().enumerate() {
+        for (ci, &channels) in stage.iter().enumerate() {
+            let name = format!("conv{}_{}", si + 1, ci + 1);
+            h = g.conv2d(&name, h, channels, 3, 1, 1);
+            h = g.relu(&format!("relu{}_{}", si + 1, ci + 1), h);
+        }
+        h = g.max_pool(&format!("pool{}", si + 1), h, 2, 2, 0);
+    }
+
+    let hs = g.value(h).shape.clone();
+    let flat = g.reshape(
+        "flatten",
+        h,
+        Shape::matrix(batch, hs.elem_count() / batch),
+    );
+    let fc6 = g.dense("fc6", flat, 4096);
+    let fc6 = g.relu("relu6", fc6);
+    let fc6 = g.dropout("drop6", fc6, 50);
+    let fc7 = g.dense("fc7", fc6, 4096);
+    let fc7 = g.relu("relu7", fc7);
+    let fc7 = g.dropout("drop7", fc7, 50);
+    let logits = g.dense("fc8", fc7, 1000);
+    let loss = g.softmax_cross_entropy("loss", logits, labels);
+    Model::finish(g, loss, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capuchin_graph::OpKind;
+    use capuchin_tensor::DType;
+
+    #[test]
+    fn parameter_count_is_canonical() {
+        let m = vgg16(2);
+        let params = m.graph.param_count();
+        // Canonical VGG-16 has 138,357,544 parameters; we model
+        // convolutions without per-channel biases (they are folded into
+        // the following layer), which removes exactly 4,224 of them.
+        assert_eq!(params, 138_357_544 - 4_224);
+    }
+
+    #[test]
+    fn thirteen_convs_three_dense() {
+        let m = vgg16(2);
+        let convs = m
+            .graph
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 13);
+    }
+
+    #[test]
+    fn first_relu_is_enormous() {
+        // The paper notes VGG16's first ReLU output needs ~6 GB at batch
+        // 230: 230 * 64 * 224 * 224 * 4 B = 2.95 GB for the output alone;
+        // (with its conv input as well the layer needs ~6 GB live).
+        let m = vgg16(230);
+        let relu = m
+            .graph
+            .values()
+            .iter()
+            .find(|v| v.name == "relu1_1/out")
+            .unwrap();
+        let bytes = relu.shape.size_bytes(DType::F32);
+        assert!(bytes > 2_900_000_000, "relu1_1 = {bytes} bytes");
+    }
+
+    #[test]
+    fn validates_with_backward() {
+        let m = vgg16(2);
+        m.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn vgg19_has_sixteen_convs() {
+        let m = vgg19(2);
+        let convs = m
+            .graph
+            .ops()
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Conv2d(_)))
+            .count();
+        assert_eq!(convs, 16);
+        // Canonical VGG-19: 143,667,240 params (minus our folded conv
+        // biases, 5,504 of them).
+        assert_eq!(m.graph.param_count(), 143_667_240 - 5_504);
+    }
+}

@@ -1,0 +1,45 @@
+//! # capuchin-sim — a discrete-event GPU for memory-management research
+//!
+//! This crate stands in for the physical NVIDIA P100 + CUDA runtime used by
+//! the Capuchin paper (Peng et al., ASPLOS 2020). It models exactly the
+//! hardware behaviours the paper's experiments depend on:
+//!
+//! * a single in-order **compute stream** executing kernels,
+//! * two **copy streams** (device-to-host and host-to-device) that each hold
+//!   their PCIe direction exclusively, as pinned-memory DMA does,
+//! * **events** for cross-stream dependencies (the CUDA event mechanism the
+//!   real implementation uses for asynchronous, delayed swaps — paper §5.4),
+//! * an analytic roofline **kernel cost model** and PCIe **transfer model**.
+//!
+//! Time advances only when work is enqueued; because durations are known
+//! analytically, every enqueue resolves immediately into `(start, end)`
+//! times and the whole simulation is deterministic.
+//!
+//! ## Example
+//!
+//! ```
+//! use capuchin_sim::{CopyDir, DeviceSpec, Event, Gpu, KernelCost};
+//!
+//! let mut gpu = Gpu::new(DeviceSpec::p100_pcie3());
+//! // A convolution-sized kernel...
+//! let conv = gpu.launch_kernel("conv", KernelCost::compute_bound(2.0e10, 0.55), Event::COMPLETED);
+//! // ...overlapped with an eviction of a 256 MiB tensor.
+//! let swap = gpu.launch_copy("evict", 256 << 20, CopyDir::DeviceToHost, Event::COMPLETED);
+//! // The next kernel needs the conv output only:
+//! let next = gpu.launch_kernel("relu", KernelCost::memory_bound(1.0e8), conv.done);
+//! assert!(next.start >= conv.end);
+//! assert!(swap.start < conv.end, "swap overlapped with compute");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod gpu;
+mod stream;
+mod time;
+mod trace;
+
+pub use gpu::{CopyDir, DeviceSpec, Gpu, KernelCost};
+pub use stream::{Enqueued, Event, Stream, StreamKind};
+pub use time::{Duration, Time};
+pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,0 +1,167 @@
+//! Timeline traces.
+//!
+//! A [`Trace`] records every kernel, transfer, and stall the simulated
+//! device executed, mirroring what the paper's authors obtained from CUPTI
+//! (§5.4, "Access time profiling"). The experiment harness serializes traces
+//! to JSON to regenerate Figures 1 and 3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::stream::StreamKind;
+use crate::time::{Duration, Time};
+
+/// What a trace entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A compute kernel.
+    Kernel,
+    /// A device-to-host transfer.
+    SwapOut,
+    /// A host-to-device transfer.
+    SwapIn,
+    /// Compute stream idle time forced by a synchronization.
+    Stall,
+}
+
+/// One interval on the device timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Classification of the interval.
+    pub kind: TraceKind,
+    /// Which stream executed it.
+    pub stream: StreamKind,
+    /// Free-form label (op name, tensor name, ...).
+    pub label: String,
+    /// Start instant.
+    pub start: Time,
+    /// End instant.
+    pub end: Time,
+}
+
+impl TraceEvent {
+    /// Length of the interval.
+    pub fn duration(&self) -> Duration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// An append-only device timeline.
+///
+/// # Examples
+///
+/// ```
+/// use capuchin_sim::{Trace, TraceEvent, TraceKind, StreamKind, Time};
+///
+/// let mut t = Trace::new();
+/// t.push(TraceEvent {
+///     kind: TraceKind::Kernel,
+///     stream: StreamKind::Compute,
+///     label: "relu".into(),
+///     start: Time::ZERO,
+///     end: Time::from_micros(3),
+/// });
+/// assert_eq!(t.total(TraceKind::Kernel), capuchin_sim::Duration::from_micros(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded events, in enqueue order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Removes all events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Iterates over events of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Total busy time spent on events of `kind`.
+    pub fn total(&self, kind: TraceKind) -> Duration {
+        self.of_kind(kind).map(TraceEvent::duration).sum()
+    }
+
+    /// Events whose label contains `needle`.
+    pub fn with_label(&self, needle: &str) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let needle = needle.to_owned();
+        self.events.iter().filter(move |e| e.label.contains(&needle))
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<T: IntoIterator<Item = TraceEvent>>(&mut self, iter: T) {
+        self.events.extend(iter);
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceEvent>>(iter: T) -> Trace {
+        Trace {
+            events: Vec::from_iter(iter),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind, label: &str, start_us: u64, end_us: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            stream: StreamKind::Compute,
+            label: label.to_owned(),
+            start: Time::from_micros(start_us),
+            end: Time::from_micros(end_us),
+        }
+    }
+
+    #[test]
+    fn totals_by_kind() {
+        let t: Trace = [
+            ev(TraceKind::Kernel, "a", 0, 5),
+            ev(TraceKind::Stall, "s", 5, 8),
+            ev(TraceKind::Kernel, "b", 8, 9),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.total(TraceKind::Kernel), Duration::from_micros(6));
+        assert_eq!(t.total(TraceKind::Stall), Duration::from_micros(3));
+    }
+
+    #[test]
+    fn label_filtering() {
+        let t: Trace = [
+            ev(TraceKind::Kernel, "conv1/fwd", 0, 5),
+            ev(TraceKind::Kernel, "relu", 5, 6),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.with_label("conv").count(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t: Trace = [ev(TraceKind::SwapOut, "t42", 1, 2)].into_iter().collect();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

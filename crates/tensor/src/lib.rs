@@ -1,0 +1,48 @@
+//! # capuchin-tensor — tensor identity, state, lineage, and signatures
+//!
+//! The data structures behind Capuchin's tensor-granularity bookkeeping:
+//!
+//! * [`TensorKey`] — a stable per-tensor id valid across iterations (§5.2);
+//! * [`TensorStatus`] — the paper's five residency states;
+//! * [`TensorMeta`]/[`Tensor`] — the extended `Tensor` structure of
+//!   Listing 1, including the lineage (`inputs`, producing op) that powers
+//!   on-the-fly recomputation;
+//! * [`TensorAccess`] — one element of the tensor access list;
+//! * [`sig`] — deterministic content signatures that make "memory
+//!   management never corrupts tensor contents" a checkable invariant.
+//!
+//! ```
+//! use capuchin_tensor::{sig, DType, Shape, TensorKey, TensorMeta, TensorRegistry};
+//!
+//! let mut reg = TensorRegistry::new();
+//! let w = TensorKey(0);
+//! reg.insert_new(
+//!     TensorMeta {
+//!         key: w,
+//!         name: "fc/weight".into(),
+//!         shape: Shape::matrix(1024, 1024),
+//!         dtype: DType::F32,
+//!         inputs: vec![],
+//!         op: None,
+//!         op_name: "weight".into(),
+//!         persistent: true,
+//!         recomputable: false,
+//!     },
+//!     sig::leaf("fc/weight", 0),
+//! );
+//! assert!(reg.get(w).unwrap().meta.persistent);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod shape;
+pub mod sig;
+mod tensor;
+
+pub use shape::{DType, Shape};
+pub use sig::Signature;
+pub use tensor::{
+    AccessKind, OpHandle, Tensor, TensorAccess, TensorKey, TensorMeta, TensorRegistry,
+    TensorStatus,
+};

@@ -1,0 +1,178 @@
+//! Tensor shapes and element types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float (the paper's training precision).
+    F32,
+    /// 16-bit IEEE float.
+    F16,
+    /// 32-bit signed integer (labels, indices).
+    I32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_of(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 => 2,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::I32 => "i32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dense tensor shape (row-major, NCHW for images).
+///
+/// # Examples
+///
+/// ```
+/// use capuchin_tensor::{DType, Shape};
+///
+/// let s = Shape::nchw(32, 64, 56, 56);
+/// assert_eq!(s.elem_count(), 32 * 64 * 56 * 56);
+/// assert_eq!(s.size_bytes(DType::F32), s.elem_count() as u64 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from explicit dimensions.
+    pub fn new(dims: Vec<usize>) -> Shape {
+        Shape { dims }
+    }
+
+    /// A scalar (rank 0).
+    pub fn scalar() -> Shape {
+        Shape { dims: Vec::new() }
+    }
+
+    /// A rank-1 shape.
+    pub fn vector(n: usize) -> Shape {
+        Shape { dims: vec![n] }
+    }
+
+    /// A rank-2 shape.
+    pub fn matrix(rows: usize, cols: usize) -> Shape {
+        Shape { dims: vec![rows, cols] }
+    }
+
+    /// A batched image shape in NCHW layout.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Shape {
+        Shape {
+            dims: vec![n, c, h, w],
+        }
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    pub fn elem_count(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Total size in bytes for elements of `dtype`.
+    pub fn size_bytes(&self, dtype: DType) -> u64 {
+        self.elem_count() as u64 * dtype.size_of()
+    }
+
+    /// Returns a copy with dimension `i` replaced by `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank`.
+    pub fn with_dim(&self, i: usize, v: usize) -> Shape {
+        let mut dims = self.dims.clone();
+        dims[i] = v;
+        Shape { dims }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Shape {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_count_and_bytes() {
+        let s = Shape::nchw(2, 3, 4, 5);
+        assert_eq!(s.elem_count(), 120);
+        assert_eq!(s.size_bytes(DType::F32), 480);
+        assert_eq!(s.size_bytes(DType::F16), 240);
+    }
+
+    #[test]
+    fn scalar_has_one_element() {
+        assert_eq!(Shape::scalar().elem_count(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::matrix(3, 7).to_string(), "[3x7]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn with_dim_replaces() {
+        let s = Shape::nchw(1, 2, 3, 4).with_dim(0, 9);
+        assert_eq!(s.dims(), &[9, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Content signatures.
+//!
+//! The paper argues that swap and recomputation "do not affect training
+//! accuracy" because both re-produce bit-identical tensor contents. Instead
+//! of simulating arithmetic, every tensor here carries a deterministic
+//! 64-bit *content signature*: a leaf tensor's signature is derived from a
+//! seed, and an operation's output signature is a hash of the operation tag,
+//! its attributes, and its input signatures. The executor asserts the
+//! expected signature at every access, which turns "memory management never
+//! corrupts data" into a machine-checked invariant — a swap must preserve
+//! the signature and a recomputation must regenerate it.
+
+/// A tensor content signature.
+pub type Signature = u64;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// Signature of a leaf tensor (graph input, weight) derived from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use capuchin_tensor::sig;
+///
+/// let a = sig::leaf("conv1/weight", 0);
+/// let b = sig::leaf("conv1/weight", 1);
+/// assert_ne!(a, b);
+/// assert_eq!(a, sig::leaf("conv1/weight", 0));
+/// ```
+pub fn leaf(name: &str, seed: u64) -> Signature {
+    let state = fnv1a(FNV_OFFSET, name.as_bytes());
+    fnv1a(state, &seed.to_le_bytes())
+}
+
+/// Signature of an operation output: combines the op tag, an attribute
+/// hash, the output index, and all input signatures, order-sensitively.
+///
+/// # Examples
+///
+/// ```
+/// use capuchin_tensor::sig;
+///
+/// let x = sig::leaf("x", 0);
+/// let w = sig::leaf("w", 0);
+/// let y = sig::op("conv2d", 42, 0, &[x, w]);
+/// // Deterministic and order-sensitive:
+/// assert_eq!(y, sig::op("conv2d", 42, 0, &[x, w]));
+/// assert_ne!(y, sig::op("conv2d", 42, 0, &[w, x]));
+/// ```
+pub fn op(op_tag: &str, attr_hash: u64, output_index: usize, inputs: &[Signature]) -> Signature {
+    let mut state = fnv1a(FNV_OFFSET, op_tag.as_bytes());
+    state = fnv1a(state, &attr_hash.to_le_bytes());
+    state = fnv1a(state, &(output_index as u64).to_le_bytes());
+    for input in inputs {
+        state = fnv1a(state, &input.to_le_bytes());
+    }
+    state
+}
+
+/// Hashes a sequence of attribute words into a single attribute hash.
+pub fn attrs(words: &[u64]) -> u64 {
+    let mut state = FNV_OFFSET;
+    for w in words {
+        state = fnv1a(state, &w.to_le_bytes());
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_varies_with_name_and_seed() {
+        assert_ne!(leaf("a", 0), leaf("b", 0));
+        assert_ne!(leaf("a", 0), leaf("a", 1));
+    }
+
+    #[test]
+    fn op_depends_on_everything() {
+        let base = op("matmul", 1, 0, &[10, 20]);
+        assert_ne!(base, op("matmul2", 1, 0, &[10, 20]));
+        assert_ne!(base, op("matmul", 2, 0, &[10, 20]));
+        assert_ne!(base, op("matmul", 1, 1, &[10, 20]));
+        assert_ne!(base, op("matmul", 1, 0, &[10, 21]));
+        assert_ne!(base, op("matmul", 1, 0, &[10]));
+    }
+
+    #[test]
+    fn attrs_are_order_sensitive() {
+        assert_ne!(attrs(&[1, 2]), attrs(&[2, 1]));
+        assert_eq!(attrs(&[]), attrs(&[]));
+    }
+}

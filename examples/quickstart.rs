@@ -1,0 +1,89 @@
+//! Quickstart: train a small CNN under memory pressure with Capuchin.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a ResNet-50 training graph, shrinks the simulated GPU until the
+//! workload no longer fits, and shows Capuchin rescuing the run: the first
+//! iteration executes in passive mode (on-demand eviction), the measured
+//! execution derives a swap/recompute plan, and guided iterations run with
+//! almost no stall.
+
+use capuchin::Capuchin;
+use capuchin_executor::{Engine, EngineConfig, ExecError, TfOri};
+use capuchin_models::ModelKind;
+use capuchin_sim::DeviceSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = 32;
+    let model = ModelKind::ResNet50.build(batch);
+    println!(
+        "ResNet-50 @ batch {batch}: {} ops, {} parameters",
+        model.graph.op_count(),
+        model.graph.param_count()
+    );
+
+    // How much memory does vanilla execution need?
+    let mut free = Engine::new(
+        &model.graph,
+        EngineConfig::default(),
+        Box::new(TfOri::new()),
+    );
+    let stats = free.run(2)?;
+    let peak = stats.iters.last().unwrap().peak_mem;
+    let base_wall = stats.iters.last().unwrap().wall();
+    println!(
+        "unconstrained: peak {:.2} GiB, {:.1} ms/iteration ({:.1} images/sec)",
+        peak as f64 / (1 << 30) as f64,
+        base_wall.as_millis_f64(),
+        batch as f64 / base_wall.as_secs_f64(),
+    );
+
+    // Give the device only 60% of that and watch TF-ori die...
+    let budget = peak * 60 / 100;
+    let cfg = EngineConfig {
+        spec: DeviceSpec::p100_pcie3().with_memory(budget),
+        ..EngineConfig::default()
+    };
+    let mut tf = Engine::new(&model.graph, cfg.clone(), Box::new(TfOri::new()));
+    match tf.run(1) {
+        Err(ExecError::Oom { op, .. }) => {
+            println!("\nTF-ori at a {:.2} GiB budget: OOM at op `{op}` — as expected",
+                budget as f64 / (1 << 30) as f64)
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // ...while Capuchin adapts.
+    let mut eng = Engine::new(&model.graph, cfg, Box::new(Capuchin::new()));
+    let stats = eng.run(8)?;
+    println!("\nCapuchin at the same budget:");
+    for it in &stats.iters {
+        println!(
+            "  iter {:>2}: {:>7.1} ms  (swapped out {:>6.1} MiB, recomputed {:>3} kernels, \
+             passive evictions {:>2}, stall {:>6.1} ms)",
+            it.iter,
+            it.wall().as_millis_f64(),
+            it.swap_out_bytes as f64 / (1 << 20) as f64,
+            it.recompute_kernels,
+            it.passive_evictions,
+            it.stall_time.as_millis_f64(),
+        );
+    }
+    let last = stats.iters.last().unwrap();
+    println!(
+        "\nsteady state: {:.1} ms/iteration = {:.1}% of unconstrained speed at 60% of the memory",
+        last.wall().as_millis_f64(),
+        100.0 * base_wall.as_secs_f64() / last.wall().as_secs_f64(),
+    );
+
+    // The plan that made it possible:
+    let cap = eng
+        .policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Capuchin>())
+        .expect("policy is Capuchin");
+    println!("plan: {}", cap.plan().summary());
+    Ok(())
+}
