@@ -422,7 +422,11 @@ mod tests {
     #[test]
     fn memory_mode_reduces_peak() {
         let model = ModelKind::ResNet50.build(8);
-        let mut tf = Engine::new(&model.graph, EngineConfig::default(), Box::new(TfOri::new()));
+        let mut tf = Engine::new(
+            &model.graph,
+            EngineConfig::default(),
+            Box::new(TfOri::new()),
+        );
         let tf_peak = tf.run(2).unwrap().iters[1].peak_mem;
         let p = GradientCheckpointing::from_graph(&model.graph, CheckpointMode::Memory);
         let mut ck = Engine::new(&model.graph, EngineConfig::default(), Box::new(p));

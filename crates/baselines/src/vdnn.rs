@@ -70,8 +70,7 @@ impl Vdnn {
             .collect();
 
         for &(conv, x) in &convs {
-            plan.offload_at
-                .insert((Engine::key_of(x), conv), ());
+            plan.offload_at.insert((Engine::key_of(x), conv), ());
         }
 
         // Backward ops belonging to each conv layer: the consumers of the
@@ -134,9 +133,7 @@ impl MemoryPolicy for Vdnn {
         // Offload: the conv layer that consumes this tensor just ran; the
         // copy overlaps the layer but the next layer waits for it
         // (layer-wise synchronization).
-        if ev.kind == AccessKind::Read
-            && self.plan.offload_at.contains_key(&(ev.key, ev.op))
-        {
+        if ev.kind == AccessKind::Read && self.plan.offload_at.contains_key(&(ev.key, ev.op)) {
             engine.swap_out_coupled(ev.key, ev.start);
         }
         // Static prefetch lookahead.

@@ -58,7 +58,13 @@ fn bench_executor(c: &mut Criterion) {
     let model = ModelKind::ResNet50.build(8);
     c.bench_function("executor/resnet50_b8_iteration", |b| {
         b.iter_batched(
-            || Engine::new(&model.graph, EngineConfig::default(), Box::new(TfOri::new())),
+            || {
+                Engine::new(
+                    &model.graph,
+                    EngineConfig::default(),
+                    Box::new(TfOri::new()),
+                )
+            },
             |mut eng| eng.run(1).unwrap(),
             BatchSize::SmallInput,
         )

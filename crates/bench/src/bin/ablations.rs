@@ -42,13 +42,13 @@ fn run(
     };
     let mut eng = Engine::new(&model.graph, cfg, policy);
     match eng.run(iters) {
-        Ok(stats) => {
-            let last = stats.iters.last().expect("ran");
-            (
+        Ok(stats) => match stats.try_last() {
+            Some(last) => (
                 Some(batch as f64 / last.wall().as_secs_f64()),
                 Some(last.stall_time.as_millis_f64()),
-            )
-        }
+            ),
+            None => (None, None),
+        },
         Err(_) => (None, None),
     }
 }
@@ -65,7 +65,10 @@ fn main() {
 
     if is("decoupled") {
         println!("## decoupled computation/swap (ResNet-50 @ 300, 16 GiB)");
-        for (label, coupled) in [("decoupled (paper §5.3)", false), ("coupled (vDNN-style)", true)] {
+        for (label, coupled) in [
+            ("decoupled (paper §5.3)", false),
+            ("coupled (vDNN-style)", true),
+        ] {
             let cfg = CapuchinConfig {
                 coupled_swap: coupled,
                 ..CapuchinConfig::swap_only()
@@ -170,7 +173,11 @@ fn main() {
                 Box::new(Capuchin::with_config(cfg)),
                 16,
             );
-            println!("  step {step:<5} {:>8} img/s  stall {:>8} ms", fmt(t), fmt(s));
+            println!(
+                "  step {step:<5} {:>8} img/s  stall {:>8} ms",
+                fmt(t),
+                fmt(s)
+            );
             results.push(Result {
                 study: "feedback",
                 config: format!("step={step}"),
@@ -212,7 +219,11 @@ fn main() {
             ("byte-balanced (ours)", CheckpointMode::MemoryBalanced),
         ] {
             let p = GradientCheckpointing::from_graph(&model.graph, mode);
-            let info = format!("{} checkpoints / {} released", p.checkpoints(), p.released());
+            let info = format!(
+                "{} checkpoints / {} released",
+                p.checkpoints(),
+                p.released()
+            );
             let (t, s) = run(
                 ModelKind::ResNet50,
                 500,
@@ -223,7 +234,11 @@ fn main() {
                 )),
                 3,
             );
-            println!("  {label:<28} {info:<28} {:>8} img/s  stall {:>8} ms", fmt(t), fmt(s));
+            println!(
+                "  {label:<28} {info:<28} {:>8} img/s  stall {:>8} ms",
+                fmt(t),
+                fmt(s)
+            );
             results.push(Result {
                 study: "checkpoints",
                 config: label.into(),
@@ -235,8 +250,18 @@ fn main() {
             });
         }
         // And their effect on tf-ori for scale.
-        let (t, s) = run(ModelKind::ResNet50, 500, 16 << 10, Box::new(TfOri::new()), 2);
-        println!("  (tf-ori reference)           {:>37} img/s  stall {:>8} ms", fmt(t), fmt(s));
+        let (t, s) = run(
+            ModelKind::ResNet50,
+            500,
+            16 << 10,
+            Box::new(TfOri::new()),
+            2,
+        );
+        println!(
+            "  (tf-ori reference)           {:>37} img/s  stall {:>8} ms",
+            fmt(t),
+            fmt(s)
+        );
     }
 
     write_artifact("ablations", &results);

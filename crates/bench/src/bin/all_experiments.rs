@@ -33,7 +33,9 @@ fn main() {
         if quick {
             cmd.arg("--quick");
         }
-        let status = cmd.status().unwrap_or_else(|e| panic!("launching {bin}: {e}"));
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("launching {bin}: {e}"));
         if !status.success() {
             eprintln!("{bin} failed with {status}");
             std::process::exit(1);

@@ -20,11 +20,17 @@ fn main() {
     let bench = Bench::eager();
     let sweeps: [(ModelKind, Vec<usize>); 2] = [
         (ModelKind::ResNet50, (0..9).map(|i| 90 + i * 20).collect()),
-        (ModelKind::DenseNet121, (0..8).map(|i| 50 + i * 15).collect()),
+        (
+            ModelKind::DenseNet121,
+            (0..8).map(|i| 50 + i * 15).collect(),
+        ),
     ];
     let mut points = Vec::new();
     for (kind, batches) in sweeps {
-        println!("\nFig. 10 — {} eager mode (samples/sec; '-' = OOM)", kind.name());
+        println!(
+            "\nFig. 10 — {} eager mode (samples/sec; '-' = OOM)",
+            kind.name()
+        );
         let mut widths = vec![10usize];
         widths.extend(batches.iter().map(|_| 8));
         let mut header = vec!["batch".to_owned()];
@@ -34,7 +40,10 @@ fn main() {
             let mut cells = vec![system.name().to_owned()];
             for &b in &batches {
                 let tput = bench.throughput(kind, b, system);
-                cells.push(tput.map(|t| format!("{t:.1}")).unwrap_or_else(|| "-".into()));
+                cells.push(
+                    tput.map(|t| format!("{t:.1}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
                 points.push(Point {
                     model: kind.name(),
                     system: system.name(),

@@ -9,7 +9,7 @@
 //! versus unconstrained TF-ori.
 
 use capuchin_baselines::{TfOri, Vdnn};
-use capuchin_bench::write_artifact;
+use capuchin_bench::{final_iter, write_artifact};
 use capuchin_executor::{Engine, EngineConfig};
 use capuchin_models::ModelKind;
 use capuchin_sim::TraceKind;
@@ -41,8 +41,8 @@ fn main() {
         Box::new(TfOri::new()),
     );
     let tf_stats = tf.run(3).expect("VGG16 @208 fits TF-ori");
-    let tf_tput = 208.0 / tf_stats.iters.last().unwrap().wall().as_secs_f64();
-    let tf_iter = tf_stats.iters.last().unwrap().wall();
+    let tf_iter = final_iter(&tf_stats).wall();
+    let tf_tput = 208.0 / tf_iter.as_secs_f64();
 
     let cfg = EngineConfig {
         trace: true,
@@ -51,7 +51,7 @@ fn main() {
     let vdnn = Vdnn::from_graph(&model.graph);
     let mut eng = Engine::new(&model.graph, cfg, Box::new(vdnn));
     let stats = eng.run(2).expect("vDNN runs VGG16 @230");
-    let vdnn_iter = stats.iters.last().unwrap().wall();
+    let vdnn_iter = final_iter(&stats).wall();
     let trace = eng.take_trace().expect("trace enabled");
 
     // Largest swap-out and the kernel that runs concurrently with it.
@@ -67,18 +67,16 @@ fn main() {
 
     // The paper compares the *round trip* ("the time of swapping out/in
     // are more than 3x as much as the overlapped layer's execution time").
-    let in_time = eng
-        .spec()
-        .copy_time(
-            model
-                .graph
-                .values()
-                .iter()
-                .find(|v| largest.label.contains(&v.name))
-                .map(|v| v.size_bytes())
-                .unwrap_or(0),
-            capuchin_sim::CopyDir::HostToDevice,
-        );
+    let in_time = eng.spec().copy_time(
+        model
+            .graph
+            .values()
+            .iter()
+            .find(|v| largest.label.contains(&v.name))
+            .map(|v| v.size_bytes())
+            .unwrap_or(0),
+        capuchin_sim::CopyDir::HostToDevice,
+    );
     let ratio = (largest.duration().as_secs_f64() + in_time.as_secs_f64())
         / overlapped.duration().as_secs_f64();
     let vdnn_tput = batch as f64 / vdnn_iter.as_secs_f64();

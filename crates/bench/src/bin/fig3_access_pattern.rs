@@ -83,8 +83,10 @@ fn main() {
             "{name}: {accesses} accesses, times (iter 5) = {:?} ms, cross-iteration variance = {max_var:.3} ms (paper: <1 ms)",
             times[0].iter().map(|t| (t * 10.0).round() / 10.0).collect::<Vec<_>>()
         );
-        assert!(times[0] == times[1] && times[1] == times[2],
-            "the simulator is deterministic: identical timelines expected");
+        assert!(
+            times[0] == times[1] && times[1] == times[2],
+            "the simulator is deterministic: identical timelines expected"
+        );
         series.push(TensorSeries {
             tensor: name,
             accesses,

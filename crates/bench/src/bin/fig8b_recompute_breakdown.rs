@@ -24,7 +24,7 @@ fn run(batch: usize, policy: Box<dyn MemoryPolicy>, iters: u64) -> Option<f64> {
     let model = ModelKind::ResNet50.build(batch);
     let mut eng = Engine::new(&model.graph, EngineConfig::default(), policy);
     let stats = eng.run(iters).ok()?;
-    Some(batch as f64 / stats.iters.last().unwrap().wall().as_secs_f64())
+    Some(batch as f64 / stats.try_last()?.wall().as_secs_f64())
 }
 
 fn main() {

@@ -22,13 +22,13 @@ struct Point {
 /// Batch sweeps mirroring the paper's x-axes.
 fn sweep(kind: ModelKind) -> Vec<usize> {
     let (start, step, count) = match kind {
-        ModelKind::Vgg16 => (200, 10, 9),          // 200..280
-        ModelKind::ResNet50 => (140, 70, 9),       // 140..700
-        ModelKind::InceptionV3 => (110, 60, 9),    // 110..590
-        ModelKind::ResNet152 => (50, 65, 9),       // 50..570
-        ModelKind::InceptionV4 => (60, 40, 9),     // 60..380
-        ModelKind::BertBase => (40, 40, 9),        // 40..360
-        ModelKind::DenseNet121 => (50, 15, 8),     // eager-only workload
+        ModelKind::Vgg16 => (200, 10, 9),       // 200..280
+        ModelKind::ResNet50 => (140, 70, 9),    // 140..700
+        ModelKind::InceptionV3 => (110, 60, 9), // 110..590
+        ModelKind::ResNet152 => (50, 65, 9),    // 50..570
+        ModelKind::InceptionV4 => (60, 40, 9),  // 60..380
+        ModelKind::BertBase => (40, 40, 9),     // 40..360
+        ModelKind::DenseNet121 => (50, 15, 8),  // eager-only workload
     };
     (0..count).map(|i| start + i * step).collect()
 }

@@ -11,7 +11,7 @@
 //! interpreter in the loop).
 
 use capuchin::Capuchin;
-use capuchin_bench::write_artifact;
+use capuchin_bench::{final_iter, write_artifact};
 use capuchin_executor::{Engine, EngineConfig, ExecMode, TfOri};
 use capuchin_models::ModelKind;
 use capuchin_sim::Duration;
@@ -32,13 +32,15 @@ fn overhead(kind: ModelKind, batch: usize, mode: ExecMode, per_access: Duration)
         ..EngineConfig::default()
     };
     let mut base = Engine::new(&model.graph, base_cfg.clone(), Box::new(TfOri::new()));
-    let b = base.run(3).expect("fits").iters.last().unwrap().wall();
+    let base_stats = base.run(3).expect("fits");
+    let b = final_iter(&base_stats).wall();
     let cap_cfg = EngineConfig {
         tracking_overhead: per_access,
         ..base_cfg
     };
     let mut cap = Engine::new(&model.graph, cap_cfg, Box::new(Capuchin::new()));
-    let c = cap.run(3).expect("fits").iters.last().unwrap().wall();
+    let cap_stats = cap.run(3).expect("fits");
+    let c = final_iter(&cap_stats).wall();
     100.0 * (c.as_secs_f64() / b.as_secs_f64() - 1.0)
 }
 
@@ -56,7 +58,10 @@ fn main() {
     let mut sum = 0.0;
     for (kind, batch) in graph_cases {
         let pct = overhead(kind, batch, ExecMode::Graph, Duration::from_micros(2));
-        println!("  graph  {:<12} b={batch:<4} overhead = {pct:.2}%", kind.name());
+        println!(
+            "  graph  {:<12} b={batch:<4} overhead = {pct:.2}%",
+            kind.name()
+        );
         sum += pct;
         rows.push(Row {
             model: kind.name(),
@@ -65,10 +70,21 @@ fn main() {
             overhead_pct: pct,
         });
     }
-    println!("  graph average: {:.2}%   (paper: 0.36%)", sum / graph_cases.len() as f64);
+    println!(
+        "  graph average: {:.2}%   (paper: 0.36%)",
+        sum / graph_cases.len() as f64
+    );
     for (kind, batch) in [(ModelKind::ResNet50, 120), (ModelKind::DenseNet121, 70)] {
-        let pct = overhead(kind, batch, ExecMode::eager_default(), Duration::from_micros(4));
-        println!("  eager  {:<12} b={batch:<4} overhead = {pct:.2}%   (paper: 1.5-2.5%)", kind.name());
+        let pct = overhead(
+            kind,
+            batch,
+            ExecMode::eager_default(),
+            Duration::from_micros(4),
+        );
+        println!(
+            "  eager  {:<12} b={batch:<4} overhead = {pct:.2}%   (paper: 1.5-2.5%)",
+            kind.name()
+        );
         rows.push(Row {
             model: kind.name(),
             mode: "eager",

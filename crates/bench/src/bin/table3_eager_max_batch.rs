@@ -21,7 +21,10 @@ fn main() {
     let widths = [12, 10, 10, 8];
     println!(
         "{}",
-        row(&["Model", "TF-ori", "Capuchin", "ratio"].map(String::from), &widths)
+        row(
+            &["Model", "TF-ori", "Capuchin", "ratio"].map(String::from),
+            &widths
+        )
     );
     let mut rows = Vec::new();
     for (kind, seed) in [(ModelKind::ResNet50, 122), (ModelKind::DenseNet121, 70)] {

@@ -53,10 +53,7 @@ fn parse_system(s: &str) -> System {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let model_name = args.get(1).map(String::as_str).unwrap_or("resnet50");
-    let batch: usize = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300);
+    let batch: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
     let system = parse_system(args.get(3).map(String::as_str).unwrap_or("capuchin"));
     let kind = parse_model(model_name);
 

@@ -12,7 +12,7 @@ use std::path::Path;
 
 use capuchin::{Capuchin, CapuchinConfig};
 use capuchin_baselines::{CheckpointMode, GradientCheckpointing, TfOri, Vdnn};
-use capuchin_executor::{Engine, EngineConfig, ExecMode, MemoryPolicy, RunStats};
+use capuchin_executor::{Engine, EngineConfig, ExecMode, IterStats, MemoryPolicy, RunStats};
 use capuchin_graph::Graph;
 use capuchin_models::{Model, ModelKind};
 use capuchin_sim::DeviceSpec;
@@ -155,7 +155,7 @@ impl Bench {
     pub fn throughput(&self, kind: ModelKind, batch: usize, system: System) -> Option<f64> {
         let model = kind.build(batch);
         let stats = self.run(&model, system, system.warm_iters())?;
-        let last = stats.iters.last().expect("ran iterations");
+        let last = stats.try_last()?;
         Some(batch as f64 / last.wall().as_secs_f64())
     }
 
@@ -219,6 +219,16 @@ impl Bench {
         }
         best
     }
+}
+
+/// The final iteration of a run: the steady-state sample every exhibit
+/// reports. Exits with a diagnostic (rather than panicking) when a run
+/// recorded no iterations.
+pub fn final_iter(stats: &RunStats) -> &IterStats {
+    stats.try_last().unwrap_or_else(|| {
+        eprintln!("error: run recorded no iterations");
+        std::process::exit(1);
+    })
 }
 
 /// Writes a serializable artifact under `results/` so figures can be

@@ -37,7 +37,9 @@ fn fig9_throughput_ordering_at_tf_max() {
     let kind = ModelKind::ResNet50;
     let batch = 190;
     let tf = bench.throughput(kind, batch, System::TfOri).expect("fits");
-    let cap = bench.throughput(kind, batch, System::Capuchin).expect("fits");
+    let cap = bench
+        .throughput(kind, batch, System::Capuchin)
+        .expect("fits");
     let vdnn = bench.throughput(kind, batch, System::Vdnn).expect("fits");
     let om = bench
         .throughput(kind, batch, System::OpenAiMemory)

@@ -7,12 +7,16 @@
 //! capuchin-cli run --model bert --batch 256 --memory 16GiB --iters 10
 //! capuchin-cli max-batch --model resnet50 --policy capuchin
 //! capuchin-cli plan --model resnet50 --batch 300
+//! capuchin-cli cluster --gpus 4 --synthetic 16 --seed 1
 //! ```
 
 use std::collections::HashMap;
 
 use capuchin::Capuchin;
 use capuchin_baselines::{CheckpointMode, GradientCheckpointing, LruSwap, TfOri, Vdnn};
+use capuchin_cluster::{
+    load_jobs, synthetic_jobs, AdmissionMode, Cluster, ClusterConfig, StrategyKind,
+};
 use capuchin_executor::{Engine, EngineConfig, ExecMode, MemoryPolicy};
 use capuchin_graph::Graph;
 use capuchin_models::ModelKind;
@@ -27,10 +31,16 @@ USAGE:
                            [--iters <n>] [--eager]
     capuchin-cli max-batch --model <m> [--policy <p>] [--memory ...] [--eager]
     capuchin-cli plan      --model <m> --batch <n> [--memory ...]
+    capuchin-cli cluster   (--jobs <file> | --synthetic <n> [--seed <s>]
+                           [--mean-interarrival <secs>])
+                           [--gpus <n>] [--memory ...] [--admission tf-ori|capuchin]
+                           [--strategy fifo|best-fit] [--aging-rate <r>] [--out <file>]
 
-MODELS:   vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
-POLICIES: tf-ori vdnn openai-memory openai-speed lru capuchin (default)
-MEMORY:   e.g. 16GiB, 800MiB, or raw bytes (default 16GiB)
+MODELS:    vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
+POLICIES:  tf-ori vdnn openai-memory openai-speed lru capuchin (default)
+MEMORY:    e.g. 16GiB, 800 MiB, 64KiB, or raw bytes (default 16GiB per GPU)
+CLUSTER:   schedules a multi-job workload over N simulated GPUs and prints
+           cluster-stats JSON (deterministic for a fixed workload/seed)
 ";
 
 fn fail(msg: &str) -> ! {
@@ -69,24 +79,11 @@ fn make_policy(name: &str, graph: &Graph) -> Box<dyn MemoryPolicy> {
     }
 }
 
+/// One shared size parser for every subcommand — the real implementation
+/// lives in `capuchin_cluster::parse_memory` (KiB/MiB/GiB + kb/mb/gb +
+/// raw bytes, embedded whitespace tolerated).
 fn parse_memory(s: &str) -> u64 {
-    let lower = s.to_lowercase();
-    let (num, mult) = if let Some(n) = lower.strip_suffix("gib") {
-        (n, 1u64 << 30)
-    } else if let Some(n) = lower.strip_suffix("mib") {
-        (n, 1u64 << 20)
-    } else if let Some(n) = lower.strip_suffix("gb") {
-        (n, 1_000_000_000)
-    } else if let Some(n) = lower.strip_suffix("mb") {
-        (n, 1_000_000)
-    } else {
-        (lower.as_str(), 1)
-    };
-    let v: f64 = num
-        .trim()
-        .parse()
-        .unwrap_or_else(|_| fail(&format!("bad memory size `{s}`")));
-    (v * mult as f64) as u64
+    capuchin_cluster::parse_memory(s).unwrap_or_else(|e| fail(&e))
 }
 
 struct Args {
@@ -123,7 +120,10 @@ impl Args {
     }
 
     fn policy_name(&self) -> &str {
-        self.flags.get("policy").map(String::as_str).unwrap_or("capuchin")
+        self.flags
+            .get("policy")
+            .map(String::as_str)
+            .unwrap_or("capuchin")
     }
 
     fn memory(&self) -> u64 {
@@ -144,7 +144,10 @@ impl Args {
     fn iters(&self) -> u64 {
         self.flags
             .get("iters")
-            .map(|s| s.parse().unwrap_or_else(|_| fail("--iters must be an integer")))
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| fail("--iters must be an integer"))
+            })
             .unwrap_or(8)
     }
 
@@ -210,12 +213,17 @@ fn cmd_run(args: &Args) {
                     it.stall_time.as_millis_f64(),
                 );
             }
-            let last = stats.iters.last().expect("ran");
-            println!(
-                "\nsteady state: {:.1} samples/sec, peak memory {:.2} GiB",
-                batch as f64 / last.wall().as_secs_f64(),
-                last.peak_mem as f64 / (1 << 30) as f64,
-            );
+            match stats.try_last() {
+                Some(last) => println!(
+                    "\nsteady state: {:.1} samples/sec, peak memory {:.2} GiB",
+                    batch as f64 / last.wall().as_secs_f64(),
+                    last.peak_mem as f64 / (1 << 30) as f64,
+                ),
+                None => {
+                    eprintln!("run recorded no iterations (--iters 0?)");
+                    std::process::exit(1);
+                }
+            }
         }
         Err(e) => {
             eprintln!("run failed: {e}");
@@ -241,7 +249,10 @@ fn cmd_max_batch(args: &Args) {
         hi *= 2;
     }
     if lo == 0 {
-        println!("{} cannot run even at batch 8 under {policy_name}", kind.name());
+        println!(
+            "{} cannot run even at batch 8 under {policy_name}",
+            kind.name()
+        );
         return;
     }
     while hi - lo > (lo / 64).max(1) {
@@ -296,6 +307,102 @@ fn cmd_plan(args: &Args) {
     }
 }
 
+fn cmd_cluster(args: &Args) {
+    let jobs = if let Some(path) = args.flags.get("jobs") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read job file `{path}`: {e}")));
+        load_jobs(&text).unwrap_or_else(|e| fail(&e))
+    } else if let Some(n) = args.flags.get("synthetic") {
+        let n: usize = n
+            .parse()
+            .unwrap_or_else(|_| fail("--synthetic must be a job count"));
+        let seed: u64 = args
+            .flags
+            .get("seed")
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| fail("--seed must be an integer"))
+            })
+            .unwrap_or(1);
+        let mean: f64 = args
+            .flags
+            .get("mean-interarrival")
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| fail("--mean-interarrival must be seconds"))
+            })
+            .unwrap_or(2.0);
+        synthetic_jobs(n, seed, mean)
+    } else {
+        fail("cluster needs --jobs <file> or --synthetic <n>")
+    };
+    let gpus: usize = args
+        .flags
+        .get("gpus")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--gpus must be an integer"))
+        })
+        .unwrap_or(4);
+    if gpus == 0 {
+        fail("--gpus must be at least 1");
+    }
+    let admission = args
+        .flags
+        .get("admission")
+        .map(|s| AdmissionMode::parse(s).unwrap_or_else(|e| fail(&e)))
+        .unwrap_or(AdmissionMode::Capuchin);
+    let strategy = args
+        .flags
+        .get("strategy")
+        .map(|s| StrategyKind::parse(s).unwrap_or_else(|e| fail(&e)))
+        .unwrap_or(StrategyKind::FifoFirstFit);
+    let aging_rate: f64 = args
+        .flags
+        .get("aging-rate")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--aging-rate must be a number"))
+        })
+        .unwrap_or(0.1);
+    let cfg = ClusterConfig {
+        gpus,
+        spec: DeviceSpec::p100_pcie3().with_memory(args.memory()),
+        admission,
+        strategy,
+        aging_rate,
+        ..ClusterConfig::default()
+    };
+    eprintln!(
+        "scheduling {} jobs on {gpus} × {:.1} GiB GPUs ({}, {})",
+        jobs.len(),
+        cfg.spec.memory_bytes as f64 / (1 << 30) as f64,
+        admission.name(),
+        match strategy {
+            StrategyKind::FifoFirstFit => "fifo-first-fit",
+            StrategyKind::BestFit => "best-fit",
+        },
+    );
+    let stats = Cluster::new(cfg).run(&jobs);
+    eprintln!(
+        "completed {}/{} (rejected {}), makespan {:.2}s, {:.1} samples/sec aggregate",
+        stats.completed,
+        stats.submitted,
+        stats.oom_rejections,
+        stats.makespan.as_secs_f64(),
+        stats.aggregate_samples_per_sec,
+    );
+    let json = stats.to_json();
+    match args.flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .unwrap_or_else(|e| fail(&format!("cannot write `{path}`: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -303,6 +410,7 @@ fn main() {
         Some("run") => cmd_run(&Args::parse(&argv[1..])),
         Some("max-batch") => cmd_max_batch(&Args::parse(&argv[1..])),
         Some("plan") => cmd_plan(&Args::parse(&argv[1..])),
+        Some("cluster") => cmd_cluster(&Args::parse(&argv[1..])),
         Some("--help") | Some("-h") | None => println!("{USAGE}"),
         Some(other) => fail(&format!("unknown command `{other}`")),
     }
@@ -315,7 +423,9 @@ mod tests {
     #[test]
     fn memory_sizes_parse() {
         assert_eq!(parse_memory("16GiB"), 16 << 30);
+        assert_eq!(parse_memory("16 GiB"), 16 << 30);
         assert_eq!(parse_memory("800MiB"), 800 << 20);
+        assert_eq!(parse_memory("64KiB"), 64 << 10);
         assert_eq!(parse_memory("2gb"), 2_000_000_000);
         assert_eq!(parse_memory("12345"), 12_345);
         assert_eq!(parse_memory("1.5GiB"), 3 << 29);

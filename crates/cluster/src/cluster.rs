@@ -1,0 +1,562 @@
+//! The cluster simulation: N GPUs, one deterministic event clock.
+//!
+//! # Model
+//!
+//! * Each GPU is a byte-granular reservation ledger. A job holds one
+//!   reservation (granted at admission) for its entire stay; there is no
+//!   mid-run growth, because Capuchin's plan keeps the footprint under
+//!   the granted budget.
+//! * Job execution is replayed, not re-simulated: admission validates the
+//!   granted budget with a real engine run and the cluster replays the
+//!   recorded per-iteration wall times on its own clock. When a job's
+//!   validation run is shorter than the job, the final (steady-state)
+//!   wall time repeats.
+//! * Co-located jobs slow each other down: an iteration started while
+//!   `k` jobs are resident on the GPU takes `k×` its recorded wall time
+//!   (a deliberately simple contention model — compute is time-sliced,
+//!   memory is partitioned). In-flight iterations keep their scheduled
+//!   end when residency changes.
+//! * Footprint measurement happens off the critical path (think: a
+//!   profiling sidecar), so admission consumes no simulated time.
+//!
+//! # Determinism
+//!
+//! Events are ordered by `(time, submission sequence)`; all caches are
+//! `BTreeMap`s; the waiting queue is a plain `Vec` in arrival order.
+//! Two runs over the same workload produce byte-identical stats JSON.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use capuchin::{measure_footprint, FootprintEstimate};
+use capuchin_sim::{DeviceSpec, Duration, Time};
+
+use crate::admission::{Admission, AdmissionMode, JobNeeds};
+use crate::job::JobSpec;
+use crate::stats::{ClusterStats, GpuStats, JobOutcome, JobStats};
+use crate::strategy::{CandidateJob, GpuView, StrategyKind};
+
+/// Cluster shape and scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of identical GPUs.
+    pub gpus: usize,
+    /// Device model for every GPU.
+    pub spec: DeviceSpec,
+    /// Admission mode.
+    pub admission: AdmissionMode,
+    /// Placement strategy.
+    pub strategy: StrategyKind,
+    /// Priority-aging rate for best-fit placement (points per waiting
+    /// second).
+    pub aging_rate: f64,
+    /// Engine iterations per admission validation run (clamped to the
+    /// job's own iteration count; at least 2 so Capuchin completes
+    /// measured execution).
+    pub validate_iters: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            gpus: 4,
+            spec: DeviceSpec::p100_pcie3(),
+            admission: AdmissionMode::Capuchin,
+            strategy: StrategyKind::FifoFirstFit,
+            aging_rate: 0.1,
+            validate_iters: 6,
+        }
+    }
+}
+
+/// Per-job simulation state.
+#[derive(Debug)]
+struct JobRun {
+    spec: JobSpec,
+    arrival: Time,
+    needs: JobNeeds,
+    footprint: u64,
+    /// Largest budget a validation run failed at (never retried at or
+    /// below this).
+    failed_budget: Option<u64>,
+    rejected: bool,
+    gpu: Option<usize>,
+    reserved: u64,
+    shrunk: bool,
+    admitted_at: Option<Time>,
+    finished_at: Option<Time>,
+    walls: Vec<Duration>,
+    iters_done: u64,
+}
+
+/// Per-GPU reservation ledger with a byte-time integral for utilization.
+#[derive(Debug)]
+struct GpuState {
+    capacity: u64,
+    reserved: u64,
+    resident: Vec<usize>,
+    peak: u64,
+    byte_ns: u128,
+    last_touch: Time,
+    hosted: usize,
+}
+
+impl GpuState {
+    fn new(capacity: u64) -> GpuState {
+        GpuState {
+            capacity,
+            reserved: 0,
+            resident: Vec::new(),
+            peak: 0,
+            byte_ns: 0,
+            last_touch: Time::ZERO,
+            hosted: 0,
+        }
+    }
+
+    /// Accumulates the byte-time integral up to `now`.
+    fn touch(&mut self, now: Time) {
+        let span = now.saturating_since(self.last_touch).as_nanos() as u128;
+        self.byte_ns += self.reserved as u128 * span;
+        self.last_touch = now;
+    }
+}
+
+const EV_ARRIVE: u8 = 0;
+const EV_ITER_END: u8 = 1;
+
+/// Event queue entry: `(time ns, sequence, kind, job)` under `Reverse`
+/// for min-heap order. The sequence number breaks time ties
+/// deterministically.
+type Event = Reverse<(u64, u64, u8, usize)>;
+
+/// Validation-cache key: `(model name, batch, budget, policy, shrunk,
+/// iters)`.
+type ValidationKey = (String, usize, u64, &'static str, bool, u64);
+
+/// The cluster scheduler.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    admission: Admission,
+    /// Measured footprints and derived admission budgets keyed by
+    /// `(model name, batch)` — jobs sharing a workload share one
+    /// measuring run and one bisection.
+    estimates: BTreeMap<(String, usize), (FootprintEstimate, JobNeeds)>,
+    /// Validation outcomes: `Some` holds the per-iteration walls, `None`
+    /// records a failed run.
+    validations: BTreeMap<ValidationKey, Option<Vec<Duration>>>,
+}
+
+impl Cluster {
+    /// Creates a cluster.
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        let mut admission = Admission::new(cfg.admission);
+        admission.validate_iters = cfg.validate_iters.max(2);
+        Cluster {
+            cfg,
+            admission,
+            estimates: BTreeMap::new(),
+            validations: BTreeMap::new(),
+        }
+    }
+
+    fn estimate(&mut self, spec: &JobSpec) -> (FootprintEstimate, JobNeeds) {
+        let key = (spec.model.name().to_owned(), spec.batch);
+        if let Some(cached) = self.estimates.get(&key) {
+            return cached.clone();
+        }
+        let model = spec.model.build(spec.batch);
+        let est = measure_footprint(&model.graph, &self.cfg.spec)
+            .expect("unconstrained measuring run cannot OOM");
+        let needs = self.admission.needs(&model.graph, &est);
+        self.estimates.insert(key, (est.clone(), needs));
+        (est, needs)
+    }
+
+    fn validated_walls(
+        &mut self,
+        spec: &JobSpec,
+        budget: u64,
+        shrunk: bool,
+    ) -> Option<Vec<Duration>> {
+        let iters = spec.iters.min(self.cfg.validate_iters).max(2);
+        let key = (
+            spec.model.name().to_owned(),
+            spec.batch,
+            budget,
+            spec.policy.name(),
+            shrunk,
+            iters,
+        );
+        if let Some(cached) = self.validations.get(&key) {
+            return cached.clone();
+        }
+        let model = spec.model.build(spec.batch);
+        let walls = self
+            .admission
+            .validate(
+                &model.graph,
+                &self.cfg.spec,
+                budget,
+                spec.policy,
+                shrunk,
+                iters,
+            )
+            .ok();
+        self.validations.insert(key, walls.clone());
+        walls
+    }
+
+    /// Runs the workload to completion and returns the stats.
+    pub fn run(&mut self, specs: &[JobSpec]) -> ClusterStats {
+        let mut seq: u64 = 0;
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut jobs: Vec<JobRun> = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            let arrival = Time::ZERO + Duration::from_secs_f64(spec.arrival_time.max(0.0));
+            jobs.push(JobRun {
+                spec: spec.clone(),
+                arrival,
+                needs: JobNeeds { full: 0, min: 0 },
+                footprint: 0,
+                failed_budget: None,
+                rejected: false,
+                gpu: None,
+                reserved: 0,
+                shrunk: false,
+                admitted_at: None,
+                finished_at: None,
+                walls: Vec::new(),
+                iters_done: 0,
+            });
+            heap.push(Reverse((arrival.as_nanos(), seq, EV_ARRIVE, i)));
+            seq += 1;
+        }
+        let mut gpus: Vec<GpuState> = (0..self.cfg.gpus)
+            .map(|_| GpuState::new(self.cfg.spec.memory_bytes))
+            .collect();
+        let mut pending: Vec<usize> = Vec::new();
+        let strategy = self.cfg.strategy.build(self.cfg.aging_rate);
+
+        while let Some(Reverse((t, _, kind, job))) = heap.pop() {
+            let now = Time::from_nanos(t);
+            match kind {
+                EV_ARRIVE => {
+                    let (est, needs) = self.estimate(&jobs[job].spec);
+                    jobs[job].needs = needs;
+                    jobs[job].footprint = est.ideal_peak;
+                    if needs.min > self.cfg.spec.memory_bytes {
+                        // Admission-time OOM: no bare GPU can ever host it.
+                        jobs[job].rejected = true;
+                    } else {
+                        pending.push(job);
+                    }
+                }
+                _ => {
+                    jobs[job].iters_done += 1;
+                    if jobs[job].iters_done >= jobs[job].spec.iters {
+                        let gpu = jobs[job].gpu.expect("running job has a GPU");
+                        jobs[job].finished_at = Some(now);
+                        let g = &mut gpus[gpu];
+                        g.touch(now);
+                        g.reserved -= jobs[job].reserved;
+                        g.resident.retain(|&r| r != job);
+                    } else {
+                        schedule_iter(&jobs, &gpus, job, now, &mut seq, &mut heap);
+                    }
+                }
+            }
+            // (Re-)place waiting jobs after every state change.
+            loop {
+                let cands: Vec<CandidateJob> = pending
+                    .iter()
+                    .map(|&j| CandidateJob {
+                        job: j,
+                        arrival: jobs[j].arrival,
+                        priority: jobs[j].spec.priority,
+                        full_need: jobs[j].needs.full,
+                        min_need: jobs[j].needs.min,
+                        failed_budget: jobs[j].failed_budget,
+                    })
+                    .collect();
+                if cands.is_empty() {
+                    break;
+                }
+                let views: Vec<GpuView> = gpus
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, g)| GpuView {
+                        idx,
+                        capacity: g.capacity,
+                        reserved: g.reserved,
+                    })
+                    .collect();
+                let fits = |c: &CandidateJob, g: &GpuView| {
+                    let h = g.headroom();
+                    if h < c.min_need {
+                        return false;
+                    }
+                    let grant = h.min(c.full_need);
+                    c.failed_budget.is_none_or(|fb| grant > fb)
+                };
+                let Some((job, gpu)) = strategy.pick(&cands, &views, now, &fits) else {
+                    break;
+                };
+                let grant = views[gpu].headroom().min(jobs[job].needs.full);
+                let shrunk = grant < jobs[job].needs.full;
+                let spec = jobs[job].spec.clone();
+                match self.validated_walls(&spec, grant, shrunk) {
+                    Some(walls) => {
+                        let j = &mut jobs[job];
+                        j.gpu = Some(gpu);
+                        j.reserved = grant;
+                        j.shrunk = shrunk;
+                        j.admitted_at = Some(now);
+                        j.walls = walls;
+                        pending.retain(|&p| p != job);
+                        let g = &mut gpus[gpu];
+                        g.touch(now);
+                        g.reserved += grant;
+                        g.peak = g.peak.max(g.reserved);
+                        g.resident.push(job);
+                        g.hosted += 1;
+                        schedule_iter(&jobs, &gpus, job, now, &mut seq, &mut heap);
+                    }
+                    None => {
+                        // The budget looked plannable but the engine run
+                        // failed; never retry at or below it.
+                        let j = &mut jobs[job];
+                        j.failed_budget = Some(j.failed_budget.map_or(grant, |fb| fb.max(grant)));
+                    }
+                }
+            }
+        }
+        self.finalize(jobs, gpus, &*strategy)
+    }
+
+    fn finalize(
+        &self,
+        jobs: Vec<JobRun>,
+        mut gpus: Vec<GpuState>,
+        strategy: &dyn crate::strategy::PlacementStrategy,
+    ) -> ClusterStats {
+        let start = jobs.iter().map(|j| j.arrival).min().unwrap_or(Time::ZERO);
+        let end = jobs
+            .iter()
+            .filter_map(|j| j.finished_at)
+            .max()
+            .unwrap_or(start);
+        let makespan = end.saturating_since(start);
+        for g in &mut gpus {
+            g.touch(end);
+        }
+        let completed: Vec<&JobRun> = jobs.iter().filter(|j| j.finished_at.is_some()).collect();
+        let total_samples: f64 = completed
+            .iter()
+            .map(|j| (j.spec.batch as u64 * j.spec.iters) as f64)
+            .sum();
+        let mean = |durs: Vec<Duration>| -> Duration {
+            if durs.is_empty() {
+                return Duration::ZERO;
+            }
+            let total: Duration = durs.iter().copied().sum();
+            Duration::from_nanos(total.as_nanos() / durs.len() as u64)
+        };
+        let mean_queueing_delay = mean(
+            completed
+                .iter()
+                .map(|j| {
+                    j.admitted_at
+                        .expect("completed job was admitted")
+                        .saturating_since(j.arrival)
+                })
+                .collect(),
+        );
+        let mean_jct = mean(
+            completed
+                .iter()
+                .map(|j| j.finished_at.expect("filtered").saturating_since(j.arrival))
+                .collect(),
+        );
+        let job_stats: Vec<JobStats> = jobs
+            .iter()
+            .map(|j| {
+                let jct = j
+                    .finished_at
+                    .map(|f| f.saturating_since(j.arrival))
+                    .unwrap_or(Duration::ZERO);
+                JobStats {
+                    name: j.spec.name.clone(),
+                    model: j.spec.model.name().to_owned(),
+                    batch: j.spec.batch,
+                    policy: j.spec.policy.name().to_owned(),
+                    outcome: if j.rejected {
+                        JobOutcome::Rejected
+                    } else if j.finished_at.is_some() {
+                        JobOutcome::Completed
+                    } else {
+                        JobOutcome::Starved
+                    },
+                    gpu: j.gpu,
+                    shrunk: j.shrunk,
+                    reserved_bytes: j.reserved,
+                    footprint_bytes: j.footprint,
+                    arrival: j.arrival.saturating_since(Time::ZERO),
+                    queueing_delay: j
+                        .admitted_at
+                        .map(|a| a.saturating_since(j.arrival))
+                        .unwrap_or(Duration::ZERO),
+                    jct,
+                    mean_iter: match (j.admitted_at, j.finished_at) {
+                        (Some(a), Some(f)) if j.spec.iters > 0 => {
+                            Duration::from_nanos(f.saturating_since(a).as_nanos() / j.spec.iters)
+                        }
+                        _ => Duration::ZERO,
+                    },
+                }
+            })
+            .collect();
+        let makespan_ns = makespan.as_nanos();
+        let per_gpu: Vec<GpuStats> = gpus
+            .iter()
+            .enumerate()
+            .map(|(idx, g)| GpuStats {
+                gpu: idx,
+                capacity: g.capacity,
+                peak_reserved_bytes: g.peak,
+                mean_utilization: if makespan_ns == 0 {
+                    0.0
+                } else {
+                    g.byte_ns as f64 / (g.capacity as f64 * makespan_ns as f64)
+                },
+                jobs_hosted: g.hosted,
+            })
+            .collect();
+        ClusterStats {
+            gpus: self.cfg.gpus,
+            admission: self.cfg.admission.name().to_owned(),
+            strategy: strategy.name().to_owned(),
+            submitted: jobs.len(),
+            completed: completed.len(),
+            oom_rejections: jobs.iter().filter(|j| j.rejected).count(),
+            midrun_oom_aborts: 0,
+            makespan,
+            aggregate_samples_per_sec: if makespan.as_secs_f64() == 0.0 {
+                0.0
+            } else {
+                total_samples / makespan.as_secs_f64()
+            },
+            mean_queueing_delay,
+            mean_jct,
+            per_gpu,
+            jobs: job_stats,
+        }
+    }
+}
+
+/// Schedules the end of `job`'s next iteration: recorded wall time (the
+/// validation run's final wall repeats past its length) times the number
+/// of jobs currently resident on the GPU.
+fn schedule_iter(
+    jobs: &[JobRun],
+    gpus: &[GpuState],
+    job: usize,
+    now: Time,
+    seq: &mut u64,
+    heap: &mut BinaryHeap<Event>,
+) {
+    let j = &jobs[job];
+    let gpu = j.gpu.expect("scheduled job has a GPU");
+    let idx = (j.iters_done as usize).min(j.walls.len().saturating_sub(1));
+    let wall = j.walls.get(idx).copied().unwrap_or(Duration::ZERO);
+    let contention = gpus[gpu].resident.len().max(1) as f64;
+    let end = now + wall.mul_f64(contention);
+    heap.push(Reverse((end.as_nanos(), *seq, EV_ITER_END, job)));
+    *seq += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{synthetic_jobs, JobPolicy};
+
+    fn small_workload() -> Vec<JobSpec> {
+        vec![
+            JobSpec {
+                name: "a".into(),
+                model: capuchin_models::ModelKind::Vgg16,
+                batch: 16,
+                policy: JobPolicy::Capuchin,
+                iters: 3,
+                priority: 0,
+                arrival_time: 0.0,
+            },
+            JobSpec {
+                name: "b".into(),
+                model: capuchin_models::ModelKind::ResNet50,
+                batch: 16,
+                policy: JobPolicy::TfOri,
+                iters: 3,
+                priority: 1,
+                arrival_time: 0.1,
+            },
+        ]
+    }
+
+    #[test]
+    fn small_workload_completes_on_one_gpu() {
+        let cfg = ClusterConfig {
+            gpus: 1,
+            ..ClusterConfig::default()
+        };
+        let stats = Cluster::new(cfg).run(&small_workload());
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.oom_rejections, 0);
+        assert_eq!(stats.midrun_oom_aborts, 0);
+        assert!(stats.makespan > Duration::ZERO);
+        assert!(stats.aggregate_samples_per_sec > 0.0);
+        assert!(stats.per_gpu[0].peak_reserved_bytes > 0);
+        assert!(stats.per_gpu[0].mean_utilization > 0.0);
+    }
+
+    #[test]
+    fn same_seed_runs_are_byte_identical() {
+        let jobs = synthetic_jobs(6, 1, 0.5);
+        let a = Cluster::new(ClusterConfig::default()).run(&jobs).to_json();
+        let b = Cluster::new(ClusterConfig::default()).run(&jobs).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tf_ori_rejects_what_capuchin_shrinks() {
+        // VGG16 @ 320 (ideal peak ≈ 19 GiB) oversubscribes a bare 16 GiB
+        // device.
+        let big = vec![JobSpec {
+            name: "big".into(),
+            model: capuchin_models::ModelKind::Vgg16,
+            batch: 320,
+            policy: JobPolicy::Capuchin,
+            iters: 3,
+            priority: 0,
+            arrival_time: 0.0,
+        }];
+        let tf = Cluster::new(ClusterConfig {
+            gpus: 1,
+            admission: AdmissionMode::TfOri,
+            ..ClusterConfig::default()
+        })
+        .run(&big);
+        assert_eq!(tf.oom_rejections, 1, "{}", tf.to_json());
+        let cap = Cluster::new(ClusterConfig {
+            gpus: 1,
+            admission: AdmissionMode::Capuchin,
+            ..ClusterConfig::default()
+        })
+        .run(&big);
+        assert_eq!(cap.completed, 1, "{}", cap.to_json());
+        assert!(cap.jobs[0].shrunk);
+        assert!(cap.jobs[0].reserved_bytes < cap.jobs[0].footprint_bytes);
+    }
+}

@@ -1,0 +1,226 @@
+//! Job descriptions: the unit of work the cluster schedules.
+
+use capuchin_models::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// The memory policy a job requests for its own execution. Jobs admitted
+/// *shrunk* always run under Capuchin regardless (a plan is what makes
+/// the smaller budget viable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPolicy {
+    /// Framework-default behavior: no memory management, OOM on overflow.
+    TfOri,
+    /// Capuchin's swap/recompute management.
+    Capuchin,
+}
+
+impl JobPolicy {
+    /// CLI/stats name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobPolicy::TfOri => "tf-ori",
+            JobPolicy::Capuchin => "capuchin",
+        }
+    }
+}
+
+/// One training job submitted to the cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Display name, unique per workload.
+    pub name: String,
+    /// Which model to train.
+    pub model: ModelKind,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Requested execution policy.
+    pub policy: JobPolicy,
+    /// Training iterations to run.
+    pub iters: u64,
+    /// Scheduling priority (higher = more urgent; best-fit placement
+    /// ages it while the job waits).
+    pub priority: u32,
+    /// Submission time in seconds on the simulated cluster clock.
+    pub arrival_time: f64,
+}
+
+/// Parses a workload file: a JSON array of [`JobSpec`] objects.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed JSON or a bad job shape.
+pub fn load_jobs(json: &str) -> Result<Vec<JobSpec>, String> {
+    let jobs: Vec<JobSpec> =
+        serde_json::from_str(json).map_err(|e| format!("invalid job file: {e}"))?;
+    if jobs.is_empty() {
+        return Err("job file contains no jobs".to_owned());
+    }
+    Ok(jobs)
+}
+
+/// Parses a human-style memory size: `16GiB`, `800 MiB`, `64KiB`, `2gb`,
+/// or raw bytes. Binary suffixes (KiB/MiB/GiB) are powers of 1024;
+/// decimal suffixes (kb/mb/gb) are powers of 1000. Case-insensitive,
+/// embedded whitespace tolerated.
+///
+/// # Errors
+///
+/// Returns a message naming the offending input when it is not a
+/// positive size.
+pub fn parse_memory(s: &str) -> Result<u64, String> {
+    let compact: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    let lower = compact.to_lowercase();
+    let (num, mult) = if let Some(n) = lower.strip_suffix("gib") {
+        (n, 1u64 << 30)
+    } else if let Some(n) = lower.strip_suffix("mib") {
+        (n, 1u64 << 20)
+    } else if let Some(n) = lower.strip_suffix("kib") {
+        (n, 1u64 << 10)
+    } else if let Some(n) = lower.strip_suffix("gb") {
+        (n, 1_000_000_000)
+    } else if let Some(n) = lower.strip_suffix("mb") {
+        (n, 1_000_000)
+    } else if let Some(n) = lower.strip_suffix("kb") {
+        (n, 1_000)
+    } else {
+        (lower.as_str(), 1)
+    };
+    let v: f64 = num.parse().map_err(|_| {
+        format!(
+            "invalid memory size `{s}` (expected e.g. 16GiB, 800 MiB, 64KiB, 2gb, or raw bytes)"
+        )
+    })?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(format!("memory size `{s}` must be a positive number"));
+    }
+    Ok((v * mult as f64) as u64)
+}
+
+/// A deterministic splitmix64 generator for synthetic workloads.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub(crate) fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The synthetic workload menu: mixes comfortable footprints with jobs
+/// that oversubscribe a 16 GiB device (which tf-ori admission must
+/// reject but Capuchin admission can shrink).
+const MENU: &[(ModelKind, &[usize])] = &[
+    (ModelKind::Vgg16, &[64, 128, 208, 256, 320]),
+    (ModelKind::ResNet50, &[32, 64, 128, 256]),
+    (ModelKind::InceptionV3, &[32, 64, 128]),
+    (ModelKind::DenseNet121, &[32, 64]),
+];
+
+/// Generates `n` jobs with Poisson arrivals (inverse-CDF exponential
+/// inter-arrival times, mean `mean_interarrival_secs`) from a fixed seed.
+/// Identical `(n, seed, mean)` always produce an identical workload.
+pub fn synthetic_jobs(n: usize, seed: u64, mean_interarrival_secs: f64) -> Vec<JobSpec> {
+    let mut rng = SplitMix64::new(seed);
+    let mut clock = 0.0f64;
+    (0..n)
+        .map(|i| {
+            // Exponential inter-arrival via inverse CDF; clamp the unit
+            // sample away from 0 so ln() stays finite.
+            let u = rng.unit_f64().max(1e-12);
+            clock += -u.ln() * mean_interarrival_secs;
+            let (model, batches) = MENU[rng.below(MENU.len() as u64) as usize];
+            let batch = batches[rng.below(batches.len() as u64) as usize];
+            JobSpec {
+                name: format!("job{i:02}"),
+                model,
+                batch,
+                policy: if rng.below(5) == 0 {
+                    JobPolicy::TfOri
+                } else {
+                    JobPolicy::Capuchin
+                },
+                iters: 3 + rng.below(6),
+                priority: rng.below(3) as u32,
+                arrival_time: clock,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sizes_parse() {
+        assert_eq!(parse_memory("16GiB"), Ok(16 << 30));
+        assert_eq!(parse_memory("16 GiB"), Ok(16 << 30));
+        assert_eq!(parse_memory("800MiB"), Ok(800 << 20));
+        assert_eq!(parse_memory("64KiB"), Ok(64 << 10));
+        assert_eq!(parse_memory("2gb"), Ok(2_000_000_000));
+        assert_eq!(parse_memory("1 kb"), Ok(1_000));
+        assert_eq!(parse_memory("12345"), Ok(12_345));
+        assert_eq!(parse_memory("1.5GiB"), Ok(3 << 29));
+    }
+
+    #[test]
+    fn memory_size_errors_name_the_input() {
+        let err = parse_memory("lots").unwrap_err();
+        assert!(err.contains("`lots`"), "{err}");
+        assert!(parse_memory("-5GiB").is_err());
+        assert!(parse_memory("0").is_err());
+        assert!(parse_memory("").is_err());
+    }
+
+    #[test]
+    fn synthetic_workloads_are_deterministic() {
+        let a = synthetic_jobs(16, 1, 2.0);
+        let b = synthetic_jobs(16, 1, 2.0);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        // Arrivals are sorted and strictly advancing.
+        for w in a.windows(2) {
+            assert!(w[0].arrival_time <= w[1].arrival_time);
+        }
+        // A different seed gives a different workload.
+        let c = synthetic_jobs(16, 2, 2.0);
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&c).unwrap()
+        );
+    }
+
+    #[test]
+    fn job_files_round_trip() {
+        let jobs = synthetic_jobs(4, 7, 1.0);
+        let json = serde_json::to_string_pretty(&jobs).unwrap();
+        let back = load_jobs(&json).unwrap();
+        assert_eq!(
+            serde_json::to_string(&jobs).unwrap(),
+            serde_json::to_string(&back).unwrap()
+        );
+        assert!(load_jobs("[]").is_err());
+        assert!(load_jobs("not json").is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # capuchin-cluster — memory-aware multi-job GPU cluster scheduling
+//!
+//! Capuchin (Peng et al., ASPLOS 2020) manages one job's memory on one
+//! GPU. This crate asks the cluster-level question: if the scheduler
+//! *knows* a job's footprint can be shrunk by swap/recompute plans, how
+//! many more jobs fit on a fleet of GPUs?
+//!
+//! Three layers:
+//!
+//! * **Admission** ([`Admission`]) — before placement, each job runs one
+//!   measured iteration on an unconstrained simulated device
+//!   ([`capuchin::measure_footprint`]); the controller derives the ideal
+//!   peak (`full`) and, under [`AdmissionMode::Capuchin`], the smallest
+//!   plannable budget (`min`). Jobs whose `min` exceeds a bare GPU are
+//!   rejected (admission-time OOM); shrunk admissions are re-validated by
+//!   an actual engine run at the granted budget, which is what makes
+//!   mid-run OOM aborts impossible for admitted jobs.
+//! * **Placement** ([`PlacementStrategy`]) — pluggable ordering of the
+//!   waiting queue against per-GPU headroom: strict [`FifoFirstFit`] and
+//!   [`BestFit`] memory bin-packing with priority aging.
+//! * **Simulation** ([`Cluster`]) — one deterministic event clock replays
+//!   validated per-iteration wall times with a simple contention model
+//!   and produces [`ClusterStats`] (queueing delay, JCT, rejections,
+//!   makespan, aggregate samples/sec, per-GPU utilization) whose JSON is
+//!   byte-identical across same-workload runs.
+//!
+//! ```
+//! use capuchin_cluster::{synthetic_jobs, Cluster, ClusterConfig};
+//!
+//! let jobs = synthetic_jobs(3, 1, 0.5);
+//! let stats = Cluster::new(ClusterConfig::default()).run(&jobs);
+//! assert_eq!(stats.submitted, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod cluster;
+pub mod job;
+pub mod stats;
+pub mod strategy;
+
+pub use crate::admission::{min_feasible_budget, Admission, AdmissionMode, JobNeeds};
+pub use crate::cluster::{Cluster, ClusterConfig};
+pub use crate::job::{load_jobs, parse_memory, synthetic_jobs, JobPolicy, JobSpec};
+pub use crate::stats::{ClusterStats, GpuStats, JobOutcome, JobStats};
+pub use crate::strategy::{
+    BestFit, CandidateJob, FifoFirstFit, FitsFn, GpuView, PlacementStrategy, StrategyKind,
+};

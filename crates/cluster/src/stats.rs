@@ -1,0 +1,155 @@
+//! Cluster run statistics, serialized to JSON for reports and benches.
+//!
+//! Everything here is `Vec`-based and insertion-ordered so that the same
+//! simulation always renders byte-identical JSON.
+
+use capuchin_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// How one job's stay in the cluster ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Rejected at admission: even the minimum budget exceeds a bare GPU.
+    Rejected,
+    /// Still waiting when the simulation drained (validation kept failing
+    /// or no strategy pick ever materialized).
+    Starved,
+}
+
+/// Per-job accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Job name from the spec.
+    pub name: String,
+    /// Model name.
+    pub model: String,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Requested policy name.
+    pub policy: String,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// GPU the job ran on (`None` if rejected).
+    pub gpu: Option<usize>,
+    /// Whether admission granted less than the ideal peak (a Capuchin
+    /// plan shrank the footprint to fit).
+    pub shrunk: bool,
+    /// Bytes reserved on the device for the job's lifetime.
+    pub reserved_bytes: u64,
+    /// Ideal-peak footprint from the measured iteration.
+    pub footprint_bytes: u64,
+    /// Arrival on the simulated clock.
+    pub arrival: Duration,
+    /// Arrival → placement delay (zero for rejected jobs).
+    pub queueing_delay: Duration,
+    /// Arrival → completion (job completion time; zero for rejected jobs).
+    pub jct: Duration,
+    /// Mean per-iteration wall time actually experienced on the cluster,
+    /// including contention slowdown.
+    pub mean_iter: Duration,
+}
+
+/// Per-GPU accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuStats {
+    /// Device index.
+    pub gpu: usize,
+    /// Total device memory.
+    pub capacity: u64,
+    /// Highest concurrent reservation observed.
+    pub peak_reserved_bytes: u64,
+    /// Time-weighted mean of reserved/capacity over the makespan.
+    pub mean_utilization: f64,
+    /// Jobs that ran (to completion) on this device.
+    pub jobs_hosted: usize,
+}
+
+/// Whole-run accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Number of simulated GPUs.
+    pub gpus: usize,
+    /// Admission mode name.
+    pub admission: String,
+    /// Placement strategy name.
+    pub strategy: String,
+    /// Jobs submitted.
+    pub submitted: usize,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Admission-time OOM rejections.
+    pub oom_rejections: usize,
+    /// Jobs that aborted mid-run on OOM. Validation at the granted budget
+    /// makes this zero by construction; tracked to keep the claim honest.
+    pub midrun_oom_aborts: usize,
+    /// First arrival → last completion.
+    pub makespan: Duration,
+    /// Total training samples processed divided by the makespan.
+    pub aggregate_samples_per_sec: f64,
+    /// Mean queueing delay over completed jobs.
+    pub mean_queueing_delay: Duration,
+    /// Mean job completion time over completed jobs.
+    pub mean_jct: Duration,
+    /// Per-device accounting, indexed by GPU.
+    pub per_gpu: Vec<GpuStats>,
+    /// Per-job accounting, in submission order.
+    pub jobs: Vec<JobStats>,
+}
+
+impl ClusterStats {
+    /// Renders the stats as pretty JSON (deterministic byte-for-byte for
+    /// identical runs).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("cluster stats serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_render_deterministically() {
+        let stats = ClusterStats {
+            gpus: 2,
+            admission: "capuchin-admission".into(),
+            strategy: "best-fit".into(),
+            submitted: 1,
+            completed: 1,
+            oom_rejections: 0,
+            midrun_oom_aborts: 0,
+            makespan: Duration::from_millis(12),
+            aggregate_samples_per_sec: 1234.5,
+            mean_queueing_delay: Duration::from_micros(3),
+            mean_jct: Duration::from_millis(12),
+            per_gpu: vec![GpuStats {
+                gpu: 0,
+                capacity: 16 << 30,
+                peak_reserved_bytes: 8 << 30,
+                mean_utilization: 0.5,
+                jobs_hosted: 1,
+            }],
+            jobs: vec![JobStats {
+                name: "job00".into(),
+                model: "vgg16".into(),
+                batch: 32,
+                policy: "capuchin".into(),
+                outcome: JobOutcome::Completed,
+                gpu: Some(0),
+                shrunk: true,
+                reserved_bytes: 8 << 30,
+                footprint_bytes: 10 << 30,
+                arrival: Duration::ZERO,
+                queueing_delay: Duration::from_micros(3),
+                jct: Duration::from_millis(12),
+                mean_iter: Duration::from_millis(4),
+            }],
+        };
+        let a = stats.to_json();
+        let b = stats.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"oom_rejections\": 0"), "{a}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Pluggable placement strategies.
+//!
+//! A strategy looks at the waiting queue and the current per-GPU
+//! reservations and names the next (job, GPU) pairing — or `None` when
+//! nothing placeable exists. The cluster core owns admission and
+//! reservation bookkeeping; strategies only order the search.
+
+use capuchin_sim::Time;
+
+/// A waiting job as the strategy sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateJob {
+    /// Job index in the cluster's submission order.
+    pub job: usize,
+    /// When the job arrived (for FIFO order and priority aging).
+    pub arrival: Time,
+    /// Static priority from the job spec.
+    pub priority: u32,
+    /// Ideal-peak reservation (no management overhead).
+    pub full_need: u64,
+    /// Smallest admissible reservation (equals `full_need` under tf-ori
+    /// admission).
+    pub min_need: u64,
+    /// Largest budget at which a validation run has already failed; the
+    /// cluster refuses to retry at or below it.
+    pub failed_budget: Option<u64>,
+}
+
+/// A GPU as the strategy sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuView {
+    /// Device index.
+    pub idx: usize,
+    /// Total device memory.
+    pub capacity: u64,
+    /// Bytes currently reserved by resident jobs.
+    pub reserved: u64,
+}
+
+impl GpuView {
+    /// Unreserved bytes.
+    pub fn headroom(&self) -> u64 {
+        self.capacity.saturating_sub(self.reserved)
+    }
+}
+
+/// Placement test the cluster supplies: can this job be admitted to this
+/// GPU right now (headroom covers `min_need`, above any failed budget)?
+pub type FitsFn<'a> = dyn Fn(&CandidateJob, &GpuView) -> bool + 'a;
+
+/// A placement strategy over one scheduling instant.
+pub trait PlacementStrategy: std::fmt::Debug {
+    /// Stats/CLI name.
+    fn name(&self) -> &'static str;
+
+    /// Picks the next `(job, gpu)` pairing, or `None` to wait.
+    fn pick(
+        &self,
+        pending: &[CandidateJob],
+        gpus: &[GpuView],
+        now: Time,
+        fits: &FitsFn<'_>,
+    ) -> Option<(usize, usize)>;
+}
+
+/// Strict arrival order with head-of-line blocking: only the oldest
+/// waiting job is considered, placed on the first GPU it fits.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoFirstFit;
+
+impl PlacementStrategy for FifoFirstFit {
+    fn name(&self) -> &'static str {
+        "fifo-first-fit"
+    }
+
+    fn pick(
+        &self,
+        pending: &[CandidateJob],
+        gpus: &[GpuView],
+        _now: Time,
+        fits: &FitsFn<'_>,
+    ) -> Option<(usize, usize)> {
+        let head = pending.first()?;
+        gpus.iter()
+            .find(|g| fits(head, g))
+            .map(|g| (head.job, g.idx))
+    }
+}
+
+/// Best-fit memory bin-packing with priority aging: jobs are ranked by
+/// `priority + aging_rate × wait_seconds` (ties broken by arrival, then
+/// submission order), and each is placed on the fitting GPU that leaves
+/// the least leftover headroom.
+#[derive(Debug, Clone, Copy)]
+pub struct BestFit {
+    /// Effective-priority points gained per second of waiting. Guarantees
+    /// low-priority jobs eventually overtake a stream of urgent arrivals.
+    pub aging_rate: f64,
+}
+
+impl Default for BestFit {
+    fn default() -> BestFit {
+        BestFit { aging_rate: 0.1 }
+    }
+}
+
+impl PlacementStrategy for BestFit {
+    fn name(&self) -> &'static str {
+        "best-fit"
+    }
+
+    fn pick(
+        &self,
+        pending: &[CandidateJob],
+        gpus: &[GpuView],
+        now: Time,
+        fits: &FitsFn<'_>,
+    ) -> Option<(usize, usize)> {
+        let mut order: Vec<&CandidateJob> = pending.iter().collect();
+        order.sort_by(|a, b| {
+            let ea =
+                a.priority as f64 + self.aging_rate * now.saturating_since(a.arrival).as_secs_f64();
+            let eb =
+                b.priority as f64 + self.aging_rate * now.saturating_since(b.arrival).as_secs_f64();
+            eb.partial_cmp(&ea)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.arrival.cmp(&b.arrival))
+                .then(a.job.cmp(&b.job))
+        });
+        for cand in order {
+            let best = gpus.iter().filter(|g| fits(cand, g)).min_by_key(|g| {
+                // Leftover headroom after granting min(headroom, full).
+                let grant = g.headroom().min(cand.full_need);
+                (g.headroom() - grant, g.idx)
+            });
+            if let Some(g) = best {
+                return Some((cand.job, g.idx));
+            }
+        }
+        None
+    }
+}
+
+/// Strategy selector for CLI parsing and construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// [`FifoFirstFit`].
+    FifoFirstFit,
+    /// [`BestFit`].
+    BestFit,
+}
+
+impl StrategyKind {
+    /// Parses a CLI name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn parse(s: &str) -> Result<StrategyKind, String> {
+        match s {
+            "fifo" | "fifo-first-fit" => Ok(StrategyKind::FifoFirstFit),
+            "best-fit" | "bestfit" => Ok(StrategyKind::BestFit),
+            other => Err(format!(
+                "unknown strategy `{other}` (expected fifo or best-fit)"
+            )),
+        }
+    }
+
+    /// Builds the strategy, with `aging_rate` applied to best-fit.
+    pub fn build(self, aging_rate: f64) -> Box<dyn PlacementStrategy> {
+        match self {
+            StrategyKind::FifoFirstFit => Box::new(FifoFirstFit),
+            StrategyKind::BestFit => Box::new(BestFit { aging_rate }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(job: usize, arrival_us: u64, priority: u32, need: u64) -> CandidateJob {
+        CandidateJob {
+            job,
+            arrival: Time::from_micros(arrival_us),
+            priority,
+            full_need: need,
+            min_need: need,
+            failed_budget: None,
+        }
+    }
+
+    fn gpu(idx: usize, capacity: u64, reserved: u64) -> GpuView {
+        GpuView {
+            idx,
+            capacity,
+            reserved,
+        }
+    }
+
+    fn headroom_fits(c: &CandidateJob, g: &GpuView) -> bool {
+        g.headroom() >= c.min_need
+    }
+
+    #[test]
+    fn fifo_blocks_behind_head_of_line() {
+        let pending = [cand(0, 0, 0, 100), cand(1, 1, 5, 10)];
+        let gpus = [gpu(0, 50, 0)];
+        // Head needs 100, only 50 free: FIFO waits even though job 1 fits.
+        assert_eq!(
+            FifoFirstFit.pick(&pending, &gpus, Time::ZERO, &headroom_fits),
+            None
+        );
+        let roomy = [gpu(0, 40, 0), gpu(1, 200, 0)];
+        assert_eq!(
+            FifoFirstFit.pick(&pending, &roomy, Time::ZERO, &headroom_fits),
+            Some((0, 1))
+        );
+    }
+
+    #[test]
+    fn best_fit_minimizes_leftover_and_respects_priority() {
+        let pending = [cand(0, 0, 0, 100), cand(1, 1, 5, 10)];
+        let gpus = [gpu(0, 50, 0), gpu(1, 12, 0)];
+        // Priority 5 job goes first, onto the tighter GPU (leftover 2
+        // beats leftover 40).
+        assert_eq!(
+            BestFit::default().pick(&pending, &gpus, Time::ZERO, &headroom_fits),
+            Some((1, 1))
+        );
+    }
+
+    #[test]
+    fn aging_protects_old_jobs_from_fresh_urgent_arrivals() {
+        // Priority-0 job waiting since t=0; priority-3 job arrives at t=5s.
+        let pending = [cand(0, 0, 0, 10), cand(1, 5_000_000, 3, 10)];
+        let gpus = [gpu(0, 10, 0)];
+        let now = Time::from_micros(6_000_000);
+        // Without aging, raw priority wins.
+        let no_aging = BestFit { aging_rate: 0.0 };
+        assert_eq!(
+            no_aging.pick(&pending, &gpus, now, &headroom_fits),
+            Some((1, 0))
+        );
+        // With aging, six seconds of waiting outweigh the newcomer's
+        // priority edge (6.0 effective vs 3.0 + 1s).
+        let aged = BestFit { aging_rate: 1.0 };
+        assert_eq!(
+            aged.pick(&pending, &gpus, now, &headroom_fits),
+            Some((0, 0))
+        );
+    }
+}

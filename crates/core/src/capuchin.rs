@@ -415,8 +415,7 @@ impl MemoryPolicy for Capuchin {
                         self.last_residual = Some(residual);
                         // Clamped step: a huge residual (fragmentation
                         // thrash) must not blow the target up in one jump.
-                        let step =
-                            residual.min((self.profile.required_saving / 4).max(1 << 28));
+                        let step = residual.min((self.profile.required_saving / 4).max(1 << 28));
                         self.extra_saving += step;
                         self.replans += 1;
                         let mut profile = self.profile.clone();

@@ -1,0 +1,178 @@
+//! Footprint prediction and plan feasibility for admission control.
+//!
+//! A cluster scheduler admitting a training job needs two answers before
+//! committing device memory (paper §4.2's measured execution, repurposed
+//! at admission time):
+//!
+//! 1. *How much device memory will this job want?* — answered by running
+//!    one measured iteration on an effectively unlimited device and
+//!    reading the ideal live-memory peak.
+//! 2. *Can Capuchin shrink it into a smaller budget, and at what cost?* —
+//!    answered by asking the Policy Maker for a plan against the candidate
+//!    budget and checking whether the planned saving covers the gap.
+
+use capuchin_executor::{Engine, EngineConfig, ExecError};
+use capuchin_graph::Graph;
+use capuchin_sim::{DeviceSpec, Duration};
+
+use crate::capuchin::Capuchin;
+use crate::measure::MeasuredProfile;
+use crate::plan::Plan;
+use crate::planner::{make_plan, PlannerConfig};
+
+/// Memory capacity used for the unconstrained measuring run: large enough
+/// that no workload in this repository ever pages.
+const UNLIMITED: u64 = 1 << 40;
+
+/// What one measured iteration on an unlimited device revealed about a
+/// job's memory appetite.
+#[derive(Debug, Clone)]
+pub struct FootprintEstimate {
+    /// Device the measurement ran against (with its real capacity; only
+    /// the capacity was overridden during measuring).
+    pub spec: DeviceSpec,
+    /// Peak live memory an unlimited device holds — the footprint the job
+    /// needs to run without any memory management.
+    pub ideal_peak: u64,
+    /// Bytes of persistent weights: the un-shrinkable floor, pinned on
+    /// the device for the whole job.
+    pub weight_bytes: u64,
+    /// Wall time of the measured (unconstrained) iteration.
+    pub iter_wall: Duration,
+    /// The full measured profile, reusable for shrink queries.
+    pub profile: MeasuredProfile,
+}
+
+/// The Policy Maker's verdict on fitting a job into a byte budget.
+#[derive(Debug, Clone)]
+pub struct ShrinkPlan {
+    /// Bytes the plan must save for the job to fit the budget.
+    pub required_saving: u64,
+    /// Whether the planned saving covers the requirement.
+    pub feasible: bool,
+    /// Predicted per-iteration overhead: exposed transfer time of
+    /// negative-FT swaps plus recomputation kernel time.
+    pub predicted_overhead: Duration,
+    /// The plan itself (empty when no saving is required).
+    pub plan: Plan,
+}
+
+/// Measures a job's memory footprint by running warm-up plus one measured
+/// iteration against `spec` with capacity overridden to be unlimited.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if the measuring run itself fails (it cannot
+/// OOM, so any error indicates a malformed graph).
+pub fn measure_footprint(graph: &Graph, spec: &DeviceSpec) -> Result<FootprintEstimate, ExecError> {
+    let cfg = EngineConfig {
+        spec: spec.clone().with_memory(UNLIMITED),
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(graph, cfg, Box::new(Capuchin::new()));
+    // Iteration 0 materializes weights; iteration 1 is measured execution.
+    let stats = eng.run(2)?;
+    let iter_wall = stats
+        .try_last()
+        .map(|it| it.wall())
+        .unwrap_or(Duration::ZERO);
+    let profile = eng
+        .policy()
+        .as_any()
+        .and_then(|a| a.downcast_ref::<Capuchin>())
+        .expect("engine was constructed with the Capuchin policy")
+        .profile()
+        .clone();
+    let weight_bytes = profile
+        .info
+        .values()
+        .filter(|i| i.persistent)
+        .map(|i| i.size)
+        .sum();
+    Ok(FootprintEstimate {
+        spec: spec.clone(),
+        ideal_peak: profile.ideal_peak,
+        weight_bytes,
+        iter_wall,
+        profile,
+    })
+}
+
+/// Asks the Policy Maker whether `budget` bytes suffice for the measured
+/// job, and at what predicted overhead.
+pub fn shrink_feasibility(est: &FootprintEstimate, budget: u64, cfg: &PlannerConfig) -> ShrinkPlan {
+    let required_saving = est.ideal_peak.saturating_sub(budget);
+    if required_saving == 0 {
+        return ShrinkPlan {
+            required_saving: 0,
+            feasible: true,
+            predicted_overhead: Duration::ZERO,
+            plan: Plan::default(),
+        };
+    }
+    // Persistent weights cannot be shrunk away; below that floor (plus a
+    // sliver of working memory) no plan helps.
+    if budget <= est.weight_bytes {
+        return ShrinkPlan {
+            required_saving,
+            feasible: false,
+            predicted_overhead: Duration::ZERO,
+            plan: Plan::default(),
+        };
+    }
+    let mut profile = est.profile.clone();
+    profile.required_saving = required_saving;
+    let spec = est.spec.clone().with_memory(budget);
+    let plan = make_plan(&profile, &spec, cfg);
+    let feasible = plan.planned_saving >= required_saving;
+    let exposed_ns: u64 = plan
+        .swaps
+        .values()
+        .map(|s| u64::try_from(-s.ft_ns).unwrap_or(0))
+        .sum();
+    let recompute: Duration = plan
+        .recompute_keys
+        .iter()
+        .filter_map(|k| profile.info.get(k))
+        .map(|i| i.op_duration)
+        .sum();
+    ShrinkPlan {
+        required_saving,
+        feasible,
+        predicted_overhead: Duration::from_nanos(exposed_ns) + recompute,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capuchin_models::ModelKind;
+
+    #[test]
+    fn footprint_matches_unconstrained_run() {
+        let model = ModelKind::Vgg16.build(16);
+        let est = measure_footprint(&model.graph, &DeviceSpec::p100_pcie3()).unwrap();
+        assert!(est.ideal_peak > est.weight_bytes, "{est:?}");
+        assert!(est.iter_wall > Duration::ZERO);
+        // A budget at the ideal peak needs no plan.
+        let fit = shrink_feasibility(&est, est.ideal_peak, &PlannerConfig::default());
+        assert!(fit.feasible);
+        assert!(fit.plan.is_empty());
+    }
+
+    #[test]
+    fn shrink_is_feasible_at_mild_pressure_not_below_weights() {
+        let model = ModelKind::Vgg16.build(16);
+        let est = measure_footprint(&model.graph, &DeviceSpec::p100_pcie3()).unwrap();
+        // 90% of the transient footprint: Capuchin shrinks this easily.
+        let transient = est.ideal_peak - est.weight_bytes;
+        let mild = est.weight_bytes + transient * 9 / 10;
+        let shrunk = shrink_feasibility(&est, mild, &PlannerConfig::default());
+        assert!(shrunk.feasible, "{shrunk:?}");
+        assert!(!shrunk.plan.is_empty());
+        // At or below the weight floor nothing helps.
+        let hopeless = shrink_feasibility(&est, est.weight_bytes, &PlannerConfig::default());
+        assert!(!hopeless.feasible);
+    }
+}

@@ -33,11 +33,13 @@
 #![warn(missing_debug_implementations)]
 
 mod capuchin;
+mod footprint;
 mod measure;
 mod plan;
 mod planner;
 
 pub use crate::capuchin::{Capuchin, CapuchinConfig};
+pub use crate::footprint::{measure_footprint, shrink_feasibility, FootprintEstimate, ShrinkPlan};
 pub use crate::measure::{MeasuredAccess, MeasuredProfile, TensorInfo};
 pub use crate::plan::{EvictMethod, Plan, SwapEntry};
 pub use crate::planner::{make_plan, PlannerConfig};

@@ -146,7 +146,9 @@ impl MeasuredProfile {
                 baseline += info.size as i64;
                 continue;
             }
-            let Some(ids) = self.accesses_of.get(key) else { continue };
+            let Some(ids) = self.accesses_of.get(key) else {
+                continue;
+            };
             let first = self.seq[*ids.first().expect("non-empty")].time;
             let last = self.seq[*ids.last().expect("non-empty")].end;
             events.push((first, info.size as i64));

@@ -473,12 +473,12 @@ mod tests {
 
     const MB: u64 = 1 << 20;
 
-    /// Builds a synthetic measured profile. Each entry:
-    /// (key, size, inputs, op_duration_us, access_times_us).
-    fn profile(
-        tensors: &[(u64, u64, &[u64], u64, &[u64])],
-        required_saving: u64,
-    ) -> MeasuredProfile {
+    /// One synthetic tensor: (key, size, inputs, op_duration_us,
+    /// access_times_us).
+    type TensorRow<'a> = (u64, u64, &'a [u64], u64, &'a [u64]);
+
+    /// Builds a synthetic measured profile.
+    fn profile(tensors: &[TensorRow<'_>], required_saving: u64) -> MeasuredProfile {
         let mut p = MeasuredProfile::default();
         let mut events: Vec<(u64, TensorKey, u32)> = Vec::new();
         for &(id, size, inputs, op_us, times) in tensors {
@@ -569,10 +569,7 @@ mod tests {
     fn pairs_outside_peak_window_are_not_candidates() {
         let mut p = profile(&[(1, 64 * MB, &[], 100, &[0, 900_000])], 64 * MB);
         // Peak window far away from the tensor's interval.
-        p.peak_window = (
-            Time::from_micros(2_000_000),
-            Time::from_micros(3_000_000),
-        );
+        p.peak_window = (Time::from_micros(2_000_000), Time::from_micros(3_000_000));
         let plan = make_plan(&p, &spec(), &PlannerConfig::default());
         assert!(plan.is_empty());
     }
@@ -668,7 +665,13 @@ mod tests {
         let p = profile(
             &[
                 (1, 64 * MB, &[], 100, &[0, 900_000]),
-                (2, MB, &[], 10, &[100_000, 300_000, 600_000, 880_000, 899_000]),
+                (
+                    2,
+                    MB,
+                    &[],
+                    10,
+                    &[100_000, 300_000, 600_000, 880_000, 899_000],
+                ),
             ],
             64 * MB,
         );
@@ -689,7 +692,13 @@ mod tests {
         let p = profile(
             &[
                 (1, 64 * MB, &[], 100, &[0, 900_000]),
-                (2, MB, &[], 10, &[100_000, 300_000, 600_000, 880_000, 899_000]),
+                (
+                    2,
+                    MB,
+                    &[],
+                    10,
+                    &[100_000, 300_000, 600_000, 880_000, 899_000],
+                ),
             ],
             64 * MB,
         );

@@ -51,9 +51,7 @@ fn vdnn_runs_are_reproducible() {
 
 #[test]
 fn checkpointing_runs_are_reproducible() {
-    run_twice(|g| {
-        Box::new(GradientCheckpointing::from_graph(g, CheckpointMode::Memory))
-    });
+    run_twice(|g| Box::new(GradientCheckpointing::from_graph(g, CheckpointMode::Memory)));
 }
 
 #[test]

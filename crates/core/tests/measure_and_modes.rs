@@ -69,7 +69,7 @@ fn plan_triggers_reference_measured_accesses() {
     let profile = profile_of(&eng);
     let plan = plan_of(&eng);
     assert!(!plan.is_empty());
-    for (&(key, count), _method) in &plan.evictions {
+    for &(key, count) in plan.evictions.keys() {
         assert!(
             profile.time_of(key, count).is_some(),
             "plan trigger {key}@{count} was never measured"
@@ -88,7 +88,10 @@ fn plan_triggers_reference_measured_accesses() {
         }
     }
     // Saving bookkeeping is self-consistent.
-    assert_eq!(plan.planned_saving, plan.swap_saving + plan.recompute_saving);
+    assert_eq!(
+        plan.planned_saving,
+        plan.swap_saving + plan.recompute_saving
+    );
 }
 
 #[test]
@@ -105,10 +108,7 @@ fn plan_methods_match_config() {
         );
         eng.run(3).expect("runs");
         let plan = plan_of(&eng);
-        let has_swap = plan
-            .evictions
-            .values()
-            .any(|m| *m == EvictMethod::Swap);
+        let has_swap = plan.evictions.values().any(|m| *m == EvictMethod::Swap);
         let has_rec = plan
             .evictions
             .values()

@@ -23,7 +23,9 @@ fn run_capuchin(mem: u64, ccfg: CapuchinConfig, iters: u64) -> (RunStats, Capuch
         cfg(mem),
         Box::new(Capuchin::with_config(ccfg)),
     );
-    let stats = eng.run(iters).expect("capuchin must survive oversubscription");
+    let stats = eng
+        .run(iters)
+        .expect("capuchin must survive oversubscription");
     // Recover the policy for inspection by rebuilding — instead, expose
     // observable state through stats only in this test.
     drop(eng);
@@ -177,7 +179,10 @@ fn bert_under_capuchin_survives_oversubscription() {
     // vanishes at the realistic batch sizes of the Table 2 experiments.)
     let budget = weights + (peak - weights) * 80 / 100;
     let mut tf = Engine::new(&model.graph, cfg(budget), Box::new(TfOri::new()));
-    assert!(tf.run(1).is_err(), "80% transient budget must OOM under tf-ori");
+    assert!(
+        tf.run(1).is_err(),
+        "80% transient budget must OOM under tf-ori"
+    );
     let mut cap = Engine::new(&model.graph, cfg(budget), Box::new(Capuchin::new()));
     let stats = cap.run(8).expect("capuchin on BERT");
     let last = stats.iters.last().unwrap();

@@ -19,7 +19,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
-use capuchin_graph::{kernel_cost, pick_conv_algo, Graph, Op, OpId, OpKind, Phase, ValueId, ValueKind};
+use capuchin_graph::{
+    kernel_cost, pick_conv_algo, Graph, Op, OpId, OpKind, Phase, ValueId, ValueKind,
+};
 use capuchin_mem::{Allocation, DeviceAllocator, HostAllocId, HostPool};
 use capuchin_sim::{CopyDir, DeviceSpec, Duration, Event, Gpu, Time, Trace};
 use capuchin_tensor::{
@@ -29,7 +31,6 @@ use capuchin_tensor::{
 use crate::error::ExecError;
 use crate::policy::{AccessEvent, MemoryPolicy};
 use crate::stats::{IterStats, RunStats};
-
 
 /// How the framework schedules ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,18 @@ impl Default for EngineConfig {
             trace: false,
             inplace_grad: None,
             tracking_overhead: Duration::ZERO,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Default configuration against an explicit device — the common
+    /// setup for callers (benchmarks, the cluster scheduler) that build
+    /// many engines over the same device description.
+    pub fn for_device(spec: DeviceSpec) -> EngineConfig {
+        EngineConfig {
+            spec,
+            ..EngineConfig::default()
         }
     }
 }
@@ -237,8 +250,8 @@ impl<'g> Engine<'g> {
                         .any(|&o| graph.phase(o) == Phase::Backward)
                 {
                     alloc_top_hints.insert(Self::key_of(v.id));
-                    reserved += v.size_bytes().div_ceil(capuchin_mem::ALIGNMENT)
-                        * capuchin_mem::ALIGNMENT;
+                    reserved +=
+                        v.size_bytes().div_ceil(capuchin_mem::ALIGNMENT) * capuchin_mem::ALIGNMENT;
                 }
             }
             // Cap the reservation so a pathological graph cannot starve
@@ -432,7 +445,11 @@ impl<'g> Engine<'g> {
                             t.meta.name,
                             t.status,
                             if t.meta.persistent { "weight " } else { "" },
-                            if self.pinned.contains(&t.key()) { "pinned" } else { "" }
+                            if self.pinned.contains(&t.key()) {
+                                "pinned"
+                            } else {
+                                ""
+                            }
                         )
                     })
                     .unwrap_or_else(|| "scratch/workspace".to_owned()),
@@ -600,8 +617,10 @@ impl<'g> Engine<'g> {
 
         self.current_op = op.name.clone();
         self.pinned.clear();
-        self.pinned.extend(op.inputs.iter().map(|&v| Self::key_of(v)));
-        self.pinned.extend(op.outputs.iter().map(|&v| Self::key_of(v)));
+        self.pinned
+            .extend(op.inputs.iter().map(|&v| Self::key_of(v)));
+        self.pinned
+            .extend(op.outputs.iter().map(|&v| Self::key_of(v)));
 
         // 1. Bring inputs on-device (may swap in or recompute).
         let mut deps = Event::COMPLETED;
@@ -664,17 +683,23 @@ impl<'g> Engine<'g> {
             dur += self.tracking_overhead.mul_f64(accesses);
         }
         let mut earliest = deps.time();
-        if let ExecMode::Eager { dispatch_overhead, .. } = self.mode {
+        if let ExecMode::Eager {
+            dispatch_overhead, ..
+        } = self.mode
+        {
             self.host_clock += dispatch_overhead;
             earliest = earliest.max(self.host_clock);
         }
-        let enq = self.gpu.launch_kernel_raw(&op.name, dur, Event::at(earliest));
+        let enq = self
+            .gpu
+            .launch_kernel_raw(&op.name, dur, Event::at(earliest));
         self.iter_stats.kernels += 1;
 
         // 5. Record input accesses (at kernel start), then output produces
         //    (at kernel end), firing the policy after each.
         for &v in &op.inputs {
-            let ev = self.record_access(Self::key_of(v), AccessKind::Read, enq.start, enq.end, op_id);
+            let ev =
+                self.record_access(Self::key_of(v), AccessKind::Read, enq.start, enq.end, op_id);
             self.fire_post_access(ev);
         }
         let input_sigs: Vec<u64> = op
@@ -688,13 +713,22 @@ impl<'g> Engine<'g> {
             t.device = Some(alloc);
             t.status = TensorStatus::In;
             t.ready_at = enq.end;
-            let ev = self.record_access(Self::key_of(out), AccessKind::Produce, enq.end, enq.end, op_id);
+            let ev = self.record_access(
+                Self::key_of(out),
+                AccessKind::Produce,
+                enq.end,
+                enq.end,
+                op_id,
+            );
             self.fire_post_access(ev);
         }
 
         // 6. ApplyGradient mutates its weight in place.
         if matches!(op.kind, OpKind::ApplyGradient) {
-            let w = self.reg.get_mut(Self::key_of(op.inputs[0])).expect("weight live");
+            let w = self
+                .reg
+                .get_mut(Self::key_of(op.inputs[0]))
+                .expect("weight live");
             w.signature = sig::op("apply_gradient", 0, 0, &input_sigs);
         }
 
@@ -955,7 +989,11 @@ impl<'g> Engine<'g> {
             .iter()
             .map(|&i| self.reg.get(Self::key_of(i)).expect("input live").signature)
             .collect();
-        let idx = op.outputs.iter().position(|&o| o == v).expect("target is output");
+        let idx = op
+            .outputs
+            .iter()
+            .position(|&o| o == v)
+            .expect("target is output");
         let new_sig = sig::op(op.kind.tag(), op.kind.attr_hash(), idx, &input_sigs);
         let t = self.reg.get_mut(Self::key_of(v)).expect("target live");
         assert_eq!(
@@ -976,8 +1014,9 @@ impl<'g> Engine<'g> {
         let target_key = Self::key_of(v);
         for inp in regenerated {
             let ikey = Self::key_of(inp);
-            let keep = self
-                .with_policy(|policy, eng| policy.keep_recompute_intermediate(eng, ikey, target_key));
+            let keep = self.with_policy(|policy, eng| {
+                policy.keep_recompute_intermediate(eng, ikey, target_key)
+            });
             if !keep {
                 let epoch = self.bump_epoch(ikey);
                 self.schedule(
@@ -1051,7 +1090,11 @@ impl<'g> Engine<'g> {
                 Deferred::FreeHost(_) | Deferred::FreeTensorHost { .. } => false,
                 Deferred::FreeTensor { key, epoch, .. } => {
                     self.free_epoch.get(key).copied().unwrap_or(0) == *epoch
-                        && self.reg.get(*key).map(|t| t.device.is_some()).unwrap_or(false)
+                        && self
+                            .reg
+                            .get(*key)
+                            .map(|t| t.device.is_some())
+                            .unwrap_or(false)
                 }
                 Deferred::FreeWorkspace(_) => true,
             })
@@ -1106,7 +1149,9 @@ impl<'g> Engine<'g> {
                     if self.free_epoch.get(&key).copied().unwrap_or(0) != epoch {
                         continue; // revived or superseded
                     }
-                    let Some(t) = self.reg.get_mut(key) else { continue };
+                    let Some(t) = self.reg.get_mut(key) else {
+                        continue;
+                    };
                     if let Some(alloc) = t.device.take() {
                         self.dev.free(alloc).expect("tensor allocation live");
                     }
@@ -1135,7 +1180,9 @@ impl<'g> Engine<'g> {
             return false;
         }
         self.promote_if_arrived(key);
-        let Some(t) = self.reg.get(key) else { return false };
+        let Some(t) = self.reg.get(key) else {
+            return false;
+        };
         if t.status != TensorStatus::In || t.meta.persistent || t.device.is_none() {
             return false;
         }
@@ -1197,7 +1244,9 @@ impl<'g> Engine<'g> {
             return false;
         }
         self.promote_if_arrived(key);
-        let Some(t) = self.reg.get(key) else { return false };
+        let Some(t) = self.reg.get(key) else {
+            return false;
+        };
         if t.status != TensorStatus::In || t.meta.persistent || t.device.is_none() {
             return false;
         }
@@ -1212,9 +1261,12 @@ impl<'g> Engine<'g> {
             },
         };
         let start = earliest.max(ready);
-        let copy = self
-            .gpu
-            .launch_copy(&format!("evict:{name}"), size, CopyDir::DeviceToHost, Event::at(start));
+        let copy = self.gpu.launch_copy(
+            &format!("evict:{name}"),
+            size,
+            CopyDir::DeviceToHost,
+            Event::at(start),
+        );
         let before = self.now();
         self.gpu.sync_compute_until(copy.end);
         self.note_stall(self.now().saturating_since(before));
@@ -1249,7 +1301,12 @@ impl<'g> Engine<'g> {
             TensorStatus::SwappingOut => {
                 // Revive: cancel the pending free, keep the host copy cost.
                 self.bump_epoch(key);
-                let done = self.reg.get(key).expect("live").swapout_done_at.unwrap_or(earliest);
+                let done = self
+                    .reg
+                    .get(key)
+                    .expect("live")
+                    .swapout_done_at
+                    .unwrap_or(earliest);
                 let t = self.reg.get_mut(key).expect("live");
                 t.status = TensorStatus::In;
                 let buf = t.host.take();
@@ -1311,7 +1368,9 @@ impl<'g> Engine<'g> {
         if self.in_alloc_failure && self.pinned.contains(&key) {
             return false;
         }
-        let Some(t) = self.reg.get(key) else { return false };
+        let Some(t) = self.reg.get(key) else {
+            return false;
+        };
         if t.status != TensorStatus::SwappingIn || t.host.is_none() {
             return false;
         }
@@ -1333,7 +1392,9 @@ impl<'g> Engine<'g> {
             return false;
         }
         self.promote_if_arrived(key);
-        let Some(t) = self.reg.get(key) else { return false };
+        let Some(t) = self.reg.get(key) else {
+            return false;
+        };
         if t.status != TensorStatus::In
             || t.meta.persistent
             || !t.meta.recomputable

@@ -35,7 +35,10 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Oom { op, policy, source } => {
-                write!(f, "device OOM at op `{op}` under policy `{policy}`: {source}")
+                write!(
+                    f,
+                    "device OOM at op `{op}` under policy `{policy}`: {source}"
+                )
             }
             ExecError::RecomputeSourceLost { tensor } => {
                 write!(f, "recompute source lost for tensor `{tensor}`")

@@ -85,9 +85,17 @@ impl RunStats {
     ///
     /// # Panics
     ///
-    /// Panics if the run recorded no iterations.
+    /// Panics if the run recorded no iterations. Prefer [`try_last`]
+    /// when the iteration count is not statically known.
+    ///
+    /// [`try_last`]: RunStats::try_last
     pub fn last(&self) -> &IterStats {
-        self.iters.last().expect("run recorded no iterations")
+        self.try_last().expect("run recorded no iterations")
+    }
+
+    /// The last iteration's stats, or `None` for an empty run.
+    pub fn try_last(&self) -> Option<&IterStats> {
+        self.iters.last()
     }
 }
 
@@ -121,5 +129,15 @@ mod tests {
         let stats = RunStats::default();
         assert_eq!(stats.steady_iter_time(), Duration::ZERO);
         assert_eq!(stats.throughput(), 0.0);
+        assert!(stats.try_last().is_none());
+    }
+
+    #[test]
+    fn try_last_returns_final_iteration() {
+        let stats = RunStats {
+            iters: vec![iter(0, 0, 10), iter(1, 10, 30)],
+            batch: 1,
+        };
+        assert_eq!(stats.try_last().map(|it| it.iter), Some(1));
     }
 }

@@ -142,7 +142,11 @@ impl MemoryPolicy for SwapOne {
 fn proactive_swap_roundtrip() {
     let g = tiny_cnn();
     let relu = Engine::key_of(value_named(&g, "relu1/out"));
-    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(SwapOne { target: relu }));
+    let mut eng = Engine::new(
+        &g,
+        EngineConfig::default(),
+        Box::new(SwapOne { target: relu }),
+    );
     let stats = eng.run(2).expect("swap roundtrip");
     let it = &stats.iters[1];
     assert!(it.swap_out_bytes > 0);
@@ -285,7 +289,11 @@ fn revive_cancels_pending_swap_out() {
     }
     let g = tiny_cnn();
     let relu = Engine::key_of(value_named(&g, "relu1/out"));
-    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(SwapThenRevive { target: relu }));
+    let mut eng = Engine::new(
+        &g,
+        EngineConfig::default(),
+        Box::new(SwapThenRevive { target: relu }),
+    );
     let stats = eng.run(2).expect("revive path");
     // Copy-out was issued but no swap-in transfer was ever needed.
     assert!(stats.iters[1].swap_out_bytes > 0);
@@ -370,11 +378,18 @@ fn weight_tensors_never_candidates_for_services() {
         fn post_access(&mut self, eng: &mut Engine<'_>, ev: &AccessEvent) {
             if ev.key == self.w && !self.tried {
                 self.tried = true;
-                assert!(!eng.swap_out_async(self.w, ev.end), "weights must be refused");
+                assert!(
+                    !eng.swap_out_async(self.w, ev.end),
+                    "weights must be refused"
+                );
                 assert!(!eng.release_for_recompute_at(self.w, ev.end));
             }
         }
     }
-    let mut eng = Engine::new(&g, EngineConfig::default(), Box::new(TryEvictWeight { w, tried: false }));
+    let mut eng = Engine::new(
+        &g,
+        EngineConfig::default(),
+        Box::new(TryEvictWeight { w, tried: false }),
+    );
     eng.run(1).unwrap();
 }

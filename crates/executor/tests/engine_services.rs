@@ -23,7 +23,11 @@ fn tiny_cnn() -> Graph {
 }
 
 fn value_named(g: &Graph, name: &str) -> ValueId {
-    g.values().iter().find(|v| v.name == name).expect("value").id
+    g.values()
+        .iter()
+        .find(|v| v.name == name)
+        .expect("value")
+        .id
 }
 
 /// Swap out at produce, prefetch at the next access of a *different*
@@ -116,7 +120,10 @@ fn tracking_overhead_scales_iteration_time() {
     };
     let mut eng = Engine::new(&g, cfg, Box::new(TfOri::new()));
     let tracked = eng.run(2).unwrap().iters[1].wall();
-    assert!(tracked > base, "tracking must cost time: {tracked} vs {base}");
+    assert!(
+        tracked > base,
+        "tracking must cost time: {tracked} vs {base}"
+    );
     // Roughly accesses * 50us.
     let accesses = eng.iter_stats().accesses;
     let delta = tracked.as_micros_f64() - base.as_micros_f64();

@@ -123,7 +123,10 @@ fn emit(
 /// forward graph).
 pub fn build_backward(g: &mut Graph, loss: ValueId) -> GradInfo {
     assert!(
-        matches!(g.op(g.value(loss).producer).kind, OpKind::SoftmaxCrossEntropy),
+        matches!(
+            g.op(g.value(loss).producer).kind,
+            OpKind::SoftmaxCrossEntropy
+        ),
         "loss must come from softmax_cross_entropy"
     );
 
@@ -306,8 +309,18 @@ fn differentiate(g: &mut Graph, tape: &mut GradTape, op_idx: usize, dys: &[Optio
                 &[x, scale, dy],
                 &[
                     ("dx", shape_of(g, x), DType::F32, ValueKind::Gradient),
-                    ("dscale", shape_of(g, scale), DType::F32, ValueKind::Gradient),
-                    ("dshift", shape_of(g, shift), DType::F32, ValueKind::Gradient),
+                    (
+                        "dscale",
+                        shape_of(g, scale),
+                        DType::F32,
+                        ValueKind::Gradient,
+                    ),
+                    (
+                        "dshift",
+                        shape_of(g, shift),
+                        DType::F32,
+                        ValueKind::Gradient,
+                    ),
                 ],
             );
             tape.contribute(g, x, outs[0]);
@@ -515,7 +528,12 @@ mod tests {
     fn relu_grad_reads_forward_output() {
         let (mut g, loss) = tiny_cnn();
         build_backward(&mut g, loss);
-        let relu_out = g.values().iter().find(|v| v.name == "relu1/out").unwrap().id;
+        let relu_out = g
+            .values()
+            .iter()
+            .find(|v| v.name == "relu1/out")
+            .unwrap()
+            .id;
         let relu_grad = g
             .ops()
             .iter()

@@ -51,11 +51,17 @@ impl ConvAlgo {
 }
 
 fn input_bytes(g: &Graph, op: &Op) -> f64 {
-    op.inputs.iter().map(|&v| g.value(v).size_bytes() as f64).sum()
+    op.inputs
+        .iter()
+        .map(|&v| g.value(v).size_bytes() as f64)
+        .sum()
 }
 
 fn output_bytes(g: &Graph, op: &Op) -> f64 {
-    op.outputs.iter().map(|&v| g.value(v).size_bytes() as f64).sum()
+    op.outputs
+        .iter()
+        .map(|&v| g.value(v).size_bytes() as f64)
+        .sum()
 }
 
 fn io_bytes(g: &Graph, op: &Op) -> f64 {
@@ -127,10 +133,10 @@ pub fn kernel_cost(g: &Graph, op: &Op) -> KernelCost {
         OpKind::BatchNorm | OpKind::LayerNorm => {
             KernelCost::memory_bound(2.0 * input_bytes(g, op) + output_bytes(g, op))
         }
-        OpKind::BatchNormGrad | OpKind::LayerNormGrad => {
-            KernelCost::memory_bound(2.0 * io)
-        }
-        OpKind::Softmax | OpKind::SoftmaxGrad | OpKind::SoftmaxCrossEntropy
+        OpKind::BatchNormGrad | OpKind::LayerNormGrad => KernelCost::memory_bound(2.0 * io),
+        OpKind::Softmax
+        | OpKind::SoftmaxGrad
+        | OpKind::SoftmaxCrossEntropy
         | OpKind::SoftmaxCrossEntropyGrad => KernelCost::memory_bound(1.5 * io),
 
         // Elementwise and data-movement ops: one read + one write.

@@ -276,7 +276,10 @@ impl Graph {
             pad,
         };
         let dtype = self.value(x).dtype;
-        let weight = self.weight(format!("{name}/filter"), Shape::new(vec![out_c, c, kernel, kernel]));
+        let weight = self.weight(
+            format!("{name}/filter"),
+            Shape::new(vec![out_c, c, kernel, kernel]),
+        );
         let out = Shape::nchw(n, out_c, attrs.out_extent(h), attrs.out_extent(w));
         self.add_op(
             name,
@@ -304,9 +307,20 @@ impl Graph {
     }
 
     /// Max pooling.
-    pub fn max_pool(&mut self, name: &str, x: ValueId, kernel: usize, stride: usize, pad: usize) -> ValueId {
+    pub fn max_pool(
+        &mut self,
+        name: &str,
+        x: ValueId,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> ValueId {
         let xs = self.value(x).shape.clone();
-        let attrs = PoolAttrs { kernel, stride, pad };
+        let attrs = PoolAttrs {
+            kernel,
+            stride,
+            pad,
+        };
         let out = Shape::nchw(
             xs.dim(0),
             xs.dim(1),
@@ -317,9 +331,20 @@ impl Graph {
     }
 
     /// Average pooling.
-    pub fn avg_pool(&mut self, name: &str, x: ValueId, kernel: usize, stride: usize, pad: usize) -> ValueId {
+    pub fn avg_pool(
+        &mut self,
+        name: &str,
+        x: ValueId,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> ValueId {
         let xs = self.value(x).shape.clone();
-        let attrs = PoolAttrs { kernel, stride, pad };
+        let attrs = PoolAttrs {
+            kernel,
+            stride,
+            pad,
+        };
         let out = Shape::nchw(
             xs.dim(0),
             xs.dim(1),
@@ -467,7 +492,10 @@ impl Graph {
         let sb = &self.value(b).shape;
         let ra = sa.rank();
         let rb = sb.rank();
-        assert!(ra == 2 || ra == 3, "matmul lhs must be rank 2 or 3, got {sa}");
+        assert!(
+            ra == 2 || ra == 3,
+            "matmul lhs must be rank 2 or 3, got {sa}"
+        );
         let (m, ka) = trailing(sa, ta);
         let (kb, n) = {
             let (rows, cols) = trailing(sb, false);
@@ -477,7 +505,10 @@ impl Graph {
                 (rows, cols)
             }
         };
-        assert_eq!(ka, kb, "matmul inner dims mismatch: {sa} x {sb} (ta={ta}, tb={tb})");
+        assert_eq!(
+            ka, kb,
+            "matmul inner dims mismatch: {sa} x {sb} (ta={ta}, tb={tb})"
+        );
         if ra == 3 {
             if rb == 3 {
                 assert_eq!(sa.dim(0), sb.dim(0), "batched matmul batch mismatch");
@@ -510,7 +541,10 @@ impl Graph {
     /// Layer normalization with internal gain/bias parameters.
     pub fn layer_norm(&mut self, name: &str, x: ValueId) -> ValueId {
         let xs = self.value(x).shape.clone();
-        let d = *xs.dims().last().expect("layer_norm input must have rank >= 1");
+        let d = *xs
+            .dims()
+            .last()
+            .expect("layer_norm input must have rank >= 1");
         let dtype = self.value(x).dtype;
         let gamma = self.weight(format!("{name}/gamma"), Shape::vector(d));
         let beta = self.weight(format!("{name}/beta"), Shape::vector(d));
@@ -534,7 +568,12 @@ impl Graph {
             OpKind::Embedding,
             Phase::Forward,
             &[ids, table],
-            &[("out", Shape::new(out_dims), DType::F32, ValueKind::Activation)],
+            &[(
+                "out",
+                Shape::new(out_dims),
+                DType::F32,
+                ValueKind::Activation,
+            )],
         )[0]
     }
 
@@ -572,7 +611,12 @@ impl Graph {
     /// # Panics
     ///
     /// Panics if `logits` is not rank 2.
-    pub fn softmax_cross_entropy(&mut self, name: &str, logits: ValueId, labels: ValueId) -> ValueId {
+    pub fn softmax_cross_entropy(
+        &mut self,
+        name: &str,
+        logits: ValueId,
+        labels: ValueId,
+    ) -> ValueId {
         let ls = self.value(logits).shape.clone();
         assert_eq!(ls.rank(), 2, "logits must be [batch, classes]");
         let outs = self.add_op(

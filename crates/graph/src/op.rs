@@ -276,11 +276,13 @@ impl OpKind {
     /// Hash of the attributes, for content signatures.
     pub fn attr_hash(&self) -> u64 {
         match self {
-            OpKind::Conv2d(a) | OpKind::Conv2dBackpropInput(a) | OpKind::Conv2dBackpropFilter(a) => {
-                sig::attrs(&a.words())
-            }
+            OpKind::Conv2d(a)
+            | OpKind::Conv2dBackpropInput(a)
+            | OpKind::Conv2dBackpropFilter(a) => sig::attrs(&a.words()),
             OpKind::MatMul { ta, tb } => sig::attrs(&[u64::from(*ta), u64::from(*tb)]),
-            OpKind::MaxPool(a) | OpKind::MaxPoolGrad(a) | OpKind::AvgPool(a)
+            OpKind::MaxPool(a)
+            | OpKind::MaxPoolGrad(a)
+            | OpKind::AvgPool(a)
             | OpKind::AvgPoolGrad(a) => sig::attrs(&a.words()),
             OpKind::ScalarMul { scalar_micros } => sig::attrs(&[*scalar_micros as u64]),
             OpKind::Dropout { rate_pct } | OpKind::DropoutGrad { rate_pct } => {

@@ -20,8 +20,7 @@ enum Layer {
 
 fn layer_strategy() -> impl Strategy<Value = Layer> {
     prop_oneof![
-        (1usize..32, prop_oneof![Just(1usize), Just(3)])
-            .prop_map(|(ch, k)| Layer::Conv { ch, k }),
+        (1usize..32, prop_oneof![Just(1usize), Just(3)]).prop_map(|(ch, k)| Layer::Conv { ch, k }),
         Just(Layer::Relu),
         Just(Layer::Gelu),
         Just(Layer::BatchNorm),

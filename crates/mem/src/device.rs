@@ -305,7 +305,9 @@ impl DeviceAllocator {
             // anywhere when no region is reserved).
             self.free_index
                 .iter()
-                .filter(|&&(s, o)| s >= size && (self.boundary == self.capacity || o >= self.boundary))
+                .filter(|&&(s, o)| {
+                    s >= size && (self.boundary == self.capacity || o >= self.boundary)
+                })
                 .max_by_key(|&&(_, o)| o)
                 .copied()
         } else {
@@ -473,7 +475,12 @@ impl DeviceAllocator {
         if cursor != self.capacity {
             return Err(format!("chunks cover {cursor} B of {} B", self.capacity));
         }
-        if self.free_index.len() != self.chunks.values().filter(|c| c.state == ChunkState::Free).count()
+        if self.free_index.len()
+            != self
+                .chunks
+                .values()
+                .filter(|c| c.state == ChunkState::Free)
+                .count()
         {
             return Err("free index size mismatch".to_owned());
         }

@@ -30,5 +30,7 @@
 mod device;
 mod host;
 
-pub use device::{AllocId, Allocation, DeviceAllocator, DeviceMemStats, InvalidAllocation, OomError, ALIGNMENT};
+pub use device::{
+    AllocId, Allocation, DeviceAllocator, DeviceMemStats, InvalidAllocation, OomError, ALIGNMENT,
+};
 pub use host::{HostAllocId, HostOomError, HostPool};

@@ -133,9 +133,7 @@ mod tests {
     fn all_models_build_and_validate_at_small_batch() {
         for kind in ModelKind::ALL {
             let m = kind.build(2);
-            m.graph
-                .validate()
-                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            m.graph.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
             assert_eq!(m.batch, 2);
             assert!(m.graph.op_count() > 50, "{kind} suspiciously small");
         }

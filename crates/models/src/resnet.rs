@@ -48,8 +48,7 @@ fn resnet(name: &str, blocks: [usize; 4], batch: usize) -> Model {
     let mut h = g.max_pool("pool1", stem, 3, 2, 1);
 
     let stage_channels = [(64, 256), (128, 512), (256, 1024), (512, 2048)];
-    for (stage, (&count, &(mid_c, out_c))) in blocks.iter().zip(stage_channels.iter()).enumerate()
-    {
+    for (stage, (&count, &(mid_c, out_c))) in blocks.iter().zip(stage_channels.iter()).enumerate() {
         for block in 0..count {
             let stride = if stage > 0 && block == 0 { 2 } else { 1 };
             h = bottleneck(

@@ -56,11 +56,7 @@ fn vgg(name: &str, stages: &[&[usize]], batch: usize) -> Model {
     }
 
     let hs = g.value(h).shape.clone();
-    let flat = g.reshape(
-        "flatten",
-        h,
-        Shape::matrix(batch, hs.elem_count() / batch),
-    );
+    let flat = g.reshape("flatten", h, Shape::matrix(batch, hs.elem_count() / batch));
     let fc6 = g.dense("fc6", flat, 4096);
     let fc6 = g.relu("relu6", fc6);
     let fc6 = g.dropout("drop6", fc6, 50);

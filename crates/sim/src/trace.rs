@@ -101,7 +101,9 @@ impl Trace {
     /// Events whose label contains `needle`.
     pub fn with_label(&self, needle: &str) -> impl Iterator<Item = &TraceEvent> + '_ {
         let needle = needle.to_owned();
-        self.events.iter().filter(move |e| e.label.contains(&needle))
+        self.events
+            .iter()
+            .filter(move |e| e.label.contains(&needle))
     }
 }
 

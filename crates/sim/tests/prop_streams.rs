@@ -2,7 +2,9 @@
 //! interleavings must preserve FIFO order, busy-time accounting, and
 //! cross-stream dependency causality.
 
-use capuchin_sim::{CopyDir, DeviceSpec, Duration, Event, Gpu, KernelCost, Stream, StreamKind, Time};
+use capuchin_sim::{
+    CopyDir, DeviceSpec, Duration, Event, Gpu, KernelCost, Stream, StreamKind, Time,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -43,6 +43,5 @@ mod tensor;
 pub use shape::{DType, Shape};
 pub use sig::Signature;
 pub use tensor::{
-    AccessKind, OpHandle, Tensor, TensorAccess, TensorKey, TensorMeta, TensorRegistry,
-    TensorStatus,
+    AccessKind, OpHandle, Tensor, TensorAccess, TensorKey, TensorMeta, TensorRegistry, TensorStatus,
 };

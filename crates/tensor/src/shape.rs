@@ -70,7 +70,9 @@ impl Shape {
 
     /// A rank-2 shape.
     pub fn matrix(rows: usize, cols: usize) -> Shape {
-        Shape { dims: vec![rows, cols] }
+        Shape {
+            dims: vec![rows, cols],
+        }
     }
 
     /// A batched image shape in NCHW layout.

@@ -44,7 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let last = stats.iters.last().unwrap();
                 println!(
                     "{batch:>6} {:>10} {:>10.1}/s {:>9.1} GiB {:>10} ops {:>8.0} ms",
-                    tf.map(|t| format!("{t:.1}/s")).unwrap_or_else(|| "OOM".into()),
+                    tf.map(|t| format!("{t:.1}/s"))
+                        .unwrap_or_else(|| "OOM".into()),
                     batch as f64 / last.wall().as_secs_f64(),
                     last.swap_out_bytes as f64 / (1 << 30) as f64,
                     last.recompute_kernels,

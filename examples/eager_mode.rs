@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .ok()
                 .map(|s| batch as f64 / s.iters.last().unwrap().wall().as_secs_f64())
         };
-        let fmt = |v: Option<f64>| v.map(|t| format!("{t:.1}/s")).unwrap_or_else(|| "OOM".into());
+        let fmt = |v: Option<f64>| {
+            v.map(|t| format!("{t:.1}/s"))
+                .unwrap_or_else(|| "OOM".into())
+        };
         println!("{batch:>6} {:>12} {:>12}", fmt(tf), fmt(cap));
     }
     println!("\n(paper Table 3: TF eager max 70, Capuchin 190; Fig. 10(b): DenseNet's");

@@ -73,8 +73,17 @@ fn main() {
     let fp32_cap = max_batch(DType::F32, cap, budget);
     let fp16_cap = max_batch(DType::F16, cap, budget);
     println!("  fp32 activations, no manager : {fp32}");
-    println!("  fp16 activations, no manager : {fp16}  ({:.2}x)", fp16 as f64 / fp32 as f64);
-    println!("  fp32 activations + Capuchin  : {fp32_cap}  ({:.2}x)", fp32_cap as f64 / fp32 as f64);
-    println!("  fp16 activations + Capuchin  : {fp16_cap}  ({:.2}x)", fp16_cap as f64 / fp32 as f64);
+    println!(
+        "  fp16 activations, no manager : {fp16}  ({:.2}x)",
+        fp16 as f64 / fp32 as f64
+    );
+    println!(
+        "  fp32 activations + Capuchin  : {fp32_cap}  ({:.2}x)",
+        fp32_cap as f64 / fp32 as f64
+    );
+    println!(
+        "  fp16 activations + Capuchin  : {fp16_cap}  ({:.2}x)",
+        fp16_cap as f64 / fp32 as f64
+    );
     println!("\nthe two levers stack, up to the bound set by the un-shrinkable working set.");
 }

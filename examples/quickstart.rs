@@ -49,8 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tf = Engine::new(&model.graph, cfg.clone(), Box::new(TfOri::new()));
     match tf.run(1) {
         Err(ExecError::Oom { op, .. }) => {
-            println!("\nTF-ori at a {:.2} GiB budget: OOM at op `{op}` — as expected",
-                budget as f64 / (1 << 30) as f64)
+            println!(
+                "\nTF-ori at a {:.2} GiB budget: OOM at op `{op}` — as expected",
+                budget as f64 / (1 << 30) as f64
+            )
         }
         other => println!("unexpected: {other:?}"),
     }

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo-wide checks: formatting, lints, and the tier-1 build+test gate.
+# Run from the repository root. Fails fast on the first broken check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> all checks passed"

@@ -43,7 +43,10 @@ fn all_models_all_policies_unconstrained() {
                 ("tf-ori", _) => baseline = Some(wall),
                 // Capuchin must add zero overhead when nothing is evicted.
                 ("capuchin", Some(base)) => {
-                    assert_eq!(wall, base, "{kind}: capuchin must match tf-ori unconstrained")
+                    assert_eq!(
+                        wall, base,
+                        "{kind}: capuchin must match tf-ori unconstrained"
+                    )
                 }
                 _ => {}
             }

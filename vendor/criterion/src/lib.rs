@@ -1,0 +1,115 @@
+//! Offline stand-in for `criterion`, vendored because this build
+//! environment has no network access to crates.io.
+//!
+//! Runs each benchmark a fixed number of iterations and prints the mean
+//! wall-clock time — no warm-up analysis, outlier rejection, or HTML
+//! reports. Enough to keep `cargo bench` working and give ballpark
+//! numbers.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The stub runs one routine per
+/// setup regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Prevents the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Times `f` and prints the mean per-iteration wall time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed: Duration::ZERO,
+            timed: 0,
+        };
+        f(&mut b);
+        let mean = if b.timed > 0 {
+            b.elapsed / u32::try_from(b.timed).unwrap_or(u32::MAX)
+        } else {
+            Duration::ZERO
+        };
+        println!("bench: {name:<45} {mean:>12.2?}/iter ({} iters)", b.timed);
+        self
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    timed: u64,
+}
+
+impl Bencher {
+    /// Times `routine` run back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let t = Instant::now();
+            black_box(routine());
+            self.elapsed += t.elapsed();
+            self.timed += 1;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.timed += 1;
+        }
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

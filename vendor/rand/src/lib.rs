@@ -1,0 +1,63 @@
+//! Offline stand-in for `rand`, vendored because this build environment
+//! has no network access to crates.io. Provides a deterministic seedable
+//! generator with the handful of methods callers typically need.
+
+use std::ops::Range;
+
+/// A generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-value surface shared by all generators.
+pub trait Rng {
+    /// The next 64 pseudo-random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value in `range`.
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.next_u64() % (range.end - range.start)
+    }
+
+    /// A uniform float in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A splitmix64 generator (used for both `StdRng` and `SmallRng`).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+/// Alias: the stub does not distinguish small and standard generators.
+pub type SmallRng = StdRng;
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod rngs {
+    //! Generator types, mirroring `rand::rngs`.
+    pub use crate::{SmallRng, StdRng};
+}
+
+pub mod prelude {
+    //! The glob-import surface.
+    pub use crate::{Rng, SeedableRng, SmallRng, StdRng};
+}

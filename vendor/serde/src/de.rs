@@ -1,0 +1,240 @@
+//! [`Deserialize`] implementations for standard types, plus the error
+//! type shared by serialization facades.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+use crate::text;
+use crate::value::Value;
+use crate::Deserialize;
+
+/// A (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn mismatch(expected: &str, got: &Value) -> Error {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "a boolean",
+        Value::Int(_) | Value::UInt(_) => "an integer",
+        Value::Float(_) => "a float",
+        Value::Str(_) => "a string",
+        Value::Array(_) => "an array",
+        Value::Object(_) => "an object",
+    };
+    Error::custom(format!("expected {expected}, found {kind}"))
+}
+
+/// Looks up a required struct field; used by derived impls.
+pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+    v.get(name)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_i64().ok_or_else(|| mismatch("an integer", v))?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::custom(format!(
+                        "integer {i} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_u64()
+            .ok_or_else(|| mismatch("a non-negative integer", v))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let u = u64::from_value(v)?;
+        usize::try_from(u).map_err(|_| Error::custom(format!("integer {u} out of range for usize")))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| mismatch("a number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| mismatch("a boolean", v))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| mismatch("a string", v))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| mismatch("a string", v))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| mismatch("an array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(mismatch("null", other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| mismatch("an array", v))?;
+                if items.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected an array of length {}, found {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+/// Reverses [`crate::ser::key_string`]: string-typed keys deserialize from
+/// the raw string, everything else from its compact-JSON rendering.
+fn key_value<K: Deserialize>(key: &str) -> Result<K, Error> {
+    match text::parse(key) {
+        Ok(parsed) => {
+            K::from_value(&parsed).or_else(|_| K::from_value(&Value::Str(key.to_owned())))
+        }
+        Err(_) => K::from_value(&Value::Str(key.to_owned())),
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| mismatch("an object", v))?
+            .iter()
+            .map(|(k, val)| Ok((key_value(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| mismatch("an object", v))?
+            .iter()
+            .map(|(k, val)| Ok((key_value(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| mismatch("an array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| mismatch("an array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde`, vendored because this build environment
+//! has no network access to crates.io.
+//!
+//! It implements exactly the surface this workspace uses: the
+//! [`Serialize`] / [`Deserialize`] traits (value-tree based rather than
+//! visitor based), a self-describing [`Value`] tree, and — behind the
+//! `derive` feature — `#[derive(Serialize, Deserialize)]` for plain
+//! structs and enums without generics or `#[serde(...)]` attributes.
+//!
+//! Representation choices mirror real serde's JSON data model:
+//!
+//! * named-field structs → objects (field order preserved);
+//! * newtype structs → the inner value;
+//! * tuple structs → arrays;
+//! * unit enum variants → `"Name"`; data variants → `{"Name": ...}`
+//!   (externally tagged);
+//! * maps → objects; non-string keys are rendered as the compact JSON of
+//!   the key (and parsed back on deserialization).
+
+pub mod de;
+pub mod ser;
+pub mod text;
+mod value;
+
+pub use de::Error;
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value serializable into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a self-describing value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A value reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}

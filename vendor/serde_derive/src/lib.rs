@@ -1,0 +1,402 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro`
+//! directly (no syn/quote — neither is available in this build
+//! environment).
+//!
+//! Supports plain (non-generic) structs and enums without `#[serde(...)]`
+//! attributes, which is exactly what this workspace uses. The generated
+//! impls target the vendored value-tree `serde`:
+//!
+//! * named struct  → `Value::Object` in declaration order;
+//! * newtype struct → the inner value;
+//! * tuple struct  → `Value::Array`;
+//! * enum          → externally tagged (`"Unit"` / `{"Variant": data}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Item model + parsing
+// ---------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Splits a token sequence at top-level commas. Tracks `<`/`>` depth so a
+/// comma inside `HashMap<K, V>` does not split; `->` is ignored.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle: i32 = 0;
+    let mut prev_punct = ' ';
+    for t in tokens {
+        let mut c = ' ';
+        if let TokenTree::Punct(p) = &t {
+            c = p.as_char();
+            match c {
+                '<' => angle += 1,
+                '>' if prev_punct != '-' => angle = (angle - 1).max(0),
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    prev_punct = c;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        prev_punct = c;
+        chunks.last_mut().unwrap().push(t);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Strips leading `#[...]` attributes and a `pub` / `pub(...)` visibility
+/// from the front of a token chunk.
+fn skip_attrs_and_vis(tokens: &mut Vec<TokenTree>) {
+    loop {
+        match tokens.first() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.remove(0);
+                match tokens.first() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        tokens.remove(0);
+                    }
+                    _ => panic!("serde derive: malformed attribute"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.remove(0);
+                if let Some(TokenTree::Group(g)) = tokens.first() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.remove(0);
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_commas(stream.into_iter().collect())
+        .into_iter()
+        .map(|mut chunk| {
+            skip_attrs_and_vis(&mut chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                _ => panic!("serde derive: expected a field name"),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    skip_attrs_and_vis(&mut tokens);
+    let mut it = tokens.into_iter().peekable();
+
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive: expected a type name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic types are not supported by the vendored stub");
+    }
+
+    match (kind.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::Struct {
+                name,
+                fields: Fields::Tuple(split_commas(g.stream().into_iter().collect()).len()),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Item::Struct {
+            name,
+            fields: Fields::Unit,
+        },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let variants = split_commas(g.stream().into_iter().collect())
+                .into_iter()
+                .map(|mut chunk| {
+                    skip_attrs_and_vis(&mut chunk);
+                    let vname = match chunk.first() {
+                        Some(TokenTree::Ident(i)) => i.to_string(),
+                        _ => panic!("serde derive: expected a variant name"),
+                    };
+                    let fields = match chunk.get(1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Fields::Named(parse_named_fields(g.stream()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Fields::Tuple(split_commas(g.stream().into_iter().collect()).len())
+                        }
+                        _ => Fields::Unit, // bare variant, possibly `= discriminant`
+                    };
+                    Variant {
+                        name: vname,
+                        fields,
+                    }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        (k, t) => panic!("serde derive: unsupported item shape ({k}, {t:?})"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------
+
+fn named_to_object(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                f,
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn derive_serialize_src(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => named_to_object(fs, |f| format!("&self.{f}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let content = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), {content})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let content = named_to_object(fs, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), {content})]),",
+                                fs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------
+
+/// Field initializer that tolerates a missing key when the field type
+/// accepts `null` (e.g. `Option<T>`), and reports `missing field`
+/// otherwise.
+fn named_field_init(source: &str, field: &str) -> String {
+    format!(
+        "{field}: match ::serde::Value::get({source}, {field:?}) {{\n\
+             Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                 .map_err(|_| ::serde::Error::custom(concat!(\"missing field `\", {field:?}, \"`\")))?,\n\
+         }},"
+    )
+}
+
+fn tuple_from_array(ctor: &str, source: &str, n: usize, what: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+        .collect();
+    format!(
+        "{{\n\
+             let __items = {source}.as_array().ok_or_else(|| ::serde::Error::custom(\n\
+                 concat!(\"expected an array for `\", {what:?}, \"`\")))?;\n\
+             if __items.len() != {n} {{\n\
+                 return Err(::serde::Error::custom(concat!(\n\
+                     \"expected an array of length {n} for `\", {what:?}, \"`\")));\n\
+             }}\n\
+             Ok({ctor}({}))\n\
+         }}",
+        items.join(", ")
+    )
+}
+
+fn derive_deserialize_src(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => tuple_from_array(name, "v", *n, name),
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs.iter().map(|f| named_field_init("v", f)).collect();
+                    format!(
+                        "{{\n\
+                             if v.as_object().is_none() {{\n\
+                                 return Err(::serde::Error::custom(concat!(\n\
+                                     \"expected an object for `\", {name:?}, \"`\")));\n\
+                             }}\n\
+                             Ok({name} {{\n{}\n}})\n\
+                         }}",
+                        inits.join("\n")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{0:?} => return Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vn:?} => return Ok({name}::{vn}(::serde::Deserialize::from_value(_content)?)),"
+                        )),
+                        Fields::Tuple(n) => Some(format!(
+                            "{vn:?} => return {},",
+                            tuple_from_array(&format!("{name}::{vn}"), "_content", *n, vn)
+                        )),
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| named_field_init("_content", f))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => return Ok({name}::{vn} {{\n{}\n}}),",
+                                inits.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if let Some(__s) = v.as_str() {{\n\
+                             match __s {{\n\
+                                 {units}\n\
+                                 _ => {{}}\n\
+                             }}\n\
+                         }}\n\
+                         if let Some(__entries) = v.as_object() {{\n\
+                             if __entries.len() == 1 {{\n\
+                                 let (__tag, _content) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {datas}\n\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                         Err(::serde::Error::custom(concat!(\"unknown or malformed variant of `\", {name:?}, \"`\")))\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_src(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_src(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde_json`: a thin facade over the vendored
+//! value-tree `serde` and its JSON renderer/parser.
+
+pub use serde::{Error, Value};
+
+use serde::{text, Deserialize, Serialize};
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible in this stub; `Result` is kept for API compatibility.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(text::render_compact(&value.to_value()))
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent).
+///
+/// # Errors
+///
+/// Infallible in this stub; `Result` is kept for API compatibility.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(text::render_pretty(&value.to_value()))
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&text::parse(s)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible in this stub; `Result` is kept for API compatibility.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] on a shape mismatch.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T, Error> {
+    T::from_value(v)
+}
