@@ -34,7 +34,8 @@ USAGE:
     capuchin-cli cluster   (--jobs <file> | --synthetic <n> [--seed <s>]
                            [--mean-interarrival <secs>])
                            [--gpus <n>] [--memory ...] [--admission tf-ori|capuchin]
-                           [--strategy fifo|best-fit] [--aging-rate <r>] [--out <file>]
+                           [--strategy fifo|best-fit] [--aging-rate <r>]
+                           [--preemption on|off] [--out <file>]
 
 MODELS:    vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
 POLICIES:  tf-ori vdnn openai-memory openai-speed lru capuchin (default)
@@ -365,16 +366,26 @@ fn cmd_cluster(args: &Args) {
                 .unwrap_or_else(|_| fail("--aging-rate must be a number"))
         })
         .unwrap_or(0.1);
+    let preemption = args
+        .flags
+        .get("preemption")
+        .map(|s| match s.as_str() {
+            "on" => true,
+            "off" => false,
+            _ => fail("--preemption must be `on` or `off`"),
+        })
+        .unwrap_or(false);
     let cfg = ClusterConfig {
         gpus,
         spec: DeviceSpec::p100_pcie3().with_memory(args.memory()),
         admission,
         strategy,
         aging_rate,
+        preemption,
         ..ClusterConfig::default()
     };
     eprintln!(
-        "scheduling {} jobs on {gpus} × {:.1} GiB GPUs ({}, {})",
+        "scheduling {} jobs on {gpus} × {:.1} GiB GPUs ({}, {}, preemption {})",
         jobs.len(),
         cfg.spec.memory_bytes as f64 / (1 << 30) as f64,
         admission.name(),
@@ -382,6 +393,7 @@ fn cmd_cluster(args: &Args) {
             StrategyKind::FifoFirstFit => "fifo-first-fit",
             StrategyKind::BestFit => "best-fit",
         },
+        if preemption { "on" } else { "off" },
     );
     let stats = Cluster::new(cfg).run(&jobs);
     eprintln!(

@@ -189,7 +189,9 @@ impl Admission {
     ///
     /// Returns the engine's [`ExecError`] (typically OOM) when the budget
     /// turns out to be insufficient; the caller must not admit at this
-    /// budget.
+    /// budget. Zero-iteration requests fail with
+    /// [`ExecError::NoIterations`] — an empty wall trace would replay as
+    /// zero-time iterations.
     pub fn validate(
         &self,
         graph: &Graph,
@@ -199,6 +201,9 @@ impl Admission {
         shrunk: bool,
         iters: u64,
     ) -> Result<Vec<Duration>, ExecError> {
+        if iters == 0 {
+            return Err(ExecError::NoIterations);
+        }
         let cfg = EngineConfig::for_device(spec.clone().with_memory(budget));
         let policy: Box<dyn MemoryPolicy> = if shrunk || policy == JobPolicy::Capuchin {
             Box::new(Capuchin::new())
@@ -231,6 +236,23 @@ mod tests {
         // The planner agrees a plan exists at the measured minimum.
         let check = shrink_feasibility(&est, cap.min, &PlannerConfig::default());
         assert!(check.feasible);
+    }
+
+    #[test]
+    fn zero_iteration_validation_is_rejected() {
+        let model = ModelKind::ResNet50.build(8);
+        let adm = Admission::new(AdmissionMode::Capuchin);
+        assert!(matches!(
+            adm.validate(
+                &model.graph,
+                &DeviceSpec::p100_pcie3(),
+                4 << 30,
+                JobPolicy::Capuchin,
+                false,
+                0
+            ),
+            Err(ExecError::NoIterations)
+        ));
     }
 
     #[test]

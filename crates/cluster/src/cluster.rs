@@ -10,26 +10,39 @@
 //!   granted budget with a real engine run and the cluster replays the
 //!   recorded per-iteration wall times on its own clock. When a job's
 //!   validation run is shorter than the job, the final (steady-state)
-//!   wall time repeats.
-//! * Co-located jobs slow each other down: an iteration started while
-//!   `k` jobs are resident on the GPU takes `k×` its recorded wall time
-//!   (a deliberately simple contention model — compute is time-sliced,
-//!   memory is partitioned). In-flight iterations keep their scheduled
-//!   end when residency changes.
+//!   wall time repeats. An empty validation trace is a failed validation
+//!   — replaying it would fabricate zero-time iterations.
+//! * Co-located jobs slow each other down: an iteration in flight while
+//!   `k` jobs are resident on the GPU progresses at `1/k` of its recorded
+//!   pace (compute is time-sliced, memory is partitioned). Residency
+//!   changes *re-price* every in-flight iteration: progress accrued so
+//!   far is banked at the old factor and the remainder is rescaled to the
+//!   new one, so bursty arrivals are charged honestly.
+//! * With [`ClusterConfig::preemption`] on, a high-effective-priority
+//!   arrival that fits nowhere may preempt the lowest-priority resident
+//!   job: the victim's state is checkpointed to the host (a PCIe
+//!   device-to-host copy of its whole reservation), its reservation is
+//!   released, and it re-enters the queue to resume later from the saved
+//!   iteration (restore pays the host-to-device copy). The interrupted
+//!   iteration is discarded and redone on resume — the same boundary
+//!   semantics as [`capuchin_executor::Engine::snapshot`].
 //! * Footprint measurement happens off the critical path (think: a
 //!   profiling sidecar), so admission consumes no simulated time.
 //!
 //! # Determinism
 //!
 //! Events are ordered by `(time, submission sequence)`; all caches are
-//! `BTreeMap`s; the waiting queue is a plain `Vec` in arrival order.
+//! `BTreeMap`s; the waiting queue is a plain `Vec` in queue-entry order
+//! (arrival, or checkpoint completion for preempted jobs). Re-pricing and
+//! preemption supersede scheduled iteration ends via a per-job epoch
+//! counter — stale events are skipped on pop, never mutated in place.
 //! Two runs over the same workload produce byte-identical stats JSON.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use capuchin::{measure_footprint, FootprintEstimate};
-use capuchin_sim::{DeviceSpec, Duration, Time};
+use capuchin_sim::{CopyDir, DeviceSpec, Duration, Time};
 
 use crate::admission::{Admission, AdmissionMode, JobNeeds};
 use crate::job::JobSpec;
@@ -54,6 +67,10 @@ pub struct ClusterConfig {
     /// job's own iteration count; at least 2 so Capuchin completes
     /// measured execution).
     pub validate_iters: u64,
+    /// Allow checkpoint-preemption: a waiting job whose effective
+    /// priority exceeds a resident job's static priority may evict it
+    /// through a host-side checkpoint when no GPU has headroom.
+    pub preemption: bool,
 }
 
 impl Default for ClusterConfig {
@@ -65,8 +82,28 @@ impl Default for ClusterConfig {
             strategy: StrategyKind::FifoFirstFit,
             aging_rate: 0.1,
             validate_iters: 6,
+            preemption: false,
         }
     }
+}
+
+/// Host-side checkpoint of a preempted job: everything the cluster needs
+/// to resume the replay on any GPU. This is the replay-level mirror of
+/// [`capuchin_executor::EngineSnapshot`] — the iteration cursor plus the
+/// validated per-iteration walls (the RNG-free replay trace) and the
+/// budget those walls were validated at.
+#[derive(Debug, Clone)]
+struct Checkpoint {
+    /// Completed iterations: the resume point. The interrupted iteration
+    /// was discarded and is redone after restore.
+    iters_done: u64,
+    /// Reservation the walls were validated at; resume regrants exactly
+    /// this, so no re-validation is needed.
+    reserved: u64,
+    /// Whether that reservation was a shrunk grant.
+    shrunk: bool,
+    /// Validated per-iteration walls.
+    walls: Vec<Duration>,
 }
 
 /// Per-job simulation state.
@@ -74,12 +111,20 @@ impl Default for ClusterConfig {
 struct JobRun {
     spec: JobSpec,
     arrival: Time,
+    /// When the job (re-)entered the waiting queue: arrival for fresh
+    /// jobs, checkpoint completion for preempted ones. Priority aging and
+    /// FIFO order run from here, so a preempted job does not return with
+    /// an inflated age and immediately reclaim its slot.
+    queued_at: Time,
     needs: JobNeeds,
     footprint: u64,
     /// Largest budget a validation run failed at (never retried at or
     /// below this).
     failed_budget: Option<u64>,
     rejected: bool,
+    /// Replay became impossible mid-run (empty wall trace): the job was
+    /// evicted and counted as a mid-run abort.
+    aborted: bool,
     gpu: Option<usize>,
     reserved: u64,
     shrunk: bool,
@@ -87,6 +132,93 @@ struct JobRun {
     finished_at: Option<Time>,
     walls: Vec<Duration>,
     iters_done: u64,
+    /// Bumped whenever scheduled events for this job become stale
+    /// (re-pricing, preemption, abort); events carry the epoch they were
+    /// scheduled under and are skipped on mismatch.
+    epoch: u64,
+    /// An iteration is in flight (false while checkpointing/restoring).
+    iterating: bool,
+    /// Base (1×) wall of the in-flight iteration.
+    iter_wall: Duration,
+    /// Contention factor in effect since `iter_priced_at`.
+    iter_k: f64,
+    /// When the in-flight iteration started (for wasted-work accounting).
+    iter_started: Time,
+    /// Last re-pricing instant.
+    iter_priced_at: Time,
+    /// Fraction of the base wall completed as of `iter_priced_at`.
+    iter_progress: f64,
+    /// A checkpoint copy is draining (EV_PREEMPT scheduled).
+    preempting: bool,
+    checkpoint: Option<Checkpoint>,
+    /// When the live checkpoint completed (cleared on resume).
+    preempted_at: Option<Time>,
+    preemptions: u64,
+    wasted_work: Duration,
+    resume_latency: Duration,
+    /// Total checkpoint + restore PCIe copy time charged to the job.
+    checkpoint_overhead: Duration,
+}
+
+impl JobRun {
+    fn new(spec: &JobSpec) -> JobRun {
+        let arrival = Time::ZERO + Duration::from_secs_f64(spec.arrival_time.max(0.0));
+        JobRun {
+            spec: spec.clone(),
+            arrival,
+            queued_at: arrival,
+            needs: JobNeeds { full: 0, min: 0 },
+            footprint: 0,
+            failed_budget: None,
+            rejected: false,
+            aborted: false,
+            gpu: None,
+            reserved: 0,
+            shrunk: false,
+            admitted_at: None,
+            finished_at: None,
+            walls: Vec::new(),
+            iters_done: 0,
+            epoch: 0,
+            iterating: false,
+            iter_wall: Duration::ZERO,
+            iter_k: 1.0,
+            iter_started: Time::ZERO,
+            iter_priced_at: Time::ZERO,
+            iter_progress: 0.0,
+            preempting: false,
+            checkpoint: None,
+            preempted_at: None,
+            preemptions: 0,
+            wasted_work: Duration::ZERO,
+            resume_latency: Duration::ZERO,
+            checkpoint_overhead: Duration::ZERO,
+        }
+    }
+
+    /// The strategy's view of this waiting job. A checkpointed job asks
+    /// for exactly its validated reservation back — no re-validation, no
+    /// shrink search.
+    fn candidate(&self, idx: usize) -> CandidateJob {
+        match &self.checkpoint {
+            Some(cp) => CandidateJob {
+                job: idx,
+                arrival: self.queued_at,
+                priority: self.spec.priority,
+                full_need: cp.reserved,
+                min_need: cp.reserved,
+                failed_budget: None,
+            },
+            None => CandidateJob {
+                job: idx,
+                arrival: self.queued_at,
+                priority: self.spec.priority,
+                full_need: self.needs.full,
+                min_need: self.needs.min,
+                failed_budget: self.failed_budget,
+            },
+        }
+    }
 }
 
 /// Per-GPU reservation ledger with a byte-time integral for utilization.
@@ -124,11 +256,23 @@ impl GpuState {
 
 const EV_ARRIVE: u8 = 0;
 const EV_ITER_END: u8 = 1;
+/// A preemption's device-to-host checkpoint copy drained: release the
+/// reservation and re-enqueue the victim.
+const EV_PREEMPT: u8 = 2;
+/// A resume's host-to-device restore copy drained: the job starts
+/// iterating again from its saved cursor.
+const EV_RESUME: u8 = 3;
 
-/// Event queue entry: `(time ns, sequence, kind, job)` under `Reverse`
-/// for min-heap order. The sequence number breaks time ties
-/// deterministically.
-type Event = Reverse<(u64, u64, u8, usize)>;
+/// Event queue entry: `(time ns, sequence, kind, job, epoch)` under
+/// `Reverse` for min-heap order. The sequence number breaks time ties
+/// deterministically; the epoch invalidates events superseded by
+/// re-pricing or preemption.
+type Event = Reverse<(u64, u64, u8, usize, u64)>;
+
+/// A job's wall trace is empty — replaying it would fabricate zero-time
+/// iterations (and an infinitely fast job).
+#[derive(Debug, PartialEq, Eq)]
+struct EmptyWalls;
 
 /// Validation-cache key: `(model name, batch, budget, policy, shrunk,
 /// iters)`.
@@ -203,7 +347,9 @@ impl Cluster {
                 shrunk,
                 iters,
             )
-            .ok();
+            .ok()
+            // An empty trace is a failed validation, not a fast job.
+            .filter(|walls| !walls.is_empty());
         self.validations.insert(key, walls.clone());
         walls
     }
@@ -214,24 +360,10 @@ impl Cluster {
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
         let mut jobs: Vec<JobRun> = Vec::with_capacity(specs.len());
         for (i, spec) in specs.iter().enumerate() {
-            let arrival = Time::ZERO + Duration::from_secs_f64(spec.arrival_time.max(0.0));
-            jobs.push(JobRun {
-                spec: spec.clone(),
-                arrival,
-                needs: JobNeeds { full: 0, min: 0 },
-                footprint: 0,
-                failed_budget: None,
-                rejected: false,
-                gpu: None,
-                reserved: 0,
-                shrunk: false,
-                admitted_at: None,
-                finished_at: None,
-                walls: Vec::new(),
-                iters_done: 0,
-            });
-            heap.push(Reverse((arrival.as_nanos(), seq, EV_ARRIVE, i)));
+            let run = JobRun::new(spec);
+            heap.push(Reverse((run.arrival.as_nanos(), seq, EV_ARRIVE, i, 0)));
             seq += 1;
+            jobs.push(run);
         }
         let mut gpus: Vec<GpuState> = (0..self.cfg.gpus)
             .map(|_| GpuState::new(self.cfg.spec.memory_bytes))
@@ -239,8 +371,11 @@ impl Cluster {
         let mut pending: Vec<usize> = Vec::new();
         let strategy = self.cfg.strategy.build(self.cfg.aging_rate);
 
-        while let Some(Reverse((t, _, kind, job))) = heap.pop() {
+        while let Some(Reverse((t, _, kind, job, epoch))) = heap.pop() {
             let now = Time::from_nanos(t);
+            if kind != EV_ARRIVE && epoch != jobs[job].epoch {
+                continue; // superseded by a re-pricing, preemption or abort
+            }
             match kind {
                 EV_ARRIVE => {
                     let (est, needs) = self.estimate(&jobs[job].spec);
@@ -253,7 +388,8 @@ impl Cluster {
                         pending.push(job);
                     }
                 }
-                _ => {
+                EV_ITER_END => {
+                    jobs[job].iterating = false;
                     jobs[job].iters_done += 1;
                     if jobs[job].iters_done >= jobs[job].spec.iters {
                         let gpu = jobs[job].gpu.expect("running job has a GPU");
@@ -262,24 +398,58 @@ impl Cluster {
                         g.touch(now);
                         g.reserved -= jobs[job].reserved;
                         g.resident.retain(|&r| r != job);
-                    } else {
-                        schedule_iter(&jobs, &gpus, job, now, &mut seq, &mut heap);
+                        reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                    } else if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap)
+                        .is_err()
+                    {
+                        abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
                     }
                 }
+                EV_PREEMPT => {
+                    // Checkpoint copy drained: release the reservation and
+                    // put the victim back in the queue, resumable.
+                    let gpu = jobs[job].gpu.take().expect("preempting job has a GPU");
+                    let reserved = jobs[job].reserved;
+                    let j = &mut jobs[job];
+                    j.preempting = false;
+                    j.checkpoint = Some(Checkpoint {
+                        iters_done: j.iters_done,
+                        reserved,
+                        shrunk: j.shrunk,
+                        walls: j.walls.clone(),
+                    });
+                    j.preempted_at = Some(now);
+                    j.queued_at = now;
+                    let g = &mut gpus[gpu];
+                    g.touch(now);
+                    g.reserved -= reserved;
+                    g.resident.retain(|&r| r != job);
+                    // All earlier queue entries have queued_at <= now, so
+                    // appending preserves queue-entry order.
+                    pending.push(job);
+                    reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                }
+                EV_RESUME => {
+                    // Restore copy drained: rebuild the replay state from
+                    // the checkpoint and continue from the saved cursor.
+                    let j = &mut jobs[job];
+                    let cp = j.checkpoint.take().expect("resuming job has a checkpoint");
+                    j.iters_done = cp.iters_done;
+                    j.shrunk = cp.shrunk;
+                    j.walls = cp.walls;
+                    if let Some(at) = j.preempted_at.take() {
+                        j.resume_latency += now.saturating_since(at);
+                    }
+                    if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap).is_err() {
+                        abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
+                    }
+                }
+                other => unreachable!("unknown event kind {other}"),
             }
             // (Re-)place waiting jobs after every state change.
             loop {
-                let cands: Vec<CandidateJob> = pending
-                    .iter()
-                    .map(|&j| CandidateJob {
-                        job: j,
-                        arrival: jobs[j].arrival,
-                        priority: jobs[j].spec.priority,
-                        full_need: jobs[j].needs.full,
-                        min_need: jobs[j].needs.min,
-                        failed_budget: jobs[j].failed_budget,
-                    })
-                    .collect();
+                let cands: Vec<CandidateJob> =
+                    pending.iter().map(|&j| jobs[j].candidate(j)).collect();
                 if cands.is_empty() {
                     break;
                 }
@@ -303,6 +473,30 @@ impl Cluster {
                 let Some((job, gpu)) = strategy.pick(&cands, &views, now, &fits) else {
                     break;
                 };
+                if let Some(cp) = &jobs[job].checkpoint {
+                    // Resume placement: regrant the checkpointed budget and
+                    // charge the host-to-device restore copy before the
+                    // first resumed iteration.
+                    let grant = cp.reserved;
+                    let copy = self.cfg.spec.copy_time(grant, CopyDir::HostToDevice);
+                    let j = &mut jobs[job];
+                    j.gpu = Some(gpu);
+                    j.reserved = grant;
+                    j.checkpoint_overhead += copy;
+                    j.epoch += 1;
+                    let (at, ep) = (now + copy, j.epoch);
+                    pending.retain(|&p| p != job);
+                    let g = &mut gpus[gpu];
+                    g.touch(now);
+                    g.reserved += grant;
+                    g.peak = g.peak.max(g.reserved);
+                    g.resident.push(job);
+                    g.hosted += 1;
+                    heap.push(Reverse((at.as_nanos(), seq, EV_RESUME, job, ep)));
+                    seq += 1;
+                    reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                    continue;
+                }
                 let grant = views[gpu].headroom().min(jobs[job].needs.full);
                 let shrunk = grant < jobs[job].needs.full;
                 let spec = jobs[job].spec.clone();
@@ -321,7 +515,11 @@ impl Cluster {
                         g.peak = g.peak.max(g.reserved);
                         g.resident.push(job);
                         g.hosted += 1;
-                        schedule_iter(&jobs, &gpus, job, now, &mut seq, &mut heap);
+                        if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap).is_err() {
+                            abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
+                        } else {
+                            reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                        }
                     }
                     None => {
                         // The budget looked plannable but the engine run
@@ -329,6 +527,33 @@ impl Cluster {
                         let j = &mut jobs[job];
                         j.failed_budget = Some(j.failed_budget.map_or(grant, |fb| fb.max(grant)));
                     }
+                }
+            }
+            // Nothing placeable: consider evicting a low-priority resident
+            // through a host checkpoint. One preemption in flight at a time
+            // keeps victim selection honest about headroom.
+            if self.cfg.preemption && !jobs.iter().any(|j| j.preempting) {
+                if let Some(victim) =
+                    pick_preemption(&jobs, &gpus, &pending, now, self.cfg.aging_rate)
+                {
+                    let copy = self
+                        .cfg
+                        .spec
+                        .copy_time(jobs[victim].reserved, CopyDir::DeviceToHost);
+                    let j = &mut jobs[victim];
+                    j.preempting = true;
+                    j.preemptions += 1;
+                    j.checkpoint_overhead += copy;
+                    // The interrupted iteration is lost: checkpoints only
+                    // capture completed-iteration boundaries.
+                    if j.iterating {
+                        j.wasted_work += now.saturating_since(j.iter_started);
+                        j.iterating = false;
+                    }
+                    j.epoch += 1;
+                    let at = now + copy;
+                    heap.push(Reverse((at.as_nanos(), seq, EV_PREEMPT, victim, j.epoch)));
+                    seq += 1;
                 }
             }
         }
@@ -395,6 +620,10 @@ impl Cluster {
                         JobOutcome::Rejected
                     } else if j.finished_at.is_some() {
                         JobOutcome::Completed
+                    } else if j.aborted {
+                        JobOutcome::Aborted
+                    } else if j.checkpoint.is_some() || j.preempting {
+                        JobOutcome::Preempted
                     } else {
                         JobOutcome::Starved
                     },
@@ -414,6 +643,10 @@ impl Cluster {
                         }
                         _ => Duration::ZERO,
                     },
+                    preemptions: j.preemptions,
+                    wasted_work: j.wasted_work,
+                    resume_latency: j.resume_latency,
+                    checkpoint_overhead: j.checkpoint_overhead,
                 }
             })
             .collect();
@@ -440,7 +673,8 @@ impl Cluster {
             submitted: jobs.len(),
             completed: completed.len(),
             oom_rejections: jobs.iter().filter(|j| j.rejected).count(),
-            midrun_oom_aborts: 0,
+            midrun_oom_aborts: jobs.iter().filter(|j| j.aborted).count(),
+            preemptions: jobs.iter().map(|j| j.preemptions as usize).sum(),
             makespan,
             aggregate_samples_per_sec: if makespan.as_secs_f64() == 0.0 {
                 0.0
@@ -456,24 +690,166 @@ impl Cluster {
 }
 
 /// Schedules the end of `job`'s next iteration: recorded wall time (the
-/// validation run's final wall repeats past its length) times the number
-/// of jobs currently resident on the GPU.
+/// validation run's final wall repeats past its length) scaled by the
+/// number of jobs currently resident on the GPU. Re-pricing adjusts the
+/// end later if residency changes mid-iteration.
+///
+/// # Errors
+///
+/// Returns [`EmptyWalls`] when the job has no wall trace to replay —
+/// admission rejects such traces, so this is a defence, not a path.
 fn schedule_iter(
-    jobs: &[JobRun],
+    jobs: &mut [JobRun],
     gpus: &[GpuState],
     job: usize,
     now: Time,
     seq: &mut u64,
     heap: &mut BinaryHeap<Event>,
-) {
-    let j = &jobs[job];
-    let gpu = j.gpu.expect("scheduled job has a GPU");
-    let idx = (j.iters_done as usize).min(j.walls.len().saturating_sub(1));
-    let wall = j.walls.get(idx).copied().unwrap_or(Duration::ZERO);
-    let contention = gpus[gpu].resident.len().max(1) as f64;
-    let end = now + wall.mul_f64(contention);
-    heap.push(Reverse((end.as_nanos(), *seq, EV_ITER_END, job)));
+) -> Result<(), EmptyWalls> {
+    let gpu = jobs[job].gpu.expect("scheduled job has a GPU");
+    let k = gpus[gpu].resident.len().max(1) as f64;
+    let j = &mut jobs[job];
+    if j.walls.is_empty() {
+        return Err(EmptyWalls);
+    }
+    let idx = (j.iters_done as usize).min(j.walls.len() - 1);
+    let wall = j.walls[idx];
+    j.iter_wall = wall;
+    j.iter_k = k;
+    j.iter_progress = 0.0;
+    j.iter_started = now;
+    j.iter_priced_at = now;
+    j.iterating = true;
+    let end = now + wall.mul_f64(k);
+    heap.push(Reverse((end.as_nanos(), *seq, EV_ITER_END, job, j.epoch)));
     *seq += 1;
+    Ok(())
+}
+
+/// Re-prices every in-flight iteration on `gpu` after its resident set
+/// changed at `now`: progress accrued under the old contention factor is
+/// banked, the remainder is rescaled to the new factor, and a fresh
+/// iteration-end event supersedes the stale one (epoch bump).
+fn reprice_residents(
+    jobs: &mut [JobRun],
+    gpus: &[GpuState],
+    gpu: usize,
+    now: Time,
+    seq: &mut u64,
+    heap: &mut BinaryHeap<Event>,
+) {
+    let k = gpus[gpu].resident.len().max(1) as f64;
+    for &r in &gpus[gpu].resident {
+        let j = &mut jobs[r];
+        if !j.iterating || j.iter_k == k {
+            continue;
+        }
+        let base = j.iter_wall.as_nanos() as f64;
+        if base > 0.0 {
+            let elapsed = now.saturating_since(j.iter_priced_at).as_nanos() as f64;
+            j.iter_progress = (j.iter_progress + elapsed / (j.iter_k * base)).min(1.0);
+        } else {
+            j.iter_progress = 1.0;
+        }
+        j.iter_k = k;
+        j.iter_priced_at = now;
+        let remaining = Duration::from_nanos(((1.0 - j.iter_progress) * k * base).round() as u64);
+        j.epoch += 1;
+        heap.push(Reverse((
+            (now + remaining).as_nanos(),
+            *seq,
+            EV_ITER_END,
+            r,
+            j.epoch,
+        )));
+        *seq += 1;
+    }
+}
+
+/// Evicts `job` as a mid-run abort: its reservation is released, its
+/// events are invalidated, and it counts toward `midrun_oom_aborts`.
+fn abort_job(
+    jobs: &mut [JobRun],
+    gpus: &mut [GpuState],
+    job: usize,
+    now: Time,
+    seq: &mut u64,
+    heap: &mut BinaryHeap<Event>,
+) {
+    let j = &mut jobs[job];
+    j.aborted = true;
+    j.iterating = false;
+    j.epoch += 1;
+    if let Some(gpu) = j.gpu.take() {
+        let reserved = j.reserved;
+        let g = &mut gpus[gpu];
+        g.touch(now);
+        g.reserved -= reserved;
+        g.resident.retain(|&r| r != job);
+        reprice_residents(jobs, gpus, gpu, now, seq, heap);
+    }
+}
+
+/// Selects a preemption victim, or `None` when preemption cannot help.
+///
+/// For each *fresh* waiting job (checkpointed jobs queue for natural
+/// space — letting them preempt would ping-pong), in descending effective
+/// priority (`priority + aging_rate × wait`): if it fits on no GPU as-is,
+/// look for the lowest-static-priority iterating resident whose eviction
+/// would open enough headroom, with the victim's priority strictly below
+/// the waiter's effective priority.
+fn pick_preemption(
+    jobs: &[JobRun],
+    gpus: &[GpuState],
+    pending: &[usize],
+    now: Time,
+    aging_rate: f64,
+) -> Option<usize> {
+    let eff = |priority: u32, since: Time| {
+        priority as f64 + aging_rate * now.saturating_since(since).as_secs_f64()
+    };
+    let mut waiters: Vec<usize> = pending
+        .iter()
+        .copied()
+        .filter(|&p| jobs[p].checkpoint.is_none())
+        .collect();
+    waiters.sort_by(|&a, &b| {
+        let ea = eff(jobs[a].spec.priority, jobs[a].queued_at);
+        let eb = eff(jobs[b].spec.priority, jobs[b].queued_at);
+        eb.partial_cmp(&ea)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(jobs[a].queued_at.cmp(&jobs[b].queued_at))
+            .then(a.cmp(&b))
+    });
+    for &p in &waiters {
+        let jp = &jobs[p];
+        let ep = eff(jp.spec.priority, jp.queued_at);
+        let fits_now = gpus.iter().any(|g| {
+            let h = g.capacity.saturating_sub(g.reserved);
+            h >= jp.needs.min && jp.failed_budget.is_none_or(|fb| h.min(jp.needs.full) > fb)
+        });
+        if fits_now {
+            // Placeable without violence; the strategy just chose not to
+            // (e.g. FIFO head-of-line). Preemption is not the tool.
+            continue;
+        }
+        let mut victims: Vec<usize> = gpus
+            .iter()
+            .flat_map(|g| g.resident.iter().copied())
+            .filter(|&v| jobs[v].iterating && !jobs[v].preempting)
+            .filter(|&v| (jobs[v].spec.priority as f64) < ep)
+            .collect();
+        victims.sort_by_key(|&v| (jobs[v].spec.priority, v));
+        for &v in &victims {
+            let g = &gpus[jobs[v].gpu.expect("resident job has a GPU")];
+            let freed = g.capacity.saturating_sub(g.reserved) + jobs[v].reserved;
+            let grant = freed.min(jp.needs.full);
+            if freed >= jp.needs.min && jp.failed_budget.is_none_or(|fb| grant > fb) {
+                return Some(v);
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -515,6 +891,7 @@ mod tests {
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.oom_rejections, 0);
         assert_eq!(stats.midrun_oom_aborts, 0);
+        assert_eq!(stats.preemptions, 0);
         assert!(stats.makespan > Duration::ZERO);
         assert!(stats.aggregate_samples_per_sec > 0.0);
         assert!(stats.per_gpu[0].peak_reserved_bytes > 0);
@@ -558,5 +935,189 @@ mod tests {
         assert_eq!(cap.completed, 1, "{}", cap.to_json());
         assert!(cap.jobs[0].shrunk);
         assert!(cap.jobs[0].reserved_bytes < cap.jobs[0].footprint_bytes);
+    }
+
+    /// Two staggered jobs must slow each other for exactly the overlap:
+    /// the first job's in-flight iteration is re-priced when the second
+    /// arrives mid-iteration, so neither keeps a stale 1× wall.
+    #[test]
+    fn staggered_jobs_reprice_in_flight_iterations() {
+        let solo = |arrival: f64, name: &str| JobSpec {
+            name: name.into(),
+            model: capuchin_models::ModelKind::ResNet50,
+            batch: 16,
+            policy: JobPolicy::TfOri,
+            iters: 4,
+            priority: 0,
+            arrival_time: arrival,
+        };
+        let baseline = Cluster::new(ClusterConfig {
+            gpus: 1,
+            ..ClusterConfig::default()
+        })
+        .run(&[solo(0.0, "alone")]);
+        let solo_jct = baseline.jobs[0].jct;
+        assert!(solo_jct > Duration::ZERO);
+        // Stagger the second arrival into the middle of the first job's
+        // run (well past admission, well before completion).
+        let stagger = solo_jct.as_secs_f64() * 0.4;
+        let both = Cluster::new(ClusterConfig {
+            gpus: 1,
+            ..ClusterConfig::default()
+        })
+        .run(&[solo(0.0, "first"), solo(stagger, "second")]);
+        assert_eq!(both.completed, 2, "{}", both.to_json());
+        let first = &both.jobs[0];
+        let second = &both.jobs[1];
+        // Both must be slower than solo: the first pays 2× for its tail
+        // (including the re-priced in-flight iteration), the second pays
+        // 2× until the first finishes.
+        assert!(
+            first.jct > solo_jct,
+            "first job untouched by contention: {:?} vs solo {:?}",
+            first.jct,
+            solo_jct
+        );
+        assert!(
+            second.jct > solo_jct,
+            "second job untouched by contention: {:?} vs solo {:?}",
+            second.jct,
+            solo_jct
+        );
+        // And the overlap is bounded: neither can be slower than a full
+        // 2× of the whole solo run.
+        assert!(first.jct < solo_jct.mul_f64(2.0));
+    }
+
+    /// The re-pricing itself, in isolation: a job mid-iteration at 1×
+    /// whose GPU gains a neighbour must finish that iteration later than
+    /// scheduled, by the remaining fraction at 2×.
+    #[test]
+    fn reprice_splits_iteration_at_residency_change() {
+        let mut jobs = vec![JobRun::new(&JobSpec {
+            name: "j".into(),
+            model: capuchin_models::ModelKind::ResNet50,
+            batch: 1,
+            policy: JobPolicy::TfOri,
+            iters: 1,
+            priority: 0,
+            arrival_time: 0.0,
+        })];
+        jobs[0].gpu = Some(0);
+        jobs[0].walls = vec![Duration::from_millis(100)];
+        let mut gpus = vec![GpuState::new(1 << 30)];
+        gpus[0].resident.push(0);
+        let mut seq = 0;
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        schedule_iter(&mut jobs, &gpus, 0, Time::ZERO, &mut seq, &mut heap).unwrap();
+        let Reverse((end, _, _, _, epoch)) = *heap.peek().unwrap();
+        assert_eq!(end, Duration::from_millis(100).as_nanos());
+        assert_eq!(epoch, jobs[0].epoch);
+        // A neighbour joins at t = 40 ms: 60 ms of base wall remain, now
+        // at 2× -> new end at 40 + 120 = 160 ms.
+        gpus[0].resident.push(1); // the neighbour (index out of jobs: only
+                                  // iterating jobs are touched)
+        jobs.push(JobRun::new(&jobs[0].spec.clone()));
+        let at = Time::ZERO + Duration::from_millis(40);
+        reprice_residents(&mut jobs, &gpus, 0, at, &mut seq, &mut heap);
+        let newest = heap
+            .iter()
+            .find(|Reverse((_, _, _, job, ep))| *job == 0 && *ep == jobs[0].epoch)
+            .expect("re-priced event exists");
+        let Reverse((end, _, _, _, _)) = *newest;
+        assert_eq!(end, Duration::from_millis(160).as_nanos());
+    }
+
+    /// Empty wall traces are rejected: `schedule_iter` refuses to
+    /// fabricate zero-time iterations.
+    #[test]
+    fn schedule_iter_rejects_empty_walls() {
+        let mut jobs = vec![JobRun::new(&small_workload()[0])];
+        jobs[0].gpu = Some(0);
+        let gpus = vec![GpuState::new(1 << 30)];
+        let mut seq = 0;
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        assert_eq!(
+            schedule_iter(&mut jobs, &gpus, 0, Time::ZERO, &mut seq, &mut heap),
+            Err(EmptyWalls)
+        );
+        assert!(heap.is_empty());
+    }
+
+    /// On a contended single GPU, best-fit with preemption starts a
+    /// high-priority arrival before the resident low-priority job
+    /// finishes; the victim checkpoints out, resumes, and completes with
+    /// the PCIe checkpoint/restore time visible in its JCT.
+    #[test]
+    fn preemption_starts_high_priority_before_low_finishes() {
+        let low = JobSpec {
+            name: "low-long".into(),
+            model: capuchin_models::ModelKind::Vgg16,
+            batch: 48,
+            policy: JobPolicy::TfOri,
+            iters: 40,
+            priority: 0,
+            arrival_time: 0.0,
+        };
+        let high = JobSpec {
+            name: "high-short".into(),
+            model: capuchin_models::ModelKind::Vgg16,
+            batch: 48,
+            policy: JobPolicy::TfOri,
+            iters: 4,
+            priority: 8,
+            arrival_time: 0.5,
+        };
+        let cfg = |preemption: bool| ClusterConfig {
+            gpus: 1,
+            spec: DeviceSpec::p100_pcie3().with_memory(6 << 30),
+            strategy: StrategyKind::BestFit,
+            preemption,
+            ..ClusterConfig::default()
+        };
+        // Sanity: the two jobs cannot co-reside (each needs > half).
+        let off = Cluster::new(cfg(false)).run(&[low.clone(), high.clone()]);
+        assert_eq!(off.completed, 2);
+        assert_eq!(off.preemptions, 0);
+        let high_off = &off.jobs[1];
+        let on = Cluster::new(cfg(true)).run(&[low, high]);
+        assert_eq!(on.completed, 2, "{}", on.to_json());
+        assert!(on.preemptions >= 1, "{}", on.to_json());
+        let low_on = &on.jobs[0];
+        let high_on = &on.jobs[1];
+        // The high-priority job started before the low one finished:
+        // without preemption it had to queue behind the whole run.
+        assert!(
+            high_on.queueing_delay < high_off.queueing_delay,
+            "preemption did not shorten the high-priority queueing delay: {:?} vs {:?}",
+            high_on.queueing_delay,
+            high_off.queueing_delay
+        );
+        assert!(high_on.jct < high_off.jct);
+        // The victim was preempted, resumed, completed — and paid for it.
+        assert_eq!(low_on.outcome, JobOutcome::Completed);
+        assert!(low_on.preemptions >= 1);
+        assert!(low_on.checkpoint_overhead > Duration::ZERO);
+        assert!(low_on.resume_latency > Duration::ZERO);
+        assert!(low_on.wasted_work > Duration::ZERO);
+        assert!(
+            low_on.jct > off.jobs[0].jct + low_on.checkpoint_overhead,
+            "checkpoint/restore time must be visible in the victim's JCT"
+        );
+    }
+
+    /// `--preemption off` never preempts, regardless of priorities.
+    #[test]
+    fn preemption_off_never_preempts() {
+        let jobs = synthetic_jobs(8, 3, 0.2);
+        let stats = Cluster::new(ClusterConfig {
+            gpus: 2,
+            strategy: StrategyKind::BestFit,
+            preemption: false,
+            ..ClusterConfig::default()
+        })
+        .run(&jobs);
+        assert_eq!(stats.preemptions, 0);
+        assert!(stats.jobs.iter().all(|j| j.preemptions == 0));
     }
 }

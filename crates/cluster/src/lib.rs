@@ -19,10 +19,17 @@
 //!   waiting queue against per-GPU headroom: strict [`FifoFirstFit`] and
 //!   [`BestFit`] memory bin-packing with priority aging.
 //! * **Simulation** ([`Cluster`]) — one deterministic event clock replays
-//!   validated per-iteration wall times with a simple contention model
-//!   and produces [`ClusterStats`] (queueing delay, JCT, rejections,
+//!   validated per-iteration wall times with a contention model that
+//!   re-prices in-flight iterations at every residency change, and
+//!   produces [`ClusterStats`] (queueing delay, JCT, rejections,
 //!   makespan, aggregate samples/sec, per-GPU utilization) whose JSON is
-//!   byte-identical across same-workload runs.
+//!   byte-identical across same-workload runs. With
+//!   [`ClusterConfig::preemption`] on, a high-effective-priority arrival
+//!   that fits nowhere checkpoint-preempts the lowest-priority resident
+//!   job — its replay state is copied to the host over the PCIe model,
+//!   its reservation is released, and it resumes later from the saved
+//!   iteration (the cluster-level mirror of
+//!   [`capuchin_executor::Engine::snapshot`]).
 //!
 //! ```
 //! use capuchin_cluster::{synthetic_jobs, Cluster, ClusterConfig};

@@ -16,6 +16,12 @@ pub enum JobOutcome {
     /// Still waiting when the simulation drained (validation kept failing
     /// or no strategy pick ever materialized).
     Starved,
+    /// Checkpointed out by a preemption and never resumed before the
+    /// simulation drained; its state is still resumable on the host.
+    Preempted,
+    /// Aborted mid-run: the replay state became unusable (an empty wall
+    /// trace slipped past admission). Counted in `midrun_oom_aborts`.
+    Aborted,
 }
 
 /// Per-job accounting.
@@ -49,6 +55,16 @@ pub struct JobStats {
     /// Mean per-iteration wall time actually experienced on the cluster,
     /// including contention slowdown.
     pub mean_iter: Duration,
+    /// Times this job was checkpoint-preempted.
+    pub preemptions: u64,
+    /// In-flight iteration time discarded by preemptions (checkpoints
+    /// capture completed-iteration boundaries only).
+    pub wasted_work: Duration,
+    /// Total checkpoint-completion → resumed-iteration-start time.
+    pub resume_latency: Duration,
+    /// PCIe checkpoint (device-to-host) + restore (host-to-device) copy
+    /// time charged to this job's clock.
+    pub checkpoint_overhead: Duration,
 }
 
 /// Per-GPU accounting.
@@ -81,9 +97,12 @@ pub struct ClusterStats {
     pub completed: usize,
     /// Admission-time OOM rejections.
     pub oom_rejections: usize,
-    /// Jobs that aborted mid-run on OOM. Validation at the granted budget
-    /// makes this zero by construction; tracked to keep the claim honest.
+    /// Jobs that aborted mid-run (unusable replay state). Validation at
+    /// the granted budget plus empty-trace rejection makes this zero in
+    /// practice; counted from actual outcomes to keep the claim honest.
     pub midrun_oom_aborts: usize,
+    /// Total checkpoint-preemptions across all jobs.
+    pub preemptions: usize,
     /// First arrival → last completion.
     pub makespan: Duration,
     /// Total training samples processed divided by the makespan.
@@ -120,6 +139,7 @@ mod tests {
             completed: 1,
             oom_rejections: 0,
             midrun_oom_aborts: 0,
+            preemptions: 0,
             makespan: Duration::from_millis(12),
             aggregate_samples_per_sec: 1234.5,
             mean_queueing_delay: Duration::from_micros(3),
@@ -145,6 +165,10 @@ mod tests {
                 queueing_delay: Duration::from_micros(3),
                 jct: Duration::from_millis(12),
                 mean_iter: Duration::from_millis(4),
+                preemptions: 1,
+                wasted_work: Duration::from_millis(1),
+                resume_latency: Duration::from_millis(2),
+                checkpoint_overhead: Duration::from_micros(700),
             }],
         };
         let a = stats.to_json();

@@ -77,6 +77,7 @@ proptest! {
             },
             aging_rate: 0.1,
             validate_iters: 3,
+            preemption: false,
         };
         let a = Cluster::new(cfg()).run(&jobs);
         let b = Cluster::new(cfg()).run(&jobs);

@@ -15,7 +15,7 @@
 //!   (late-prefetch waits, residual passive evictions) refines the plan
 //!   between iterations.
 
-use capuchin_executor::{AccessEvent, Engine, MemoryPolicy};
+use capuchin_executor::{AccessEvent, Engine, MemoryPolicy, PolicySnapshot};
 use capuchin_sim::Duration;
 use capuchin_tensor::TensorKey;
 
@@ -131,7 +131,7 @@ enum Mode {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Capuchin {
     cfg: CapuchinConfig,
     mode: Option<Mode>,
@@ -156,6 +156,31 @@ pub struct Capuchin {
     measured_wall: Option<capuchin_sim::Duration>,
     /// Best guided iteration so far: (wall, plan, extra_saving).
     best: Option<(capuchin_sim::Duration, Plan, u64)>,
+}
+
+/// A resumable checkpoint of the Capuchin policy, produced by
+/// [`MemoryPolicy::snapshot`] and carried inside an
+/// [`capuchin_executor::EngineSnapshot`].
+///
+/// It holds the guided-execution [`Plan`], the [`MeasuredProfile`] (the
+/// tensor-access track the plan was derived from), and the feedback /
+/// refinement cursor, so a preempted job resumes guided execution exactly
+/// where it stopped — no re-measuring, no re-planning.
+#[derive(Debug, Clone)]
+pub struct CapuchinSnapshot {
+    state: Capuchin,
+}
+
+impl CapuchinSnapshot {
+    /// The plan the resumed policy will execute under.
+    pub fn plan(&self) -> &Plan {
+        &self.state.plan
+    }
+
+    /// The measured profile (TAT) backing the plan.
+    pub fn profile(&self) -> &MeasuredProfile {
+        &self.state.profile
+    }
 }
 
 impl Capuchin {
@@ -301,6 +326,25 @@ impl MemoryPolicy for Capuchin {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn snapshot(&self) -> Option<PolicySnapshot> {
+        Some(PolicySnapshot::new(
+            "capuchin",
+            CapuchinSnapshot {
+                state: self.clone(),
+            },
+        ))
+    }
+
+    fn restore(&mut self, snapshot: PolicySnapshot) -> bool {
+        match snapshot.downcast::<CapuchinSnapshot>() {
+            Ok(snap) => {
+                *self = snap.state;
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     fn on_iteration_start(&mut self, _engine: &mut Engine<'_>, iter: u64) {

@@ -38,7 +38,7 @@ mod measure;
 mod plan;
 mod planner;
 
-pub use crate::capuchin::{Capuchin, CapuchinConfig};
+pub use crate::capuchin::{Capuchin, CapuchinConfig, CapuchinSnapshot};
 pub use crate::footprint::{measure_footprint, shrink_feasibility, FootprintEstimate, ShrinkPlan};
 pub use crate::measure::{MeasuredAccess, MeasuredProfile, TensorInfo};
 pub use crate::plan::{EvictMethod, Plan, SwapEntry};

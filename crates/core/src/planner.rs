@@ -19,7 +19,7 @@
 //!    `back_access_time − SwapInTime − lead` (§4.4); that access becomes
 //!    the prefetch trigger.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use capuchin_sim::{DeviceSpec, Duration, Time};
 use capuchin_tensor::TensorKey;
@@ -85,7 +85,7 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
         lane_aware: cfg.lane_aware,
         ..Plan::default()
     };
-    let mut needed = (profile.required_saving as f64 * cfg.savings_margin) as i64;
+    let mut needed = scaled_saving(profile.required_saving, cfg.savings_margin);
     if needed <= 0 {
         return plan; // nothing to do: no triggers either
     }
@@ -168,7 +168,7 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
             && needed > 0
             && lane_violation(&accepted, &item) == Duration::ZERO
         {
-            needed -= cand.size as i64;
+            needed -= cand.size as i128;
             accepted.push(item);
             confirm_swap(&mut plan, profile, spec, &cand);
         } else {
@@ -221,16 +221,16 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
         match (swap_over, rec_over) {
             (None, None) => continue,
             (Some(_), None) => {
-                needed -= cand.size as i64;
+                needed -= cand.size as i128;
                 accepted.push(LaneItem::of(&cand, spec));
                 confirm_swap(&mut plan, profile, spec, &cand);
             }
             (s, Some(r)) if s.is_none() || r <= s.unwrap() => {
-                needed -= cand.size as i64;
+                needed -= cand.size as i128;
                 confirm_recompute(&mut plan, &cand, &mut recomps, &mut queue);
             }
             _ => {
-                needed -= cand.size as i64;
+                needed -= cand.size as i128;
                 accepted.push(LaneItem::of(&cand, spec));
                 confirm_swap(&mut plan, profile, spec, &cand);
             }
@@ -238,6 +238,16 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
     }
     schedule_in_triggers(&mut plan, profile);
     plan
+}
+
+/// Headroom-scaled saving target, `required × margin`, in exact
+/// fixed-point (permille) integer math with a u128 intermediate. The old
+/// `(required as f64 * margin) as i64` silently lost precision above
+/// 2^53 bytes and saturated near `i64::MAX` for extreme budgets.
+fn scaled_saving(required: u64, margin: f64) -> i128 {
+    let permille = (margin * 1000.0).round().max(0.0) as u128;
+    let scaled = (required as u128).saturating_mul(permille) / 1000;
+    i128::try_from(scaled).unwrap_or(i128::MAX)
 }
 
 /// One swap in the tentative PCIe lane schedule.
@@ -270,9 +280,11 @@ impl LaneItem {
 fn lane_violation(accepted: &[LaneItem], cand: &LaneItem) -> Duration {
     let mut items: Vec<LaneItem> = accepted.to_vec();
     items.push(*cand);
-    // Device-to-host lane: FIFO in eviction order.
-    let mut out_end: HashMap<TensorKey, Time> = HashMap::new();
-    items.sort_by_key(|i| i.t1_end);
+    // Device-to-host lane: FIFO in eviction order. Ordered structures and
+    // key tie-breaks throughout (DESIGN §6): equal-timestamp candidates
+    // must schedule identically across runs.
+    let mut out_end: BTreeMap<TensorKey, Time> = BTreeMap::new();
+    items.sort_by_key(|i| (i.t1_end, i.key));
     let mut lane = Time::ZERO;
     for i in &items {
         let start = i.t1_end.max(lane);
@@ -280,7 +292,7 @@ fn lane_violation(accepted: &[LaneItem], cand: &LaneItem) -> Duration {
         out_end.insert(i.key, lane);
     }
     // Host-to-device lane: latest feasible schedule, laid out backwards.
-    items.sort_by_key(|i| std::cmp::Reverse(i.t2_start));
+    items.sort_by_key(|i| (std::cmp::Reverse(i.t2_start), i.key));
     let mut worst = Duration::ZERO;
     let mut lane_free: Option<Time> = None;
     for i in &items {
@@ -563,6 +575,63 @@ mod tests {
             plan.evictions[&(TensorKey(1), 1)],
             crate::plan::EvictMethod::Swap
         );
+    }
+
+    #[test]
+    fn scaled_saving_is_exact_at_extreme_budgets() {
+        // Multi-TiB: exact permille arithmetic, no f64 rounding.
+        let four_tib = 4u64 << 40;
+        assert_eq!(
+            scaled_saving(four_tib, 1.05),
+            four_tib as i128 * 1050 / 1000
+        );
+        // Above 2^53 bytes the old f64 product dropped the low bits
+        // entirely (here: the +12345).
+        let huge = (1u64 << 60) + 12345;
+        assert_eq!(scaled_saving(huge, 1.0), huge as i128);
+        assert!((huge as f64) as u64 != huge, "f64 cannot represent this");
+        // Near u64::MAX the old cast saturated at i64::MAX; the u128
+        // intermediate keeps the true value.
+        assert_eq!(
+            scaled_saving(u64::MAX, 2.0),
+            (u64::MAX as u128 * 2000 / 1000) as i128
+        );
+        assert!(scaled_saving(u64::MAX, 2.0) > i64::MAX as i128);
+        // Degenerate margins clamp to zero instead of wrapping.
+        assert_eq!(scaled_saving(u64::MAX, -1.0), 0);
+        assert_eq!(scaled_saving(u64::MAX, f64::NAN), 0);
+    }
+
+    #[test]
+    fn multi_tib_required_saving_plans_every_candidate() {
+        // A saving target far beyond what the candidates can cover must
+        // consume the whole ranking without wrapping into "satisfied".
+        let p = profile(
+            &[
+                (1, 64 * MB, &[], 100, &[0, 900_000]),
+                (2, 64 * MB, &[], 100, &[1_000, 800_000]),
+            ],
+            4 << 40,
+        );
+        let plan = make_plan(&p, &spec(), &PlannerConfig::default());
+        assert_eq!(plan.planned_saving, 128 * MB, "{plan:?}");
+    }
+
+    #[test]
+    fn equal_timestamp_lane_items_order_by_key() {
+        // Two identical-size items with identical timestamps: the lane
+        // verdict must not depend on insertion order.
+        let spec = spec();
+        let mk = |id: u64| LaneItem {
+            key: TensorKey(id),
+            t1_end: Time::from_micros(100),
+            t2_start: Time::from_micros(50_000),
+            out_time: Duration::from_micros(6_400),
+            in_time: Duration::from_micros(6_400),
+        };
+        let (a, b) = (mk(1), mk(2));
+        assert_eq!(lane_violation(&[a], &b), lane_violation(&[b], &a));
+        let _ = spec;
     }
 
     #[test]

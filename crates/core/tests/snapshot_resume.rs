@@ -1,0 +1,82 @@
+//! Checkpoint/resume: a run interrupted at an iteration boundary and
+//! resumed in a fresh engine (via `Engine::snapshot` / `Engine::restore`)
+//! must replay the remaining iterations exactly as the uninterrupted run
+//! would have — same walls, same memory traffic, same recomputes. This is
+//! the invariant the cluster scheduler's checkpoint-preemption relies on:
+//! a preempted job's recorded per-iteration walls stay valid after resume.
+
+use capuchin::Capuchin;
+use capuchin_executor::{Engine, EngineConfig, IterStats, MemoryPolicy, TfOri};
+use capuchin_models::ModelKind;
+use capuchin_sim::DeviceSpec;
+
+fn fingerprint(stats: &[IterStats]) -> Vec<(u64, u64, u64, u64, u64, u64)> {
+    stats
+        .iter()
+        .map(|it| {
+            (
+                it.iter,
+                it.wall().as_nanos(),
+                it.peak_mem,
+                it.swap_out_bytes,
+                it.recompute_kernels,
+                it.stall_time.as_nanos(),
+            )
+        })
+        .collect()
+}
+
+fn straight_vs_resumed(mem: u64, policy_factory: impl Fn() -> Box<dyn MemoryPolicy>) {
+    let model = ModelKind::ResNet50.build(16);
+    let cfg = EngineConfig {
+        spec: DeviceSpec::p100_pcie3().with_memory(mem),
+        ..EngineConfig::default()
+    };
+
+    let mut straight = Engine::new(&model.graph, cfg.clone(), policy_factory());
+    let full = straight.run(6).expect("uninterrupted run fits");
+
+    let mut first = Engine::new(&model.graph, cfg.clone(), policy_factory());
+    first.run(3).expect("first half fits");
+    let checkpoint = first.snapshot();
+    drop(first);
+
+    let mut second = Engine::new(&model.graph, cfg, policy_factory());
+    second.restore(checkpoint).expect("restore fits");
+    let resumed = second.run(3).expect("resumed half fits");
+
+    assert_eq!(
+        fingerprint(&full.iters[3..]),
+        fingerprint(&resumed.iters),
+        "resumed iterations diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn capuchin_resume_matches_uninterrupted_run() {
+    // Tight enough that the plan actively swaps/recomputes: the snapshot
+    // must carry the plan + profile for the resumed half to match.
+    straight_vs_resumed(1200 << 20, || Box::new(Capuchin::new()));
+}
+
+#[test]
+fn tf_ori_resume_matches_uninterrupted_run() {
+    // Stateless policy: snapshot carries only the iteration cursor.
+    straight_vs_resumed(4 << 30, || Box::new(TfOri::new()));
+}
+
+#[test]
+fn restore_into_used_engine_panics() {
+    let model = ModelKind::ResNet50.build(4);
+    let cfg = EngineConfig {
+        spec: DeviceSpec::p100_pcie3(),
+        ..EngineConfig::default()
+    };
+    let mut eng = Engine::new(&model.graph, cfg.clone(), Box::new(TfOri::new()));
+    eng.run(1).expect("fits");
+    let snap = eng.snapshot();
+    let mut used = Engine::new(&model.graph, cfg, Box::new(TfOri::new()));
+    used.run(1).expect("fits");
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| used.restore(snap)));
+    assert!(err.is_err(), "restore into a mid-run engine must panic");
+}

@@ -29,7 +29,7 @@ use capuchin_tensor::{
 };
 
 use crate::error::ExecError;
-use crate::policy::{AccessEvent, MemoryPolicy};
+use crate::policy::{AccessEvent, MemoryPolicy, PolicySnapshot};
 use crate::stats::{IterStats, RunStats};
 
 /// How the framework schedules ops.
@@ -218,7 +218,23 @@ pub struct Engine<'g> {
     seq: u64,
     iter: u64,
     iter_next: u64,
+    weights_done: bool,
     iter_stats: IterStats,
+}
+
+/// A resumable checkpoint of a training run, taken between iterations.
+///
+/// Only the iteration cursor and the policy's state need saving: at an
+/// iteration boundary every non-persistent tensor is gone (the engine
+/// sweeps them), and the weights are re-materialized from the host-side
+/// checkpoint on [`Engine::restore`]. This is what a preempting cluster
+/// scheduler snapshots before releasing a job's GPU reservation.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    /// Next iteration index to execute on resume.
+    pub next_iteration: u64,
+    /// Policy state, when the policy is stateful ([`MemoryPolicy::snapshot`]).
+    pub policy: Option<PolicySnapshot>,
 }
 
 impl std::fmt::Debug for dyn MemoryPolicy + '_ {
@@ -288,6 +304,7 @@ impl<'g> Engine<'g> {
             seq: 0,
             iter: 0,
             iter_next: 0,
+            weights_done: false,
             iter_stats: IterStats::default(),
         }
     }
@@ -515,6 +532,65 @@ impl<'g> Engine<'g> {
         Ok(stats)
     }
 
+    /// Captures a resumable checkpoint. Call only at an iteration boundary
+    /// (before the first `run` or after one returns): mid-iteration state
+    /// (in-flight copies, non-persistent tensors) is never part of a
+    /// checkpoint — the interrupted iteration is simply redone on resume.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            next_iteration: self.iter_next,
+            policy: self.policy.as_ref().and_then(|p| p.snapshot()),
+        }
+    }
+
+    /// Restores a checkpoint into a fresh engine: hands the policy its
+    /// saved state, advances the iteration cursor, and re-materializes the
+    /// weights (their contents live in the host-side checkpoint), so the
+    /// next [`Engine::run`] continues from the saved iteration under the
+    /// saved plan without re-measuring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Oom`] if the weights alone do not fit the
+    /// device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this engine has already executed an iteration — restore
+    /// targets a fresh engine, not a mid-run one.
+    pub fn restore(&mut self, snapshot: EngineSnapshot) -> Result<(), ExecError> {
+        assert_eq!(
+            self.iter_next, 0,
+            "EngineSnapshot must be restored into a fresh engine"
+        );
+        if let Some(ps) = snapshot.policy {
+            if let Some(policy) = self.policy.as_mut() {
+                let accepted = policy.restore(ps);
+                debug_assert!(accepted, "policy rejected its own snapshot");
+            }
+        }
+        self.iter_next = snapshot.next_iteration;
+        self.remaining_uses = self
+            .graph
+            .values()
+            .iter()
+            .map(|v| self.graph.consumers(v.id).len() as u32)
+            .collect();
+        self.materialize_weights()
+    }
+
+    /// Runs every weight-initialization op once, leaving the weights
+    /// compact at the bottom of the arena.
+    fn materialize_weights(&mut self) -> Result<(), ExecError> {
+        for op_id in self.graph.schedule().collect::<Vec<_>>() {
+            if matches!(self.graph.op(op_id).kind, OpKind::Weight) {
+                self.exec_op(op_id)?;
+            }
+        }
+        self.weights_done = true;
+        Ok(())
+    }
+
     fn exec_iteration(&mut self, iter: u64) -> Result<(), ExecError> {
         self.iter = iter;
         let started_at = self.gpu.quiescent_at();
@@ -547,13 +623,10 @@ impl<'g> Engine<'g> {
         // Variables are initialized before training begins (TF runs the
         // variable-init graph first): materialize all weights up-front so
         // they sit compactly at the bottom of the arena instead of
-        // fragmenting it mid-iteration.
-        if iter == 0 {
-            for op_id in self.graph.schedule().collect::<Vec<_>>() {
-                if matches!(self.graph.op(op_id).kind, OpKind::Weight) {
-                    self.exec_op(op_id)?;
-                }
-            }
+        // fragmenting it mid-iteration. A restored engine does this during
+        // `restore`, so the first resumed iteration is a pure training step.
+        if !self.weights_done {
+            self.materialize_weights()?;
         }
         for op_id in self.graph.schedule().collect::<Vec<_>>() {
             if matches!(self.graph.op(op_id).kind, OpKind::Weight) {
@@ -611,7 +684,7 @@ impl<'g> Engine<'g> {
 
     fn exec_op(&mut self, op_id: OpId) -> Result<(), ExecError> {
         let op = self.graph.op(op_id).clone();
-        if matches!(op.kind, OpKind::Weight) && self.iter > 0 {
+        if matches!(op.kind, OpKind::Weight) && self.weights_done {
             return Ok(()); // weights persist across iterations
         }
 

@@ -29,6 +29,11 @@ pub enum ExecError {
         /// Bytes requested.
         requested: u64,
     },
+    /// A run that must produce a wall-time trace was requested for zero
+    /// iterations. An empty trace replayed downstream would fabricate
+    /// zero-time iterations, so callers that consume traces reject the
+    /// request outright.
+    NoIterations,
 }
 
 impl fmt::Display for ExecError {
@@ -45,6 +50,9 @@ impl fmt::Display for ExecError {
             }
             ExecError::HostOom { requested } => {
                 write!(f, "host staging pool exhausted ({requested} B requested)")
+            }
+            ExecError::NoIterations => {
+                write!(f, "a traced run needs at least one iteration")
             }
         }
     }
