@@ -1,0 +1,324 @@
+//! Gang scheduling with a shared-interconnect model — mixed 1/2/4-GPU
+//! jobs on 8 GPUs, capuchin-admission vs tf-ori-admission, with the
+//! interconnect model off vs on (PCIe host link shared by all traffic,
+//! peer lanes inside 4-GPU link domains).
+//!
+//! Three claims, each asserted below:
+//!
+//! 1. **All-or-nothing gangs** — every job either holds its full gang
+//!    width or nothing, and admitted jobs never abort mid-run; capuchin
+//!    admission additionally completes the whole workload, including the
+//!    oversubscribed singles tf-ori rejects.
+//! 2. **Gradient traffic is real** — with the fabric on, every completed
+//!    multi-GPU gang pays a positive ring-allreduce cost
+//!    (`2·(k−1)/k × gradient bytes` per replica, routed over the peer
+//!    lane when the gang fits one link domain, over the shared host link
+//!    otherwise).
+//! 3. **Contention stretches, it never reorders** — the fabric-on run is
+//!    measurably slower end-to-end than the fabric-off run, while
+//!    admission decisions (completed/rejected sets) are identical: the
+//!    interconnect model only adds queueing, it never changes what fits.
+//!
+//! `--smoke` runs a 2-GPU miniature of the same shape (one single + one
+//! 2-GPU gang) without writing the artifact; `scripts/check.sh` uses it.
+
+use capuchin_bench::write_artifact;
+use capuchin_cluster::{
+    AdmissionMode, Cluster, ClusterConfig, ClusterStats, JobOutcome, JobPolicy, JobSpec,
+    StrategyKind,
+};
+use capuchin_models::ModelKind;
+use capuchin_sim::{Duration, InterconnectSpec};
+use serde::Serialize;
+
+#[allow(clippy::too_many_arguments)]
+fn job(
+    name: &str,
+    model: ModelKind,
+    batch: usize,
+    gpus: usize,
+    policy: JobPolicy,
+    iters: u64,
+    priority: u32,
+    arrival_time: f64,
+) -> JobSpec {
+    JobSpec {
+        name: name.to_owned(),
+        model,
+        batch,
+        gpus,
+        policy,
+        iters,
+        priority,
+        arrival_time,
+    }
+}
+
+/// Mixed 1/2/4-GPU workload for 8 × 16 GiB GPUs. The singles include two
+/// oversubscribed footprints (VGG16 @320 and ResNet-50 @256 both peak
+/// ≈19 GiB) that only capuchin admission can shrink onto a device; the
+/// 4-GPU ResNet-50 gang runs each replica at batch 64, deliberately
+/// sharing the measuring cache with the batch-64 single.
+fn workload() -> Vec<JobSpec> {
+    use JobPolicy::{Capuchin, TfOri};
+    use ModelKind::{DenseNet121, InceptionV3, ResNet50, Vgg16};
+    vec![
+        // Singles: comfortable footprints plus two oversubscribed ones.
+        job("single-r50", ResNet50, 64, 1, TfOri, 6, 0, 0.0),
+        job("single-dense", DenseNet121, 32, 1, TfOri, 6, 0, 0.05),
+        job("single-inc", InceptionV3, 32, 1, TfOri, 6, 1, 0.10),
+        job("single-vgg-big", Vgg16, 320, 1, Capuchin, 3, 0, 0.15),
+        job("single-r50-big", ResNet50, 256, 1, Capuchin, 3, 0, 0.20),
+        // 2-GPU gangs (replica batches: 64, 48, 32).
+        job("gang2-r50", ResNet50, 128, 2, TfOri, 5, 1, 0.25),
+        job("gang2-vgg", Vgg16, 96, 2, TfOri, 5, 0, 0.30),
+        job("gang2-dense", DenseNet121, 64, 2, TfOri, 5, 2, 0.35),
+        // 4-GPU gangs (replica batches: 64, 32).
+        job("gang4-r50", ResNet50, 256, 4, TfOri, 4, 1, 0.40),
+        job("gang4-inc", InceptionV3, 128, 4, TfOri, 4, 0, 0.45),
+    ]
+}
+
+fn run(
+    gpus: usize,
+    admission: AdmissionMode,
+    fabric: Option<InterconnectSpec>,
+    jobs: &[JobSpec],
+) -> ClusterStats {
+    let cfg = ClusterConfig {
+        gpus,
+        admission,
+        strategy: StrategyKind::BestFit,
+        interconnect: fabric,
+        ..ClusterConfig::default()
+    };
+    Cluster::new(cfg).run(jobs)
+}
+
+/// Invariants that must hold for every run: all-or-nothing gangs on
+/// distinct devices and zero mid-run aborts for everything admitted.
+fn assert_gang_safety(stats: &ClusterStats) {
+    assert_eq!(
+        stats.midrun_oom_aborts, 0,
+        "admitted jobs must never abort mid-run"
+    );
+    for j in &stats.jobs {
+        assert!(
+            j.gpus_used.is_empty() || j.gpus_used.len() == j.replicas,
+            "{} holds a partial gang: {:?} of {}",
+            j.name,
+            j.gpus_used,
+            j.replicas
+        );
+        let mut distinct = j.gpus_used.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(
+            distinct.len(),
+            j.gpus_used.len(),
+            "{}: duplicate GPU in gang",
+            j.name
+        );
+    }
+}
+
+fn total_comm(stats: &ClusterStats) -> Duration {
+    stats
+        .jobs
+        .iter()
+        .map(|j| j.allreduce_time + j.comm_delay)
+        .sum()
+}
+
+fn print_row(stats: &ClusterStats) {
+    let gangs_placed = stats
+        .jobs
+        .iter()
+        .filter(|j| j.replicas > 1 && !j.gpus_used.is_empty())
+        .count();
+    println!(
+        "{:<22} {:<11} {:>7}/{:<2} {:>8} {:>6} {:>11.3}s {:>10.3}s {:>10.2}s",
+        stats.admission,
+        stats.interconnect,
+        stats.completed,
+        stats.submitted,
+        stats.oom_rejections,
+        gangs_placed,
+        stats
+            .jobs
+            .iter()
+            .map(|j| j.allreduce_time)
+            .sum::<Duration>()
+            .as_secs_f64(),
+        stats
+            .jobs
+            .iter()
+            .map(|j| j.comm_delay)
+            .sum::<Duration>()
+            .as_secs_f64(),
+        stats.makespan.as_secs_f64(),
+    );
+}
+
+/// Tiny 2-GPU version of the same shape for `scripts/check.sh`: one
+/// single plus one 2-GPU gang over the shared-PCIe fabric.
+fn smoke() {
+    use JobPolicy::TfOri;
+    let jobs = vec![
+        job("single", ModelKind::ResNet50, 16, 1, TfOri, 3, 0, 0.0),
+        job("gang2", ModelKind::ResNet50, 32, 2, TfOri, 3, 0, 0.05),
+    ];
+    let off = run(2, AdmissionMode::Capuchin, None, &jobs);
+    let on = run(
+        2,
+        AdmissionMode::Capuchin,
+        Some(InterconnectSpec::pcie_shared()),
+        &jobs,
+    );
+    for stats in [&off, &on] {
+        assert_gang_safety(stats);
+        assert_eq!(stats.completed, 2, "smoke workload must complete");
+    }
+    let gang = on.jobs.iter().find(|j| j.replicas == 2).expect("gang job");
+    assert!(
+        gang.allreduce_time > Duration::ZERO,
+        "fabric-on gang must pay for its allreduce"
+    );
+    assert!(
+        on.makespan >= off.makespan,
+        "the fabric never speeds runs up"
+    );
+    println!(
+        "smoke ok: 2 jobs completed, gang allreduce {:.4}s, makespan {:.2}s -> {:.2}s",
+        gang.allreduce_time.as_secs_f64(),
+        off.makespan.as_secs_f64(),
+        on.makespan.as_secs_f64(),
+    );
+}
+
+#[derive(Serialize)]
+struct Comparison {
+    tf_ori_off: ClusterStats,
+    tf_ori_on: ClusterStats,
+    capuchin_off: ClusterStats,
+    capuchin_on: ClusterStats,
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let jobs = workload();
+    let fabric = InterconnectSpec::pcie_peer_domains(4);
+    println!(
+        "Gang scheduling on {} mixed 1/2/4-GPU jobs / 8 x 16 GiB GPUs (best-fit, fabric {})",
+        jobs.len(),
+        fabric.name,
+    );
+    println!(
+        "{:<22} {:<11} {:>10} {:>8} {:>6} {:>12} {:>11} {:>11}",
+        "admission",
+        "fabric",
+        "completed",
+        "rejected",
+        "gangs",
+        "allreduce",
+        "comm delay",
+        "makespan"
+    );
+    let mut results = Vec::new();
+    for admission in [AdmissionMode::TfOri, AdmissionMode::Capuchin] {
+        for fabric in [None, Some(fabric.clone())] {
+            let stats = run(8, admission, fabric, &jobs);
+            assert_gang_safety(&stats);
+            print_row(&stats);
+            results.push(stats);
+        }
+    }
+    let [tf_ori_off, tf_ori_on, capuchin_off, capuchin_on]: [ClusterStats; 4] =
+        results.try_into().expect("four runs");
+
+    // (1) Capuchin admission completes everything, including the two
+    // oversubscribed singles tf-ori must reject.
+    for stats in [&capuchin_off, &capuchin_on] {
+        assert_eq!(
+            stats.completed, stats.submitted,
+            "capuchin admission must complete the whole workload"
+        );
+    }
+    assert!(
+        tf_ori_off.oom_rejections >= 2,
+        "tf-ori must reject the oversubscribed singles"
+    );
+    assert!(capuchin_off.completed > tf_ori_off.completed);
+
+    // (2) With the fabric on, every completed gang pays its allreduce.
+    for stats in [&tf_ori_on, &capuchin_on] {
+        for j in &stats.jobs {
+            if j.replicas > 1 && j.outcome == JobOutcome::Completed {
+                assert!(
+                    j.allreduce_time > Duration::ZERO,
+                    "{}: completed gang with zero allreduce time",
+                    j.name
+                );
+            }
+        }
+        assert!(
+            stats.links.iter().map(|l| l.bytes).sum::<u64>() > 0,
+            "the fabric must have routed traffic"
+        );
+    }
+
+    // (3) Contention stretches but never reorders admission: fabric-on is
+    // measurably slower, with identical completed/rejected sets.
+    for (off, on) in [(&tf_ori_off, &tf_ori_on), (&capuchin_off, &capuchin_on)] {
+        assert!(total_comm(off) == Duration::ZERO && total_comm(on) > Duration::ZERO);
+        assert!(
+            on.makespan > off.makespan,
+            "{}: fabric contention must stretch the makespan ({:?} vs {:?})",
+            on.admission,
+            on.makespan,
+            off.makespan,
+        );
+        assert_eq!(on.completed, off.completed);
+        assert_eq!(on.oom_rejections, off.oom_rejections);
+        for (a, b) in off.jobs.iter().zip(on.jobs.iter()) {
+            assert_eq!(
+                a.outcome, b.outcome,
+                "{}: fabric changed an outcome",
+                a.name
+            );
+        }
+    }
+
+    println!(
+        "\nfabric stretched the capuchin makespan {:.2}s -> {:.2}s \
+         ({:.3}s allreduce + {:.3}s queueing across {} link(s)), \
+         identical admission decisions, 0 mid-run aborts",
+        capuchin_off.makespan.as_secs_f64(),
+        capuchin_on.makespan.as_secs_f64(),
+        capuchin_on
+            .jobs
+            .iter()
+            .map(|j| j.allreduce_time)
+            .sum::<Duration>()
+            .as_secs_f64(),
+        capuchin_on
+            .jobs
+            .iter()
+            .map(|j| j.comm_delay)
+            .sum::<Duration>()
+            .as_secs_f64(),
+        capuchin_on.links.len(),
+    );
+    write_artifact(
+        "cluster_gang",
+        &Comparison {
+            tf_ori_off,
+            tf_ori_on,
+            capuchin_off,
+            capuchin_on,
+        },
+    );
+}

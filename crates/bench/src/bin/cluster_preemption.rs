@@ -31,6 +31,7 @@ fn workload() -> Vec<JobSpec> {
             name: format!("low{i}"),
             model: ModelKind::Vgg16,
             batch: 48,
+            gpus: 1,
             policy: JobPolicy::TfOri,
             iters: 30,
             priority: 0,
@@ -42,6 +43,7 @@ fn workload() -> Vec<JobSpec> {
             name: format!("high{i}"),
             model: ModelKind::Vgg16,
             batch: 48,
+            gpus: 1,
             policy: JobPolicy::TfOri,
             iters: 4,
             priority: 8,
@@ -63,7 +65,7 @@ fn run(preemption: bool, jobs: &[JobSpec]) -> ClusterStats {
     Cluster::new(cfg).run(jobs)
 }
 
-/// Tail of a (sorted-ascending) duration sample at quantile `q` in [0,1].
+/// Tail of a (sorted-ascending) duration sample at quantile `q` in \[0,1\].
 fn tail(sorted: &[Duration], q: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;

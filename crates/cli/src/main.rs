@@ -20,7 +20,7 @@ use capuchin_cluster::{
 use capuchin_executor::{Engine, EngineConfig, ExecMode, MemoryPolicy};
 use capuchin_graph::Graph;
 use capuchin_models::ModelKind;
-use capuchin_sim::DeviceSpec;
+use capuchin_sim::{DeviceSpec, InterconnectSpec};
 
 const USAGE: &str = "\
 capuchin-cli — tensor-based GPU memory management, simulated
@@ -35,13 +35,18 @@ USAGE:
                            [--mean-interarrival <secs>])
                            [--gpus <n>] [--memory ...] [--admission tf-ori|capuchin]
                            [--strategy fifo|best-fit] [--aging-rate <r>]
-                           [--preemption on|off] [--out <file>]
+                           [--preemption on|off] [--interconnect off|pcie|peer<k>]
+                           [--out <file>]
 
 MODELS:    vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
 POLICIES:  tf-ori vdnn openai-memory openai-speed lru capuchin (default)
 MEMORY:    e.g. 16GiB, 800 MiB, 64KiB, or raw bytes (default 16GiB per GPU)
 CLUSTER:   schedules a multi-job workload over N simulated GPUs and prints
-           cluster-stats JSON (deterministic for a fixed workload/seed)
+           cluster-stats JSON (deterministic for a fixed workload/seed).
+           A job's \"gpus\" field (default 1) makes it a data-parallel gang
+           placed all-or-nothing; --interconnect routes swap, allreduce
+           and checkpoint traffic over a shared PCIe link (peer<k> adds
+           peer lanes over domains of k GPUs, e.g. peer4)
 ";
 
 fn fail(msg: &str) -> ! {
@@ -309,10 +314,22 @@ fn cmd_plan(args: &Args) {
 }
 
 fn cmd_cluster(args: &Args) {
+    // Cluster size first: job-file gang widths are validated against it.
+    let gpus: usize = args
+        .flags
+        .get("gpus")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--gpus must be an integer"))
+        })
+        .unwrap_or(4);
+    if gpus == 0 {
+        fail("--gpus must be at least 1");
+    }
     let jobs = if let Some(path) = args.flags.get("jobs") {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("cannot read job file `{path}`: {e}")));
-        load_jobs(&text).unwrap_or_else(|e| fail(&e))
+        load_jobs(&text, gpus).unwrap_or_else(|e| fail(&e.to_string()))
     } else if let Some(n) = args.flags.get("synthetic") {
         let n: usize = n
             .parse()
@@ -337,17 +354,6 @@ fn cmd_cluster(args: &Args) {
     } else {
         fail("cluster needs --jobs <file> or --synthetic <n>")
     };
-    let gpus: usize = args
-        .flags
-        .get("gpus")
-        .map(|s| {
-            s.parse()
-                .unwrap_or_else(|_| fail("--gpus must be an integer"))
-        })
-        .unwrap_or(4);
-    if gpus == 0 {
-        fail("--gpus must be at least 1");
-    }
     let admission = args
         .flags
         .get("admission")
@@ -375,6 +381,11 @@ fn cmd_cluster(args: &Args) {
             _ => fail("--preemption must be `on` or `off`"),
         })
         .unwrap_or(false);
+    let interconnect = args
+        .flags
+        .get("interconnect")
+        .map(|s| InterconnectSpec::parse(s).unwrap_or_else(|e| fail(&e)))
+        .unwrap_or(None);
     let cfg = ClusterConfig {
         gpus,
         spec: DeviceSpec::p100_pcie3().with_memory(args.memory()),
@@ -382,10 +393,11 @@ fn cmd_cluster(args: &Args) {
         strategy,
         aging_rate,
         preemption,
+        interconnect: interconnect.clone(),
         ..ClusterConfig::default()
     };
     eprintln!(
-        "scheduling {} jobs on {gpus} × {:.1} GiB GPUs ({}, {}, preemption {})",
+        "scheduling {} jobs on {gpus} × {:.1} GiB GPUs ({}, {}, preemption {}, interconnect {})",
         jobs.len(),
         cfg.spec.memory_bytes as f64 / (1 << 30) as f64,
         admission.name(),
@@ -394,6 +406,9 @@ fn cmd_cluster(args: &Args) {
             StrategyKind::BestFit => "best-fit",
         },
         if preemption { "on" } else { "off" },
+        interconnect
+            .as_ref()
+            .map_or("off", |spec| spec.name.as_str()),
     );
     let stats = Cluster::new(cfg).run(&jobs);
     eprintln!(

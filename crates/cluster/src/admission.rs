@@ -59,6 +59,19 @@ impl AdmissionMode {
     }
 }
 
+/// One validated iteration the cluster replays on its clock: how long the
+/// iteration took on a private device, and how many swap bytes it moved
+/// over PCIe while doing so. The cluster re-routes those bytes over the
+/// *shared* host link, so one job's swap traffic delays another's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayIter {
+    /// Wall time of the iteration on an uncontended device (swap transfer
+    /// time already included — the engine overlaps and stalls for it).
+    pub wall: Duration,
+    /// Swap traffic (D2H evictions + H2D prefetches) the iteration moved.
+    pub swap_bytes: u64,
+}
+
 /// The two budgets admission derives from a measured footprint.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JobNeeds {
@@ -179,7 +192,8 @@ impl Admission {
 
     /// Validates an admission decision by actually running `iters`
     /// iterations of the job at the granted budget, returning the
-    /// per-iteration wall times the cluster replays on its clock.
+    /// per-iteration wall times and swap-byte volumes the cluster replays
+    /// on its clock.
     ///
     /// Shrunk admissions always run under Capuchin (the plan is what
     /// makes the budget viable); as-is admissions run the job's own
@@ -200,7 +214,7 @@ impl Admission {
         policy: JobPolicy,
         shrunk: bool,
         iters: u64,
-    ) -> Result<Vec<Duration>, ExecError> {
+    ) -> Result<Vec<ReplayIter>, ExecError> {
         if iters == 0 {
             return Err(ExecError::NoIterations);
         }
@@ -212,7 +226,14 @@ impl Admission {
         };
         let mut eng = Engine::new(graph, cfg, policy);
         let stats = eng.run(iters)?;
-        Ok(stats.iters.iter().map(|it| it.wall()).collect())
+        Ok(stats
+            .iters
+            .iter()
+            .map(|it| ReplayIter {
+                wall: it.wall(),
+                swap_bytes: it.swap_out_bytes + it.swap_in_bytes,
+            })
+            .collect())
     }
 }
 
@@ -264,11 +285,14 @@ mod tests {
         let needs = adm.needs(&model.graph, &est);
         // The measured minimum is validated by construction: an actual
         // engine run completes at that budget.
-        let walls = adm
+        let replay = adm
             .validate(&model.graph, &spec, needs.min, JobPolicy::Capuchin, true, 4)
             .unwrap();
-        assert_eq!(walls.len(), 4);
-        assert!(walls.iter().all(|w| *w > Duration::ZERO));
+        assert_eq!(replay.len(), 4);
+        assert!(replay.iter().all(|it| it.wall > Duration::ZERO));
+        // A shrunk run must actually swap: the replayed traffic is what
+        // the cluster routes over the shared host link.
+        assert!(replay.iter().any(|it| it.swap_bytes > 0), "{replay:?}");
         // Far below the weight floor even Capuchin cannot run.
         assert!(adm
             .validate(

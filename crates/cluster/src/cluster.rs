@@ -3,33 +3,55 @@
 //! # Model
 //!
 //! * Each GPU is a byte-granular reservation ledger. A job holds one
-//!   reservation (granted at admission) for its entire stay; there is no
-//!   mid-run growth, because Capuchin's plan keeps the footprint under
-//!   the granted budget.
+//!   reservation *per replica* (granted at admission) for its entire
+//!   stay; there is no mid-run growth, because Capuchin's plan keeps the
+//!   footprint under the granted budget.
+//! * A job with `gpus = k > 1` is a data-parallel **gang**: `k` replicas,
+//!   each training `batch / k` samples, admitted to `k` GPUs atomically —
+//!   all or none, never a partial gang. Admission measures the
+//!   *per-replica* footprint (weights + activations at the replica
+//!   batch) once and every replica gets the same grant. The gang iterates
+//!   in lockstep: one barrier per iteration boundary, where gradients are
+//!   allreduced before the next iteration starts.
 //! * Job execution is replayed, not re-simulated: admission validates the
 //!   granted budget with a real engine run and the cluster replays the
-//!   recorded per-iteration wall times on its own clock. When a job's
-//!   validation run is shorter than the job, the final (steady-state)
-//!   wall time repeats. An empty validation trace is a failed validation
-//!   — replaying it would fabricate zero-time iterations.
+//!   recorded per-iteration wall times (and swap-byte volumes) on its own
+//!   clock. When a job's validation run is shorter than the job, the
+//!   final (steady-state) iteration repeats. An empty validation trace is
+//!   a failed validation — replaying it would fabricate zero-time
+//!   iterations.
 //! * Co-located jobs slow each other down: an iteration in flight while
 //!   `k` jobs are resident on the GPU progresses at `1/k` of its recorded
-//!   pace (compute is time-sliced, memory is partitioned). Residency
-//!   changes *re-price* every in-flight iteration: progress accrued so
-//!   far is banked at the old factor and the remainder is rescaled to the
-//!   new one, so bursty arrivals are charged honestly.
+//!   pace (compute is time-sliced, memory is partitioned). A gang's
+//!   factor is the *maximum* over its GPUs — the lockstep barrier waits
+//!   for the slowest replica. Residency changes *re-price* every
+//!   in-flight iteration: progress accrued so far is banked at the old
+//!   factor and the remainder is rescaled to the new one, so bursty
+//!   arrivals are charged honestly.
+//! * With [`ClusterConfig::interconnect`] set, all cluster copy traffic
+//!   routes over a shared fabric ([`capuchin_sim::Interconnect`]) instead
+//!   of private per-job lanes: the swap bytes each iteration recorded
+//!   during validation, gang gradient allreduces (ring schedule,
+//!   `2·(k−1)/k × gradient bytes` per replica), and checkpoint/restore
+//!   copies. Concurrent transfers queue on the finite-bandwidth links and
+//!   stretch co-resident iterations. Swap replay charges only the
+//!   *queueing* delay (the validated wall already contains the transfer
+//!   time, paid once on a private lane); allreduce — absent from
+//!   single-GPU validation — charges its full span at the barrier.
 //! * With [`ClusterConfig::preemption`] on, a high-effective-priority
 //!   arrival that fits nowhere may preempt the lowest-priority resident
-//!   job: the victim's state is checkpointed to the host (a PCIe
-//!   device-to-host copy of its whole reservation), its reservation is
+//!   job: the victim's state is checkpointed to the host (a copy of its
+//!   whole reservation, from every replica), its reservations are
 //!   released, and it re-enters the queue to resume later from the saved
-//!   iteration (restore pays the host-to-device copy). The interrupted
-//!   iteration is discarded and redone on resume — the same boundary
-//!   semantics as [`capuchin_executor::Engine::snapshot`].
+//!   iteration (restore pays the host-to-device copy). Gangs are
+//!   preempted whole or not at all — evicting one replica would stall the
+//!   lockstep barrier forever. The interrupted iteration is discarded and
+//!   redone on resume — the same boundary semantics as
+//!   [`capuchin_executor::Engine::snapshot`].
 //! * Footprint measurement happens off the critical path (think: a
 //!   profiling sidecar), so admission consumes no simulated time.
 //!
-//! # Determinism
+//! # Determinism and gang atomicity
 //!
 //! Events are ordered by `(time, submission sequence)`; all caches are
 //! `BTreeMap`s; the waiting queue is a plain `Vec` in queue-entry order
@@ -37,14 +59,21 @@
 //! preemption supersede scheduled iteration ends via a per-job epoch
 //! counter — stale events are skipped on pop, never mutated in place.
 //! Two runs over the same workload produce byte-identical stats JSON.
+//!
+//! Gang reservation cannot deadlock: the strategy returns the *complete*
+//! GPU set for one job and the single-threaded event loop grants every
+//! member in the same step. No gang ever holds a partial reservation
+//! while waiting for the rest, so there is no hold-and-wait cycle — the
+//! classic sort-by-gang-then-release protocol degenerates to a single
+//! atomic grant.
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use capuchin::{measure_footprint, FootprintEstimate};
-use capuchin_sim::{CopyDir, DeviceSpec, Duration, Time};
+use capuchin_sim::{CopyDir, DeviceSpec, Duration, Interconnect, InterconnectSpec, Time};
 
-use crate::admission::{Admission, AdmissionMode, JobNeeds};
+use crate::admission::{Admission, AdmissionMode, JobNeeds, ReplayIter};
 use crate::job::JobSpec;
 use crate::stats::{ClusterStats, GpuStats, JobOutcome, JobStats};
 use crate::strategy::{CandidateJob, GpuView, StrategyKind};
@@ -69,8 +98,13 @@ pub struct ClusterConfig {
     pub validate_iters: u64,
     /// Allow checkpoint-preemption: a waiting job whose effective
     /// priority exceeds a resident job's static priority may evict it
-    /// through a host-side checkpoint when no GPU has headroom.
+    /// through a host-side checkpoint when no GPU set has headroom.
     pub preemption: bool,
+    /// Shared-interconnect model. `None` keeps the legacy behavior —
+    /// every job owns a private PCIe lane, copies never contend, and
+    /// allreduce is free — and reproduces pre-interconnect timings
+    /// exactly.
+    pub interconnect: Option<InterconnectSpec>,
 }
 
 impl Default for ClusterConfig {
@@ -83,27 +117,29 @@ impl Default for ClusterConfig {
             aging_rate: 0.1,
             validate_iters: 6,
             preemption: false,
+            interconnect: None,
         }
     }
 }
 
 /// Host-side checkpoint of a preempted job: everything the cluster needs
-/// to resume the replay on any GPU. This is the replay-level mirror of
-/// [`capuchin_executor::EngineSnapshot`] — the iteration cursor plus the
-/// validated per-iteration walls (the RNG-free replay trace) and the
-/// budget those walls were validated at.
+/// to resume the replay on any GPU set. This is the replay-level mirror
+/// of [`capuchin_executor::EngineSnapshot`] — the iteration cursor plus
+/// the validated per-iteration replay trace and the budget it was
+/// validated at.
 #[derive(Debug, Clone)]
 struct Checkpoint {
     /// Completed iterations: the resume point. The interrupted iteration
     /// was discarded and is redone after restore.
     iters_done: u64,
-    /// Reservation the walls were validated at; resume regrants exactly
-    /// this, so no re-validation is needed.
+    /// Per-replica reservation the replay was validated at; resume
+    /// regrants exactly this on every replica, so no re-validation is
+    /// needed.
     reserved: u64,
     /// Whether that reservation was a shrunk grant.
     shrunk: bool,
-    /// Validated per-iteration walls.
-    walls: Vec<Duration>,
+    /// Validated per-iteration replay trace.
+    replay: Vec<ReplayIter>,
 }
 
 /// Per-job simulation state.
@@ -118,25 +154,33 @@ struct JobRun {
     queued_at: Time,
     needs: JobNeeds,
     footprint: u64,
+    /// Gradient bytes per replica (the model's weight bytes), allreduced
+    /// at every gang barrier.
+    grad_bytes: u64,
     /// Largest budget a validation run failed at (never retried at or
     /// below this).
     failed_budget: Option<u64>,
     rejected: bool,
-    /// Replay became impossible mid-run (empty wall trace): the job was
+    /// Replay became impossible mid-run (empty replay trace): the job was
     /// evicted and counted as a mid-run abort.
     aborted: bool,
-    gpu: Option<usize>,
+    /// GPUs currently held — the whole gang, in placement order. Kept
+    /// after completion for stats; cleared on preemption and abort.
+    /// Always empty or exactly `spec.gpus` long: grants are atomic.
+    gpus_held: Vec<usize>,
+    /// Per-replica reservation (same bytes on every held GPU).
     reserved: u64,
     shrunk: bool,
     admitted_at: Option<Time>,
     finished_at: Option<Time>,
-    walls: Vec<Duration>,
+    replay: Vec<ReplayIter>,
     iters_done: u64,
     /// Bumped whenever scheduled events for this job become stale
     /// (re-pricing, preemption, abort); events carry the epoch they were
     /// scheduled under and are skipped on mismatch.
     epoch: u64,
-    /// An iteration is in flight (false while checkpointing/restoring).
+    /// An iteration's compute is in flight (false while the gang barrier
+    /// communicates, checkpoints or restores).
     iterating: bool,
     /// Base (1×) wall of the in-flight iteration.
     iter_wall: Duration,
@@ -156,8 +200,12 @@ struct JobRun {
     preemptions: u64,
     wasted_work: Duration,
     resume_latency: Duration,
-    /// Total checkpoint + restore PCIe copy time charged to the job.
+    /// Total checkpoint + restore copy time charged to the job.
     checkpoint_overhead: Duration,
+    /// Total allreduce time charged at gang barriers.
+    allreduce_time: Duration,
+    /// Queueing delay behind other jobs' traffic on the shared fabric.
+    comm_delay: Duration,
 }
 
 impl JobRun {
@@ -169,15 +217,16 @@ impl JobRun {
             queued_at: arrival,
             needs: JobNeeds { full: 0, min: 0 },
             footprint: 0,
+            grad_bytes: 0,
             failed_budget: None,
             rejected: false,
             aborted: false,
-            gpu: None,
+            gpus_held: Vec::new(),
             reserved: 0,
             shrunk: false,
             admitted_at: None,
             finished_at: None,
-            walls: Vec::new(),
+            replay: Vec::new(),
             iters_done: 0,
             epoch: 0,
             iterating: false,
@@ -193,7 +242,14 @@ impl JobRun {
             wasted_work: Duration::ZERO,
             resume_latency: Duration::ZERO,
             checkpoint_overhead: Duration::ZERO,
+            allreduce_time: Duration::ZERO,
+            comm_delay: Duration::ZERO,
         }
+    }
+
+    /// The gang width (defensively at least 1).
+    fn width(&self) -> usize {
+        self.spec.gpus.max(1)
     }
 
     /// The strategy's view of this waiting job. A checkpointed job asks
@@ -205,6 +261,7 @@ impl JobRun {
                 job: idx,
                 arrival: self.queued_at,
                 priority: self.spec.priority,
+                gpus: self.width(),
                 full_need: cp.reserved,
                 min_need: cp.reserved,
                 failed_budget: None,
@@ -213,6 +270,7 @@ impl JobRun {
                 job: idx,
                 arrival: self.queued_at,
                 priority: self.spec.priority,
+                gpus: self.width(),
                 full_need: self.needs.full,
                 min_need: self.needs.min,
                 failed_budget: self.failed_budget,
@@ -257,11 +315,14 @@ impl GpuState {
 const EV_ARRIVE: u8 = 0;
 const EV_ITER_END: u8 = 1;
 /// A preemption's device-to-host checkpoint copy drained: release the
-/// reservation and re-enqueue the victim.
+/// reservations and re-enqueue the victim.
 const EV_PREEMPT: u8 = 2;
 /// A resume's host-to-device restore copy drained: the job starts
 /// iterating again from its saved cursor.
 const EV_RESUME: u8 = 3;
+/// The iteration-boundary communication (swap-replay queueing and/or the
+/// gang's gradient allreduce) drained: the iteration is truly complete.
+const EV_COMM: u8 = 4;
 
 /// Event queue entry: `(time ns, sequence, kind, job, epoch)` under
 /// `Reverse` for min-heap order. The sequence number breaks time ties
@@ -269,13 +330,14 @@ const EV_RESUME: u8 = 3;
 /// re-pricing or preemption.
 type Event = Reverse<(u64, u64, u8, usize, u64)>;
 
-/// A job's wall trace is empty — replaying it would fabricate zero-time
+/// A job's replay trace is empty — replaying it would fabricate zero-time
 /// iterations (and an infinitely fast job).
 #[derive(Debug, PartialEq, Eq)]
 struct EmptyWalls;
 
-/// Validation-cache key: `(model name, batch, budget, policy, shrunk,
-/// iters)`.
+/// Validation-cache key: `(model name, replica batch, budget, policy,
+/// shrunk, iters)`. Keyed by the *replica* batch, so a 4-GPU gang at
+/// batch 128 shares the cache entry with a single-GPU job at batch 32.
 type ValidationKey = (String, usize, u64, &'static str, bool, u64);
 
 /// The cluster scheduler.
@@ -284,12 +346,12 @@ pub struct Cluster {
     cfg: ClusterConfig,
     admission: Admission,
     /// Measured footprints and derived admission budgets keyed by
-    /// `(model name, batch)` — jobs sharing a workload share one
-    /// measuring run and one bisection.
+    /// `(model name, replica batch)` — jobs (and gang replicas) sharing a
+    /// per-replica workload share one measuring run and one bisection.
     estimates: BTreeMap<(String, usize), (FootprintEstimate, JobNeeds)>,
-    /// Validation outcomes: `Some` holds the per-iteration walls, `None`
-    /// records a failed run.
-    validations: BTreeMap<ValidationKey, Option<Vec<Duration>>>,
+    /// Validation outcomes: `Some` holds the per-iteration replay trace,
+    /// `None` records a failed run.
+    validations: BTreeMap<ValidationKey, Option<Vec<ReplayIter>>>,
 }
 
 impl Cluster {
@@ -305,12 +367,15 @@ impl Cluster {
         }
     }
 
+    /// Measures the per-replica footprint: weights plus activations at
+    /// the replica batch (`batch / gpus`).
     fn estimate(&mut self, spec: &JobSpec) -> (FootprintEstimate, JobNeeds) {
-        let key = (spec.model.name().to_owned(), spec.batch);
+        let rb = spec.replica_batch();
+        let key = (spec.model.name().to_owned(), rb);
         if let Some(cached) = self.estimates.get(&key) {
             return cached.clone();
         }
-        let model = spec.model.build(spec.batch);
+        let model = spec.model.build(rb);
         let est = measure_footprint(&model.graph, &self.cfg.spec)
             .expect("unconstrained measuring run cannot OOM");
         let needs = self.admission.needs(&model.graph, &est);
@@ -318,16 +383,17 @@ impl Cluster {
         (est, needs)
     }
 
-    fn validated_walls(
+    fn validated_replay(
         &mut self,
         spec: &JobSpec,
         budget: u64,
         shrunk: bool,
-    ) -> Option<Vec<Duration>> {
+    ) -> Option<Vec<ReplayIter>> {
+        let rb = spec.replica_batch();
         let iters = spec.iters.min(self.cfg.validate_iters).max(2);
         let key = (
             spec.model.name().to_owned(),
-            spec.batch,
+            rb,
             budget,
             spec.policy.name(),
             shrunk,
@@ -336,8 +402,8 @@ impl Cluster {
         if let Some(cached) = self.validations.get(&key) {
             return cached.clone();
         }
-        let model = spec.model.build(spec.batch);
-        let walls = self
+        let model = spec.model.build(rb);
+        let replay = self
             .admission
             .validate(
                 &model.graph,
@@ -349,9 +415,9 @@ impl Cluster {
             )
             .ok()
             // An empty trace is a failed validation, not a fast job.
-            .filter(|walls| !walls.is_empty());
-        self.validations.insert(key, walls.clone());
-        walls
+            .filter(|replay| !replay.is_empty());
+        self.validations.insert(key, replay.clone());
+        replay
     }
 
     /// Runs the workload to completion and returns the stats.
@@ -368,6 +434,11 @@ impl Cluster {
         let mut gpus: Vec<GpuState> = (0..self.cfg.gpus)
             .map(|_| GpuState::new(self.cfg.spec.memory_bytes))
             .collect();
+        let mut fabric: Option<Interconnect> = self
+            .cfg
+            .interconnect
+            .clone()
+            .map(|spec| Interconnect::new(spec, self.cfg.gpus));
         let mut pending: Vec<usize> = Vec::new();
         let strategy = self.cfg.strategy.build(self.cfg.aging_rate);
 
@@ -378,37 +449,50 @@ impl Cluster {
             }
             match kind {
                 EV_ARRIVE => {
-                    let (est, needs) = self.estimate(&jobs[job].spec);
-                    jobs[job].needs = needs;
-                    jobs[job].footprint = est.ideal_peak;
-                    if needs.min > self.cfg.spec.memory_bytes {
-                        // Admission-time OOM: no bare GPU can ever host it.
+                    // Bad gang widths are rejected at parse time
+                    // (`load_jobs`); specs built in code get the same
+                    // verdict here instead of a late panic.
+                    if jobs[job].spec.gpus == 0 || jobs[job].spec.gpus > self.cfg.gpus {
                         jobs[job].rejected = true;
                     } else {
-                        pending.push(job);
+                        let (est, needs) = self.estimate(&jobs[job].spec);
+                        jobs[job].needs = needs;
+                        jobs[job].footprint = est.ideal_peak;
+                        jobs[job].grad_bytes = est.weight_bytes;
+                        if needs.min > self.cfg.spec.memory_bytes {
+                            // Admission-time OOM: no bare GPU can host a
+                            // replica.
+                            jobs[job].rejected = true;
+                        } else {
+                            pending.push(job);
+                        }
                     }
                 }
                 EV_ITER_END => {
+                    // Compute done. The iteration is complete only after
+                    // the boundary communication (replayed swap traffic
+                    // queueing, then the gang's gradient allreduce)
+                    // drains on the shared fabric.
                     jobs[job].iterating = false;
-                    jobs[job].iters_done += 1;
-                    if jobs[job].iters_done >= jobs[job].spec.iters {
-                        let gpu = jobs[job].gpu.expect("running job has a GPU");
-                        jobs[job].finished_at = Some(now);
-                        let g = &mut gpus[gpu];
-                        g.touch(now);
-                        g.reserved -= jobs[job].reserved;
-                        g.resident.retain(|&r| r != job);
-                        reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
-                    } else if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap)
-                        .is_err()
-                    {
-                        abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
+                    let comm_end = settle_comm(&mut jobs[job], now, fabric.as_mut());
+                    if comm_end > now {
+                        let j = &mut jobs[job];
+                        j.epoch += 1;
+                        heap.push(Reverse((comm_end.as_nanos(), seq, EV_COMM, job, j.epoch)));
+                        seq += 1;
+                    } else {
+                        complete_iteration(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
                     }
                 }
+                EV_COMM => {
+                    complete_iteration(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
+                }
                 EV_PREEMPT => {
-                    // Checkpoint copy drained: release the reservation and
-                    // put the victim back in the queue, resumable.
-                    let gpu = jobs[job].gpu.take().expect("preempting job has a GPU");
+                    // Checkpoint copy drained: release every replica's
+                    // reservation and put the victim back in the queue,
+                    // resumable.
+                    let held = std::mem::take(&mut jobs[job].gpus_held);
+                    assert!(!held.is_empty(), "preempting job holds its gang");
                     let reserved = jobs[job].reserved;
                     let j = &mut jobs[job];
                     j.preempting = false;
@@ -416,18 +500,22 @@ impl Cluster {
                         iters_done: j.iters_done,
                         reserved,
                         shrunk: j.shrunk,
-                        walls: j.walls.clone(),
+                        replay: j.replay.clone(),
                     });
                     j.preempted_at = Some(now);
                     j.queued_at = now;
-                    let g = &mut gpus[gpu];
-                    g.touch(now);
-                    g.reserved -= reserved;
-                    g.resident.retain(|&r| r != job);
+                    for &gpu in &held {
+                        let g = &mut gpus[gpu];
+                        g.touch(now);
+                        g.reserved -= reserved;
+                        g.resident.retain(|&r| r != job);
+                    }
                     // All earlier queue entries have queued_at <= now, so
                     // appending preserves queue-entry order.
                     pending.push(job);
-                    reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                    for &gpu in &held {
+                        reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                    }
                 }
                 EV_RESUME => {
                     // Restore copy drained: rebuild the replay state from
@@ -436,7 +524,7 @@ impl Cluster {
                     let cp = j.checkpoint.take().expect("resuming job has a checkpoint");
                     j.iters_done = cp.iters_done;
                     j.shrunk = cp.shrunk;
-                    j.walls = cp.walls;
+                    j.replay = cp.replay;
                     if let Some(at) = j.preempted_at.take() {
                         j.resume_latency += now.saturating_since(at);
                     }
@@ -446,7 +534,10 @@ impl Cluster {
                 }
                 other => unreachable!("unknown event kind {other}"),
             }
-            // (Re-)place waiting jobs after every state change.
+            // (Re-)place waiting jobs after every state change. Gang
+            // grants are atomic: the strategy names the complete GPU set
+            // and every member is reserved in this same loop step, so no
+            // job ever holds a partial gang (the no-deadlock invariant).
             loop {
                 let cands: Vec<CandidateJob> =
                     pending.iter().map(|&j| jobs[j].candidate(j)).collect();
@@ -458,6 +549,9 @@ impl Cluster {
                     .enumerate()
                     .map(|(idx, g)| GpuView {
                         idx,
+                        // With no fabric modelled every GPU is its own
+                        // domain: placement has nothing to co-locate for.
+                        domain: fabric.as_ref().map_or(idx, |f| f.spec().domain_of(idx)),
                         capacity: g.capacity,
                         reserved: g.reserved,
                     })
@@ -470,55 +564,83 @@ impl Cluster {
                     let grant = h.min(c.full_need);
                     c.failed_budget.is_none_or(|fb| grant > fb)
                 };
-                let Some((job, gpu)) = strategy.pick(&cands, &views, now, &fits) else {
+                let Some((job, gang)) = strategy.pick(&cands, &views, now, &fits) else {
                     break;
                 };
+                assert_eq!(
+                    gang.len(),
+                    jobs[job].width(),
+                    "strategy returned a partial gang"
+                );
                 if let Some(cp) = &jobs[job].checkpoint {
-                    // Resume placement: regrant the checkpointed budget and
-                    // charge the host-to-device restore copy before the
-                    // first resumed iteration.
+                    // Resume placement: regrant the checkpointed budget on
+                    // every replica and charge the host-to-device restore
+                    // copy before the first resumed iteration. On a shared
+                    // fabric all replicas' restores serialize on the host
+                    // link (and behind any other traffic in flight).
                     let grant = cp.reserved;
-                    let copy = self.cfg.spec.copy_time(grant, CopyDir::HostToDevice);
+                    let copy = match fabric.as_mut() {
+                        Some(f) => {
+                            let tr = f.host_transfer(now, grant * gang.len() as u64);
+                            tr.end.saturating_since(now)
+                        }
+                        None => self.cfg.spec.copy_time(grant, CopyDir::HostToDevice),
+                    };
                     let j = &mut jobs[job];
-                    j.gpu = Some(gpu);
+                    j.gpus_held = gang.clone();
                     j.reserved = grant;
                     j.checkpoint_overhead += copy;
                     j.epoch += 1;
                     let (at, ep) = (now + copy, j.epoch);
                     pending.retain(|&p| p != job);
-                    let g = &mut gpus[gpu];
-                    g.touch(now);
-                    g.reserved += grant;
-                    g.peak = g.peak.max(g.reserved);
-                    g.resident.push(job);
-                    g.hosted += 1;
-                    heap.push(Reverse((at.as_nanos(), seq, EV_RESUME, job, ep)));
-                    seq += 1;
-                    reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
-                    continue;
-                }
-                let grant = views[gpu].headroom().min(jobs[job].needs.full);
-                let shrunk = grant < jobs[job].needs.full;
-                let spec = jobs[job].spec.clone();
-                match self.validated_walls(&spec, grant, shrunk) {
-                    Some(walls) => {
-                        let j = &mut jobs[job];
-                        j.gpu = Some(gpu);
-                        j.reserved = grant;
-                        j.shrunk = shrunk;
-                        j.admitted_at = Some(now);
-                        j.walls = walls;
-                        pending.retain(|&p| p != job);
+                    for &gpu in &gang {
                         let g = &mut gpus[gpu];
                         g.touch(now);
                         g.reserved += grant;
                         g.peak = g.peak.max(g.reserved);
                         g.resident.push(job);
                         g.hosted += 1;
+                    }
+                    heap.push(Reverse((at.as_nanos(), seq, EV_RESUME, job, ep)));
+                    seq += 1;
+                    for &gpu in &gang {
+                        reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                    }
+                    continue;
+                }
+                // Every replica gets the same grant: the tightest member
+                // of the gang caps it (replicas run one validated replay).
+                let headroom = gang
+                    .iter()
+                    .map(|&g| views[g].headroom())
+                    .min()
+                    .expect("gang is non-empty");
+                let grant = headroom.min(jobs[job].needs.full);
+                let shrunk = grant < jobs[job].needs.full;
+                let spec = jobs[job].spec.clone();
+                match self.validated_replay(&spec, grant, shrunk) {
+                    Some(replay) => {
+                        let j = &mut jobs[job];
+                        j.gpus_held = gang.clone();
+                        j.reserved = grant;
+                        j.shrunk = shrunk;
+                        j.admitted_at = Some(now);
+                        j.replay = replay;
+                        pending.retain(|&p| p != job);
+                        for &gpu in &gang {
+                            let g = &mut gpus[gpu];
+                            g.touch(now);
+                            g.reserved += grant;
+                            g.peak = g.peak.max(g.reserved);
+                            g.resident.push(job);
+                            g.hosted += 1;
+                        }
                         if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap).is_err() {
                             abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
                         } else {
-                            reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                            for &gpu in &gang {
+                                reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                            }
                         }
                     }
                     None => {
@@ -536,10 +658,21 @@ impl Cluster {
                 if let Some(victim) =
                     pick_preemption(&jobs, &gpus, &pending, now, self.cfg.aging_rate)
                 {
-                    let copy = self
-                        .cfg
-                        .spec
-                        .copy_time(jobs[victim].reserved, CopyDir::DeviceToHost);
+                    // The whole gang checkpoints or none: every replica's
+                    // reservation is copied out. On a shared fabric the
+                    // replicas' copies serialize on the host link; with
+                    // private lanes they drain in parallel.
+                    let width = jobs[victim].gpus_held.len().max(1) as u64;
+                    let copy = match fabric.as_mut() {
+                        Some(f) => {
+                            let tr = f.host_transfer(now, jobs[victim].reserved * width);
+                            tr.end.saturating_since(now)
+                        }
+                        None => self
+                            .cfg
+                            .spec
+                            .copy_time(jobs[victim].reserved, CopyDir::DeviceToHost),
+                    };
                     let j = &mut jobs[victim];
                     j.preempting = true;
                     j.preemptions += 1;
@@ -557,13 +690,14 @@ impl Cluster {
                 }
             }
         }
-        self.finalize(jobs, gpus, &*strategy)
+        self.finalize(jobs, gpus, fabric.as_ref(), &*strategy)
     }
 
     fn finalize(
         &self,
         jobs: Vec<JobRun>,
         mut gpus: Vec<GpuState>,
+        fabric: Option<&Interconnect>,
         strategy: &dyn crate::strategy::PlacementStrategy,
     ) -> ClusterStats {
         let start = jobs.iter().map(|j| j.arrival).min().unwrap_or(Time::ZERO);
@@ -627,7 +761,8 @@ impl Cluster {
                     } else {
                         JobOutcome::Starved
                     },
-                    gpu: j.gpu,
+                    replicas: j.spec.gpus,
+                    gpus_used: j.gpus_held.clone(),
                     shrunk: j.shrunk,
                     reserved_bytes: j.reserved,
                     footprint_bytes: j.footprint,
@@ -647,6 +782,8 @@ impl Cluster {
                     wasted_work: j.wasted_work,
                     resume_latency: j.resume_latency,
                     checkpoint_overhead: j.checkpoint_overhead,
+                    allreduce_time: j.allreduce_time,
+                    comm_delay: j.comm_delay,
                 }
             })
             .collect();
@@ -683,21 +820,110 @@ impl Cluster {
             },
             mean_queueing_delay,
             mean_jct,
+            interconnect: fabric.map_or_else(|| "off".to_owned(), |f| f.spec().name.clone()),
+            links: fabric.map(|f| f.link_stats()).unwrap_or_default(),
             per_gpu,
             jobs: job_stats,
         }
     }
 }
 
-/// Schedules the end of `job`'s next iteration: recorded wall time (the
-/// validation run's final wall repeats past its length) scaled by the
-/// number of jobs currently resident on the GPU. Re-pricing adjusts the
-/// end later if residency changes mid-iteration.
+/// Routes the just-finished iteration's boundary traffic over the shared
+/// fabric and returns when it drains (`now` with no fabric, or nothing to
+/// move).
+///
+/// Two charges, in order:
+///
+/// 1. **Swap replay** — the iteration's recorded swap bytes (every
+///    replica's) queue on the host link. Only the *queueing* delay
+///    (`start − now`) is charged: the validated wall already contains the
+///    transfer time, paid once on a private lane; what the shared link
+///    adds is waiting behind other jobs' traffic.
+/// 2. **Gradient allreduce** — for gangs, the ring allreduce
+///    (`2·(k−1)/k × gradient bytes` per replica) runs after the swap
+///    traffic clears. Validation is single-GPU so no part of this is in
+///    the wall: the full span is charged at the barrier.
+fn settle_comm(j: &mut JobRun, now: Time, fabric: Option<&mut Interconnect>) -> Time {
+    let Some(fabric) = fabric else {
+        return now;
+    };
+    let k = j.gpus_held.len().max(1);
+    let mut comm_end = now;
+    let idx = (j.iters_done as usize).min(j.replay.len().saturating_sub(1));
+    let swap = j.replay.get(idx).map_or(0, |it| it.swap_bytes) * k as u64;
+    if swap > 0 {
+        let tr = fabric.host_transfer(now, swap);
+        let queued = tr.start.saturating_since(now);
+        j.comm_delay += queued;
+        comm_end = now + queued;
+    }
+    if k >= 2 && j.grad_bytes > 0 {
+        let ar = fabric.allreduce(comm_end, &j.gpus_held, j.grad_bytes);
+        j.allreduce_time += ar.end.saturating_since(comm_end);
+        comm_end = ar.end;
+    }
+    comm_end
+}
+
+/// Marks the in-flight iteration complete (compute and boundary
+/// communication both drained): advances the cursor, finishing the job —
+/// releasing every replica's reservation — or scheduling the next
+/// iteration.
+fn complete_iteration(
+    jobs: &mut [JobRun],
+    gpus: &mut [GpuState],
+    job: usize,
+    now: Time,
+    seq: &mut u64,
+    heap: &mut BinaryHeap<Event>,
+) {
+    jobs[job].iters_done += 1;
+    if jobs[job].iters_done >= jobs[job].spec.iters {
+        assert!(
+            !jobs[job].gpus_held.is_empty(),
+            "running job holds its gang"
+        );
+        jobs[job].finished_at = Some(now);
+        // `gpus_held` is kept for stats; only the reservations go.
+        let held = jobs[job].gpus_held.clone();
+        let reserved = jobs[job].reserved;
+        for &gpu in &held {
+            let g = &mut gpus[gpu];
+            g.touch(now);
+            g.reserved -= reserved;
+            g.resident.retain(|&r| r != job);
+        }
+        for &gpu in &held {
+            reprice_residents(jobs, gpus, gpu, now, seq, heap);
+        }
+    } else if schedule_iter(jobs, gpus, job, now, seq, heap).is_err() {
+        abort_job(jobs, gpus, job, now, seq, heap);
+    }
+}
+
+/// The contention factor a job experiences: the maximum resident count
+/// over the GPUs its gang holds. The lockstep barrier waits for the
+/// slowest replica, so the most crowded device paces the whole gang.
+fn contention_factor(jobs: &[JobRun], gpus: &[GpuState], job: usize) -> f64 {
+    jobs[job]
+        .gpus_held
+        .iter()
+        .map(|&g| gpus[g].resident.len())
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64
+}
+
+/// Schedules the end of `job`'s next iteration's compute: recorded wall
+/// time (the validation run's final wall repeats past its length) scaled
+/// by the gang's contention factor. Re-pricing adjusts the end later if
+/// residency changes mid-iteration; boundary communication is charged
+/// separately when the compute drains.
 ///
 /// # Errors
 ///
-/// Returns [`EmptyWalls`] when the job has no wall trace to replay —
-/// admission rejects such traces, so this is a defence, not a path.
+/// Returns [`EmptyWalls`] when the job has no replay trace — admission
+/// rejects such traces, so this is a defence, not a path.
 fn schedule_iter(
     jobs: &mut [JobRun],
     gpus: &[GpuState],
@@ -706,14 +932,17 @@ fn schedule_iter(
     seq: &mut u64,
     heap: &mut BinaryHeap<Event>,
 ) -> Result<(), EmptyWalls> {
-    let gpu = jobs[job].gpu.expect("scheduled job has a GPU");
-    let k = gpus[gpu].resident.len().max(1) as f64;
+    assert!(
+        !jobs[job].gpus_held.is_empty(),
+        "scheduled job holds a gang"
+    );
+    let k = contention_factor(jobs, gpus, job);
     let j = &mut jobs[job];
-    if j.walls.is_empty() {
+    if j.replay.is_empty() {
         return Err(EmptyWalls);
     }
-    let idx = (j.iters_done as usize).min(j.walls.len() - 1);
-    let wall = j.walls[idx];
+    let idx = (j.iters_done as usize).min(j.replay.len() - 1);
+    let wall = j.replay[idx].wall;
     j.iter_wall = wall;
     j.iter_k = k;
     j.iter_progress = 0.0;
@@ -729,7 +958,9 @@ fn schedule_iter(
 /// Re-prices every in-flight iteration on `gpu` after its resident set
 /// changed at `now`: progress accrued under the old contention factor is
 /// banked, the remainder is rescaled to the new factor, and a fresh
-/// iteration-end event supersedes the stale one (epoch bump).
+/// iteration-end event supersedes the stale one (epoch bump). A gang's
+/// factor spans all its GPUs, so a residency change on one device
+/// re-prices gang-mates whose other devices are untouched.
 fn reprice_residents(
     jobs: &mut [JobRun],
     gpus: &[GpuState],
@@ -738,8 +969,9 @@ fn reprice_residents(
     seq: &mut u64,
     heap: &mut BinaryHeap<Event>,
 ) {
-    let k = gpus[gpu].resident.len().max(1) as f64;
-    for &r in &gpus[gpu].resident {
+    let residents = gpus[gpu].resident.clone();
+    for r in residents {
+        let k = contention_factor(jobs, gpus, r);
         let j = &mut jobs[r];
         if !j.iterating || j.iter_k == k {
             continue;
@@ -766,8 +998,9 @@ fn reprice_residents(
     }
 }
 
-/// Evicts `job` as a mid-run abort: its reservation is released, its
-/// events are invalidated, and it counts toward `midrun_oom_aborts`.
+/// Evicts `job` as a mid-run abort: every replica's reservation is
+/// released, its events are invalidated, and it counts toward
+/// `midrun_oom_aborts`.
 fn abort_job(
     jobs: &mut [JobRun],
     gpus: &mut [GpuState],
@@ -780,12 +1013,15 @@ fn abort_job(
     j.aborted = true;
     j.iterating = false;
     j.epoch += 1;
-    if let Some(gpu) = j.gpu.take() {
-        let reserved = j.reserved;
+    let held = std::mem::take(&mut j.gpus_held);
+    let reserved = j.reserved;
+    for &gpu in &held {
         let g = &mut gpus[gpu];
         g.touch(now);
         g.reserved -= reserved;
         g.resident.retain(|&r| r != job);
+    }
+    for &gpu in &held {
         reprice_residents(jobs, gpus, gpu, now, seq, heap);
     }
 }
@@ -794,10 +1030,12 @@ fn abort_job(
 ///
 /// For each *fresh* waiting job (checkpointed jobs queue for natural
 /// space — letting them preempt would ping-pong), in descending effective
-/// priority (`priority + aging_rate × wait`): if it fits on no GPU as-is,
-/// look for the lowest-static-priority iterating resident whose eviction
-/// would open enough headroom, with the victim's priority strictly below
-/// the waiter's effective priority.
+/// priority (`priority + aging_rate × wait`): if its gang fits nowhere
+/// as-is, look for the lowest-static-priority iterating resident whose
+/// eviction would open enough headroom for the waiter's full gang width,
+/// with the victim's priority strictly below the waiter's effective
+/// priority. A victim gang is evicted whole — releasing its reservation
+/// on *every* device it holds — or not at all.
 fn pick_preemption(
     jobs: &[JobRun],
     gpus: &[GpuState],
@@ -807,6 +1045,22 @@ fn pick_preemption(
 ) -> Option<usize> {
     let eff = |priority: u32, since: Time| {
         priority as f64 + aging_rate * now.saturating_since(since).as_secs_f64()
+    };
+    // How many GPUs could host one replica of waiter `jp`, with victim
+    // `v`'s per-replica reservation returned on every device it holds?
+    let fitting_gpus = |jp: &JobRun, victim: Option<usize>| {
+        gpus.iter()
+            .enumerate()
+            .filter(|(idx, g)| {
+                let mut h = g.capacity.saturating_sub(g.reserved);
+                if let Some(v) = victim {
+                    if jobs[v].gpus_held.contains(idx) {
+                        h += jobs[v].reserved;
+                    }
+                }
+                h >= jp.needs.min && jp.failed_budget.is_none_or(|fb| h.min(jp.needs.full) > fb)
+            })
+            .count()
     };
     let mut waiters: Vec<usize> = pending
         .iter()
@@ -824,27 +1078,19 @@ fn pick_preemption(
     for &p in &waiters {
         let jp = &jobs[p];
         let ep = eff(jp.spec.priority, jp.queued_at);
-        let fits_now = gpus.iter().any(|g| {
-            let h = g.capacity.saturating_sub(g.reserved);
-            h >= jp.needs.min && jp.failed_budget.is_none_or(|fb| h.min(jp.needs.full) > fb)
-        });
-        if fits_now {
+        if fitting_gpus(jp, None) >= jp.width() {
             // Placeable without violence; the strategy just chose not to
             // (e.g. FIFO head-of-line). Preemption is not the tool.
             continue;
         }
-        let mut victims: Vec<usize> = gpus
-            .iter()
-            .flat_map(|g| g.resident.iter().copied())
+        let mut victims: Vec<usize> = (0..jobs.len())
+            .filter(|&v| !jobs[v].gpus_held.is_empty() && jobs[v].finished_at.is_none())
             .filter(|&v| jobs[v].iterating && !jobs[v].preempting)
             .filter(|&v| (jobs[v].spec.priority as f64) < ep)
             .collect();
         victims.sort_by_key(|&v| (jobs[v].spec.priority, v));
         for &v in &victims {
-            let g = &gpus[jobs[v].gpu.expect("resident job has a GPU")];
-            let freed = g.capacity.saturating_sub(g.reserved) + jobs[v].reserved;
-            let grant = freed.min(jp.needs.full);
-            if freed >= jp.needs.min && jp.failed_budget.is_none_or(|fb| grant > fb) {
+            if fitting_gpus(jp, Some(v)) >= jp.width() {
                 return Some(v);
             }
         }
@@ -863,6 +1109,7 @@ mod tests {
                 name: "a".into(),
                 model: capuchin_models::ModelKind::Vgg16,
                 batch: 16,
+                gpus: 1,
                 policy: JobPolicy::Capuchin,
                 iters: 3,
                 priority: 0,
@@ -872,6 +1119,7 @@ mod tests {
                 name: "b".into(),
                 model: capuchin_models::ModelKind::ResNet50,
                 batch: 16,
+                gpus: 1,
                 policy: JobPolicy::TfOri,
                 iters: 3,
                 priority: 1,
@@ -896,6 +1144,8 @@ mod tests {
         assert!(stats.aggregate_samples_per_sec > 0.0);
         assert!(stats.per_gpu[0].peak_reserved_bytes > 0);
         assert!(stats.per_gpu[0].mean_utilization > 0.0);
+        assert_eq!(stats.interconnect, "off");
+        assert!(stats.links.is_empty());
     }
 
     #[test]
@@ -914,6 +1164,7 @@ mod tests {
             name: "big".into(),
             model: capuchin_models::ModelKind::Vgg16,
             batch: 320,
+            gpus: 1,
             policy: JobPolicy::Capuchin,
             iters: 3,
             priority: 0,
@@ -937,6 +1188,104 @@ mod tests {
         assert!(cap.jobs[0].reserved_bytes < cap.jobs[0].footprint_bytes);
     }
 
+    /// A gang splits its batch: admission measures the per-replica
+    /// footprint, all replicas are placed atomically, and the gang
+    /// completes with allreduce time visible when a fabric is modelled.
+    #[test]
+    fn gang_places_all_replicas_atomically() {
+        let gang = vec![JobSpec {
+            name: "gang".into(),
+            model: capuchin_models::ModelKind::ResNet50,
+            batch: 64,
+            gpus: 2,
+            policy: JobPolicy::TfOri,
+            iters: 3,
+            priority: 0,
+            arrival_time: 0.0,
+        }];
+        let stats = Cluster::new(ClusterConfig {
+            gpus: 2,
+            interconnect: Some(InterconnectSpec::pcie_shared()),
+            ..ClusterConfig::default()
+        })
+        .run(&gang);
+        assert_eq!(stats.completed, 1, "{}", stats.to_json());
+        let j = &stats.jobs[0];
+        assert_eq!(j.replicas, 2);
+        assert_eq!(j.gpus_used, vec![0, 1]);
+        assert!(j.allreduce_time > Duration::ZERO);
+        // Both devices hosted one replica with the same reservation.
+        assert_eq!(stats.per_gpu[0].peak_reserved_bytes, j.reserved_bytes);
+        assert_eq!(stats.per_gpu[1].peak_reserved_bytes, j.reserved_bytes);
+        // The host link carried the allreduce traffic.
+        assert!(stats.links[0].bytes > 0);
+    }
+
+    /// A gang wider than the cluster is rejected defensively at arrival
+    /// (parse-time validation already catches it for workload files).
+    #[test]
+    fn oversized_gang_is_rejected_not_panicked() {
+        let wide = vec![JobSpec {
+            name: "wide".into(),
+            model: capuchin_models::ModelKind::ResNet50,
+            batch: 64,
+            gpus: 4,
+            policy: JobPolicy::TfOri,
+            iters: 2,
+            priority: 0,
+            arrival_time: 0.0,
+        }];
+        let stats = Cluster::new(ClusterConfig {
+            gpus: 2,
+            ..ClusterConfig::default()
+        })
+        .run(&wide);
+        assert_eq!(stats.oom_rejections, 1);
+        assert_eq!(stats.jobs[0].outcome, JobOutcome::Rejected);
+        assert!(stats.jobs[0].gpus_used.is_empty());
+    }
+
+    /// With the interconnect modelled, two co-resident shrunk jobs (both
+    /// replaying swap traffic over the one host link) finish later than
+    /// with private lanes; an unconstrained fabric reproduces the private
+    /// timings exactly.
+    #[test]
+    fn shared_fabric_stretches_swapping_neighbours() {
+        let swapper = |name: &str| JobSpec {
+            name: name.into(),
+            model: capuchin_models::ModelKind::Vgg16,
+            batch: 320,
+            gpus: 1,
+            policy: JobPolicy::Capuchin,
+            iters: 3,
+            priority: 0,
+            arrival_time: 0.0,
+        };
+        let jobs = vec![swapper("s0"), swapper("s1")];
+        let cfg = |ic: Option<InterconnectSpec>| ClusterConfig {
+            gpus: 2,
+            interconnect: ic,
+            ..ClusterConfig::default()
+        };
+        let off = Cluster::new(cfg(None)).run(&jobs);
+        let on = Cluster::new(cfg(Some(InterconnectSpec::pcie_shared()))).run(&jobs);
+        let free = Cluster::new(cfg(Some(InterconnectSpec::unconstrained()))).run(&jobs);
+        assert_eq!(off.completed, 2);
+        assert_eq!(on.completed, 2);
+        // Both jobs swap; their replayed traffic shares one link, so at
+        // least one queues behind the other.
+        let total_delay: Duration = on.jobs.iter().map(|j| j.comm_delay).sum();
+        assert!(total_delay > Duration::ZERO, "{}", on.to_json());
+        assert!(on.makespan > off.makespan);
+        // The no-contention limit matches the unmodelled fabric.
+        for (a, b) in off.jobs.iter().zip(free.jobs.iter()) {
+            assert_eq!(a.jct, b.jct, "{}: jct drifted", a.name);
+            assert_eq!(a.queueing_delay, b.queueing_delay);
+            assert_eq!(a.mean_iter, b.mean_iter);
+        }
+        assert_eq!(off.makespan, free.makespan);
+    }
+
     /// Two staggered jobs must slow each other for exactly the overlap:
     /// the first job's in-flight iteration is re-priced when the second
     /// arrives mid-iteration, so neither keeps a stale 1× wall.
@@ -946,6 +1295,7 @@ mod tests {
             name: name.into(),
             model: capuchin_models::ModelKind::ResNet50,
             batch: 16,
+            gpus: 1,
             policy: JobPolicy::TfOri,
             iters: 4,
             priority: 0,
@@ -998,13 +1348,17 @@ mod tests {
             name: "j".into(),
             model: capuchin_models::ModelKind::ResNet50,
             batch: 1,
+            gpus: 1,
             policy: JobPolicy::TfOri,
             iters: 1,
             priority: 0,
             arrival_time: 0.0,
         })];
-        jobs[0].gpu = Some(0);
-        jobs[0].walls = vec![Duration::from_millis(100)];
+        jobs[0].gpus_held = vec![0];
+        jobs[0].replay = vec![ReplayIter {
+            wall: Duration::from_millis(100),
+            swap_bytes: 0,
+        }];
         let mut gpus = vec![GpuState::new(1 << 30)];
         gpus[0].resident.push(0);
         let mut seq = 0;
@@ -1015,8 +1369,7 @@ mod tests {
         assert_eq!(epoch, jobs[0].epoch);
         // A neighbour joins at t = 40 ms: 60 ms of base wall remain, now
         // at 2× -> new end at 40 + 120 = 160 ms.
-        gpus[0].resident.push(1); // the neighbour (index out of jobs: only
-                                  // iterating jobs are touched)
+        gpus[0].resident.push(1);
         jobs.push(JobRun::new(&jobs[0].spec.clone()));
         let at = Time::ZERO + Duration::from_millis(40);
         reprice_residents(&mut jobs, &gpus, 0, at, &mut seq, &mut heap);
@@ -1028,12 +1381,12 @@ mod tests {
         assert_eq!(end, Duration::from_millis(160).as_nanos());
     }
 
-    /// Empty wall traces are rejected: `schedule_iter` refuses to
+    /// Empty replay traces are rejected: `schedule_iter` refuses to
     /// fabricate zero-time iterations.
     #[test]
     fn schedule_iter_rejects_empty_walls() {
         let mut jobs = vec![JobRun::new(&small_workload()[0])];
-        jobs[0].gpu = Some(0);
+        jobs[0].gpus_held = vec![0];
         let gpus = vec![GpuState::new(1 << 30)];
         let mut seq = 0;
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
@@ -1054,6 +1407,7 @@ mod tests {
             name: "low-long".into(),
             model: capuchin_models::ModelKind::Vgg16,
             batch: 48,
+            gpus: 1,
             policy: JobPolicy::TfOri,
             iters: 40,
             priority: 0,
@@ -1063,6 +1417,7 @@ mod tests {
             name: "high-short".into(),
             model: capuchin_models::ModelKind::Vgg16,
             batch: 48,
+            gpus: 1,
             policy: JobPolicy::TfOri,
             iters: 4,
             priority: 8,

@@ -25,14 +25,22 @@ impl JobPolicy {
 }
 
 /// One training job submitted to the cluster.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `gpus > 1` makes the job a data-parallel *gang*: `gpus` replicas, each
+/// training the per-replica slice `batch / gpus` of the mini-batch, are
+/// admitted to `gpus` devices atomically (all or none) and synchronize
+/// gradients with a ring allreduce at every iteration boundary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct JobSpec {
     /// Display name, unique per workload.
     pub name: String,
     /// Which model to train.
     pub model: ModelKind,
-    /// Mini-batch size.
+    /// Global mini-batch size (split evenly across the gang's replicas).
     pub batch: usize,
+    /// Data-parallel replicas: the number of GPUs the job needs at once.
+    /// 1 is an ordinary single-device job.
+    pub gpus: usize,
     /// Requested execution policy.
     pub policy: JobPolicy,
     /// Training iterations to run.
@@ -44,16 +52,107 @@ pub struct JobSpec {
     pub arrival_time: f64,
 }
 
-/// Parses a workload file: a JSON array of [`JobSpec`] objects.
+impl JobSpec {
+    /// The mini-batch slice each replica trains: `batch / gpus`, rounded
+    /// up and never below 1.
+    pub fn replica_batch(&self) -> usize {
+        self.batch.div_ceil(self.gpus.max(1)).max(1)
+    }
+}
+
+// Hand-written so `gpus` defaults to 1: workload files written before
+// gangs existed omit the key and must keep parsing. (The vendored serde
+// derive has no `#[serde(default)]`.)
+impl serde::Deserialize for JobSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        use serde::de::field;
+        Ok(JobSpec {
+            name: String::from_value(field(v, "name")?)?,
+            model: ModelKind::from_value(field(v, "model")?)?,
+            batch: usize::from_value(field(v, "batch")?)?,
+            gpus: match v.get("gpus") {
+                Some(g) => usize::from_value(g)?,
+                None => 1,
+            },
+            policy: JobPolicy::from_value(field(v, "policy")?)?,
+            iters: u64::from_value(field(v, "iters")?)?,
+            priority: u32::from_value(field(v, "priority")?)?,
+            arrival_time: f64::from_value(field(v, "arrival_time")?)?,
+        })
+    }
+}
+
+/// Why a workload file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobFileError {
+    /// The file is not a JSON array of job objects.
+    Parse(String),
+    /// The file parsed but contains no jobs.
+    Empty,
+    /// A job asked for zero GPUs — a gang of nothing can never run.
+    ZeroGpus {
+        /// Name of the offending job.
+        job: String,
+    },
+    /// A job's gang is wider than the cluster and could never be placed.
+    GangTooLarge {
+        /// Name of the offending job.
+        job: String,
+        /// GPUs the job asked for.
+        gpus: usize,
+        /// GPUs the cluster has.
+        cluster: usize,
+    },
+}
+
+impl std::fmt::Display for JobFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFileError::Parse(msg) => write!(f, "invalid job file: {msg}"),
+            JobFileError::Empty => write!(f, "job file contains no jobs"),
+            JobFileError::ZeroGpus { job } => {
+                write!(f, "job `{job}` requests 0 GPUs; a gang needs at least 1")
+            }
+            JobFileError::GangTooLarge { job, gpus, cluster } => write!(
+                f,
+                "job `{job}` requests a {gpus}-GPU gang but the cluster has only {cluster} GPUs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JobFileError {}
+
+/// Parses a workload file — a JSON array of [`JobSpec`] objects — and
+/// validates every gang against a cluster of `cluster_gpus` devices.
+/// A missing `"gpus"` key means a single-GPU job.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message on malformed JSON or a bad job shape.
-pub fn load_jobs(json: &str) -> Result<Vec<JobSpec>, String> {
+/// [`JobFileError::Parse`] on malformed JSON or a bad job shape,
+/// [`JobFileError::Empty`] on an empty array, and
+/// [`JobFileError::ZeroGpus`] / [`JobFileError::GangTooLarge`] for gang
+/// sizes that could never be placed (caught here, at parse time, instead
+/// of surfacing as a late scheduler panic).
+pub fn load_jobs(json: &str, cluster_gpus: usize) -> Result<Vec<JobSpec>, JobFileError> {
     let jobs: Vec<JobSpec> =
-        serde_json::from_str(json).map_err(|e| format!("invalid job file: {e}"))?;
+        serde_json::from_str(json).map_err(|e| JobFileError::Parse(e.to_string()))?;
     if jobs.is_empty() {
-        return Err("job file contains no jobs".to_owned());
+        return Err(JobFileError::Empty);
+    }
+    for job in &jobs {
+        if job.gpus == 0 {
+            return Err(JobFileError::ZeroGpus {
+                job: job.name.clone(),
+            });
+        }
+        if job.gpus > cluster_gpus {
+            return Err(JobFileError::GangTooLarge {
+                job: job.name.clone(),
+                gpus: job.gpus,
+                cluster: cluster_gpus,
+            });
+        }
     }
     Ok(jobs)
 }
@@ -153,6 +252,7 @@ pub fn synthetic_jobs(n: usize, seed: u64, mean_interarrival_secs: f64) -> Vec<J
                 name: format!("job{i:02}"),
                 model,
                 batch,
+                gpus: 1,
                 policy: if rng.below(5) == 0 {
                     JobPolicy::TfOri
                 } else {
@@ -215,12 +315,70 @@ mod tests {
     fn job_files_round_trip() {
         let jobs = synthetic_jobs(4, 7, 1.0);
         let json = serde_json::to_string_pretty(&jobs).unwrap();
-        let back = load_jobs(&json).unwrap();
+        let back = load_jobs(&json, 4).unwrap();
         assert_eq!(
             serde_json::to_string(&jobs).unwrap(),
             serde_json::to_string(&back).unwrap()
         );
-        assert!(load_jobs("[]").is_err());
-        assert!(load_jobs("not json").is_err());
+        assert_eq!(load_jobs("[]", 4), Err(JobFileError::Empty));
+        assert!(matches!(
+            load_jobs("not json", 4),
+            Err(JobFileError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn missing_gpus_key_means_single_gpu() {
+        // A pre-gang workload file: no "gpus" key anywhere.
+        let json = r#"[{
+            "name": "legacy", "model": "ResNet50", "batch": 64,
+            "policy": "Capuchin", "iters": 3, "priority": 0,
+            "arrival_time": 0.0
+        }]"#;
+        let jobs = load_jobs(json, 2).unwrap();
+        assert_eq!(jobs[0].gpus, 1);
+        assert_eq!(jobs[0].replica_batch(), 64);
+    }
+
+    #[test]
+    fn bad_gang_sizes_are_rejected_at_parse_time() {
+        let gang = |gpus: usize| {
+            format!(
+                r#"[{{"name": "g", "model": "Vgg16", "batch": 128, "gpus": {gpus},
+                     "policy": "Capuchin", "iters": 2, "priority": 0,
+                     "arrival_time": 0.0}}]"#
+            )
+        };
+        assert_eq!(
+            load_jobs(&gang(0), 4),
+            Err(JobFileError::ZeroGpus { job: "g".into() })
+        );
+        assert_eq!(
+            load_jobs(&gang(8), 4),
+            Err(JobFileError::GangTooLarge {
+                job: "g".into(),
+                gpus: 8,
+                cluster: 4
+            })
+        );
+        let err = load_jobs(&gang(8), 4).unwrap_err().to_string();
+        assert!(
+            err.contains("8-GPU gang") && err.contains("4 GPUs"),
+            "{err}"
+        );
+        assert_eq!(load_jobs(&gang(4), 4).unwrap()[0].gpus, 4);
+    }
+
+    #[test]
+    fn replica_batch_splits_evenly_and_rounds_up() {
+        let mut spec = synthetic_jobs(1, 1, 1.0).remove(0);
+        spec.batch = 128;
+        spec.gpus = 4;
+        assert_eq!(spec.replica_batch(), 32);
+        spec.gpus = 3;
+        assert_eq!(spec.replica_batch(), 43);
+        spec.batch = 1;
+        spec.gpus = 4;
+        assert_eq!(spec.replica_batch(), 1);
     }
 }

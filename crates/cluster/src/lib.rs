@@ -17,18 +17,30 @@
 //!   mid-run OOM aborts impossible for admitted jobs.
 //! * **Placement** ([`PlacementStrategy`]) — pluggable ordering of the
 //!   waiting queue against per-GPU headroom: strict [`FifoFirstFit`] and
-//!   [`BestFit`] memory bin-packing with priority aging.
+//!   [`BestFit`] memory bin-packing with priority aging. A job with
+//!   [`JobSpec::gpus`]` = k > 1` is a data-parallel *gang*: admission
+//!   measures the per-replica footprint (at batch `batch / k`) and the
+//!   strategy names a complete `k`-GPU subset, granted atomically — all
+//!   or none, preferring one link domain so the gang's gradient allreduce
+//!   rides a private peer lane.
 //! * **Simulation** ([`Cluster`]) — one deterministic event clock replays
 //!   validated per-iteration wall times with a contention model that
 //!   re-prices in-flight iterations at every residency change, and
 //!   produces [`ClusterStats`] (queueing delay, JCT, rejections,
-//!   makespan, aggregate samples/sec, per-GPU utilization) whose JSON is
-//!   byte-identical across same-workload runs. With
-//!   [`ClusterConfig::preemption`] on, a high-effective-priority arrival
-//!   that fits nowhere checkpoint-preempts the lowest-priority resident
-//!   job — its replay state is copied to the host over the PCIe model,
-//!   its reservation is released, and it resumes later from the saved
-//!   iteration (the cluster-level mirror of
+//!   makespan, aggregate samples/sec, per-GPU utilization, per-link
+//!   traffic) whose JSON is byte-identical across same-workload runs.
+//!   With [`ClusterConfig::interconnect`] set, all copy traffic — the
+//!   swap bytes each job recorded during validation, gang allreduces
+//!   (`2·(k−1)/k ×` gradient bytes per replica, ring schedule), and
+//!   checkpoint/restore copies — routes over a shared finite-bandwidth
+//!   fabric ([`capuchin_sim::Interconnect`]), so concurrent transfers
+//!   queue and stretch co-resident iterations instead of overlapping for
+//!   free. With [`ClusterConfig::preemption`] on, a
+//!   high-effective-priority arrival that fits nowhere
+//!   checkpoint-preempts the lowest-priority resident job (a gang is
+//!   evicted whole or not at all) — its replay state is copied to the
+//!   host, its reservations are released, and it resumes later from the
+//!   saved iteration (the cluster-level mirror of
 //!   [`capuchin_executor::Engine::snapshot`]).
 //!
 //! ```
@@ -48,9 +60,9 @@ pub mod job;
 pub mod stats;
 pub mod strategy;
 
-pub use crate::admission::{min_feasible_budget, Admission, AdmissionMode, JobNeeds};
+pub use crate::admission::{min_feasible_budget, Admission, AdmissionMode, JobNeeds, ReplayIter};
 pub use crate::cluster::{Cluster, ClusterConfig};
-pub use crate::job::{load_jobs, parse_memory, synthetic_jobs, JobPolicy, JobSpec};
+pub use crate::job::{load_jobs, parse_memory, synthetic_jobs, JobFileError, JobPolicy, JobSpec};
 pub use crate::stats::{ClusterStats, GpuStats, JobOutcome, JobStats};
 pub use crate::strategy::{
     BestFit, CandidateJob, FifoFirstFit, FitsFn, GpuView, PlacementStrategy, StrategyKind,

@@ -3,7 +3,7 @@
 //! Everything here is `Vec`-based and insertion-ordered so that the same
 //! simulation always renders byte-identical JSON.
 
-use capuchin_sim::Duration;
+use capuchin_sim::{Duration, LinkStats};
 use serde::{Deserialize, Serialize};
 
 /// How one job's stay in the cluster ended.
@@ -37,8 +37,12 @@ pub struct JobStats {
     pub policy: String,
     /// How the job ended.
     pub outcome: JobOutcome,
-    /// GPU the job ran on (`None` if rejected).
-    pub gpu: Option<usize>,
+    /// Data-parallel replicas the spec asked for (1 = single-device).
+    pub replicas: usize,
+    /// GPUs the job last held — the full gang, in placement order; empty
+    /// if it never placed. Always 0 or exactly `replicas` entries: gangs
+    /// are granted all-or-nothing.
+    pub gpus_used: Vec<usize>,
     /// Whether admission granted less than the ideal peak (a Capuchin
     /// plan shrank the footprint to fit).
     pub shrunk: bool,
@@ -65,6 +69,13 @@ pub struct JobStats {
     /// PCIe checkpoint (device-to-host) + restore (host-to-device) copy
     /// time charged to this job's clock.
     pub checkpoint_overhead: Duration,
+    /// Total gradient-allreduce time charged at iteration barriers (zero
+    /// for single-GPU jobs and with the interconnect model off).
+    pub allreduce_time: Duration,
+    /// Extra delay from queueing behind other jobs' traffic on the shared
+    /// interconnect (swap-replay and checkpoint queueing; zero with the
+    /// interconnect model off).
+    pub comm_delay: Duration,
 }
 
 /// Per-GPU accounting.
@@ -111,6 +122,10 @@ pub struct ClusterStats {
     pub mean_queueing_delay: Duration,
     /// Mean job completion time over completed jobs.
     pub mean_jct: Duration,
+    /// Interconnect model name (`off` when traffic is not modelled).
+    pub interconnect: String,
+    /// Per-link traffic accounting (empty with the interconnect off).
+    pub links: Vec<LinkStats>,
     /// Per-device accounting, indexed by GPU.
     pub per_gpu: Vec<GpuStats>,
     /// Per-job accounting, in submission order.
@@ -144,6 +159,13 @@ mod tests {
             aggregate_samples_per_sec: 1234.5,
             mean_queueing_delay: Duration::from_micros(3),
             mean_jct: Duration::from_millis(12),
+            interconnect: "pcie-shared".into(),
+            links: vec![LinkStats {
+                link: "host".into(),
+                busy: Duration::from_millis(2),
+                bytes: 1 << 30,
+                transfers: 9,
+            }],
             per_gpu: vec![GpuStats {
                 gpu: 0,
                 capacity: 16 << 30,
@@ -157,7 +179,8 @@ mod tests {
                 batch: 32,
                 policy: "capuchin".into(),
                 outcome: JobOutcome::Completed,
-                gpu: Some(0),
+                replicas: 1,
+                gpus_used: vec![0],
                 shrunk: true,
                 reserved_bytes: 8 << 30,
                 footprint_bytes: 10 << 30,
@@ -169,6 +192,8 @@ mod tests {
                 wasted_work: Duration::from_millis(1),
                 resume_latency: Duration::from_millis(2),
                 checkpoint_overhead: Duration::from_micros(700),
+                allreduce_time: Duration::ZERO,
+                comm_delay: Duration::from_micros(40),
             }],
         };
         let a = stats.to_json();

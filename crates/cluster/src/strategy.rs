@@ -1,9 +1,13 @@
 //! Pluggable placement strategies.
 //!
 //! A strategy looks at the waiting queue and the current per-GPU
-//! reservations and names the next (job, GPU) pairing — or `None` when
-//! nothing placeable exists. The cluster core owns admission and
-//! reservation bookkeeping; strategies only order the search.
+//! reservations and names the next placement: a job plus the full set of
+//! GPUs its gang occupies — or `None` when nothing placeable exists. The
+//! cluster core owns admission and reservation bookkeeping; strategies
+//! only order the search. Returning the whole GPU set at once is what
+//! makes gang reservation atomic: the cluster grants every listed GPU in
+//! one step of its single-threaded event loop, so a gang can never hold a
+//! partial reservation that deadlocks against another job.
 
 use capuchin_sim::Time;
 
@@ -16,10 +20,12 @@ pub struct CandidateJob {
     pub arrival: Time,
     /// Static priority from the job spec.
     pub priority: u32,
-    /// Ideal-peak reservation (no management overhead).
+    /// GPUs the gang needs at once (1 for a single-device job).
+    pub gpus: usize,
+    /// Ideal-peak reservation *per replica* (no management overhead).
     pub full_need: u64,
-    /// Smallest admissible reservation (equals `full_need` under tf-ori
-    /// admission).
+    /// Smallest admissible per-replica reservation (equals `full_need`
+    /// under tf-ori admission).
     pub min_need: u64,
     /// Largest budget at which a validation run has already failed; the
     /// cluster refuses to retry at or below it.
@@ -31,6 +37,10 @@ pub struct CandidateJob {
 pub struct GpuView {
     /// Device index.
     pub idx: usize,
+    /// Link domain the device belongs to. Gangs placed inside one domain
+    /// allreduce over a private peer lane instead of the shared host
+    /// link; with no interconnect model every GPU is its own domain.
+    pub domain: usize,
     /// Total device memory.
     pub capacity: u64,
     /// Bytes currently reserved by resident jobs.
@@ -44,8 +54,9 @@ impl GpuView {
     }
 }
 
-/// Placement test the cluster supplies: can this job be admitted to this
-/// GPU right now (headroom covers `min_need`, above any failed budget)?
+/// Placement test the cluster supplies: can one replica of this job be
+/// admitted to this GPU right now (headroom covers `min_need`, above any
+/// failed budget)?
 pub type FitsFn<'a> = dyn Fn(&CandidateJob, &GpuView) -> bool + 'a;
 
 /// A placement strategy over one scheduling instant.
@@ -53,18 +64,21 @@ pub trait PlacementStrategy: std::fmt::Debug {
     /// Stats/CLI name.
     fn name(&self) -> &'static str;
 
-    /// Picks the next `(job, gpu)` pairing, or `None` to wait.
+    /// Picks the next placement: `(job, gpus)` with exactly the job's
+    /// gang width of distinct fitting GPUs, or `None` to wait. The
+    /// cluster reserves every returned GPU atomically — all or none.
     fn pick(
         &self,
         pending: &[CandidateJob],
         gpus: &[GpuView],
         now: Time,
         fits: &FitsFn<'_>,
-    ) -> Option<(usize, usize)>;
+    ) -> Option<(usize, Vec<usize>)>;
 }
 
 /// Strict arrival order with head-of-line blocking: only the oldest
-/// waiting job is considered, placed on the first GPU it fits.
+/// waiting job is considered, placed on the first GPUs it fits (index
+/// order). A gang waits until its full width fits at once.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FifoFirstFit;
 
@@ -79,18 +93,25 @@ impl PlacementStrategy for FifoFirstFit {
         gpus: &[GpuView],
         _now: Time,
         fits: &FitsFn<'_>,
-    ) -> Option<(usize, usize)> {
+    ) -> Option<(usize, Vec<usize>)> {
         let head = pending.first()?;
-        gpus.iter()
-            .find(|g| fits(head, g))
-            .map(|g| (head.job, g.idx))
+        let take: Vec<usize> = gpus
+            .iter()
+            .filter(|g| fits(head, g))
+            .take(head.gpus.max(1))
+            .map(|g| g.idx)
+            .collect();
+        (take.len() == head.gpus.max(1)).then_some((head.job, take))
     }
 }
 
 /// Best-fit memory bin-packing with priority aging: jobs are ranked by
 /// `priority + aging_rate × wait_seconds` (ties broken by arrival, then
-/// submission order), and each is placed on the fitting GPU that leaves
-/// the least leftover headroom.
+/// submission order), and each is placed on the fitting GPU subset that
+/// leaves the least leftover headroom. Gangs prefer a subset inside one
+/// link domain — a same-domain gang allreduces over its private peer lane
+/// instead of loading the shared host link — falling back to the tightest
+/// cross-domain subset when no single domain has the width.
 #[derive(Debug, Clone, Copy)]
 pub struct BestFit {
     /// Effective-priority points gained per second of waiting. Guarantees
@@ -104,6 +125,12 @@ impl Default for BestFit {
     }
 }
 
+/// Leftover headroom on `g` after granting `min(headroom, full_need)`.
+fn leftover(g: &GpuView, cand: &CandidateJob) -> u64 {
+    let h = g.headroom();
+    h - h.min(cand.full_need)
+}
+
 impl PlacementStrategy for BestFit {
     fn name(&self) -> &'static str {
         "best-fit"
@@ -115,7 +142,7 @@ impl PlacementStrategy for BestFit {
         gpus: &[GpuView],
         now: Time,
         fits: &FitsFn<'_>,
-    ) -> Option<(usize, usize)> {
+    ) -> Option<(usize, Vec<usize>)> {
         let mut order: Vec<&CandidateJob> = pending.iter().collect();
         order.sort_by(|a, b| {
             let ea =
@@ -128,14 +155,35 @@ impl PlacementStrategy for BestFit {
                 .then(a.job.cmp(&b.job))
         });
         for cand in order {
-            let best = gpus.iter().filter(|g| fits(cand, g)).min_by_key(|g| {
-                // Leftover headroom after granting min(headroom, full).
-                let grant = g.headroom().min(cand.full_need);
-                (g.headroom() - grant, g.idx)
-            });
-            if let Some(g) = best {
-                return Some((cand.job, g.idx));
+            let k = cand.gpus.max(1);
+            let mut fitting: Vec<&GpuView> = gpus.iter().filter(|g| fits(cand, g)).collect();
+            if fitting.len() < k {
+                continue;
             }
+            // Tightest-first within equal domains: best-fit per device.
+            fitting.sort_by_key(|g| (leftover(g, cand), g.idx));
+            // Prefer a gang entirely inside one link domain. Among
+            // domains wide enough, take the one whose k tightest GPUs
+            // leave the least total headroom (ties: lowest domain).
+            let mut domains: Vec<usize> = fitting.iter().map(|g| g.domain).collect();
+            domains.sort_unstable();
+            domains.dedup();
+            let best_domain = domains
+                .into_iter()
+                .filter_map(|d| {
+                    let members: Vec<&&GpuView> =
+                        fitting.iter().filter(|g| g.domain == d).take(k).collect();
+                    (members.len() == k).then(|| {
+                        let total: u64 = members.iter().map(|g| leftover(g, cand)).sum();
+                        (total, d, members.iter().map(|g| g.idx).collect::<Vec<_>>())
+                    })
+                })
+                .min_by_key(|(total, d, _)| (*total, *d));
+            if let Some((_, _, idxs)) = best_domain {
+                return Some((cand.job, idxs));
+            }
+            // No single domain is wide enough: tightest k GPUs anywhere.
+            return Some((cand.job, fitting[..k].iter().map(|g| g.idx).collect()));
         }
         None
     }
@@ -184,15 +232,24 @@ mod tests {
             job,
             arrival: Time::from_micros(arrival_us),
             priority,
+            gpus: 1,
             full_need: need,
             min_need: need,
             failed_budget: None,
         }
     }
 
+    fn gang(job: usize, gpus: usize, need: u64) -> CandidateJob {
+        CandidateJob {
+            gpus,
+            ..cand(job, 0, 0, need)
+        }
+    }
+
     fn gpu(idx: usize, capacity: u64, reserved: u64) -> GpuView {
         GpuView {
             idx,
+            domain: idx,
             capacity,
             reserved,
         }
@@ -214,7 +271,23 @@ mod tests {
         let roomy = [gpu(0, 40, 0), gpu(1, 200, 0)];
         assert_eq!(
             FifoFirstFit.pick(&pending, &roomy, Time::ZERO, &headroom_fits),
-            Some((0, 1))
+            Some((0, vec![1]))
+        );
+    }
+
+    #[test]
+    fn fifo_gang_waits_for_full_width() {
+        let pending = [gang(0, 2, 100)];
+        // Only one GPU fits: the gang blocks rather than taking half.
+        let tight = [gpu(0, 150, 0), gpu(1, 50, 0)];
+        assert_eq!(
+            FifoFirstFit.pick(&pending, &tight, Time::ZERO, &headroom_fits),
+            None
+        );
+        let roomy = [gpu(0, 150, 0), gpu(1, 50, 0), gpu(2, 150, 0)];
+        assert_eq!(
+            FifoFirstFit.pick(&pending, &roomy, Time::ZERO, &headroom_fits),
+            Some((0, vec![0, 2]))
         );
     }
 
@@ -226,7 +299,32 @@ mod tests {
         // beats leftover 40).
         assert_eq!(
             BestFit::default().pick(&pending, &gpus, Time::ZERO, &headroom_fits),
-            Some((1, 1))
+            Some((1, vec![1]))
+        );
+    }
+
+    #[test]
+    fn best_fit_prefers_same_domain_gangs() {
+        let pending = [gang(0, 2, 100)];
+        // Domain 0 = {0, 1}, domain 1 = {2, 3}. GPUs 1 and 2 are the two
+        // tightest, but they span domains; GPUs 2 and 3 share domain 1.
+        let mk = |idx, domain, cap| GpuView {
+            idx,
+            domain,
+            capacity: cap,
+            reserved: 0,
+        };
+        let gpus = [mk(0, 0, 400), mk(1, 0, 110), mk(2, 1, 105), mk(3, 1, 300)];
+        assert_eq!(
+            BestFit::default().pick(&pending, &gpus, Time::ZERO, &headroom_fits),
+            Some((0, vec![2, 3]))
+        );
+        // When no domain holds the full width, fall back to the tightest
+        // GPUs anywhere.
+        let split = [mk(0, 0, 110), mk(1, 1, 105), mk(2, 2, 300)];
+        assert_eq!(
+            BestFit::default().pick(&pending, &split, Time::ZERO, &headroom_fits),
+            Some((0, vec![1, 0]))
         );
     }
 
@@ -240,14 +338,14 @@ mod tests {
         let no_aging = BestFit { aging_rate: 0.0 };
         assert_eq!(
             no_aging.pick(&pending, &gpus, now, &headroom_fits),
-            Some((1, 0))
+            Some((1, vec![0]))
         );
         // With aging, six seconds of waiting outweigh the newcomer's
         // priority edge (6.0 effective vs 3.0 + 1s).
         let aged = BestFit { aging_rate: 1.0 };
         assert_eq!(
             aged.pick(&pending, &gpus, now, &headroom_fits),
-            Some((0, 0))
+            Some((0, vec![0]))
         );
     }
 }

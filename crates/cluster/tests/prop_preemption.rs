@@ -38,6 +38,7 @@ fn jobs_from(picks: Vec<(usize, u64, u32, u64)>) -> Vec<JobSpec> {
                 name: format!("job{i:02}"),
                 model,
                 batch,
+                gpus: 1,
                 policy: JobPolicy::TfOri,
                 iters: 1 + iters,
                 priority,
@@ -68,6 +69,7 @@ proptest! {
             aging_rate: 1.0, // waiting high-priority jobs overtake quickly
             validate_iters: 3,
             preemption,
+            interconnect: None,
         };
         let on = Cluster::new(cfg(true)).run(&jobs);
         let on_again = Cluster::new(cfg(true)).run(&jobs);

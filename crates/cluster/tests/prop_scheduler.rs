@@ -34,6 +34,7 @@ fn jobs_from(picks: Vec<(usize, u64, u32, u64, bool)>) -> Vec<JobSpec> {
                 name: format!("job{i:02}"),
                 model,
                 batch,
+                gpus: 1,
                 policy: if cap {
                     JobPolicy::Capuchin
                 } else {
@@ -78,6 +79,7 @@ proptest! {
             aging_rate: 0.1,
             validate_iters: 3,
             preemption: false,
+            interconnect: None,
         };
         let a = Cluster::new(cfg()).run(&jobs);
         let b = Cluster::new(cfg()).run(&jobs);
@@ -103,7 +105,7 @@ proptest! {
         for j in &a.jobs {
             prop_assert!(j.reserved_bytes <= capacity_gib_halves << 29);
             if j.outcome == JobOutcome::Rejected {
-                prop_assert!(j.gpu.is_none());
+                prop_assert!(j.gpus_used.is_empty());
             }
         }
     }

@@ -35,11 +35,13 @@
 #![warn(missing_debug_implementations)]
 
 mod gpu;
+mod interconnect;
 mod stream;
 mod time;
 mod trace;
 
 pub use gpu::{CopyDir, DeviceSpec, Gpu, KernelCost};
+pub use interconnect::{Interconnect, InterconnectSpec, Link, LinkStats, Transfer};
 pub use stream::{Enqueued, Event, Stream, StreamKind};
 pub use time::{Duration, Time};
 pub use trace::{Trace, TraceEvent, TraceKind};

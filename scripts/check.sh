@@ -10,8 +10,14 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "==> smoke: cluster_gang bench (gang placement + interconnect model)"
+cargo run --release -q -p capuchin-bench --bin cluster_gang -- --smoke
 
 echo "==> all checks passed"
