@@ -21,8 +21,12 @@
 //!
 //! `--smoke` runs a 2-GPU miniature of the same shape (one single + one
 //! 2-GPU gang) without writing the artifact; `scripts/check.sh` uses it.
+//! `--smoke --interconnect pcie` additionally runs a swapping pair
+//! through `run_traced` and asserts the per-tensor transfer path: each
+//! job's `comm_delay` decomposes exactly into traced per-tensor charges,
+//! and a stretched prefetch shows the §4.4 in-trigger feedback lead.
 
-use capuchin_bench::write_artifact;
+use capuchin_bench::{cluster_job as job, write_artifact};
 use capuchin_cluster::{
     AdmissionMode, Cluster, ClusterConfig, ClusterStats, JobOutcome, JobPolicy, JobSpec,
     StrategyKind,
@@ -30,29 +34,6 @@ use capuchin_cluster::{
 use capuchin_models::ModelKind;
 use capuchin_sim::{Duration, InterconnectSpec};
 use serde::Serialize;
-
-#[allow(clippy::too_many_arguments)]
-fn job(
-    name: &str,
-    model: ModelKind,
-    batch: usize,
-    gpus: usize,
-    policy: JobPolicy,
-    iters: u64,
-    priority: u32,
-    arrival_time: f64,
-) -> JobSpec {
-    JobSpec {
-        name: name.to_owned(),
-        model,
-        batch,
-        gpus,
-        policy,
-        iters,
-        priority,
-        arrival_time,
-    }
-}
 
 /// Mixed 1/2/4-GPU workload for 8 × 16 GiB GPUs. The singles include two
 /// oversubscribed footprints (VGG16 @320 and ResNet-50 @256 both peak
@@ -196,6 +177,74 @@ fn smoke() {
     );
 }
 
+/// `--smoke --interconnect pcie`: two swapping VGG16 singles share one
+/// PCIe host link; assert the per-tensor transfer path end to end.
+fn smoke_pcie() {
+    use JobPolicy::Capuchin;
+    let jobs = vec![
+        job("swap0", ModelKind::Vgg16, 320, 1, Capuchin, 4, 0, 0.0),
+        job("swap1", ModelKind::Vgg16, 320, 1, Capuchin, 4, 0, 0.0),
+    ];
+    let cfg = ClusterConfig {
+        gpus: 2,
+        admission: AdmissionMode::Capuchin,
+        strategy: StrategyKind::BestFit,
+        interconnect: Some(InterconnectSpec::pcie_shared()),
+        ..ClusterConfig::default()
+    };
+    let (stats, trace) = Cluster::new(cfg).run_traced(&jobs);
+    assert_gang_safety(&stats);
+    assert_eq!(stats.completed, 2, "swapping pair must complete");
+    assert!(
+        !trace.is_empty(),
+        "swap replay must produce per-tensor records"
+    );
+    // The per-tensor path, not a lump: each job's comm_delay decomposes
+    // exactly into its traced per-tensor charges.
+    let mut total = Duration::ZERO;
+    for j in &stats.jobs {
+        let charged: Duration = trace
+            .iter()
+            .filter(|t| t.job == j.name)
+            .map(|t| t.charge)
+            .sum();
+        assert_eq!(
+            charged, j.comm_delay,
+            "{}: comm_delay must decompose into per-tensor charges",
+            j.name
+        );
+        total += charged;
+    }
+    assert!(
+        total > Duration::ZERO,
+        "two co-resident swappers must contend on the shared link"
+    );
+    // §4.4 feedback, cluster flavour: a stretched prefetch/swap-in (late
+    // in-trigger) moves its want earlier on a later iteration.
+    let stretched = trace
+        .iter()
+        .filter(|t| {
+            (t.label.starts_with("prefetch:") || t.label.starts_with("swapin:"))
+                && t.wait > Duration::ZERO
+        })
+        .count();
+    assert!(
+        stretched > 0,
+        "the shared link must stretch at least one prefetch/swap-in"
+    );
+    assert!(
+        trace.iter().any(|t| t.lead > Duration::ZERO),
+        "a stretched prefetch must feed back an earlier in-trigger"
+    );
+    println!(
+        "pcie smoke ok: {} per-tensor transfers traced, {} stretched prefetches, \
+         {:.4}s comm delay decomposed, feedback lead visible",
+        trace.len(),
+        stretched,
+        total.as_secs_f64(),
+    );
+}
+
 #[derive(Serialize)]
 struct Comparison {
     tf_ori_off: ClusterStats,
@@ -205,8 +254,16 @@ struct Comparison {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
-        smoke();
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        if args
+            .windows(2)
+            .any(|w| w[0] == "--interconnect" && w[1] == "pcie")
+        {
+            smoke_pcie();
+        } else {
+            smoke();
+        }
         return;
     }
     let jobs = workload();

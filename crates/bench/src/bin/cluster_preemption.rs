@@ -13,7 +13,7 @@
 //! first and occupy every GPU (each needs more than half a device, so
 //! nothing co-resides), then short priority-8 jobs arrive behind them.
 
-use capuchin_bench::write_artifact;
+use capuchin_bench::{cluster_job as job, write_artifact};
 use capuchin_cluster::{
     AdmissionMode, Cluster, ClusterConfig, ClusterStats, JobOutcome, JobPolicy, JobSpec,
     StrategyKind,
@@ -25,30 +25,14 @@ use serde::Serialize;
 /// 2 GPUs' worth of long low-priority residents plus a queued third, then
 /// three short high-priority arrivals that cannot fit anywhere.
 fn workload() -> Vec<JobSpec> {
+    use JobPolicy::TfOri;
+    use ModelKind::Vgg16;
     let mut jobs = Vec::new();
     for (i, arrival) in [0.0, 0.1, 0.2].into_iter().enumerate() {
-        jobs.push(JobSpec {
-            name: format!("low{i}"),
-            model: ModelKind::Vgg16,
-            batch: 48,
-            gpus: 1,
-            policy: JobPolicy::TfOri,
-            iters: 30,
-            priority: 0,
-            arrival_time: arrival,
-        });
+        jobs.push(job(&format!("low{i}"), Vgg16, 48, 1, TfOri, 30, 0, arrival));
     }
     for (i, arrival) in [0.5, 0.6, 0.7].into_iter().enumerate() {
-        jobs.push(JobSpec {
-            name: format!("high{i}"),
-            model: ModelKind::Vgg16,
-            batch: 48,
-            gpus: 1,
-            policy: JobPolicy::TfOri,
-            iters: 4,
-            priority: 8,
-            arrival_time: arrival,
-        });
+        jobs.push(job(&format!("high{i}"), Vgg16, 48, 1, TfOri, 4, 8, arrival));
     }
     jobs
 }

@@ -12,6 +12,7 @@ use std::path::Path;
 
 use capuchin::{Capuchin, CapuchinConfig};
 use capuchin_baselines::{CheckpointMode, GradientCheckpointing, TfOri, Vdnn};
+use capuchin_cluster::{JobPolicy, JobSpec};
 use capuchin_executor::{Engine, EngineConfig, ExecMode, IterStats, MemoryPolicy, RunStats};
 use capuchin_graph::Graph;
 use capuchin_models::{Model, ModelKind};
@@ -218,6 +219,32 @@ impl Bench {
             b += granularity;
         }
         best
+    }
+}
+
+/// Builds one cluster [`JobSpec`] — the shared job-mix vocabulary of the
+/// cluster benches (`cluster_gang`, `cluster_preemption`), so workloads
+/// read as one-line rows instead of struct literals.
+#[allow(clippy::too_many_arguments)]
+pub fn cluster_job(
+    name: &str,
+    model: ModelKind,
+    batch: usize,
+    gpus: usize,
+    policy: JobPolicy,
+    iters: u64,
+    priority: u32,
+    arrival_time: f64,
+) -> JobSpec {
+    JobSpec {
+        name: name.to_owned(),
+        model,
+        batch,
+        gpus,
+        policy,
+        iters,
+        priority,
+        arrival_time,
     }
 }
 

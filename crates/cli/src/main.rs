@@ -36,7 +36,7 @@ USAGE:
                            [--gpus <n>] [--memory ...] [--admission tf-ori|capuchin]
                            [--strategy fifo|best-fit] [--aging-rate <r>]
                            [--preemption on|off] [--interconnect off|pcie|peer<k>]
-                           [--out <file>]
+                           [--out <file>] [--transfer-trace <file>]
 
 MODELS:    vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
 POLICIES:  tf-ori vdnn openai-memory openai-speed lru capuchin (default)
@@ -46,7 +46,10 @@ CLUSTER:   schedules a multi-job workload over N simulated GPUs and prints
            A job's \"gpus\" field (default 1) makes it a data-parallel gang
            placed all-or-nothing; --interconnect routes swap, allreduce
            and checkpoint traffic over a shared PCIe link (peer<k> adds
-           peer lanes over domains of k GPUs, e.g. peer4)
+           peer lanes over domains of k GPUs, e.g. peer4).
+           --transfer-trace writes the unified per-tensor transfer
+           timeline (one JSON record per replayed swap, allreduce, or
+           checkpoint/restore copy) without changing the stats JSON
 ";
 
 fn fail(msg: &str) -> ! {
@@ -410,7 +413,7 @@ fn cmd_cluster(args: &Args) {
             .as_ref()
             .map_or("off", |spec| spec.name.as_str()),
     );
-    let stats = Cluster::new(cfg).run(&jobs);
+    let (stats, transfers) = Cluster::new(cfg).run_traced(&jobs);
     eprintln!(
         "completed {}/{} (rejected {}), makespan {:.2}s, {:.1} samples/sec aggregate",
         stats.completed,
@@ -419,6 +422,15 @@ fn cmd_cluster(args: &Args) {
         stats.makespan.as_secs_f64(),
         stats.aggregate_samples_per_sec,
     );
+    if let Some(path) = args.flags.get("transfer-trace") {
+        let json = serde_json::to_string_pretty(&transfers).expect("transfer trace serialize");
+        std::fs::write(path, &json)
+            .unwrap_or_else(|e| fail(&format!("cannot write `{path}`: {e}")));
+        eprintln!(
+            "wrote {} per-tensor transfer record(s) to {path}",
+            transfers.len()
+        );
+    }
     let json = stats.to_json();
     match args.flags.get("out") {
         Some(path) => {

@@ -19,7 +19,7 @@
 use capuchin::{shrink_feasibility, Capuchin, FootprintEstimate, PlannerConfig};
 use capuchin_executor::{Engine, EngineConfig, ExecError, MemoryPolicy, TfOri};
 use capuchin_graph::Graph;
-use capuchin_sim::{DeviceSpec, Duration};
+use capuchin_sim::{CopyDir, DeviceSpec, Duration};
 
 use crate::job::JobPolicy;
 
@@ -59,17 +59,40 @@ impl AdmissionMode {
     }
 }
 
+/// One recorded transfer of a validated iteration, replayed by the
+/// cluster at per-tensor granularity: which tensor moved (`label`), how
+/// much, which direction, and *when inside the iteration* it was
+/// submitted (`offset` from the iteration's start). The cluster re-issues
+/// each transfer on the shared host link at `iteration_start + offset`,
+/// so co-resident jobs' prefetches contend with allreduce and checkpoint
+/// copies and an individual late prefetch is visible to the policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayTransfer {
+    /// Request label from the engine (`prefetch:<t>`, `swapout:<t>`,
+    /// `swapin:<t>`, `evict:<t>`).
+    pub label: String,
+    /// Payload size.
+    pub bytes: u64,
+    /// Transfer direction.
+    pub dir: CopyDir,
+    /// Submission instant relative to the iteration's start.
+    pub offset: Duration,
+}
+
 /// One validated iteration the cluster replays on its clock: how long the
-/// iteration took on a private device, and how many swap bytes it moved
-/// over PCIe while doing so. The cluster re-routes those bytes over the
+/// iteration took on a private device, and the per-tensor swap timeline it
+/// recorded while doing so. The cluster re-routes those transfers over the
 /// *shared* host link, so one job's swap traffic delays another's.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplayIter {
     /// Wall time of the iteration on an uncontended device (swap transfer
     /// time already included — the engine overlaps and stalls for it).
     pub wall: Duration,
     /// Swap traffic (D2H evictions + H2D prefetches) the iteration moved.
+    /// Always equals the sum of `transfers[..].bytes`.
     pub swap_bytes: u64,
+    /// The iteration's recorded transfer timeline, in submission order.
+    pub transfers: Vec<ReplayTransfer>,
 }
 
 /// The two budgets admission derives from a measured footprint.
@@ -229,9 +252,19 @@ impl Admission {
         Ok(stats
             .iters
             .iter()
-            .map(|it| ReplayIter {
+            .zip(eng.iter_transfers())
+            .map(|(it, recs)| ReplayIter {
                 wall: it.wall(),
                 swap_bytes: it.swap_out_bytes + it.swap_in_bytes,
+                transfers: recs
+                    .iter()
+                    .map(|rec| ReplayTransfer {
+                        label: rec.label.clone(),
+                        bytes: rec.bytes,
+                        dir: rec.dir,
+                        offset: rec.queued.saturating_since(it.started_at),
+                    })
+                    .collect(),
             })
             .collect())
     }

@@ -30,14 +30,19 @@
 //!   arrivals are charged honestly.
 //! * With [`ClusterConfig::interconnect`] set, all cluster copy traffic
 //!   routes over a shared fabric ([`capuchin_sim::Interconnect`]) instead
-//!   of private per-job lanes: the swap bytes each iteration recorded
-//!   during validation, gang gradient allreduces (ring schedule,
-//!   `2·(k−1)/k × gradient bytes` per replica), and checkpoint/restore
-//!   copies. Concurrent transfers queue on the finite-bandwidth links and
-//!   stretch co-resident iterations. Swap replay charges only the
-//!   *queueing* delay (the validated wall already contains the transfer
-//!   time, paid once on a private lane); allreduce — absent from
-//!   single-GPU validation — charges its full span at the barrier.
+//!   of private per-job lanes: the *per-tensor transfer timeline* each
+//!   iteration recorded during validation, gang gradient allreduces (ring
+//!   schedule, `2·(k−1)/k × gradient bytes` per replica), and
+//!   checkpoint/restore copies. Concurrent transfers queue on the
+//!   finite-bandwidth links and stretch co-resident iterations. Swap
+//!   replay re-issues each recorded transfer at its in-iteration offset
+//!   and charges only the *deduplicated queueing delay* (the validated
+//!   wall already contains the wire time, paid once on a private lane),
+//!   so a job's `comm_delay` decomposes exactly into its per-tensor
+//!   transfer records; a stretched prefetch accumulates a feedback lead
+//!   that pulls its next replay earlier (the §4.4 in-trigger loop at
+//!   cluster level). Allreduce — absent from single-GPU validation —
+//!   charges its full span at the barrier.
 //! * With [`ClusterConfig::preemption`] on, a high-effective-priority
 //!   arrival that fits nowhere may preempt the lowest-priority resident
 //!   job: the victim's state is checkpointed to the host (a copy of its
@@ -75,7 +80,7 @@ use capuchin_sim::{CopyDir, DeviceSpec, Duration, Interconnect, InterconnectSpec
 
 use crate::admission::{Admission, AdmissionMode, JobNeeds, ReplayIter};
 use crate::job::JobSpec;
-use crate::stats::{ClusterStats, GpuStats, JobOutcome, JobStats};
+use crate::stats::{ClusterStats, ClusterTransfer, GpuStats, JobOutcome, JobStats};
 use crate::strategy::{CandidateJob, GpuView, StrategyKind};
 
 /// Cluster shape and scheduling knobs.
@@ -206,6 +211,11 @@ struct JobRun {
     allreduce_time: Duration,
     /// Queueing delay behind other jobs' traffic on the shared fabric.
     comm_delay: Duration,
+    /// Per-label feedback lead for replayed prefetches (paper §4.4 during
+    /// guided replay): a prefetch that came back stretched on the shared
+    /// fabric wants the lane `lead` earlier on later iterations. Ordered
+    /// for deterministic iteration.
+    lead: BTreeMap<String, Duration>,
 }
 
 impl JobRun {
@@ -244,6 +254,7 @@ impl JobRun {
             checkpoint_overhead: Duration::ZERO,
             allreduce_time: Duration::ZERO,
             comm_delay: Duration::ZERO,
+            lead: BTreeMap::new(),
         }
     }
 
@@ -422,6 +433,17 @@ impl Cluster {
 
     /// Runs the workload to completion and returns the stats.
     pub fn run(&mut self, specs: &[JobSpec]) -> ClusterStats {
+        self.run_traced(specs).0
+    }
+
+    /// Runs the workload and additionally returns the unified transfer
+    /// trace: every replayed per-tensor swap, gang allreduce, and
+    /// checkpoint/restore copy resolved on the shared fabric, in
+    /// settlement order. Empty when the interconnect model is off. The
+    /// trace is a side-channel — [`ClusterStats`] (and its JSON) is
+    /// identical to what [`Cluster::run`] returns.
+    pub fn run_traced(&mut self, specs: &[JobSpec]) -> (ClusterStats, Vec<ClusterTransfer>) {
+        let mut transfers: Vec<ClusterTransfer> = Vec::new();
         let mut seq: u64 = 0;
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
         let mut jobs: Vec<JobRun> = Vec::with_capacity(specs.len());
@@ -474,7 +496,8 @@ impl Cluster {
                     // queueing, then the gang's gradient allreduce)
                     // drains on the shared fabric.
                     jobs[job].iterating = false;
-                    let comm_end = settle_comm(&mut jobs[job], now, fabric.as_mut());
+                    let comm_end =
+                        settle_comm(&mut jobs[job], now, fabric.as_mut(), &mut transfers);
                     if comm_end > now {
                         let j = &mut jobs[job];
                         j.epoch += 1;
@@ -581,7 +604,22 @@ impl Cluster {
                     let grant = cp.reserved;
                     let copy = match fabric.as_mut() {
                         Some(f) => {
-                            let tr = f.host_transfer(now, grant * gang.len() as u64);
+                            let bytes = grant * gang.len() as u64;
+                            let tr = f.host_transfer(now, bytes);
+                            transfers.push(ClusterTransfer {
+                                job: jobs[job].spec.name.clone(),
+                                iter: u64::MAX,
+                                label: "restore".to_owned(),
+                                link: "host".to_owned(),
+                                dir: CopyDir::HostToDevice,
+                                bytes,
+                                want: now,
+                                start: tr.start,
+                                end: tr.end,
+                                wait: tr.start.saturating_since(now),
+                                charge: Duration::ZERO,
+                                lead: Duration::ZERO,
+                            });
                             tr.end.saturating_since(now)
                         }
                         None => self.cfg.spec.copy_time(grant, CopyDir::HostToDevice),
@@ -665,7 +703,22 @@ impl Cluster {
                     let width = jobs[victim].gpus_held.len().max(1) as u64;
                     let copy = match fabric.as_mut() {
                         Some(f) => {
-                            let tr = f.host_transfer(now, jobs[victim].reserved * width);
+                            let bytes = jobs[victim].reserved * width;
+                            let tr = f.host_transfer(now, bytes);
+                            transfers.push(ClusterTransfer {
+                                job: jobs[victim].spec.name.clone(),
+                                iter: u64::MAX,
+                                label: "checkpoint".to_owned(),
+                                link: "host".to_owned(),
+                                dir: CopyDir::DeviceToHost,
+                                bytes,
+                                want: now,
+                                start: tr.start,
+                                end: tr.end,
+                                wait: tr.start.saturating_since(now),
+                                charge: Duration::ZERO,
+                                lead: Duration::ZERO,
+                            });
                             tr.end.saturating_since(now)
                         }
                         None => self
@@ -690,7 +743,8 @@ impl Cluster {
                 }
             }
         }
-        self.finalize(jobs, gpus, fabric.as_ref(), &*strategy)
+        let stats = self.finalize(jobs, gpus, fabric.as_ref(), &*strategy);
+        (stats, transfers)
     }
 
     fn finalize(
@@ -828,37 +882,118 @@ impl Cluster {
     }
 }
 
+/// Per-iteration feedback step for replayed swap-ins: a stretched
+/// host-to-device transfer moves its want `lead_step × service time`
+/// earlier on later iterations — the same §4.4 constant the single-GPU
+/// policy uses.
+fn lead_step() -> f64 {
+    capuchin::CapuchinConfig::default().lead_step
+}
+
 /// Routes the just-finished iteration's boundary traffic over the shared
 /// fabric and returns when it drains (`now` with no fabric, or nothing to
 /// move).
 ///
 /// Two charges, in order:
 ///
-/// 1. **Swap replay** — the iteration's recorded swap bytes (every
-///    replica's) queue on the host link. Only the *queueing* delay
-///    (`start − now`) is charged: the validated wall already contains the
-///    transfer time, paid once on a private lane; what the shared link
-///    adds is waiting behind other jobs' traffic.
+/// 1. **Per-tensor swap replay** — the iteration's recorded transfer
+///    timeline is re-issued on the host link, each transfer at its
+///    recorded in-iteration offset (every replica's bytes coalesced per
+///    tensor). Only the *deduplicated queueing charge* accumulates into
+///    `comm_delay` ([`capuchin_sim::Lane::admit_charged`]): the validated
+///    wall already contains the wire time, paid once on a private lane,
+///    and the dedup keeps one busy period from being billed to every
+///    waiter — so per-link charges can never exceed the link's wall-clock
+///    occupancy, and per-job `comm_delay` is exactly the sum of its
+///    transfer records' charges.
+///
+///    A stretched host-to-device swap replay (a prefetch, or an
+///    on-demand swap-in — the ultimate late prefetch) feeds the §4.4
+///    loop during guided replay: its accumulated `lead` pulls the want
+///    earlier on the next iteration (a 5%-of-service step per late
+///    arrival), which is the cluster-level mirror of the engine's
+///    in-trigger feedback.
 /// 2. **Gradient allreduce** — for gangs, the ring allreduce
 ///    (`2·(k−1)/k × gradient bytes` per replica) runs after the swap
 ///    traffic clears. Validation is single-GPU so no part of this is in
 ///    the wall: the full span is charged at the barrier.
-fn settle_comm(j: &mut JobRun, now: Time, fabric: Option<&mut Interconnect>) -> Time {
+fn settle_comm(
+    j: &mut JobRun,
+    now: Time,
+    fabric: Option<&mut Interconnect>,
+    sink: &mut Vec<ClusterTransfer>,
+) -> Time {
     let Some(fabric) = fabric else {
         return now;
     };
     let k = j.gpus_held.len().max(1);
-    let mut comm_end = now;
-    let idx = (j.iters_done as usize).min(j.replay.len().saturating_sub(1));
-    let swap = j.replay.get(idx).map_or(0, |it| it.swap_bytes) * k as u64;
-    if swap > 0 {
-        let tr = fabric.host_transfer(now, swap);
-        let queued = tr.start.saturating_since(now);
-        j.comm_delay += queued;
-        comm_end = now + queued;
+    let iter = j.iters_done;
+    let idx = (iter as usize).min(j.replay.len().saturating_sub(1));
+    let mut charged = Duration::ZERO;
+    if let Some(it) = j.replay.get(idx) {
+        // Replay the recorded timeline inside the just-finished
+        // iteration's span: offsets are relative to the (uncontended)
+        // iteration start, and contention only stretches the span, so
+        // every want lands at or before `now`. Wants are kept monotonic —
+        // the lane is FIFO and the records are in submission order.
+        let mut prev_want = j.iter_started;
+        for rec in &it.transfers {
+            let lead = j.lead.get(&rec.label).copied().unwrap_or(Duration::ZERO);
+            let want = (j.iter_started + rec.offset.saturating_sub(lead)).max(prev_want);
+            prev_want = want;
+            let bytes = rec.bytes * k as u64;
+            let (tr, charge) = fabric.host_admit(want, bytes);
+            charged += charge;
+            let wait = tr.start.saturating_since(want);
+            if wait > Duration::ZERO && rec.dir == CopyDir::HostToDevice {
+                // A stretched swap-in — whether the engine had already
+                // converted it to a prefetch or it was still on-demand —
+                // means the bytes arrived late; pull its in-trigger
+                // earlier next iteration (§4.4 feedback).
+                let step = tr.end.saturating_since(tr.start).mul_f64(lead_step());
+                *j.lead.entry(rec.label.clone()).or_insert(Duration::ZERO) += step;
+            }
+            sink.push(ClusterTransfer {
+                job: j.spec.name.clone(),
+                iter,
+                label: rec.label.clone(),
+                link: "host".to_owned(),
+                dir: rec.dir,
+                bytes,
+                want,
+                start: tr.start,
+                end: tr.end,
+                wait,
+                charge,
+                lead,
+            });
+        }
+        j.comm_delay += charged;
     }
+    let mut comm_end = now + charged;
     if k >= 2 && j.grad_bytes > 0 {
+        let route = fabric.allreduce_route(&j.gpus_held);
         let ar = fabric.allreduce(comm_end, &j.gpus_held, j.grad_bytes);
+        let per_replica = fabric.spec().allreduce_bytes(j.grad_bytes, k);
+        let bytes = if route == "host" {
+            per_replica * k as u64
+        } else {
+            per_replica
+        };
+        sink.push(ClusterTransfer {
+            job: j.spec.name.clone(),
+            iter,
+            label: "allreduce".to_owned(),
+            link: route,
+            dir: CopyDir::DeviceToHost,
+            bytes,
+            want: comm_end,
+            start: ar.start,
+            end: ar.end,
+            wait: ar.start.saturating_since(comm_end),
+            charge: Duration::ZERO,
+            lead: Duration::ZERO,
+        });
         j.allreduce_time += ar.end.saturating_since(comm_end);
         comm_end = ar.end;
     }
@@ -1358,6 +1493,7 @@ mod tests {
         jobs[0].replay = vec![ReplayIter {
             wall: Duration::from_millis(100),
             swap_bytes: 0,
+            transfers: vec![],
         }];
         let mut gpus = vec![GpuState::new(1 << 30)];
         gpus[0].resident.push(0);

@@ -30,7 +30,8 @@
 //!   makespan, aggregate samples/sec, per-GPU utilization, per-link
 //!   traffic) whose JSON is byte-identical across same-workload runs.
 //!   With [`ClusterConfig::interconnect`] set, all copy traffic — the
-//!   swap bytes each job recorded during validation, gang allreduces
+//!   per-tensor swap timeline each job recorded during validation, gang
+//!   allreduces
 //!   (`2·(k−1)/k ×` gradient bytes per replica, ring schedule), and
 //!   checkpoint/restore copies — routes over a shared finite-bandwidth
 //!   fabric ([`capuchin_sim::Interconnect`]), so concurrent transfers
@@ -60,10 +61,12 @@ pub mod job;
 pub mod stats;
 pub mod strategy;
 
-pub use crate::admission::{min_feasible_budget, Admission, AdmissionMode, JobNeeds, ReplayIter};
+pub use crate::admission::{
+    min_feasible_budget, Admission, AdmissionMode, JobNeeds, ReplayIter, ReplayTransfer,
+};
 pub use crate::cluster::{Cluster, ClusterConfig};
 pub use crate::job::{load_jobs, parse_memory, synthetic_jobs, JobFileError, JobPolicy, JobSpec};
-pub use crate::stats::{ClusterStats, GpuStats, JobOutcome, JobStats};
+pub use crate::stats::{ClusterStats, ClusterTransfer, GpuStats, JobOutcome, JobStats};
 pub use crate::strategy::{
     BestFit, CandidateJob, FifoFirstFit, FitsFn, GpuView, PlacementStrategy, StrategyKind,
 };

@@ -3,8 +3,62 @@
 //! Everything here is `Vec`-based and insertion-ordered so that the same
 //! simulation always renders byte-identical JSON.
 
-use capuchin_sim::{Duration, LinkStats};
+use capuchin_sim::{CopyDir, Duration, LinkStats, Time};
 use serde::{Deserialize, Serialize};
+
+/// One entry of the cluster's unified transfer trace: a replayed swap
+/// transfer, a gang allreduce, or a checkpoint/restore copy, resolved on
+/// a shared fabric lane. Returned by [`crate::Cluster::run_traced`] as a
+/// side-channel — it is *not* part of [`ClusterStats`], so the stats JSON
+/// stays byte-identical to fabric-free runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterTransfer {
+    /// Job the traffic belongs to (spec name).
+    pub job: String,
+    /// Iteration index the traffic settled at (`u64::MAX` for
+    /// checkpoint/restore copies, which happen between iterations).
+    pub iter: u64,
+    /// What moved: the engine's per-tensor label (`prefetch:<t>`,
+    /// `swapout:<t>`, …) for replayed swaps, `allreduce`, `checkpoint`, or
+    /// `restore`.
+    pub label: String,
+    /// Fabric lane that served the transfer (`host` or `peer<d>`).
+    pub link: String,
+    /// Transfer direction.
+    pub dir: CopyDir,
+    /// Payload size (all replicas' bytes).
+    pub bytes: u64,
+    /// Instant the transfer wanted the lane (its replayed submission
+    /// time, minus any accumulated feedback lead).
+    pub want: Time,
+    /// First byte on the wire.
+    pub start: Time,
+    /// Last byte delivered.
+    pub end: Time,
+    /// Time spent queued behind other traffic (`start − want`).
+    pub wait: Duration,
+    /// Contribution to the job's `comm_delay` (deduplicated against other
+    /// waiters in the same busy period; zero for allreduce and
+    /// checkpoint/restore copies, which are charged to their own
+    /// counters).
+    pub charge: Duration,
+    /// Feedback lead applied to this transfer's want (paper §4.4: a
+    /// stretched prefetch moves its in-trigger earlier on later
+    /// iterations).
+    pub lead: Duration,
+}
+
+impl ClusterTransfer {
+    /// Stretch factor: observed latency (want → end) over pure wire time.
+    /// `1.0` means the transfer never waited.
+    pub fn stretch(&self) -> f64 {
+        let service = self.end.saturating_since(self.start).as_secs_f64();
+        if service == 0.0 {
+            return 1.0;
+        }
+        self.end.saturating_since(self.want).as_secs_f64() / service
+    }
+}
 
 /// How one job's stay in the cluster ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -407,13 +407,14 @@ impl MemoryPolicy for Capuchin {
                 // Feedback 1: prefetches that arrived late move their
                 // in-trigger earlier by `lead_step` of the swap time.
                 if self.cfg.feedback {
-                    let mut late: Vec<TensorKey> = engine
+                    // `swapin_waits` is a BTreeMap, so iteration order is
+                    // already deterministic (sorted by key).
+                    let late: Vec<TensorKey> = engine
                         .swapin_waits()
                         .keys()
                         .copied()
                         .filter(|k| self.plan.swaps.contains_key(k))
                         .collect();
-                    late.sort();
                     for key in late {
                         let step = self.plan.swaps[&key]
                             .swap_in_time

@@ -21,7 +21,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use capuchin_sim::{DeviceSpec, Duration, Time};
+use capuchin_sim::{CopyDir, DeviceSpec, Duration, Time, TransferModel};
 use capuchin_tensor::TensorKey;
 
 use crate::measure::MeasuredProfile;
@@ -81,6 +81,10 @@ impl Candidate {
 
 /// Builds a plan from the measured profile.
 pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConfig) -> Plan {
+    // Swap costs come from the same TransferModel the engine's lanes
+    // execute with — the planner holds no private bandwidth constants, so
+    // single-GPU and cluster runs price a swap identically.
+    let model = TransferModel::for_device(spec);
     let mut plan = Plan {
         lane_aware: cfg.lane_aware,
         ..Plan::default()
@@ -109,8 +113,8 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
     ordered_keys.sort();
     for &key in &ordered_keys {
         let info = &profile.info[&key];
-        let out_time = spec.copy_time(info.size, capuchin_sim::CopyDir::DeviceToHost);
-        let in_time = spec.copy_time(info.size, capuchin_sim::CopyDir::HostToDevice);
+        let out_time = model.time(info.size, CopyDir::DeviceToHost);
+        let in_time = model.time(info.size, CopyDir::HostToDevice);
         let mut best: Option<Candidate> = None;
         for (c1, c2, t1_end, t2_start) in profile.pairs_of(key) {
             if !profile.overlaps_peak(t1_end, t2_start) {
@@ -162,7 +166,7 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
     let mut accepted: Vec<LaneItem> = Vec::new();
     let mut rest = Vec::new();
     for cand in candidates {
-        let item = LaneItem::of(&cand, spec);
+        let item = LaneItem::of(&cand, &model);
         if cfg.enable_swap
             && cand.ft_ns >= 0
             && needed > 0
@@ -170,7 +174,7 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
         {
             needed -= cand.size as i128;
             accepted.push(item);
-            confirm_swap(&mut plan, profile, spec, &cand);
+            confirm_swap(&mut plan, profile, &model, &cand);
         } else {
             rest.push(cand);
         }
@@ -207,7 +211,7 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
         let swap_over = if cfg.enable_swap {
             // Residual swap overhead: any exposed transfer time (−FT)
             // plus the lane-schedule violation the swap would introduce.
-            let item = LaneItem::of(&cand, spec);
+            let item = LaneItem::of(&cand, &model);
             let exposed = Duration::from_nanos((-cand.ft_ns).max(0) as u64);
             Some(exposed + lane_violation(&accepted, &item))
         } else {
@@ -222,8 +226,8 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
             (None, None) => continue,
             (Some(_), None) => {
                 needed -= cand.size as i128;
-                accepted.push(LaneItem::of(&cand, spec));
-                confirm_swap(&mut plan, profile, spec, &cand);
+                accepted.push(LaneItem::of(&cand, &model));
+                confirm_swap(&mut plan, profile, &model, &cand);
             }
             (s, Some(r)) if s.is_none() || r <= s.unwrap() => {
                 needed -= cand.size as i128;
@@ -231,8 +235,8 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
             }
             _ => {
                 needed -= cand.size as i128;
-                accepted.push(LaneItem::of(&cand, spec));
-                confirm_swap(&mut plan, profile, spec, &cand);
+                accepted.push(LaneItem::of(&cand, &model));
+                confirm_swap(&mut plan, profile, &model, &cand);
             }
         }
     }
@@ -263,13 +267,13 @@ struct LaneItem {
 }
 
 impl LaneItem {
-    fn of(cand: &Candidate, spec: &DeviceSpec) -> LaneItem {
+    fn of(cand: &Candidate, model: &TransferModel) -> LaneItem {
         LaneItem {
             key: cand.key,
             t1_end: cand.t1_end,
             t2_start: cand.t2_start,
-            out_time: spec.copy_time(cand.size, capuchin_sim::CopyDir::DeviceToHost),
-            in_time: spec.copy_time(cand.size, capuchin_sim::CopyDir::HostToDevice),
+            out_time: model.time(cand.size, CopyDir::DeviceToHost),
+            in_time: model.time(cand.size, CopyDir::HostToDevice),
         }
     }
 }
@@ -310,8 +314,13 @@ fn lane_violation(accepted: &[LaneItem], cand: &LaneItem) -> Duration {
     worst
 }
 
-fn confirm_swap(plan: &mut Plan, profile: &MeasuredProfile, spec: &DeviceSpec, cand: &Candidate) {
-    let in_time = spec.copy_time(cand.size, capuchin_sim::CopyDir::HostToDevice);
+fn confirm_swap(
+    plan: &mut Plan,
+    profile: &MeasuredProfile,
+    model: &TransferModel,
+    cand: &Candidate,
+) {
+    let in_time = model.time(cand.size, CopyDir::HostToDevice);
     plan.evictions
         .insert((cand.key, cand.evicted_count), EvictMethod::Swap);
     plan.swaps.insert(

@@ -17,13 +17,15 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use capuchin_graph::{
     kernel_cost, pick_conv_algo, Graph, Op, OpId, OpKind, Phase, ValueId, ValueKind,
 };
 use capuchin_mem::{Allocation, DeviceAllocator, HostAllocId, HostPool};
-use capuchin_sim::{CopyDir, DeviceSpec, Duration, Event, Gpu, Time, Trace};
+use capuchin_sim::{
+    CopyDir, DeviceSpec, Duration, Event, Gpu, Time, Trace, TransferRecord, TransferRequest,
+};
 use capuchin_tensor::{
     sig, AccessKind, OpHandle, TensorAccess, TensorKey, TensorMeta, TensorRegistry, TensorStatus,
 };
@@ -203,7 +205,8 @@ pub struct Engine<'g> {
 
     host_clock: Time,
     stall_cum: Duration,
-    swapin_waits: HashMap<TensorKey, Duration>,
+    swapin_waits: BTreeMap<TensorKey, Duration>,
+    iter_transfers: Vec<Vec<TransferRecord>>,
     in_alloc_failure: bool,
     current_op: String,
     op_seq: u64,
@@ -294,7 +297,8 @@ impl<'g> Engine<'g> {
             access_mem: Vec::new(),
             host_clock: Time::ZERO,
             stall_cum: Duration::ZERO,
-            swapin_waits: HashMap::new(),
+            swapin_waits: BTreeMap::new(),
+            iter_transfers: Vec::new(),
             in_alloc_failure: false,
             current_op: String::new(),
             op_seq: 0,
@@ -388,9 +392,19 @@ impl<'g> Engine<'g> {
     }
 
     /// Per-tensor wait time charged to late prefetches this iteration —
-    /// the feedback signal for in-trigger adjustment.
-    pub fn swapin_waits(&self) -> &HashMap<TensorKey, Duration> {
+    /// the feedback signal for in-trigger adjustment. Ordered (`BTreeMap`)
+    /// so downstream consumers serialize deterministically.
+    pub fn swapin_waits(&self) -> &BTreeMap<TensorKey, Duration> {
         &self.swapin_waits
+    }
+
+    /// The unified per-transfer timeline of each completed iteration:
+    /// `iter_transfers()[i]` holds every [`TransferRecord`] (swap-outs,
+    /// evictions, prefetches, on-demand swap-ins) iteration `i` submitted,
+    /// in submission order. The cluster replays these through the shared
+    /// fabric at per-tensor granularity.
+    pub fn iter_transfers(&self) -> &[Vec<TransferRecord>] {
+        &self.iter_transfers
     }
 
     /// Takes the recorded timeline trace, if tracing was enabled.
@@ -606,6 +620,10 @@ impl<'g> Engine<'g> {
             peak_mem: self.dev.in_use(),
             ..IterStats::default()
         };
+        // Transfers submitted outside an iteration (weight rematerialization
+        // on restore) belong to no iteration's stats; drop them so each
+        // entry of `iter_transfers` matches its iteration's swap bytes.
+        self.gpu.drain_transfers();
         self.access_log.clear();
         self.access_stall.clear();
         self.access_mem.clear();
@@ -645,6 +663,8 @@ impl<'g> Engine<'g> {
 
         self.interp_held.clear();
         self.sweep_iteration_state();
+        let transfers = self.gpu.drain_transfers();
+        self.iter_transfers.push(transfers);
         Ok(())
     }
 
@@ -963,12 +983,15 @@ impl<'g> Engine<'g> {
                 let alloc = self.alloc_device(size, "swap-in", true)?;
                 let now = self.now();
                 let name = self.reg.get(key).expect("live").meta.name.clone();
-                let copy = self.gpu.launch_copy(
-                    &format!("swapin:{name}"),
-                    size,
-                    CopyDir::HostToDevice,
-                    Event::at(now),
-                );
+                // On-demand: the blocked kernel needs the bytes *now*, so
+                // the deadline is the submission instant itself.
+                let copy = self.gpu.submit_transfer(TransferRequest {
+                    label: format!("swapin:{name}"),
+                    bytes: size,
+                    dir: CopyDir::HostToDevice,
+                    earliest: now,
+                    deadline: Some(now),
+                });
                 self.iter_stats.swap_in_bytes += size;
                 self.note_stall(copy.end.saturating_since(now));
                 self.iter_stats.stall_swapin += copy.end.saturating_since(now);
@@ -1271,12 +1294,13 @@ impl<'g> Engine<'g> {
                 Err(_) => return false,
             },
         };
-        let copy = self.gpu.launch_copy(
-            &format!("swapout:{name}"),
-            size,
-            CopyDir::DeviceToHost,
-            Event::at(after.max(ready)),
-        );
+        let copy = self.gpu.submit_transfer(TransferRequest {
+            label: format!("swapout:{name}"),
+            bytes: size,
+            dir: CopyDir::DeviceToHost,
+            earliest: after.max(ready),
+            deadline: None,
+        });
         self.iter_stats.swap_out_bytes += size;
         let epoch = self.bump_epoch(key);
         let t = self.reg.get_mut(key).expect("checked live");
@@ -1334,12 +1358,15 @@ impl<'g> Engine<'g> {
             },
         };
         let start = earliest.max(ready);
-        let copy = self.gpu.launch_copy(
-            &format!("evict:{name}"),
-            size,
-            CopyDir::DeviceToHost,
-            Event::at(start),
-        );
+        // Coupled offload: compute blocks on completion, so the transfer
+        // is due the moment it can start.
+        let copy = self.gpu.submit_transfer(TransferRequest {
+            label: format!("evict:{name}"),
+            bytes: size,
+            dir: CopyDir::DeviceToHost,
+            earliest: start,
+            deadline: Some(start),
+        });
         let before = self.now();
         self.gpu.sync_compute_until(copy.end);
         self.note_stall(self.now().saturating_since(before));
@@ -1393,12 +1420,13 @@ impl<'g> Engine<'g> {
                 let size = self.reg.get(key).expect("live").size_bytes();
                 let alloc = self.alloc_device(size, "prefetch", false)?;
                 let name = self.reg.get(key).expect("live").meta.name.clone();
-                let copy = self.gpu.launch_copy(
-                    &format!("prefetch:{name}"),
-                    size,
-                    CopyDir::HostToDevice,
-                    Event::at(earliest),
-                );
+                let copy = self.gpu.submit_transfer(TransferRequest {
+                    label: format!("prefetch:{name}"),
+                    bytes: size,
+                    dir: CopyDir::HostToDevice,
+                    earliest,
+                    deadline: None,
+                });
                 self.iter_stats.swap_in_bytes += size;
                 let epoch = self.bump_epoch(key);
                 let t = self.reg.get_mut(key).expect("live");

@@ -104,16 +104,27 @@ impl HostPool {
         self.live.len()
     }
 
+    /// Bytes still available for staging (`capacity − in_use`).
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
     /// Pins a staging buffer of `size` bytes.
     ///
     /// # Errors
     ///
-    /// Returns [`HostOomError`] when the pool is exhausted.
+    /// Returns [`HostOomError`] when the pool is exhausted (checked
+    /// arithmetic: a pathological request near `u64::MAX` must OOM, not
+    /// wrap past the capacity check).
     pub fn alloc(&mut self, size: u64) -> Result<HostAllocId, HostOomError> {
-        if self.in_use + size > self.capacity {
+        if self
+            .in_use
+            .checked_add(size)
+            .is_none_or(|total| total > self.capacity)
+        {
             return Err(HostOomError {
                 requested: size,
-                available: self.capacity - self.in_use,
+                available: self.available(),
             });
         }
         let id = HostAllocId(self.next_id);
@@ -173,5 +184,14 @@ mod tests {
         let err = pool.alloc(40).unwrap_err();
         assert_eq!(err.available, 20);
         assert_eq!(err.requested, 40);
+        assert_eq!(pool.available(), 20);
+    }
+
+    #[test]
+    fn pathological_request_cannot_wrap_the_capacity_check() {
+        let mut pool = HostPool::new(100);
+        let _ = pool.alloc(80).unwrap();
+        assert!(pool.alloc(u64::MAX - 50).is_err());
+        assert_eq!(pool.in_use(), 80);
     }
 }

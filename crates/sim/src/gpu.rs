@@ -14,6 +14,9 @@ use serde::{Deserialize, Serialize};
 use crate::stream::{Enqueued, Event, Stream, StreamKind};
 use crate::time::{Duration, Time};
 use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::transfer::{
+    Lane, Transfer, TransferEngine, TransferModel, TransferRecord, TransferRequest,
+};
 
 /// Direction of a PCIe transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -81,13 +84,11 @@ impl DeviceSpec {
         self
     }
 
-    /// Time to move `bytes` over PCIe in direction `dir`, excluding setup.
+    /// Time to move `bytes` over PCIe in direction `dir`, including the
+    /// DMA setup latency — delegates to the unified [`TransferModel`] so
+    /// every consumer prices transfers identically.
     pub fn copy_time(&self, bytes: u64, dir: CopyDir) -> Duration {
-        let bw = match dir {
-            CopyDir::DeviceToHost => self.pcie_d2h_bw,
-            CopyDir::HostToDevice => self.pcie_h2d_bw,
-        };
-        self.copy_overhead + Duration::from_secs_f64(bytes as f64 / bw)
+        TransferModel::for_device(self).time(bytes, dir)
     }
 }
 
@@ -167,19 +168,18 @@ impl KernelCost {
 pub struct Gpu {
     spec: DeviceSpec,
     compute: Stream,
-    copy_out: Stream,
-    copy_in: Stream,
+    transfers: TransferEngine,
     trace: Option<Trace>,
 }
 
 impl Gpu {
     /// Creates an idle device with the given spec.
     pub fn new(spec: DeviceSpec) -> Gpu {
+        let transfers = TransferEngine::for_device(&spec);
         Gpu {
             spec,
             compute: Stream::new(StreamKind::Compute),
-            copy_out: Stream::new(StreamKind::CopyOut),
-            copy_in: Stream::new(StreamKind::CopyIn),
+            transfers,
             trace: None,
         }
     }
@@ -204,22 +204,20 @@ impl Gpu {
         &self.compute
     }
 
-    /// The copy-out (device-to-host) stream.
-    pub fn copy_out(&self) -> &Stream {
-        &self.copy_out
+    /// The copy-out (device-to-host) lane.
+    pub fn copy_out(&self) -> &Lane {
+        self.transfers.lane(CopyDir::DeviceToHost)
     }
 
-    /// The copy-in (host-to-device) stream.
-    pub fn copy_in(&self) -> &Stream {
-        &self.copy_in
+    /// The copy-in (host-to-device) lane.
+    pub fn copy_in(&self) -> &Lane {
+        self.transfers.lane(CopyDir::HostToDevice)
     }
 
-    /// Instant at which all three streams are drained.
+    /// Instant at which the compute stream and both copy lanes are
+    /// drained.
     pub fn quiescent_at(&self) -> Time {
-        self.compute
-            .busy_until()
-            .max(self.copy_out.busy_until())
-            .max(self.copy_in.busy_until())
+        self.compute.busy_until().max(self.transfers.quiescent_at())
     }
 
     /// Enqueues a kernel on the compute stream after `after` completes.
@@ -237,20 +235,54 @@ impl Gpu {
         enq
     }
 
-    /// Enqueues a PCIe transfer of `bytes` in direction `dir` after `after`.
+    /// Submits a typed transfer request to the device's transfer engine.
     ///
     /// Pinned-memory transfers occupy their direction's lane exclusively
-    /// (paper §4.4), which the per-direction FIFO stream models.
-    pub fn launch_copy(&mut self, label: &str, bytes: u64, dir: CopyDir, after: Event) -> Enqueued {
-        let dur = self.spec.copy_time(bytes, dir);
-        let (stream, kind) = match dir {
-            CopyDir::DeviceToHost => (&mut self.copy_out, TraceKind::SwapOut),
-            CopyDir::HostToDevice => (&mut self.copy_in, TraceKind::SwapIn),
+    /// (paper §4.4), which the per-direction FIFO [`Lane`] models. The
+    /// transfer is recorded both in the kernel/copy trace (when enabled)
+    /// and in the unified per-transfer timeline
+    /// ([`drain_transfers`](Gpu::drain_transfers)).
+    pub fn submit_transfer(&mut self, req: TransferRequest) -> Transfer {
+        let (kind, stream_kind) = match req.dir {
+            CopyDir::DeviceToHost => (TraceKind::SwapOut, StreamKind::CopyOut),
+            CopyDir::HostToDevice => (TraceKind::SwapIn, StreamKind::CopyIn),
         };
-        let enq = stream.enqueue(after, dur);
-        let stream_kind = stream.kind();
-        self.record(kind, stream_kind, label, enq);
-        enq
+        let label = req.label.clone();
+        let tr = self.transfers.submit(req);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                kind,
+                stream: stream_kind,
+                label,
+                start: tr.start,
+                end: tr.end,
+            });
+        }
+        tr
+    }
+
+    /// Enqueues a PCIe transfer of `bytes` in direction `dir` after
+    /// `after` — a thin wrapper over
+    /// [`submit_transfer`](Gpu::submit_transfer) for callers holding a
+    /// cross-stream [`Event`].
+    pub fn launch_copy(&mut self, label: &str, bytes: u64, dir: CopyDir, after: Event) -> Enqueued {
+        let tr = self.submit_transfer(TransferRequest {
+            label: label.to_owned(),
+            bytes,
+            dir,
+            earliest: after.time(),
+            deadline: None,
+        });
+        Enqueued {
+            start: tr.start,
+            end: tr.end,
+            done: Event::at(tr.end),
+        }
+    }
+
+    /// Takes the per-transfer timeline accumulated since the last drain.
+    pub fn drain_transfers(&mut self) -> Vec<TransferRecord> {
+        self.transfers.drain_records()
     }
 
     /// Blocks the compute stream until `t` (an explicit synchronization).
@@ -270,11 +302,11 @@ impl Gpu {
         }
     }
 
-    /// Resets all streams to idle and clears any trace, keeping the spec.
+    /// Resets the compute stream and both copy lanes to idle and clears
+    /// any trace, keeping the spec.
     pub fn reset(&mut self) {
         self.compute.reset();
-        self.copy_out.reset();
-        self.copy_in.reset();
+        self.transfers.reset();
         if let Some(trace) = &mut self.trace {
             trace.clear();
         }

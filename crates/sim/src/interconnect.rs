@@ -1,13 +1,13 @@
 //! The cluster fabric: a shared host link plus optional peer lanes.
 //!
 //! The single-device simulator gives every job a private PCIe connection
-//! ([`crate::Gpu`]'s two copy streams). A cluster does not: all GPUs on a
+//! ([`crate::Gpu`]'s transfer engine). A cluster does not: all GPUs on a
 //! node share one host link, and a job's swap traffic, checkpoint copies,
 //! and gradient allreduces contend for it. This module models that
-//! contention with FIFO serialization queues ([`Link`]): a transfer
-//! enqueued while the link is busy *waits* for the earlier traffic to
-//! drain instead of overlapping for free, so concurrent transfers queue
-//! and stretch.
+//! contention with the same FIFO serialization queues the device uses
+//! ([`crate::Lane`]): a transfer admitted while the link is busy *waits*
+//! for the earlier traffic to drain instead of overlapping for free, so
+//! concurrent transfers queue and stretch.
 //!
 //! Two tiers of connectivity:
 //!
@@ -24,13 +24,12 @@
 //! replica's share; across domains every replica's share crosses the one
 //! shared host link and serializes.
 //!
-//! Determinism: links only hold a `busy_until` watermark and counters, and
+//! Determinism: lanes only hold a `busy_until` watermark and counters, and
 //! every reservation resolves immediately into `(start, end)` times, so a
 //! fixed call sequence always yields identical timings.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::{Duration, Time};
+use crate::transfer::{Lane, LinkStats, Transfer};
 
 /// Static description of a cluster's shared interconnect.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,105 +152,17 @@ impl InterconnectSpec {
     }
 }
 
-/// A completed link reservation: when the transfer started (after queueing
-/// behind earlier traffic) and when its last byte lands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Transfer {
-    /// First byte on the wire (`>=` the enqueue instant).
-    pub start: Time,
-    /// Last byte delivered.
-    pub end: Time,
-}
-
-/// One FIFO pipe with finite bandwidth.
-///
-/// A link is the minimal serialization model: it remembers only when its
-/// current traffic drains (`busy_until`). A transfer enqueued before that
-/// instant starts exactly at it — traffic queues, it never overlaps.
-#[derive(Debug, Clone)]
-pub struct Link {
-    bw: f64,
-    overhead: Duration,
-    busy_until: Time,
-    busy: Duration,
-    bytes: u64,
-    transfers: u64,
-}
-
-impl Link {
-    /// Creates an idle link with the given bandwidth and per-transfer
-    /// setup latency.
-    pub fn new(bw: f64, overhead: Duration) -> Link {
-        Link {
-            bw,
-            overhead,
-            busy_until: Time::ZERO,
-            busy: Duration::ZERO,
-            bytes: 0,
-            transfers: 0,
-        }
-    }
-
-    /// Reserves the link for `bytes` starting no earlier than `now`.
-    /// Zero-byte transfers are free and occupy nothing.
-    pub fn transfer(&mut self, now: Time, bytes: u64) -> Transfer {
-        if bytes == 0 {
-            return Transfer {
-                start: now,
-                end: now,
-            };
-        }
-        let start = now.max(self.busy_until);
-        let dur = self.overhead + Duration::from_secs_f64(bytes as f64 / self.bw);
-        let end = start + dur;
-        self.busy_until = end;
-        self.busy += dur;
-        self.bytes += bytes;
-        self.transfers += 1;
-        Transfer { start, end }
-    }
-
-    /// Instant the link's queued traffic drains.
-    pub fn busy_until(&self) -> Time {
-        self.busy_until
-    }
-
-    /// Total time the link has spent moving bytes.
-    pub fn busy_time(&self) -> Duration {
-        self.busy
-    }
-
-    /// Total bytes moved.
-    pub fn bytes_moved(&self) -> u64 {
-        self.bytes
-    }
-
-    /// Number of non-empty transfers served.
-    pub fn transfer_count(&self) -> u64 {
-        self.transfers
-    }
-}
-
-/// Accounting for one link, serialized into cluster stats.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct LinkStats {
-    /// Link name (`host` or `peer<domain>`).
-    pub link: String,
-    /// Total time the link spent moving bytes.
-    pub busy: Duration,
-    /// Total bytes moved.
-    pub bytes: u64,
-    /// Non-empty transfers served.
-    pub transfers: u64,
-}
-
 /// The live fabric: the shared host link plus one peer lane per domain.
+///
+/// Every pipe is a [`Lane`] from the unified transfer layer — the same
+/// serialization model the per-device [`crate::TransferEngine`] uses — so
+/// the cluster and a single GPU price and queue traffic identically.
 #[derive(Debug, Clone)]
 pub struct Interconnect {
     spec: InterconnectSpec,
-    host: Link,
+    host: Lane,
     /// One lane per link domain; empty when the spec has no peer lanes.
-    peers: Vec<Link>,
+    peers: Vec<Lane>,
 }
 
 impl Interconnect {
@@ -263,10 +174,10 @@ impl Interconnect {
             0
         };
         let peers = (0..domains)
-            .map(|_| Link::new(spec.peer_bw, spec.transfer_overhead))
+            .map(|d| Lane::new(format!("peer{d}"), spec.peer_bw, spec.transfer_overhead))
             .collect();
         Interconnect {
-            host: Link::new(spec.host_bw, spec.transfer_overhead),
+            host: Lane::new("host", spec.host_bw, spec.transfer_overhead),
             spec,
             peers,
         }
@@ -279,7 +190,29 @@ impl Interconnect {
 
     /// Queues `bytes` of device↔host traffic on the shared host link.
     pub fn host_transfer(&mut self, now: Time, bytes: u64) -> Transfer {
-        self.host.transfer(now, bytes)
+        self.host.admit(now, bytes)
+    }
+
+    /// Queues `bytes` on the shared host link and returns the transfer
+    /// together with its *deduplicated contention charge* (the portion of
+    /// its wait no earlier transfer was billed for — see
+    /// [`Lane::admit_charged`]). The cluster's per-tensor swap replay uses
+    /// this so a job's `comm_delay` decomposes into per-transfer charges
+    /// without ever double-counting a busy period.
+    pub fn host_admit(&mut self, want: Time, bytes: u64) -> (Transfer, Duration) {
+        self.host.admit_charged(want, bytes)
+    }
+
+    /// The lane name an allreduce across `gpus` would ride: the gang's
+    /// peer lane (`peer<d>`) when one exists and the gang fits a single
+    /// link domain, otherwise `host`. Used to label trace records.
+    pub fn allreduce_route(&self, gpus: &[usize]) -> String {
+        if !self.peers.is_empty() && self.spec.same_domain(gpus) {
+            if let Some(&first) = gpus.first() {
+                return self.peers[self.spec.domain_of(first)].name().to_owned();
+            }
+        }
+        self.host.name().to_owned()
     }
 
     /// Performs a ring allreduce of `grad_bytes` of gradients across the
@@ -301,28 +234,16 @@ impl Interconnect {
         }
         if !self.peers.is_empty() && self.spec.same_domain(gpus) {
             let domain = self.spec.domain_of(gpus[0]);
-            return self.peers[domain].transfer(now, per_replica);
+            return self.peers[domain].admit(now, per_replica);
         }
-        self.host.transfer(now, per_replica * k as u64)
+        self.host.admit(now, per_replica * k as u64)
     }
 
     /// Per-link accounting: the host link first, then every peer lane in
     /// domain order (insertion-ordered, so stats JSON is deterministic).
     pub fn link_stats(&self) -> Vec<LinkStats> {
-        let mut out = vec![LinkStats {
-            link: "host".to_owned(),
-            busy: self.host.busy_time(),
-            bytes: self.host.bytes_moved(),
-            transfers: self.host.transfer_count(),
-        }];
-        for (d, lane) in self.peers.iter().enumerate() {
-            out.push(LinkStats {
-                link: format!("peer{d}"),
-                busy: lane.busy_time(),
-                bytes: lane.bytes_moved(),
-                transfers: lane.transfer_count(),
-            });
-        }
+        let mut out = vec![self.host.stats()];
+        out.extend(self.peers.iter().map(Lane::stats));
         out
     }
 }

@@ -5,11 +5,13 @@
 //! hardware behaviours the paper's experiments depend on:
 //!
 //! * a single in-order **compute stream** executing kernels,
-//! * two **copy streams** (device-to-host and host-to-device) that each hold
-//!   their PCIe direction exclusively, as pinned-memory DMA does,
+//! * a unified **transfer layer** ([`TransferEngine`]) with one exclusive
+//!   lane per PCIe direction, as pinned-memory DMA holds its direction
+//!   exclusively — the same [`Lane`] type also models cluster links,
 //! * **events** for cross-stream dependencies (the CUDA event mechanism the
 //!   real implementation uses for asynchronous, delayed swaps — paper §5.4),
-//! * an analytic roofline **kernel cost model** and PCIe **transfer model**.
+//! * an analytic roofline **kernel cost model** and one shared PCIe
+//!   **transfer model** ([`TransferModel`]).
 //!
 //! Time advances only when work is enqueued; because durations are known
 //! analytically, every enqueue resolves immediately into `(start, end)`
@@ -39,9 +41,14 @@ mod interconnect;
 mod stream;
 mod time;
 mod trace;
+mod transfer;
 
 pub use gpu::{CopyDir, DeviceSpec, Gpu, KernelCost};
-pub use interconnect::{Interconnect, InterconnectSpec, Link, LinkStats, Transfer};
+pub use interconnect::{Interconnect, InterconnectSpec};
 pub use stream::{Enqueued, Event, Stream, StreamKind};
 pub use time::{Duration, Time};
 pub use trace::{Trace, TraceEvent, TraceKind};
+pub use transfer::{
+    wire_time, Lane, LinkStats, Transfer, TransferEngine, TransferModel, TransferRecord,
+    TransferRequest,
+};

@@ -20,4 +20,10 @@ cargo test -q
 echo "==> smoke: cluster_gang bench (gang placement + interconnect model)"
 cargo run --release -q -p capuchin-bench --bin cluster_gang -- --smoke
 
+echo "==> smoke: cluster_gang per-tensor transfer path (shared PCIe fabric)"
+cargo run --release -q -p capuchin-bench --bin cluster_gang -- --smoke --interconnect pcie
+
+echo "==> smoke: trace_export round-trip (emitted Chrome trace must parse)"
+cargo run --release -q -p capuchin-bench --bin trace_export -- --smoke
+
 echo "==> all checks passed"
