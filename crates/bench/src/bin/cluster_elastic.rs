@@ -1,0 +1,177 @@
+//! Elastic re-batching — batch size traded for earlier starts, with
+//! `--elastic on` vs `off` on a full cluster.
+//!
+//! A rigid job that needs a whole 16 GiB device queues behind whatever is
+//! resident; head-of-line blocking tracks the longest neighbour. An
+//! elastic job instead bisects its batch down a halving ladder until the
+//! per-replica footprint fits the current headroom, starts immediately
+//! with its iteration count extended (total samples trained is preserved
+//! exactly), and re-grows toward the full batch at completed-iteration
+//! boundaries when headroom frees — paying the same checkpoint/restore
+//! copy costs preemption models.
+//!
+//! The workload pins that trade: medium VGG16 residents occupy every GPU
+//! (each holds just under half a device), then full-device VGG16 jobs
+//! arrive behind them. Rigidly they wait; elastically they start at half
+//! batch next to the residents and grow to the full batch the moment the
+//! residents drain.
+//!
+//! `--smoke` runs a two-job single-GPU variant quickly and asserts the
+//! same invariants, including at least one shrink-then-regrow cycle.
+
+use capuchin_bench::{cluster_job as job, write_artifact};
+use capuchin_cluster::{
+    AdmissionMode, Cluster, ClusterConfig, ClusterStats, JobOutcome, JobPolicy, JobSpec,
+};
+use capuchin_models::ModelKind;
+use capuchin_sim::Duration;
+use serde::Serialize;
+
+/// Two GPUs' worth of medium residents, then three full-device arrivals
+/// (two elastic, one rigid control that shows the head-of-line cost).
+fn workload() -> Vec<JobSpec> {
+    use JobPolicy::TfOri;
+    use ModelKind::Vgg16;
+    vec![
+        job("res0", Vgg16, 128, 1, TfOri, 6, 0, 0.0),
+        job("res1", Vgg16, 128, 1, TfOri, 6, 0, 0.05),
+        job("big0", Vgg16, 256, 1, TfOri, 8, 0, 0.20).with_elastic(),
+        job("big1", Vgg16, 256, 1, TfOri, 8, 0, 0.25).with_elastic(),
+        job("rigid", Vgg16, 256, 1, TfOri, 4, 0, 0.30),
+    ]
+}
+
+/// The minimal shrink-then-regrow cycle: one resident, one elastic
+/// arrival, one GPU.
+fn smoke_workload() -> Vec<JobSpec> {
+    use JobPolicy::TfOri;
+    use ModelKind::Vgg16;
+    vec![
+        job("res0", Vgg16, 128, 1, TfOri, 4, 0, 0.0),
+        job("big0", Vgg16, 256, 1, TfOri, 8, 0, 0.05).with_elastic(),
+    ]
+}
+
+fn run(gpus: usize, elastic: bool, jobs: &[JobSpec]) -> ClusterStats {
+    let cfg = ClusterConfig::builder()
+        .gpus(gpus)
+        .admission(AdmissionMode::TfOri)
+        .elastic(elastic)
+        .min_batch_fraction(0.25)
+        .build()
+        .expect("valid config");
+    Cluster::new(cfg).run(jobs)
+}
+
+/// Invariants both runs must satisfy, plus the elastic-vs-rigid claims:
+/// zero mid-run aborts, no lost completions, at least one earlier start,
+/// and exact sample preservation for every completed job.
+fn assert_elastic_wins(rigid: &ClusterStats, elastic: &ClusterStats, jobs: &[JobSpec]) {
+    for stats in [rigid, elastic] {
+        assert_eq!(
+            stats.midrun_oom_aborts, 0,
+            "admitted jobs must never abort mid-run"
+        );
+        for (j, spec) in stats.jobs.iter().zip(jobs.iter()) {
+            if j.outcome == JobOutcome::Completed {
+                assert_eq!(
+                    j.samples_preserved,
+                    spec.batch as u64 * spec.iters,
+                    "{}: samples must be preserved exactly",
+                    j.name
+                );
+            }
+        }
+    }
+    assert!(
+        elastic.completed >= rigid.completed,
+        "elastic admission must not lose completions: {} vs {}",
+        elastic.completed,
+        rigid.completed
+    );
+    let earlier = rigid
+        .jobs
+        .iter()
+        .zip(elastic.jobs.iter())
+        .filter(|(r, e)| {
+            r.outcome == JobOutcome::Completed
+                && e.outcome == JobOutcome::Completed
+                && e.queueing_delay < r.queueing_delay
+        })
+        .count();
+    assert!(
+        earlier >= 1,
+        "elastic admission must start at least one job earlier"
+    );
+    assert_eq!(rigid.rebatches, 0, "elastic off must never re-batch");
+    let cycled = elastic.jobs.iter().filter(|j| j.rebatches >= 2).count();
+    assert!(
+        cycled >= 1,
+        "at least one job must shrink at admission and re-grow: {}",
+        elastic.to_json()
+    );
+}
+
+#[derive(Serialize)]
+struct Comparison {
+    rigid: ClusterStats,
+    elastic: ClusterStats,
+}
+
+fn report(rigid: &ClusterStats, elastic: &ClusterStats) {
+    println!(
+        "{:<10} {:>9} {:>9} {:>10} {:>12} {:>12}",
+        "elastic", "completed", "rebatches", "makespan", "mean queue", "mean JCT"
+    );
+    for (label, stats) in [("off", rigid), ("on", elastic)] {
+        println!(
+            "{:<10} {:>9} {:>9} {:>9.2}s {:>11.2}s {:>11.2}s",
+            label,
+            stats.completed,
+            stats.rebatches,
+            stats.makespan.as_secs_f64(),
+            stats.mean_queueing_delay.as_secs_f64(),
+            stats.mean_jct.as_secs_f64(),
+        );
+    }
+    let reduced: f64 = elastic
+        .jobs
+        .iter()
+        .map(|j| j.elastic_time_at_reduced_batch.as_secs_f64())
+        .sum();
+    let copies: Duration = elastic
+        .jobs
+        .iter()
+        .filter(|j| j.rebatches > 0)
+        .map(|j| j.checkpoint_overhead)
+        .sum();
+    println!(
+        "\nelastic re-batching: {} batch change(s), {:.2}s trained below the \
+         requested batch, {:.3}s of re-batch checkpoint/restore copies",
+        elastic.rebatches,
+        reduced,
+        copies.as_secs_f64(),
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (gpus, jobs) = if smoke {
+        (1, smoke_workload())
+    } else {
+        (2, workload())
+    };
+    println!(
+        "Elastic re-batching on {} jobs / {gpus} × 16 GiB GPUs (tf-ori admission, fifo)",
+        jobs.len()
+    );
+    let rigid = run(gpus, false, &jobs);
+    let elastic = run(gpus, true, &jobs);
+    assert_elastic_wins(&rigid, &elastic, &jobs);
+    report(&rigid, &elastic);
+    if smoke {
+        println!("smoke OK: shrink-then-regrow cycle verified");
+        return;
+    }
+    write_artifact("cluster_elastic", &Comparison { rigid, elastic });
+}

@@ -66,13 +66,13 @@ fn run(
     fabric: Option<InterconnectSpec>,
     jobs: &[JobSpec],
 ) -> ClusterStats {
-    let cfg = ClusterConfig {
-        gpus,
-        admission,
-        strategy: StrategyKind::BestFit,
-        interconnect: fabric,
-        ..ClusterConfig::default()
-    };
+    let cfg = ClusterConfig::builder()
+        .gpus(gpus)
+        .admission(admission)
+        .strategy(StrategyKind::BestFit)
+        .interconnect(fabric)
+        .build()
+        .expect("valid config");
     Cluster::new(cfg).run(jobs)
 }
 
@@ -185,13 +185,13 @@ fn smoke_pcie() {
         job("swap0", ModelKind::Vgg16, 320, 1, Capuchin, 4, 0, 0.0),
         job("swap1", ModelKind::Vgg16, 320, 1, Capuchin, 4, 0, 0.0),
     ];
-    let cfg = ClusterConfig {
-        gpus: 2,
-        admission: AdmissionMode::Capuchin,
-        strategy: StrategyKind::BestFit,
-        interconnect: Some(InterconnectSpec::pcie_shared()),
-        ..ClusterConfig::default()
-    };
+    let cfg = ClusterConfig::builder()
+        .gpus(2)
+        .admission(AdmissionMode::Capuchin)
+        .strategy(StrategyKind::BestFit)
+        .interconnect(Some(InterconnectSpec::pcie_shared()))
+        .build()
+        .expect("valid config");
     let (stats, trace) = Cluster::new(cfg).run_traced(&jobs);
     assert_gang_safety(&stats);
     assert_eq!(stats.completed, 2, "swapping pair must complete");

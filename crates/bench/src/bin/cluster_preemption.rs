@@ -38,14 +38,14 @@ fn workload() -> Vec<JobSpec> {
 }
 
 fn run(preemption: bool, jobs: &[JobSpec]) -> ClusterStats {
-    let cfg = ClusterConfig {
-        gpus: 2,
-        spec: DeviceSpec::p100_pcie3().with_memory(6 << 30),
-        admission: AdmissionMode::TfOri,
-        strategy: StrategyKind::BestFit,
-        preemption,
-        ..ClusterConfig::default()
-    };
+    let cfg = ClusterConfig::builder()
+        .gpus(2)
+        .spec(DeviceSpec::p100_pcie3().with_memory(6 << 30))
+        .admission(AdmissionMode::TfOri)
+        .strategy(StrategyKind::BestFit)
+        .preemption(preemption)
+        .build()
+        .expect("valid config");
     Cluster::new(cfg).run(jobs)
 }
 

@@ -43,12 +43,12 @@ fn workload() -> Vec<JobSpec> {
 }
 
 fn run(admission: AdmissionMode, jobs: &[JobSpec]) -> ClusterStats {
-    let cfg = ClusterConfig {
-        gpus: 4,
-        admission,
-        strategy: StrategyKind::BestFit,
-        ..ClusterConfig::default()
-    };
+    let cfg = ClusterConfig::builder()
+        .gpus(4)
+        .admission(admission)
+        .strategy(StrategyKind::BestFit)
+        .build()
+        .expect("valid config");
     Cluster::new(cfg).run(jobs)
 }
 

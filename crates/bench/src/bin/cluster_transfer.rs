@@ -39,13 +39,13 @@ fn workload() -> Vec<JobSpec> {
 }
 
 fn run(fabric: Option<InterconnectSpec>) -> (ClusterStats, Vec<ClusterTransfer>) {
-    let cfg = ClusterConfig {
-        gpus: 4,
-        admission: AdmissionMode::Capuchin,
-        strategy: StrategyKind::BestFit,
-        interconnect: fabric,
-        ..ClusterConfig::default()
-    };
+    let cfg = ClusterConfig::builder()
+        .gpus(4)
+        .admission(AdmissionMode::Capuchin)
+        .strategy(StrategyKind::BestFit)
+        .interconnect(fabric)
+        .build()
+        .expect("valid config");
     Cluster::new(cfg).run_traced(&workload())
 }
 

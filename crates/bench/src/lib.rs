@@ -245,6 +245,7 @@ pub fn cluster_job(
         iters,
         priority,
         arrival_time,
+        elastic: false,
     }
 }
 

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use capuchin::Capuchin;
 use capuchin_baselines::{CheckpointMode, GradientCheckpointing, LruSwap, TfOri, Vdnn};
 use capuchin_cluster::{
-    load_jobs, synthetic_jobs, AdmissionMode, Cluster, ClusterConfig, StrategyKind,
+    load_jobs, synthetic_jobs, AdmissionMode, Cluster, ClusterConfig, ParseEnumError, StrategyKind,
 };
 use capuchin_executor::{Engine, EngineConfig, ExecMode, MemoryPolicy};
 use capuchin_graph::Graph;
@@ -36,6 +36,7 @@ USAGE:
                            [--gpus <n>] [--memory ...] [--admission tf-ori|capuchin]
                            [--strategy fifo|best-fit] [--aging-rate <r>]
                            [--preemption on|off] [--interconnect off|pcie|peer<k>]
+                           [--elastic on|off] [--min-batch-frac <f>]
                            [--out <file>] [--transfer-trace <file>]
 
 MODELS:    vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
@@ -49,7 +50,12 @@ CLUSTER:   schedules a multi-job workload over N simulated GPUs and prints
            peer lanes over domains of k GPUs, e.g. peer4).
            --transfer-trace writes the unified per-tensor transfer
            timeline (one JSON record per replayed swap, allreduce, or
-           checkpoint/restore copy) without changing the stats JSON
+           checkpoint/restore copy) without changing the stats JSON.
+           --elastic on lets jobs marked \"elastic\": true in the file
+           start at a reduced batch when the cluster is full (floored at
+           --min-batch-frac of the requested batch, default 0.25) and
+           re-grow when headroom frees; total samples trained per job is
+           preserved exactly
 ";
 
 fn fail(msg: &str) -> ! {
@@ -57,8 +63,52 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn parse_model(s: &str) -> ModelKind {
-    match s.to_lowercase().as_str() {
+/// A command-line value the CLI could not act on. Every variant renders
+/// through [`fail`], which prints the usage block and exits with a
+/// non-zero status — bad input is a diagnostic, never a panic.
+#[derive(Debug, Clone, PartialEq)]
+enum CliError {
+    /// `--model` named something that is not in the menu.
+    UnknownModel(ParseEnumError),
+    /// `--memory` (or a job-file size) was not a positive size.
+    BadMemory(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownModel(e) => write!(f, "{e}"),
+            CliError::BadMemory(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Accepted `--model` spellings, in menu order.
+const MODEL_NAMES: &[&str] = &[
+    "vgg16",
+    "resnet50",
+    "resnet152",
+    "inceptionv3",
+    "inceptionv4",
+    "densenet",
+    "bert",
+];
+
+/// Accepted `--policy` spellings (a superset of the cluster job-file
+/// policies: the single-run subcommands also expose the baselines).
+const POLICY_NAMES: &[&str] = &[
+    "tf-ori",
+    "vdnn",
+    "openai-memory",
+    "openai-speed",
+    "lru",
+    "capuchin",
+];
+
+fn parse_model(s: &str) -> Result<ModelKind, CliError> {
+    Ok(match s.to_lowercase().as_str() {
         "vgg16" => ModelKind::Vgg16,
         "resnet50" => ModelKind::ResNet50,
         "resnet152" => ModelKind::ResNet152,
@@ -66,8 +116,14 @@ fn parse_model(s: &str) -> ModelKind {
         "inceptionv4" => ModelKind::InceptionV4,
         "densenet" => ModelKind::DenseNet121,
         "bert" => ModelKind::BertBase,
-        other => fail(&format!("unknown model `{other}`")),
-    }
+        other => {
+            return Err(CliError::UnknownModel(ParseEnumError::unknown(
+                "model",
+                other,
+                MODEL_NAMES,
+            )))
+        }
+    })
 }
 
 fn make_policy(name: &str, graph: &Graph) -> Box<dyn MemoryPolicy> {
@@ -84,15 +140,15 @@ fn make_policy(name: &str, graph: &Graph) -> Box<dyn MemoryPolicy> {
         )),
         "lru" => Box::new(LruSwap::new()),
         "capuchin" => Box::new(Capuchin::new()),
-        other => fail(&format!("unknown policy `{other}`")),
+        other => fail(&ParseEnumError::unknown("policy", other, POLICY_NAMES).to_string()),
     }
 }
 
 /// One shared size parser for every subcommand — the real implementation
 /// lives in `capuchin_cluster::parse_memory` (KiB/MiB/GiB + kb/mb/gb +
 /// raw bytes, embedded whitespace tolerated).
-fn parse_memory(s: &str) -> u64 {
-    capuchin_cluster::parse_memory(s).unwrap_or_else(|e| fail(&e))
+fn parse_memory(s: &str) -> Result<u64, CliError> {
+    capuchin_cluster::parse_memory(s).map_err(CliError::BadMemory)
 }
 
 struct Args {
@@ -126,6 +182,7 @@ impl Args {
                 .get("model")
                 .unwrap_or_else(|| fail("--model is required")),
         )
+        .unwrap_or_else(|e| fail(&e.to_string()))
     }
 
     fn policy_name(&self) -> &str {
@@ -138,7 +195,7 @@ impl Args {
     fn memory(&self) -> u64 {
         self.flags
             .get("memory")
-            .map(|s| parse_memory(s))
+            .map(|s| parse_memory(s).unwrap_or_else(|e| fail(&e.to_string())))
             .unwrap_or(16 << 30)
     }
 
@@ -329,10 +386,27 @@ fn cmd_cluster(args: &Args) {
     if gpus == 0 {
         fail("--gpus must be at least 1");
     }
+    let elastic = args
+        .flags
+        .get("elastic")
+        .map(|s| match s.as_str() {
+            "on" => true,
+            "off" => false,
+            _ => fail("--elastic must be `on` or `off`"),
+        })
+        .unwrap_or(false);
+    let min_batch_frac: f64 = args
+        .flags
+        .get("min-batch-frac")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--min-batch-frac must be a fraction in (0, 1]"))
+        })
+        .unwrap_or(0.25);
     let jobs = if let Some(path) = args.flags.get("jobs") {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("cannot read job file `{path}`: {e}")));
-        load_jobs(&text, gpus).unwrap_or_else(|e| fail(&e.to_string()))
+        load_jobs(&text, gpus, min_batch_frac).unwrap_or_else(|e| fail(&e.to_string()))
     } else if let Some(n) = args.flags.get("synthetic") {
         let n: usize = n
             .parse()
@@ -360,12 +434,18 @@ fn cmd_cluster(args: &Args) {
     let admission = args
         .flags
         .get("admission")
-        .map(|s| AdmissionMode::parse(s).unwrap_or_else(|e| fail(&e)))
+        .map(|s| {
+            s.parse::<AdmissionMode>()
+                .unwrap_or_else(|e| fail(&e.to_string()))
+        })
         .unwrap_or(AdmissionMode::Capuchin);
     let strategy = args
         .flags
         .get("strategy")
-        .map(|s| StrategyKind::parse(s).unwrap_or_else(|e| fail(&e)))
+        .map(|s| {
+            s.parse::<StrategyKind>()
+                .unwrap_or_else(|e| fail(&e.to_string()))
+        })
         .unwrap_or(StrategyKind::FifoFirstFit);
     let aging_rate: f64 = args
         .flags
@@ -389,26 +469,25 @@ fn cmd_cluster(args: &Args) {
         .get("interconnect")
         .map(|s| InterconnectSpec::parse(s).unwrap_or_else(|e| fail(&e)))
         .unwrap_or(None);
-    let cfg = ClusterConfig {
-        gpus,
-        spec: DeviceSpec::p100_pcie3().with_memory(args.memory()),
-        admission,
-        strategy,
-        aging_rate,
-        preemption,
-        interconnect: interconnect.clone(),
-        ..ClusterConfig::default()
-    };
+    let cfg = ClusterConfig::builder()
+        .gpus(gpus)
+        .spec(DeviceSpec::p100_pcie3().with_memory(args.memory()))
+        .admission(admission)
+        .strategy(strategy)
+        .aging_rate(aging_rate)
+        .preemption(preemption)
+        .interconnect(interconnect.clone())
+        .elastic(elastic)
+        .min_batch_fraction(min_batch_frac)
+        .build()
+        .unwrap_or_else(|e| fail(&e.to_string()));
     eprintln!(
-        "scheduling {} jobs on {gpus} × {:.1} GiB GPUs ({}, {}, preemption {}, interconnect {})",
+        "scheduling {} jobs on {gpus} × {:.1} GiB GPUs \
+         ({admission}, {strategy}, preemption {}, elastic {}, interconnect {})",
         jobs.len(),
         cfg.spec.memory_bytes as f64 / (1 << 30) as f64,
-        admission.name(),
-        match strategy {
-            StrategyKind::FifoFirstFit => "fifo-first-fit",
-            StrategyKind::BestFit => "best-fit",
-        },
         if preemption { "on" } else { "off" },
+        if elastic { "on" } else { "off" },
         interconnect
             .as_ref()
             .map_or("off", |spec| spec.name.as_str()),
@@ -461,13 +540,32 @@ mod tests {
 
     #[test]
     fn memory_sizes_parse() {
-        assert_eq!(parse_memory("16GiB"), 16 << 30);
-        assert_eq!(parse_memory("16 GiB"), 16 << 30);
-        assert_eq!(parse_memory("800MiB"), 800 << 20);
-        assert_eq!(parse_memory("64KiB"), 64 << 10);
-        assert_eq!(parse_memory("2gb"), 2_000_000_000);
-        assert_eq!(parse_memory("12345"), 12_345);
-        assert_eq!(parse_memory("1.5GiB"), 3 << 29);
+        assert_eq!(parse_memory("16GiB").unwrap(), 16 << 30);
+        assert_eq!(parse_memory("16 GiB").unwrap(), 16 << 30);
+        assert_eq!(parse_memory("800MiB").unwrap(), 800 << 20);
+        assert_eq!(parse_memory("64KiB").unwrap(), 64 << 10);
+        assert_eq!(parse_memory("2gb").unwrap(), 2_000_000_000);
+        assert_eq!(parse_memory("12345").unwrap(), 12_345);
+        assert_eq!(parse_memory("1.5GiB").unwrap(), 3 << 29);
+    }
+
+    /// Bad `--model` / `--memory` values surface as typed errors whose
+    /// rendering names the offending input and the accepted spellings —
+    /// the old code paths died inside the parser instead.
+    #[test]
+    fn bad_model_and_memory_are_typed_errors() {
+        let e = parse_model("resnet9000").unwrap_err();
+        assert!(matches!(e, CliError::UnknownModel(_)));
+        let msg = e.to_string();
+        assert!(msg.contains("`resnet9000`"), "{msg}");
+        assert!(msg.contains("expected one of"), "{msg}");
+        assert!(msg.contains("vgg16"), "{msg}");
+
+        let e = parse_memory("chunky").unwrap_err();
+        assert!(matches!(e, CliError::BadMemory(_)));
+        assert!(e.to_string().contains("chunky"), "{e}");
+
+        assert_eq!(parse_model("ResNet50").unwrap(), ModelKind::ResNet50);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use capuchin_graph::Graph;
 use capuchin_sim::{CopyDir, DeviceSpec, Duration};
 
 use crate::job::JobPolicy;
+use crate::parse::ParseEnumError;
 
 /// How the controller predicts a job's device-memory need.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +36,14 @@ pub enum AdmissionMode {
 }
 
 impl AdmissionMode {
+    /// Accepted [`std::str::FromStr`] spellings, canonical first.
+    pub const ACCEPTED: &'static [&'static str] = &[
+        "tf-ori",
+        "capuchin",
+        "tf-ori-admission",
+        "capuchin-admission",
+    ];
+
     /// CLI/stats name.
     pub fn name(self) -> &'static str {
         match self {
@@ -42,18 +51,25 @@ impl AdmissionMode {
             AdmissionMode::Capuchin => "capuchin-admission",
         }
     }
+}
 
-    /// Parses a CLI name.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message listing the accepted names.
-    pub fn parse(s: &str) -> Result<AdmissionMode, String> {
+impl std::fmt::Display for AdmissionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for AdmissionMode {
+    type Err = ParseEnumError;
+
+    fn from_str(s: &str) -> Result<AdmissionMode, ParseEnumError> {
         match s {
             "tf-ori" | "tf-ori-admission" => Ok(AdmissionMode::TfOri),
             "capuchin" | "capuchin-admission" => Ok(AdmissionMode::Capuchin),
-            other => Err(format!(
-                "unknown admission mode `{other}` (expected tf-ori or capuchin)"
+            other => Err(ParseEnumError::unknown(
+                "admission mode",
+                other,
+                Self::ACCEPTED,
             )),
         }
     }
@@ -290,6 +306,18 @@ mod tests {
         // The planner agrees a plan exists at the measured minimum.
         let check = shrink_feasibility(&est, cap.min, &PlannerConfig::default());
         assert!(check.feasible);
+    }
+
+    #[test]
+    fn admission_mode_round_trips_through_fromstr_and_display() {
+        for m in [AdmissionMode::TfOri, AdmissionMode::Capuchin] {
+            assert_eq!(m.to_string().parse::<AdmissionMode>(), Ok(m));
+        }
+        // Short CLI spellings also parse.
+        assert_eq!("tf-ori".parse(), Ok(AdmissionMode::TfOri));
+        assert_eq!("capuchin".parse(), Ok(AdmissionMode::Capuchin));
+        let err = "strict".parse::<AdmissionMode>().unwrap_err();
+        assert!(err.to_string().contains("tf-ori, capuchin"), "{err}");
     }
 
     #[test]

@@ -53,6 +53,21 @@
 //!   lockstep barrier forever. The interrupted iteration is discarded and
 //!   redone on resume — the same boundary semantics as
 //!   [`capuchin_executor::Engine::snapshot`].
+//! * With [`ClusterConfig::elastic`] on, a waiting [`JobSpec::elastic`]
+//!   job that fits nowhere at its full batch is admitted at a *reduced*
+//!   batch: the cluster bisects the halving ladder
+//!   ([`capuchin::elastic_batches`], floored at
+//!   [`ClusterConfig::min_batch_fraction`]) for the largest batch some
+//!   gang subset can host right now, reusing the footprint/validation
+//!   caches keyed by replica batch. A reduced job trains *more
+//!   iterations* so that total samples trained is preserved exactly
+//!   (the final iteration carries a partial batch when the ladder does
+//!   not divide evenly). At every completed-iteration boundary a reduced
+//!   job checks whether freed headroom lets it re-grow toward the full
+//!   batch; growing re-plans the engine at the new batch
+//!   ([`capuchin_executor::Engine::restore_rebatched`]'s semantics), so
+//!   the cluster charges the same device-to-host checkpoint plus
+//!   host-to-device restore copies preemption models.
 //! * Footprint measurement happens off the critical path (think: a
 //!   profiling sidecar), so admission consumes no simulated time.
 //!
@@ -75,7 +90,7 @@
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
-use capuchin::{measure_footprint, FootprintEstimate};
+use capuchin::{bisect_batch, elastic_batches, measure_footprint, FootprintEstimate};
 use capuchin_sim::{CopyDir, DeviceSpec, Duration, Interconnect, InterconnectSpec, Time};
 
 use crate::admission::{Admission, AdmissionMode, JobNeeds, ReplayIter};
@@ -84,7 +99,14 @@ use crate::stats::{ClusterStats, ClusterTransfer, GpuStats, JobOutcome, JobStats
 use crate::strategy::{CandidateJob, GpuView, StrategyKind};
 
 /// Cluster shape and scheduling knobs.
+///
+/// Construct with [`ClusterConfig::builder`] (which validates every knob
+/// and returns [`ConfigError`] on nonsense) or take
+/// [`ClusterConfig::default`]. The struct is `#[non_exhaustive]`, so
+/// downstream crates cannot assemble it field-by-field and silently skip
+/// validation when a new knob appears.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ClusterConfig {
     /// Number of identical GPUs.
     pub gpus: usize,
@@ -110,6 +132,16 @@ pub struct ClusterConfig {
     /// allreduce is free — and reproduces pre-interconnect timings
     /// exactly.
     pub interconnect: Option<InterconnectSpec>,
+    /// Elastic re-batching: admit a waiting [`JobSpec::elastic`] job at a
+    /// reduced batch when nothing fits at the full batch, and re-grow
+    /// resident reduced jobs at completed-iteration boundaries when
+    /// headroom frees up. Total samples trained is always preserved — the
+    /// iteration count extends to cover `batch × iters` samples.
+    pub elastic: bool,
+    /// Floor of the elastic batch ladder as a fraction of the requested
+    /// batch, in `(0, 1]`: `0.25` means a job never shrinks below a
+    /// quarter of its submitted batch. Ignored with `elastic` off.
+    pub min_batch_fraction: f64,
 }
 
 impl Default for ClusterConfig {
@@ -123,7 +155,148 @@ impl Default for ClusterConfig {
             validate_iters: 6,
             preemption: false,
             interconnect: None,
+            elastic: false,
+            min_batch_fraction: 0.25,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Starts a builder seeded with the default configuration.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            cfg: ClusterConfig::default(),
+        }
+    }
+}
+
+/// Why [`ClusterConfigBuilder::build`] refused a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A cluster needs at least one GPU.
+    NoGpus,
+    /// The priority-aging rate must be finite and non-negative.
+    BadAgingRate(f64),
+    /// Validation runs need at least 2 iterations: Capuchin must complete
+    /// measured execution before a guided iteration exists to record.
+    TooFewValidateIters(u64),
+    /// The elastic batch floor must be a fraction in `(0, 1]`.
+    BadBatchFraction(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoGpus => write!(f, "cluster needs at least 1 GPU"),
+            ConfigError::BadAgingRate(r) => {
+                write!(f, "aging rate {r} must be finite and >= 0")
+            }
+            ConfigError::TooFewValidateIters(n) => write!(
+                f,
+                "validation needs at least 2 iterations, got {n} \
+                 (Capuchin records guided iterations only after measured execution)"
+            ),
+            ConfigError::BadBatchFraction(frac) => {
+                write!(f, "min batch fraction {frac} must be in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`ClusterConfig`]; every setter overrides one
+/// default, and [`ClusterConfigBuilder::build`] checks the whole
+/// combination at once.
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Number of identical GPUs.
+    pub fn gpus(mut self, gpus: usize) -> Self {
+        self.cfg.gpus = gpus;
+        self
+    }
+
+    /// Device model for every GPU.
+    pub fn spec(mut self, spec: DeviceSpec) -> Self {
+        self.cfg.spec = spec;
+        self
+    }
+
+    /// Admission mode.
+    pub fn admission(mut self, admission: AdmissionMode) -> Self {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Placement strategy.
+    pub fn strategy(mut self, strategy: StrategyKind) -> Self {
+        self.cfg.strategy = strategy;
+        self
+    }
+
+    /// Priority-aging rate for best-fit placement.
+    pub fn aging_rate(mut self, aging_rate: f64) -> Self {
+        self.cfg.aging_rate = aging_rate;
+        self
+    }
+
+    /// Engine iterations per admission validation run.
+    pub fn validate_iters(mut self, validate_iters: u64) -> Self {
+        self.cfg.validate_iters = validate_iters;
+        self
+    }
+
+    /// Allow checkpoint-preemption.
+    pub fn preemption(mut self, preemption: bool) -> Self {
+        self.cfg.preemption = preemption;
+        self
+    }
+
+    /// Shared-interconnect model (`None` = private lanes).
+    pub fn interconnect(mut self, interconnect: Option<InterconnectSpec>) -> Self {
+        self.cfg.interconnect = interconnect;
+        self
+    }
+
+    /// Elastic re-batching on/off.
+    pub fn elastic(mut self, elastic: bool) -> Self {
+        self.cfg.elastic = elastic;
+        self
+    }
+
+    /// Floor of the elastic batch ladder, as a fraction in `(0, 1]`.
+    pub fn min_batch_fraction(mut self, min_batch_fraction: f64) -> Self {
+        self.cfg.min_batch_fraction = min_batch_fraction;
+        self
+    }
+
+    /// Validates the combination and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the first out-of-range knob.
+    pub fn build(self) -> Result<ClusterConfig, ConfigError> {
+        let cfg = self.cfg;
+        if cfg.gpus == 0 {
+            return Err(ConfigError::NoGpus);
+        }
+        if !cfg.aging_rate.is_finite() || cfg.aging_rate < 0.0 {
+            return Err(ConfigError::BadAgingRate(cfg.aging_rate));
+        }
+        if cfg.validate_iters < 2 {
+            return Err(ConfigError::TooFewValidateIters(cfg.validate_iters));
+        }
+        if !cfg.min_batch_fraction.is_finite()
+            || cfg.min_batch_fraction <= 0.0
+            || cfg.min_batch_fraction > 1.0
+        {
+            return Err(ConfigError::BadBatchFraction(cfg.min_batch_fraction));
+        }
+        Ok(cfg)
     }
 }
 
@@ -145,6 +318,25 @@ struct Checkpoint {
     shrunk: bool,
     /// Validated per-iteration replay trace.
     replay: Vec<ReplayIter>,
+    /// Global batch in effect when the checkpoint was taken (may be an
+    /// elastically reduced batch).
+    cur_batch: usize,
+    /// Samples trained as of the checkpoint; resume continues the count.
+    samples_done: u64,
+}
+
+/// An in-flight elastic batch change: decided at a completed-iteration
+/// boundary, applied when the checkpoint + restore copies drain
+/// (`EV_REGROW`). The new reservation is claimed immediately so the copy
+/// window cannot over-commit; the replay swap happens at the event.
+#[derive(Debug, Clone)]
+struct Regrow {
+    /// The new global batch.
+    batch: usize,
+    /// Whether the new grant is below the new batch's ideal peak.
+    shrunk: bool,
+    /// Validated replay trace at the new batch and grant.
+    replay: Vec<ReplayIter>,
 }
 
 /// Per-job simulation state.
@@ -162,9 +354,10 @@ struct JobRun {
     /// Gradient bytes per replica (the model's weight bytes), allreduced
     /// at every gang barrier.
     grad_bytes: u64,
-    /// Largest budget a validation run failed at (never retried at or
-    /// below this).
-    failed_budget: Option<u64>,
+    /// Largest budget a validation run failed at, keyed by the global
+    /// batch it was attempted at (elastic jobs validate at several
+    /// batches); never retried at or below the recorded budget.
+    failed: BTreeMap<usize, u64>,
     rejected: bool,
     /// Replay became impossible mid-run (empty replay trace): the job was
     /// evicted and counted as a mid-run abort.
@@ -180,6 +373,28 @@ struct JobRun {
     finished_at: Option<Time>,
     replay: Vec<ReplayIter>,
     iters_done: u64,
+    /// Global batch currently in effect: `spec.batch` unless elastic
+    /// re-batching reduced it (and has not yet grown it back).
+    cur_batch: usize,
+    /// Samples the job must train in total: `spec.batch × spec.iters`.
+    /// Elastic batch changes never alter this — only how many iterations
+    /// it takes.
+    samples_total: u64,
+    /// Samples trained so far (each completed iteration advances by
+    /// `cur_batch`, clamped so the final iteration carries a partial
+    /// batch when the ladder does not divide evenly).
+    samples_done: u64,
+    /// Elastic batch changes: the admission-time shrink plus every mid-run
+    /// re-grow (or re-shrink on resume).
+    rebatches: u64,
+    /// When the current reduced-batch period started; `None` while the
+    /// job runs at its full batch (or is checkpointed out — the clock
+    /// pauses during preemption).
+    reduced_since: Option<Time>,
+    /// Accumulated wall time spent training below the requested batch.
+    elastic_reduced_time: Duration,
+    /// A decided batch change waiting for its copies to drain.
+    pending_regrow: Option<Regrow>,
     /// Bumped whenever scheduled events for this job become stale
     /// (re-pricing, preemption, abort); events carry the epoch they were
     /// scheduled under and are skipped on mismatch.
@@ -228,7 +443,7 @@ impl JobRun {
             needs: JobNeeds { full: 0, min: 0 },
             footprint: 0,
             grad_bytes: 0,
-            failed_budget: None,
+            failed: BTreeMap::new(),
             rejected: false,
             aborted: false,
             gpus_held: Vec::new(),
@@ -238,6 +453,13 @@ impl JobRun {
             finished_at: None,
             replay: Vec::new(),
             iters_done: 0,
+            cur_batch: spec.batch.max(1),
+            samples_total: (spec.batch.max(1) as u64).saturating_mul(spec.iters),
+            samples_done: 0,
+            rebatches: 0,
+            reduced_since: None,
+            elastic_reduced_time: Duration::ZERO,
+            pending_regrow: None,
             epoch: 0,
             iterating: false,
             iter_wall: Duration::ZERO,
@@ -284,7 +506,7 @@ impl JobRun {
                 gpus: self.width(),
                 full_need: self.needs.full,
                 min_need: self.needs.min,
-                failed_budget: self.failed_budget,
+                failed_budget: self.failed.get(&self.spec.batch).copied(),
             },
         }
     }
@@ -334,6 +556,9 @@ const EV_RESUME: u8 = 3;
 /// The iteration-boundary communication (swap-replay queueing and/or the
 /// gang's gradient allreduce) drained: the iteration is truly complete.
 const EV_COMM: u8 = 4;
+/// An elastic batch change's checkpoint + restore copies drained: the new
+/// replay takes effect and the job iterates at the new batch.
+const EV_REGROW: u8 = 5;
 
 /// Event queue entry: `(time ns, sequence, kind, job, epoch)` under
 /// `Reverse` for min-heap order. The sequence number breaks time ties
@@ -378,10 +603,13 @@ impl Cluster {
         }
     }
 
-    /// Measures the per-replica footprint: weights plus activations at
-    /// the replica batch (`batch / gpus`).
-    fn estimate(&mut self, spec: &JobSpec) -> (FootprintEstimate, JobNeeds) {
-        let rb = spec.replica_batch();
+    /// Measures the per-replica footprint at global batch `batch`:
+    /// weights plus activations at the replica slice (`batch / gpus`).
+    /// Elastic probes at reduced batches share the same cache — keyed by
+    /// the replica batch, so a 4-GPU gang elastically reduced to batch
+    /// 128 reuses the single-GPU batch-32 measuring run.
+    fn estimate_at(&mut self, spec: &JobSpec, batch: usize) -> (FootprintEstimate, JobNeeds) {
+        let rb = spec.replica_batch_at(batch);
         let key = (spec.model.name().to_owned(), rb);
         if let Some(cached) = self.estimates.get(&key) {
             return cached.clone();
@@ -397,10 +625,11 @@ impl Cluster {
     fn validated_replay(
         &mut self,
         spec: &JobSpec,
+        batch: usize,
         budget: u64,
         shrunk: bool,
     ) -> Option<Vec<ReplayIter>> {
-        let rb = spec.replica_batch();
+        let rb = spec.replica_batch_at(batch);
         let iters = spec.iters.min(self.cfg.validate_iters).max(2);
         let key = (
             spec.model.name().to_owned(),
@@ -477,16 +706,29 @@ impl Cluster {
                     if jobs[job].spec.gpus == 0 || jobs[job].spec.gpus > self.cfg.gpus {
                         jobs[job].rejected = true;
                     } else {
-                        let (est, needs) = self.estimate(&jobs[job].spec);
+                        let spec = jobs[job].spec.clone();
+                        let (est, needs) = self.estimate_at(&spec, spec.batch);
                         jobs[job].needs = needs;
                         jobs[job].footprint = est.ideal_peak;
                         jobs[job].grad_bytes = est.weight_bytes;
-                        if needs.min > self.cfg.spec.memory_bytes {
-                            // Admission-time OOM: no bare GPU can host a
-                            // replica.
-                            jobs[job].rejected = true;
-                        } else {
+                        let capacity = self.cfg.spec.memory_bytes;
+                        // An elastic job whose full-batch minimum exceeds
+                        // a bare GPU is still admissible if the ladder's
+                        // floor batch fits one.
+                        let admissible = needs.min <= capacity
+                            || (self.cfg.elastic && spec.elastic && {
+                                let floor =
+                                    *elastic_batches(spec.batch, self.cfg.min_batch_fraction)
+                                        .last()
+                                        .expect("ladder is never empty");
+                                self.estimate_at(&spec, floor).1.min <= capacity
+                            });
+                        if admissible {
                             pending.push(job);
+                        } else {
+                            // Admission-time OOM: no bare GPU can host a
+                            // replica at any allowed batch.
+                            jobs[job].rejected = true;
                         }
                     }
                 }
@@ -504,11 +746,52 @@ impl Cluster {
                         heap.push(Reverse((comm_end.as_nanos(), seq, EV_COMM, job, j.epoch)));
                         seq += 1;
                     } else {
-                        complete_iteration(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
+                        self.complete_iteration(
+                            &mut jobs,
+                            &mut gpus,
+                            fabric.as_mut(),
+                            &mut transfers,
+                            job,
+                            now,
+                            &mut seq,
+                            &mut heap,
+                        );
                     }
                 }
                 EV_COMM => {
-                    complete_iteration(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
+                    self.complete_iteration(
+                        &mut jobs,
+                        &mut gpus,
+                        fabric.as_mut(),
+                        &mut transfers,
+                        job,
+                        now,
+                        &mut seq,
+                        &mut heap,
+                    );
+                }
+                EV_REGROW => {
+                    // The batch-change copies drained: swap in the new
+                    // replay and continue from the same samples cursor at
+                    // the new batch.
+                    let j = &mut jobs[job];
+                    let rg = j
+                        .pending_regrow
+                        .take()
+                        .expect("regrowing job has a pending batch change");
+                    j.cur_batch = rg.batch;
+                    j.shrunk = rg.shrunk;
+                    j.replay = rg.replay;
+                    if rg.batch >= j.spec.batch {
+                        // Back at the requested batch: close the
+                        // reduced-time window.
+                        if let Some(since) = j.reduced_since.take() {
+                            j.elastic_reduced_time += now.saturating_since(since);
+                        }
+                    }
+                    if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap).is_err() {
+                        abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
+                    }
                 }
                 EV_PREEMPT => {
                     // Checkpoint copy drained: release every replica's
@@ -524,7 +807,14 @@ impl Cluster {
                         reserved,
                         shrunk: j.shrunk,
                         replay: j.replay.clone(),
+                        cur_batch: j.cur_batch,
+                        samples_done: j.samples_done,
                     });
+                    // The reduced-batch clock pauses while the job sits
+                    // on the host.
+                    if let Some(since) = j.reduced_since.take() {
+                        j.elastic_reduced_time += now.saturating_since(since);
+                    }
                     j.preempted_at = Some(now);
                     j.queued_at = now;
                     for &gpu in &held {
@@ -548,6 +838,11 @@ impl Cluster {
                     j.iters_done = cp.iters_done;
                     j.shrunk = cp.shrunk;
                     j.replay = cp.replay;
+                    j.cur_batch = cp.cur_batch;
+                    j.samples_done = cp.samples_done;
+                    if j.cur_batch < j.spec.batch.max(1) {
+                        j.reduced_since = Some(now);
+                    }
                     if let Some(at) = j.preempted_at.take() {
                         j.resume_latency += now.saturating_since(at);
                     }
@@ -656,7 +951,7 @@ impl Cluster {
                 let grant = headroom.min(jobs[job].needs.full);
                 let shrunk = grant < jobs[job].needs.full;
                 let spec = jobs[job].spec.clone();
-                match self.validated_replay(&spec, grant, shrunk) {
+                match self.validated_replay(&spec, spec.batch, grant, shrunk) {
                     Some(replay) => {
                         let j = &mut jobs[job];
                         j.gpus_held = gang.clone();
@@ -685,7 +980,116 @@ impl Cluster {
                         // The budget looked plannable but the engine run
                         // failed; never retry at or below it.
                         let j = &mut jobs[job];
-                        j.failed_budget = Some(j.failed_budget.map_or(grant, |fb| fb.max(grant)));
+                        let e = j.failed.entry(j.spec.batch).or_insert(grant);
+                        *e = (*e).max(grant);
+                    }
+                }
+            }
+            // Elastic second pass: the strategy just said nothing fits at
+            // the full batch, so trade batch for an earlier start. For
+            // each waiting elastic job (queue-entry order), bisect the
+            // halving ladder for the largest reduced batch some gang
+            // subset can host right now and admit there; the iteration
+            // count extends so total samples trained is preserved.
+            if self.cfg.elastic {
+                let waiting: Vec<usize> = pending
+                    .iter()
+                    .copied()
+                    .filter(|&p| jobs[p].spec.elastic && jobs[p].checkpoint.is_none())
+                    .collect();
+                for job in waiting {
+                    let views: Vec<GpuView> = gpus
+                        .iter()
+                        .enumerate()
+                        .map(|(idx, g)| GpuView {
+                            idx,
+                            domain: fabric.as_ref().map_or(idx, |f| f.spec().domain_of(idx)),
+                            capacity: g.capacity,
+                            reserved: g.reserved,
+                        })
+                        .collect();
+                    let fits = |c: &CandidateJob, g: &GpuView| {
+                        let h = g.headroom();
+                        if h < c.min_need {
+                            return false;
+                        }
+                        let grant = h.min(c.full_need);
+                        c.failed_budget.is_none_or(|fb| grant > fb)
+                    };
+                    let ladder = elastic_batches(jobs[job].spec.batch, self.cfg.min_batch_fraction);
+                    if ladder.len() < 2 {
+                        continue; // the fraction allows no shrinking
+                    }
+                    let mut picks: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                    // ladder[0] is the full batch the strategy already
+                    // refused this instant; only reduced candidates.
+                    let chosen = bisect_batch(&ladder[1..], |b| {
+                        let needs = self.estimate_at(&jobs[job].spec, b).1;
+                        let cand = CandidateJob {
+                            job,
+                            arrival: jobs[job].queued_at,
+                            priority: jobs[job].spec.priority,
+                            gpus: jobs[job].width(),
+                            full_need: needs.full,
+                            min_need: needs.min,
+                            failed_budget: jobs[job].failed.get(&b).copied(),
+                        };
+                        match strategy.pick(&[cand], &views, now, &fits) {
+                            Some((_, gang)) => {
+                                picks.insert(b, gang);
+                                true
+                            }
+                            None => false,
+                        }
+                    });
+                    let Some(batch) = chosen else { continue };
+                    let gang = picks.remove(&batch).expect("chosen batch was probed");
+                    let needs = self.estimate_at(&jobs[job].spec, batch).1;
+                    let headroom = gang
+                        .iter()
+                        .map(|&g| views[g].headroom())
+                        .min()
+                        .expect("gang is non-empty");
+                    let grant = headroom.min(needs.full);
+                    let shrunk = grant < needs.full;
+                    let spec = jobs[job].spec.clone();
+                    match self.validated_replay(&spec, batch, grant, shrunk) {
+                        Some(replay) => {
+                            let j = &mut jobs[job];
+                            j.gpus_held = gang.clone();
+                            j.reserved = grant;
+                            j.shrunk = shrunk;
+                            j.admitted_at = Some(now);
+                            j.replay = replay;
+                            j.cur_batch = batch;
+                            j.rebatches += 1;
+                            j.reduced_since = Some(now);
+                            pending.retain(|&p| p != job);
+                            for &gpu in &gang {
+                                let g = &mut gpus[gpu];
+                                g.touch(now);
+                                g.reserved += grant;
+                                g.peak = g.peak.max(g.reserved);
+                                g.resident.push(job);
+                                g.hosted += 1;
+                            }
+                            if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap)
+                                .is_err()
+                            {
+                                abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
+                            } else {
+                                for &gpu in &gang {
+                                    reprice_residents(
+                                        &mut jobs, &gpus, gpu, now, &mut seq, &mut heap,
+                                    );
+                                }
+                            }
+                        }
+                        None => {
+                            let j = &mut jobs[job];
+                            let e = j.failed.entry(batch).or_insert(grant);
+                            *e = (*e).max(grant);
+                        }
                     }
                 }
             }
@@ -765,10 +1169,9 @@ impl Cluster {
             g.touch(end);
         }
         let completed: Vec<&JobRun> = jobs.iter().filter(|j| j.finished_at.is_some()).collect();
-        let total_samples: f64 = completed
-            .iter()
-            .map(|j| (j.spec.batch as u64 * j.spec.iters) as f64)
-            .sum();
+        // `samples_done` equals `batch × iters` for every completed job,
+        // elastic or not: re-batching preserves the sample count exactly.
+        let total_samples: f64 = completed.iter().map(|j| j.samples_done as f64).sum();
         let mean = |durs: Vec<Duration>| -> Duration {
             if durs.is_empty() {
                 return Duration::ZERO;
@@ -826,9 +1229,13 @@ impl Cluster {
                         .map(|a| a.saturating_since(j.arrival))
                         .unwrap_or(Duration::ZERO),
                     jct,
+                    // Over the iterations actually run: an elastic job
+                    // that shrank trains more (cheaper) iterations, and
+                    // the mean reflects that. Identical to `spec.iters`
+                    // for rigid jobs.
                     mean_iter: match (j.admitted_at, j.finished_at) {
-                        (Some(a), Some(f)) if j.spec.iters > 0 => {
-                            Duration::from_nanos(f.saturating_since(a).as_nanos() / j.spec.iters)
+                        (Some(a), Some(f)) if j.iters_done > 0 => {
+                            Duration::from_nanos(f.saturating_since(a).as_nanos() / j.iters_done)
                         }
                         _ => Duration::ZERO,
                     },
@@ -838,6 +1245,9 @@ impl Cluster {
                     checkpoint_overhead: j.checkpoint_overhead,
                     allreduce_time: j.allreduce_time,
                     comm_delay: j.comm_delay,
+                    rebatches: j.rebatches,
+                    elastic_time_at_reduced_batch: j.elastic_reduced_time,
+                    samples_preserved: j.samples_done,
                 }
             })
             .collect();
@@ -866,6 +1276,7 @@ impl Cluster {
             oom_rejections: jobs.iter().filter(|j| j.rejected).count(),
             midrun_oom_aborts: jobs.iter().filter(|j| j.aborted).count(),
             preemptions: jobs.iter().map(|j| j.preemptions as usize).sum(),
+            rebatches: jobs.iter().map(|j| j.rebatches as usize).sum(),
             makespan,
             aggregate_samples_per_sec: if makespan.as_secs_f64() == 0.0 {
                 0.0
@@ -1000,39 +1411,197 @@ fn settle_comm(
     comm_end
 }
 
-/// Marks the in-flight iteration complete (compute and boundary
-/// communication both drained): advances the cursor, finishing the job —
-/// releasing every replica's reservation — or scheduling the next
-/// iteration.
-fn complete_iteration(
-    jobs: &mut [JobRun],
-    gpus: &mut [GpuState],
-    job: usize,
-    now: Time,
-    seq: &mut u64,
-    heap: &mut BinaryHeap<Event>,
-) {
-    jobs[job].iters_done += 1;
-    if jobs[job].iters_done >= jobs[job].spec.iters {
-        assert!(
-            !jobs[job].gpus_held.is_empty(),
-            "running job holds its gang"
-        );
-        jobs[job].finished_at = Some(now);
-        // `gpus_held` is kept for stats; only the reservations go.
+impl Cluster {
+    /// Marks the in-flight iteration complete (compute and boundary
+    /// communication both drained): advances the samples cursor by the
+    /// current batch (clamped — the final iteration carries a partial
+    /// batch), finishing the job — releasing every replica's
+    /// reservation — or re-growing an elastically reduced batch, or
+    /// scheduling the next iteration.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_iteration(
+        &mut self,
+        jobs: &mut [JobRun],
+        gpus: &mut [GpuState],
+        fabric: Option<&mut Interconnect>,
+        transfers: &mut Vec<ClusterTransfer>,
+        job: usize,
+        now: Time,
+        seq: &mut u64,
+        heap: &mut BinaryHeap<Event>,
+    ) {
+        let j = &mut jobs[job];
+        j.iters_done += 1;
+        let step = (j.cur_batch as u64).min(j.samples_total.saturating_sub(j.samples_done));
+        j.samples_done += step;
+        if j.samples_done >= j.samples_total {
+            assert!(!j.gpus_held.is_empty(), "running job holds its gang");
+            j.finished_at = Some(now);
+            if let Some(since) = j.reduced_since.take() {
+                j.elastic_reduced_time += now.saturating_since(since);
+            }
+            // `gpus_held` is kept for stats; only the reservations go.
+            let held = j.gpus_held.clone();
+            let reserved = j.reserved;
+            for &gpu in &held {
+                let g = &mut gpus[gpu];
+                g.touch(now);
+                g.reserved -= reserved;
+                g.resident.retain(|&r| r != job);
+            }
+            for &gpu in &held {
+                reprice_residents(jobs, gpus, gpu, now, seq, heap);
+            }
+            return;
+        }
+        // A reduced elastic job checks for freed headroom at every
+        // completed-iteration boundary — the only instants a batch change
+        // is sound (the engine snapshot cursor is at a boundary).
+        if self.cfg.elastic
+            && jobs[job].spec.elastic
+            && jobs[job].cur_batch < jobs[job].spec.batch.max(1)
+            && self.try_regrow(jobs, gpus, fabric, transfers, job, now, seq, heap)
+        {
+            return;
+        }
+        if schedule_iter(jobs, gpus, job, now, seq, heap).is_err() {
+            abort_job(jobs, gpus, job, now, seq, heap);
+        }
+    }
+
+    /// Tries to grow `job`'s batch back toward the requested size using
+    /// headroom on the GPUs it already holds (growth happens in place —
+    /// the gang keeps its devices). Bisects the ladder candidates above
+    /// the current batch; on success the new reservation is claimed
+    /// immediately, the checkpoint (D2H of the old reservation) and
+    /// restore (H2D of the new) copies are charged on every replica —
+    /// re-planning at a new batch goes through the same
+    /// snapshot/restore path preemption uses
+    /// ([`capuchin_executor::Engine::restore_rebatched`]) — and
+    /// `EV_REGROW` fires when they drain. Returns whether a re-grow is
+    /// now in flight (the caller must not schedule the next iteration).
+    #[allow(clippy::too_many_arguments)]
+    fn try_regrow(
+        &mut self,
+        jobs: &mut [JobRun],
+        gpus: &mut [GpuState],
+        fabric: Option<&mut Interconnect>,
+        transfers: &mut Vec<ClusterTransfer>,
+        job: usize,
+        now: Time,
+        seq: &mut u64,
+        heap: &mut BinaryHeap<Event>,
+    ) -> bool {
+        let cur = jobs[job].cur_batch;
+        let above: Vec<usize> = elastic_batches(jobs[job].spec.batch, self.cfg.min_batch_fraction)
+            .into_iter()
+            .filter(|&b| b > cur)
+            .collect();
+        if above.is_empty() {
+            return false;
+        }
+        // Headroom on each held device with this job's own reservation
+        // returned; the gang's tightest member caps the grant.
+        let old = jobs[job].reserved;
+        let free = jobs[job]
+            .gpus_held
+            .iter()
+            .map(|&g| gpus[g].capacity.saturating_sub(gpus[g].reserved) + old)
+            .min()
+            .expect("resident job holds its gang");
+        let chosen = bisect_batch(&above, |b| {
+            let needs = self.estimate_at(&jobs[job].spec, b).1;
+            free >= needs.min
+                && jobs[job]
+                    .failed
+                    .get(&b)
+                    .is_none_or(|&fb| free.min(needs.full) > fb)
+        });
+        let Some(batch) = chosen else { return false };
+        let needs = self.estimate_at(&jobs[job].spec, batch).1;
+        let grant = free.min(needs.full);
+        let shrunk = grant < needs.full;
+        let spec = jobs[job].spec.clone();
+        let Some(replay) = self.validated_replay(&spec, batch, grant, shrunk) else {
+            let j = &mut jobs[job];
+            let e = j.failed.entry(batch).or_insert(grant);
+            *e = (*e).max(grant);
+            return false;
+        };
+        // Charge the batch change like a preemption round-trip: D2H of
+        // the old reservation, then H2D of the new, on every replica. On
+        // a shared fabric both serialize on the host link.
+        let width = jobs[job].gpus_held.len().max(1) as u64;
+        let copy = match fabric {
+            Some(f) => {
+                let out_bytes = old * width;
+                let out = f.host_transfer(now, out_bytes);
+                transfers.push(ClusterTransfer {
+                    job: jobs[job].spec.name.clone(),
+                    iter: u64::MAX,
+                    label: "regrow-checkpoint".to_owned(),
+                    link: "host".to_owned(),
+                    dir: CopyDir::DeviceToHost,
+                    bytes: out_bytes,
+                    want: now,
+                    start: out.start,
+                    end: out.end,
+                    wait: out.start.saturating_since(now),
+                    charge: Duration::ZERO,
+                    lead: Duration::ZERO,
+                });
+                let back_bytes = grant * width;
+                let back = f.host_transfer(out.end, back_bytes);
+                transfers.push(ClusterTransfer {
+                    job: jobs[job].spec.name.clone(),
+                    iter: u64::MAX,
+                    label: "regrow-restore".to_owned(),
+                    link: "host".to_owned(),
+                    dir: CopyDir::HostToDevice,
+                    bytes: back_bytes,
+                    want: out.end,
+                    start: back.start,
+                    end: back.end,
+                    wait: back.start.saturating_since(out.end),
+                    charge: Duration::ZERO,
+                    lead: Duration::ZERO,
+                });
+                back.end.saturating_since(now)
+            }
+            None => {
+                self.cfg.spec.copy_time(old, CopyDir::DeviceToHost)
+                    + self.cfg.spec.copy_time(grant, CopyDir::HostToDevice)
+            }
+        };
+        // Claim the new reservation immediately: no placement decided
+        // during the copy window can over-commit the headroom the grown
+        // batch is about to occupy.
         let held = jobs[job].gpus_held.clone();
-        let reserved = jobs[job].reserved;
         for &gpu in &held {
             let g = &mut gpus[gpu];
             g.touch(now);
-            g.reserved -= reserved;
-            g.resident.retain(|&r| r != job);
+            g.reserved = g.reserved - old + grant;
+            g.peak = g.peak.max(g.reserved);
         }
-        for &gpu in &held {
-            reprice_residents(jobs, gpus, gpu, now, seq, heap);
-        }
-    } else if schedule_iter(jobs, gpus, job, now, seq, heap).is_err() {
-        abort_job(jobs, gpus, job, now, seq, heap);
+        let j = &mut jobs[job];
+        j.reserved = grant;
+        j.checkpoint_overhead += copy;
+        j.rebatches += 1;
+        j.pending_regrow = Some(Regrow {
+            batch,
+            shrunk,
+            replay,
+        });
+        j.epoch += 1;
+        heap.push(Reverse((
+            (now + copy).as_nanos(),
+            *seq,
+            EV_REGROW,
+            job,
+            j.epoch,
+        )));
+        *seq += 1;
+        true
     }
 }
 
@@ -1147,6 +1716,9 @@ fn abort_job(
     let j = &mut jobs[job];
     j.aborted = true;
     j.iterating = false;
+    if let Some(since) = j.reduced_since.take() {
+        j.elastic_reduced_time += now.saturating_since(since);
+    }
     j.epoch += 1;
     let held = std::mem::take(&mut j.gpus_held);
     let reserved = j.reserved;
@@ -1193,7 +1765,11 @@ fn pick_preemption(
                         h += jobs[v].reserved;
                     }
                 }
-                h >= jp.needs.min && jp.failed_budget.is_none_or(|fb| h.min(jp.needs.full) > fb)
+                h >= jp.needs.min
+                    && jp
+                        .failed
+                        .get(&jp.spec.batch)
+                        .is_none_or(|&fb| h.min(jp.needs.full) > fb)
             })
             .count()
     };
@@ -1249,6 +1825,7 @@ mod tests {
                 iters: 3,
                 priority: 0,
                 arrival_time: 0.0,
+                elastic: false,
             },
             JobSpec {
                 name: "b".into(),
@@ -1259,16 +1836,14 @@ mod tests {
                 iters: 3,
                 priority: 1,
                 arrival_time: 0.1,
+                elastic: false,
             },
         ]
     }
 
     #[test]
     fn small_workload_completes_on_one_gpu() {
-        let cfg = ClusterConfig {
-            gpus: 1,
-            ..ClusterConfig::default()
-        };
+        let cfg = ClusterConfig::builder().gpus(1).build().unwrap();
         let stats = Cluster::new(cfg).run(&small_workload());
         assert_eq!(stats.submitted, 2);
         assert_eq!(stats.completed, 2);
@@ -1304,19 +1879,24 @@ mod tests {
             iters: 3,
             priority: 0,
             arrival_time: 0.0,
+            elastic: false,
         }];
-        let tf = Cluster::new(ClusterConfig {
-            gpus: 1,
-            admission: AdmissionMode::TfOri,
-            ..ClusterConfig::default()
-        })
+        let tf = Cluster::new(
+            ClusterConfig::builder()
+                .gpus(1)
+                .admission(AdmissionMode::TfOri)
+                .build()
+                .unwrap(),
+        )
         .run(&big);
         assert_eq!(tf.oom_rejections, 1, "{}", tf.to_json());
-        let cap = Cluster::new(ClusterConfig {
-            gpus: 1,
-            admission: AdmissionMode::Capuchin,
-            ..ClusterConfig::default()
-        })
+        let cap = Cluster::new(
+            ClusterConfig::builder()
+                .gpus(1)
+                .admission(AdmissionMode::Capuchin)
+                .build()
+                .unwrap(),
+        )
         .run(&big);
         assert_eq!(cap.completed, 1, "{}", cap.to_json());
         assert!(cap.jobs[0].shrunk);
@@ -1337,12 +1917,15 @@ mod tests {
             iters: 3,
             priority: 0,
             arrival_time: 0.0,
+            elastic: false,
         }];
-        let stats = Cluster::new(ClusterConfig {
-            gpus: 2,
-            interconnect: Some(InterconnectSpec::pcie_shared()),
-            ..ClusterConfig::default()
-        })
+        let stats = Cluster::new(
+            ClusterConfig::builder()
+                .gpus(2)
+                .interconnect(Some(InterconnectSpec::pcie_shared()))
+                .build()
+                .unwrap(),
+        )
         .run(&gang);
         assert_eq!(stats.completed, 1, "{}", stats.to_json());
         let j = &stats.jobs[0];
@@ -1369,12 +1952,9 @@ mod tests {
             iters: 2,
             priority: 0,
             arrival_time: 0.0,
+            elastic: false,
         }];
-        let stats = Cluster::new(ClusterConfig {
-            gpus: 2,
-            ..ClusterConfig::default()
-        })
-        .run(&wide);
+        let stats = Cluster::new(ClusterConfig::builder().gpus(2).build().unwrap()).run(&wide);
         assert_eq!(stats.oom_rejections, 1);
         assert_eq!(stats.jobs[0].outcome, JobOutcome::Rejected);
         assert!(stats.jobs[0].gpus_used.is_empty());
@@ -1395,12 +1975,15 @@ mod tests {
             iters: 3,
             priority: 0,
             arrival_time: 0.0,
+            elastic: false,
         };
         let jobs = vec![swapper("s0"), swapper("s1")];
-        let cfg = |ic: Option<InterconnectSpec>| ClusterConfig {
-            gpus: 2,
-            interconnect: ic,
-            ..ClusterConfig::default()
+        let cfg = |ic: Option<InterconnectSpec>| {
+            ClusterConfig::builder()
+                .gpus(2)
+                .interconnect(ic)
+                .build()
+                .unwrap()
         };
         let off = Cluster::new(cfg(None)).run(&jobs);
         let on = Cluster::new(cfg(Some(InterconnectSpec::pcie_shared()))).run(&jobs);
@@ -1435,22 +2018,17 @@ mod tests {
             iters: 4,
             priority: 0,
             arrival_time: arrival,
+            elastic: false,
         };
-        let baseline = Cluster::new(ClusterConfig {
-            gpus: 1,
-            ..ClusterConfig::default()
-        })
-        .run(&[solo(0.0, "alone")]);
+        let baseline = Cluster::new(ClusterConfig::builder().gpus(1).build().unwrap())
+            .run(&[solo(0.0, "alone")]);
         let solo_jct = baseline.jobs[0].jct;
         assert!(solo_jct > Duration::ZERO);
         // Stagger the second arrival into the middle of the first job's
         // run (well past admission, well before completion).
         let stagger = solo_jct.as_secs_f64() * 0.4;
-        let both = Cluster::new(ClusterConfig {
-            gpus: 1,
-            ..ClusterConfig::default()
-        })
-        .run(&[solo(0.0, "first"), solo(stagger, "second")]);
+        let both = Cluster::new(ClusterConfig::builder().gpus(1).build().unwrap())
+            .run(&[solo(0.0, "first"), solo(stagger, "second")]);
         assert_eq!(both.completed, 2, "{}", both.to_json());
         let first = &both.jobs[0];
         let second = &both.jobs[1];
@@ -1488,6 +2066,7 @@ mod tests {
             iters: 1,
             priority: 0,
             arrival_time: 0.0,
+            elastic: false,
         })];
         jobs[0].gpus_held = vec![0];
         jobs[0].replay = vec![ReplayIter {
@@ -1548,6 +2127,7 @@ mod tests {
             iters: 40,
             priority: 0,
             arrival_time: 0.0,
+            elastic: false,
         };
         let high = JobSpec {
             name: "high-short".into(),
@@ -1558,13 +2138,16 @@ mod tests {
             iters: 4,
             priority: 8,
             arrival_time: 0.5,
+            elastic: false,
         };
-        let cfg = |preemption: bool| ClusterConfig {
-            gpus: 1,
-            spec: DeviceSpec::p100_pcie3().with_memory(6 << 30),
-            strategy: StrategyKind::BestFit,
-            preemption,
-            ..ClusterConfig::default()
+        let cfg = |preemption: bool| {
+            ClusterConfig::builder()
+                .gpus(1)
+                .spec(DeviceSpec::p100_pcie3().with_memory(6 << 30))
+                .strategy(StrategyKind::BestFit)
+                .preemption(preemption)
+                .build()
+                .unwrap()
         };
         // Sanity: the two jobs cannot co-reside (each needs > half).
         let off = Cluster::new(cfg(false)).run(&[low.clone(), high.clone()]);
@@ -1601,14 +2184,157 @@ mod tests {
     #[test]
     fn preemption_off_never_preempts() {
         let jobs = synthetic_jobs(8, 3, 0.2);
-        let stats = Cluster::new(ClusterConfig {
-            gpus: 2,
-            strategy: StrategyKind::BestFit,
-            preemption: false,
-            ..ClusterConfig::default()
-        })
+        let stats = Cluster::new(
+            ClusterConfig::builder()
+                .gpus(2)
+                .strategy(StrategyKind::BestFit)
+                .preemption(false)
+                .build()
+                .unwrap(),
+        )
         .run(&jobs);
         assert_eq!(stats.preemptions, 0);
         assert!(stats.jobs.iter().all(|j| j.preemptions == 0));
+    }
+
+    /// The builder refuses out-of-range knobs with typed errors instead of
+    /// letting a bad configuration reach the event loop.
+    #[test]
+    fn builder_rejects_bad_knobs() {
+        assert_eq!(
+            ClusterConfig::builder().gpus(0).build().unwrap_err(),
+            ConfigError::NoGpus
+        );
+        assert_eq!(
+            ClusterConfig::builder()
+                .aging_rate(-0.5)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadAgingRate(-0.5)
+        );
+        assert!(matches!(
+            ClusterConfig::builder()
+                .aging_rate(f64::NAN)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadAgingRate(_)
+        ));
+        assert_eq!(
+            ClusterConfig::builder()
+                .validate_iters(1)
+                .build()
+                .unwrap_err(),
+            ConfigError::TooFewValidateIters(1)
+        );
+        assert_eq!(
+            ClusterConfig::builder()
+                .min_batch_fraction(0.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadBatchFraction(0.0)
+        );
+        assert_eq!(
+            ClusterConfig::builder()
+                .min_batch_fraction(1.5)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadBatchFraction(1.5)
+        );
+        let msg = ConfigError::TooFewValidateIters(1).to_string();
+        assert!(msg.contains("at least 2 iterations"), "{msg}");
+        assert!(ClusterConfig::builder()
+            .min_batch_fraction(1.0)
+            .build()
+            .is_ok());
+    }
+
+    /// An elastic job that cannot fit at its full batch next to a resident
+    /// job is admitted at a bisected smaller batch — starting earlier than
+    /// the rigid run — and re-grows to the full batch when the neighbour
+    /// finishes, with total samples trained preserved exactly.
+    #[test]
+    fn elastic_job_shrinks_to_start_earlier_then_regrows() {
+        let resident = JobSpec {
+            name: "resident".into(),
+            model: capuchin_models::ModelKind::Vgg16,
+            batch: 128,
+            gpus: 1,
+            policy: JobPolicy::TfOri,
+            iters: 4,
+            priority: 0,
+            arrival_time: 0.0,
+            elastic: false,
+        };
+        let grower = JobSpec {
+            name: "grower".into(),
+            model: capuchin_models::ModelKind::Vgg16,
+            batch: 256,
+            gpus: 1,
+            policy: JobPolicy::TfOri,
+            iters: 8,
+            priority: 0,
+            arrival_time: 0.05,
+            elastic: true,
+        };
+        let cfg = |elastic: bool| {
+            ClusterConfig::builder()
+                .gpus(1)
+                .admission(AdmissionMode::TfOri)
+                .elastic(elastic)
+                .build()
+                .unwrap()
+        };
+        // Rigid baseline: the big job queues behind the whole resident run.
+        let rigid = Cluster::new(cfg(false)).run(&[resident.clone(), grower.clone()]);
+        assert_eq!(rigid.completed, 2, "{}", rigid.to_json());
+        assert_eq!(rigid.rebatches, 0);
+
+        let elastic = Cluster::new(cfg(true)).run(&[resident, grower]);
+        assert_eq!(elastic.completed, 2, "{}", elastic.to_json());
+        assert_eq!(elastic.midrun_oom_aborts, 0);
+        let g = &elastic.jobs[1];
+        assert_eq!(g.outcome, JobOutcome::Completed);
+        assert_eq!(
+            g.rebatches,
+            2,
+            "shrink at admission + one regrow: {}",
+            elastic.to_json()
+        );
+        assert_eq!(g.samples_preserved, 256 * 8);
+        assert!(g.elastic_time_at_reduced_batch > Duration::ZERO);
+        assert!(
+            g.checkpoint_overhead > Duration::ZERO,
+            "regrow checkpoint/restore copies must be charged"
+        );
+        assert!(
+            g.queueing_delay < rigid.jobs[1].queueing_delay,
+            "elastic admission must start the job earlier: {:?} vs {:?}",
+            g.queueing_delay,
+            rigid.jobs[1].queueing_delay
+        );
+        // The resident job is untouched by its neighbour's elasticity.
+        assert_eq!(elastic.jobs[0].rebatches, 0);
+        assert_eq!(elastic.jobs[0].samples_preserved, 128 * 4);
+        // No over-commit at any instant, even through the regrow window.
+        assert!(elastic.per_gpu[0].peak_reserved_bytes <= elastic.per_gpu[0].capacity);
+        assert_eq!(elastic.rebatches, 2);
+    }
+
+    /// With elastic re-batching enabled but no `elastic` jobs in the
+    /// workload, the stats are byte-identical to an elastic-off run: the
+    /// second admission pass never touches rigid jobs.
+    #[test]
+    fn elastic_flag_is_inert_without_elastic_jobs() {
+        let jobs = synthetic_jobs(5, 2, 0.3);
+        let cfg = |elastic: bool| {
+            ClusterConfig::builder()
+                .gpus(2)
+                .elastic(elastic)
+                .build()
+                .unwrap()
+        };
+        let off = Cluster::new(cfg(false)).run(&jobs).to_json();
+        let on = Cluster::new(cfg(true)).run(&jobs).to_json();
+        assert_eq!(off, on);
     }
 }

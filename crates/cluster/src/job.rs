@@ -3,6 +3,8 @@
 use capuchin_models::ModelKind;
 use serde::{Deserialize, Serialize};
 
+use crate::parse::ParseEnumError;
+
 /// The memory policy a job requests for its own execution. Jobs admitted
 /// *shrunk* always run under Capuchin regardless (a plan is what makes
 /// the smaller budget viable).
@@ -15,11 +17,32 @@ pub enum JobPolicy {
 }
 
 impl JobPolicy {
+    /// Accepted [`std::str::FromStr`] spellings, canonical first.
+    pub const ACCEPTED: &'static [&'static str] = &["tf-ori", "capuchin"];
+
     /// CLI/stats name.
     pub fn name(self) -> &'static str {
         match self {
             JobPolicy::TfOri => "tf-ori",
             JobPolicy::Capuchin => "capuchin",
+        }
+    }
+}
+
+impl std::fmt::Display for JobPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for JobPolicy {
+    type Err = ParseEnumError;
+
+    fn from_str(s: &str) -> Result<JobPolicy, ParseEnumError> {
+        match s {
+            "tf-ori" => Ok(JobPolicy::TfOri),
+            "capuchin" => Ok(JobPolicy::Capuchin),
+            other => Err(ParseEnumError::unknown("job policy", other, Self::ACCEPTED)),
         }
     }
 }
@@ -50,6 +73,13 @@ pub struct JobSpec {
     pub priority: u32,
     /// Submission time in seconds on the simulated cluster clock.
     pub arrival_time: f64,
+    /// Whether the cluster may elastically re-batch this job: admit it at
+    /// a reduced batch when the full batch fits nowhere (extending its
+    /// iteration count so total samples trained is preserved) and re-grow
+    /// the batch when headroom frees up. Takes effect only when the
+    /// cluster itself runs with elastic re-batching enabled. Workload
+    /// files written before this field existed parse as `false`.
+    pub elastic: bool,
 }
 
 impl JobSpec {
@@ -58,11 +88,24 @@ impl JobSpec {
     pub fn replica_batch(&self) -> usize {
         self.batch.div_ceil(self.gpus.max(1)).max(1)
     }
+
+    /// The per-replica slice of an elastically reduced global batch `b`.
+    pub fn replica_batch_at(&self, b: usize) -> usize {
+        b.div_ceil(self.gpus.max(1)).max(1)
+    }
+
+    /// Marks the job elastic (builder-style, for workloads written in
+    /// code).
+    pub fn with_elastic(mut self) -> JobSpec {
+        self.elastic = true;
+        self
+    }
 }
 
-// Hand-written so `gpus` defaults to 1: workload files written before
-// gangs existed omit the key and must keep parsing. (The vendored serde
-// derive has no `#[serde(default)]`.)
+// Hand-written so `gpus` defaults to 1 and `elastic` to false: workload
+// files written before gangs (or elastic re-batching) existed omit the
+// keys and must keep parsing byte-identically. (The vendored serde derive
+// has no `#[serde(default)]`.)
 impl serde::Deserialize for JobSpec {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         use serde::de::field;
@@ -78,6 +121,10 @@ impl serde::Deserialize for JobSpec {
             iters: u64::from_value(field(v, "iters")?)?,
             priority: u32::from_value(field(v, "priority")?)?,
             arrival_time: f64::from_value(field(v, "arrival_time")?)?,
+            elastic: match v.get("elastic") {
+                Some(e) => bool::from_value(e)?,
+                None => false,
+            },
         })
     }
 }
@@ -103,6 +150,18 @@ pub enum JobFileError {
         /// GPUs the cluster has.
         cluster: usize,
     },
+    /// An elastic gang's batch floor (`batch × min_batch_fraction`) is
+    /// narrower than the gang itself, which would drive the per-replica
+    /// batch below one sample — the replica clamp would then silently
+    /// train *more* samples than the job asked for.
+    ElasticFloorTooSmall {
+        /// Name of the offending job.
+        job: String,
+        /// The elastic batch floor (`ceil(batch × min_batch_fraction)`).
+        floor: usize,
+        /// Replicas the floor must still cover with ≥ 1 sample each.
+        gpus: usize,
+    },
 }
 
 impl std::fmt::Display for JobFileError {
@@ -117,6 +176,12 @@ impl std::fmt::Display for JobFileError {
                 f,
                 "job `{job}` requests a {gpus}-GPU gang but the cluster has only {cluster} GPUs"
             ),
+            JobFileError::ElasticFloorTooSmall { job, floor, gpus } => write!(
+                f,
+                "elastic job `{job}`: the minimum-batch floor {floor} cannot cover \
+                 {gpus} replicas with at least 1 sample each (raise --min-batch-frac \
+                 or shrink the gang)"
+            ),
         }
     }
 }
@@ -124,17 +189,27 @@ impl std::fmt::Display for JobFileError {
 impl std::error::Error for JobFileError {}
 
 /// Parses a workload file — a JSON array of [`JobSpec`] objects — and
-/// validates every gang against a cluster of `cluster_gpus` devices.
-/// A missing `"gpus"` key means a single-GPU job.
+/// validates every gang against a cluster of `cluster_gpus` devices whose
+/// elastic batch floor is `min_batch_fraction` (pass the cluster's
+/// configured fraction; it only constrains jobs marked `"elastic": true`).
+/// A missing `"gpus"` key means a single-GPU job; a missing `"elastic"`
+/// key means a rigid one, so pre-existing workload files keep parsing
+/// byte-identically.
 ///
 /// # Errors
 ///
 /// [`JobFileError::Parse`] on malformed JSON or a bad job shape,
-/// [`JobFileError::Empty`] on an empty array, and
+/// [`JobFileError::Empty`] on an empty array,
 /// [`JobFileError::ZeroGpus`] / [`JobFileError::GangTooLarge`] for gang
-/// sizes that could never be placed (caught here, at parse time, instead
-/// of surfacing as a late scheduler panic).
-pub fn load_jobs(json: &str, cluster_gpus: usize) -> Result<Vec<JobSpec>, JobFileError> {
+/// sizes that could never be placed, and
+/// [`JobFileError::ElasticFloorTooSmall`] for elastic gangs whose batch
+/// floor would drive the per-replica batch below 1 (all caught here, at
+/// parse time, instead of surfacing as a late scheduler panic).
+pub fn load_jobs(
+    json: &str,
+    cluster_gpus: usize,
+    min_batch_fraction: f64,
+) -> Result<Vec<JobSpec>, JobFileError> {
     let jobs: Vec<JobSpec> =
         serde_json::from_str(json).map_err(|e| JobFileError::Parse(e.to_string()))?;
     if jobs.is_empty() {
@@ -152,6 +227,18 @@ pub fn load_jobs(json: &str, cluster_gpus: usize) -> Result<Vec<JobSpec>, JobFil
                 gpus: job.gpus,
                 cluster: cluster_gpus,
             });
+        }
+        if job.elastic {
+            let floor = *capuchin::elastic_batches(job.batch, min_batch_fraction)
+                .last()
+                .expect("ladder is never empty");
+            if floor < job.gpus {
+                return Err(JobFileError::ElasticFloorTooSmall {
+                    job: job.name.clone(),
+                    floor,
+                    gpus: job.gpus,
+                });
+            }
         }
     }
     Ok(jobs)
@@ -261,6 +348,7 @@ pub fn synthetic_jobs(n: usize, seed: u64, mean_interarrival_secs: f64) -> Vec<J
                 iters: 3 + rng.below(6),
                 priority: rng.below(3) as u32,
                 arrival_time: clock,
+                elastic: false,
             }
         })
         .collect()
@@ -315,14 +403,14 @@ mod tests {
     fn job_files_round_trip() {
         let jobs = synthetic_jobs(4, 7, 1.0);
         let json = serde_json::to_string_pretty(&jobs).unwrap();
-        let back = load_jobs(&json, 4).unwrap();
+        let back = load_jobs(&json, 4, 0.25).unwrap();
         assert_eq!(
             serde_json::to_string(&jobs).unwrap(),
             serde_json::to_string(&back).unwrap()
         );
-        assert_eq!(load_jobs("[]", 4), Err(JobFileError::Empty));
+        assert_eq!(load_jobs("[]", 4, 0.25), Err(JobFileError::Empty));
         assert!(matches!(
-            load_jobs("not json", 4),
+            load_jobs("not json", 4, 0.25),
             Err(JobFileError::Parse(_))
         ));
     }
@@ -335,9 +423,11 @@ mod tests {
             "policy": "Capuchin", "iters": 3, "priority": 0,
             "arrival_time": 0.0
         }]"#;
-        let jobs = load_jobs(json, 2).unwrap();
+        let jobs = load_jobs(json, 2, 0.25).unwrap();
         assert_eq!(jobs[0].gpus, 1);
         assert_eq!(jobs[0].replica_batch(), 64);
+        // ...and no "elastic" key means a rigid job.
+        assert!(!jobs[0].elastic);
     }
 
     #[test]
@@ -350,23 +440,61 @@ mod tests {
             )
         };
         assert_eq!(
-            load_jobs(&gang(0), 4),
+            load_jobs(&gang(0), 4, 0.25),
             Err(JobFileError::ZeroGpus { job: "g".into() })
         );
         assert_eq!(
-            load_jobs(&gang(8), 4),
+            load_jobs(&gang(8), 4, 0.25),
             Err(JobFileError::GangTooLarge {
                 job: "g".into(),
                 gpus: 8,
                 cluster: 4
             })
         );
-        let err = load_jobs(&gang(8), 4).unwrap_err().to_string();
+        let err = load_jobs(&gang(8), 4, 0.25).unwrap_err().to_string();
         assert!(
             err.contains("8-GPU gang") && err.contains("4 GPUs"),
             "{err}"
         );
-        assert_eq!(load_jobs(&gang(4), 4).unwrap()[0].gpus, 4);
+        assert_eq!(load_jobs(&gang(4), 4, 0.25).unwrap()[0].gpus, 4);
+    }
+
+    #[test]
+    fn elastic_jobs_parse_and_bad_floors_are_rejected() {
+        let elastic = |batch: usize, gpus: usize| {
+            format!(
+                r#"[{{"name": "e", "model": "Vgg16", "batch": {batch}, "gpus": {gpus},
+                     "policy": "Capuchin", "iters": 2, "priority": 0,
+                     "arrival_time": 0.0, "elastic": true}}]"#
+            )
+        };
+        let jobs = load_jobs(&elastic(128, 4), 4, 0.25).unwrap();
+        assert!(jobs[0].elastic);
+        assert_eq!(jobs[0].replica_batch_at(32), 8);
+        // floor = ceil(8 × 0.25) = 2 < 4 replicas: caught at parse time.
+        let err = load_jobs(&elastic(8, 4), 4, 0.25).unwrap_err();
+        assert_eq!(
+            err,
+            JobFileError::ElasticFloorTooSmall {
+                job: "e".into(),
+                floor: 2,
+                gpus: 4
+            }
+        );
+        assert!(err.to_string().contains("--min-batch-frac"), "{err}");
+        // The same shape is fine when rigid: the floor never applies.
+        let rigid = elastic(8, 4).replace(r#""elastic": true"#, r#""elastic": false"#);
+        assert!(load_jobs(&rigid, 4, 0.25).is_ok());
+    }
+
+    #[test]
+    fn policy_round_trips_through_fromstr_and_display() {
+        for p in [JobPolicy::TfOri, JobPolicy::Capuchin] {
+            assert_eq!(p.to_string().parse::<JobPolicy>(), Ok(p));
+            assert!(JobPolicy::ACCEPTED.contains(&p.name()));
+        }
+        let err = "keras".parse::<JobPolicy>().unwrap_err();
+        assert!(err.to_string().contains("tf-ori, capuchin"), "{err}");
     }
 
     #[test]

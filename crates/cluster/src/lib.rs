@@ -42,13 +42,30 @@
 //!   evicted whole or not at all) — its replay state is copied to the
 //!   host, its reservations are released, and it resumes later from the
 //!   saved iteration (the cluster-level mirror of
-//!   [`capuchin_executor::Engine::snapshot`]).
+//!   [`capuchin_executor::Engine::snapshot`]). With
+//!   [`ClusterConfig::elastic`] on, a job marked [`JobSpec::elastic`] that
+//!   fits nowhere at its full batch is admitted at a reduced batch
+//!   (bisected down a halving ladder, floored at
+//!   [`ClusterConfig::min_batch_fraction`]) with its iteration count
+//!   extended so total samples trained is preserved exactly, and re-grows
+//!   toward the full batch at completed-iteration boundaries when
+//!   headroom frees up — paying the same checkpoint/restore copy costs
+//!   preemption models.
+//!
+//! Configurations are built with [`ClusterConfig::builder`], which
+//! validates every knob up front ([`ConfigError`]):
 //!
 //! ```
 //! use capuchin_cluster::{synthetic_jobs, Cluster, ClusterConfig};
 //!
+//! let cfg = ClusterConfig::builder()
+//!     .gpus(2)
+//!     .elastic(true)
+//!     .min_batch_fraction(0.25)
+//!     .build()
+//!     .unwrap();
 //! let jobs = synthetic_jobs(3, 1, 0.5);
-//! let stats = Cluster::new(ClusterConfig::default()).run(&jobs);
+//! let stats = Cluster::new(cfg).run(&jobs);
 //! assert_eq!(stats.submitted, 3);
 //! ```
 
@@ -58,14 +75,16 @@
 pub mod admission;
 pub mod cluster;
 pub mod job;
+pub mod parse;
 pub mod stats;
 pub mod strategy;
 
 pub use crate::admission::{
     min_feasible_budget, Admission, AdmissionMode, JobNeeds, ReplayIter, ReplayTransfer,
 };
-pub use crate::cluster::{Cluster, ClusterConfig};
+pub use crate::cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, ConfigError};
 pub use crate::job::{load_jobs, parse_memory, synthetic_jobs, JobFileError, JobPolicy, JobSpec};
+pub use crate::parse::ParseEnumError;
 pub use crate::stats::{ClusterStats, ClusterTransfer, GpuStats, JobOutcome, JobStats};
 pub use crate::strategy::{
     BestFit, CandidateJob, FifoFirstFit, FitsFn, GpuView, PlacementStrategy, StrategyKind,

@@ -1,0 +1,63 @@
+//! Shared parsing vocabulary for the cluster's CLI-facing enums.
+//!
+//! [`AdmissionMode`](crate::AdmissionMode),
+//! [`JobPolicy`](crate::JobPolicy) and
+//! [`StrategyKind`](crate::StrategyKind) all implement
+//! [`std::str::FromStr`] with this error type, so every "unknown value"
+//! message is rendered in one place and always lists the accepted
+//! spellings — the CLI never hand-rolls an accepted-values list again.
+
+/// A CLI-facing enum failed to parse: the input did not match any
+/// accepted spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEnumError {
+    /// What was being parsed (`"admission mode"`, `"job policy"`,
+    /// `"placement strategy"`).
+    pub what: &'static str,
+    /// The rejected input.
+    pub given: String,
+    /// Every accepted spelling, canonical first.
+    pub accepted: &'static [&'static str],
+}
+
+impl ParseEnumError {
+    /// Creates the error for an unknown `given` value.
+    pub fn unknown(
+        what: &'static str,
+        given: &str,
+        accepted: &'static [&'static str],
+    ) -> ParseEnumError {
+        ParseEnumError {
+            what,
+            given: given.to_owned(),
+            accepted,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseEnumError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown {} `{}` (expected one of: {})",
+            self.what,
+            self.given,
+            self.accepted.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseEnumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_lists_every_accepted_spelling() {
+        let err = ParseEnumError::unknown("admission mode", "bogus", &["tf-ori", "capuchin"]);
+        let msg = err.to_string();
+        assert!(msg.contains("`bogus`"), "{msg}");
+        assert!(msg.contains("tf-ori, capuchin"), "{msg}");
+    }
+}

@@ -130,6 +130,17 @@ pub struct JobStats {
     /// interconnect (swap-replay and checkpoint queueing; zero with the
     /// interconnect model off).
     pub comm_delay: Duration,
+    /// Elastic batch changes (shrinks at admission plus every mid-run
+    /// shrink or re-grow). Zero for rigid jobs and with elastic
+    /// re-batching off.
+    pub rebatches: u64,
+    /// Wall time the job spent training below its requested batch size.
+    pub elastic_time_at_reduced_batch: Duration,
+    /// Training samples actually processed. For every completed job —
+    /// elastic or not — this equals `batch × iters` from the spec: elastic
+    /// re-batching extends the iteration count so total samples trained is
+    /// preserved exactly.
+    pub samples_preserved: u64,
 }
 
 /// Per-GPU accounting.
@@ -168,6 +179,9 @@ pub struct ClusterStats {
     pub midrun_oom_aborts: usize,
     /// Total checkpoint-preemptions across all jobs.
     pub preemptions: usize,
+    /// Total elastic batch changes across all jobs (see
+    /// [`JobStats::rebatches`]).
+    pub rebatches: usize,
     /// First arrival → last completion.
     pub makespan: Duration,
     /// Total training samples processed divided by the makespan.
@@ -209,6 +223,7 @@ mod tests {
             oom_rejections: 0,
             midrun_oom_aborts: 0,
             preemptions: 0,
+            rebatches: 2,
             makespan: Duration::from_millis(12),
             aggregate_samples_per_sec: 1234.5,
             mean_queueing_delay: Duration::from_micros(3),
@@ -248,6 +263,9 @@ mod tests {
                 checkpoint_overhead: Duration::from_micros(700),
                 allreduce_time: Duration::ZERO,
                 comm_delay: Duration::from_micros(40),
+                rebatches: 2,
+                elastic_time_at_reduced_batch: Duration::from_millis(6),
+                samples_preserved: 32 * 3,
             }],
         };
         let a = stats.to_json();

@@ -199,18 +199,16 @@ pub enum StrategyKind {
 }
 
 impl StrategyKind {
-    /// Parses a CLI name.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message listing the accepted names.
-    pub fn parse(s: &str) -> Result<StrategyKind, String> {
-        match s {
-            "fifo" | "fifo-first-fit" => Ok(StrategyKind::FifoFirstFit),
-            "best-fit" | "bestfit" => Ok(StrategyKind::BestFit),
-            other => Err(format!(
-                "unknown strategy `{other}` (expected fifo or best-fit)"
-            )),
+    /// Accepted [`std::str::FromStr`] spellings, canonical first.
+    pub const ACCEPTED: &'static [&'static str] =
+        &["fifo", "best-fit", "fifo-first-fit", "bestfit"];
+
+    /// CLI/stats name (matches the built strategy's
+    /// [`PlacementStrategy::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::FifoFirstFit => "fifo-first-fit",
+            StrategyKind::BestFit => "best-fit",
         }
     }
 
@@ -219,6 +217,28 @@ impl StrategyKind {
         match self {
             StrategyKind::FifoFirstFit => Box::new(FifoFirstFit),
             StrategyKind::BestFit => Box::new(BestFit { aging_rate }),
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = crate::parse::ParseEnumError;
+
+    fn from_str(s: &str) -> Result<StrategyKind, crate::parse::ParseEnumError> {
+        match s {
+            "fifo" | "fifo-first-fit" => Ok(StrategyKind::FifoFirstFit),
+            "best-fit" | "bestfit" => Ok(StrategyKind::BestFit),
+            other => Err(crate::parse::ParseEnumError::unknown(
+                "placement strategy",
+                other,
+                Self::ACCEPTED,
+            )),
         }
     }
 }
@@ -326,6 +346,18 @@ mod tests {
             BestFit::default().pick(&pending, &split, Time::ZERO, &headroom_fits),
             Some((0, vec![1, 0]))
         );
+    }
+
+    #[test]
+    fn strategy_kind_round_trips_through_fromstr_and_display() {
+        for k in [StrategyKind::FifoFirstFit, StrategyKind::BestFit] {
+            assert_eq!(k.to_string().parse::<StrategyKind>(), Ok(k));
+            assert_eq!(k.build(0.1).name(), k.name());
+        }
+        assert_eq!("fifo".parse(), Ok(StrategyKind::FifoFirstFit));
+        assert_eq!("bestfit".parse(), Ok(StrategyKind::BestFit));
+        let err = "random".parse::<StrategyKind>().unwrap_err();
+        assert!(err.to_string().contains("fifo, best-fit"), "{err}");
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn jobs_from(picks: Vec<(usize, u64, u32, u64, usize)>) -> Vec<JobSpec> {
                 iters: 2 + iters,
                 priority,
                 arrival_time: slot as f64 * 0.05,
+                elastic: false,
             }
         })
         .collect()
@@ -63,19 +64,21 @@ proptest! {
         shared_fabric in prop_oneof![Just(true), Just(false)],
     ) {
         let jobs = jobs_from(picks);
-        let cfg = |ic: Option<InterconnectSpec>| ClusterConfig {
-            gpus,
-            spec: DeviceSpec::p100_pcie3().with_memory(3 << 29), // 1.5 GiB
-            admission: AdmissionMode::TfOri,
-            strategy: if fifo {
-                StrategyKind::FifoFirstFit
-            } else {
-                StrategyKind::BestFit
-            },
-            aging_rate: 0.1,
-            validate_iters: 3,
-            preemption: false,
-            interconnect: ic,
+        let cfg = |ic: Option<InterconnectSpec>| {
+            ClusterConfig::builder()
+                .gpus(gpus)
+                .spec(DeviceSpec::p100_pcie3().with_memory(3 << 29)) // 1.5 GiB
+                .admission(AdmissionMode::TfOri)
+                .strategy(if fifo {
+                    StrategyKind::FifoFirstFit
+                } else {
+                    StrategyKind::BestFit
+                })
+                .aging_rate(0.1)
+                .validate_iters(3)
+                .interconnect(ic)
+                .build()
+                .expect("valid config")
         };
         let fabric = shared_fabric.then(InterconnectSpec::pcie_shared);
         let a = Cluster::new(cfg(fabric.clone())).run(&jobs);
@@ -130,19 +133,21 @@ proptest! {
         fifo in prop_oneof![Just(true), Just(false)],
     ) {
         let jobs = jobs_from(picks);
-        let cfg = |ic: Option<InterconnectSpec>| ClusterConfig {
-            gpus: 2,
-            spec: DeviceSpec::p100_pcie3().with_memory(3 << 29),
-            admission: AdmissionMode::TfOri,
-            strategy: if fifo {
-                StrategyKind::FifoFirstFit
-            } else {
-                StrategyKind::BestFit
-            },
-            aging_rate: 0.1,
-            validate_iters: 3,
-            preemption: false,
-            interconnect: ic,
+        let cfg = |ic: Option<InterconnectSpec>| {
+            ClusterConfig::builder()
+                .gpus(2)
+                .spec(DeviceSpec::p100_pcie3().with_memory(3 << 29))
+                .admission(AdmissionMode::TfOri)
+                .strategy(if fifo {
+                    StrategyKind::FifoFirstFit
+                } else {
+                    StrategyKind::BestFit
+                })
+                .aging_rate(0.1)
+                .validate_iters(3)
+                .interconnect(ic)
+                .build()
+                .expect("valid config")
         };
         let off = Cluster::new(cfg(None)).run(&jobs);
         let free = Cluster::new(cfg(Some(InterconnectSpec::unconstrained()))).run(&jobs);

@@ -43,6 +43,7 @@ fn jobs_from(picks: Vec<(usize, u64, u32, u64)>) -> Vec<JobSpec> {
                 iters: 1 + iters,
                 priority,
                 arrival_time: slot as f64 * 0.07,
+                elastic: false,
             }
         })
         .collect()
@@ -61,15 +62,17 @@ proptest! {
         capacity_gib_halves in 2u64..4, // 1.0, 1.5 GiB
     ) {
         let jobs = jobs_from(picks);
-        let cfg = |preemption: bool| ClusterConfig {
-            gpus,
-            spec: DeviceSpec::p100_pcie3().with_memory(capacity_gib_halves << 29),
-            admission: AdmissionMode::TfOri,
-            strategy: StrategyKind::BestFit,
-            aging_rate: 1.0, // waiting high-priority jobs overtake quickly
-            validate_iters: 3,
-            preemption,
-            interconnect: None,
+        let cfg = |preemption: bool| {
+            ClusterConfig::builder()
+                .gpus(gpus)
+                .spec(DeviceSpec::p100_pcie3().with_memory(capacity_gib_halves << 29))
+                .admission(AdmissionMode::TfOri)
+                .strategy(StrategyKind::BestFit)
+                .aging_rate(1.0) // waiting high-priority jobs overtake quickly
+                .validate_iters(3)
+                .preemption(preemption)
+                .build()
+                .expect("valid config")
         };
         let on = Cluster::new(cfg(true)).run(&jobs);
         let on_again = Cluster::new(cfg(true)).run(&jobs);

@@ -43,6 +43,7 @@ fn jobs_from(picks: Vec<(usize, u64, u32, u64, bool)>) -> Vec<JobSpec> {
                 iters: 1 + iters,
                 priority,
                 arrival_time: slot as f64 * 0.05,
+                elastic: false,
             }
         })
         .collect()
@@ -63,23 +64,24 @@ proptest! {
         capuchin_admission in prop_oneof![Just(true), Just(false)],
     ) {
         let jobs = jobs_from(picks);
-        let cfg = || ClusterConfig {
-            gpus,
-            spec: DeviceSpec::p100_pcie3().with_memory(capacity_gib_halves << 29),
-            admission: if capuchin_admission {
-                AdmissionMode::Capuchin
-            } else {
-                AdmissionMode::TfOri
-            },
-            strategy: if fifo {
-                StrategyKind::FifoFirstFit
-            } else {
-                StrategyKind::BestFit
-            },
-            aging_rate: 0.1,
-            validate_iters: 3,
-            preemption: false,
-            interconnect: None,
+        let cfg = || {
+            ClusterConfig::builder()
+                .gpus(gpus)
+                .spec(DeviceSpec::p100_pcie3().with_memory(capacity_gib_halves << 29))
+                .admission(if capuchin_admission {
+                    AdmissionMode::Capuchin
+                } else {
+                    AdmissionMode::TfOri
+                })
+                .strategy(if fifo {
+                    StrategyKind::FifoFirstFit
+                } else {
+                    StrategyKind::BestFit
+                })
+                .aging_rate(0.1)
+                .validate_iters(3)
+                .build()
+                .expect("valid config")
         };
         let a = Cluster::new(cfg()).run(&jobs);
         let b = Cluster::new(cfg()).run(&jobs);

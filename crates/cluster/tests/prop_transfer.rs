@@ -43,17 +43,18 @@ fn jobs_from(picks: Vec<(usize, u64, u64, usize)>) -> Vec<JobSpec> {
                 iters: 2 + iters,
                 priority: 0,
                 arrival_time: slot as f64 * 0.1,
+                elastic: false,
             }
         })
         .collect()
 }
 
 fn cfg(gpus: usize, ic: Option<InterconnectSpec>) -> ClusterConfig {
-    ClusterConfig {
-        gpus,
-        interconnect: ic,
-        ..ClusterConfig::default()
-    }
+    ClusterConfig::builder()
+        .gpus(gpus)
+        .interconnect(ic)
+        .build()
+        .expect("valid config")
 }
 
 /// Sums traced bytes / counts / charges per lane name.

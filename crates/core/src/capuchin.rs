@@ -348,9 +348,16 @@ impl MemoryPolicy for Capuchin {
     }
 
     fn on_iteration_start(&mut self, _engine: &mut Engine<'_>, iter: u64) {
+        // A policy that has never measured but starts past the measure
+        // iteration was restored across a batch change
+        // (`Engine::restore_rebatched` drops the old-batch plan): measure
+        // at the first iteration it sees, or guided mode would run an
+        // empty plan forever.
+        let measure_now = iter == self.cfg.measure_iteration
+            || (iter > self.cfg.measure_iteration && self.planned_at_iter.is_none());
         self.mode = Some(if iter < self.cfg.measure_iteration {
             Mode::Passive
-        } else if iter == self.cfg.measure_iteration {
+        } else if measure_now {
             self.profile.clear();
             Mode::Measuring
         } else {

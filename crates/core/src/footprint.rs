@@ -98,6 +98,59 @@ pub fn measure_footprint(graph: &Graph, spec: &DeviceSpec) -> Result<FootprintEs
     })
 }
 
+/// Candidate batches for elastic re-batching, descending: the full batch,
+/// then successive halvings, floored at `ceil(batch × min_fraction)` (the
+/// floor itself is always the last candidate). Quantizing to a halving
+/// ladder keeps the number of distinct footprint measurements per job
+/// bounded at `log2(1/min_fraction) + 1` instead of one per integer batch.
+///
+/// `min_fraction` outside `(0, 1]` is clamped into range; a fraction of
+/// `1.0` yields only the full batch (re-batching disabled for the job).
+pub fn elastic_batches(batch: usize, min_fraction: f64) -> Vec<usize> {
+    let batch = batch.max(1);
+    let fraction = if min_fraction.is_finite() {
+        min_fraction.clamp(f64::MIN_POSITIVE, 1.0)
+    } else {
+        1.0
+    };
+    let floor = ((batch as f64 * fraction).ceil() as usize).clamp(1, batch);
+    let mut ladder = vec![batch];
+    let mut b = batch / 2;
+    while b > floor {
+        ladder.push(b);
+        b /= 2;
+    }
+    if *ladder.last().expect("ladder starts with batch") > floor {
+        ladder.push(floor);
+    }
+    ladder
+}
+
+/// Bisects the largest candidate batch for which `fits` holds, assuming
+/// the predicate is monotone (a batch that fits implies every smaller
+/// candidate fits — footprints grow with batch). `candidates` must be
+/// sorted descending, as [`elastic_batches`] produces them. Probes
+/// `O(log n)` candidates, which matters because each probe is a measured
+/// engine run at that batch.
+pub fn bisect_batch(candidates: &[usize], mut fits: impl FnMut(usize) -> bool) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    // Invariant: everything before `lo` is known not to fit; everything
+    // from `hi` on is unknown-or-fitting only once proven. Find the first
+    // (largest) fitting index by bisection on the monotone boundary.
+    let (mut lo, mut hi) = (0usize, candidates.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fits(candidates[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    candidates.get(lo).copied()
+}
+
 /// Asks the Policy Maker whether `budget` bytes suffice for the measured
 /// job, and at what predicted overhead.
 pub fn shrink_feasibility(est: &FootprintEstimate, budget: u64, cfg: &PlannerConfig) -> ShrinkPlan {
@@ -159,6 +212,37 @@ mod tests {
         let fit = shrink_feasibility(&est, est.ideal_peak, &PlannerConfig::default());
         assert!(fit.feasible);
         assert!(fit.plan.is_empty());
+    }
+
+    #[test]
+    fn elastic_ladder_halves_down_to_the_floor() {
+        assert_eq!(elastic_batches(256, 0.25), vec![256, 128, 64]);
+        assert_eq!(elastic_batches(256, 0.20), vec![256, 128, 64, 52]);
+        assert_eq!(elastic_batches(48, 0.25), vec![48, 24, 12]);
+        // A fraction of 1.0 disables shrinking.
+        assert_eq!(elastic_batches(64, 1.0), vec![64]);
+        // The floor never drops below 1 and the ladder never goes above
+        // the batch, whatever the fraction.
+        assert_eq!(elastic_batches(3, 0.01), vec![3, 1]);
+        assert_eq!(elastic_batches(1, 0.5), vec![1]);
+        assert_eq!(elastic_batches(8, f64::NAN), vec![8]);
+    }
+
+    #[test]
+    fn bisect_batch_finds_largest_fitting_candidate() {
+        let ladder = [256usize, 128, 64, 52];
+        assert_eq!(bisect_batch(&ladder, |b| b <= 300), Some(256));
+        assert_eq!(bisect_batch(&ladder, |b| b <= 128), Some(128));
+        assert_eq!(bisect_batch(&ladder, |b| b <= 60), Some(52));
+        assert_eq!(bisect_batch(&ladder, |_| false), None);
+        assert_eq!(bisect_batch(&[], |_| true), None);
+        // Probe count stays logarithmic: each probe is an engine run.
+        let mut probes = 0;
+        bisect_batch(&ladder, |b| {
+            probes += 1;
+            b <= 64
+        });
+        assert!(probes <= 3, "{probes} probes for 4 candidates");
     }
 
     #[test]

@@ -39,7 +39,10 @@ mod plan;
 mod planner;
 
 pub use crate::capuchin::{Capuchin, CapuchinConfig, CapuchinSnapshot};
-pub use crate::footprint::{measure_footprint, shrink_feasibility, FootprintEstimate, ShrinkPlan};
+pub use crate::footprint::{
+    bisect_batch, elastic_batches, measure_footprint, shrink_feasibility, FootprintEstimate,
+    ShrinkPlan,
+};
 pub use crate::measure::{MeasuredAccess, MeasuredProfile, TensorInfo};
 pub use crate::plan::{EvictMethod, Plan, SwapEntry};
 pub use crate::planner::{make_plan, PlannerConfig};

@@ -65,6 +65,57 @@ fn tf_ori_resume_matches_uninterrupted_run() {
     straight_vs_resumed(4 << 30, || Box::new(TfOri::new()));
 }
 
+/// The engine half of elastic re-batching: a checkpoint taken at one
+/// batch size restores into a fresh engine built at a *different* batch —
+/// only the iteration cursor survives; the policy deliberately starts
+/// fresh (the old profile and plan describe the old batch's tensors) and
+/// re-measures at the new shape. The resumed iterations must therefore
+/// behave exactly like a fresh run at the new batch, just numbered from
+/// the saved cursor.
+#[test]
+fn rebatched_restore_resumes_cursor_and_replans_at_new_batch() {
+    let small = ModelKind::ResNet50.build(16);
+    let big = ModelKind::ResNet50.build(32);
+    // Tight enough that the grown batch (ideal peak ≈ 2.5 GiB) cannot run
+    // unplanned: the resumed engine must actually re-measure and re-plan.
+    let cfg = EngineConfig {
+        spec: DeviceSpec::p100_pcie3().with_memory(2 << 30),
+        ..EngineConfig::default()
+    };
+
+    let mut first = Engine::new(&small.graph, cfg.clone(), Box::new(Capuchin::new()));
+    first.run(3).expect("first half fits");
+    let checkpoint = first.snapshot();
+    drop(first);
+
+    let mut regrown = Engine::new(&big.graph, cfg.clone(), Box::new(Capuchin::new()));
+    regrown
+        .restore_rebatched(checkpoint)
+        .expect("weights fit at the new batch");
+    let resumed = regrown.run(3).expect("resumed half fits");
+
+    // The cursor continued where the old batch stopped — and the first
+    // resumed iteration re-ran measured execution at the new shape.
+    let numbers: Vec<u64> = resumed.iters.iter().map(|it| it.iter).collect();
+    assert_eq!(numbers, vec![3, 4, 5]);
+
+    // The guided iterations match a fresh engine at the new batch, wall
+    // for wall: the re-measured plan is the plan a fresh run derives.
+    let mut fresh = Engine::new(&big.graph, cfg, Box::new(Capuchin::new()));
+    let baseline = fresh.run(4).expect("fresh run fits");
+    let strip = |stats: &[IterStats]| {
+        fingerprint(stats)
+            .iter()
+            .map(|f| (f.1, f.2, f.3, f.4, f.5))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        strip(&resumed.iters[1..]),
+        strip(&baseline.iters[2..4]),
+        "rebatched guided iterations diverged from a fresh run at the new batch"
+    );
+}
+
 #[test]
 fn restore_into_used_engine_panics() {
     let model = ModelKind::ResNet50.build(4);

@@ -579,11 +579,50 @@ impl<'g> Engine<'g> {
         );
         if let Some(ps) = snapshot.policy {
             if let Some(policy) = self.policy.as_mut() {
-                let accepted = policy.restore(ps);
-                debug_assert!(accepted, "policy rejected its own snapshot");
+                // A policy may reject a snapshot that does not describe
+                // this graph (e.g. a checkpoint taken at another batch
+                // size); it then starts fresh and re-plans, which is
+                // correct — just slower for the first iterations.
+                let _replanning = !policy.restore(ps);
             }
         }
-        self.iter_next = snapshot.next_iteration;
+        self.restore_cursor(snapshot.next_iteration)
+    }
+
+    /// Restores only the *iteration cursor* from a checkpoint taken at a
+    /// **different batch size**, deliberately discarding the saved policy
+    /// state: the old profile and swap/recompute plan describe tensors of
+    /// the old batch's graph, so replaying them against this graph would
+    /// be nonsense. The policy instead re-measures and re-plans at the new
+    /// shape on the first resumed iterations (paper §4.2's measured
+    /// execution, run once more at the new batch). This is the engine half
+    /// of elastic re-batching: the cluster checkpoints a job at an
+    /// iteration boundary, rebuilds it at a grown (or shrunk) batch, and
+    /// resumes from the saved cursor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Oom`] if the weights alone do not fit the
+    /// device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this engine has already executed an iteration — restore
+    /// targets a fresh engine, not a mid-run one.
+    pub fn restore_rebatched(&mut self, snapshot: EngineSnapshot) -> Result<(), ExecError> {
+        // `snapshot.policy` is intentionally dropped: it belongs to the
+        // old batch's graph.
+        self.restore_cursor(snapshot.next_iteration)
+    }
+
+    /// Shared tail of [`Engine::restore`]/[`Engine::restore_rebatched`]:
+    /// advances the iteration cursor and re-materializes the weights.
+    fn restore_cursor(&mut self, next_iteration: u64) -> Result<(), ExecError> {
+        assert_eq!(
+            self.iter_next, 0,
+            "EngineSnapshot must be restored into a fresh engine"
+        );
+        self.iter_next = next_iteration;
         self.remaining_uses = self
             .graph
             .values()

@@ -26,4 +26,7 @@ cargo run --release -q -p capuchin-bench --bin cluster_gang -- --smoke --interco
 echo "==> smoke: trace_export round-trip (emitted Chrome trace must parse)"
 cargo run --release -q -p capuchin-bench --bin trace_export -- --smoke
 
+echo "==> smoke: cluster_elastic shrink-then-regrow cycle"
+cargo run --release -q -p capuchin-bench --bin cluster_elastic -- --smoke
+
 echo "==> all checks passed"
