@@ -1,0 +1,206 @@
+//! Serve smoke — the daemon's end-to-end contract, over a real TCP
+//! socket: a mixed workload submitted on the wire, one job's lifecycle
+//! stream consumed by a deliberately throttled subscriber (so the
+//! bounded queue's coalesced `dropped` markers are exercised), a
+//! graceful `drain`, and final stats that must be **byte-identical** to
+//! `Cluster::run` on the same config + submission sequence. Also
+//! bump-checks both schema versions: every wire line must carry
+//! `capuchin_serve::WIRE_SCHEMA_VERSION` and the stats payload
+//! `capuchin_cluster::STATS_SCHEMA_VERSION`.
+//!
+//! By default the daemon is spawned in-process on an ephemeral port
+//! (still real TCP). `--connect <addr>` drives an externally started
+//! daemon instead — it must run with `--clock virtual --gpus 2
+//! --admission tf-ori --elastic on` so the locally computed batch
+//! baseline matches. `--smoke` is accepted for check.sh symmetry and
+//! changes nothing: this exhibit *is* the smoke.
+
+use capuchin_bench::{cluster_job as job, write_artifact};
+use capuchin_cluster::{AdmissionMode, Cluster, ClusterConfig, JobSpec, STATS_SCHEMA_VERSION};
+use capuchin_models::ModelKind;
+use capuchin_serve::client::{request, Client};
+use capuchin_serve::{serve, ClockMode, ServeConfig, WIRE_SCHEMA_VERSION};
+use serde::{Serialize, Value};
+
+/// The mixed workload: two cheap residents, a two-GPU gang, an elastic
+/// full-device job, and a many-iteration job whose per-iteration events
+/// swamp the throttled subscriber's 4-slot queue.
+fn workload() -> Vec<JobSpec> {
+    use capuchin_cluster::JobPolicy::TfOri;
+    use ModelKind::Vgg16;
+    vec![
+        job("res0", Vgg16, 64, 1, TfOri, 3, 0, 0.0),
+        job("busy", Vgg16, 32, 1, TfOri, 24, 0, 0.05),
+        job("gang", Vgg16, 64, 2, TfOri, 3, 0, 0.10),
+        job("big", Vgg16, 256, 1, TfOri, 4, 0, 0.15).with_elastic(),
+    ]
+}
+
+/// Index of the subscribed job in [`workload`] (= its submission id).
+const BUSY: u64 = 1;
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig::builder()
+        .gpus(2)
+        .admission(AdmissionMode::TfOri)
+        .elastic(true)
+        .build()
+        .expect("valid config")
+}
+
+#[derive(Serialize)]
+struct Summary {
+    wire_schema: u32,
+    stats_schema: u32,
+    jobs_submitted: usize,
+    completed: u64,
+    stream_lines: usize,
+    dropped_total: u64,
+    stats_bytes: usize,
+}
+
+fn check_wire_version(line: &Value) {
+    assert_eq!(
+        line.get("schema_version").and_then(Value::as_u64),
+        Some(u64::from(WIRE_SCHEMA_VERSION)),
+        "wire schema drift: {line:?}"
+    );
+}
+
+fn ok(reply: &Value) -> &Value {
+    assert_eq!(
+        reply.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request failed: {reply:?}"
+    );
+    check_wire_version(reply);
+    reply
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let connect = args
+        .iter()
+        .position(|a| a == "--connect")
+        .map(|i| args.get(i + 1).expect("--connect needs an address").clone());
+
+    // The baseline the daemon must reproduce byte-for-byte.
+    let specs = workload();
+    let expected = Cluster::new(cfg()).run(&specs).to_json();
+
+    // In-process daemon on an ephemeral port unless --connect was given.
+    let (addr, handle) = match &connect {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let handle = serve(ServeConfig {
+                cluster: cfg(),
+                clock: ClockMode::Virtual,
+                addr: "127.0.0.1:0".into(),
+            })
+            .expect("bind ephemeral port");
+            (handle.addr().to_string(), Some(handle))
+        }
+    };
+
+    let mut control = Client::connect(&*addr).expect("connect control");
+    for (i, spec) in specs.iter().enumerate() {
+        let reply = control
+            .request(&request(
+                "submit",
+                vec![("spec".to_owned(), spec.to_value())],
+            ))
+            .expect("submit");
+        assert_eq!(
+            ok(&reply).get("job").and_then(Value::as_u64),
+            Some(i as u64),
+            "submission ids are the submission order"
+        );
+    }
+
+    // Throttled subscriber: a 4-line queue drained at ≥2 ms per line
+    // cannot keep up with a drain that retires dozens of events at
+    // simulation speed — the daemon must drop-and-coalesce, never stall.
+    let mut sub = Client::connect(&*addr).expect("connect subscriber");
+    let reply = sub
+        .request(&request(
+            "subscribe",
+            vec![
+                ("job".to_owned(), Value::UInt(BUSY)),
+                ("queue".to_owned(), Value::UInt(4)),
+                ("pace_us".to_owned(), Value::UInt(2000)),
+            ],
+        ))
+        .expect("subscribe");
+    ok(&reply);
+
+    let drained = control.request(&request("drain", vec![])).expect("drain");
+    let stats = ok(&drained)
+        .get("stats")
+        .expect("drain reply carries stats");
+    assert_eq!(
+        stats.get("schema_version").and_then(Value::as_u64),
+        Some(u64::from(STATS_SCHEMA_VERSION)),
+        "stats schema drift"
+    );
+    let rendered = serde_json::to_string_pretty(stats).expect("render stats");
+    assert_eq!(
+        rendered, expected,
+        "daemon stats differ from the batch run on the same submission sequence"
+    );
+    let completed = stats
+        .get("completed")
+        .and_then(Value::as_u64)
+        .expect("completed count");
+    assert_eq!(completed, specs.len() as u64, "all jobs complete");
+
+    ok(&control
+        .request(&request("shutdown", vec![]))
+        .expect("shutdown"));
+
+    // Drain the subscriber stream to EOF: only the busy job's events,
+    // plus at least one coalesced backpressure marker.
+    let mut stream_lines = 0usize;
+    let mut dropped_total = 0u64;
+    while let Some(line) = sub.recv().expect("stream") {
+        check_wire_version(&line);
+        stream_lines += 1;
+        match line.get("stream").and_then(Value::as_str) {
+            Some("dropped") => {
+                dropped_total += line
+                    .get("dropped")
+                    .and_then(Value::as_u64)
+                    .expect("dropped count");
+            }
+            Some("event") => {
+                assert_eq!(line.get("job").and_then(Value::as_u64), Some(BUSY));
+            }
+            other => panic!("unexpected stream tag {other:?} in {line:?}"),
+        }
+    }
+    assert!(
+        dropped_total > 0,
+        "throttled subscriber saw no backpressure marker over {stream_lines} lines"
+    );
+
+    if let Some(handle) = handle {
+        handle.wait();
+    }
+
+    let summary = Summary {
+        wire_schema: WIRE_SCHEMA_VERSION,
+        stats_schema: STATS_SCHEMA_VERSION,
+        jobs_submitted: specs.len(),
+        completed,
+        stream_lines,
+        dropped_total,
+        stats_bytes: rendered.len(),
+    };
+    println!(
+        "serve smoke OK: {} jobs over TCP, {} stream line(s), {} dropped \
+         (coalesced), stats byte-identical to the batch run ({} bytes)",
+        summary.jobs_submitted, summary.stream_lines, summary.dropped_total, summary.stats_bytes,
+    );
+    if connect.is_none() {
+        write_artifact("serve_smoke", &summary);
+    }
+}

@@ -8,6 +8,7 @@
 //! capuchin-cli max-batch --model resnet50 --policy capuchin
 //! capuchin-cli plan --model resnet50 --batch 300
 //! capuchin-cli cluster --gpus 4 --synthetic 16 --seed 1
+//! capuchin-cli serve --addr 127.0.0.1:7070 --clock virtual --gpus 4
 //! ```
 
 use std::collections::HashMap;
@@ -38,6 +39,11 @@ USAGE:
                            [--preemption on|off] [--interconnect off|pcie|peer<k>]
                            [--elastic on|off] [--min-batch-frac <f>]
                            [--out <file>] [--transfer-trace <file>]
+    capuchin-cli serve     [--addr <host:port>] [--clock virtual|wall]
+                           [--gpus <n>] [--memory ...] [--admission ...]
+                           [--strategy ...] [--aging-rate <r>]
+                           [--preemption on|off] [--interconnect ...]
+                           [--elastic on|off] [--min-batch-frac <f>]
 
 MODELS:    vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
 POLICIES:  tf-ori vdnn openai-memory openai-speed lru capuchin (default)
@@ -56,6 +62,12 @@ CLUSTER:   schedules a multi-job workload over N simulated GPUs and prints
            --min-batch-frac of the requested batch, default 0.25) and
            re-grow when headroom frees; total samples trained per job is
            preserved exactly
+SERVE:     runs the same scheduler as a long-lived daemon speaking
+           line-delimited JSON over TCP (submit/cancel/status/stats/
+           subscribe/drain/shutdown). --addr defaults to 127.0.0.1:7070
+           (port 0 = ephemeral, printed on the `listening on` line);
+           --clock virtual (default) keeps runs byte-reproducible,
+           --clock wall paces the event clock against real time.
 ";
 
 fn fail(msg: &str) -> ! {
@@ -521,6 +533,15 @@ fn cmd_cluster(args: &Args) {
     }
 }
 
+fn cmd_serve(args: &Args) {
+    let cfg = capuchin_serve::ServeConfig::from_flags(&args.flags)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let clock = cfg.clock;
+    let handle = capuchin_serve::serve(cfg).unwrap_or_else(|e| fail(&format!("cannot bind: {e}")));
+    println!("listening on {} (clock {})", handle.addr(), clock.name());
+    handle.wait();
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -529,6 +550,7 @@ fn main() {
         Some("max-batch") => cmd_max_batch(&Args::parse(&argv[1..])),
         Some("plan") => cmd_plan(&Args::parse(&argv[1..])),
         Some("cluster") => cmd_cluster(&Args::parse(&argv[1..])),
+        Some("serve") => cmd_serve(&Args::parse(&argv[1..])),
         Some("--help") | Some("-h") | None => println!("{USAGE}"),
         Some(other) => fail(&format!("unknown command `{other}`")),
     }

@@ -73,7 +73,12 @@
 //!
 //! # Determinism and gang atomicity
 //!
-//! Events are ordered by `(time, submission sequence)`; all caches are
+//! Events are ordered by `(time, class, submission sequence)` — the
+//! class ranks arrivals ahead of scheduled events at the same instant,
+//! which makes the ordering independent of *when* a job was submitted:
+//! the online API ([`Cluster::submit`]) interleaves a late submission
+//! exactly where the batch loop (which pushes every arrival before any
+//! scheduled event exists) would have processed it. All caches are
 //! `BTreeMap`s; the waiting queue is a plain `Vec` in queue-entry order
 //! (arrival, or checkpoint completion for preempted jobs). Re-pricing and
 //! preemption supersede scheduled iteration ends via a per-job epoch
@@ -95,7 +100,10 @@ use capuchin_sim::{CopyDir, DeviceSpec, Duration, Interconnect, InterconnectSpec
 
 use crate::admission::{Admission, AdmissionMode, JobNeeds, ReplayIter};
 use crate::job::JobSpec;
-use crate::stats::{ClusterStats, ClusterTransfer, GpuStats, JobOutcome, JobStats};
+use crate::stats::{
+    ClusterStats, ClusterTransfer, GpuStats, JobEvent, JobEventKind, JobOutcome, JobState,
+    JobStats, JobStatus, STATS_SCHEMA_VERSION,
+};
 use crate::strategy::{CandidateJob, GpuView, StrategyKind};
 
 /// Cluster shape and scheduling knobs.
@@ -362,6 +370,10 @@ struct JobRun {
     /// Replay became impossible mid-run (empty replay trace): the job was
     /// evicted and counted as a mid-run abort.
     aborted: bool,
+    /// Cancelled through the online API ([`Cluster::cancel`]). Events
+    /// already in the heap are dead: the arrival by this flag, scheduled
+    /// events by the epoch bump taken at cancel time.
+    cancelled: bool,
     /// GPUs currently held — the whole gang, in placement order. Kept
     /// after completion for stats; cleared on preemption and abort.
     /// Always empty or exactly `spec.gpus` long: grants are atomic.
@@ -446,6 +458,7 @@ impl JobRun {
             failed: BTreeMap::new(),
             rejected: false,
             aborted: false,
+            cancelled: false,
             gpus_held: Vec::new(),
             reserved: 0,
             shrunk: false,
@@ -560,11 +573,23 @@ const EV_COMM: u8 = 4;
 /// replay takes effect and the job iterates at the new batch.
 const EV_REGROW: u8 = 5;
 
-/// Event queue entry: `(time ns, sequence, kind, job, epoch)` under
-/// `Reverse` for min-heap order. The sequence number breaks time ties
-/// deterministically; the epoch invalidates events superseded by
-/// re-pricing or preemption.
-type Event = Reverse<(u64, u64, u8, usize, u64)>;
+/// Event queue entry: `(time ns, class, sequence, kind, job, epoch)`
+/// under `Reverse` for min-heap order. The class ranks arrivals (0)
+/// ahead of scheduled events (1) at the same instant, so an online
+/// [`Cluster::submit`] — whose arrival necessarily draws a later
+/// sequence number than events already in flight — processes exactly
+/// where the batch loop (which pushes every arrival before any
+/// scheduled event exists) would have ordered it. The sequence number
+/// breaks the remaining ties deterministically; the epoch invalidates
+/// events superseded by re-pricing or preemption.
+type Event = Reverse<(u64, u8, u64, u8, usize, u64)>;
+
+/// Builds an [`Event`], deriving the arrival-first class rank from the
+/// kind.
+fn ev(t: Time, seq: u64, kind: u8, job: usize, epoch: u64) -> Event {
+    let class = u8::from(kind != EV_ARRIVE);
+    Reverse((t.as_nanos(), class, seq, kind, job, epoch))
+}
 
 /// A job's replay trace is empty — replaying it would fabricate zero-time
 /// iterations (and an infinitely fast job).
@@ -575,6 +600,94 @@ struct EmptyWalls;
 /// shrunk, iters)`. Keyed by the *replica* batch, so a 4-GPU gang at
 /// batch 128 shares the cache entry with a single-GPU job at batch 32.
 type ValidationKey = (String, usize, u64, &'static str, bool, u64);
+
+/// Handle for a submitted job: its submission index, stable for the
+/// lifetime of the run and equal to the index of the job's entry in
+/// [`ClusterStats::jobs`].
+pub type JobId = usize;
+
+/// Why [`Cluster::cancel`] refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelError {
+    /// No job with this id was ever submitted.
+    UnknownJob(JobId),
+    /// The job already reached a terminal state (completed, rejected,
+    /// aborted, or cancelled); there is nothing left to cancel.
+    Terminal(JobId),
+}
+
+impl std::fmt::Display for CancelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelError::UnknownJob(id) => write!(f, "job {id} was never submitted"),
+            CancelError::Terminal(id) => {
+                write!(f, "job {id} already reached a terminal state")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CancelError {}
+
+/// All mutable state of one simulation run: the event heap and clock,
+/// per-job and per-GPU state, the waiting queue, and the side-channel
+/// logs. [`Cluster::reset`] swaps in a fresh one; the admission caches
+/// live on [`Cluster`] itself and survive across runs (they memoize pure
+/// functions of the spec, so reuse cannot perturb determinism).
+#[derive(Debug)]
+struct Session {
+    seq: u64,
+    heap: BinaryHeap<Event>,
+    jobs: Vec<JobRun>,
+    gpus: Vec<GpuState>,
+    fabric: Option<Interconnect>,
+    /// Waiting queue in queue-entry order (arrival, or checkpoint
+    /// completion for preempted jobs).
+    pending: Vec<usize>,
+    /// Unified transfer trace (the [`Cluster::run_traced`] side-channel),
+    /// drained by [`Cluster::take_transfers`].
+    transfers: Vec<ClusterTransfer>,
+    /// Lifecycle event log in occurrence order (the `capuchin-serve`
+    /// side-channel), drained by [`Cluster::take_events`].
+    events: Vec<JobEvent>,
+    /// The clock: the last processed event time or the last
+    /// [`Cluster::advance_to`] deadline, whichever is later. Online
+    /// submissions arriving "in the past" are clamped to it.
+    now: Time,
+}
+
+impl Session {
+    fn new(cfg: &ClusterConfig) -> Session {
+        Session {
+            gpus: (0..cfg.gpus)
+                .map(|_| GpuState::new(cfg.spec.memory_bytes))
+                .collect(),
+            fabric: cfg
+                .interconnect
+                .clone()
+                .map(|spec| Interconnect::new(spec, cfg.gpus)),
+            ..Session::default()
+        }
+    }
+}
+
+/// The all-empty placeholder `std::mem::take` leaves behind while the
+/// event loop works on the real session; never observed by API callers.
+impl Default for Session {
+    fn default() -> Session {
+        Session {
+            seq: 0,
+            heap: BinaryHeap::new(),
+            jobs: Vec::new(),
+            gpus: Vec::new(),
+            fabric: None,
+            pending: Vec::new(),
+            transfers: Vec::new(),
+            events: Vec::new(),
+            now: Time::ZERO,
+        }
+    }
+}
 
 /// The cluster scheduler.
 #[derive(Debug)]
@@ -588,6 +701,8 @@ pub struct Cluster {
     /// Validation outcomes: `Some` holds the per-iteration replay trace,
     /// `None` records a failed run.
     validations: BTreeMap<ValidationKey, Option<Vec<ReplayIter>>>,
+    /// Live run state for the online API (and the batch wrappers).
+    session: Session,
 }
 
 impl Cluster {
@@ -595,11 +710,13 @@ impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Cluster {
         let mut admission = Admission::new(cfg.admission);
         admission.validate_iters = cfg.validate_iters.max(2);
+        let session = Session::new(&cfg);
         Cluster {
             cfg,
             admission,
             estimates: BTreeMap::new(),
             validations: BTreeMap::new(),
+            session,
         }
     }
 
@@ -661,6 +778,11 @@ impl Cluster {
     }
 
     /// Runs the workload to completion and returns the stats.
+    ///
+    /// A thin wrapper over the online core: [`Cluster::reset`], then
+    /// [`Cluster::submit`] for every spec, then [`Cluster::drain`]. The
+    /// stats JSON is byte-identical to driving the incremental API over
+    /// the same submission sequence.
     pub fn run(&mut self, specs: &[JobSpec]) -> ClusterStats {
         self.run_traced(specs).0
     }
@@ -672,204 +794,598 @@ impl Cluster {
     /// trace is a side-channel — [`ClusterStats`] (and its JSON) is
     /// identical to what [`Cluster::run`] returns.
     pub fn run_traced(&mut self, specs: &[JobSpec]) -> (ClusterStats, Vec<ClusterTransfer>) {
-        let mut transfers: Vec<ClusterTransfer> = Vec::new();
-        let mut seq: u64 = 0;
-        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
-        let mut jobs: Vec<JobRun> = Vec::with_capacity(specs.len());
-        for (i, spec) in specs.iter().enumerate() {
-            let run = JobRun::new(spec);
-            heap.push(Reverse((run.arrival.as_nanos(), seq, EV_ARRIVE, i, 0)));
-            seq += 1;
-            jobs.push(run);
+        self.reset();
+        for spec in specs {
+            self.submit(spec);
         }
-        let mut gpus: Vec<GpuState> = (0..self.cfg.gpus)
-            .map(|_| GpuState::new(self.cfg.spec.memory_bytes))
-            .collect();
-        let mut fabric: Option<Interconnect> = self
-            .cfg
-            .interconnect
-            .clone()
-            .map(|spec| Interconnect::new(spec, self.cfg.gpus));
-        let mut pending: Vec<usize> = Vec::new();
-        let strategy = self.cfg.strategy.build(self.cfg.aging_rate);
+        self.drain();
+        let transfers = std::mem::take(&mut self.session.transfers);
+        (self.stats(), transfers)
+    }
 
-        while let Some(Reverse((t, _, kind, job, epoch))) = heap.pop() {
-            let now = Time::from_nanos(t);
-            if kind != EV_ARRIVE && epoch != jobs[job].epoch {
-                continue; // superseded by a re-pricing, preemption or abort
+    /// Discards all run state (jobs, clock, heap, side-channel logs) and
+    /// starts a fresh session on the same configuration. The admission
+    /// caches are kept — they memoize pure functions of the spec, so
+    /// reuse cannot perturb determinism.
+    pub fn reset(&mut self) {
+        self.session = Session::new(&self.cfg);
+    }
+
+    /// The simulation clock: the last processed event time or the last
+    /// [`Cluster::advance_to`] deadline, whichever is later.
+    pub fn now(&self) -> Time {
+        self.session.now
+    }
+
+    /// Submits one job to the online core and returns its handle.
+    ///
+    /// The job's [`JobSpec::arrival_time`] is honoured while it is still
+    /// in the future; an arrival the clock has already passed is clamped
+    /// to [`Cluster::now`] — the cluster cannot admit in the past.
+    /// Nothing is processed here: the arrival itself (admission
+    /// measuring, placement) happens when the clock reaches it via
+    /// [`Cluster::step`], [`Cluster::advance_to`] or [`Cluster::drain`].
+    pub fn submit(&mut self, spec: &JobSpec) -> JobId {
+        let s = &mut self.session;
+        let id = s.jobs.len();
+        let mut run = JobRun::new(spec);
+        if run.arrival < s.now {
+            run.arrival = s.now;
+            run.queued_at = s.now;
+        }
+        s.events.push(JobEvent {
+            t: run.arrival,
+            job: id as u64,
+            name: run.spec.name.clone(),
+            kind: JobEventKind::Submitted,
+        });
+        s.heap.push(ev(run.arrival, s.seq, EV_ARRIVE, id, 0));
+        s.seq += 1;
+        s.jobs.push(run);
+        id
+    }
+
+    /// Cancels a job. A never-admitted queued job simply leaves the
+    /// waiting queue — it held no reservation, so nothing is refunded; a
+    /// resident (or mid-checkpoint-copy) job releases every replica's
+    /// reservation immediately and its in-flight events are invalidated.
+    /// Either way the job's outcome becomes [`JobOutcome::Cancelled`] —
+    /// distinct from `Rejected` (admission never refused it) and
+    /// `Aborted` (its replay state never became unusable).
+    ///
+    /// # Errors
+    ///
+    /// [`CancelError::UnknownJob`] for an id [`Cluster::submit`] never
+    /// returned; [`CancelError::Terminal`] when the job already
+    /// completed, was rejected, aborted, or cancelled.
+    pub fn cancel(&mut self, id: JobId) -> Result<(), CancelError> {
+        match self.session.jobs.get(id) {
+            None => return Err(CancelError::UnknownJob(id)),
+            Some(j) if j.rejected || j.finished_at.is_some() || j.aborted || j.cancelled => {
+                return Err(CancelError::Terminal(id));
             }
-            match kind {
-                EV_ARRIVE => {
-                    // Bad gang widths are rejected at parse time
-                    // (`load_jobs`); specs built in code get the same
-                    // verdict here instead of a late panic.
-                    if jobs[job].spec.gpus == 0 || jobs[job].spec.gpus > self.cfg.gpus {
-                        jobs[job].rejected = true;
+            Some(_) => {}
+        }
+        let mut s = std::mem::take(&mut self.session);
+        let now = s.now;
+        {
+            let j = &mut s.jobs[id];
+            j.cancelled = true;
+            j.iterating = false;
+            j.preempting = false;
+            // Scheduled events die by the epoch bump, the pending
+            // arrival by the cancelled flag.
+            j.epoch += 1;
+            if let Some(since) = j.reduced_since.take() {
+                j.elastic_reduced_time += now.saturating_since(since);
+            }
+        }
+        // A queued job holds nothing: refund nothing.
+        s.pending.retain(|&p| p != id);
+        // A resident job's whole gang releases right away (a preempting
+        // victim's checkpoint copy is moot — the job is going away).
+        let held = std::mem::take(&mut s.jobs[id].gpus_held);
+        let reserved = s.jobs[id].reserved;
+        for &gpu in &held {
+            let g = &mut s.gpus[gpu];
+            g.touch(now);
+            g.reserved -= reserved;
+            g.resident.retain(|&r| r != id);
+        }
+        s.events.push(JobEvent {
+            t: now,
+            job: id as u64,
+            name: s.jobs[id].spec.name.clone(),
+            kind: JobEventKind::Cancelled,
+        });
+        for &gpu in &held {
+            reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
+        }
+        // Freed memory — or a freed queue slot ahead of other waiters —
+        // may unblock placements immediately.
+        self.settle(&mut s, now);
+        self.session = s;
+        Ok(())
+    }
+
+    /// A live snapshot of one job, or `None` for an id never submitted.
+    pub fn status(&self, id: JobId) -> Option<JobStatus> {
+        let j = self.session.jobs.get(id)?;
+        let state = if j.rejected {
+            JobState::Rejected
+        } else if j.finished_at.is_some() {
+            JobState::Completed
+        } else if j.cancelled {
+            JobState::Cancelled
+        } else if j.aborted {
+            JobState::Aborted
+        } else if j.checkpoint.is_some() || j.preempting {
+            JobState::Preempted
+        } else if !j.gpus_held.is_empty() {
+            JobState::Running
+        } else {
+            JobState::Queued
+        };
+        Some(JobStatus {
+            id: id as u64,
+            name: j.spec.name.clone(),
+            state,
+            iters_done: j.iters_done,
+            samples_done: j.samples_done,
+            samples_total: j.samples_total,
+            cur_batch: j.cur_batch,
+            replicas: j.width(),
+            gpus: j.gpus_held.clone(),
+            reserved_bytes: if j.gpus_held.is_empty() {
+                0
+            } else {
+                j.reserved
+            },
+            preemptions: j.preemptions,
+            rebatches: j.rebatches,
+        })
+    }
+
+    /// Drains the lifecycle event log accumulated since the last call
+    /// (or [`Cluster::reset`]): every submit, reject, admit, iteration,
+    /// preempt, resume, rebatch, complete, abort and cancel transition,
+    /// in occurrence order. A pure side-channel — reading or ignoring it
+    /// cannot change the stats.
+    pub fn take_events(&mut self) -> Vec<JobEvent> {
+        std::mem::take(&mut self.session.events)
+    }
+
+    /// Drains the unified transfer trace accumulated since the last call
+    /// (or [`Cluster::reset`]) — the same records [`Cluster::run_traced`]
+    /// returns, exposed incrementally for streaming consumers. Empty
+    /// with the interconnect model off.
+    pub fn take_transfers(&mut self) -> Vec<ClusterTransfer> {
+        std::mem::take(&mut self.session.transfers)
+    }
+
+    /// Whether any live (non-superseded) event is still scheduled.
+    pub fn has_work(&self) -> bool {
+        self.session
+            .heap
+            .iter()
+            .any(|&Reverse((_, _, _, kind, job, epoch))| {
+                if kind == EV_ARRIVE {
+                    !self.session.jobs[job].cancelled
+                } else {
+                    epoch == self.session.jobs[job].epoch
+                }
+            })
+    }
+
+    /// Processes the next event, skipping superseded ones: dispatches
+    /// its state transition, then runs one settle pass (placement, the
+    /// elastic second pass, preemption) — exactly one turn of the batch
+    /// loop. Returns whether an event was processed; `false` means the
+    /// cluster is idle.
+    pub fn step(&mut self) -> bool {
+        self.step_bounded(None)
+    }
+
+    /// Advances the clock to `deadline`, processing every event at or
+    /// before it, and returns whether live events remain beyond it.
+    /// Events strictly after the deadline are untouched, so a later
+    /// [`Cluster::submit`] whose arrival lands before them still
+    /// interleaves exactly as a batch run would have ordered it.
+    pub fn advance_to(&mut self, deadline: Time) -> bool {
+        while self.step_bounded(Some(deadline)) {}
+        if self.session.now < deadline {
+            self.session.now = deadline;
+        }
+        self.has_work()
+    }
+
+    /// Runs the event loop to idle: every submitted job reaches a
+    /// terminal state or starves waiting.
+    pub fn drain(&mut self) {
+        while self.step() {}
+    }
+
+    fn step_bounded(&mut self, deadline: Option<Time>) -> bool {
+        let mut s = std::mem::take(&mut self.session);
+        let mut processed = false;
+        while let Some(&Reverse((t, _, _, kind, job, epoch))) = s.heap.peek() {
+            let stale = if kind == EV_ARRIVE {
+                s.jobs[job].cancelled
+            } else {
+                epoch != s.jobs[job].epoch
+            };
+            if stale {
+                // Superseded by a re-pricing, preemption, abort or
+                // cancel: drop it without touching the clock.
+                s.heap.pop();
+                continue;
+            }
+            let now = Time::from_nanos(t);
+            if deadline.is_some_and(|d| now > d) {
+                break;
+            }
+            s.heap.pop();
+            s.now = now;
+            self.dispatch(&mut s, job, kind, now);
+            self.settle(&mut s, now);
+            processed = true;
+            break;
+        }
+        self.session = s;
+        processed
+    }
+
+    /// One event's state transition — the match-arm body of the old
+    /// batch loop. The settle pass (placement and friends) runs
+    /// separately after every dispatch.
+    fn dispatch(&mut self, s: &mut Session, job: usize, kind: u8, now: Time) {
+        match kind {
+            EV_ARRIVE => {
+                // Bad gang widths are rejected at parse time
+                // (`load_jobs`); specs built in code get the same
+                // verdict here instead of a late panic.
+                if s.jobs[job].spec.gpus == 0 || s.jobs[job].spec.gpus > self.cfg.gpus {
+                    s.jobs[job].rejected = true;
+                } else {
+                    let spec = s.jobs[job].spec.clone();
+                    let (est, needs) = self.estimate_at(&spec, spec.batch);
+                    s.jobs[job].needs = needs;
+                    s.jobs[job].footprint = est.ideal_peak;
+                    s.jobs[job].grad_bytes = est.weight_bytes;
+                    let capacity = self.cfg.spec.memory_bytes;
+                    // An elastic job whose full-batch minimum exceeds
+                    // a bare GPU is still admissible if the ladder's
+                    // floor batch fits one.
+                    let admissible = needs.min <= capacity
+                        || (self.cfg.elastic && spec.elastic && {
+                            let floor = *elastic_batches(spec.batch, self.cfg.min_batch_fraction)
+                                .last()
+                                .expect("ladder is never empty");
+                            self.estimate_at(&spec, floor).1.min <= capacity
+                        });
+                    if admissible {
+                        s.pending.push(job);
                     } else {
-                        let spec = jobs[job].spec.clone();
-                        let (est, needs) = self.estimate_at(&spec, spec.batch);
-                        jobs[job].needs = needs;
-                        jobs[job].footprint = est.ideal_peak;
-                        jobs[job].grad_bytes = est.weight_bytes;
-                        let capacity = self.cfg.spec.memory_bytes;
-                        // An elastic job whose full-batch minimum exceeds
-                        // a bare GPU is still admissible if the ladder's
-                        // floor batch fits one.
-                        let admissible = needs.min <= capacity
-                            || (self.cfg.elastic && spec.elastic && {
-                                let floor =
-                                    *elastic_batches(spec.batch, self.cfg.min_batch_fraction)
-                                        .last()
-                                        .expect("ladder is never empty");
-                                self.estimate_at(&spec, floor).1.min <= capacity
-                            });
-                        if admissible {
-                            pending.push(job);
-                        } else {
-                            // Admission-time OOM: no bare GPU can host a
-                            // replica at any allowed batch.
-                            jobs[job].rejected = true;
-                        }
+                        // Admission-time OOM: no bare GPU can host a
+                        // replica at any allowed batch.
+                        s.jobs[job].rejected = true;
                     }
                 }
-                EV_ITER_END => {
-                    // Compute done. The iteration is complete only after
-                    // the boundary communication (replayed swap traffic
-                    // queueing, then the gang's gradient allreduce)
-                    // drains on the shared fabric.
-                    jobs[job].iterating = false;
-                    let comm_end =
-                        settle_comm(&mut jobs[job], now, fabric.as_mut(), &mut transfers);
-                    if comm_end > now {
-                        let j = &mut jobs[job];
-                        j.epoch += 1;
-                        heap.push(Reverse((comm_end.as_nanos(), seq, EV_COMM, job, j.epoch)));
-                        seq += 1;
-                    } else {
-                        self.complete_iteration(
-                            &mut jobs,
-                            &mut gpus,
-                            fabric.as_mut(),
-                            &mut transfers,
-                            job,
-                            now,
-                            &mut seq,
-                            &mut heap,
-                        );
-                    }
-                }
-                EV_COMM => {
-                    self.complete_iteration(
-                        &mut jobs,
-                        &mut gpus,
-                        fabric.as_mut(),
-                        &mut transfers,
-                        job,
-                        now,
-                        &mut seq,
-                        &mut heap,
-                    );
-                }
-                EV_REGROW => {
-                    // The batch-change copies drained: swap in the new
-                    // replay and continue from the same samples cursor at
-                    // the new batch.
-                    let j = &mut jobs[job];
-                    let rg = j
-                        .pending_regrow
-                        .take()
-                        .expect("regrowing job has a pending batch change");
-                    j.cur_batch = rg.batch;
-                    j.shrunk = rg.shrunk;
-                    j.replay = rg.replay;
-                    if rg.batch >= j.spec.batch {
-                        // Back at the requested batch: close the
-                        // reduced-time window.
-                        if let Some(since) = j.reduced_since.take() {
-                            j.elastic_reduced_time += now.saturating_since(since);
-                        }
-                    }
-                    if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap).is_err() {
-                        abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
-                    }
-                }
-                EV_PREEMPT => {
-                    // Checkpoint copy drained: release every replica's
-                    // reservation and put the victim back in the queue,
-                    // resumable.
-                    let held = std::mem::take(&mut jobs[job].gpus_held);
-                    assert!(!held.is_empty(), "preempting job holds its gang");
-                    let reserved = jobs[job].reserved;
-                    let j = &mut jobs[job];
-                    j.preempting = false;
-                    j.checkpoint = Some(Checkpoint {
-                        iters_done: j.iters_done,
-                        reserved,
-                        shrunk: j.shrunk,
-                        replay: j.replay.clone(),
-                        cur_batch: j.cur_batch,
-                        samples_done: j.samples_done,
+                if s.jobs[job].rejected {
+                    s.events.push(JobEvent {
+                        t: now,
+                        job: job as u64,
+                        name: s.jobs[job].spec.name.clone(),
+                        kind: JobEventKind::Rejected,
                     });
-                    // The reduced-batch clock pauses while the job sits
-                    // on the host.
+                }
+            }
+            EV_ITER_END => {
+                // Compute done. The iteration is complete only after
+                // the boundary communication (replayed swap traffic
+                // queueing, then the gang's gradient allreduce)
+                // drains on the shared fabric.
+                s.jobs[job].iterating = false;
+                let comm_end =
+                    settle_comm(&mut s.jobs[job], now, s.fabric.as_mut(), &mut s.transfers);
+                if comm_end > now {
+                    s.jobs[job].epoch += 1;
+                    let epoch = s.jobs[job].epoch;
+                    s.heap.push(ev(comm_end, s.seq, EV_COMM, job, epoch));
+                    s.seq += 1;
+                } else {
+                    self.complete_iteration(s, job, now);
+                }
+            }
+            EV_COMM => {
+                self.complete_iteration(s, job, now);
+            }
+            EV_REGROW => {
+                // The batch-change copies drained: swap in the new
+                // replay and continue from the same samples cursor at
+                // the new batch.
+                let j = &mut s.jobs[job];
+                let rg = j
+                    .pending_regrow
+                    .take()
+                    .expect("regrowing job has a pending batch change");
+                let batch = rg.batch;
+                j.cur_batch = rg.batch;
+                j.shrunk = rg.shrunk;
+                j.replay = rg.replay;
+                if batch >= j.spec.batch {
+                    // Back at the requested batch: close the
+                    // reduced-time window.
                     if let Some(since) = j.reduced_since.take() {
                         j.elastic_reduced_time += now.saturating_since(since);
                     }
-                    j.preempted_at = Some(now);
-                    j.queued_at = now;
-                    for &gpu in &held {
-                        let g = &mut gpus[gpu];
-                        g.touch(now);
-                        g.reserved -= reserved;
-                        g.resident.retain(|&r| r != job);
-                    }
-                    // All earlier queue entries have queued_at <= now, so
-                    // appending preserves queue-entry order.
-                    pending.push(job);
-                    for &gpu in &held {
-                        reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
-                    }
                 }
-                EV_RESUME => {
-                    // Restore copy drained: rebuild the replay state from
-                    // the checkpoint and continue from the saved cursor.
-                    let j = &mut jobs[job];
-                    let cp = j.checkpoint.take().expect("resuming job has a checkpoint");
-                    j.iters_done = cp.iters_done;
-                    j.shrunk = cp.shrunk;
-                    j.replay = cp.replay;
-                    j.cur_batch = cp.cur_batch;
-                    j.samples_done = cp.samples_done;
-                    if j.cur_batch < j.spec.batch.max(1) {
-                        j.reduced_since = Some(now);
-                    }
-                    if let Some(at) = j.preempted_at.take() {
-                        j.resume_latency += now.saturating_since(at);
-                    }
-                    if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap).is_err() {
-                        abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
-                    }
+                s.events.push(JobEvent {
+                    t: now,
+                    job: job as u64,
+                    name: s.jobs[job].spec.name.clone(),
+                    kind: JobEventKind::Rebatched { batch },
+                });
+                if schedule_iter(&mut s.jobs, &s.gpus, job, now, &mut s.seq, &mut s.heap).is_err() {
+                    abort_job(s, job, now);
                 }
-                other => unreachable!("unknown event kind {other}"),
             }
-            // (Re-)place waiting jobs after every state change. Gang
-            // grants are atomic: the strategy names the complete GPU set
-            // and every member is reserved in this same loop step, so no
-            // job ever holds a partial gang (the no-deadlock invariant).
-            loop {
-                let cands: Vec<CandidateJob> =
-                    pending.iter().map(|&j| jobs[j].candidate(j)).collect();
-                if cands.is_empty() {
-                    break;
+            EV_PREEMPT => {
+                // Checkpoint copy drained: release every replica's
+                // reservation and put the victim back in the queue,
+                // resumable.
+                let held = std::mem::take(&mut s.jobs[job].gpus_held);
+                assert!(!held.is_empty(), "preempting job holds its gang");
+                let reserved = s.jobs[job].reserved;
+                let j = &mut s.jobs[job];
+                j.preempting = false;
+                j.checkpoint = Some(Checkpoint {
+                    iters_done: j.iters_done,
+                    reserved,
+                    shrunk: j.shrunk,
+                    replay: j.replay.clone(),
+                    cur_batch: j.cur_batch,
+                    samples_done: j.samples_done,
+                });
+                // The reduced-batch clock pauses while the job sits
+                // on the host.
+                if let Some(since) = j.reduced_since.take() {
+                    j.elastic_reduced_time += now.saturating_since(since);
                 }
-                let views: Vec<GpuView> = gpus
+                j.preempted_at = Some(now);
+                j.queued_at = now;
+                for &gpu in &held {
+                    let g = &mut s.gpus[gpu];
+                    g.touch(now);
+                    g.reserved -= reserved;
+                    g.resident.retain(|&r| r != job);
+                }
+                // All earlier queue entries have queued_at <= now, so
+                // appending preserves queue-entry order.
+                s.pending.push(job);
+                s.events.push(JobEvent {
+                    t: now,
+                    job: job as u64,
+                    name: s.jobs[job].spec.name.clone(),
+                    kind: JobEventKind::Preempted,
+                });
+                for &gpu in &held {
+                    reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
+                }
+            }
+            EV_RESUME => {
+                // Restore copy drained: rebuild the replay state from
+                // the checkpoint and continue from the saved cursor.
+                let j = &mut s.jobs[job];
+                let cp = j.checkpoint.take().expect("resuming job has a checkpoint");
+                j.iters_done = cp.iters_done;
+                j.shrunk = cp.shrunk;
+                j.replay = cp.replay;
+                j.cur_batch = cp.cur_batch;
+                j.samples_done = cp.samples_done;
+                if j.cur_batch < j.spec.batch.max(1) {
+                    j.reduced_since = Some(now);
+                }
+                if let Some(at) = j.preempted_at.take() {
+                    j.resume_latency += now.saturating_since(at);
+                }
+                s.events.push(JobEvent {
+                    t: now,
+                    job: job as u64,
+                    name: s.jobs[job].spec.name.clone(),
+                    kind: JobEventKind::Resumed,
+                });
+                if schedule_iter(&mut s.jobs, &s.gpus, job, now, &mut s.seq, &mut s.heap).is_err() {
+                    abort_job(s, job, now);
+                }
+            }
+            other => unreachable!("unknown event kind {other}"),
+        }
+    }
+
+    /// One settle pass after a state change: (re-)place waiting jobs,
+    /// then the elastic second pass, then consider one preemption — the
+    /// tail of the old batch loop body, behaviour-identical. Runs after
+    /// every dispatched event and after a [`Cluster::cancel`].
+    fn settle(&mut self, s: &mut Session, now: Time) {
+        // The strategies are stateless values, so rebuilding one per
+        // pass is free — and keeps `self` unborrowed for the admission
+        // caches the passes consult.
+        let strategy = self.cfg.strategy.build(self.cfg.aging_rate);
+        // (Re-)place waiting jobs after every state change. Gang
+        // grants are atomic: the strategy names the complete GPU set
+        // and every member is reserved in this same loop step, so no
+        // job ever holds a partial gang (the no-deadlock invariant).
+        loop {
+            let cands: Vec<CandidateJob> =
+                s.pending.iter().map(|&j| s.jobs[j].candidate(j)).collect();
+            if cands.is_empty() {
+                break;
+            }
+            let views: Vec<GpuView> = s
+                .gpus
+                .iter()
+                .enumerate()
+                .map(|(idx, g)| GpuView {
+                    idx,
+                    // With no fabric modelled every GPU is its own
+                    // domain: placement has nothing to co-locate for.
+                    domain: s.fabric.as_ref().map_or(idx, |f| f.spec().domain_of(idx)),
+                    capacity: g.capacity,
+                    reserved: g.reserved,
+                })
+                .collect();
+            let fits = |c: &CandidateJob, g: &GpuView| {
+                let h = g.headroom();
+                if h < c.min_need {
+                    return false;
+                }
+                let grant = h.min(c.full_need);
+                c.failed_budget.is_none_or(|fb| grant > fb)
+            };
+            let Some((job, gang)) = strategy.pick(&cands, &views, now, &fits) else {
+                break;
+            };
+            assert_eq!(
+                gang.len(),
+                s.jobs[job].width(),
+                "strategy returned a partial gang"
+            );
+            if let Some(cp) = &s.jobs[job].checkpoint {
+                // Resume placement: regrant the checkpointed budget on
+                // every replica and charge the host-to-device restore
+                // copy before the first resumed iteration. On a shared
+                // fabric all replicas' restores serialize on the host
+                // link (and behind any other traffic in flight).
+                let grant = cp.reserved;
+                let copy = match s.fabric.as_mut() {
+                    Some(f) => {
+                        let bytes = grant * gang.len() as u64;
+                        let tr = f.host_transfer(now, bytes);
+                        s.transfers.push(ClusterTransfer {
+                            job: s.jobs[job].spec.name.clone(),
+                            iter: u64::MAX,
+                            label: "restore".to_owned(),
+                            link: "host".to_owned(),
+                            dir: CopyDir::HostToDevice,
+                            bytes,
+                            want: now,
+                            start: tr.start,
+                            end: tr.end,
+                            wait: tr.start.saturating_since(now),
+                            charge: Duration::ZERO,
+                            lead: Duration::ZERO,
+                        });
+                        tr.end.saturating_since(now)
+                    }
+                    None => self.cfg.spec.copy_time(grant, CopyDir::HostToDevice),
+                };
+                let j = &mut s.jobs[job];
+                j.gpus_held = gang.clone();
+                j.reserved = grant;
+                j.checkpoint_overhead += copy;
+                j.epoch += 1;
+                let (at, ep) = (now + copy, j.epoch);
+                s.pending.retain(|&p| p != job);
+                for &gpu in &gang {
+                    let g = &mut s.gpus[gpu];
+                    g.touch(now);
+                    g.reserved += grant;
+                    g.peak = g.peak.max(g.reserved);
+                    g.resident.push(job);
+                    g.hosted += 1;
+                }
+                s.heap.push(ev(at, s.seq, EV_RESUME, job, ep));
+                s.seq += 1;
+                for &gpu in &gang {
+                    reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
+                }
+                continue;
+            }
+            // Every replica gets the same grant: the tightest member
+            // of the gang caps it (replicas run one validated replay).
+            let headroom = gang
+                .iter()
+                .map(|&g| views[g].headroom())
+                .min()
+                .expect("gang is non-empty");
+            let grant = headroom.min(s.jobs[job].needs.full);
+            let shrunk = grant < s.jobs[job].needs.full;
+            let spec = s.jobs[job].spec.clone();
+            match self.validated_replay(&spec, spec.batch, grant, shrunk) {
+                Some(replay) => {
+                    let j = &mut s.jobs[job];
+                    j.gpus_held = gang.clone();
+                    j.reserved = grant;
+                    j.shrunk = shrunk;
+                    j.admitted_at = Some(now);
+                    j.replay = replay;
+                    s.pending.retain(|&p| p != job);
+                    s.events.push(JobEvent {
+                        t: now,
+                        job: job as u64,
+                        name: spec.name.clone(),
+                        kind: JobEventKind::Admitted {
+                            gpus: gang.clone(),
+                            batch: spec.batch,
+                            reserved: grant,
+                        },
+                    });
+                    for &gpu in &gang {
+                        let g = &mut s.gpus[gpu];
+                        g.touch(now);
+                        g.reserved += grant;
+                        g.peak = g.peak.max(g.reserved);
+                        g.resident.push(job);
+                        g.hosted += 1;
+                    }
+                    if schedule_iter(&mut s.jobs, &s.gpus, job, now, &mut s.seq, &mut s.heap)
+                        .is_err()
+                    {
+                        abort_job(s, job, now);
+                    } else {
+                        for &gpu in &gang {
+                            reprice_residents(
+                                &mut s.jobs,
+                                &s.gpus,
+                                gpu,
+                                now,
+                                &mut s.seq,
+                                &mut s.heap,
+                            );
+                        }
+                    }
+                }
+                None => {
+                    // The budget looked plannable but the engine run
+                    // failed; never retry at or below it.
+                    let j = &mut s.jobs[job];
+                    let e = j.failed.entry(j.spec.batch).or_insert(grant);
+                    *e = (*e).max(grant);
+                }
+            }
+        }
+        // Elastic second pass: the strategy just said nothing fits at
+        // the full batch, so trade batch for an earlier start. For
+        // each waiting elastic job (queue-entry order), bisect the
+        // halving ladder for the largest reduced batch some gang
+        // subset can host right now and admit there; the iteration
+        // count extends so total samples trained is preserved.
+        if self.cfg.elastic {
+            let waiting: Vec<usize> = s
+                .pending
+                .iter()
+                .copied()
+                .filter(|&p| s.jobs[p].spec.elastic && s.jobs[p].checkpoint.is_none())
+                .collect();
+            for job in waiting {
+                let views: Vec<GpuView> = s
+                    .gpus
                     .iter()
                     .enumerate()
                     .map(|(idx, g)| GpuView {
                         idx,
-                        // With no fabric modelled every GPU is its own
-                        // domain: placement has nothing to co-locate for.
-                        domain: fabric.as_ref().map_or(idx, |f| f.spec().domain_of(idx)),
+                        domain: s.fabric.as_ref().map_or(idx, |f| f.spec().domain_of(idx)),
                         capacity: g.capacity,
                         reserved: g.reserved,
                     })
@@ -882,282 +1398,162 @@ impl Cluster {
                     let grant = h.min(c.full_need);
                     c.failed_budget.is_none_or(|fb| grant > fb)
                 };
-                let Some((job, gang)) = strategy.pick(&cands, &views, now, &fits) else {
-                    break;
-                };
-                assert_eq!(
-                    gang.len(),
-                    jobs[job].width(),
-                    "strategy returned a partial gang"
-                );
-                if let Some(cp) = &jobs[job].checkpoint {
-                    // Resume placement: regrant the checkpointed budget on
-                    // every replica and charge the host-to-device restore
-                    // copy before the first resumed iteration. On a shared
-                    // fabric all replicas' restores serialize on the host
-                    // link (and behind any other traffic in flight).
-                    let grant = cp.reserved;
-                    let copy = match fabric.as_mut() {
-                        Some(f) => {
-                            let bytes = grant * gang.len() as u64;
-                            let tr = f.host_transfer(now, bytes);
-                            transfers.push(ClusterTransfer {
-                                job: jobs[job].spec.name.clone(),
-                                iter: u64::MAX,
-                                label: "restore".to_owned(),
-                                link: "host".to_owned(),
-                                dir: CopyDir::HostToDevice,
-                                bytes,
-                                want: now,
-                                start: tr.start,
-                                end: tr.end,
-                                wait: tr.start.saturating_since(now),
-                                charge: Duration::ZERO,
-                                lead: Duration::ZERO,
-                            });
-                            tr.end.saturating_since(now)
-                        }
-                        None => self.cfg.spec.copy_time(grant, CopyDir::HostToDevice),
-                    };
-                    let j = &mut jobs[job];
-                    j.gpus_held = gang.clone();
-                    j.reserved = grant;
-                    j.checkpoint_overhead += copy;
-                    j.epoch += 1;
-                    let (at, ep) = (now + copy, j.epoch);
-                    pending.retain(|&p| p != job);
-                    for &gpu in &gang {
-                        let g = &mut gpus[gpu];
-                        g.touch(now);
-                        g.reserved += grant;
-                        g.peak = g.peak.max(g.reserved);
-                        g.resident.push(job);
-                        g.hosted += 1;
-                    }
-                    heap.push(Reverse((at.as_nanos(), seq, EV_RESUME, job, ep)));
-                    seq += 1;
-                    for &gpu in &gang {
-                        reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
-                    }
-                    continue;
+                let ladder = elastic_batches(s.jobs[job].spec.batch, self.cfg.min_batch_fraction);
+                if ladder.len() < 2 {
+                    continue; // the fraction allows no shrinking
                 }
-                // Every replica gets the same grant: the tightest member
-                // of the gang caps it (replicas run one validated replay).
+                let mut picks: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                // ladder[0] is the full batch the strategy already
+                // refused this instant; only reduced candidates.
+                let jobs = &s.jobs;
+                let chosen = bisect_batch(&ladder[1..], |b| {
+                    let needs = self.estimate_at(&jobs[job].spec, b).1;
+                    let cand = CandidateJob {
+                        job,
+                        arrival: jobs[job].queued_at,
+                        priority: jobs[job].spec.priority,
+                        gpus: jobs[job].width(),
+                        full_need: needs.full,
+                        min_need: needs.min,
+                        failed_budget: jobs[job].failed.get(&b).copied(),
+                    };
+                    match strategy.pick(&[cand], &views, now, &fits) {
+                        Some((_, gang)) => {
+                            picks.insert(b, gang);
+                            true
+                        }
+                        None => false,
+                    }
+                });
+                let Some(batch) = chosen else { continue };
+                let gang = picks.remove(&batch).expect("chosen batch was probed");
+                let needs = self.estimate_at(&s.jobs[job].spec, batch).1;
                 let headroom = gang
                     .iter()
                     .map(|&g| views[g].headroom())
                     .min()
                     .expect("gang is non-empty");
-                let grant = headroom.min(jobs[job].needs.full);
-                let shrunk = grant < jobs[job].needs.full;
-                let spec = jobs[job].spec.clone();
-                match self.validated_replay(&spec, spec.batch, grant, shrunk) {
+                let grant = headroom.min(needs.full);
+                let shrunk = grant < needs.full;
+                let spec = s.jobs[job].spec.clone();
+                match self.validated_replay(&spec, batch, grant, shrunk) {
                     Some(replay) => {
-                        let j = &mut jobs[job];
+                        let j = &mut s.jobs[job];
                         j.gpus_held = gang.clone();
                         j.reserved = grant;
                         j.shrunk = shrunk;
                         j.admitted_at = Some(now);
                         j.replay = replay;
-                        pending.retain(|&p| p != job);
+                        j.cur_batch = batch;
+                        j.rebatches += 1;
+                        j.reduced_since = Some(now);
+                        s.pending.retain(|&p| p != job);
+                        s.events.push(JobEvent {
+                            t: now,
+                            job: job as u64,
+                            name: spec.name.clone(),
+                            kind: JobEventKind::Admitted {
+                                gpus: gang.clone(),
+                                batch,
+                                reserved: grant,
+                            },
+                        });
                         for &gpu in &gang {
-                            let g = &mut gpus[gpu];
+                            let g = &mut s.gpus[gpu];
                             g.touch(now);
                             g.reserved += grant;
                             g.peak = g.peak.max(g.reserved);
                             g.resident.push(job);
                             g.hosted += 1;
                         }
-                        if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap).is_err() {
-                            abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
+                        if schedule_iter(&mut s.jobs, &s.gpus, job, now, &mut s.seq, &mut s.heap)
+                            .is_err()
+                        {
+                            abort_job(s, job, now);
                         } else {
                             for &gpu in &gang {
-                                reprice_residents(&mut jobs, &gpus, gpu, now, &mut seq, &mut heap);
+                                reprice_residents(
+                                    &mut s.jobs,
+                                    &s.gpus,
+                                    gpu,
+                                    now,
+                                    &mut s.seq,
+                                    &mut s.heap,
+                                );
                             }
                         }
                     }
                     None => {
-                        // The budget looked plannable but the engine run
-                        // failed; never retry at or below it.
-                        let j = &mut jobs[job];
-                        let e = j.failed.entry(j.spec.batch).or_insert(grant);
+                        let j = &mut s.jobs[job];
+                        let e = j.failed.entry(batch).or_insert(grant);
                         *e = (*e).max(grant);
                     }
                 }
             }
-            // Elastic second pass: the strategy just said nothing fits at
-            // the full batch, so trade batch for an earlier start. For
-            // each waiting elastic job (queue-entry order), bisect the
-            // halving ladder for the largest reduced batch some gang
-            // subset can host right now and admit there; the iteration
-            // count extends so total samples trained is preserved.
-            if self.cfg.elastic {
-                let waiting: Vec<usize> = pending
-                    .iter()
-                    .copied()
-                    .filter(|&p| jobs[p].spec.elastic && jobs[p].checkpoint.is_none())
-                    .collect();
-                for job in waiting {
-                    let views: Vec<GpuView> = gpus
-                        .iter()
-                        .enumerate()
-                        .map(|(idx, g)| GpuView {
-                            idx,
-                            domain: fabric.as_ref().map_or(idx, |f| f.spec().domain_of(idx)),
-                            capacity: g.capacity,
-                            reserved: g.reserved,
-                        })
-                        .collect();
-                    let fits = |c: &CandidateJob, g: &GpuView| {
-                        let h = g.headroom();
-                        if h < c.min_need {
-                            return false;
-                        }
-                        let grant = h.min(c.full_need);
-                        c.failed_budget.is_none_or(|fb| grant > fb)
-                    };
-                    let ladder = elastic_batches(jobs[job].spec.batch, self.cfg.min_batch_fraction);
-                    if ladder.len() < 2 {
-                        continue; // the fraction allows no shrinking
+        }
+        // Nothing placeable: consider evicting a low-priority resident
+        // through a host checkpoint. One preemption in flight at a time
+        // keeps victim selection honest about headroom.
+        if self.cfg.preemption && !s.jobs.iter().any(|j| j.preempting) {
+            if let Some(victim) =
+                pick_preemption(&s.jobs, &s.gpus, &s.pending, now, self.cfg.aging_rate)
+            {
+                // The whole gang checkpoints or none: every replica's
+                // reservation is copied out. On a shared fabric the
+                // replicas' copies serialize on the host link; with
+                // private lanes they drain in parallel.
+                let width = s.jobs[victim].gpus_held.len().max(1) as u64;
+                let copy = match s.fabric.as_mut() {
+                    Some(f) => {
+                        let bytes = s.jobs[victim].reserved * width;
+                        let tr = f.host_transfer(now, bytes);
+                        s.transfers.push(ClusterTransfer {
+                            job: s.jobs[victim].spec.name.clone(),
+                            iter: u64::MAX,
+                            label: "checkpoint".to_owned(),
+                            link: "host".to_owned(),
+                            dir: CopyDir::DeviceToHost,
+                            bytes,
+                            want: now,
+                            start: tr.start,
+                            end: tr.end,
+                            wait: tr.start.saturating_since(now),
+                            charge: Duration::ZERO,
+                            lead: Duration::ZERO,
+                        });
+                        tr.end.saturating_since(now)
                     }
-                    let mut picks: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-                    // ladder[0] is the full batch the strategy already
-                    // refused this instant; only reduced candidates.
-                    let chosen = bisect_batch(&ladder[1..], |b| {
-                        let needs = self.estimate_at(&jobs[job].spec, b).1;
-                        let cand = CandidateJob {
-                            job,
-                            arrival: jobs[job].queued_at,
-                            priority: jobs[job].spec.priority,
-                            gpus: jobs[job].width(),
-                            full_need: needs.full,
-                            min_need: needs.min,
-                            failed_budget: jobs[job].failed.get(&b).copied(),
-                        };
-                        match strategy.pick(&[cand], &views, now, &fits) {
-                            Some((_, gang)) => {
-                                picks.insert(b, gang);
-                                true
-                            }
-                            None => false,
-                        }
-                    });
-                    let Some(batch) = chosen else { continue };
-                    let gang = picks.remove(&batch).expect("chosen batch was probed");
-                    let needs = self.estimate_at(&jobs[job].spec, batch).1;
-                    let headroom = gang
-                        .iter()
-                        .map(|&g| views[g].headroom())
-                        .min()
-                        .expect("gang is non-empty");
-                    let grant = headroom.min(needs.full);
-                    let shrunk = grant < needs.full;
-                    let spec = jobs[job].spec.clone();
-                    match self.validated_replay(&spec, batch, grant, shrunk) {
-                        Some(replay) => {
-                            let j = &mut jobs[job];
-                            j.gpus_held = gang.clone();
-                            j.reserved = grant;
-                            j.shrunk = shrunk;
-                            j.admitted_at = Some(now);
-                            j.replay = replay;
-                            j.cur_batch = batch;
-                            j.rebatches += 1;
-                            j.reduced_since = Some(now);
-                            pending.retain(|&p| p != job);
-                            for &gpu in &gang {
-                                let g = &mut gpus[gpu];
-                                g.touch(now);
-                                g.reserved += grant;
-                                g.peak = g.peak.max(g.reserved);
-                                g.resident.push(job);
-                                g.hosted += 1;
-                            }
-                            if schedule_iter(&mut jobs, &gpus, job, now, &mut seq, &mut heap)
-                                .is_err()
-                            {
-                                abort_job(&mut jobs, &mut gpus, job, now, &mut seq, &mut heap);
-                            } else {
-                                for &gpu in &gang {
-                                    reprice_residents(
-                                        &mut jobs, &gpus, gpu, now, &mut seq, &mut heap,
-                                    );
-                                }
-                            }
-                        }
-                        None => {
-                            let j = &mut jobs[job];
-                            let e = j.failed.entry(batch).or_insert(grant);
-                            *e = (*e).max(grant);
-                        }
-                    }
+                    None => self
+                        .cfg
+                        .spec
+                        .copy_time(s.jobs[victim].reserved, CopyDir::DeviceToHost),
+                };
+                let j = &mut s.jobs[victim];
+                j.preempting = true;
+                j.preemptions += 1;
+                j.checkpoint_overhead += copy;
+                // The interrupted iteration is lost: checkpoints only
+                // capture completed-iteration boundaries.
+                if j.iterating {
+                    j.wasted_work += now.saturating_since(j.iter_started);
+                    j.iterating = false;
                 }
-            }
-            // Nothing placeable: consider evicting a low-priority resident
-            // through a host checkpoint. One preemption in flight at a time
-            // keeps victim selection honest about headroom.
-            if self.cfg.preemption && !jobs.iter().any(|j| j.preempting) {
-                if let Some(victim) =
-                    pick_preemption(&jobs, &gpus, &pending, now, self.cfg.aging_rate)
-                {
-                    // The whole gang checkpoints or none: every replica's
-                    // reservation is copied out. On a shared fabric the
-                    // replicas' copies serialize on the host link; with
-                    // private lanes they drain in parallel.
-                    let width = jobs[victim].gpus_held.len().max(1) as u64;
-                    let copy = match fabric.as_mut() {
-                        Some(f) => {
-                            let bytes = jobs[victim].reserved * width;
-                            let tr = f.host_transfer(now, bytes);
-                            transfers.push(ClusterTransfer {
-                                job: jobs[victim].spec.name.clone(),
-                                iter: u64::MAX,
-                                label: "checkpoint".to_owned(),
-                                link: "host".to_owned(),
-                                dir: CopyDir::DeviceToHost,
-                                bytes,
-                                want: now,
-                                start: tr.start,
-                                end: tr.end,
-                                wait: tr.start.saturating_since(now),
-                                charge: Duration::ZERO,
-                                lead: Duration::ZERO,
-                            });
-                            tr.end.saturating_since(now)
-                        }
-                        None => self
-                            .cfg
-                            .spec
-                            .copy_time(jobs[victim].reserved, CopyDir::DeviceToHost),
-                    };
-                    let j = &mut jobs[victim];
-                    j.preempting = true;
-                    j.preemptions += 1;
-                    j.checkpoint_overhead += copy;
-                    // The interrupted iteration is lost: checkpoints only
-                    // capture completed-iteration boundaries.
-                    if j.iterating {
-                        j.wasted_work += now.saturating_since(j.iter_started);
-                        j.iterating = false;
-                    }
-                    j.epoch += 1;
-                    let at = now + copy;
-                    heap.push(Reverse((at.as_nanos(), seq, EV_PREEMPT, victim, j.epoch)));
-                    seq += 1;
-                }
+                j.epoch += 1;
+                let (at, epoch) = (now + copy, j.epoch);
+                s.heap.push(ev(at, s.seq, EV_PREEMPT, victim, epoch));
+                s.seq += 1;
             }
         }
-        let stats = self.finalize(jobs, gpus, fabric.as_ref(), &*strategy);
-        (stats, transfers)
     }
 
-    fn finalize(
-        &self,
-        jobs: Vec<JobRun>,
-        mut gpus: Vec<GpuState>,
-        fabric: Option<&Interconnect>,
-        strategy: &dyn crate::strategy::PlacementStrategy,
-    ) -> ClusterStats {
+    /// Snapshots whole-run statistics at the current instant — callable
+    /// mid-run (jobs still queued or resident simply have no completion
+    /// to report yet) and after [`Cluster::drain`], where it renders the
+    /// exact JSON the old batch loop produced. Non-destructive: the run
+    /// can continue after a snapshot.
+    pub fn stats(&self) -> ClusterStats {
+        let s = &self.session;
+        let jobs = &s.jobs;
         let start = jobs.iter().map(|j| j.arrival).min().unwrap_or(Time::ZERO);
         let end = jobs
             .iter()
@@ -1165,9 +1561,6 @@ impl Cluster {
             .max()
             .unwrap_or(start);
         let makespan = end.saturating_since(start);
-        for g in &mut gpus {
-            g.touch(end);
-        }
         let completed: Vec<&JobRun> = jobs.iter().filter(|j| j.finished_at.is_some()).collect();
         // `samples_done` equals `batch × iters` for every completed job,
         // elastic or not: re-batching preserves the sample count exactly.
@@ -1211,6 +1604,8 @@ impl Cluster {
                         JobOutcome::Rejected
                     } else if j.finished_at.is_some() {
                         JobOutcome::Completed
+                    } else if j.cancelled {
+                        JobOutcome::Cancelled
                     } else if j.aborted {
                         JobOutcome::Aborted
                     } else if j.checkpoint.is_some() || j.preempting {
@@ -1252,27 +1647,36 @@ impl Cluster {
             })
             .collect();
         let makespan_ns = makespan.as_nanos();
-        let per_gpu: Vec<GpuStats> = gpus
+        let per_gpu: Vec<GpuStats> = s
+            .gpus
             .iter()
             .enumerate()
-            .map(|(idx, g)| GpuStats {
-                gpu: idx,
-                capacity: g.capacity,
-                peak_reserved_bytes: g.peak,
-                mean_utilization: if makespan_ns == 0 {
-                    0.0
-                } else {
-                    g.byte_ns as f64 / (g.capacity as f64 * makespan_ns as f64)
-                },
-                jobs_hosted: g.hosted,
+            .map(|(idx, g)| {
+                // The byte-time integral, extended to the makespan end
+                // without mutating the ledger (`touch` would).
+                let byte_ns = g.byte_ns
+                    + g.reserved as u128 * end.saturating_since(g.last_touch).as_nanos() as u128;
+                GpuStats {
+                    gpu: idx,
+                    capacity: g.capacity,
+                    peak_reserved_bytes: g.peak,
+                    mean_utilization: if makespan_ns == 0 {
+                        0.0
+                    } else {
+                        byte_ns as f64 / (g.capacity as f64 * makespan_ns as f64)
+                    },
+                    jobs_hosted: g.hosted,
+                }
             })
             .collect();
         ClusterStats {
+            schema_version: STATS_SCHEMA_VERSION,
             gpus: self.cfg.gpus,
             admission: self.cfg.admission.name().to_owned(),
-            strategy: strategy.name().to_owned(),
+            strategy: self.cfg.strategy.name().to_owned(),
             submitted: jobs.len(),
             completed: completed.len(),
+            cancelled: jobs.iter().filter(|j| j.cancelled).count(),
             oom_rejections: jobs.iter().filter(|j| j.rejected).count(),
             midrun_oom_aborts: jobs.iter().filter(|j| j.aborted).count(),
             preemptions: jobs.iter().map(|j| j.preemptions as usize).sum(),
@@ -1285,8 +1689,15 @@ impl Cluster {
             },
             mean_queueing_delay,
             mean_jct,
-            interconnect: fabric.map_or_else(|| "off".to_owned(), |f| f.spec().name.clone()),
-            links: fabric.map(|f| f.link_stats()).unwrap_or_default(),
+            interconnect: s
+                .fabric
+                .as_ref()
+                .map_or_else(|| "off".to_owned(), |f| f.spec().name.clone()),
+            links: s
+                .fabric
+                .as_ref()
+                .map(|f| f.link_stats())
+                .unwrap_or_default(),
             per_gpu,
             jobs: job_stats,
         }
@@ -1418,22 +1829,19 @@ impl Cluster {
     /// batch), finishing the job — releasing every replica's
     /// reservation — or re-growing an elastically reduced batch, or
     /// scheduling the next iteration.
-    #[allow(clippy::too_many_arguments)]
-    fn complete_iteration(
-        &mut self,
-        jobs: &mut [JobRun],
-        gpus: &mut [GpuState],
-        fabric: Option<&mut Interconnect>,
-        transfers: &mut Vec<ClusterTransfer>,
-        job: usize,
-        now: Time,
-        seq: &mut u64,
-        heap: &mut BinaryHeap<Event>,
-    ) {
-        let j = &mut jobs[job];
+    fn complete_iteration(&mut self, s: &mut Session, job: usize, now: Time) {
+        let j = &mut s.jobs[job];
         j.iters_done += 1;
         let step = (j.cur_batch as u64).min(j.samples_total.saturating_sub(j.samples_done));
         j.samples_done += step;
+        let (iter, samples_done) = (j.iters_done, j.samples_done);
+        s.events.push(JobEvent {
+            t: now,
+            job: job as u64,
+            name: s.jobs[job].spec.name.clone(),
+            kind: JobEventKind::IterationDone { iter, samples_done },
+        });
+        let j = &mut s.jobs[job];
         if j.samples_done >= j.samples_total {
             assert!(!j.gpus_held.is_empty(), "running job holds its gang");
             j.finished_at = Some(now);
@@ -1444,13 +1852,19 @@ impl Cluster {
             let held = j.gpus_held.clone();
             let reserved = j.reserved;
             for &gpu in &held {
-                let g = &mut gpus[gpu];
+                let g = &mut s.gpus[gpu];
                 g.touch(now);
                 g.reserved -= reserved;
                 g.resident.retain(|&r| r != job);
             }
+            s.events.push(JobEvent {
+                t: now,
+                job: job as u64,
+                name: s.jobs[job].spec.name.clone(),
+                kind: JobEventKind::Completed,
+            });
             for &gpu in &held {
-                reprice_residents(jobs, gpus, gpu, now, seq, heap);
+                reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
             }
             return;
         }
@@ -1458,14 +1872,14 @@ impl Cluster {
         // completed-iteration boundary — the only instants a batch change
         // is sound (the engine snapshot cursor is at a boundary).
         if self.cfg.elastic
-            && jobs[job].spec.elastic
-            && jobs[job].cur_batch < jobs[job].spec.batch.max(1)
-            && self.try_regrow(jobs, gpus, fabric, transfers, job, now, seq, heap)
+            && s.jobs[job].spec.elastic
+            && s.jobs[job].cur_batch < s.jobs[job].spec.batch.max(1)
+            && self.try_regrow(s, job, now)
         {
             return;
         }
-        if schedule_iter(jobs, gpus, job, now, seq, heap).is_err() {
-            abort_job(jobs, gpus, job, now, seq, heap);
+        if schedule_iter(&mut s.jobs, &s.gpus, job, now, &mut s.seq, &mut s.heap).is_err() {
+            abort_job(s, job, now);
         }
     }
 
@@ -1480,35 +1894,26 @@ impl Cluster {
     /// ([`capuchin_executor::Engine::restore_rebatched`]) — and
     /// `EV_REGROW` fires when they drain. Returns whether a re-grow is
     /// now in flight (the caller must not schedule the next iteration).
-    #[allow(clippy::too_many_arguments)]
-    fn try_regrow(
-        &mut self,
-        jobs: &mut [JobRun],
-        gpus: &mut [GpuState],
-        fabric: Option<&mut Interconnect>,
-        transfers: &mut Vec<ClusterTransfer>,
-        job: usize,
-        now: Time,
-        seq: &mut u64,
-        heap: &mut BinaryHeap<Event>,
-    ) -> bool {
-        let cur = jobs[job].cur_batch;
-        let above: Vec<usize> = elastic_batches(jobs[job].spec.batch, self.cfg.min_batch_fraction)
-            .into_iter()
-            .filter(|&b| b > cur)
-            .collect();
+    fn try_regrow(&mut self, s: &mut Session, job: usize, now: Time) -> bool {
+        let cur = s.jobs[job].cur_batch;
+        let above: Vec<usize> =
+            elastic_batches(s.jobs[job].spec.batch, self.cfg.min_batch_fraction)
+                .into_iter()
+                .filter(|&b| b > cur)
+                .collect();
         if above.is_empty() {
             return false;
         }
         // Headroom on each held device with this job's own reservation
         // returned; the gang's tightest member caps the grant.
-        let old = jobs[job].reserved;
-        let free = jobs[job]
+        let old = s.jobs[job].reserved;
+        let free = s.jobs[job]
             .gpus_held
             .iter()
-            .map(|&g| gpus[g].capacity.saturating_sub(gpus[g].reserved) + old)
+            .map(|&g| s.gpus[g].capacity.saturating_sub(s.gpus[g].reserved) + old)
             .min()
             .expect("resident job holds its gang");
+        let jobs = &s.jobs;
         let chosen = bisect_batch(&above, |b| {
             let needs = self.estimate_at(&jobs[job].spec, b).1;
             free >= needs.min
@@ -1518,12 +1923,12 @@ impl Cluster {
                     .is_none_or(|&fb| free.min(needs.full) > fb)
         });
         let Some(batch) = chosen else { return false };
-        let needs = self.estimate_at(&jobs[job].spec, batch).1;
+        let needs = self.estimate_at(&s.jobs[job].spec, batch).1;
         let grant = free.min(needs.full);
         let shrunk = grant < needs.full;
-        let spec = jobs[job].spec.clone();
+        let spec = s.jobs[job].spec.clone();
         let Some(replay) = self.validated_replay(&spec, batch, grant, shrunk) else {
-            let j = &mut jobs[job];
+            let j = &mut s.jobs[job];
             let e = j.failed.entry(batch).or_insert(grant);
             *e = (*e).max(grant);
             return false;
@@ -1531,13 +1936,13 @@ impl Cluster {
         // Charge the batch change like a preemption round-trip: D2H of
         // the old reservation, then H2D of the new, on every replica. On
         // a shared fabric both serialize on the host link.
-        let width = jobs[job].gpus_held.len().max(1) as u64;
-        let copy = match fabric {
+        let width = s.jobs[job].gpus_held.len().max(1) as u64;
+        let copy = match s.fabric.as_mut() {
             Some(f) => {
                 let out_bytes = old * width;
                 let out = f.host_transfer(now, out_bytes);
-                transfers.push(ClusterTransfer {
-                    job: jobs[job].spec.name.clone(),
+                s.transfers.push(ClusterTransfer {
+                    job: s.jobs[job].spec.name.clone(),
                     iter: u64::MAX,
                     label: "regrow-checkpoint".to_owned(),
                     link: "host".to_owned(),
@@ -1552,8 +1957,8 @@ impl Cluster {
                 });
                 let back_bytes = grant * width;
                 let back = f.host_transfer(out.end, back_bytes);
-                transfers.push(ClusterTransfer {
-                    job: jobs[job].spec.name.clone(),
+                s.transfers.push(ClusterTransfer {
+                    job: s.jobs[job].spec.name.clone(),
                     iter: u64::MAX,
                     label: "regrow-restore".to_owned(),
                     link: "host".to_owned(),
@@ -1576,14 +1981,14 @@ impl Cluster {
         // Claim the new reservation immediately: no placement decided
         // during the copy window can over-commit the headroom the grown
         // batch is about to occupy.
-        let held = jobs[job].gpus_held.clone();
+        let held = s.jobs[job].gpus_held.clone();
         for &gpu in &held {
-            let g = &mut gpus[gpu];
+            let g = &mut s.gpus[gpu];
             g.touch(now);
             g.reserved = g.reserved - old + grant;
             g.peak = g.peak.max(g.reserved);
         }
-        let j = &mut jobs[job];
+        let j = &mut s.jobs[job];
         j.reserved = grant;
         j.checkpoint_overhead += copy;
         j.rebatches += 1;
@@ -1593,14 +1998,9 @@ impl Cluster {
             replay,
         });
         j.epoch += 1;
-        heap.push(Reverse((
-            (now + copy).as_nanos(),
-            *seq,
-            EV_REGROW,
-            job,
-            j.epoch,
-        )));
-        *seq += 1;
+        let (at, epoch) = (now + copy, j.epoch);
+        s.heap.push(ev(at, s.seq, EV_REGROW, job, epoch));
+        s.seq += 1;
         true
     }
 }
@@ -1654,7 +2054,7 @@ fn schedule_iter(
     j.iter_priced_at = now;
     j.iterating = true;
     let end = now + wall.mul_f64(k);
-    heap.push(Reverse((end.as_nanos(), *seq, EV_ITER_END, job, j.epoch)));
+    heap.push(ev(end, *seq, EV_ITER_END, job, j.epoch));
     *seq += 1;
     Ok(())
 }
@@ -1691,13 +2091,7 @@ fn reprice_residents(
         j.iter_priced_at = now;
         let remaining = Duration::from_nanos(((1.0 - j.iter_progress) * k * base).round() as u64);
         j.epoch += 1;
-        heap.push(Reverse((
-            (now + remaining).as_nanos(),
-            *seq,
-            EV_ITER_END,
-            r,
-            j.epoch,
-        )));
+        heap.push(ev(now + remaining, *seq, EV_ITER_END, r, j.epoch));
         *seq += 1;
     }
 }
@@ -1705,15 +2099,8 @@ fn reprice_residents(
 /// Evicts `job` as a mid-run abort: every replica's reservation is
 /// released, its events are invalidated, and it counts toward
 /// `midrun_oom_aborts`.
-fn abort_job(
-    jobs: &mut [JobRun],
-    gpus: &mut [GpuState],
-    job: usize,
-    now: Time,
-    seq: &mut u64,
-    heap: &mut BinaryHeap<Event>,
-) {
-    let j = &mut jobs[job];
+fn abort_job(s: &mut Session, job: usize, now: Time) {
+    let j = &mut s.jobs[job];
     j.aborted = true;
     j.iterating = false;
     if let Some(since) = j.reduced_since.take() {
@@ -1723,13 +2110,19 @@ fn abort_job(
     let held = std::mem::take(&mut j.gpus_held);
     let reserved = j.reserved;
     for &gpu in &held {
-        let g = &mut gpus[gpu];
+        let g = &mut s.gpus[gpu];
         g.touch(now);
         g.reserved -= reserved;
         g.resident.retain(|&r| r != job);
     }
+    s.events.push(JobEvent {
+        t: now,
+        job: job as u64,
+        name: s.jobs[job].spec.name.clone(),
+        kind: JobEventKind::Aborted,
+    });
     for &gpu in &held {
-        reprice_residents(jobs, gpus, gpu, now, seq, heap);
+        reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
     }
 }
 
@@ -2079,7 +2472,7 @@ mod tests {
         let mut seq = 0;
         let mut heap: BinaryHeap<Event> = BinaryHeap::new();
         schedule_iter(&mut jobs, &gpus, 0, Time::ZERO, &mut seq, &mut heap).unwrap();
-        let Reverse((end, _, _, _, epoch)) = *heap.peek().unwrap();
+        let Reverse((end, _, _, _, _, epoch)) = *heap.peek().unwrap();
         assert_eq!(end, Duration::from_millis(100).as_nanos());
         assert_eq!(epoch, jobs[0].epoch);
         // A neighbour joins at t = 40 ms: 60 ms of base wall remain, now
@@ -2090,9 +2483,9 @@ mod tests {
         reprice_residents(&mut jobs, &gpus, 0, at, &mut seq, &mut heap);
         let newest = heap
             .iter()
-            .find(|Reverse((_, _, _, job, ep))| *job == 0 && *ep == jobs[0].epoch)
+            .find(|Reverse((_, _, _, _, job, ep))| *job == 0 && *ep == jobs[0].epoch)
             .expect("re-priced event exists");
-        let Reverse((end, _, _, _, _)) = *newest;
+        let Reverse((end, _, _, _, _, _)) = *newest;
         assert_eq!(end, Duration::from_millis(160).as_nanos());
     }
 

@@ -52,6 +52,16 @@
 //!   headroom frees up — paying the same checkpoint/restore copy costs
 //!   preemption models.
 //!
+//! The simulation core is **online**: [`Cluster::submit`],
+//! [`Cluster::cancel`], [`Cluster::step`]/[`Cluster::advance_to`],
+//! [`Cluster::status`] and [`Cluster::drain`] let a driver feed jobs in
+//! over time and observe lifecycle events ([`JobEvent`]) as they happen —
+//! `capuchin-serve` builds a streaming TCP daemon on exactly this API.
+//! [`Cluster::run`]/[`Cluster::run_traced`] are thin batch wrappers
+//! (submit everything, drain to idle) and produce byte-identical JSON to
+//! any interleaving of the online calls with the same submission
+//! sequence.
+//!
 //! Configurations are built with [`ClusterConfig::builder`], which
 //! validates every knob up front ([`ConfigError`]):
 //!
@@ -82,10 +92,15 @@ pub mod strategy;
 pub use crate::admission::{
     min_feasible_budget, Admission, AdmissionMode, JobNeeds, ReplayIter, ReplayTransfer,
 };
-pub use crate::cluster::{Cluster, ClusterConfig, ClusterConfigBuilder, ConfigError};
+pub use crate::cluster::{
+    CancelError, Cluster, ClusterConfig, ClusterConfigBuilder, ConfigError, JobId,
+};
 pub use crate::job::{load_jobs, parse_memory, synthetic_jobs, JobFileError, JobPolicy, JobSpec};
 pub use crate::parse::ParseEnumError;
-pub use crate::stats::{ClusterStats, ClusterTransfer, GpuStats, JobOutcome, JobStats};
+pub use crate::stats::{
+    ClusterStats, ClusterTransfer, GpuStats, JobEvent, JobEventKind, JobOutcome, JobState,
+    JobStats, JobStatus, STATS_SCHEMA_VERSION,
+};
 pub use crate::strategy::{
     BestFit, CandidateJob, FifoFirstFit, FitsFn, GpuView, PlacementStrategy, StrategyKind,
 };

@@ -6,6 +6,18 @@
 use capuchin_sim::{CopyDir, Duration, LinkStats, Time};
 use serde::{Deserialize, Serialize};
 
+/// Version stamp of the stats JSON schema, serialized as the first field
+/// of [`ClusterStats`] so protocol clients can detect drift before
+/// interpreting anything else.
+///
+/// History: version 1 is the implicit, unversioned schema of the first
+/// five PRs; version 2 added this field itself, the
+/// [`JobOutcome::Cancelled`] outcome, and the [`ClusterStats::cancelled`]
+/// counter, and nothing else. Bump it whenever
+/// a field is added, removed, renamed, or its meaning changes — the serve
+/// smoke test pins the daemon and the client to the same number.
+pub const STATS_SCHEMA_VERSION: u32 = 2;
+
 /// One entry of the cluster's unified transfer trace: a replayed swap
 /// transfer, a gang allreduce, or a checkpoint/restore copy, resolved on
 /// a shared fabric lane. Returned by [`crate::Cluster::run_traced`] as a
@@ -76,6 +88,151 @@ pub enum JobOutcome {
     /// Aborted mid-run: the replay state became unusable (an empty wall
     /// trace slipped past admission). Counted in `midrun_oom_aborts`.
     Aborted,
+    /// Cancelled through the online API ([`crate::Cluster::cancel`])
+    /// before it could complete. A never-admitted queued job that is
+    /// cancelled refunds nothing — it held no reservation to begin with —
+    /// and is *not* a rejection (admission never refused it) nor an abort
+    /// (its replay state never became unusable).
+    Cancelled,
+}
+
+/// A job's position in its lifecycle, as reported by
+/// [`crate::Cluster::status`]. Unlike [`JobOutcome`] — which is derived
+/// once, at stats time, and has a `Starved` catch-all for jobs the run
+/// left behind — this is a live view that changes as events process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting for placement (or for its arrival time to come up).
+    Queued,
+    /// Holding its gang and iterating.
+    Running,
+    /// Checkpointed to the host (or mid-checkpoint-copy), resumable.
+    Preempted,
+    /// Ran to completion.
+    Completed,
+    /// Refused at admission.
+    Rejected,
+    /// Evicted mid-run with unusable replay state.
+    Aborted,
+    /// Cancelled through the online API.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the job can make no further progress (terminal states
+    /// reject [`crate::Cluster::cancel`]).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Rejected | JobState::Aborted | JobState::Cancelled
+        )
+    }
+}
+
+/// Live per-job snapshot returned by [`crate::Cluster::status`]: enough
+/// for a wire client to render progress without waiting for final stats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Submission index (the [`crate::JobId`] value).
+    pub id: u64,
+    /// Job name from the spec.
+    pub name: String,
+    /// Lifecycle position right now.
+    pub state: JobState,
+    /// Completed iterations.
+    pub iters_done: u64,
+    /// Samples trained so far.
+    pub samples_done: u64,
+    /// Samples the job must train in total (`batch × iters`).
+    pub samples_total: u64,
+    /// Global batch currently in effect (elastic jobs may run reduced).
+    pub cur_batch: usize,
+    /// Gang width from the spec.
+    pub replicas: usize,
+    /// GPUs currently held (empty while queued or checkpointed).
+    pub gpus: Vec<usize>,
+    /// Per-replica reservation in bytes (zero while queued).
+    pub reserved_bytes: u64,
+    /// Checkpoint-preemptions suffered so far.
+    pub preemptions: u64,
+    /// Elastic batch changes so far.
+    pub rebatches: u64,
+}
+
+/// One lifecycle transition, recorded by the online core in occurrence
+/// order. The log is a side-channel like the transfer trace — it never
+/// feeds back into [`ClusterStats`], so the stats JSON stays
+/// byte-identical whether or not anyone reads it. `capuchin-serve`
+/// streams these to subscribers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobEvent {
+    /// Instant on the simulated clock the transition happened.
+    pub t: Time,
+    /// Submission index of the job.
+    pub job: u64,
+    /// Job name from the spec (denormalized so stream consumers need no
+    /// id → name lookup).
+    pub name: String,
+    /// What happened.
+    pub kind: JobEventKind,
+}
+
+/// The lifecycle transitions the online core records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobEventKind {
+    /// The job entered the cluster ([`crate::Cluster::submit`]).
+    Submitted,
+    /// Admission refused the job (no bare GPU can host a replica).
+    Rejected,
+    /// Placement granted the job its gang.
+    Admitted {
+        /// GPUs granted, in placement order.
+        gpus: Vec<usize>,
+        /// Global batch admitted at (may be elastically reduced).
+        batch: usize,
+        /// Per-replica reservation in bytes.
+        reserved: u64,
+    },
+    /// An iteration's compute and boundary communication both drained.
+    IterationDone {
+        /// Completed-iteration count after this one.
+        iter: u64,
+        /// Samples trained so far.
+        samples_done: u64,
+    },
+    /// The job's checkpoint copy drained; it is back in the queue.
+    Preempted,
+    /// The job's restore copy drained; it iterates again.
+    Resumed,
+    /// An elastic batch change took effect.
+    Rebatched {
+        /// The new global batch.
+        batch: usize,
+    },
+    /// The job trained all its samples.
+    Completed,
+    /// The job was evicted mid-run with unusable replay state.
+    Aborted,
+    /// The job was cancelled through the online API.
+    Cancelled,
+}
+
+impl JobEventKind {
+    /// Lowercase wire name, stable across schema versions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobEventKind::Submitted => "submitted",
+            JobEventKind::Rejected => "rejected",
+            JobEventKind::Admitted { .. } => "admitted",
+            JobEventKind::IterationDone { .. } => "iteration",
+            JobEventKind::Preempted => "preempted",
+            JobEventKind::Resumed => "resumed",
+            JobEventKind::Rebatched { .. } => "rebatched",
+            JobEventKind::Completed => "completed",
+            JobEventKind::Aborted => "aborted",
+            JobEventKind::Cancelled => "cancelled",
+        }
+    }
 }
 
 /// Per-job accounting.
@@ -161,6 +318,9 @@ pub struct GpuStats {
 /// Whole-run accounting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClusterStats {
+    /// Stats schema version, always [`STATS_SCHEMA_VERSION`]. First field
+    /// so clients can check it before interpreting the rest.
+    pub schema_version: u32,
     /// Number of simulated GPUs.
     pub gpus: usize,
     /// Admission mode name.
@@ -171,6 +331,9 @@ pub struct ClusterStats {
     pub submitted: usize,
     /// Jobs that ran to completion.
     pub completed: usize,
+    /// Jobs cancelled through [`crate::Cluster::cancel`] before reaching
+    /// any other terminal state.
+    pub cancelled: usize,
     /// Admission-time OOM rejections.
     pub oom_rejections: usize,
     /// Jobs that aborted mid-run (unusable replay state). Validation at
@@ -215,11 +378,13 @@ mod tests {
     #[test]
     fn stats_render_deterministically() {
         let stats = ClusterStats {
+            schema_version: STATS_SCHEMA_VERSION,
             gpus: 2,
             admission: "capuchin-admission".into(),
             strategy: "best-fit".into(),
             submitted: 1,
             completed: 1,
+            cancelled: 0,
             oom_rejections: 0,
             midrun_oom_aborts: 0,
             preemptions: 0,

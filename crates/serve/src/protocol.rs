@@ -1,0 +1,338 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! Every message — request, reply, or stream record — is one JSON object
+//! on one line, and every server-sent message leads with
+//! `"schema_version":` [`WIRE_SCHEMA_VERSION`] so clients can detect
+//! drift before interpreting anything else.
+//!
+//! Requests carry an `"op"` and an optional `"id"` the server echoes
+//! back, so clients can correlate replies without assuming ordering:
+//!
+//! ```json
+//! {"op":"submit","spec":{...job spec...},"id":1}
+//! {"op":"cancel","job":3}
+//! {"op":"status","job":3}
+//! {"op":"stats"}
+//! {"op":"subscribe","job":0,"transfers":true,"queue":64,"pace_us":0}
+//! {"op":"drain"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Replies are `{"schema_version":1,"reply":"<op>","id":...,"ok":true,
+//! ...}` or the same shape with `"ok":false,"error":"..."`. Stream
+//! records (only on subscribed connections) are tagged with `"stream"`:
+//! `"event"` for job lifecycle transitions, `"transfer"` for the
+//! per-tensor transfer timeline, and `"dropped"` for the coalesced
+//! backpressure marker.
+
+use capuchin_cluster::{ClusterTransfer, JobEvent, JobEventKind, JobSpec};
+use serde::{Deserialize as _, Serialize as _, Value};
+
+/// Version stamp carried by every wire message. Independent of the stats
+/// schema ([`capuchin_cluster::STATS_SCHEMA_VERSION`]), which versions
+/// the payload of `stats`/`drain` replies: version 1 is the protocol as
+/// introduced. Bump on any change to request or reply shapes.
+pub const WIRE_SCHEMA_VERSION: u32 = 1;
+
+/// Default bound on a subscriber's stream queue (messages, not bytes).
+pub const DEFAULT_EVENT_QUEUE: usize = 256;
+
+/// A parsed request: the operation plus the client's correlation id, if
+/// it sent one (echoed verbatim in the reply).
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Client correlation token (`"id"`), echoed back in the reply.
+    pub id: Option<Value>,
+    /// The operation to perform.
+    pub op: Op,
+}
+
+/// The operations the daemon accepts.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Submit one job; replies with its `job` id.
+    Submit {
+        /// The job to submit (same schema as a workload-file entry).
+        spec: JobSpec,
+    },
+    /// Cancel a submitted job by id.
+    Cancel {
+        /// Id returned by a previous `submit`.
+        job: u64,
+    },
+    /// Report a job's live lifecycle snapshot.
+    Status {
+        /// Id returned by a previous `submit`.
+        job: u64,
+    },
+    /// Snapshot whole-run statistics at the current instant.
+    Stats,
+    /// Turn this connection into a stream subscriber.
+    Subscribe(SubscribeOpts),
+    /// Stop admission, run residents to completion, reply with final
+    /// stats.
+    Drain,
+    /// Reply, then stop the daemon.
+    Shutdown,
+}
+
+/// Options of a `subscribe` request.
+#[derive(Debug, Clone)]
+pub struct SubscribeOpts {
+    /// Only stream events for this job (default: all jobs).
+    pub job: Option<u64>,
+    /// Also stream per-tensor transfer records (default: false).
+    pub transfers: bool,
+    /// Stream queue bound for this connection (default
+    /// [`DEFAULT_EVENT_QUEUE`], floored at 1). Replies are exempt.
+    pub queue: usize,
+    /// Artificial delay the writer sleeps after each line, in
+    /// microseconds (default 0). Exists so tests can throttle a consumer
+    /// deterministically and observe the backpressure path.
+    pub pace_us: u64,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed JSON, a missing or
+/// unknown `op`, or missing/ill-typed operation fields.
+pub fn parse_request(line: &str) -> Result<Envelope, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let id = v.get("id").cloned();
+    let op_name = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing string field `op`")?;
+    let op = match op_name {
+        "submit" => {
+            let spec = v.get("spec").ok_or("submit: missing field `spec`")?;
+            let spec = JobSpec::from_value(spec).map_err(|e| format!("submit: bad spec: {e}"))?;
+            Op::Submit { spec }
+        }
+        "cancel" => Op::Cancel {
+            job: job_field(&v, "cancel")?,
+        },
+        "status" => Op::Status {
+            job: job_field(&v, "status")?,
+        },
+        "stats" => Op::Stats,
+        "subscribe" => Op::Subscribe(SubscribeOpts {
+            job: match v.get("job") {
+                Some(j) => Some(
+                    j.as_u64()
+                        .ok_or("subscribe: `job` must be a non-negative integer")?,
+                ),
+                None => None,
+            },
+            transfers: match v.get("transfers") {
+                Some(t) => t
+                    .as_bool()
+                    .ok_or("subscribe: `transfers` must be a boolean")?,
+                None => false,
+            },
+            queue: match v.get("queue") {
+                Some(q) => usize::try_from(
+                    q.as_u64()
+                        .ok_or("subscribe: `queue` must be a positive integer")?,
+                )
+                .map_err(|_| "subscribe: `queue` out of range")?
+                .max(1),
+                None => DEFAULT_EVENT_QUEUE,
+            },
+            pace_us: match v.get("pace_us") {
+                Some(p) => p
+                    .as_u64()
+                    .ok_or("subscribe: `pace_us` must be a non-negative integer")?,
+                None => 0,
+            },
+        }),
+        "drain" => Op::Drain,
+        "shutdown" => Op::Shutdown,
+        other => return Err(format!("unknown op `{other}`")),
+    };
+    Ok(Envelope { id, op })
+}
+
+fn job_field(v: &Value, op: &str) -> Result<u64, String> {
+    v.get("job")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{op}: missing non-negative integer field `job`"))
+}
+
+fn base(reply: &str, id: &Option<Value>, ok: bool) -> Vec<(String, Value)> {
+    let mut fields = vec![
+        (
+            "schema_version".to_owned(),
+            Value::UInt(u64::from(WIRE_SCHEMA_VERSION)),
+        ),
+        ("reply".to_owned(), Value::Str(reply.to_owned())),
+    ];
+    if let Some(id) = id {
+        fields.push(("id".to_owned(), id.clone()));
+    }
+    fields.push(("ok".to_owned(), Value::Bool(ok)));
+    fields
+}
+
+fn compact(fields: Vec<(String, Value)>) -> String {
+    serde_json::to_string(&Value::Object(fields)).expect("wire message serializes")
+}
+
+/// Renders a success reply for `op`, with `extra` fields appended after
+/// `ok`.
+pub fn reply_ok(op: &str, id: &Option<Value>, extra: Vec<(String, Value)>) -> String {
+    let mut fields = base(op, id, true);
+    fields.extend(extra);
+    compact(fields)
+}
+
+/// Renders an error reply for `op`.
+pub fn reply_err(op: &str, id: &Option<Value>, error: &str) -> String {
+    let mut fields = base(op, id, false);
+    fields.push(("error".to_owned(), Value::Str(error.to_owned())));
+    compact(fields)
+}
+
+/// Renders one lifecycle event as a stream record: the
+/// [`JobEventKind`] is flattened to its lowercase wire name plus the
+/// kind's own fields, so consumers switch on a single `"kind"` string.
+pub fn event_line(e: &JobEvent) -> String {
+    let mut fields = vec![
+        (
+            "schema_version".to_owned(),
+            Value::UInt(u64::from(WIRE_SCHEMA_VERSION)),
+        ),
+        ("stream".to_owned(), Value::Str("event".to_owned())),
+        ("t".to_owned(), Value::UInt(e.t.as_nanos())),
+        ("job".to_owned(), Value::UInt(e.job)),
+        ("name".to_owned(), Value::Str(e.name.clone())),
+        ("kind".to_owned(), Value::Str(e.kind.name().to_owned())),
+    ];
+    match &e.kind {
+        JobEventKind::Admitted {
+            gpus,
+            batch,
+            reserved,
+        } => {
+            fields.push((
+                "gpus".to_owned(),
+                Value::Array(gpus.iter().map(|&g| Value::UInt(g as u64)).collect()),
+            ));
+            fields.push(("batch".to_owned(), Value::UInt(*batch as u64)));
+            fields.push(("reserved".to_owned(), Value::UInt(*reserved)));
+        }
+        JobEventKind::IterationDone { iter, samples_done } => {
+            fields.push(("iter".to_owned(), Value::UInt(*iter)));
+            fields.push(("samples_done".to_owned(), Value::UInt(*samples_done)));
+        }
+        JobEventKind::Rebatched { batch } => {
+            fields.push(("batch".to_owned(), Value::UInt(*batch as u64)));
+        }
+        _ => {}
+    }
+    compact(fields)
+}
+
+/// Renders one per-tensor transfer record as a stream record (the
+/// [`ClusterTransfer`] fields, inlined).
+pub fn transfer_line(t: &ClusterTransfer) -> String {
+    let mut fields = vec![
+        (
+            "schema_version".to_owned(),
+            Value::UInt(u64::from(WIRE_SCHEMA_VERSION)),
+        ),
+        ("stream".to_owned(), Value::Str("transfer".to_owned())),
+    ];
+    if let Value::Object(entries) = t.to_value() {
+        fields.extend(entries);
+    }
+    compact(fields)
+}
+
+/// Renders the coalesced backpressure marker: `n` stream records were
+/// dropped on this connection since the last one it received.
+pub fn dropped_line(n: u64) -> String {
+    compact(vec![
+        (
+            "schema_version".to_owned(),
+            Value::UInt(u64::from(WIRE_SCHEMA_VERSION)),
+        ),
+        ("stream".to_owned(), Value::Str("dropped".to_owned())),
+        ("dropped".to_owned(), Value::UInt(n)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capuchin_sim::Time;
+
+    #[test]
+    fn requests_parse_and_report_errors() {
+        let env = parse_request(r#"{"op":"status","job":3,"id":7}"#).unwrap();
+        assert!(matches!(env.op, Op::Status { job: 3 }));
+        assert_eq!(env.id, Some(Value::Int(7)));
+
+        let env = parse_request(r#"{"op":"subscribe"}"#).unwrap();
+        match env.op {
+            Op::Subscribe(o) => {
+                assert_eq!(o.job, None);
+                assert!(!o.transfers);
+                assert_eq!(o.queue, DEFAULT_EVENT_QUEUE);
+                assert_eq!(o.pace_us, 0);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+
+        assert!(parse_request("not json").unwrap_err().contains("bad JSON"));
+        assert!(parse_request(r#"{"op":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(parse_request(r#"{"op":"cancel"}"#)
+            .unwrap_err()
+            .contains("`job`"));
+    }
+
+    #[test]
+    fn every_line_leads_with_the_wire_schema_version() {
+        let prefix = format!("{{\"schema_version\":{WIRE_SCHEMA_VERSION},");
+        let event = JobEvent {
+            t: Time::ZERO,
+            job: 0,
+            name: "j".into(),
+            kind: JobEventKind::Completed,
+        };
+        for line in [
+            reply_ok("stats", &None, vec![]),
+            reply_err("cancel", &Some(Value::Int(1)), "nope"),
+            event_line(&event),
+            dropped_line(4),
+        ] {
+            assert!(line.starts_with(&prefix), "{line}");
+            assert!(!line.contains('\n'), "{line}");
+        }
+    }
+
+    #[test]
+    fn event_kinds_flatten_their_fields() {
+        let line = event_line(&JobEvent {
+            t: Time::ZERO,
+            job: 2,
+            name: "gang".into(),
+            kind: JobEventKind::Admitted {
+                gpus: vec![0, 1],
+                batch: 64,
+                reserved: 1 << 20,
+            },
+        });
+        let v: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("admitted"));
+        assert_eq!(v.get("batch").and_then(Value::as_u64), Some(64));
+        assert_eq!(
+            v.get("gpus").and_then(Value::as_array).map(<[Value]>::len),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,474 @@
+//! The daemon: one scheduler thread owning the online
+//! [`Cluster`], a listener thread accepting TCP connections, and one
+//! reader + one writer thread per connection.
+//!
+//! All cluster state lives on the scheduler thread; connections talk to
+//! it through an mpsc channel and get answers through their connection's
+//! bounded [`SubQueue`]. The scheduler therefore never blocks on a
+//! socket: replies are queued unconditionally, stream records are
+//! dropped-and-counted past the subscriber's bound (see [`crate::queue`]).
+//!
+//! Drain ordering: `drain` closes admission (subsequent `submit`s get an
+//! error), steps the event clock until no live work remains — pumping
+//! lifecycle events and transfer records to subscribers after every
+//! event — and only then renders final stats into its reply, so a
+//! subscriber's stream is always complete (modulo explicit `dropped`
+//! markers) before the drain reply is observable.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc};
+use std::thread;
+
+use capuchin_cluster::{
+    AdmissionMode, Cluster, ClusterConfig, ClusterTransfer, JobEvent, StrategyKind,
+};
+use capuchin_sim::{DeviceSpec, Duration, InterconnectSpec, Time};
+use serde::{Serialize as _, Value};
+
+use crate::protocol::{self, Envelope, Op};
+use crate::queue::SubQueue;
+
+/// How the daemon maps wall time onto the simulated event clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// The simulated clock advances only inside `drain`: a fixed
+    /// submission sequence is fully deterministic and byte-identical to
+    /// the batch run. The default, and what tests/benches use.
+    Virtual,
+    /// The simulated clock tracks real elapsed time since the daemon
+    /// started: events fire as wall time passes them.
+    Wall,
+}
+
+impl ClockMode {
+    /// Wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockMode::Virtual => "virtual",
+            ClockMode::Wall => "wall",
+        }
+    }
+
+    /// Parses a `--clock` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message for anything but `virtual` or `wall`.
+    pub fn parse(s: &str) -> Result<ClockMode, String> {
+        match s {
+            "virtual" => Ok(ClockMode::Virtual),
+            "wall" => Ok(ClockMode::Wall),
+            other => Err(format!(
+                "--clock must be `virtual` or `wall`, got `{other}`"
+            )),
+        }
+    }
+}
+
+/// Everything [`serve`] needs.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// The simulated cluster to schedule on.
+    pub cluster: ClusterConfig,
+    /// Clock mode (default [`ClockMode::Virtual`]).
+    pub clock: ClockMode,
+    /// Bind address; use port 0 for an ephemeral port and read the real
+    /// one from [`ServerHandle::addr`].
+    pub addr: String,
+}
+
+impl ServeConfig {
+    /// Builds a config from `--flag value` pairs, sharing the cluster
+    /// knobs (and their defaults) with `capuchin-cli cluster`:
+    /// `addr`, `clock`, `gpus`, `memory`, `admission`, `strategy`,
+    /// `aging-rate`, `preemption`, `interconnect`, `elastic`,
+    /// `min-batch-frac`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the offending flag.
+    pub fn from_flags(flags: &HashMap<String, String>) -> Result<ServeConfig, String> {
+        let gpus: usize = match flags.get("gpus") {
+            Some(s) => s.parse().map_err(|_| "--gpus must be an integer")?,
+            None => 4,
+        };
+        let memory = match flags.get("memory") {
+            Some(s) => capuchin_cluster::parse_memory(s)?,
+            None => 16 << 30,
+        };
+        let admission = match flags.get("admission") {
+            Some(s) => s.parse::<AdmissionMode>().map_err(|e| e.to_string())?,
+            None => AdmissionMode::Capuchin,
+        };
+        let strategy = match flags.get("strategy") {
+            Some(s) => s.parse::<StrategyKind>().map_err(|e| e.to_string())?,
+            None => StrategyKind::FifoFirstFit,
+        };
+        let aging_rate: f64 = match flags.get("aging-rate") {
+            Some(s) => s.parse().map_err(|_| "--aging-rate must be a number")?,
+            None => 0.1,
+        };
+        let min_batch_frac: f64 = match flags.get("min-batch-frac") {
+            Some(s) => s
+                .parse()
+                .map_err(|_| "--min-batch-frac must be a fraction in (0, 1]")?,
+            None => 0.25,
+        };
+        let interconnect = match flags.get("interconnect") {
+            Some(s) => InterconnectSpec::parse(s)?,
+            None => None,
+        };
+        let cluster = ClusterConfig::builder()
+            .gpus(gpus)
+            .spec(DeviceSpec::p100_pcie3().with_memory(memory))
+            .admission(admission)
+            .strategy(strategy)
+            .aging_rate(aging_rate)
+            .preemption(on_off(flags, "preemption")?)
+            .interconnect(interconnect)
+            .elastic(on_off(flags, "elastic")?)
+            .min_batch_fraction(min_batch_frac)
+            .build()
+            .map_err(|e| e.to_string())?;
+        Ok(ServeConfig {
+            cluster,
+            clock: match flags.get("clock") {
+                Some(s) => ClockMode::parse(s)?,
+                None => ClockMode::Virtual,
+            },
+            addr: flags
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7070".to_owned()),
+        })
+    }
+}
+
+fn on_off(flags: &HashMap<String, String>, key: &str) -> Result<bool, String> {
+    match flags.get(key).map(String::as_str) {
+        None | Some("off") => Ok(false),
+        Some("on") => Ok(true),
+        Some(other) => Err(format!("--{key} must be `on` or `off`, got `{other}`")),
+    }
+}
+
+/// A running daemon: the bound address plus the threads to join.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    scheduler: thread::JoinHandle<()>,
+    listener: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the daemon stops (a client sent `shutdown`).
+    pub fn wait(self) {
+        let _ = self.scheduler.join();
+        let _ = self.listener.join();
+    }
+}
+
+enum Command {
+    Request { env: Envelope, queue: Arc<SubQueue> },
+    Hangup { queue: Arc<SubQueue> },
+}
+
+struct Subscriber {
+    queue: Arc<SubQueue>,
+    job: Option<u64>,
+    /// The subscribed job's name — transfer records carry names, not ids.
+    name: Option<String>,
+    transfers: bool,
+}
+
+/// Starts the daemon and returns once the socket is bound and both
+/// service threads are running.
+///
+/// # Errors
+///
+/// Returns the bind error when `cfg.addr` is unusable.
+pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::channel::<Command>();
+    let scheduler = thread::spawn({
+        let stop = Arc::clone(&stop);
+        let cluster = cfg.cluster;
+        let clock = cfg.clock;
+        move || scheduler_loop(Cluster::new(cluster), clock, &rx, &stop, addr)
+    });
+    let listener_thread = thread::spawn(move || accept_loop(&listener, &tx, &stop));
+    Ok(ServerHandle {
+        addr,
+        scheduler,
+        listener: listener_thread,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, tx: &Sender<Command>, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let queue = SubQueue::new(protocol::DEFAULT_EVENT_QUEUE);
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let wq = Arc::clone(&queue);
+        thread::spawn(move || writer_loop(write_half, &wq));
+        let rtx = tx.clone();
+        thread::spawn(move || reader_loop(stream, &rtx, &queue));
+    }
+}
+
+fn reader_loop(stream: TcpStream, tx: &Sender<Command>, queue: &Arc<SubQueue>) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match protocol::parse_request(trimmed) {
+            Ok(env) => {
+                let cmd = Command::Request {
+                    env,
+                    queue: Arc::clone(queue),
+                };
+                if tx.send(cmd).is_err() {
+                    break;
+                }
+            }
+            // Malformed lines are answered locally; the scheduler never
+            // sees them.
+            Err(msg) => queue.push_reply(protocol::reply_err("?", &None, &msg)),
+        }
+    }
+    let _ = tx.send(Command::Hangup {
+        queue: Arc::clone(queue),
+    });
+    queue.close();
+}
+
+fn writer_loop(mut stream: TcpStream, queue: &Arc<SubQueue>) {
+    while let Some(line) = queue.pop() {
+        let write = stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .and_then(|()| stream.flush());
+        if write.is_err() {
+            // The consumer is gone; closing prunes this subscriber at the
+            // scheduler's next pump.
+            queue.close();
+            break;
+        }
+        let pace = queue.pace_us();
+        if pace > 0 {
+            thread::sleep(std::time::Duration::from_micros(pace));
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+fn scheduler_loop(
+    mut cluster: Cluster,
+    clock: ClockMode,
+    rx: &Receiver<Command>,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) {
+    let mut subs: Vec<Subscriber> = Vec::new();
+    let mut draining = false;
+    let started = std::time::Instant::now();
+    loop {
+        let cmd = match clock {
+            ClockMode::Virtual => match rx.recv() {
+                Ok(cmd) => Some(cmd),
+                Err(_) => break,
+            },
+            ClockMode::Wall => match rx.recv_timeout(std::time::Duration::from_millis(2)) {
+                Ok(cmd) => Some(cmd),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+        };
+        if clock == ClockMode::Wall {
+            let elapsed = Duration::from_nanos(
+                u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            cluster.advance_to(Time::ZERO + elapsed);
+            pump(&mut cluster, &mut subs);
+        }
+        match cmd {
+            None => {}
+            Some(Command::Hangup { queue }) => {
+                subs.retain(|s| !Arc::ptr_eq(&s.queue, &queue));
+            }
+            Some(Command::Request { env, queue }) => {
+                let shutdown = handle(&mut cluster, &mut subs, &mut draining, env, &queue);
+                pump(&mut cluster, &mut subs);
+                if shutdown {
+                    for sub in &subs {
+                        sub.queue.close();
+                    }
+                    queue.close();
+                    stop.store(true, Ordering::Relaxed);
+                    // Unblock the listener's accept so it observes `stop`.
+                    let _ = TcpStream::connect(addr);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Fans freshly drained lifecycle events and transfer records out to the
+/// matching subscribers. Runs after every command and every drain step —
+/// also with no subscribers at all, so the side-channel buffers cannot
+/// grow without bound in a long-lived daemon.
+fn pump(cluster: &mut Cluster, subs: &mut Vec<Subscriber>) {
+    let events = cluster.take_events();
+    let transfers = cluster.take_transfers();
+    if subs.is_empty() {
+        return;
+    }
+    for e in &events {
+        let line = protocol::event_line(e);
+        for sub in subs.iter().filter(|s| s.wants_event(e)) {
+            sub.queue.push_stream(line.clone());
+        }
+    }
+    for t in &transfers {
+        let line = protocol::transfer_line(t);
+        for sub in subs.iter().filter(|s| s.wants_transfer(t)) {
+            sub.queue.push_stream(line.clone());
+        }
+    }
+    subs.retain(|s| !s.queue.is_closed());
+}
+
+impl Subscriber {
+    fn wants_event(&self, e: &JobEvent) -> bool {
+        self.job.is_none_or(|j| j == e.job)
+    }
+
+    fn wants_transfer(&self, t: &ClusterTransfer) -> bool {
+        self.transfers && self.name.as_ref().is_none_or(|n| *n == t.job)
+    }
+}
+
+fn handle(
+    cluster: &mut Cluster,
+    subs: &mut Vec<Subscriber>,
+    draining: &mut bool,
+    env: Envelope,
+    queue: &Arc<SubQueue>,
+) -> bool {
+    let Envelope { id, op } = env;
+    match op {
+        Op::Submit { spec } => {
+            if *draining {
+                queue.push_reply(protocol::reply_err(
+                    "submit",
+                    &id,
+                    "draining: admission is closed",
+                ));
+            } else {
+                let job = cluster.submit(&spec) as u64;
+                queue.push_reply(protocol::reply_ok(
+                    "submit",
+                    &id,
+                    vec![("job".to_owned(), Value::UInt(job))],
+                ));
+            }
+        }
+        Op::Cancel { job } => {
+            let reply = match usize::try_from(job)
+                .map_err(|_| "job id out of range".to_owned())
+                .and_then(|j| cluster.cancel(j).map_err(|e| e.to_string()))
+            {
+                Ok(()) => protocol::reply_ok("cancel", &id, vec![]),
+                Err(e) => protocol::reply_err("cancel", &id, &e),
+            };
+            queue.push_reply(reply);
+        }
+        Op::Status { job } => {
+            let status = usize::try_from(job).ok().and_then(|j| cluster.status(j));
+            let reply = match status {
+                Some(st) => {
+                    protocol::reply_ok("status", &id, vec![("status".to_owned(), st.to_value())])
+                }
+                None => {
+                    protocol::reply_err("status", &id, &format!("job {job} was never submitted"))
+                }
+            };
+            queue.push_reply(reply);
+        }
+        Op::Stats => {
+            queue.push_reply(protocol::reply_ok(
+                "stats",
+                &id,
+                vec![("stats".to_owned(), cluster.stats().to_value())],
+            ));
+        }
+        Op::Subscribe(opts) => {
+            let name = opts
+                .job
+                .and_then(|j| usize::try_from(j).ok())
+                .and_then(|j| cluster.status(j))
+                .map(|st| st.name);
+            if let (Some(job), None) = (opts.job, &name) {
+                queue.push_reply(protocol::reply_err(
+                    "subscribe",
+                    &id,
+                    &format!("job {job} was never submitted"),
+                ));
+            } else {
+                queue.set_cap(opts.queue);
+                queue.set_pace_us(opts.pace_us);
+                subs.push(Subscriber {
+                    queue: Arc::clone(queue),
+                    job: opts.job,
+                    name,
+                    transfers: opts.transfers,
+                });
+                queue.push_reply(protocol::reply_ok("subscribe", &id, vec![]));
+            }
+        }
+        Op::Drain => {
+            *draining = true;
+            // Step-and-pump rather than `Cluster::drain`, so subscribers
+            // watch the run retire instead of getting one burst at the
+            // end (and so bounded queues exercise their drop path).
+            while cluster.step() {
+                pump(cluster, subs);
+            }
+            queue.push_reply(protocol::reply_ok(
+                "drain",
+                &id,
+                vec![("stats".to_owned(), cluster.stats().to_value())],
+            ));
+        }
+        Op::Shutdown => {
+            queue.push_reply(protocol::reply_ok("shutdown", &id, vec![]));
+            return true;
+        }
+    }
+    false
+}

@@ -29,4 +29,24 @@ cargo run --release -q -p capuchin-bench --bin trace_export -- --smoke
 echo "==> smoke: cluster_elastic shrink-then-regrow cycle"
 cargo run --release -q -p capuchin-bench --bin cluster_elastic -- --smoke
 
+echo "==> smoke: serve daemon, in-process (TCP submit/subscribe/drain, stats byte-identity)"
+cargo run --release -q -p capuchin-bench --bin serve_smoke -- --smoke
+
+echo "==> smoke: serve daemon, external process on an ephemeral port"
+serve_log="$(mktemp)"
+./target/release/capuchin-serve --addr 127.0.0.1:0 --clock virtual \
+  --gpus 2 --admission tf-ori --elastic on > "$serve_log" &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+for _ in $(seq 1 50); do
+  grep -q 'listening on ' "$serve_log" && break
+  sleep 0.1
+done
+serve_addr="$(grep -oE '127\.0\.0\.1:[0-9]+' "$serve_log" | head -1)"
+[ -n "$serve_addr" ] || { echo "capuchin-serve never reported its address"; exit 1; }
+./target/release/serve_smoke --connect "$serve_addr"
+wait "$serve_pid"   # shutdown op must terminate the daemon cleanly
+trap - EXIT
+rm -f "$serve_log"
+
 echo "==> all checks passed"
