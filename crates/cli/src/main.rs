@@ -16,7 +16,8 @@ use std::collections::HashMap;
 use capuchin::Capuchin;
 use capuchin_baselines::{CheckpointMode, GradientCheckpointing, LruSwap, TfOri, Vdnn};
 use capuchin_cluster::{
-    load_jobs, synthetic_jobs, AdmissionMode, Cluster, ClusterConfig, ParseEnumError, StrategyKind,
+    load_jobs, synthetic_jobs, synthetic_mixed_jobs, AdmissionMode, Cluster, ClusterConfig,
+    ParseEnumError, StrategyKind,
 };
 use capuchin_executor::{Engine, EngineConfig, ExecMode, MemoryPolicy};
 use capuchin_graph::Graph;
@@ -32,8 +33,8 @@ USAGE:
                            [--iters <n>] [--eager]
     capuchin-cli max-batch --model <m> [--policy <p>] [--memory ...] [--eager]
     capuchin-cli plan      --model <m> --batch <n> [--memory ...]
-    capuchin-cli cluster   (--jobs <file> | --synthetic <n> [--seed <s>]
-                           [--mean-interarrival <secs>])
+    capuchin-cli cluster   (--jobs <file> | --synthetic <n> | --mixed <n>)
+                           [--seed <s>] [--mean-interarrival <secs>]
                            [--gpus <n>] [--memory ...] [--admission tf-ori|capuchin]
                            [--strategy fifo|best-fit] [--aging-rate <r>]
                            [--preemption on|off] [--interconnect off|pcie|peer<k>]
@@ -57,6 +58,8 @@ CLUSTER:   schedules a multi-job workload over N simulated GPUs and prints
            --transfer-trace writes the unified per-tensor transfer
            timeline (one JSON record per replayed swap, allreduce, or
            checkpoint/restore copy) without changing the stats JSON.
+           --mixed generates a scale-bench workload (rigid singles,
+           gangs, and elastic jobs mixed; gangs sized to the cluster).
            --elastic on lets jobs marked \"elastic\": true in the file
            start at a reduced batch when the cluster is full (floored at
            --min-batch-frac of the requested batch, default 0.25) and
@@ -240,6 +243,26 @@ impl Args {
             ..EngineConfig::default()
         }
     }
+
+    /// Rejects flags the subcommand does not read: a typo like
+    /// `--preempt on` must exit with usage, not silently run with the
+    /// flag's default.
+    fn expect_only(&self, allowed: &[&str]) {
+        let mut unknown: Vec<&str> = self
+            .flags
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        if let Some(first) = unknown.first() {
+            let accepted: Vec<String> = allowed.iter().map(|a| format!("--{a}")).collect();
+            fail(&format!(
+                "unknown flag `--{first}` for this command (accepted: {})",
+                accepted.join(", ")
+            ));
+        }
+    }
 }
 
 fn cmd_models() {
@@ -261,6 +284,7 @@ fn cmd_models() {
 }
 
 fn cmd_run(args: &Args) {
+    args.expect_only(&["model", "batch", "policy", "memory", "iters"]);
     let kind = args.model();
     let batch = args.batch();
     let model = kind.build(batch);
@@ -311,6 +335,7 @@ fn cmd_run(args: &Args) {
 }
 
 fn cmd_max_batch(args: &Args) {
+    args.expect_only(&["model", "policy", "memory"]);
     let kind = args.model();
     let cfg = args.config();
     let policy_name = args.policy_name().to_owned();
@@ -345,6 +370,7 @@ fn cmd_max_batch(args: &Args) {
 }
 
 fn cmd_plan(args: &Args) {
+    args.expect_only(&["model", "batch", "memory"]);
     let kind = args.model();
     let batch = args.batch();
     let model = kind.build(batch);
@@ -386,6 +412,24 @@ fn cmd_plan(args: &Args) {
 }
 
 fn cmd_cluster(args: &Args) {
+    args.expect_only(&[
+        "gpus",
+        "memory",
+        "jobs",
+        "synthetic",
+        "mixed",
+        "seed",
+        "mean-interarrival",
+        "admission",
+        "strategy",
+        "aging-rate",
+        "preemption",
+        "interconnect",
+        "elastic",
+        "min-batch-frac",
+        "transfer-trace",
+        "out",
+    ]);
     // Cluster size first: job-file gang widths are validated against it.
     let gpus: usize = args
         .flags
@@ -419,10 +463,15 @@ fn cmd_cluster(args: &Args) {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("cannot read job file `{path}`: {e}")));
         load_jobs(&text, gpus, min_batch_frac).unwrap_or_else(|e| fail(&e.to_string()))
-    } else if let Some(n) = args.flags.get("synthetic") {
-        let n: usize = n
+    } else if args.flags.contains_key("synthetic") || args.flags.contains_key("mixed") {
+        let (key, mixed) = if args.flags.contains_key("mixed") {
+            ("mixed", true)
+        } else {
+            ("synthetic", false)
+        };
+        let n: usize = args.flags[key]
             .parse()
-            .unwrap_or_else(|_| fail("--synthetic must be a job count"));
+            .unwrap_or_else(|_| fail(&format!("--{key} must be a job count")));
         let seed: u64 = args
             .flags
             .get("seed")
@@ -439,9 +488,13 @@ fn cmd_cluster(args: &Args) {
                     .unwrap_or_else(|_| fail("--mean-interarrival must be seconds"))
             })
             .unwrap_or(2.0);
-        synthetic_jobs(n, seed, mean)
+        if mixed {
+            synthetic_mixed_jobs(n, gpus, seed, mean)
+        } else {
+            synthetic_jobs(n, seed, mean)
+        }
     } else {
-        fail("cluster needs --jobs <file> or --synthetic <n>")
+        fail("cluster needs --jobs <file>, --synthetic <n>, or --mixed <n>")
     };
     let admission = args
         .flags
@@ -534,6 +587,8 @@ fn cmd_cluster(args: &Args) {
 }
 
 fn cmd_serve(args: &Args) {
+    // `from_flags` rejects unknown keys itself — one accepted-flag list
+    // shared with the standalone `capuchin-serve` binary.
     let cfg = capuchin_serve::ServeConfig::from_flags(&args.flags)
         .unwrap_or_else(|e| fail(&e.to_string()));
     let clock = cfg.clock;

@@ -15,6 +15,21 @@
 //! `min(headroom, full)` and any shrunk admission is re-validated by an
 //! actual engine run at the granted budget — which is what guarantees
 //! admitted jobs never abort mid-run.
+//!
+//! # Cost model
+//!
+//! Every [`Admission::validate`] call is a *real engine run* — milliseconds
+//! of planner + executor work, not a table lookup. The cluster memoizes
+//! results by `(model, batch, budget, policy, shrunk, iters)`, so under
+//! tf-ori admission (grants always equal `full`) a whole workload's
+//! validations collapse onto its shape menu. Under Capuchin admission the
+//! grant is `min(headroom, full)` — an arbitrary byte value — so every
+//! distinct shrunk grant is a cache miss that pays a full validation run.
+//! That cost is the paper's measured-validation guarantee, inherent
+//! per-job simulation payload rather than scheduler overhead; the scale
+//! bench (`cluster_scale`) therefore clocks the scheduler under tf-ori
+//! admission and leaves per-budget validation cost to the admission
+//! benches. See `DESIGN.md` §13 for the memoization keys.
 
 use capuchin::{shrink_feasibility, Capuchin, FootprintEstimate, PlannerConfig};
 use capuchin_executor::{Engine, EngineConfig, ExecError, MemoryPolicy, TfOri};

@@ -79,8 +79,9 @@
 //! the online API ([`Cluster::submit`]) interleaves a late submission
 //! exactly where the batch loop (which pushes every arrival before any
 //! scheduled event exists) would have processed it. All caches are
-//! `BTreeMap`s; the waiting queue is a plain `Vec` in queue-entry order
-//! (arrival, or checkpoint completion for preempted jobs). Re-pricing and
+//! `BTreeMap`s; the waiting queue is a `BTreeMap` keyed by a monotone
+//! entry sequence — queue-entry order (arrival, or checkpoint completion
+//! for preempted jobs) with O(log n) keyed removal. Re-pricing and
 //! preemption supersede scheduled iteration ends via a per-job epoch
 //! counter — stale events are skipped on pop, never mutated in place.
 //! Two runs over the same workload produce byte-identical stats JSON.
@@ -93,18 +94,21 @@
 //! atomic grant.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::sync::Arc;
 
-use capuchin::{bisect_batch, elastic_batches, measure_footprint, FootprintEstimate};
+use capuchin::{bisect_batch, elastic_batches, measure_footprint};
+use capuchin_models::ModelKind;
 use capuchin_sim::{CopyDir, DeviceSpec, Duration, Interconnect, InterconnectSpec, Time};
 
 use crate::admission::{Admission, AdmissionMode, JobNeeds, ReplayIter};
+use crate::headroom::GpuPool;
 use crate::job::JobSpec;
 use crate::stats::{
     ClusterStats, ClusterTransfer, GpuStats, JobEvent, JobEventKind, JobOutcome, JobState,
     JobStats, JobStatus, STATS_SCHEMA_VERSION,
 };
-use crate::strategy::{CandidateJob, GpuView, StrategyKind};
+use crate::strategy::{aging_permille, effective_priority_permille, CandidateJob, StrategyKind};
 
 /// Cluster shape and scheduling knobs.
 ///
@@ -324,8 +328,9 @@ struct Checkpoint {
     reserved: u64,
     /// Whether that reservation was a shrunk grant.
     shrunk: bool,
-    /// Validated per-iteration replay trace.
-    replay: Vec<ReplayIter>,
+    /// Validated per-iteration replay trace (shared with the validation
+    /// cache — checkpointing never copies the trace).
+    replay: Arc<Vec<ReplayIter>>,
     /// Global batch in effect when the checkpoint was taken (may be an
     /// elastically reduced batch).
     cur_batch: usize,
@@ -344,7 +349,7 @@ struct Regrow {
     /// Whether the new grant is below the new batch's ideal peak.
     shrunk: bool,
     /// Validated replay trace at the new batch and grant.
-    replay: Vec<ReplayIter>,
+    replay: Arc<Vec<ReplayIter>>,
 }
 
 /// Per-job simulation state.
@@ -383,8 +388,14 @@ struct JobRun {
     shrunk: bool,
     admitted_at: Option<Time>,
     finished_at: Option<Time>,
-    replay: Vec<ReplayIter>,
+    replay: Arc<Vec<ReplayIter>>,
     iters_done: u64,
+    /// Key of this job's entry in [`Session::pending`] while queued.
+    queue_key: Option<u64>,
+    /// Cached minimum of `needs.min` over the job's whole elastic ladder:
+    /// when even this exceeds the best headroom anywhere, the elastic
+    /// pass skips the job without probing a single rung.
+    ladder_floor_min: Option<u64>,
     /// Global batch currently in effect: `spec.batch` unless elastic
     /// re-batching reduced it (and has not yet grown it back).
     cur_batch: usize,
@@ -464,8 +475,10 @@ impl JobRun {
             shrunk: false,
             admitted_at: None,
             finished_at: None,
-            replay: Vec::new(),
+            replay: Arc::new(Vec::new()),
             iters_done: 0,
+            queue_key: None,
+            ladder_floor_min: None,
             cur_batch: spec.batch.max(1),
             samples_total: (spec.batch.max(1) as u64).saturating_mul(spec.iters),
             samples_done: 0,
@@ -558,6 +571,16 @@ impl GpuState {
     }
 }
 
+/// Removes `job` from a GPU's resident list by position (one find + one
+/// shift instead of a full `retain` rewrite). Order is preserved —
+/// re-pricing iterates residents in placement order, and reordering them
+/// would drift event sequence numbers and the stats JSON.
+fn remove_resident(g: &mut GpuState, job: usize) {
+    if let Some(pos) = g.resident.iter().position(|&r| r == job) {
+        g.resident.remove(pos);
+    }
+}
+
 const EV_ARRIVE: u8 = 0;
 const EV_ITER_END: u8 = 1;
 /// A preemption's device-to-host checkpoint copy drained: release the
@@ -596,10 +619,29 @@ fn ev(t: Time, seq: u64, kind: u8, job: usize, epoch: u64) -> Event {
 #[derive(Debug, PartialEq, Eq)]
 struct EmptyWalls;
 
-/// Validation-cache key: `(model name, replica batch, budget, policy,
-/// shrunk, iters)`. Keyed by the *replica* batch, so a 4-GPU gang at
-/// batch 128 shares the cache entry with a single-GPU job at batch 32.
-type ValidationKey = (String, usize, u64, &'static str, bool, u64);
+/// Validation-cache key: `(model, replica batch, budget, policy, shrunk,
+/// iters)`. Keyed by the *replica* batch, so a 4-GPU gang at batch 128
+/// shares the cache entry with a single-GPU job at batch 32. The model is
+/// the interned [`ModelKind`] — probing the cache allocates nothing.
+type ValidationKey = (ModelKind, usize, u64, &'static str, bool, u64);
+
+/// The slice of a measuring run the scheduler keeps per `(model, replica
+/// batch)`: the two footprint numbers stats report. The full
+/// [`capuchin::FootprintEstimate`] drags the whole measured access
+/// profile along and is dropped once admission needs are derived.
+#[derive(Debug, Clone, Copy)]
+struct EstimateSummary {
+    /// Peak live memory an unlimited device holds.
+    ideal_peak: u64,
+    /// Persistent weight bytes (the gang's gradient payload).
+    weight_bytes: u64,
+}
+
+/// Memoization key for one elastic-ladder placement probe: `(gang width,
+/// full need, min need, failed budget)` — every input of a
+/// single-candidate [`crate::PlacementStrategy::pick`] besides the pool
+/// state itself, which is pinned by [`GpuPool::generation`].
+type LadderKey = (usize, u64, u64, Option<u64>);
 
 /// Handle for a submitted job: its submission index, stable for the
 /// lifetime of the run and equal to the index of the job's entry in
@@ -641,9 +683,57 @@ struct Session {
     jobs: Vec<JobRun>,
     gpus: Vec<GpuState>,
     fabric: Option<Interconnect>,
+    /// Headroom index mirroring `gpus[i].reserved`; every reservation
+    /// change goes through [`Session::reserve_on`]/[`Session::release_on`]
+    /// so the two can never disagree.
+    pool: GpuPool,
     /// Waiting queue in queue-entry order (arrival, or checkpoint
-    /// completion for preempted jobs).
-    pending: Vec<usize>,
+    /// completion for preempted jobs), keyed by a monotone entry
+    /// sequence for O(log n) keyed removal.
+    pending: BTreeMap<u64, usize>,
+    /// Next queue-entry key.
+    queue_seq: u64,
+    /// Bumped on every queue mutation (entry, removal, or a failed-budget
+    /// record that changes a waiting candidate).
+    queue_gen: u64,
+    /// Waiting candidates indexed by `(fit threshold, queue key)`
+    /// (candidates whose threshold is `None` can never fit and are
+    /// excluded). Two roles: its first key is the queue's *fit floor* —
+    /// while every device's headroom sits below it, the placement pass
+    /// provably picks nothing and settle skips it in O(1) — and for
+    /// order-insensitive strategies a range query feeds `pick` exactly
+    /// the candidates whose threshold clears the best headroom, instead
+    /// of scanning the whole backlog per probe.
+    by_threshold: BTreeMap<(u64, u64), usize>,
+    /// Waiting elastic jobs (no checkpoint) in queue-entry order — the
+    /// elastic pass walks this instead of filtering the whole queue.
+    pending_elastic: BTreeMap<u64, usize>,
+    /// Multiset of known ladder floors ([`JobRun::ladder_floor_min`])
+    /// over the waiting elastic jobs: the elastic-pass analogue of
+    /// `fit_thresholds` (no rung of any waiting ladder fits below its
+    /// floor, so the pass skips in O(1) while headroom stays under the
+    /// smallest floor).
+    elastic_floors: BTreeMap<u64, usize>,
+    /// Waiting elastic jobs whose ladder floor is not yet measured; the
+    /// elastic pass cannot be skipped while any remain.
+    elastic_unfloored: usize,
+    /// `(pool generation, queue generation)` at the end of the last
+    /// settle pass. While both are unchanged, re-running placement and
+    /// the elastic pass provably picks nothing (a `None` pick depends
+    /// only on queue contents and headroom, never on the clock), so
+    /// settle skips them.
+    settled_at: Option<(u64, u64)>,
+    /// Pool generation [`Session::ladder_probes`] is valid at.
+    ladder_gen: u64,
+    /// Memoized elastic-ladder placement probes: two waiting jobs with
+    /// the same replica needs share one strategy probe per generation.
+    ladder_probes: BTreeMap<LadderKey, Option<Vec<usize>>>,
+    /// Jobs currently holding reservations — the preemption victim scan
+    /// iterates this instead of every job ever submitted.
+    resident_jobs: BTreeSet<usize>,
+    /// Jobs with a preemption checkpoint copy in flight (the old
+    /// `any(|j| j.preempting)` scan, maintained incrementally).
+    preempting: usize,
     /// Unified transfer trace (the [`Cluster::run_traced`] side-channel),
     /// drained by [`Cluster::take_transfers`].
     transfers: Vec<ClusterTransfer>,
@@ -658,15 +748,102 @@ struct Session {
 
 impl Session {
     fn new(cfg: &ClusterConfig) -> Session {
+        let fabric = cfg
+            .interconnect
+            .clone()
+            .map(|spec| Interconnect::new(spec, cfg.gpus));
+        let domain_of: Vec<usize> = match &fabric {
+            Some(f) => (0..cfg.gpus).map(|g| f.spec().domain_of(g)).collect(),
+            // Without a fabric every device is its own link domain.
+            None => (0..cfg.gpus).collect(),
+        };
         Session {
             gpus: (0..cfg.gpus)
                 .map(|_| GpuState::new(cfg.spec.memory_bytes))
                 .collect(),
-            fabric: cfg
-                .interconnect
-                .clone()
-                .map(|spec| Interconnect::new(spec, cfg.gpus)),
+            pool: GpuPool::new(vec![cfg.spec.memory_bytes; cfg.gpus], domain_of),
+            fabric,
             ..Session::default()
+        }
+    }
+
+    /// Appends a job to the waiting queue, in queue-entry order. The fit
+    /// floor and elastic bookkeeping pick the job up here; any later
+    /// change to its candidate (a failed-budget record) or its ladder
+    /// floor adjusts the multisets at the mutation site, so the state
+    /// removed by [`Session::dequeue`] always matches what was inserted.
+    fn enqueue(&mut self, job: usize) {
+        let key = self.queue_seq;
+        self.queue_seq += 1;
+        let j = &self.jobs[job];
+        let threshold = j.candidate(job).fit_threshold();
+        let elastic = j.spec.elastic && j.checkpoint.is_none();
+        let floor = j.ladder_floor_min;
+        self.jobs[job].queue_key = Some(key);
+        self.pending.insert(key, job);
+        if let Some(t) = threshold {
+            self.by_threshold.insert((t, key), job);
+        }
+        if elastic {
+            self.pending_elastic.insert(key, job);
+            match floor {
+                Some(f) => multiset_add(&mut self.elastic_floors, f),
+                None => self.elastic_unfloored += 1,
+            }
+        }
+        self.queue_gen += 1;
+    }
+
+    /// Removes a job from the waiting queue by its stored key — O(log n)
+    /// instead of a retain scan.
+    fn dequeue(&mut self, job: usize) {
+        if let Some(key) = self.jobs[job].queue_key.take() {
+            self.pending.remove(&key);
+            let j = &self.jobs[job];
+            if let Some(t) = j.candidate(job).fit_threshold() {
+                self.by_threshold.remove(&(t, key));
+            }
+            if self.pending_elastic.remove(&key).is_some() {
+                match j.ladder_floor_min {
+                    Some(f) => multiset_sub(&mut self.elastic_floors, f),
+                    None => self.elastic_unfloored -= 1,
+                }
+            }
+            self.queue_gen += 1;
+        }
+    }
+
+    /// Adds `bytes` to `gpu`'s reservation, keeping [`GpuState`] (stats
+    /// truth) and [`GpuPool`] (placement index) in lock-step.
+    fn reserve_on(&mut self, gpu: usize, bytes: u64, now: Time) {
+        let g = &mut self.gpus[gpu];
+        g.touch(now);
+        g.reserved += bytes;
+        g.peak = g.peak.max(g.reserved);
+        self.pool.set_reserved(gpu, g.reserved);
+    }
+
+    /// Releases `bytes` from `gpu`'s reservation, mirrored into the pool.
+    fn release_on(&mut self, gpu: usize, bytes: u64, now: Time) {
+        let g = &mut self.gpus[gpu];
+        g.touch(now);
+        g.reserved -= bytes;
+        self.pool.set_reserved(gpu, g.reserved);
+    }
+}
+
+/// Adds one occurrence of `v` to a threshold multiset.
+fn multiset_add(set: &mut BTreeMap<u64, usize>, v: u64) {
+    *set.entry(v).or_insert(0) += 1;
+}
+
+/// Drops one occurrence of `v`. The entry disappears at zero so
+/// `first_key_value` stays the true minimum.
+fn multiset_sub(set: &mut BTreeMap<u64, usize>, v: u64) {
+    match set.get_mut(&v) {
+        Some(c) if *c > 1 => *c -= 1,
+        _ => {
+            set.remove(&v);
         }
     }
 }
@@ -681,7 +858,19 @@ impl Default for Session {
             jobs: Vec::new(),
             gpus: Vec::new(),
             fabric: None,
-            pending: Vec::new(),
+            pool: GpuPool::default(),
+            pending: BTreeMap::new(),
+            queue_seq: 0,
+            queue_gen: 0,
+            by_threshold: BTreeMap::new(),
+            pending_elastic: BTreeMap::new(),
+            elastic_floors: BTreeMap::new(),
+            elastic_unfloored: 0,
+            settled_at: None,
+            ladder_gen: 0,
+            ladder_probes: BTreeMap::new(),
+            resident_jobs: BTreeSet::new(),
+            preempting: 0,
             transfers: Vec::new(),
             events: Vec::new(),
             now: Time::ZERO,
@@ -695,12 +884,23 @@ pub struct Cluster {
     cfg: ClusterConfig,
     admission: Admission,
     /// Measured footprints and derived admission budgets keyed by
-    /// `(model name, replica batch)` — jobs (and gang replicas) sharing a
+    /// `(model kind, replica batch)` — jobs (and gang replicas) sharing a
     /// per-replica workload share one measuring run and one bisection.
-    estimates: BTreeMap<(String, usize), (FootprintEstimate, JobNeeds)>,
-    /// Validation outcomes: `Some` holds the per-iteration replay trace,
+    /// The interned [`ModelKind`] key avoids a `String` clone per probe,
+    /// and only the [`EstimateSummary`] slice of the measuring run is
+    /// retained — the full profile would otherwise be cloned on every
+    /// cache hit (once per arrival and elastic probe).
+    estimates: BTreeMap<(ModelKind, usize), (EstimateSummary, JobNeeds)>,
+    /// Built training graphs keyed by `(model kind, replica batch)`.
+    /// Validation runs at distinct byte budgets can't share a cache
+    /// entry, but they all replan over the same graph — rebuilding it
+    /// per run used to dominate Capuchin-admission wall time. Bounded by
+    /// the workload's shape menu, which synthetic generators keep small.
+    models: BTreeMap<(ModelKind, usize), capuchin_models::Model>,
+    /// Validation outcomes: `Some` holds the per-iteration replay trace
+    /// (shared, not cloned, with every admission that hits the cache),
     /// `None` records a failed run.
-    validations: BTreeMap<ValidationKey, Option<Vec<ReplayIter>>>,
+    validations: BTreeMap<ValidationKey, Option<Arc<Vec<ReplayIter>>>>,
     /// Live run state for the online API (and the batch wrappers).
     session: Session,
 }
@@ -715,6 +915,7 @@ impl Cluster {
             cfg,
             admission,
             estimates: BTreeMap::new(),
+            models: BTreeMap::new(),
             validations: BTreeMap::new(),
             session,
         }
@@ -725,18 +926,25 @@ impl Cluster {
     /// Elastic probes at reduced batches share the same cache — keyed by
     /// the replica batch, so a 4-GPU gang elastically reduced to batch
     /// 128 reuses the single-GPU batch-32 measuring run.
-    fn estimate_at(&mut self, spec: &JobSpec, batch: usize) -> (FootprintEstimate, JobNeeds) {
+    fn estimate_at(&mut self, spec: &JobSpec, batch: usize) -> (EstimateSummary, JobNeeds) {
         let rb = spec.replica_batch_at(batch);
-        let key = (spec.model.name().to_owned(), rb);
+        let key = (spec.model, rb);
         if let Some(cached) = self.estimates.get(&key) {
-            return cached.clone();
+            return *cached;
         }
-        let model = spec.model.build(rb);
+        let model = self
+            .models
+            .entry(key)
+            .or_insert_with(|| spec.model.build(rb));
         let est = measure_footprint(&model.graph, &self.cfg.spec)
             .expect("unconstrained measuring run cannot OOM");
         let needs = self.admission.needs(&model.graph, &est);
-        self.estimates.insert(key, (est.clone(), needs));
-        (est, needs)
+        let summary = EstimateSummary {
+            ideal_peak: est.ideal_peak,
+            weight_bytes: est.weight_bytes,
+        };
+        self.estimates.insert(key, (summary, needs));
+        (summary, needs)
     }
 
     fn validated_replay(
@@ -745,21 +953,17 @@ impl Cluster {
         batch: usize,
         budget: u64,
         shrunk: bool,
-    ) -> Option<Vec<ReplayIter>> {
+    ) -> Option<Arc<Vec<ReplayIter>>> {
         let rb = spec.replica_batch_at(batch);
         let iters = spec.iters.min(self.cfg.validate_iters).max(2);
-        let key = (
-            spec.model.name().to_owned(),
-            rb,
-            budget,
-            spec.policy.name(),
-            shrunk,
-            iters,
-        );
+        let key = (spec.model, rb, budget, spec.policy.name(), shrunk, iters);
         if let Some(cached) = self.validations.get(&key) {
             return cached.clone();
         }
-        let model = spec.model.build(rb);
+        let model = self
+            .models
+            .entry((spec.model, rb))
+            .or_insert_with(|| spec.model.build(rb));
         let replay = self
             .admission
             .validate(
@@ -772,7 +976,8 @@ impl Cluster {
             )
             .ok()
             // An empty trace is a failed validation, not a fast job.
-            .filter(|replay| !replay.is_empty());
+            .filter(|replay| !replay.is_empty())
+            .map(Arc::new);
         self.validations.insert(key, replay.clone());
         replay
     }
@@ -868,6 +1073,7 @@ impl Cluster {
         }
         let mut s = std::mem::take(&mut self.session);
         let now = s.now;
+        let was_preempting = s.jobs[id].preempting;
         {
             let j = &mut s.jobs[id];
             j.cancelled = true;
@@ -880,17 +1086,19 @@ impl Cluster {
                 j.elastic_reduced_time += now.saturating_since(since);
             }
         }
+        if was_preempting {
+            s.preempting -= 1;
+        }
         // A queued job holds nothing: refund nothing.
-        s.pending.retain(|&p| p != id);
+        s.dequeue(id);
         // A resident job's whole gang releases right away (a preempting
         // victim's checkpoint copy is moot — the job is going away).
         let held = std::mem::take(&mut s.jobs[id].gpus_held);
         let reserved = s.jobs[id].reserved;
+        s.resident_jobs.remove(&id);
         for &gpu in &held {
-            let g = &mut s.gpus[gpu];
-            g.touch(now);
-            g.reserved -= reserved;
-            g.resident.retain(|&r| r != id);
+            s.release_on(gpu, reserved, now);
+            remove_resident(&mut s.gpus[gpu], id);
         }
         s.events.push(JobEvent {
             t: now,
@@ -1064,7 +1272,7 @@ impl Cluster {
                             self.estimate_at(&spec, floor).1.min <= capacity
                         });
                     if admissible {
-                        s.pending.push(job);
+                        s.enqueue(job);
                     } else {
                         // Admission-time OOM: no bare GPU can host a
                         // replica at any allowed batch.
@@ -1154,15 +1362,15 @@ impl Cluster {
                 }
                 j.preempted_at = Some(now);
                 j.queued_at = now;
+                s.preempting -= 1;
+                s.resident_jobs.remove(&job);
                 for &gpu in &held {
-                    let g = &mut s.gpus[gpu];
-                    g.touch(now);
-                    g.reserved -= reserved;
-                    g.resident.retain(|&r| r != job);
+                    s.release_on(gpu, reserved, now);
+                    remove_resident(&mut s.gpus[gpu], job);
                 }
                 // All earlier queue entries have queued_at <= now, so
                 // appending preserves queue-entry order.
-                s.pending.push(job);
+                s.enqueue(job);
                 s.events.push(JobEvent {
                     t: now,
                     job: job as u64,
@@ -1212,38 +1420,47 @@ impl Cluster {
         // pass is free — and keeps `self` unborrowed for the admission
         // caches the passes consult.
         let strategy = self.cfg.strategy.build(self.cfg.aging_rate);
+        // A `None` pick depends only on queue contents and pool headroom,
+        // never on the clock, so while both generations are unchanged the
+        // placement and elastic passes provably find nothing — skip them.
+        // (Preemption *is* clock-dependent through priority aging and
+        // runs below regardless.)
+        let settled = s.settled_at == Some((s.pool.generation(), s.queue_gen));
         // (Re-)place waiting jobs after every state change. Gang
         // grants are atomic: the strategy names the complete GPU set
         // and every member is reserved in this same loop step, so no
         // job ever holds a partial gang (the no-deadlock invariant).
         loop {
-            let cands: Vec<CandidateJob> =
-                s.pending.iter().map(|&j| s.jobs[j].candidate(j)).collect();
-            if cands.is_empty() {
+            // O(1) hopeless check: when the pass is already settled, or
+            // the queue's fit floor sits above the best headroom
+            // anywhere, every candidate's threshold fails on every
+            // device — `pick` is provably `None` for any strategy, so
+            // skip the queue scan entirely. Re-checked per iteration
+            // because each admission shrinks headroom.
+            let cap = s.pool.max_headroom();
+            let floor = s.by_threshold.first_key_value().map(|(&(t, _), _)| t);
+            if settled || floor.is_none_or(|t| t > cap) {
                 break;
             }
-            let views: Vec<GpuView> = s
-                .gpus
-                .iter()
-                .enumerate()
-                .map(|(idx, g)| GpuView {
-                    idx,
-                    // With no fabric modelled every GPU is its own
-                    // domain: placement has nothing to co-locate for.
-                    domain: s.fabric.as_ref().map_or(idx, |f| f.spec().domain_of(idx)),
-                    capacity: g.capacity,
-                    reserved: g.reserved,
-                })
-                .collect();
-            let fits = |c: &CandidateJob, g: &GpuView| {
-                let h = g.headroom();
-                if h < c.min_need {
-                    return false;
+            let picked = {
+                let jobs = &s.jobs;
+                if strategy.order_insensitive() {
+                    // Feed only the candidates whose threshold clears
+                    // some device — a threshold-index range instead of
+                    // the whole backlog. Sound because the strategy
+                    // declared its pick invariant to candidate order and
+                    // to dropping never-placeable candidates.
+                    let mut queue = s
+                        .by_threshold
+                        .range(..=(cap, u64::MAX))
+                        .map(|(_, &j)| jobs[j].candidate(j));
+                    strategy.pick(&mut queue, &s.pool, now)
+                } else {
+                    let mut queue = s.pending.values().map(|&j| jobs[j].candidate(j));
+                    strategy.pick(&mut queue, &s.pool, now)
                 }
-                let grant = h.min(c.full_need);
-                c.failed_budget.is_none_or(|fb| grant > fb)
             };
-            let Some((job, gang)) = strategy.pick(&cands, &views, now, &fits) else {
+            let Some((job, gang)) = picked else {
                 break;
             };
             assert_eq!(
@@ -1286,12 +1503,11 @@ impl Cluster {
                 j.checkpoint_overhead += copy;
                 j.epoch += 1;
                 let (at, ep) = (now + copy, j.epoch);
-                s.pending.retain(|&p| p != job);
+                s.dequeue(job);
+                s.resident_jobs.insert(job);
                 for &gpu in &gang {
+                    s.reserve_on(gpu, grant, now);
                     let g = &mut s.gpus[gpu];
-                    g.touch(now);
-                    g.reserved += grant;
-                    g.peak = g.peak.max(g.reserved);
                     g.resident.push(job);
                     g.hosted += 1;
                 }
@@ -1306,7 +1522,7 @@ impl Cluster {
             // of the gang caps it (replicas run one validated replay).
             let headroom = gang
                 .iter()
-                .map(|&g| views[g].headroom())
+                .map(|&g| s.pool.headroom(g))
                 .min()
                 .expect("gang is non-empty");
             let grant = headroom.min(s.jobs[job].needs.full);
@@ -1320,7 +1536,8 @@ impl Cluster {
                     j.shrunk = shrunk;
                     j.admitted_at = Some(now);
                     j.replay = replay;
-                    s.pending.retain(|&p| p != job);
+                    s.dequeue(job);
+                    s.resident_jobs.insert(job);
                     s.events.push(JobEvent {
                         t: now,
                         job: job as u64,
@@ -1332,10 +1549,8 @@ impl Cluster {
                         },
                     });
                     for &gpu in &gang {
+                        s.reserve_on(gpu, grant, now);
                         let g = &mut s.gpus[gpu];
-                        g.touch(now);
-                        g.reserved += grant;
-                        g.peak = g.peak.max(g.reserved);
                         g.resident.push(job);
                         g.hosted += 1;
                     }
@@ -1358,10 +1573,25 @@ impl Cluster {
                 }
                 None => {
                     // The budget looked plannable but the engine run
-                    // failed; never retry at or below it.
+                    // failed; never retry at or below it. The record
+                    // changes this waiting candidate's fit threshold,
+                    // so the queue generation must move and the fit
+                    // floor re-files the candidate under its new value.
+                    let old = s.jobs[job].candidate(job).fit_threshold();
                     let j = &mut s.jobs[job];
                     let e = j.failed.entry(j.spec.batch).or_insert(grant);
                     *e = (*e).max(grant);
+                    let key = j.queue_key.expect("picked candidate is queued");
+                    let new = s.jobs[job].candidate(job).fit_threshold();
+                    if old != new {
+                        if let Some(t) = old {
+                            s.by_threshold.remove(&(t, key));
+                        }
+                        if let Some(t) = new {
+                            s.by_threshold.insert((t, key), job);
+                        }
+                    }
+                    s.queue_gen += 1;
                 }
             }
         }
@@ -1371,54 +1601,90 @@ impl Cluster {
         // halving ladder for the largest reduced batch some gang
         // subset can host right now and admit there; the iteration
         // count extends so total samples trained is preserved.
-        if self.cfg.elastic {
-            let waiting: Vec<usize> = s
-                .pending
-                .iter()
-                .copied()
-                .filter(|&p| s.jobs[p].spec.elastic && s.jobs[p].checkpoint.is_none())
-                .collect();
+        // O(1) elastic gate, mirroring the placement fit floor: no rung
+        // of any waiting ladder fits below the smallest known floor, so
+        // while headroom stays under it (and every floor is known) the
+        // whole pass is provably a no-op.
+        let elastic_live = s.elastic_unfloored > 0
+            || s.elastic_floors
+                .first_key_value()
+                .is_some_and(|(&f, _)| f <= s.pool.max_headroom());
+        if !settled && self.cfg.elastic && elastic_live {
+            let waiting: Vec<usize> = s.pending_elastic.values().copied().collect();
             for job in waiting {
-                let views: Vec<GpuView> = s
-                    .gpus
-                    .iter()
-                    .enumerate()
-                    .map(|(idx, g)| GpuView {
-                        idx,
-                        domain: s.fabric.as_ref().map_or(idx, |f| f.spec().domain_of(idx)),
-                        capacity: g.capacity,
-                        reserved: g.reserved,
-                    })
-                    .collect();
-                let fits = |c: &CandidateJob, g: &GpuView| {
-                    let h = g.headroom();
-                    if h < c.min_need {
-                        return false;
-                    }
-                    let grant = h.min(c.full_need);
-                    c.failed_budget.is_none_or(|fb| grant > fb)
-                };
+                // Admissions earlier in this pass moved the pool
+                // generation, so the memo check lives inside the loop.
+                if s.ladder_gen != s.pool.generation() {
+                    s.ladder_probes.clear();
+                    s.ladder_gen = s.pool.generation();
+                }
                 let ladder = elastic_batches(s.jobs[job].spec.batch, self.cfg.min_batch_fraction);
                 if ladder.len() < 2 {
-                    continue; // the fraction allows no shrinking
+                    // The fraction allows no shrinking — ever. File the
+                    // job under an unreachable floor so the gate above
+                    // can still close.
+                    if s.jobs[job].ladder_floor_min.is_none() {
+                        s.jobs[job].ladder_floor_min = Some(u64::MAX);
+                        s.elastic_unfloored -= 1;
+                        multiset_add(&mut s.elastic_floors, u64::MAX);
+                    }
+                    continue;
+                }
+                // Cheap reject before any probe: if even the smallest
+                // rung's minimum exceeds the best headroom anywhere, no
+                // rung can fit (every rung's fit threshold is at least
+                // its own minimum, which is at least the ladder floor).
+                let floor_min = match s.jobs[job].ladder_floor_min {
+                    Some(v) => v,
+                    None => {
+                        let spec = s.jobs[job].spec.clone();
+                        let v = ladder
+                            .iter()
+                            .map(|&b| self.estimate_at(&spec, b).1.min)
+                            .min()
+                            .expect("ladder is never empty");
+                        s.jobs[job].ladder_floor_min = Some(v);
+                        s.elastic_unfloored -= 1;
+                        multiset_add(&mut s.elastic_floors, v);
+                        v
+                    }
+                };
+                if floor_min > s.pool.max_headroom() {
+                    continue;
                 }
                 let mut picks: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
                 // ladder[0] is the full batch the strategy already
                 // refused this instant; only reduced candidates.
-                let jobs = &s.jobs;
+                let (jobs, pool, probes) = (&s.jobs, &s.pool, &mut s.ladder_probes);
                 let chosen = bisect_batch(&ladder[1..], |b| {
                     let needs = self.estimate_at(&jobs[job].spec, b).1;
-                    let cand = CandidateJob {
-                        job,
-                        arrival: jobs[job].queued_at,
-                        priority: jobs[job].spec.priority,
-                        gpus: jobs[job].width(),
-                        full_need: needs.full,
-                        min_need: needs.min,
-                        failed_budget: jobs[job].failed.get(&b).copied(),
+                    let fb = jobs[job].failed.get(&b).copied();
+                    // Two waiting jobs with the same shape share one
+                    // probe per pool generation: a single-candidate pick
+                    // depends only on (width, needs, failed budget) and
+                    // the pool — never on identity, arrival or priority.
+                    let key: LadderKey = (jobs[job].width(), needs.full, needs.min, fb);
+                    let gang = match probes.get(&key) {
+                        Some(cached) => cached.clone(),
+                        None => {
+                            let cand = CandidateJob {
+                                job,
+                                arrival: jobs[job].queued_at,
+                                priority: jobs[job].spec.priority,
+                                gpus: jobs[job].width(),
+                                full_need: needs.full,
+                                min_need: needs.min,
+                                failed_budget: fb,
+                            };
+                            let picked = strategy
+                                .pick(&mut std::iter::once(cand), pool, now)
+                                .map(|(_, gang)| gang);
+                            probes.insert(key, picked.clone());
+                            picked
+                        }
                     };
-                    match strategy.pick(&[cand], &views, now, &fits) {
-                        Some((_, gang)) => {
+                    match gang {
+                        Some(gang) => {
                             picks.insert(b, gang);
                             true
                         }
@@ -1430,7 +1696,7 @@ impl Cluster {
                 let needs = self.estimate_at(&s.jobs[job].spec, batch).1;
                 let headroom = gang
                     .iter()
-                    .map(|&g| views[g].headroom())
+                    .map(|&g| s.pool.headroom(g))
                     .min()
                     .expect("gang is non-empty");
                 let grant = headroom.min(needs.full);
@@ -1447,7 +1713,8 @@ impl Cluster {
                         j.cur_batch = batch;
                         j.rebatches += 1;
                         j.reduced_since = Some(now);
-                        s.pending.retain(|&p| p != job);
+                        s.dequeue(job);
+                        s.resident_jobs.insert(job);
                         s.events.push(JobEvent {
                             t: now,
                             job: job as u64,
@@ -1459,10 +1726,8 @@ impl Cluster {
                             },
                         });
                         for &gpu in &gang {
+                            s.reserve_on(gpu, grant, now);
                             let g = &mut s.gpus[gpu];
-                            g.touch(now);
-                            g.reserved += grant;
-                            g.peak = g.peak.max(g.reserved);
                             g.resident.push(job);
                             g.hosted += 1;
                         }
@@ -1484,20 +1749,26 @@ impl Cluster {
                         }
                     }
                     None => {
+                        // The failed record restricts this job's future
+                        // ladder probes — the queue generation moves so
+                        // the next settle retries it.
                         let j = &mut s.jobs[job];
                         let e = j.failed.entry(batch).or_insert(grant);
                         *e = (*e).max(grant);
+                        s.queue_gen += 1;
                     }
                 }
             }
         }
+        if !settled {
+            s.settled_at = Some((s.pool.generation(), s.queue_gen));
+        }
         // Nothing placeable: consider evicting a low-priority resident
         // through a host checkpoint. One preemption in flight at a time
-        // keeps victim selection honest about headroom.
-        if self.cfg.preemption && !s.jobs.iter().any(|j| j.preempting) {
-            if let Some(victim) =
-                pick_preemption(&s.jobs, &s.gpus, &s.pending, now, self.cfg.aging_rate)
-            {
+        // keeps victim selection honest about headroom. Aging makes the
+        // victim choice clock-dependent, so this pass never skips.
+        if self.cfg.preemption && s.preempting == 0 {
+            if let Some(victim) = pick_preemption(s, now, self.cfg.aging_rate) {
                 // The whole gang checkpoints or none: every replica's
                 // reservation is copied out. On a shared fabric the
                 // replicas' copies serialize on the host link; with
@@ -1540,6 +1811,7 @@ impl Cluster {
                 }
                 j.epoch += 1;
                 let (at, epoch) = (now + copy, j.epoch);
+                s.preempting += 1;
                 s.heap.push(ev(at, s.seq, EV_PREEMPT, victim, epoch));
                 s.seq += 1;
             }
@@ -1564,13 +1836,17 @@ impl Cluster {
         let completed: Vec<&JobRun> = jobs.iter().filter(|j| j.finished_at.is_some()).collect();
         // `samples_done` equals `batch × iters` for every completed job,
         // elastic or not: re-batching preserves the sample count exactly.
-        let total_samples: f64 = completed.iter().map(|j| j.samples_done as f64).sum();
+        // Summed in integers; the one float conversion happens at the
+        // throughput division below so no per-job precision is lost.
+        let total_samples: u64 = completed.iter().map(|j| j.samples_done).sum();
         let mean = |durs: Vec<Duration>| -> Duration {
             if durs.is_empty() {
                 return Duration::ZERO;
             }
-            let total: Duration = durs.iter().copied().sum();
-            Duration::from_nanos(total.as_nanos() / durs.len() as u64)
+            // u128 accumulation: a u64-nanos sum can overflow on long
+            // runs with many samples.
+            let total: u128 = durs.iter().map(|d| d.as_nanos() as u128).sum();
+            Duration::from_nanos((total / durs.len() as u128) as u64)
         };
         let mean_queueing_delay = mean(
             completed
@@ -1685,7 +1961,7 @@ impl Cluster {
             aggregate_samples_per_sec: if makespan.as_secs_f64() == 0.0 {
                 0.0
             } else {
-                total_samples / makespan.as_secs_f64()
+                total_samples as f64 / makespan.as_secs_f64()
             },
             mean_queueing_delay,
             mean_jct,
@@ -1851,11 +2127,10 @@ impl Cluster {
             // `gpus_held` is kept for stats; only the reservations go.
             let held = j.gpus_held.clone();
             let reserved = j.reserved;
+            s.resident_jobs.remove(&job);
             for &gpu in &held {
-                let g = &mut s.gpus[gpu];
-                g.touch(now);
-                g.reserved -= reserved;
-                g.resident.retain(|&r| r != job);
+                s.release_on(gpu, reserved, now);
+                remove_resident(&mut s.gpus[gpu], job);
             }
             s.events.push(JobEvent {
                 t: now,
@@ -1983,10 +2258,8 @@ impl Cluster {
         // batch is about to occupy.
         let held = s.jobs[job].gpus_held.clone();
         for &gpu in &held {
-            let g = &mut s.gpus[gpu];
-            g.touch(now);
-            g.reserved = g.reserved - old + grant;
-            g.peak = g.peak.max(g.reserved);
+            s.release_on(gpu, old, now);
+            s.reserve_on(gpu, grant, now);
         }
         let j = &mut s.jobs[job];
         j.reserved = grant;
@@ -2109,11 +2382,10 @@ fn abort_job(s: &mut Session, job: usize, now: Time) {
     j.epoch += 1;
     let held = std::mem::take(&mut j.gpus_held);
     let reserved = j.reserved;
+    s.resident_jobs.remove(&job);
     for &gpu in &held {
-        let g = &mut s.gpus[gpu];
-        g.touch(now);
-        g.reserved -= reserved;
-        g.resident.retain(|&r| r != job);
+        s.release_on(gpu, reserved, now);
+        remove_resident(&mut s.gpus[gpu], job);
     }
     s.events.push(JobEvent {
         t: now,
@@ -2136,65 +2408,74 @@ fn abort_job(s: &mut Session, job: usize, now: Time) {
 /// with the victim's priority strictly below the waiter's effective
 /// priority. A victim gang is evicted whole — releasing its reservation
 /// on *every* device it holds — or not at all.
-fn pick_preemption(
-    jobs: &[JobRun],
-    gpus: &[GpuState],
-    pending: &[usize],
-    now: Time,
-    aging_rate: f64,
-) -> Option<usize> {
+fn pick_preemption(s: &Session, now: Time, aging_rate: f64) -> Option<usize> {
+    let jobs = &s.jobs;
+    let ap = aging_permille(aging_rate);
     let eff = |priority: u32, since: Time| {
-        priority as f64 + aging_rate * now.saturating_since(since).as_secs_f64()
+        effective_priority_permille(priority, ap, now.saturating_since(since))
     };
-    // How many GPUs could host one replica of waiter `jp`, with victim
-    // `v`'s per-replica reservation returned on every device it holds?
-    let fitting_gpus = |jp: &JobRun, victim: Option<usize>| {
-        gpus.iter()
-            .enumerate()
-            .filter(|(idx, g)| {
-                let mut h = g.capacity.saturating_sub(g.reserved);
-                if let Some(v) = victim {
-                    if jobs[v].gpus_held.contains(idx) {
-                        h += jobs[v].reserved;
-                    }
-                }
-                h >= jp.needs.min
-                    && jp
-                        .failed
-                        .get(&jp.spec.batch)
-                        .is_none_or(|&fb| h.min(jp.needs.full) > fb)
+    // Would evicting `victim` open enough devices for waiter `jp`'s full
+    // gang? The fit predicate is monotone in headroom (a per-waiter
+    // threshold, see [`CandidateJob::fit_threshold`]), so the base count
+    // is one index probe; the victim's held devices — the only ones whose
+    // headroom the eviction changes, disjoint from the base count since
+    // they sit below the threshold — are then credited individually.
+    let gang_fits = |jp: &JobRun, victim: Option<usize>| {
+        let cand = jp.candidate(0);
+        let Some(t) = cand.fit_threshold() else {
+            // A failed budget at or above the full need: no headroom,
+            // freed or not, can ever satisfy this waiter.
+            return false;
+        };
+        let width = jp.width();
+        let base = s.pool.count_at_least(t, width);
+        if base >= width {
+            return true;
+        }
+        let Some(v) = victim else { return false };
+        let vres = jobs[v].reserved;
+        let credited = jobs[v]
+            .gpus_held
+            .iter()
+            .filter(|&&g| {
+                let h = s.pool.headroom(g);
+                h < t && h + vres >= t
             })
-            .count()
+            .count();
+        base + credited >= width
     };
-    let mut waiters: Vec<usize> = pending
-        .iter()
+    let mut waiters: Vec<usize> = s
+        .pending
+        .values()
         .copied()
         .filter(|&p| jobs[p].checkpoint.is_none())
         .collect();
-    waiters.sort_by(|&a, &b| {
-        let ea = eff(jobs[a].spec.priority, jobs[a].queued_at);
-        let eb = eff(jobs[b].spec.priority, jobs[b].queued_at);
-        eb.partial_cmp(&ea)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(jobs[a].queued_at.cmp(&jobs[b].queued_at))
-            .then(a.cmp(&b))
+    waiters.sort_by_cached_key(|&a| {
+        (
+            Reverse(eff(jobs[a].spec.priority, jobs[a].queued_at)),
+            Reverse(jobs[a].spec.priority),
+            jobs[a].queued_at.as_nanos(),
+            a,
+        )
     });
     for &p in &waiters {
         let jp = &jobs[p];
         let ep = eff(jp.spec.priority, jp.queued_at);
-        if fitting_gpus(jp, None) >= jp.width() {
+        if gang_fits(jp, None) {
             // Placeable without violence; the strategy just chose not to
             // (e.g. FIFO head-of-line). Preemption is not the tool.
             continue;
         }
-        let mut victims: Vec<usize> = (0..jobs.len())
-            .filter(|&v| !jobs[v].gpus_held.is_empty() && jobs[v].finished_at.is_none())
+        let mut victims: Vec<usize> = s
+            .resident_jobs
+            .iter()
+            .copied()
             .filter(|&v| jobs[v].iterating && !jobs[v].preempting)
-            .filter(|&v| (jobs[v].spec.priority as f64) < ep)
+            .filter(|&v| (jobs[v].spec.priority as u128) * 1000 < ep)
             .collect();
         victims.sort_by_key(|&v| (jobs[v].spec.priority, v));
         for &v in &victims {
-            if fitting_gpus(jp, Some(v)) >= jp.width() {
+            if gang_fits(jp, Some(v)) {
                 return Some(v);
             }
         }
@@ -2462,11 +2743,11 @@ mod tests {
             elastic: false,
         })];
         jobs[0].gpus_held = vec![0];
-        jobs[0].replay = vec![ReplayIter {
+        jobs[0].replay = Arc::new(vec![ReplayIter {
             wall: Duration::from_millis(100),
             swap_bytes: 0,
             transfers: vec![],
-        }];
+        }]);
         let mut gpus = vec![GpuState::new(1 << 30)];
         gpus[0].resident.push(0);
         let mut seq = 0;

@@ -354,6 +354,79 @@ pub fn synthetic_jobs(n: usize, seed: u64, mean_interarrival_secs: f64) -> Vec<J
         .collect()
 }
 
+/// The mixed-workload batch menu for scale benchmarking. Deliberately
+/// small: gang widths halve a large global batch back onto the same
+/// per-replica batches the singles use, so admission measuring collapses
+/// onto a handful of cached `(model, replica batch)` runs even at 100k
+/// jobs.
+const MIXED_BATCHES: &[usize] = &[32, 64, 128];
+
+/// Models drawn by [`synthetic_mixed_jobs`] — the cheaper half of the
+/// paper's zoo, keeping one-time graph builds small next to the
+/// scheduling work a scale run is meant to measure.
+const MIXED_MODELS: &[ModelKind] = &[
+    ModelKind::Vgg16,
+    ModelKind::ResNet50,
+    ModelKind::InceptionV3,
+    ModelKind::DenseNet121,
+];
+
+/// Generates `n` jobs of mixed shape for scale benchmarking: roughly 70%
+/// rigid single-GPU jobs, 15% data-parallel gangs (width 2, or 4 when the
+/// cluster has at least 4 devices), and 15% elastic single-GPU jobs, with
+/// Poisson arrivals at mean `mean_interarrival_secs` and priorities 0–3.
+/// Mostly `tf-ori` policy with a Capuchin minority, mirroring a fleet
+/// where a few jobs opt into memory management. Identical
+/// `(n, cluster_gpus, seed, mean)` always produce an identical workload;
+/// every gang fits a `cluster_gpus`-wide cluster.
+pub fn synthetic_mixed_jobs(
+    n: usize,
+    cluster_gpus: usize,
+    seed: u64,
+    mean_interarrival_secs: f64,
+) -> Vec<JobSpec> {
+    let mut rng = SplitMix64::new(seed);
+    let mut clock = 0.0f64;
+    (0..n)
+        .map(|i| {
+            let u = rng.unit_f64().max(1e-12);
+            clock += -u.ln() * mean_interarrival_secs;
+            let model = MIXED_MODELS[rng.below(MIXED_MODELS.len() as u64) as usize];
+            let class = rng.below(100);
+            let (gpus, batch, elastic) = if class < 70 || cluster_gpus < 2 {
+                (1, MIXED_BATCHES[rng.below(3) as usize], false)
+            } else if class < 85 {
+                // Gangs: width 2 at global batch 64/128 (replica batch
+                // 32/64), width 4 at 128 (replica batch 32).
+                if cluster_gpus >= 4 && rng.below(2) == 0 {
+                    (4, 128, false)
+                } else {
+                    (2, if rng.below(2) == 0 { 64 } else { 128 }, false)
+                }
+            } else {
+                // Elastic singles at the top batch: the halving ladder
+                // lands back on the smaller menu batches.
+                (1, 128, true)
+            };
+            JobSpec {
+                name: format!("mix{i:05}"),
+                model,
+                batch,
+                gpus,
+                policy: if rng.below(5) == 0 {
+                    JobPolicy::Capuchin
+                } else {
+                    JobPolicy::TfOri
+                },
+                iters: 6 + rng.below(5),
+                priority: rng.below(4) as u32,
+                arrival_time: clock,
+                elastic,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +470,34 @@ mod tests {
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&c).unwrap()
         );
+    }
+
+    #[test]
+    fn mixed_workloads_are_deterministic_and_well_shaped() {
+        let a = synthetic_mixed_jobs(300, 8, 3, 0.5);
+        let b = synthetic_mixed_jobs(300, 8, 3, 0.5);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        for w in a.windows(2) {
+            assert!(w[0].arrival_time <= w[1].arrival_time);
+        }
+        // All three classes appear, every gang fits the cluster, and the
+        // shape menu stays small (the scale bench depends on admission
+        // caching collapsing the distinct (model, replica batch) pairs).
+        assert!(a.iter().any(|j| j.gpus > 1));
+        assert!(a.iter().any(|j| j.elastic));
+        assert!(a.iter().any(|j| j.gpus == 1 && !j.elastic));
+        assert!(a.iter().all(|j| j.gpus >= 1 && j.gpus <= 8));
+        assert!(a.iter().all(|j| j.iters >= 6));
+        let shapes: std::collections::BTreeSet<_> =
+            a.iter().map(|j| (j.model, j.replica_batch())).collect();
+        assert!(shapes.len() <= MIXED_MODELS.len() * MIXED_BATCHES.len());
+        // A 1-GPU cluster degrades to singles only.
+        assert!(synthetic_mixed_jobs(100, 1, 3, 0.5)
+            .iter()
+            .all(|j| j.gpus == 1));
     }
 
     #[test]

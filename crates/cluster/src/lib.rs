@@ -84,6 +84,7 @@
 
 pub mod admission;
 pub mod cluster;
+pub mod headroom;
 pub mod job;
 pub mod parse;
 pub mod stats;
@@ -95,12 +96,16 @@ pub use crate::admission::{
 pub use crate::cluster::{
     CancelError, Cluster, ClusterConfig, ClusterConfigBuilder, ConfigError, JobId,
 };
-pub use crate::job::{load_jobs, parse_memory, synthetic_jobs, JobFileError, JobPolicy, JobSpec};
+pub use crate::headroom::GpuPool;
+pub use crate::job::{
+    load_jobs, parse_memory, synthetic_jobs, synthetic_mixed_jobs, JobFileError, JobPolicy, JobSpec,
+};
 pub use crate::parse::ParseEnumError;
 pub use crate::stats::{
     ClusterStats, ClusterTransfer, GpuStats, JobEvent, JobEventKind, JobOutcome, JobState,
     JobStats, JobStatus, STATS_SCHEMA_VERSION,
 };
 pub use crate::strategy::{
-    BestFit, CandidateJob, FifoFirstFit, FitsFn, GpuView, PlacementStrategy, StrategyKind,
+    aging_permille, effective_priority_permille, threshold_fits, BestFit, CandidateJob,
+    FifoFirstFit, FitsFn, GpuView, PlacementStrategy, StrategyKind,
 };

@@ -8,8 +8,20 @@
 //! makes gang reservation atomic: the cluster grants every listed GPU in
 //! one step of its single-threaded event loop, so a gang can never hold a
 //! partial reservation that deadlocks against another job.
+//!
+//! The live [`PlacementStrategy::pick`] path probes the [`GpuPool`]
+//! headroom index (O(log gpus) per device query) and reads candidates
+//! lazily from an iterator, so FIFO never materializes the whole queue.
+//! The pre-index brute-force scan survives as
+//! [`PlacementStrategy::pick_brute`]; `prop_scale` proves both paths pick
+//! byte-identical placements on arbitrary reservation histories.
 
-use capuchin_sim::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use capuchin_sim::{Duration, Time};
+
+use crate::headroom::GpuPool;
 
 /// A waiting job as the strategy sees it.
 #[derive(Debug, Clone, Copy)]
@@ -32,7 +44,26 @@ pub struct CandidateJob {
     pub failed_budget: Option<u64>,
 }
 
-/// A GPU as the strategy sees it.
+impl CandidateJob {
+    /// Minimum headroom a GPU must expose for one replica of this job, or
+    /// `None` when no headroom suffices (a validation already failed at or
+    /// above `full_need`, so every grant the cluster could make —
+    /// `min(headroom, full_need)` — is refused).
+    ///
+    /// The cluster's fit predicate is `headroom >= min_need` and
+    /// `min(headroom, full_need) > failed_budget`; both clauses are
+    /// monotone in headroom, which is what lets the [`GpuPool`] index
+    /// answer placement with threshold queries instead of per-GPU scans.
+    pub fn fit_threshold(&self) -> Option<u64> {
+        match self.failed_budget {
+            Some(fb) if fb >= self.full_need => None,
+            Some(fb) => Some(self.min_need.max(fb + 1)),
+            None => Some(self.min_need),
+        }
+    }
+}
+
+/// A GPU as the brute-force reference path sees it.
 #[derive(Debug, Clone, Copy)]
 pub struct GpuView {
     /// Device index.
@@ -54,20 +85,69 @@ impl GpuView {
     }
 }
 
-/// Placement test the cluster supplies: can one replica of this job be
-/// admitted to this GPU right now (headroom covers `min_need`, above any
-/// failed budget)?
+/// Placement test the brute-force reference path uses: can one replica of
+/// this job be admitted to this GPU right now? The canonical predicate is
+/// [`threshold_fits`].
 pub type FitsFn<'a> = dyn Fn(&CandidateJob, &GpuView) -> bool + 'a;
+
+/// The cluster's canonical fit predicate, phrased over a [`GpuView`]:
+/// headroom clears [`CandidateJob::fit_threshold`].
+pub fn threshold_fits(cand: &CandidateJob, gpu: &GpuView) -> bool {
+    cand.fit_threshold().is_some_and(|t| gpu.headroom() >= t)
+}
+
+/// Permille fixed-point aging rate: `0.1` points/second becomes `100`.
+/// Mirrors the planner's permille margin scaling so effective priorities
+/// compare in exact integer arithmetic on every platform.
+pub fn aging_permille(aging_rate: f64) -> u64 {
+    (aging_rate * 1000.0).round().max(0.0) as u64
+}
+
+/// Effective priority in permille fixed point:
+/// `priority × 1000 + aging_permille × waited_seconds`, computed exactly
+/// over nanoseconds in u128 so comparisons are total and
+/// platform-independent (the old `f64` compare could tie-break
+/// differently across platforms once waits grew large).
+pub fn effective_priority_permille(priority: u32, aging_permille: u64, waited: Duration) -> u128 {
+    let aged = (aging_permille as u128).saturating_mul(waited.as_nanos() as u128) / 1_000_000_000;
+    (priority as u128) * 1000 + aged
+}
 
 /// A placement strategy over one scheduling instant.
 pub trait PlacementStrategy: std::fmt::Debug {
     /// Stats/CLI name.
     fn name(&self) -> &'static str;
 
+    /// `true` when [`PlacementStrategy::pick`]'s result is invariant to
+    /// the candidates' arrival order *and* to dropping candidates whose
+    /// [`CandidateJob::fit_threshold`] is `None` or exceeds every
+    /// device's headroom (such candidates can never be picked). The
+    /// cluster then feeds `pick` an indexed eligible subset of the queue
+    /// instead of scanning the whole backlog per probe. Strategies with
+    /// positional semantics (FIFO's head-of-line blocking) must leave
+    /// this `false`.
+    fn order_insensitive(&self) -> bool {
+        false
+    }
+
     /// Picks the next placement: `(job, gpus)` with exactly the job's
     /// gang width of distinct fitting GPUs, or `None` to wait. The
     /// cluster reserves every returned GPU atomically — all or none.
+    ///
+    /// Candidates arrive in queue order; strategies that only look at the
+    /// head (FIFO) never advance the iterator further, so a long backlog
+    /// costs nothing to probe.
     fn pick(
+        &self,
+        queue: &mut dyn Iterator<Item = CandidateJob>,
+        pool: &GpuPool,
+        now: Time,
+    ) -> Option<(usize, Vec<usize>)>;
+
+    /// Reference implementation of [`PlacementStrategy::pick`] that
+    /// re-scans every GPU per probe — the pre-index algorithm, retained
+    /// so `prop_scale` can prove the indexed path byte-identical.
+    fn pick_brute(
         &self,
         pending: &[CandidateJob],
         gpus: &[GpuView],
@@ -89,6 +169,18 @@ impl PlacementStrategy for FifoFirstFit {
 
     fn pick(
         &self,
+        queue: &mut dyn Iterator<Item = CandidateJob>,
+        pool: &GpuPool,
+        _now: Time,
+    ) -> Option<(usize, Vec<usize>)> {
+        let head = queue.next()?;
+        let threshold = head.fit_threshold()?;
+        let take = pool.first_fit(threshold, head.gpus.max(1))?;
+        Some((head.job, take))
+    }
+
+    fn pick_brute(
+        &self,
         pending: &[CandidateJob],
         gpus: &[GpuView],
         _now: Time,
@@ -106,16 +198,18 @@ impl PlacementStrategy for FifoFirstFit {
 }
 
 /// Best-fit memory bin-packing with priority aging: jobs are ranked by
-/// `priority + aging_rate × wait_seconds` (ties broken by arrival, then
-/// submission order), and each is placed on the fitting GPU subset that
-/// leaves the least leftover headroom. Gangs prefer a subset inside one
-/// link domain — a same-domain gang allreduces over its private peer lane
-/// instead of loading the shared host link — falling back to the tightest
-/// cross-domain subset when no single domain has the width.
+/// `priority + aging_rate × wait_seconds` in permille fixed point (ties
+/// broken by raw priority, then arrival, then submission order), and each
+/// is placed on the fitting GPU subset that leaves the least leftover
+/// headroom. Gangs prefer a subset inside one link domain — a same-domain
+/// gang allreduces over its private peer lane instead of loading the
+/// shared host link — falling back to the tightest cross-domain subset
+/// when no single domain has the width.
 #[derive(Debug, Clone, Copy)]
 pub struct BestFit {
-    /// Effective-priority points gained per second of waiting. Guarantees
-    /// low-priority jobs eventually overtake a stream of urgent arrivals.
+    /// Effective-priority points gained per second of waiting, rounded to
+    /// permille internally. Guarantees low-priority jobs eventually
+    /// overtake a stream of urgent arrivals.
     pub aging_rate: f64,
 }
 
@@ -125,10 +219,38 @@ impl Default for BestFit {
     }
 }
 
-/// Leftover headroom on `g` after granting `min(headroom, full_need)`.
-fn leftover(g: &GpuView, cand: &CandidateJob) -> u64 {
-    let h = g.headroom();
-    h - h.min(cand.full_need)
+/// Leftover headroom after granting `min(headroom, full_need)`.
+fn leftover(headroom: u64, full_need: u64) -> u64 {
+    headroom - headroom.min(full_need)
+}
+
+/// Max-heap rank key of one best-fit candidate: `(effective priority,
+/// raw priority, earliest arrival, lowest job index)` — descending
+/// effective priority with every tie broken, so the key order is total
+/// and heap pops reproduce the full-sort order exactly.
+type RankKey = (u128, u32, Reverse<u64>, Reverse<usize>);
+
+impl BestFit {
+    /// Candidates sorted by descending effective priority.
+    fn ranked(
+        &self,
+        queue: &mut dyn Iterator<Item = CandidateJob>,
+        now: Time,
+    ) -> Vec<CandidateJob> {
+        let permille = aging_permille(self.aging_rate);
+        let mut order: Vec<CandidateJob> = queue.collect();
+        order.sort_by(|a, b| {
+            let ea =
+                effective_priority_permille(a.priority, permille, now.saturating_since(a.arrival));
+            let eb =
+                effective_priority_permille(b.priority, permille, now.saturating_since(b.arrival));
+            eb.cmp(&ea)
+                .then(b.priority.cmp(&a.priority))
+                .then(a.arrival.cmp(&b.arrival))
+                .then(a.job.cmp(&b.job))
+        });
+        order
+    }
 }
 
 impl PlacementStrategy for BestFit {
@@ -136,32 +258,112 @@ impl PlacementStrategy for BestFit {
         "best-fit"
     }
 
+    /// Ranking is a total order (the job index breaks every tie) and
+    /// unfittable candidates are skipped wholesale, so candidate order
+    /// and pre-filtering cannot change the pick.
+    fn order_insensitive(&self) -> bool {
+        true
+    }
+
     fn pick(
+        &self,
+        queue: &mut dyn Iterator<Item = CandidateJob>,
+        pool: &GpuPool,
+        now: Time,
+    ) -> Option<(usize, Vec<usize>)> {
+        let permille = aging_permille(self.aging_rate);
+        let cap = pool.max_headroom();
+        // Keep only candidates whose threshold clears *some* device (the
+        // rest are unconditionally skipped below anyway), with the rank
+        // key computed once per candidate. The heap pops them lazily in
+        // exactly `ranked` order — rank keys are unique (the job index
+        // breaks every tie) — so the common cases are cheap: a no-fit
+        // probe is one O(queue) scan with no sort, and a first-candidate
+        // hit is a heapify plus a single pop.
+        let mut cands: Vec<(u64, CandidateJob)> = Vec::new();
+        let mut order: Vec<(RankKey, usize)> = Vec::new();
+        for cand in queue {
+            let Some(threshold) = cand.fit_threshold() else {
+                continue;
+            };
+            if threshold > cap {
+                continue;
+            }
+            let eff = effective_priority_permille(
+                cand.priority,
+                permille,
+                now.saturating_since(cand.arrival),
+            );
+            let key = (
+                eff,
+                cand.priority,
+                Reverse(cand.arrival.as_nanos()),
+                Reverse(cand.job),
+            );
+            order.push((key, cands.len()));
+            cands.push((threshold, cand));
+        }
+        let mut ranked = BinaryHeap::from(order);
+        while let Some((_, i)) = ranked.pop() {
+            let (threshold, cand) = cands[i];
+            let k = cand.gpus.max(1);
+            // Enumerate fitting GPUs domain by domain, skipping domains
+            // whose best device falls short. Each domain's k tightest
+            // members compete for the same-domain preference; all fitting
+            // devices feed the cross-domain fallback.
+            let mut fitting: Vec<(u64, usize)> = Vec::new();
+            let mut best: Option<(u64, usize, Vec<usize>)> = None;
+            let mut next = 0;
+            while let Some(d) = pool.next_domain_at_least(next, threshold) {
+                next = d + 1;
+                let mut members: Vec<(u64, usize)> = pool
+                    .domain_members(d)
+                    .iter()
+                    .filter_map(|&g| {
+                        let h = pool.headroom(g);
+                        (h >= threshold).then(|| (leftover(h, cand.full_need), g))
+                    })
+                    .collect();
+                members.sort_unstable();
+                if members.len() >= k {
+                    let total: u64 = members[..k].iter().map(|&(l, _)| l).sum();
+                    if best
+                        .as_ref()
+                        .is_none_or(|&(bt, bd, _)| (total, d) < (bt, bd))
+                    {
+                        best = Some((total, d, members[..k].iter().map(|&(_, g)| g).collect()));
+                    }
+                }
+                fitting.append(&mut members);
+            }
+            if let Some((_, _, idxs)) = best {
+                return Some((cand.job, idxs));
+            }
+            if fitting.len() >= k {
+                // No single domain is wide enough: tightest k anywhere.
+                fitting.sort_unstable();
+                return Some((cand.job, fitting[..k].iter().map(|&(_, g)| g).collect()));
+            }
+        }
+        None
+    }
+
+    fn pick_brute(
         &self,
         pending: &[CandidateJob],
         gpus: &[GpuView],
         now: Time,
         fits: &FitsFn<'_>,
     ) -> Option<(usize, Vec<usize>)> {
-        let mut order: Vec<&CandidateJob> = pending.iter().collect();
-        order.sort_by(|a, b| {
-            let ea =
-                a.priority as f64 + self.aging_rate * now.saturating_since(a.arrival).as_secs_f64();
-            let eb =
-                b.priority as f64 + self.aging_rate * now.saturating_since(b.arrival).as_secs_f64();
-            eb.partial_cmp(&ea)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.arrival.cmp(&b.arrival))
-                .then(a.job.cmp(&b.job))
-        });
-        for cand in order {
+        let mut queue = pending.iter().copied();
+        for cand in self.ranked(&mut queue, now) {
             let k = cand.gpus.max(1);
-            let mut fitting: Vec<&GpuView> = gpus.iter().filter(|g| fits(cand, g)).collect();
+            let mut fitting: Vec<&GpuView> = gpus.iter().filter(|g| fits(&cand, g)).collect();
             if fitting.len() < k {
                 continue;
             }
             // Tightest-first within equal domains: best-fit per device.
-            fitting.sort_by_key(|g| (leftover(g, cand), g.idx));
+            fitting.sort_by_key(|g| (leftover(g.headroom(), cand.full_need), g.idx));
             // Prefer a gang entirely inside one link domain. Among
             // domains wide enough, take the one whose k tightest GPUs
             // leave the least total headroom (ties: lowest domain).
@@ -174,7 +376,10 @@ impl PlacementStrategy for BestFit {
                     let members: Vec<&&GpuView> =
                         fitting.iter().filter(|g| g.domain == d).take(k).collect();
                     (members.len() == k).then(|| {
-                        let total: u64 = members.iter().map(|g| leftover(g, cand)).sum();
+                        let total: u64 = members
+                            .iter()
+                            .map(|g| leftover(g.headroom(), cand.full_need))
+                            .sum();
                         (total, d, members.iter().map(|g| g.idx).collect::<Vec<_>>())
                     })
                 })
@@ -275,8 +480,28 @@ mod tests {
         }
     }
 
-    fn headroom_fits(c: &CandidateJob, g: &GpuView) -> bool {
-        g.headroom() >= c.min_need
+    fn pool_of(gpus: &[GpuView]) -> GpuPool {
+        let mut p = GpuPool::new(
+            gpus.iter().map(|g| g.capacity).collect(),
+            gpus.iter().map(|g| g.domain).collect(),
+        );
+        for g in gpus {
+            p.set_reserved(g.idx, g.reserved);
+        }
+        p
+    }
+
+    /// Runs the indexed pick and asserts it matches the brute reference.
+    fn pick_both(
+        strategy: &dyn PlacementStrategy,
+        pending: &[CandidateJob],
+        gpus: &[GpuView],
+        now: Time,
+    ) -> Option<(usize, Vec<usize>)> {
+        let indexed = strategy.pick(&mut pending.iter().copied(), &pool_of(gpus), now);
+        let brute = strategy.pick_brute(pending, gpus, now, &threshold_fits);
+        assert_eq!(indexed, brute, "indexed pick diverged from brute scan");
+        indexed
     }
 
     #[test]
@@ -284,13 +509,10 @@ mod tests {
         let pending = [cand(0, 0, 0, 100), cand(1, 1, 5, 10)];
         let gpus = [gpu(0, 50, 0)];
         // Head needs 100, only 50 free: FIFO waits even though job 1 fits.
-        assert_eq!(
-            FifoFirstFit.pick(&pending, &gpus, Time::ZERO, &headroom_fits),
-            None
-        );
+        assert_eq!(pick_both(&FifoFirstFit, &pending, &gpus, Time::ZERO), None);
         let roomy = [gpu(0, 40, 0), gpu(1, 200, 0)];
         assert_eq!(
-            FifoFirstFit.pick(&pending, &roomy, Time::ZERO, &headroom_fits),
+            pick_both(&FifoFirstFit, &pending, &roomy, Time::ZERO),
             Some((0, vec![1]))
         );
     }
@@ -300,13 +522,10 @@ mod tests {
         let pending = [gang(0, 2, 100)];
         // Only one GPU fits: the gang blocks rather than taking half.
         let tight = [gpu(0, 150, 0), gpu(1, 50, 0)];
-        assert_eq!(
-            FifoFirstFit.pick(&pending, &tight, Time::ZERO, &headroom_fits),
-            None
-        );
+        assert_eq!(pick_both(&FifoFirstFit, &pending, &tight, Time::ZERO), None);
         let roomy = [gpu(0, 150, 0), gpu(1, 50, 0), gpu(2, 150, 0)];
         assert_eq!(
-            FifoFirstFit.pick(&pending, &roomy, Time::ZERO, &headroom_fits),
+            pick_both(&FifoFirstFit, &pending, &roomy, Time::ZERO),
             Some((0, vec![0, 2]))
         );
     }
@@ -318,7 +537,7 @@ mod tests {
         // Priority 5 job goes first, onto the tighter GPU (leftover 2
         // beats leftover 40).
         assert_eq!(
-            BestFit::default().pick(&pending, &gpus, Time::ZERO, &headroom_fits),
+            pick_both(&BestFit::default(), &pending, &gpus, Time::ZERO),
             Some((1, vec![1]))
         );
     }
@@ -336,16 +555,34 @@ mod tests {
         };
         let gpus = [mk(0, 0, 400), mk(1, 0, 110), mk(2, 1, 105), mk(3, 1, 300)];
         assert_eq!(
-            BestFit::default().pick(&pending, &gpus, Time::ZERO, &headroom_fits),
+            pick_both(&BestFit::default(), &pending, &gpus, Time::ZERO),
             Some((0, vec![2, 3]))
         );
         // When no domain holds the full width, fall back to the tightest
         // GPUs anywhere.
         let split = [mk(0, 0, 110), mk(1, 1, 105), mk(2, 2, 300)];
         assert_eq!(
-            BestFit::default().pick(&pending, &split, Time::ZERO, &headroom_fits),
+            pick_both(&BestFit::default(), &pending, &split, Time::ZERO),
             Some((0, vec![1, 0]))
         );
+    }
+
+    #[test]
+    fn failed_budget_blocks_and_unblocks_through_threshold() {
+        // Validation failed at 40 with full need 100: only headroom > 40
+        // qualifies, and a failure at or above full need blocks entirely.
+        let mut c = cand(0, 0, 0, 100);
+        c.min_need = 30;
+        c.failed_budget = Some(40);
+        assert_eq!(c.fit_threshold(), Some(41));
+        let gpus = [gpu(0, 40, 0), gpu(1, 41, 0)];
+        assert_eq!(
+            pick_both(&FifoFirstFit, &[c], &gpus, Time::ZERO),
+            Some((0, vec![1]))
+        );
+        c.failed_budget = Some(100);
+        assert_eq!(c.fit_threshold(), None);
+        assert_eq!(pick_both(&FifoFirstFit, &[c], &gpus, Time::ZERO), None);
     }
 
     #[test]
@@ -369,15 +606,32 @@ mod tests {
         // Without aging, raw priority wins.
         let no_aging = BestFit { aging_rate: 0.0 };
         assert_eq!(
-            no_aging.pick(&pending, &gpus, now, &headroom_fits),
+            pick_both(&no_aging, &pending, &gpus, now),
             Some((1, vec![0]))
         );
         // With aging, six seconds of waiting outweigh the newcomer's
-        // priority edge (6.0 effective vs 3.0 + 1s).
+        // priority edge (6000 permille effective vs 3000 + 1s aging).
         let aged = BestFit { aging_rate: 1.0 };
+        assert_eq!(pick_both(&aged, &pending, &gpus, now), Some((0, vec![0])));
+    }
+
+    #[test]
+    fn effective_priority_is_exact_integer_permille() {
+        // 0.1/s aging over 6 seconds = 600 permille, computed exactly.
+        assert_eq!(aging_permille(0.1), 100);
         assert_eq!(
-            aged.pick(&pending, &gpus, now, &headroom_fits),
-            Some((0, vec![0]))
+            effective_priority_permille(2, 100, Duration::from_micros(6_000_000)),
+            2_600
+        );
+        // Sub-permille remainders truncate deterministically.
+        assert_eq!(
+            effective_priority_permille(0, 100, Duration::from_nanos(19)),
+            0
+        );
+        // Extreme waits stay exact in u128 instead of losing precision.
+        assert_eq!(
+            effective_priority_permille(u32::MAX, u64::MAX, Duration::from_nanos(u64::MAX)),
+            u32::MAX as u128 * 1000 + (u64::MAX as u128 * u64::MAX as u128) / 1_000_000_000
         );
     }
 }

@@ -62,7 +62,11 @@ impl Model {
 }
 
 /// The paper's workloads (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` follows declaration order; the variant itself serves as an
+/// interned cache key (cheaper than cloning the model's name `String`
+/// per lookup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ModelKind {
     /// VGG16, 224×224 CNN.
     Vgg16,

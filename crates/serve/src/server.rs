@@ -92,6 +92,37 @@ impl ServeConfig {
     ///
     /// Returns a usage message naming the offending flag.
     pub fn from_flags(flags: &HashMap<String, String>) -> Result<ServeConfig, String> {
+        const ACCEPTED: &[&str] = &[
+            "addr",
+            "clock",
+            "gpus",
+            "memory",
+            "admission",
+            "strategy",
+            "aging-rate",
+            "preemption",
+            "interconnect",
+            "elastic",
+            "min-batch-frac",
+        ];
+        let mut unknown: Vec<&str> = flags
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !ACCEPTED.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        if let Some(first) = unknown.first() {
+            // A typo like `--preempt on` must be an error, not a silent
+            // run with the flag's default.
+            return Err(format!(
+                "unknown flag `--{first}` (accepted: {})",
+                ACCEPTED
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
         let gpus: usize = match flags.get("gpus") {
             Some(s) => s.parse().map_err(|_| "--gpus must be an integer")?,
             None => 4,

@@ -227,3 +227,15 @@ fn wall_clock_daemon_still_drains_to_completion() {
     let _ = control.request(&request("shutdown", vec![]));
     handle.wait();
 }
+
+#[test]
+fn from_flags_rejects_unknown_flags() {
+    let mut flags = std::collections::HashMap::new();
+    flags.insert("gpus".to_owned(), "2".to_owned());
+    flags.insert("preempt".to_owned(), "on".to_owned()); // typo of --preemption
+    let err = ServeConfig::from_flags(&flags).unwrap_err();
+    assert!(err.contains("--preempt"), "{err}");
+    assert!(err.contains("--preemption"), "accepted list missing: {err}");
+    flags.remove("preempt");
+    assert!(ServeConfig::from_flags(&flags).is_ok());
+}

@@ -32,6 +32,9 @@ cargo run --release -q -p capuchin-bench --bin cluster_elastic -- --smoke
 echo "==> smoke: serve daemon, in-process (TCP submit/subscribe/drain, stats byte-identity)"
 cargo run --release -q -p capuchin-bench --bin serve_smoke -- --smoke
 
+echo "==> smoke: cluster_scale wall-clock-per-job guard (vs committed baseline, 2x soft limit)"
+cargo run --release -q -p capuchin-bench --bin cluster_scale -- --smoke
+
 echo "==> smoke: serve daemon, external process on an ephemeral port"
 serve_log="$(mktemp)"
 ./target/release/capuchin-serve --addr 127.0.0.1:0 --clock virtual \
