@@ -23,8 +23,9 @@ use capuchin_serve::{serve, ClockMode, ServeConfig, WIRE_SCHEMA_VERSION};
 use serde::{Serialize, Value};
 
 /// The mixed workload: two cheap residents, a two-GPU gang, an elastic
-/// full-device job, and a many-iteration job whose per-iteration events
-/// swamp the throttled subscriber's 4-slot queue.
+/// full-device job, a many-iteration job whose per-iteration events
+/// swamp the throttled subscriber's 4-slot queue, and an inference job
+/// whose request lifecycle must flow through the same bounded queues.
 fn workload() -> Vec<JobSpec> {
     use capuchin_cluster::JobPolicy::TfOri;
     use ModelKind::Vgg16;
@@ -33,11 +34,15 @@ fn workload() -> Vec<JobSpec> {
         job("busy", Vgg16, 32, 1, TfOri, 24, 0, 0.05),
         job("gang", Vgg16, 64, 2, TfOri, 3, 0, 0.10),
         job("big", Vgg16, 256, 1, TfOri, 4, 0, 0.15).with_elastic(),
+        job("infer", Vgg16, 8, 1, TfOri, 1, 2, 0.20).into_inference(40.0, 400.0, 12, 64 << 20, 4),
     ]
 }
 
 /// Index of the subscribed job in [`workload`] (= its submission id).
 const BUSY: u64 = 1;
+
+/// Index of the inference job in [`workload`] (= its submission id).
+const INFER: u64 = 4;
 
 fn cfg() -> ClusterConfig {
     ClusterConfig::builder()
@@ -56,6 +61,8 @@ struct Summary {
     completed: u64,
     stream_lines: usize,
     dropped_total: u64,
+    request_lines: usize,
+    served_lines: usize,
     stats_bytes: usize,
 }
 
@@ -78,6 +85,13 @@ fn ok(reply: &Value) -> &Value {
 }
 
 fn main() {
+    // Pin the wire schema: v2 added the inference stream records. Any
+    // further protocol change must bump the constant *and* this pin.
+    assert_eq!(
+        WIRE_SCHEMA_VERSION, 2,
+        "wire schema bumped without re-pinning"
+    );
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let connect = args
         .iter()
@@ -133,6 +147,17 @@ fn main() {
         .expect("subscribe");
     ok(&reply);
 
+    // Unthrottled subscriber on the inference job: its request lifecycle
+    // records ride the same bounded stream queues as training events.
+    let mut infer_sub = Client::connect(&*addr).expect("connect inference subscriber");
+    let reply = infer_sub
+        .request(&request(
+            "subscribe",
+            vec![("job".to_owned(), Value::UInt(INFER))],
+        ))
+        .expect("subscribe inference");
+    ok(&reply);
+
     let drained = control.request(&request("drain", vec![])).expect("drain");
     let stats = ok(&drained)
         .get("stats")
@@ -182,6 +207,33 @@ fn main() {
         "throttled subscriber saw no backpressure marker over {stream_lines} lines"
     );
 
+    // The inference stream must carry the request lifecycle: arrivals and
+    // serves for every request, with integer latency micros on serves.
+    let mut request_lines = 0usize;
+    let mut served_lines = 0usize;
+    while let Some(line) = infer_sub.recv().expect("inference stream") {
+        check_wire_version(&line);
+        if line.get("stream").and_then(Value::as_str) != Some("event") {
+            continue;
+        }
+        assert_eq!(line.get("job").and_then(Value::as_u64), Some(INFER));
+        match line.get("kind").and_then(Value::as_str) {
+            Some("request_arrived") => request_lines += 1,
+            Some("request_served") | Some("slo_missed") => {
+                served_lines += 1;
+                assert!(
+                    line.get("latency_us").and_then(Value::as_u64).is_some(),
+                    "request record without integer latency: {line:?}"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        request_lines > 0 && served_lines > 0,
+        "inference stream carried {request_lines} arrival(s) and {served_lines} serve(s)"
+    );
+
     if let Some(handle) = handle {
         handle.wait();
     }
@@ -193,12 +245,20 @@ fn main() {
         completed,
         stream_lines,
         dropped_total,
+        request_lines,
+        served_lines,
         stats_bytes: rendered.len(),
     };
     println!(
         "serve smoke OK: {} jobs over TCP, {} stream line(s), {} dropped \
-         (coalesced), stats byte-identical to the batch run ({} bytes)",
-        summary.jobs_submitted, summary.stream_lines, summary.dropped_total, summary.stats_bytes,
+         (coalesced), {} request arrival(s) / {} serve(s) streamed, \
+         stats byte-identical to the batch run ({} bytes)",
+        summary.jobs_submitted,
+        summary.stream_lines,
+        summary.dropped_total,
+        summary.request_lines,
+        summary.served_lines,
+        summary.stats_bytes,
     );
     if connect.is_none() {
         write_artifact("serve_smoke", &summary);

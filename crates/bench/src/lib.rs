@@ -246,6 +246,7 @@ pub fn cluster_job(
         priority,
         arrival_time,
         elastic: false,
+        ..JobSpec::default()
     }
 }
 

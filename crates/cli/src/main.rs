@@ -39,6 +39,7 @@ USAGE:
                            [--strategy fifo|best-fit] [--aging-rate <r>]
                            [--preemption on|off] [--interconnect off|pcie|peer<k>]
                            [--elastic on|off] [--min-batch-frac <f>]
+                           [--slo-aware on|off]
                            [--out <file>] [--transfer-trace <file>]
     capuchin-cli serve     [--addr <host:port>] [--clock virtual|wall]
                            [--gpus <n>] [--memory ...] [--admission ...]
@@ -64,7 +65,14 @@ CLUSTER:   schedules a multi-job workload over N simulated GPUs and prints
            start at a reduced batch when the cluster is full (floored at
            --min-batch-frac of the requested batch, default 0.25) and
            re-grow when headroom frees; total samples trained per job is
-           preserved exactly
+           preserved exactly.
+           A job with \"class\": \"inference\" serves requests instead of
+           training: it needs \"request_rate\" (req/s, > 0), \"slo_ms\"
+           (> 0) and \"requests\" (> 0), plus optional
+           \"kv_bytes_per_request\" and \"max_inflight\"; it cannot be
+           elastic, and its gang cannot exceed one link domain.
+           --slo-aware off disables the latency-SLO priority boost
+           (the SLO-blind baseline; default on)
 SERVE:     runs the same scheduler as a long-lived daemon speaking
            line-delimited JSON over TCP (submit/cancel/status/stats/
            subscribe/drain/shutdown). --addr defaults to 127.0.0.1:7070
@@ -427,6 +435,7 @@ fn cmd_cluster(args: &Args) {
         "interconnect",
         "elastic",
         "min-batch-frac",
+        "slo-aware",
         "transfer-trace",
         "out",
     ]);
@@ -459,10 +468,30 @@ fn cmd_cluster(args: &Args) {
                 .unwrap_or_else(|_| fail("--min-batch-frac must be a fraction in (0, 1]"))
         })
         .unwrap_or(0.25);
+    // The interconnect is parsed before the job file: inference gang
+    // widths are validated against the fabric's link-domain width at
+    // parse time.
+    let interconnect = args
+        .flags
+        .get("interconnect")
+        .map(|s| InterconnectSpec::parse(s).unwrap_or_else(|e| fail(&e)))
+        .unwrap_or(None);
+    // Without a fabric model there is no domain boundary to violate, so
+    // the whole cluster counts as one link domain.
+    let link_domain = match &interconnect {
+        Some(spec) => (0..gpus)
+            .map(|g| {
+                let d = spec.domain_of(g);
+                (0..gpus).filter(|&h| spec.domain_of(h) == d).count()
+            })
+            .max()
+            .unwrap_or(1),
+        None => gpus,
+    };
     let jobs = if let Some(path) = args.flags.get("jobs") {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("cannot read job file `{path}`: {e}")));
-        load_jobs(&text, gpus, min_batch_frac).unwrap_or_else(|e| fail(&e.to_string()))
+        load_jobs(&text, gpus, min_batch_frac, link_domain).unwrap_or_else(|e| fail(&e.to_string()))
     } else if args.flags.contains_key("synthetic") || args.flags.contains_key("mixed") {
         let (key, mixed) = if args.flags.contains_key("mixed") {
             ("mixed", true)
@@ -529,11 +558,15 @@ fn cmd_cluster(args: &Args) {
             _ => fail("--preemption must be `on` or `off`"),
         })
         .unwrap_or(false);
-    let interconnect = args
+    let slo_aware = args
         .flags
-        .get("interconnect")
-        .map(|s| InterconnectSpec::parse(s).unwrap_or_else(|e| fail(&e)))
-        .unwrap_or(None);
+        .get("slo-aware")
+        .map(|s| match s.as_str() {
+            "on" => true,
+            "off" => false,
+            _ => fail("--slo-aware must be `on` or `off`"),
+        })
+        .unwrap_or(true);
     let cfg = ClusterConfig::builder()
         .gpus(gpus)
         .spec(DeviceSpec::p100_pcie3().with_memory(args.memory()))
@@ -544,6 +577,7 @@ fn cmd_cluster(args: &Args) {
         .interconnect(interconnect.clone())
         .elastic(elastic)
         .min_batch_fraction(min_batch_frac)
+        .slo_aware(slo_aware)
         .build()
         .unwrap_or_else(|e| fail(&e.to_string()));
     eprintln!(

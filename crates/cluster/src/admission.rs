@@ -206,6 +206,37 @@ impl Admission {
         JobNeeds { full, min }
     }
 
+    /// Derives admission budgets for a forward-only (inference) graph.
+    ///
+    /// The forward peak is dominated by persistent weights, so the
+    /// proportional slack that comfortably covers training transients can
+    /// undershoot a single conv output here — and the cluster caps grants
+    /// at `full`, so an over-tight `full` would fail validation forever.
+    /// Measured execution is the ground truth (the same doctrine as
+    /// `Admission::measured_min_budget`): escalate `full` until a
+    /// keep-everything engine run actually completes. TfOri is the
+    /// stricter policy — a budget it survives also runs under Capuchin.
+    pub fn forward_needs(&self, graph: &Graph, est: &FootprintEstimate) -> JobNeeds {
+        let mut full = with_slack(est.ideal_peak);
+        let step = (est.ideal_peak / 16).max(32 << 20);
+        // Bounded escalation: the transient working set of one forward
+        // pass is a handful of activations, far below 64 steps' worth.
+        for _ in 0..64 {
+            if self
+                .validate(graph, &est.spec, full, JobPolicy::TfOri, false, 2)
+                .is_ok()
+            {
+                break;
+            }
+            full = full.saturating_add(step);
+        }
+        let min = match self.mode {
+            AdmissionMode::TfOri => full,
+            AdmissionMode::Capuchin => self.measured_min_budget(graph, est).min(full),
+        };
+        JobNeeds { full, min }
+    }
+
     /// Bisects the smallest budget at which a Capuchin validation run
     /// actually completes, between the planner's (optimistic) minimum and
     /// the ideal peak.

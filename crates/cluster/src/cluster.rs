@@ -94,21 +94,23 @@
 //! atomic grant.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use capuchin::{bisect_batch, elastic_batches, measure_footprint};
+use capuchin::{bisect_batch, elastic_batches, measure_footprint, measure_forward_footprint};
 use capuchin_models::ModelKind;
 use capuchin_sim::{CopyDir, DeviceSpec, Duration, Interconnect, InterconnectSpec, Time};
 
 use crate::admission::{Admission, AdmissionMode, JobNeeds, ReplayIter};
 use crate::headroom::GpuPool;
-use crate::job::JobSpec;
+use crate::job::{JobClass, JobSpec, SplitMix64};
 use crate::stats::{
     ClusterStats, ClusterTransfer, GpuStats, JobEvent, JobEventKind, JobOutcome, JobState,
     JobStats, JobStatus, STATS_SCHEMA_VERSION,
 };
-use crate::strategy::{aging_permille, effective_priority_permille, CandidateJob, StrategyKind};
+use crate::strategy::{
+    aging_permille, effective_priority_permille, slo_boost_permille, CandidateJob, StrategyKind,
+};
 
 /// Cluster shape and scheduling knobs.
 ///
@@ -154,6 +156,13 @@ pub struct ClusterConfig {
     /// batch, in `(0, 1]`: `0.25` means a job never shrinks below a
     /// quarter of its submitted batch. Ignored with `elastic` off.
     pub min_batch_fraction: f64,
+    /// SLO-aware scheduling: boost a waiting inference job's effective
+    /// priority by the fraction of its latency SLO the oldest pending
+    /// request has burned ([`crate::strategy::slo_boost_permille`]), in
+    /// placement ranking and preemption alike. `false` is the SLO-blind
+    /// baseline the `cluster_mixed` bench compares against; it changes
+    /// nothing for training-only workloads (their boost is always 0).
+    pub slo_aware: bool,
 }
 
 impl Default for ClusterConfig {
@@ -169,6 +178,7 @@ impl Default for ClusterConfig {
             interconnect: None,
             elastic: false,
             min_batch_fraction: 0.25,
+            slo_aware: true,
         }
     }
 }
@@ -283,6 +293,12 @@ impl ClusterConfigBuilder {
     /// Floor of the elastic batch ladder, as a fraction in `(0, 1]`.
     pub fn min_batch_fraction(mut self, min_batch_fraction: f64) -> Self {
         self.cfg.min_batch_fraction = min_batch_fraction;
+        self
+    }
+
+    /// SLO-aware scheduling on/off (`false` = SLO-blind baseline).
+    pub fn slo_aware(mut self, slo_aware: bool) -> Self {
+        self.cfg.slo_aware = slo_aware;
         self
     }
 
@@ -454,12 +470,57 @@ struct JobRun {
     /// fabric wants the lane `lead` earlier on later iterations. Ordered
     /// for deterministic iteration.
     lead: BTreeMap<String, Duration>,
+    /// Inference: deterministic per-job generator for request
+    /// inter-arrival jitter, seeded from the submission index.
+    req_rng: SplitMix64,
+    /// Inference: request arrivals scheduled so far (arrival `i` schedules
+    /// arrival `i + 1` until `spec.requests` have been generated).
+    req_scheduled: u64,
+    /// Inference: arrival instants of requests waiting to enter a serving
+    /// round, oldest first.
+    req_queue: VecDeque<Time>,
+    /// Inference: arrival instants of the requests in the in-flight
+    /// serving round (each holds `kv_bytes_per_request` on every held
+    /// GPU until the round drains).
+    inflight: Vec<Time>,
+    /// Inference: the round concurrency the admission grant priced in —
+    /// `min(max_inflight, (grant − base budget) / kv)`. Serving itself is
+    /// gated on live headroom up to `max_inflight`, so memory freed after
+    /// admission raises the achievable concurrency past this license.
+    lic_inflight: usize,
+    /// Inference: base needs (forward-only, before KV pricing), cached at
+    /// arrival so admission can recover the KV-free budget split.
+    base_needs: JobNeeds,
+    /// Inference: per-request served latencies in integer nanoseconds,
+    /// accumulated for the percentile stats (sorted only at stats time).
+    latencies: Vec<u64>,
+    /// Inference: requests served so far.
+    requests_served: u64,
+    /// Inference: served requests that exceeded the SLO.
+    slo_misses: u64,
+    /// Inference: the SLO in integer nanoseconds (0 for training).
+    slo_ns: u64,
+    /// Training: mid-run shrinks performed to absorb an inference burst.
+    burst_shrinks: u64,
+    /// Training: currently running reduced specifically for a burst; the
+    /// next re-grow closes the cycle.
+    shrunk_for_burst: bool,
+    /// Training: a burst-absorption shrink decided by the scheduler,
+    /// applied at the job's next completed-iteration boundary (target
+    /// global batch, one ladder rung below the current one).
+    pending_shrink: Option<usize>,
 }
 
 impl JobRun {
-    fn new(spec: &JobSpec) -> JobRun {
+    fn new(spec: &JobSpec, id: usize) -> JobRun {
         let arrival = Time::ZERO + Duration::from_secs_f64(spec.arrival_time.max(0.0));
+        let samples_total = if spec.is_inference() {
+            spec.requests
+        } else {
+            (spec.batch.max(1) as u64).saturating_mul(spec.iters)
+        };
         JobRun {
+            slo_ns: spec.slo_nanos(),
             spec: spec.clone(),
             arrival,
             queued_at: arrival,
@@ -480,7 +541,7 @@ impl JobRun {
             queue_key: None,
             ladder_floor_min: None,
             cur_batch: spec.batch.max(1),
-            samples_total: (spec.batch.max(1) as u64).saturating_mul(spec.iters),
+            samples_total,
             samples_done: 0,
             rebatches: 0,
             reduced_since: None,
@@ -503,6 +564,20 @@ impl JobRun {
             allreduce_time: Duration::ZERO,
             comm_delay: Duration::ZERO,
             lead: BTreeMap::new(),
+            // Mixing in a large odd constant decorrelates consecutive
+            // submission indices through splitmix's finalizer.
+            req_rng: SplitMix64::new((id as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ 0x5EED),
+            req_scheduled: 0,
+            req_queue: VecDeque::new(),
+            inflight: Vec::new(),
+            lic_inflight: 0,
+            base_needs: JobNeeds { full: 0, min: 0 },
+            latencies: Vec::new(),
+            requests_served: 0,
+            slo_misses: 0,
+            burst_shrinks: 0,
+            shrunk_for_burst: false,
+            pending_shrink: None,
         }
     }
 
@@ -524,6 +599,7 @@ impl JobRun {
                 full_need: cp.reserved,
                 min_need: cp.reserved,
                 failed_budget: None,
+                boost_permille: 0,
             },
             None => CandidateJob {
                 job: idx,
@@ -533,7 +609,24 @@ impl JobRun {
                 full_need: self.needs.full,
                 min_need: self.needs.min,
                 failed_budget: self.failed.get(&self.spec.batch).copied(),
+                boost_permille: 0,
             },
+        }
+    }
+
+    /// SLO-slack priority boost of a *waiting* inference job, from the
+    /// age of its oldest pending request. 0 for training jobs, under
+    /// SLO-blind scheduling, and while no request waits — so it can never
+    /// perturb a training-only run. The boost is read at settle/preempt
+    /// time (not baked into the queue), so it grows as requests age
+    /// without re-keying anything.
+    fn slo_boost(&self, now: Time, slo_aware: bool) -> u64 {
+        if !slo_aware || self.slo_ns == 0 {
+            return 0;
+        }
+        match self.req_queue.front() {
+            Some(&t) => slo_boost_permille(self.slo_ns, now.saturating_since(t).as_nanos()),
+            None => 0,
         }
     }
 }
@@ -595,6 +688,11 @@ const EV_COMM: u8 = 4;
 /// An elastic batch change's checkpoint + restore copies drained: the new
 /// replay takes effect and the job iterates at the new batch.
 const EV_REGROW: u8 = 5;
+/// An inference request arrived. Carries epoch 0 and — like `EV_ARRIVE` —
+/// ignores the job's epoch: request arrivals are an external process, so
+/// re-pricing or repreemption epoch bumps must not silently drop them.
+/// Staleness is the job's terminal/cancelled state instead.
+const EV_REQ_ARRIVE: u8 = 6;
 
 /// Event queue entry: `(time ns, class, sequence, kind, job, epoch)`
 /// under `Reverse` for min-heap order. The class ranks arrivals (0)
@@ -620,10 +718,12 @@ fn ev(t: Time, seq: u64, kind: u8, job: usize, epoch: u64) -> Event {
 struct EmptyWalls;
 
 /// Validation-cache key: `(model, replica batch, budget, policy, shrunk,
-/// iters)`. Keyed by the *replica* batch, so a 4-GPU gang at batch 128
-/// shares the cache entry with a single-GPU job at batch 32. The model is
-/// the interned [`ModelKind`] — probing the cache allocates nothing.
-type ValidationKey = (ModelKind, usize, u64, &'static str, bool, u64);
+/// iters, forward-only)`. Keyed by the *replica* batch, so a 4-GPU gang
+/// at batch 128 shares the cache entry with a single-GPU job at batch 32;
+/// the trailing flag separates inference validations (which run the
+/// forward prefix only) from training ones at the same shape. The model
+/// is the interned [`ModelKind`] — probing the cache allocates nothing.
+type ValidationKey = (ModelKind, usize, u64, &'static str, bool, u64, bool);
 
 /// The slice of a measuring run the scheduler keeps per `(model, replica
 /// batch)`: the two footprint numbers stats report. The full
@@ -744,6 +844,13 @@ struct Session {
     /// [`Cluster::advance_to`] deadline, whichever is later. Online
     /// submissions arriving "in the past" are clamped to it.
     now: Time,
+    /// Any inference job was ever submitted this session. While false,
+    /// the settle pass skips the inference serving loop entirely — a
+    /// training-only run executes the exact pre-inference code path.
+    has_inference: bool,
+    /// Completed burst-absorption cycles: a training job shrank to
+    /// absorb an inference burst and later re-grew (cluster-wide).
+    burst_cycles: u64,
 }
 
 impl Session {
@@ -777,7 +884,9 @@ impl Session {
         self.queue_seq += 1;
         let j = &self.jobs[job];
         let threshold = j.candidate(job).fit_threshold();
-        let elastic = j.spec.elastic && j.checkpoint.is_none();
+        // Inference jobs never re-batch (parse-time validation rejects
+        // the combination; code-built specs get the same verdict here).
+        let elastic = j.spec.elastic && !j.spec.is_inference() && j.checkpoint.is_none();
         let floor = j.ladder_floor_min;
         self.jobs[job].queue_key = Some(key);
         self.pending.insert(key, job);
@@ -874,6 +983,8 @@ impl Default for Session {
             transfers: Vec::new(),
             events: Vec::new(),
             now: Time::ZERO,
+            has_inference: false,
+            burst_cycles: 0,
         }
     }
 }
@@ -891,6 +1002,11 @@ pub struct Cluster {
     /// retained — the full profile would otherwise be cloned on every
     /// cache hit (once per arrival and elastic probe).
     estimates: BTreeMap<(ModelKind, usize), (EstimateSummary, JobNeeds)>,
+    /// Forward-only (inference) footprints and budgets, keyed like
+    /// [`Cluster::estimates`] but measured over the graph's forward
+    /// prefix — a separate map because the same `(model, replica batch)`
+    /// has a strictly smaller serving footprint than its training twin.
+    forward_estimates: BTreeMap<(ModelKind, usize), (EstimateSummary, JobNeeds)>,
     /// Built training graphs keyed by `(model kind, replica batch)`.
     /// Validation runs at distinct byte budgets can't share a cache
     /// entry, but they all replan over the same graph — rebuilding it
@@ -915,6 +1031,7 @@ impl Cluster {
             cfg,
             admission,
             estimates: BTreeMap::new(),
+            forward_estimates: BTreeMap::new(),
             models: BTreeMap::new(),
             validations: BTreeMap::new(),
             session,
@@ -929,21 +1046,46 @@ impl Cluster {
     fn estimate_at(&mut self, spec: &JobSpec, batch: usize) -> (EstimateSummary, JobNeeds) {
         let rb = spec.replica_batch_at(batch);
         let key = (spec.model, rb);
-        if let Some(cached) = self.estimates.get(&key) {
+        let forward = spec.is_inference();
+        let cache = if forward {
+            &mut self.forward_estimates
+        } else {
+            &mut self.estimates
+        };
+        if let Some(cached) = cache.get(&key) {
             return *cached;
         }
         let model = self
             .models
             .entry(key)
             .or_insert_with(|| spec.model.build(rb));
-        let est = measure_footprint(&model.graph, &self.cfg.spec)
-            .expect("unconstrained measuring run cannot OOM");
-        let needs = self.admission.needs(&model.graph, &est);
+        // Inference jobs never run the backward pass: measure (and derive
+        // needs from) the forward prefix, whose peak is strictly smaller.
+        let (est, needs) = if forward {
+            let fwd = model.graph.forward_prefix();
+            let est = measure_forward_footprint(&model.graph, &self.cfg.spec)
+                .expect("unconstrained measuring run cannot OOM");
+            // Forward-only budgets are verified by measured execution —
+            // proportional slack alone undershoots when weights dominate
+            // the peak (see `Admission::forward_needs`).
+            let needs = self.admission.forward_needs(&fwd, &est);
+            (est, needs)
+        } else {
+            let est = measure_footprint(&model.graph, &self.cfg.spec)
+                .expect("unconstrained measuring run cannot OOM");
+            let needs = self.admission.needs(&model.graph, &est);
+            (est, needs)
+        };
         let summary = EstimateSummary {
             ideal_peak: est.ideal_peak,
             weight_bytes: est.weight_bytes,
         };
-        self.estimates.insert(key, (summary, needs));
+        let cache = if forward {
+            &mut self.forward_estimates
+        } else {
+            &mut self.estimates
+        };
+        cache.insert(key, (summary, needs));
         (summary, needs)
     }
 
@@ -955,8 +1097,20 @@ impl Cluster {
         shrunk: bool,
     ) -> Option<Arc<Vec<ReplayIter>>> {
         let rb = spec.replica_batch_at(batch);
+        // Inference validates at least 2 engine iterations regardless of
+        // `spec.iters` (which inference specs leave at 1): Capuchin needs
+        // a measured iteration before a guided one exists to record.
         let iters = spec.iters.min(self.cfg.validate_iters).max(2);
-        let key = (spec.model, rb, budget, spec.policy.name(), shrunk, iters);
+        let forward = spec.is_inference();
+        let key = (
+            spec.model,
+            rb,
+            budget,
+            spec.policy.name(),
+            shrunk,
+            iters,
+            forward,
+        );
         if let Some(cached) = self.validations.get(&key) {
             return cached.clone();
         }
@@ -964,9 +1118,14 @@ impl Cluster {
             .models
             .entry((spec.model, rb))
             .or_insert_with(|| spec.model.build(rb));
-        let replay = self
-            .admission
-            .validate(
+        // Inference jobs validate the forward prefix only — the budget
+        // they are granted never has to fit a backward pass.
+        let validated = if forward {
+            let fwd = model.graph.forward_prefix();
+            self.admission
+                .validate(&fwd, &self.cfg.spec, budget, spec.policy, shrunk, iters)
+        } else {
+            self.admission.validate(
                 &model.graph,
                 &self.cfg.spec,
                 budget,
@@ -974,6 +1133,8 @@ impl Cluster {
                 shrunk,
                 iters,
             )
+        };
+        let replay = validated
             .ok()
             // An empty trace is a failed validation, not a fast job.
             .filter(|replay| !replay.is_empty())
@@ -1033,7 +1194,10 @@ impl Cluster {
     pub fn submit(&mut self, spec: &JobSpec) -> JobId {
         let s = &mut self.session;
         let id = s.jobs.len();
-        let mut run = JobRun::new(spec);
+        if spec.is_inference() {
+            s.has_inference = true;
+        }
+        let mut run = JobRun::new(spec, id);
         if run.arrival < s.now {
             run.arrival = s.now;
             run.queued_at = s.now;
@@ -1177,10 +1341,16 @@ impl Cluster {
             .heap
             .iter()
             .any(|&Reverse((_, _, _, kind, job, epoch))| {
+                let j = &self.session.jobs[job];
                 if kind == EV_ARRIVE {
-                    !self.session.jobs[job].cancelled
+                    !j.cancelled
+                } else if kind == EV_REQ_ARRIVE {
+                    // Request arrivals are an external process: epoch
+                    // bumps (re-pricing, repreemption) must not drop
+                    // them. Only a terminal job silences its requests.
+                    !(j.cancelled || j.rejected || j.aborted || j.finished_at.is_some())
                 } else {
-                    epoch == self.session.jobs[job].epoch
+                    epoch == j.epoch
                 }
             })
     }
@@ -1219,6 +1389,11 @@ impl Cluster {
         while let Some(&Reverse((t, _, _, kind, job, epoch))) = s.heap.peek() {
             let stale = if kind == EV_ARRIVE {
                 s.jobs[job].cancelled
+            } else if kind == EV_REQ_ARRIVE {
+                // Mirror of [`Cluster::has_work`]: terminal state, not
+                // the epoch, silences a scheduled request arrival.
+                let j = &s.jobs[job];
+                j.cancelled || j.rejected || j.aborted || j.finished_at.is_some()
             } else {
                 epoch != s.jobs[job].epoch
             };
@@ -1256,16 +1431,40 @@ impl Cluster {
                     s.jobs[job].rejected = true;
                 } else {
                     let spec = s.jobs[job].spec.clone();
-                    let (est, needs) = self.estimate_at(&spec, spec.batch);
+                    let (est, base) = self.estimate_at(&spec, spec.batch);
+                    let capacity = self.cfg.spec.memory_bytes;
+                    let needs = if spec.is_inference() {
+                        // Admission prices a full round's KV state on
+                        // top of the forward-only base: `full` asks for
+                        // the licensed concurrency's worth, `min` for at
+                        // least one request's slot — a grant anywhere in
+                        // between licenses proportionally fewer
+                        // concurrent requests (never zero).
+                        let kv = spec.kv_bytes_per_request;
+                        let max_in = spec.max_inflight.max(1) as u64;
+                        JobNeeds {
+                            full: base.full.saturating_add(max_in.saturating_mul(kv)),
+                            min: base.min.saturating_add(kv),
+                        }
+                    } else {
+                        base
+                    };
+                    s.jobs[job].base_needs = base;
                     s.jobs[job].needs = needs;
                     s.jobs[job].footprint = est.ideal_peak;
-                    s.jobs[job].grad_bytes = est.weight_bytes;
-                    let capacity = self.cfg.spec.memory_bytes;
+                    // No backward pass means no gradients: the gang
+                    // allreduce is skipped for inference via the
+                    // existing `grad_bytes > 0` gate.
+                    s.jobs[job].grad_bytes = if spec.is_inference() {
+                        0
+                    } else {
+                        est.weight_bytes
+                    };
                     // An elastic job whose full-batch minimum exceeds
                     // a bare GPU is still admissible if the ladder's
                     // floor batch fits one.
                     let admissible = needs.min <= capacity
-                        || (self.cfg.elastic && spec.elastic && {
+                        || (self.cfg.elastic && spec.elastic && !spec.is_inference() && {
                             let floor = *elastic_batches(spec.batch, self.cfg.min_batch_fraction)
                                 .last()
                                 .expect("ladder is never empty");
@@ -1273,6 +1472,11 @@ impl Cluster {
                         });
                     if admissible {
                         s.enqueue(job);
+                        if spec.is_inference() {
+                            // The request-arrival process starts with the
+                            // job: each arrival schedules its successor.
+                            self.schedule_next_request(s, job, now);
+                        }
                     } else {
                         // Admission-time OOM: no bare GPU can host a
                         // replica at any allowed batch.
@@ -1308,6 +1512,21 @@ impl Cluster {
             EV_COMM => {
                 self.complete_iteration(s, job, now);
             }
+            EV_REQ_ARRIVE => {
+                // A request joins the job's queue and the arrival
+                // process self-perpetuates. Serving is *not* attempted
+                // here: the settle pass that follows every dispatch
+                // runs the serving loop, so the request is picked up in
+                // the same instant if the job is resident and idle.
+                s.jobs[job].req_queue.push_back(now);
+                s.events.push(JobEvent {
+                    t: now,
+                    job: job as u64,
+                    name: s.jobs[job].spec.name.clone(),
+                    kind: JobEventKind::RequestArrived,
+                });
+                self.schedule_next_request(s, job, now);
+            }
             EV_REGROW => {
                 // The batch-change copies drained: swap in the new
                 // replay and continue from the same samples cursor at
@@ -1318,6 +1537,7 @@ impl Cluster {
                     .take()
                     .expect("regrowing job has a pending batch change");
                 let batch = rg.batch;
+                let grew = batch > j.cur_batch;
                 j.cur_batch = rg.batch;
                 j.shrunk = rg.shrunk;
                 j.replay = rg.replay;
@@ -1327,6 +1547,16 @@ impl Cluster {
                     if let Some(since) = j.reduced_since.take() {
                         j.elastic_reduced_time += now.saturating_since(since);
                     }
+                } else if j.reduced_since.is_none() {
+                    // A downward change (burst absorption) opens it.
+                    j.reduced_since = Some(now);
+                }
+                // Any re-growth after a burst-absorption shrink closes
+                // the cycle: the burst drained and the trained batch
+                // recovered.
+                let closed_cycle = grew && j.shrunk_for_burst;
+                if closed_cycle {
+                    j.shrunk_for_burst = false;
                 }
                 s.events.push(JobEvent {
                     t: now,
@@ -1334,6 +1564,9 @@ impl Cluster {
                     name: s.jobs[job].spec.name.clone(),
                     kind: JobEventKind::Rebatched { batch },
                 });
+                if closed_cycle {
+                    s.burst_cycles += 1;
+                }
                 if schedule_iter(&mut s.jobs, &s.gpus, job, now, &mut s.seq, &mut s.heap).is_err() {
                     abort_job(s, job, now);
                 }
@@ -1444,6 +1677,16 @@ impl Cluster {
             }
             let picked = {
                 let jobs = &s.jobs;
+                let slo_aware = self.cfg.slo_aware;
+                // The SLO boost is stamped at read time, not baked into
+                // the queue: it grows as pending requests age without
+                // re-keying anything, and is identically 0 for training
+                // jobs and under SLO-blind scheduling.
+                let stamped = |j: usize| {
+                    let mut c = jobs[j].candidate(j);
+                    c.boost_permille = jobs[j].slo_boost(now, slo_aware);
+                    c
+                };
                 if strategy.order_insensitive() {
                     // Feed only the candidates whose threshold clears
                     // some device — a threshold-index range instead of
@@ -1453,10 +1696,10 @@ impl Cluster {
                     let mut queue = s
                         .by_threshold
                         .range(..=(cap, u64::MAX))
-                        .map(|(_, &j)| jobs[j].candidate(j));
+                        .map(|(_, &j)| stamped(j));
                     strategy.pick(&mut queue, &s.pool, now)
                 } else {
-                    let mut queue = s.pending.values().map(|&j| jobs[j].candidate(j));
+                    let mut queue = s.pending.values().map(|&j| stamped(j));
                     strategy.pick(&mut queue, &s.pool, now)
                 }
             };
@@ -1526,16 +1769,39 @@ impl Cluster {
                 .min()
                 .expect("gang is non-empty");
             let grant = headroom.min(s.jobs[job].needs.full);
-            let shrunk = grant < s.jobs[job].needs.full;
             let spec = s.jobs[job].spec.clone();
-            match self.validated_replay(&spec, spec.batch, grant, shrunk) {
+            // For inference the validated budget is the forward-only
+            // base slice of the grant; the remainder is the KV pool,
+            // licensing the round concurrency. Training validates the
+            // whole grant (`budget == grant`, `lic` unused).
+            let (budget, shrunk, lic) = if spec.is_inference() {
+                let base = s.jobs[job].base_needs;
+                let kv = spec.kv_bytes_per_request;
+                let max_in = spec.max_inflight.max(1);
+                let b = grant
+                    .saturating_sub(kv.saturating_mul(max_in as u64))
+                    .max(base.min)
+                    .min(base.full);
+                // ≥ 1 when kv > 0: the published `min` priced one
+                // request's slot on top of the base minimum, and the
+                // strategy never grants below `min`.
+                let lic = match grant.saturating_sub(b).checked_div(kv) {
+                    Some(slots) => ((slots.max(1)) as usize).min(max_in),
+                    None => max_in,
+                };
+                (b, b < base.full, lic)
+            } else {
+                (grant, grant < s.jobs[job].needs.full, 0)
+            };
+            match self.validated_replay(&spec, spec.batch, budget, shrunk) {
                 Some(replay) => {
                     let j = &mut s.jobs[job];
                     j.gpus_held = gang.clone();
-                    j.reserved = grant;
+                    j.reserved = budget;
                     j.shrunk = shrunk;
                     j.admitted_at = Some(now);
                     j.replay = replay;
+                    j.lic_inflight = lic;
                     s.dequeue(job);
                     s.resident_jobs.insert(job);
                     s.events.push(JobEvent {
@@ -1545,16 +1811,29 @@ impl Cluster {
                         kind: JobEventKind::Admitted {
                             gpus: gang.clone(),
                             batch: spec.batch,
-                            reserved: grant,
+                            reserved: budget,
                         },
                     });
                     for &gpu in &gang {
-                        s.reserve_on(gpu, grant, now);
+                        s.reserve_on(gpu, budget, now);
                         let g = &mut s.gpus[gpu];
                         g.resident.push(job);
                         g.hosted += 1;
                     }
-                    if schedule_iter(&mut s.jobs, &s.gpus, job, now, &mut s.seq, &mut s.heap)
+                    if spec.is_inference() {
+                        // No iteration yet: the serving loop below opens
+                        // the first round over the accumulated backlog.
+                        for &gpu in &gang {
+                            reprice_residents(
+                                &mut s.jobs,
+                                &s.gpus,
+                                gpu,
+                                now,
+                                &mut s.seq,
+                                &mut s.heap,
+                            );
+                        }
+                    } else if schedule_iter(&mut s.jobs, &s.gpus, job, now, &mut s.seq, &mut s.heap)
                         .is_err()
                     {
                         abort_job(s, job, now);
@@ -1675,6 +1954,9 @@ impl Cluster {
                                 full_need: needs.full,
                                 min_need: needs.min,
                                 failed_budget: fb,
+                                // Single-candidate probe: the boost only
+                                // breaks ties between candidates.
+                                boost_permille: 0,
                             };
                             let picked = strategy
                                 .pick(&mut std::iter::once(cand), pool, now)
@@ -1763,12 +2045,27 @@ impl Cluster {
         if !settled {
             s.settled_at = Some((s.pool.generation(), s.queue_gen));
         }
+        // Serving loop: every resident inference job with an idle engine
+        // and a backlog opens a round now. Runs on every settle, *after*
+        // the settled snapshot — request arrivals touch neither queue
+        // nor pool, so the settled-skip above would otherwise starve
+        // them, and any KV reservation made here moves the pool
+        // generation so the next settle re-places honestly. Skipped
+        // entirely (flag check only) for training-only sessions.
+        if s.has_inference {
+            let resident: Vec<usize> = s.resident_jobs.iter().copied().collect();
+            for job in resident {
+                if s.jobs[job].spec.is_inference() {
+                    self.try_serve(s, job, now);
+                }
+            }
+        }
         // Nothing placeable: consider evicting a low-priority resident
         // through a host checkpoint. One preemption in flight at a time
         // keeps victim selection honest about headroom. Aging makes the
         // victim choice clock-dependent, so this pass never skips.
         if self.cfg.preemption && s.preempting == 0 {
-            if let Some(victim) = pick_preemption(s, now, self.cfg.aging_rate) {
+            if let Some(victim) = pick_preemption(s, now, self.cfg.aging_rate, self.cfg.slo_aware) {
                 // The whole gang checkpoints or none: every replica's
                 // reservation is copied out. On a shared fabric the
                 // replicas' copies serialize on the host link; with
@@ -1839,6 +2136,8 @@ impl Cluster {
         // Summed in integers; the one float conversion happens at the
         // throughput division below so no per-job precision is lost.
         let total_samples: u64 = completed.iter().map(|j| j.samples_done).sum();
+        let total_requests: u64 = jobs.iter().map(|j| j.requests_served).sum();
+        let total_misses: u64 = jobs.iter().map(|j| j.slo_misses).sum();
         let mean = |durs: Vec<Duration>| -> Duration {
             if durs.is_empty() {
                 return Duration::ZERO;
@@ -1919,6 +2218,11 @@ impl Cluster {
                     rebatches: j.rebatches,
                     elastic_time_at_reduced_batch: j.elastic_reduced_time,
                     samples_preserved: j.samples_done,
+                    requests_served: j.requests_served,
+                    slo_misses: j.slo_misses,
+                    p50_latency: latency_percentile(&j.latencies, 50),
+                    p99_latency: latency_percentile(&j.latencies, 99),
+                    burst_shrinks: j.burst_shrinks,
                 }
             })
             .collect();
@@ -1957,6 +2261,15 @@ impl Cluster {
             midrun_oom_aborts: jobs.iter().filter(|j| j.aborted).count(),
             preemptions: jobs.iter().map(|j| j.preemptions as usize).sum(),
             rebatches: jobs.iter().map(|j| j.rebatches as usize).sum(),
+            requests_served: total_requests,
+            slo_misses: total_misses,
+            // Attainment in integer permille; an all-training run (no
+            // requests) reports a vacuous 1000.
+            slo_attainment_permille: ((total_requests - total_misses) * 1000)
+                .checked_div(total_requests)
+                .unwrap_or(1000),
+            burst_shrinks: jobs.iter().map(|j| j.burst_shrinks).sum(),
+            burst_cycles: s.burst_cycles,
             makespan,
             aggregate_samples_per_sec: if makespan.as_secs_f64() == 0.0 {
                 0.0
@@ -2106,6 +2419,11 @@ impl Cluster {
     /// reservation — or re-growing an elastically reduced batch, or
     /// scheduling the next iteration.
     fn complete_iteration(&mut self, s: &mut Session, job: usize, now: Time) {
+        if s.jobs[job].spec.is_inference() {
+            // A serving round ended; its requests complete together.
+            self.complete_round(s, job, now);
+            return;
+        }
         let j = &mut s.jobs[job];
         j.iters_done += 1;
         let step = (j.cur_batch as u64).min(j.samples_total.saturating_sub(j.samples_done));
@@ -2141,6 +2459,12 @@ impl Cluster {
             for &gpu in &held {
                 reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
             }
+            return;
+        }
+        // A burst-absorption shrink decided by the serving loop applies
+        // at this boundary, ahead of any re-grow attempt.
+        if self.cfg.elastic && s.jobs[job].pending_shrink.is_some() && self.try_shrink(s, job, now)
+        {
             return;
         }
         // A reduced elastic job checks for freed headroom at every
@@ -2276,6 +2600,328 @@ impl Cluster {
         s.seq += 1;
         true
     }
+
+    /// Schedules `job`'s next request arrival, until `spec.requests`
+    /// have been generated. Inter-arrival gaps are exponential around
+    /// `1 / request_rate`, drawn from the job's own deterministic
+    /// generator — the arrival process is a property of the workload,
+    /// never of scheduling decisions, so request events carry epoch 0
+    /// and ignore epoch bumps entirely.
+    fn schedule_next_request(&mut self, s: &mut Session, job: usize, now: Time) {
+        let j = &mut s.jobs[job];
+        if j.req_scheduled >= j.spec.requests {
+            return;
+        }
+        j.req_scheduled += 1;
+        // Clamp the unit draw away from 0 so the log stays finite; the
+        // rate was validated positive at parse time (code-built specs
+        // defensively floor it here too).
+        let u = j.req_rng.unit_f64().max(1e-12);
+        let rate = j.spec.request_rate.max(1e-9);
+        let gap = Duration::from_secs_f64(-u.ln() / rate);
+        s.heap.push(ev(now + gap, s.seq, EV_REQ_ARRIVE, job, 0));
+        s.seq += 1;
+    }
+
+    /// Opens a serving round for a resident, idle inference job: up to
+    /// `max_inflight` requests move from the queue into the round, each
+    /// reserving its KV state on every held replica for the round's
+    /// duration. Live headroom gates every slot — the admission-time
+    /// license ([`JobRun::lic_inflight`]) priced the grant, but memory
+    /// freed since (completions, elastic shrinks) raises the achievable
+    /// concurrency without re-admission. A KV-blocked backlog asks an
+    /// elastic training neighbour to shrink ([`Cluster::absorb_burst`]).
+    fn try_serve(&mut self, s: &mut Session, job: usize, now: Time) {
+        {
+            let j = &s.jobs[job];
+            if !j.spec.is_inference()
+                || j.gpus_held.is_empty()
+                || j.iterating
+                || j.preempting
+                || !j.inflight.is_empty()
+                || j.pending_regrow.is_some()
+                || j.cancelled
+                || j.aborted
+                || j.finished_at.is_some()
+                || j.req_queue.is_empty()
+            {
+                return;
+            }
+        }
+        let kv = s.jobs[job].spec.kv_bytes_per_request;
+        let lic = s.jobs[job].spec.max_inflight.max(1);
+        let held = s.jobs[job].gpus_held.clone();
+        let mut admitted = 0usize;
+        while admitted < lic && !s.jobs[job].req_queue.is_empty() {
+            if kv > 0 {
+                // Every replica mirrors the KV state, so the tightest
+                // held device gates each admission individually — the
+                // round never over-commits by a single request.
+                if !held.iter().all(|&g| s.pool.headroom(g) >= kv) {
+                    break;
+                }
+                for &gpu in &held {
+                    s.reserve_on(gpu, kv, now);
+                }
+                s.jobs[job].reserved += kv;
+            }
+            let t0 = s.jobs[job]
+                .req_queue
+                .pop_front()
+                .expect("loop condition checked non-empty");
+            s.jobs[job].inflight.push(t0);
+            admitted += 1;
+        }
+        if admitted > 0
+            && schedule_iter(&mut s.jobs, &s.gpus, job, now, &mut s.seq, &mut s.heap).is_err()
+        {
+            abort_job(s, job, now);
+            return;
+        }
+        if admitted < lic && !s.jobs[job].req_queue.is_empty() {
+            self.absorb_burst(s, job);
+        }
+    }
+
+    /// Marks an inference serving round complete: every in-flight
+    /// request is served at this instant — its latency recorded in
+    /// integer nanoseconds and judged against the SLO — and its KV
+    /// reservation released. The job then either completes (all
+    /// requests served) or immediately opens the next round over the
+    /// queued backlog.
+    fn complete_round(&mut self, s: &mut Session, job: usize, now: Time) {
+        let j = &mut s.jobs[job];
+        j.iters_done += 1;
+        let served = std::mem::take(&mut j.inflight);
+        let n = served.len() as u64;
+        j.requests_served += n;
+        // One "sample" per request keeps the existing progress and
+        // throughput accounting meaningful for serving jobs.
+        j.samples_done = j.requests_served;
+        let (iter, samples_done) = (j.iters_done, j.samples_done);
+        let name = j.spec.name.clone();
+        let slo_ns = j.slo_ns;
+        s.events.push(JobEvent {
+            t: now,
+            job: job as u64,
+            name: name.clone(),
+            kind: JobEventKind::IterationDone { iter, samples_done },
+        });
+        for &t0 in &served {
+            let lat = now.saturating_since(t0);
+            s.jobs[job].latencies.push(lat.as_nanos());
+            s.events.push(JobEvent {
+                t: now,
+                job: job as u64,
+                name: name.clone(),
+                kind: JobEventKind::RequestServed { latency: lat },
+            });
+            if slo_ns > 0 && lat.as_nanos() > slo_ns {
+                s.jobs[job].slo_misses += 1;
+                s.events.push(JobEvent {
+                    t: now,
+                    job: job as u64,
+                    name: name.clone(),
+                    kind: JobEventKind::SloMissed { latency: lat },
+                });
+            }
+        }
+        // The round's KV state drains with it.
+        let kv = s.jobs[job].spec.kv_bytes_per_request.saturating_mul(n);
+        if kv > 0 {
+            let held = s.jobs[job].gpus_held.clone();
+            for &gpu in &held {
+                s.release_on(gpu, kv, now);
+            }
+            s.jobs[job].reserved -= kv;
+        }
+        let j = &mut s.jobs[job];
+        if j.requests_served >= j.spec.requests {
+            assert!(!j.gpus_held.is_empty(), "serving job holds its gang");
+            j.finished_at = Some(now);
+            let held = j.gpus_held.clone();
+            let reserved = j.reserved;
+            s.resident_jobs.remove(&job);
+            for &gpu in &held {
+                s.release_on(gpu, reserved, now);
+                remove_resident(&mut s.gpus[gpu], job);
+            }
+            s.events.push(JobEvent {
+                t: now,
+                job: job as u64,
+                name,
+                kind: JobEventKind::Completed,
+            });
+            for &gpu in &held {
+                reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
+            }
+            return;
+        }
+        // Backlog waiting: the next round opens in the same instant.
+        self.try_serve(s, job, now);
+    }
+
+    /// Finds an elastic training neighbour to shrink one ladder rung so
+    /// `job`'s KV-blocked backlog can be served. The victim must hold
+    /// *every* deficient device (a gang re-batches whole), have a rung
+    /// left below its current batch, and no batch change already in
+    /// flight; the lowest-priority such resident is asked. The shrink
+    /// itself is deferred to the victim's next completed-iteration
+    /// boundary — the only instant a batch change is sound.
+    fn absorb_burst(&mut self, s: &mut Session, job: usize) {
+        if !self.cfg.elastic {
+            return;
+        }
+        let kv = s.jobs[job].spec.kv_bytes_per_request;
+        if kv == 0 {
+            return;
+        }
+        let deficient: Vec<usize> = s.jobs[job]
+            .gpus_held
+            .iter()
+            .copied()
+            .filter(|&g| s.pool.headroom(g) < kv)
+            .collect();
+        if deficient.is_empty() {
+            return;
+        }
+        let candidates: Vec<usize> = {
+            let jobs = &s.jobs;
+            let mut v: Vec<usize> = s
+                .resident_jobs
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    let t = &jobs[v];
+                    t.spec.class == JobClass::Training
+                        && t.spec.elastic
+                        && !t.preempting
+                        && t.pending_regrow.is_none()
+                        && t.pending_shrink.is_none()
+                        && deficient.iter().all(|d| t.gpus_held.contains(d))
+                })
+                .collect();
+            v.sort_by_key(|&c| (jobs[c].spec.priority, c));
+            v
+        };
+        for v in candidates {
+            let ladder = elastic_batches(s.jobs[v].spec.batch, self.cfg.min_batch_fraction);
+            let cur = s.jobs[v].cur_batch;
+            // The ladder is descending: the first rung under the current
+            // batch is the smallest shrink that frees any memory.
+            if let Some(target) = ladder.into_iter().find(|&b| b < cur) {
+                s.jobs[v].pending_shrink = Some(target);
+                return;
+            }
+        }
+    }
+
+    /// Applies a pending burst-absorption shrink at `job`'s completed-
+    /// iteration boundary: re-validates at the reduced batch, releases
+    /// the freed bytes immediately (the burst claims them during the
+    /// copy window), and charges the same checkpoint/restore round-trip
+    /// a re-grow pays. Returns whether a batch change is now in flight
+    /// (the caller must not schedule the next iteration).
+    fn try_shrink(&mut self, s: &mut Session, job: usize, now: Time) -> bool {
+        let Some(target) = s.jobs[job].pending_shrink.take() else {
+            return false;
+        };
+        if target >= s.jobs[job].cur_batch {
+            return false;
+        }
+        let needs = self.estimate_at(&s.jobs[job].spec, target).1;
+        let old = s.jobs[job].reserved;
+        let grant = old.min(needs.full);
+        if grant < needs.min {
+            return false;
+        }
+        let shrunk = grant < needs.full;
+        let spec = s.jobs[job].spec.clone();
+        let Some(replay) = self.validated_replay(&spec, target, grant, shrunk) else {
+            let j = &mut s.jobs[job];
+            let e = j.failed.entry(target).or_insert(grant);
+            *e = (*e).max(grant);
+            return false;
+        };
+        let width = s.jobs[job].gpus_held.len().max(1) as u64;
+        let copy = match s.fabric.as_mut() {
+            Some(f) => {
+                let out_bytes = old * width;
+                let out = f.host_transfer(now, out_bytes);
+                s.transfers.push(ClusterTransfer {
+                    job: s.jobs[job].spec.name.clone(),
+                    iter: u64::MAX,
+                    label: "shrink-checkpoint".to_owned(),
+                    link: "host".to_owned(),
+                    dir: CopyDir::DeviceToHost,
+                    bytes: out_bytes,
+                    want: now,
+                    start: out.start,
+                    end: out.end,
+                    wait: out.start.saturating_since(now),
+                    charge: Duration::ZERO,
+                    lead: Duration::ZERO,
+                });
+                let back_bytes = grant * width;
+                let back = f.host_transfer(out.end, back_bytes);
+                s.transfers.push(ClusterTransfer {
+                    job: s.jobs[job].spec.name.clone(),
+                    iter: u64::MAX,
+                    label: "shrink-restore".to_owned(),
+                    link: "host".to_owned(),
+                    dir: CopyDir::HostToDevice,
+                    bytes: back_bytes,
+                    want: out.end,
+                    start: back.start,
+                    end: back.end,
+                    wait: back.start.saturating_since(out.end),
+                    charge: Duration::ZERO,
+                    lead: Duration::ZERO,
+                });
+                back.end.saturating_since(now)
+            }
+            None => {
+                self.cfg.spec.copy_time(old, CopyDir::DeviceToHost)
+                    + self.cfg.spec.copy_time(grant, CopyDir::HostToDevice)
+            }
+        };
+        // The freed bytes return to the pool now, not when the copies
+        // drain: the whole point is that the blocked burst can claim
+        // them in this very settle pass.
+        let held = s.jobs[job].gpus_held.clone();
+        for &gpu in &held {
+            s.release_on(gpu, old - grant, now);
+        }
+        let j = &mut s.jobs[job];
+        j.reserved = grant;
+        j.checkpoint_overhead += copy;
+        j.rebatches += 1;
+        j.burst_shrinks += 1;
+        j.shrunk_for_burst = true;
+        j.pending_regrow = Some(Regrow {
+            batch: target,
+            shrunk,
+            replay,
+        });
+        j.epoch += 1;
+        let (at, epoch) = (now + copy, j.epoch);
+        s.heap.push(ev(at, s.seq, EV_REGROW, job, epoch));
+        s.seq += 1;
+        true
+    }
+}
+
+/// Nearest-rank percentile over integer-nanosecond latency samples —
+/// `sorted[(len − 1) × p / 100]`. All accumulation stays in u64 space;
+/// the one Duration conversion happens here, at stats assembly.
+fn latency_percentile(ns: &[u64], p: u64) -> Duration {
+    if ns.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = ns.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as u64 * p / 100) as usize;
+    Duration::from_nanos(sorted[idx])
 }
 
 /// The contention factor a job experiences: the maximum resident count
@@ -2408,11 +3054,17 @@ fn abort_job(s: &mut Session, job: usize, now: Time) {
 /// with the victim's priority strictly below the waiter's effective
 /// priority. A victim gang is evicted whole — releasing its reservation
 /// on *every* device it holds — or not at all.
-fn pick_preemption(s: &Session, now: Time, aging_rate: f64) -> Option<usize> {
+fn pick_preemption(s: &Session, now: Time, aging_rate: f64, slo_aware: bool) -> Option<usize> {
     let jobs = &s.jobs;
     let ap = aging_permille(aging_rate);
     let eff = |priority: u32, since: Time| {
         effective_priority_permille(priority, ap, now.saturating_since(since))
+    };
+    // A waiter's urgency includes its SLO boost: a latency job with
+    // requests burning slack can evict where its static priority alone
+    // could not. 0 for training waiters and under SLO-blind scheduling.
+    let eff_of = |p: usize| {
+        eff(jobs[p].spec.priority, jobs[p].queued_at) + jobs[p].slo_boost(now, slo_aware) as u128
     };
     // Would evicting `victim` open enough devices for waiter `jp`'s full
     // gang? The fit predicate is monotone in headroom (a per-waiter
@@ -2452,7 +3104,7 @@ fn pick_preemption(s: &Session, now: Time, aging_rate: f64) -> Option<usize> {
         .collect();
     waiters.sort_by_cached_key(|&a| {
         (
-            Reverse(eff(jobs[a].spec.priority, jobs[a].queued_at)),
+            Reverse(eff_of(a)),
             Reverse(jobs[a].spec.priority),
             jobs[a].queued_at.as_nanos(),
             a,
@@ -2460,16 +3112,20 @@ fn pick_preemption(s: &Session, now: Time, aging_rate: f64) -> Option<usize> {
     });
     for &p in &waiters {
         let jp = &jobs[p];
-        let ep = eff(jp.spec.priority, jp.queued_at);
+        let ep = eff_of(p);
         if gang_fits(jp, None) {
             // Placeable without violence; the strategy just chose not to
             // (e.g. FIFO head-of-line). Preemption is not the tool.
             continue;
         }
+        // Inference residents are never victims: checkpoint-preempting a
+        // serving job mid-request would strand its in-flight latencies
+        // behind a host round-trip the SLO never priced.
         let mut victims: Vec<usize> = s
             .resident_jobs
             .iter()
             .copied()
+            .filter(|&v| jobs[v].spec.class == JobClass::Training)
             .filter(|&v| jobs[v].iterating && !jobs[v].preempting)
             .filter(|&v| (jobs[v].spec.priority as u128) * 1000 < ep)
             .collect();
@@ -2500,6 +3156,7 @@ mod tests {
                 priority: 0,
                 arrival_time: 0.0,
                 elastic: false,
+                ..JobSpec::default()
             },
             JobSpec {
                 name: "b".into(),
@@ -2511,6 +3168,7 @@ mod tests {
                 priority: 1,
                 arrival_time: 0.1,
                 elastic: false,
+                ..JobSpec::default()
             },
         ]
     }
@@ -2554,6 +3212,7 @@ mod tests {
             priority: 0,
             arrival_time: 0.0,
             elastic: false,
+            ..JobSpec::default()
         }];
         let tf = Cluster::new(
             ClusterConfig::builder()
@@ -2592,6 +3251,7 @@ mod tests {
             priority: 0,
             arrival_time: 0.0,
             elastic: false,
+            ..JobSpec::default()
         }];
         let stats = Cluster::new(
             ClusterConfig::builder()
@@ -2627,6 +3287,7 @@ mod tests {
             priority: 0,
             arrival_time: 0.0,
             elastic: false,
+            ..JobSpec::default()
         }];
         let stats = Cluster::new(ClusterConfig::builder().gpus(2).build().unwrap()).run(&wide);
         assert_eq!(stats.oom_rejections, 1);
@@ -2650,6 +3311,7 @@ mod tests {
             priority: 0,
             arrival_time: 0.0,
             elastic: false,
+            ..JobSpec::default()
         };
         let jobs = vec![swapper("s0"), swapper("s1")];
         let cfg = |ic: Option<InterconnectSpec>| {
@@ -2693,6 +3355,7 @@ mod tests {
             priority: 0,
             arrival_time: arrival,
             elastic: false,
+            ..JobSpec::default()
         };
         let baseline = Cluster::new(ClusterConfig::builder().gpus(1).build().unwrap())
             .run(&[solo(0.0, "alone")]);
@@ -2731,17 +3394,21 @@ mod tests {
     /// scheduled, by the remaining fraction at 2×.
     #[test]
     fn reprice_splits_iteration_at_residency_change() {
-        let mut jobs = vec![JobRun::new(&JobSpec {
-            name: "j".into(),
-            model: capuchin_models::ModelKind::ResNet50,
-            batch: 1,
-            gpus: 1,
-            policy: JobPolicy::TfOri,
-            iters: 1,
-            priority: 0,
-            arrival_time: 0.0,
-            elastic: false,
-        })];
+        let mut jobs = vec![JobRun::new(
+            &JobSpec {
+                name: "j".into(),
+                model: capuchin_models::ModelKind::ResNet50,
+                batch: 1,
+                gpus: 1,
+                policy: JobPolicy::TfOri,
+                iters: 1,
+                priority: 0,
+                arrival_time: 0.0,
+                elastic: false,
+                ..JobSpec::default()
+            },
+            0,
+        )];
         jobs[0].gpus_held = vec![0];
         jobs[0].replay = Arc::new(vec![ReplayIter {
             wall: Duration::from_millis(100),
@@ -2759,7 +3426,7 @@ mod tests {
         // A neighbour joins at t = 40 ms: 60 ms of base wall remain, now
         // at 2× -> new end at 40 + 120 = 160 ms.
         gpus[0].resident.push(1);
-        jobs.push(JobRun::new(&jobs[0].spec.clone()));
+        jobs.push(JobRun::new(&jobs[0].spec.clone(), 1));
         let at = Time::ZERO + Duration::from_millis(40);
         reprice_residents(&mut jobs, &gpus, 0, at, &mut seq, &mut heap);
         let newest = heap
@@ -2774,7 +3441,7 @@ mod tests {
     /// fabricate zero-time iterations.
     #[test]
     fn schedule_iter_rejects_empty_walls() {
-        let mut jobs = vec![JobRun::new(&small_workload()[0])];
+        let mut jobs = vec![JobRun::new(&small_workload()[0], 0)];
         jobs[0].gpus_held = vec![0];
         let gpus = vec![GpuState::new(1 << 30)];
         let mut seq = 0;
@@ -2802,6 +3469,7 @@ mod tests {
             priority: 0,
             arrival_time: 0.0,
             elastic: false,
+            ..JobSpec::default()
         };
         let high = JobSpec {
             name: "high-short".into(),
@@ -2813,6 +3481,7 @@ mod tests {
             priority: 8,
             arrival_time: 0.5,
             elastic: false,
+            ..JobSpec::default()
         };
         let cfg = |preemption: bool| {
             ClusterConfig::builder()
@@ -2938,6 +3607,7 @@ mod tests {
             priority: 0,
             arrival_time: 0.0,
             elastic: false,
+            ..JobSpec::default()
         };
         let grower = JobSpec {
             name: "grower".into(),
@@ -2949,6 +3619,7 @@ mod tests {
             priority: 0,
             arrival_time: 0.05,
             elastic: true,
+            ..JobSpec::default()
         };
         let cfg = |elastic: bool| {
             ClusterConfig::builder()

@@ -47,6 +47,35 @@ impl std::str::FromStr for JobPolicy {
     }
 }
 
+/// What kind of work a job is: throughput-oriented training or
+/// latency-sensitive inference serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobClass {
+    /// Forward + backward, a fixed iteration count, throughput-metric.
+    /// Workload files written before job classes existed parse as this.
+    Training,
+    /// Forward-only serving: a request-arrival process instead of fixed
+    /// iterations, a per-request latency SLO, and KV-cache-like state
+    /// that grows with concurrent in-flight requests.
+    Inference,
+}
+
+impl JobClass {
+    /// CLI/stats name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobClass::Training => "training",
+            JobClass::Inference => "inference",
+        }
+    }
+}
+
+impl std::fmt::Display for JobClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One training job submitted to the cluster.
 ///
 /// `gpus > 1` makes the job a data-parallel *gang*: `gpus` replicas, each
@@ -80,6 +109,53 @@ pub struct JobSpec {
     /// cluster itself runs with elastic re-batching enabled. Workload
     /// files written before this field existed parse as `false`.
     pub elastic: bool,
+    /// Job class. Workload files written before inference jobs existed
+    /// parse as [`JobClass::Training`].
+    pub class: JobClass,
+    /// Inference only: mean request arrival rate in requests per second
+    /// (arrivals are Poisson with deterministic seeded jitter). Ignored
+    /// for training jobs.
+    pub request_rate: f64,
+    /// Inference only: per-request latency SLO in milliseconds, measured
+    /// arrival-to-served on the simulated clock. Ignored for training.
+    pub slo_ms: f64,
+    /// Inference only: total requests the job serves before completing
+    /// (the inference analogue of `iters`). Ignored for training.
+    pub requests: u64,
+    /// Inference only: KV-cache-like bytes reserved per in-flight request
+    /// on every device the job holds; grows and shrinks with concurrency
+    /// and is priced through admission so the headroom index always sees
+    /// it. Ignored for training.
+    pub kv_bytes_per_request: u64,
+    /// Inference only: the most requests the job will batch into one
+    /// serving round (and thus the most KV growth admission prices).
+    /// Clamped to at least 1 at runtime. Ignored for training.
+    pub max_inflight: usize,
+}
+
+/// A neutral single-GPU training job — the base for struct-update
+/// construction in tests and code-built workloads, mirroring the
+/// parse-time defaults of the optional fields.
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            name: String::new(),
+            model: ModelKind::Vgg16,
+            batch: 1,
+            gpus: 1,
+            policy: JobPolicy::Capuchin,
+            iters: 1,
+            priority: 0,
+            arrival_time: 0.0,
+            elastic: false,
+            class: JobClass::Training,
+            request_rate: 0.0,
+            slo_ms: 0.0,
+            requests: 0,
+            kv_bytes_per_request: 0,
+            max_inflight: 4,
+        }
+    }
 }
 
 impl JobSpec {
@@ -100,12 +176,51 @@ impl JobSpec {
         self.elastic = true;
         self
     }
+
+    /// Whether this is an inference-serving job.
+    pub fn is_inference(&self) -> bool {
+        self.class == JobClass::Inference
+    }
+
+    /// The SLO in integer nanoseconds (0 for training jobs or a
+    /// non-positive/non-finite `slo_ms`); all latency comparisons happen
+    /// in this integer space.
+    pub fn slo_nanos(&self) -> u64 {
+        if self.class != JobClass::Inference || !self.slo_ms.is_finite() || self.slo_ms <= 0.0 {
+            return 0;
+        }
+        (self.slo_ms * 1_000_000.0) as u64
+    }
+
+    /// Converts the job into an inference job (builder-style, for
+    /// workloads written in code): forward-only serving of `requests`
+    /// Poisson arrivals at `request_rate` req/s under an `slo_ms`
+    /// millisecond latency SLO, with `kv_bytes_per_request` of growing
+    /// KV state and at most `max_inflight` requests per serving round.
+    pub fn into_inference(
+        mut self,
+        request_rate: f64,
+        slo_ms: f64,
+        requests: u64,
+        kv_bytes_per_request: u64,
+        max_inflight: usize,
+    ) -> JobSpec {
+        self.class = JobClass::Inference;
+        self.elastic = false;
+        self.request_rate = request_rate;
+        self.slo_ms = slo_ms;
+        self.requests = requests;
+        self.kv_bytes_per_request = kv_bytes_per_request;
+        self.max_inflight = max_inflight;
+        self
+    }
 }
 
-// Hand-written so `gpus` defaults to 1 and `elastic` to false: workload
-// files written before gangs (or elastic re-batching) existed omit the
-// keys and must keep parsing byte-identically. (The vendored serde derive
-// has no `#[serde(default)]`.)
+// Hand-written so `gpus` defaults to 1, `elastic` to false, and the
+// inference fields to training-shaped defaults: workload files written
+// before gangs, elastic re-batching, or job classes existed omit the
+// keys and must keep parsing byte-identically. (The vendored serde
+// derive has no `#[serde(default)]`.)
 impl serde::Deserialize for JobSpec {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         use serde::de::field;
@@ -125,12 +240,36 @@ impl serde::Deserialize for JobSpec {
                 Some(e) => bool::from_value(e)?,
                 None => false,
             },
+            class: match v.get("class") {
+                Some(c) => JobClass::from_value(c)?,
+                None => JobClass::Training,
+            },
+            request_rate: match v.get("request_rate") {
+                Some(r) => f64::from_value(r)?,
+                None => 0.0,
+            },
+            slo_ms: match v.get("slo_ms") {
+                Some(s) => f64::from_value(s)?,
+                None => 0.0,
+            },
+            requests: match v.get("requests") {
+                Some(r) => u64::from_value(r)?,
+                None => 0,
+            },
+            kv_bytes_per_request: match v.get("kv_bytes_per_request") {
+                Some(k) => u64::from_value(k)?,
+                None => 0,
+            },
+            max_inflight: match v.get("max_inflight") {
+                Some(m) => usize::from_value(m)?,
+                None => 4,
+            },
         })
     }
 }
 
 /// Why a workload file was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum JobFileError {
     /// The file is not a JSON array of job objects.
     Parse(String),
@@ -162,6 +301,47 @@ pub enum JobFileError {
         /// Replicas the floor must still cover with ≥ 1 sample each.
         gpus: usize,
     },
+    /// An inference job's latency SLO is zero, negative, or not finite —
+    /// every request would count as missed (or none could ever miss).
+    BadSlo {
+        /// Name of the offending job.
+        job: String,
+        /// The rejected SLO value, in milliseconds.
+        slo_ms: f64,
+    },
+    /// An inference job's request rate is zero, negative, or not finite —
+    /// no arrival process can be derived from it.
+    BadRequestRate {
+        /// Name of the offending job.
+        job: String,
+        /// The rejected rate, in requests per second.
+        rate: f64,
+    },
+    /// An inference job asked to serve zero requests: it would hold its
+    /// reservation forever without ever completing.
+    ZeroRequests {
+        /// Name of the offending job.
+        job: String,
+    },
+    /// A job asked for both `"class": "Inference"` and `"elastic": true`.
+    /// Inference jobs absorb load through KV concurrency, not batch
+    /// re-sizing; the elastic ladder only applies to training.
+    ElasticInference {
+        /// Name of the offending job.
+        job: String,
+    },
+    /// An inference gang is wider than one interconnect link domain.
+    /// Serving rounds synchronize across the gang every round, so
+    /// crossing a domain boundary would put the inter-domain hop on every
+    /// request's critical path.
+    InferenceGangTooWide {
+        /// Name of the offending job.
+        job: String,
+        /// GPUs the job asked for.
+        gpus: usize,
+        /// Widest link domain the cluster offers.
+        domain: usize,
+    },
 }
 
 impl std::fmt::Display for JobFileError {
@@ -182,6 +362,33 @@ impl std::fmt::Display for JobFileError {
                  {gpus} replicas with at least 1 sample each (raise --min-batch-frac \
                  or shrink the gang)"
             ),
+            JobFileError::BadSlo { job, slo_ms } => write!(
+                f,
+                "inference job `{job}`: slo_ms must be a positive finite number of \
+                 milliseconds, got {slo_ms}"
+            ),
+            JobFileError::BadRequestRate { job, rate } => write!(
+                f,
+                "inference job `{job}`: request_rate must be a positive finite number \
+                 of requests per second, got {rate}"
+            ),
+            JobFileError::ZeroRequests { job } => write!(
+                f,
+                "inference job `{job}`: requests must be at least 1 (the job \
+                 completes after serving them all)"
+            ),
+            JobFileError::ElasticInference { job } => write!(
+                f,
+                "inference job `{job}` cannot be elastic: set \"elastic\": false \
+                 (inference absorbs load through max_inflight concurrency, not \
+                 batch re-sizing)"
+            ),
+            JobFileError::InferenceGangTooWide { job, gpus, domain } => write!(
+                f,
+                "inference job `{job}` requests a {gpus}-GPU gang but the widest \
+                 interconnect link domain has {domain} GPUs; inference gangs must \
+                 fit one domain so no request crosses the inter-domain hop"
+            ),
         }
     }
 }
@@ -191,9 +398,12 @@ impl std::error::Error for JobFileError {}
 /// Parses a workload file — a JSON array of [`JobSpec`] objects — and
 /// validates every gang against a cluster of `cluster_gpus` devices whose
 /// elastic batch floor is `min_batch_fraction` (pass the cluster's
-/// configured fraction; it only constrains jobs marked `"elastic": true`).
-/// A missing `"gpus"` key means a single-GPU job; a missing `"elastic"`
-/// key means a rigid one, so pre-existing workload files keep parsing
+/// configured fraction; it only constrains jobs marked `"elastic": true`)
+/// and whose widest interconnect link domain spans `link_domain_gpus`
+/// devices (pass `cluster_gpus` for a flat interconnect; it only
+/// constrains inference gangs). A missing `"gpus"` key means a single-GPU
+/// job; a missing `"elastic"` key means a rigid one; a missing `"class"`
+/// key means a training job, so pre-existing workload files keep parsing
 /// byte-identically.
 ///
 /// # Errors
@@ -201,14 +411,19 @@ impl std::error::Error for JobFileError {}
 /// [`JobFileError::Parse`] on malformed JSON or a bad job shape,
 /// [`JobFileError::Empty`] on an empty array,
 /// [`JobFileError::ZeroGpus`] / [`JobFileError::GangTooLarge`] for gang
-/// sizes that could never be placed, and
+/// sizes that could never be placed,
 /// [`JobFileError::ElasticFloorTooSmall`] for elastic gangs whose batch
-/// floor would drive the per-replica batch below 1 (all caught here, at
-/// parse time, instead of surfacing as a late scheduler panic).
+/// floor would drive the per-replica batch below 1, and
+/// [`JobFileError::BadSlo`] / [`JobFileError::BadRequestRate`] /
+/// [`JobFileError::ZeroRequests`] / [`JobFileError::ElasticInference`] /
+/// [`JobFileError::InferenceGangTooWide`] for inference jobs whose
+/// arrival process, SLO, or gang shape could never be served (all caught
+/// here, at parse time, instead of surfacing as a late scheduler panic).
 pub fn load_jobs(
     json: &str,
     cluster_gpus: usize,
     min_batch_fraction: f64,
+    link_domain_gpus: usize,
 ) -> Result<Vec<JobSpec>, JobFileError> {
     let jobs: Vec<JobSpec> =
         serde_json::from_str(json).map_err(|e| JobFileError::Parse(e.to_string()))?;
@@ -237,6 +452,37 @@ pub fn load_jobs(
                     job: job.name.clone(),
                     floor,
                     gpus: job.gpus,
+                });
+            }
+        }
+        if job.is_inference() {
+            if !job.slo_ms.is_finite() || job.slo_ms <= 0.0 {
+                return Err(JobFileError::BadSlo {
+                    job: job.name.clone(),
+                    slo_ms: job.slo_ms,
+                });
+            }
+            if !job.request_rate.is_finite() || job.request_rate <= 0.0 {
+                return Err(JobFileError::BadRequestRate {
+                    job: job.name.clone(),
+                    rate: job.request_rate,
+                });
+            }
+            if job.requests == 0 {
+                return Err(JobFileError::ZeroRequests {
+                    job: job.name.clone(),
+                });
+            }
+            if job.elastic {
+                return Err(JobFileError::ElasticInference {
+                    job: job.name.clone(),
+                });
+            }
+            if job.gpus > link_domain_gpus {
+                return Err(JobFileError::InferenceGangTooWide {
+                    job: job.name.clone(),
+                    gpus: job.gpus,
+                    domain: link_domain_gpus,
                 });
             }
         }
@@ -349,6 +595,12 @@ pub fn synthetic_jobs(n: usize, seed: u64, mean_interarrival_secs: f64) -> Vec<J
                 priority: rng.below(3) as u32,
                 arrival_time: clock,
                 elastic: false,
+                class: JobClass::Training,
+                request_rate: 0.0,
+                slo_ms: 0.0,
+                requests: 0,
+                kv_bytes_per_request: 0,
+                max_inflight: 4,
             }
         })
         .collect()
@@ -422,6 +674,60 @@ pub fn synthetic_mixed_jobs(
                 priority: rng.below(4) as u32,
                 arrival_time: clock,
                 elastic,
+                class: JobClass::Training,
+                request_rate: 0.0,
+                slo_ms: 0.0,
+                requests: 0,
+                kv_bytes_per_request: 0,
+                max_inflight: 4,
+            }
+        })
+        .collect()
+}
+
+/// Inference batch/model menu: small replica batches so forward-only
+/// footprints stay modest and the KV growth is what exercises headroom.
+const INFER_MODELS: &[(ModelKind, usize)] = &[
+    (ModelKind::ResNet50, 32),
+    (ModelKind::InceptionV3, 32),
+    (ModelKind::DenseNet121, 32),
+];
+
+/// Generates `n` inference-serving jobs with Poisson job arrivals (mean
+/// `mean_interarrival_secs`) from a fixed seed. Each job serves a burst
+/// of requests at `request_rate` req/s under a few-hundred-millisecond
+/// SLO, holding KV-cache state per in-flight request. Identical
+/// `(n, seed, mean, request_rate)` always produce an identical workload;
+/// every job is a single-GPU job so it fits any link domain.
+pub fn synthetic_inference_jobs(
+    n: usize,
+    seed: u64,
+    mean_interarrival_secs: f64,
+    request_rate: f64,
+) -> Vec<JobSpec> {
+    let mut rng = SplitMix64::new(seed);
+    let mut clock = 0.0f64;
+    (0..n)
+        .map(|i| {
+            let u = rng.unit_f64().max(1e-12);
+            clock += -u.ln() * mean_interarrival_secs;
+            let (model, batch) = INFER_MODELS[rng.below(INFER_MODELS.len() as u64) as usize];
+            JobSpec {
+                name: format!("inf{i:03}"),
+                model,
+                batch,
+                gpus: 1,
+                policy: JobPolicy::Capuchin,
+                iters: 1,
+                priority: 1 + rng.below(2) as u32,
+                arrival_time: clock,
+                elastic: false,
+                class: JobClass::Inference,
+                request_rate,
+                slo_ms: 200.0 + 100.0 * rng.below(4) as f64,
+                requests: 24 + rng.below(25),
+                kv_bytes_per_request: (192 + 64 * rng.below(4)) << 20,
+                max_inflight: 2 + rng.below(3) as usize,
             }
         })
         .collect()
@@ -504,14 +810,14 @@ mod tests {
     fn job_files_round_trip() {
         let jobs = synthetic_jobs(4, 7, 1.0);
         let json = serde_json::to_string_pretty(&jobs).unwrap();
-        let back = load_jobs(&json, 4, 0.25).unwrap();
+        let back = load_jobs(&json, 4, 0.25, 4).unwrap();
         assert_eq!(
             serde_json::to_string(&jobs).unwrap(),
             serde_json::to_string(&back).unwrap()
         );
-        assert_eq!(load_jobs("[]", 4, 0.25), Err(JobFileError::Empty));
+        assert_eq!(load_jobs("[]", 4, 0.25, 4), Err(JobFileError::Empty));
         assert!(matches!(
-            load_jobs("not json", 4, 0.25),
+            load_jobs("not json", 4, 0.25, 4),
             Err(JobFileError::Parse(_))
         ));
     }
@@ -524,11 +830,16 @@ mod tests {
             "policy": "Capuchin", "iters": 3, "priority": 0,
             "arrival_time": 0.0
         }]"#;
-        let jobs = load_jobs(json, 2, 0.25).unwrap();
+        let jobs = load_jobs(json, 2, 0.25, 2).unwrap();
         assert_eq!(jobs[0].gpus, 1);
         assert_eq!(jobs[0].replica_batch(), 64);
         // ...and no "elastic" key means a rigid job.
         assert!(!jobs[0].elastic);
+        // ...and no "class" key means a training job with inert
+        // inference fields.
+        assert_eq!(jobs[0].class, JobClass::Training);
+        assert!(!jobs[0].is_inference());
+        assert_eq!(jobs[0].slo_nanos(), 0);
     }
 
     #[test]
@@ -541,23 +852,23 @@ mod tests {
             )
         };
         assert_eq!(
-            load_jobs(&gang(0), 4, 0.25),
+            load_jobs(&gang(0), 4, 0.25, 4),
             Err(JobFileError::ZeroGpus { job: "g".into() })
         );
         assert_eq!(
-            load_jobs(&gang(8), 4, 0.25),
+            load_jobs(&gang(8), 4, 0.25, 4),
             Err(JobFileError::GangTooLarge {
                 job: "g".into(),
                 gpus: 8,
                 cluster: 4
             })
         );
-        let err = load_jobs(&gang(8), 4, 0.25).unwrap_err().to_string();
+        let err = load_jobs(&gang(8), 4, 0.25, 4).unwrap_err().to_string();
         assert!(
             err.contains("8-GPU gang") && err.contains("4 GPUs"),
             "{err}"
         );
-        assert_eq!(load_jobs(&gang(4), 4, 0.25).unwrap()[0].gpus, 4);
+        assert_eq!(load_jobs(&gang(4), 4, 0.25, 4).unwrap()[0].gpus, 4);
     }
 
     #[test]
@@ -569,11 +880,11 @@ mod tests {
                      "arrival_time": 0.0, "elastic": true}}]"#
             )
         };
-        let jobs = load_jobs(&elastic(128, 4), 4, 0.25).unwrap();
+        let jobs = load_jobs(&elastic(128, 4), 4, 0.25, 4).unwrap();
         assert!(jobs[0].elastic);
         assert_eq!(jobs[0].replica_batch_at(32), 8);
         // floor = ceil(8 × 0.25) = 2 < 4 replicas: caught at parse time.
-        let err = load_jobs(&elastic(8, 4), 4, 0.25).unwrap_err();
+        let err = load_jobs(&elastic(8, 4), 4, 0.25, 4).unwrap_err();
         assert_eq!(
             err,
             JobFileError::ElasticFloorTooSmall {
@@ -585,7 +896,105 @@ mod tests {
         assert!(err.to_string().contains("--min-batch-frac"), "{err}");
         // The same shape is fine when rigid: the floor never applies.
         let rigid = elastic(8, 4).replace(r#""elastic": true"#, r#""elastic": false"#);
-        assert!(load_jobs(&rigid, 4, 0.25).is_ok());
+        assert!(load_jobs(&rigid, 4, 0.25, 4).is_ok());
+    }
+
+    #[test]
+    fn inference_jobs_parse_and_bad_shapes_are_rejected() {
+        let infer = |extra: &str| {
+            format!(
+                r#"[{{"name": "s", "model": "ResNet50", "batch": 32,
+                     "policy": "Capuchin", "iters": 1, "priority": 1,
+                     "arrival_time": 0.0, "class": "Inference",
+                     "request_rate": 10.0, "slo_ms": 250.0,
+                     "requests": 40, "kv_bytes_per_request": 268435456
+                     {extra}}}]"#
+            )
+        };
+        let jobs = load_jobs(&infer(""), 4, 0.25, 2).unwrap();
+        assert!(jobs[0].is_inference());
+        assert_eq!(jobs[0].slo_nanos(), 250_000_000);
+        assert_eq!(jobs[0].max_inflight, 4); // defaulted
+                                             // Overrides of keys already in the base document are spelled as
+                                             // replacements (the parser keeps the first occurrence of a key).
+        let with = |key: &str, val: &str| {
+            let base = infer("");
+            let start = base.find(&format!("\"{key}\"")).expect("key present");
+            let end = base[start..]
+                .find([',', '}'])
+                .map(|i| start + i)
+                .expect("value terminator");
+            format!("{}\"{key}\": {val}{}", &base[..start], &base[end..])
+        };
+        assert_eq!(
+            load_jobs(&with("slo_ms", "0.0"), 4, 0.25, 2),
+            Err(JobFileError::BadSlo {
+                job: "s".into(),
+                slo_ms: 0.0
+            })
+        );
+        assert!(matches!(
+            load_jobs(&with("slo_ms", "-5.0"), 4, 0.25, 2),
+            Err(JobFileError::BadSlo { .. })
+        ));
+        assert_eq!(
+            load_jobs(&with("request_rate", "0.0"), 4, 0.25, 2),
+            Err(JobFileError::BadRequestRate {
+                job: "s".into(),
+                rate: 0.0
+            })
+        );
+        assert_eq!(
+            load_jobs(&with("requests", "0"), 4, 0.25, 2),
+            Err(JobFileError::ZeroRequests { job: "s".into() })
+        );
+        assert_eq!(
+            load_jobs(&infer(r#", "elastic": true"#), 4, 0.25, 2),
+            Err(JobFileError::ElasticInference { job: "s".into() })
+        );
+        // A 4-wide inference gang is fine on a flat 4-GPU cluster but not
+        // when the widest link domain holds only 2 devices.
+        assert_eq!(
+            load_jobs(&infer(r#", "gpus": 4"#), 4, 0.25, 2),
+            Err(JobFileError::InferenceGangTooWide {
+                job: "s".into(),
+                gpus: 4,
+                domain: 2
+            })
+        );
+        assert!(load_jobs(&infer(r#", "gpus": 4"#), 4, 0.25, 4).is_ok());
+        // The same width is fine for training: only inference rounds put
+        // the inter-domain hop on a latency-critical path.
+        let training = infer(r#", "gpus": 4"#).replace(r#""class": "Inference","#, "");
+        assert!(load_jobs(&training, 4, 0.25, 2).is_ok());
+        // Every error message names the job and the accepted shape.
+        for bad in [
+            with("slo_ms", "0.0"),
+            with("request_rate", "0.0"),
+            with("requests", "0"),
+            infer(r#", "elastic": true"#),
+            infer(r#", "gpus": 4"#),
+        ] {
+            let msg = load_jobs(&bad, 4, 0.25, 2).unwrap_err().to_string();
+            assert!(msg.contains("`s`"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn synthetic_inference_workloads_are_deterministic_and_valid() {
+        let a = synthetic_inference_jobs(12, 9, 1.0, 8.0);
+        let b = synthetic_inference_jobs(12, 9, 1.0, 8.0);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert!(a.iter().all(|j| j.is_inference()));
+        // The generated workload round-trips through the strict parser.
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(load_jobs(&json, 4, 0.25, 1).is_ok());
+        for w in a.windows(2) {
+            assert!(w[0].arrival_time <= w[1].arrival_time);
+        }
     }
 
     #[test]

@@ -13,10 +13,17 @@ use serde::{Deserialize, Serialize};
 /// History: version 1 is the implicit, unversioned schema of the first
 /// five PRs; version 2 added this field itself, the
 /// [`JobOutcome::Cancelled`] outcome, and the [`ClusterStats::cancelled`]
-/// counter, and nothing else. Bump it whenever
+/// counter, and nothing else; version 3 added the mixed-workload fields —
+/// per-job [`JobStats::requests_served`] / [`JobStats::slo_misses`] /
+/// [`JobStats::p50_latency`] / [`JobStats::p99_latency`] /
+/// [`JobStats::burst_shrinks`] and cluster-wide
+/// [`ClusterStats::requests_served`] / [`ClusterStats::slo_misses`] /
+/// [`ClusterStats::slo_attainment_permille`] /
+/// [`ClusterStats::burst_shrinks`] / [`ClusterStats::burst_cycles`].
+/// Bump it whenever
 /// a field is added, removed, renamed, or its meaning changes — the serve
 /// smoke test pins the daemon and the client to the same number.
-pub const STATS_SCHEMA_VERSION: u32 = 2;
+pub const STATS_SCHEMA_VERSION: u32 = 3;
 
 /// One entry of the cluster's unified transfer trace: a replayed swap
 /// transfer, a gang allreduce, or a checkpoint/restore copy, resolved on
@@ -209,6 +216,19 @@ pub enum JobEventKind {
         /// The new global batch.
         batch: usize,
     },
+    /// An inference request arrived and joined the job's request queue.
+    RequestArrived,
+    /// An inference request was served at a round boundary.
+    RequestServed {
+        /// Arrival-to-served latency on the simulated clock.
+        latency: Duration,
+    },
+    /// A served request's latency exceeded the job's SLO (always preceded
+    /// by the matching [`JobEventKind::RequestServed`]).
+    SloMissed {
+        /// Arrival-to-served latency on the simulated clock.
+        latency: Duration,
+    },
     /// The job trained all its samples.
     Completed,
     /// The job was evicted mid-run with unusable replay state.
@@ -228,6 +248,9 @@ impl JobEventKind {
             JobEventKind::Preempted => "preempted",
             JobEventKind::Resumed => "resumed",
             JobEventKind::Rebatched { .. } => "rebatched",
+            JobEventKind::RequestArrived => "request_arrived",
+            JobEventKind::RequestServed { .. } => "request_served",
+            JobEventKind::SloMissed { .. } => "slo_missed",
             JobEventKind::Completed => "completed",
             JobEventKind::Aborted => "aborted",
             JobEventKind::Cancelled => "cancelled",
@@ -298,6 +321,19 @@ pub struct JobStats {
     /// re-batching extends the iteration count so total samples trained is
     /// preserved exactly.
     pub samples_preserved: u64,
+    /// Inference requests served (zero for training jobs).
+    pub requests_served: u64,
+    /// Served requests whose arrival-to-served latency exceeded the SLO.
+    pub slo_misses: u64,
+    /// Median request latency (nearest-rank over integer nanoseconds;
+    /// zero when no requests were served).
+    pub p50_latency: Duration,
+    /// 99th-percentile request latency (nearest-rank over integer
+    /// nanoseconds; zero when no requests were served).
+    pub p99_latency: Duration,
+    /// Times this *training* job shrank its batch mid-run specifically to
+    /// absorb an inference KV burst (a subset of `rebatches`).
+    pub burst_shrinks: u64,
 }
 
 /// Per-GPU accounting.
@@ -345,6 +381,22 @@ pub struct ClusterStats {
     /// Total elastic batch changes across all jobs (see
     /// [`JobStats::rebatches`]).
     pub rebatches: usize,
+    /// Total inference requests served across all jobs.
+    pub requests_served: u64,
+    /// Total served requests that missed their SLO.
+    pub slo_misses: u64,
+    /// SLO attainment in permille fixed point:
+    /// `(requests_served − slo_misses) × 1000 / requests_served`,
+    /// computed in exact integer arithmetic; 1000 when no requests were
+    /// served (vacuously attained).
+    pub slo_attainment_permille: u64,
+    /// Total burst-absorption shrinks across all training jobs (see
+    /// [`JobStats::burst_shrinks`]).
+    pub burst_shrinks: u64,
+    /// Completed burst-absorption cycles: a training job that shrank for
+    /// an inference burst later re-grew its batch after the burst
+    /// drained.
+    pub burst_cycles: u64,
     /// First arrival → last completion.
     pub makespan: Duration,
     /// Total training samples processed divided by the makespan.
@@ -389,6 +441,11 @@ mod tests {
             midrun_oom_aborts: 0,
             preemptions: 0,
             rebatches: 2,
+            requests_served: 0,
+            slo_misses: 0,
+            slo_attainment_permille: 1000,
+            burst_shrinks: 0,
+            burst_cycles: 0,
             makespan: Duration::from_millis(12),
             aggregate_samples_per_sec: 1234.5,
             mean_queueing_delay: Duration::from_micros(3),
@@ -431,6 +488,11 @@ mod tests {
                 rebatches: 2,
                 elastic_time_at_reduced_batch: Duration::from_millis(6),
                 samples_preserved: 32 * 3,
+                requests_served: 0,
+                slo_misses: 0,
+                p50_latency: Duration::ZERO,
+                p99_latency: Duration::ZERO,
+                burst_shrinks: 0,
             }],
         };
         let a = stats.to_json();

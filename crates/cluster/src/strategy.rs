@@ -42,6 +42,10 @@ pub struct CandidateJob {
     /// Largest budget at which a validation run has already failed; the
     /// cluster refuses to retry at or below it.
     pub failed_budget: Option<u64>,
+    /// SLO-slack boost in permille priority points (see
+    /// [`slo_boost_permille`]); 0 for training jobs and under SLO-blind
+    /// scheduling. Added on top of the aged effective priority.
+    pub boost_permille: u64,
 }
 
 impl CandidateJob {
@@ -111,6 +115,22 @@ pub fn aging_permille(aging_rate: f64) -> u64 {
 pub fn effective_priority_permille(priority: u32, aging_permille: u64, waited: Duration) -> u128 {
     let aged = (aging_permille as u128).saturating_mul(waited.as_nanos() as u128) / 1_000_000_000;
     (priority as u128) * 1000 + aged
+}
+
+/// SLO-slack priority boost in permille fixed point: the fraction of its
+/// latency SLO the oldest pending request has already burned, capped at
+/// two full priority points. `boost = min(waited × 1000 / slo, 2000)`,
+/// computed exactly over integer nanoseconds in u128 — so an inference
+/// job whose oldest request has consumed its whole SLO outranks a
+/// same-priority training job by one point, and the cap keeps a deeply
+/// late job from starving everything above it forever (aging still
+/// resolves those). Returns 0 when `slo_ns` is 0 (training jobs) or no
+/// request waits.
+pub fn slo_boost_permille(slo_ns: u64, oldest_wait_ns: u64) -> u64 {
+    if slo_ns == 0 || oldest_wait_ns == 0 {
+        return 0;
+    }
+    ((oldest_wait_ns as u128 * 1000 / slo_ns as u128).min(2000)) as u64
 }
 
 /// A placement strategy over one scheduling instant.
@@ -198,8 +218,9 @@ impl PlacementStrategy for FifoFirstFit {
 }
 
 /// Best-fit memory bin-packing with priority aging: jobs are ranked by
-/// `priority + aging_rate × wait_seconds` in permille fixed point (ties
-/// broken by raw priority, then arrival, then submission order), and each
+/// `priority + aging_rate × wait_seconds` plus any SLO-slack boost
+/// ([`slo_boost_permille`]) in permille fixed point (ties broken by raw
+/// priority, then arrival, then submission order), and each
 /// is placed on the fitting GPU subset that leaves the least leftover
 /// headroom. Gangs prefer a subset inside one link domain — a same-domain
 /// gang allreduces over its private peer lane instead of loading the
@@ -241,9 +262,11 @@ impl BestFit {
         let mut order: Vec<CandidateJob> = queue.collect();
         order.sort_by(|a, b| {
             let ea =
-                effective_priority_permille(a.priority, permille, now.saturating_since(a.arrival));
+                effective_priority_permille(a.priority, permille, now.saturating_since(a.arrival))
+                    + a.boost_permille as u128;
             let eb =
-                effective_priority_permille(b.priority, permille, now.saturating_since(b.arrival));
+                effective_priority_permille(b.priority, permille, now.saturating_since(b.arrival))
+                    + b.boost_permille as u128;
             eb.cmp(&ea)
                 .then(b.priority.cmp(&a.priority))
                 .then(a.arrival.cmp(&b.arrival))
@@ -293,7 +316,7 @@ impl PlacementStrategy for BestFit {
                 cand.priority,
                 permille,
                 now.saturating_since(cand.arrival),
-            );
+            ) + cand.boost_permille as u128;
             let key = (
                 eff,
                 cand.priority,
@@ -461,6 +484,7 @@ mod tests {
             full_need: need,
             min_need: need,
             failed_budget: None,
+            boost_permille: 0,
         }
     }
 
@@ -613,6 +637,36 @@ mod tests {
         // priority edge (6000 permille effective vs 3000 + 1s aging).
         let aged = BestFit { aging_rate: 1.0 };
         assert_eq!(pick_both(&aged, &pending, &gpus, now), Some((0, vec![0])));
+    }
+
+    #[test]
+    fn slo_boost_outranks_equal_priority_and_is_capped() {
+        // No SLO or no waiting request: no boost.
+        assert_eq!(slo_boost_permille(0, 1_000_000), 0);
+        assert_eq!(slo_boost_permille(1_000_000, 0), 0);
+        // Half the SLO burned = half a priority point; fully burned = one.
+        assert_eq!(slo_boost_permille(200_000_000, 100_000_000), 500);
+        assert_eq!(slo_boost_permille(200_000_000, 200_000_000), 1000);
+        // Capped at two points even when hopelessly late, and exact in
+        // u128 at extreme waits.
+        assert_eq!(slo_boost_permille(1, u64::MAX), 2000);
+        // A boosted candidate outranks an equal-priority unboosted one on
+        // both strategy paths...
+        let mut boosted = cand(0, 0, 1, 10);
+        boosted.boost_permille = 500;
+        let pending = [cand(1, 0, 1, 10), boosted];
+        let gpus = [gpu(0, 10, 0)];
+        assert_eq!(
+            pick_both(&BestFit::default(), &pending, &gpus, Time::ZERO),
+            Some((0, vec![0]))
+        );
+        // ...but never outranks strictly higher static priority by more
+        // than its capped two points.
+        let urgent = [cand(1, 0, 4, 10), boosted];
+        assert_eq!(
+            pick_both(&BestFit::default(), &urgent, &gpus, Time::ZERO),
+            Some((1, vec![0]))
+        );
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn jobs_from(picks: Vec<(usize, u64, u64, bool)>) -> Vec<JobSpec> {
                 priority: 0,
                 arrival_time: slot as f64 * 0.05,
                 elastic,
+                ..JobSpec::default()
             }
         })
         .collect()

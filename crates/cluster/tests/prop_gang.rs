@@ -45,6 +45,7 @@ fn jobs_from(picks: Vec<(usize, u64, u32, u64, usize)>) -> Vec<JobSpec> {
                 priority,
                 arrival_time: slot as f64 * 0.05,
                 elastic: false,
+                ..JobSpec::default()
             }
         })
         .collect()

@@ -48,6 +48,7 @@ fn jobs_from(picks: &[(usize, u64, u64, u8)]) -> Vec<JobSpec> {
                 priority: 0,
                 arrival_time: slot as f64 * 0.05,
                 elastic: false,
+                ..JobSpec::default()
             }
         })
         .collect()
@@ -177,6 +178,7 @@ fn contended() -> (ClusterConfig, JobSpec, JobSpec) {
         priority: 0,
         arrival_time: 0.0,
         elastic: false,
+        ..JobSpec::default()
     };
     let cfg = ClusterConfig::builder()
         .gpus(1)

@@ -44,6 +44,7 @@ fn jobs_from(picks: Vec<(usize, u64, u32, u64)>) -> Vec<JobSpec> {
                 priority,
                 arrival_time: slot as f64 * 0.07,
                 elastic: false,
+                ..JobSpec::default()
             }
         })
         .collect()

@@ -54,6 +54,7 @@ fn candidates_from(knobs: &[CandKnobs]) -> Vec<CandidateJob> {
                 // The cluster invariant: min never exceeds full.
                 min_need: (16 * min8 as u64).min(full_need),
                 failed_budget: failed8.map(|f| 16 * f as u64),
+                boost_permille: 0,
             }
         })
         .collect()

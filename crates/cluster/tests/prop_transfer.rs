@@ -44,6 +44,7 @@ fn jobs_from(picks: Vec<(usize, u64, u64, usize)>) -> Vec<JobSpec> {
                 priority: 0,
                 arrival_time: slot as f64 * 0.1,
                 elastic: false,
+                ..JobSpec::default()
             }
         })
         .collect()

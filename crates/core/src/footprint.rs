@@ -98,6 +98,23 @@ pub fn measure_footprint(graph: &Graph, spec: &DeviceSpec) -> Result<FootprintEs
     })
 }
 
+/// Measures the *forward-only* footprint of a training graph — the
+/// memory appetite of an inference job serving the same model. The
+/// backward pass is dropped via [`Graph::forward_prefix`] before
+/// measuring, so the estimate carries no gradient or backward-workspace
+/// bytes; the caller layers request-scaled KV state on top of this base.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] if the measuring run itself fails (it cannot
+/// OOM, so any error indicates a malformed graph).
+pub fn measure_forward_footprint(
+    graph: &Graph,
+    spec: &DeviceSpec,
+) -> Result<FootprintEstimate, ExecError> {
+    measure_footprint(&graph.forward_prefix(), spec)
+}
+
 /// Candidate batches for elastic re-batching, descending: the full batch,
 /// then successive halvings, floored at `ceil(batch × min_fraction)` (the
 /// floor itself is always the last candidate). Quantizing to a halving
@@ -212,6 +229,20 @@ mod tests {
         let fit = shrink_feasibility(&est, est.ideal_peak, &PlannerConfig::default());
         assert!(fit.feasible);
         assert!(fit.plan.is_empty());
+    }
+
+    #[test]
+    fn forward_footprint_is_strictly_smaller() {
+        let model = ModelKind::Vgg16.build(16);
+        let spec = DeviceSpec::p100_pcie3();
+        let full = measure_footprint(&model.graph, &spec).unwrap();
+        let fwd = measure_forward_footprint(&model.graph, &spec).unwrap();
+        // Same weights, but no gradients or backward workspace — the
+        // forward-only peak sits strictly below the training peak.
+        assert_eq!(fwd.weight_bytes, full.weight_bytes);
+        assert!(fwd.ideal_peak < full.ideal_peak, "{fwd:?} vs {full:?}");
+        assert!(fwd.iter_wall > Duration::ZERO);
+        assert!(fwd.iter_wall < full.iter_wall);
     }
 
     #[test]

@@ -40,8 +40,8 @@ mod planner;
 
 pub use crate::capuchin::{Capuchin, CapuchinConfig, CapuchinSnapshot};
 pub use crate::footprint::{
-    bisect_batch, elastic_batches, measure_footprint, shrink_feasibility, FootprintEstimate,
-    ShrinkPlan,
+    bisect_batch, elastic_batches, measure_footprint, measure_forward_footprint,
+    shrink_feasibility, FootprintEstimate, ShrinkPlan,
 };
 pub use crate::measure::{MeasuredAccess, MeasuredProfile, TensorInfo};
 pub use crate::plan::{EvictMethod, Plan, SwapEntry};

@@ -632,6 +632,50 @@ impl Graph {
         outs[0]
     }
 
+    /// The inference-shaped truncation of a training graph: every op up
+    /// to (excluding) the first [`Phase::Backward`] op, with the values
+    /// they produce and the consumer links that stay inside the prefix.
+    ///
+    /// Autodiff appends the backward pass strictly after the forward
+    /// ops, so the forward ops — and, because values are created by
+    /// their producing op, the forward values — are a contiguous prefix
+    /// and the truncation is itself a valid graph (creation order stays
+    /// topological, ids stay dense). A pure-forward graph round-trips
+    /// unchanged apart from the `-fwd` name suffix.
+    pub fn forward_prefix(&self) -> Graph {
+        let keep_ops = self
+            .phases
+            .iter()
+            .take_while(|p| **p == Phase::Forward)
+            .count();
+        debug_assert!(
+            self.phases[keep_ops..]
+                .iter()
+                .all(|p| *p == Phase::Backward),
+            "forward ops must be a contiguous prefix"
+        );
+        let keep_vals = self
+            .values
+            .iter()
+            .take_while(|v| (v.producer.0 as usize) < keep_ops)
+            .count();
+        Graph {
+            name: format!("{}-fwd", self.name),
+            ops: self.ops[..keep_ops].to_vec(),
+            values: self.values[..keep_vals].to_vec(),
+            phases: self.phases[..keep_ops].to_vec(),
+            consumers: self.consumers[..keep_vals]
+                .iter()
+                .map(|c| {
+                    c.iter()
+                        .copied()
+                        .filter(|o| (o.0 as usize) < keep_ops)
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
     // ------------------------------------------------------------------
     // Validation
     // ------------------------------------------------------------------
@@ -794,6 +838,35 @@ mod tests {
         assert_eq!(g.consumers(x).len(), 2);
         assert_eq!(g.consumers(a).len(), 0);
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn forward_prefix_drops_the_backward_pass() {
+        let mut g = Graph::new("t");
+        let x = g.input("x", Shape::matrix(8, 32), DType::F32);
+        let labels = g.input("labels", Shape::vector(8), DType::I32);
+        let h = g.dense("fc1", x, 16);
+        let h = g.relu("relu", h);
+        let logits = g.dense("fc2", h, 10);
+        let loss = g.softmax_cross_entropy("loss", logits, labels);
+        let fwd_only = g.forward_prefix();
+        // Before autodiff the graph is all-forward: identity modulo name.
+        assert_eq!(fwd_only.op_count(), g.op_count());
+        let grads = crate::build_backward(&mut g, loss);
+        assert!(!grads.is_empty());
+        let f = g.forward_prefix();
+        assert_eq!(f.name(), "t-fwd");
+        assert!(f.op_count() < g.op_count());
+        assert_eq!(f.op_count(), fwd_only.op_count());
+        assert!(f.schedule().all(|o| f.phase(o) == Phase::Forward));
+        f.validate().unwrap();
+        // Consumer links that pointed into the backward pass are gone.
+        for v in f.values() {
+            assert!(f
+                .consumers(v.id)
+                .iter()
+                .all(|o| (o.0 as usize) < f.op_count()));
+        }
     }
 
     #[test]

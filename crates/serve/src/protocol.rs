@@ -31,8 +31,11 @@ use serde::{Deserialize as _, Serialize as _, Value};
 /// Version stamp carried by every wire message. Independent of the stats
 /// schema ([`capuchin_cluster::STATS_SCHEMA_VERSION`]), which versions
 /// the payload of `stats`/`drain` replies: version 1 is the protocol as
-/// introduced. Bump on any change to request or reply shapes.
-pub const WIRE_SCHEMA_VERSION: u32 = 1;
+/// introduced; version 2 adds the inference stream records
+/// (`request_arrived`, `request_served`, `slo_missed`, the latter two
+/// carrying an integer `latency_us`). Bump on any change to request or
+/// reply shapes.
+pub const WIRE_SCHEMA_VERSION: u32 = 2;
 
 /// Default bound on a subscriber's stream queue (messages, not bytes).
 pub const DEFAULT_EVENT_QUEUE: usize = 256;
@@ -230,6 +233,13 @@ pub fn event_line(e: &JobEvent) -> String {
         JobEventKind::Rebatched { batch } => {
             fields.push(("batch".to_owned(), Value::UInt(*batch as u64)));
         }
+        JobEventKind::RequestServed { latency } | JobEventKind::SloMissed { latency } => {
+            // Integer division keeps the accumulator-to-wire path in u64.
+            fields.push((
+                "latency_us".to_owned(),
+                Value::UInt(latency.as_nanos() / 1_000),
+            ));
+        }
         _ => {}
     }
     compact(fields)
@@ -334,5 +344,44 @@ mod tests {
             v.get("gpus").and_then(Value::as_array).map(<[Value]>::len),
             Some(2)
         );
+    }
+
+    #[test]
+    fn inference_events_carry_integer_latency_micros() {
+        use capuchin_sim::Duration;
+        let at = |kind| JobEvent {
+            t: Time::from_micros(10),
+            job: 5,
+            name: "s".into(),
+            kind,
+        };
+        let arrived = event_line(&at(JobEventKind::RequestArrived));
+        let v: Value = serde_json::from_str(&arrived).unwrap();
+        assert_eq!(
+            v.get("kind").and_then(Value::as_str),
+            Some("request_arrived")
+        );
+        assert!(v.get("latency_us").is_none());
+
+        for (kind, name) in [
+            (
+                JobEventKind::RequestServed {
+                    latency: Duration::from_nanos(1_234_567),
+                },
+                "request_served",
+            ),
+            (
+                JobEventKind::SloMissed {
+                    latency: Duration::from_nanos(1_234_567),
+                },
+                "slo_missed",
+            ),
+        ] {
+            let line = event_line(&at(kind));
+            let v: Value = serde_json::from_str(&line).unwrap();
+            assert_eq!(v.get("kind").and_then(Value::as_str), Some(name));
+            // 1_234_567 ns floors to 1_234 µs — integer all the way.
+            assert_eq!(v.get("latency_us").and_then(Value::as_u64), Some(1_234));
+        }
     }
 }

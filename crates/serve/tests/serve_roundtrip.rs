@@ -21,6 +21,7 @@ fn job(name: &str, batch: usize, iters: u64, arrival: f64) -> JobSpec {
         priority: 0,
         arrival_time: arrival,
         elastic: false,
+        ..JobSpec::default()
     }
 }
 

@@ -35,6 +35,9 @@ cargo run --release -q -p capuchin-bench --bin serve_smoke -- --smoke
 echo "==> smoke: cluster_scale wall-clock-per-job guard (vs committed baseline, 2x soft limit)"
 cargo run --release -q -p capuchin-bench --bin cluster_scale -- --smoke
 
+echo "==> smoke: cluster_mixed SLO-attainment guard (burst-absorption cycle + committed floor)"
+cargo run --release -q -p capuchin-bench --bin cluster_mixed -- --smoke
+
 echo "==> smoke: serve daemon, external process on an ephemeral port"
 serve_log="$(mktemp)"
 ./target/release/capuchin-serve --addr 127.0.0.1:0 --clock virtual \
