@@ -11,7 +11,10 @@
 //!   "virtualized GPU memory" related-work class of §7);
 //! * [`GradientCheckpointing`] — OpenAI's gradient-checkpointing in both
 //!   **memory** (≈√n articulation points) and **speed** (keep conv/matmul
-//!   outputs) modes.
+//!   outputs) modes;
+//! * [`DtrPolicy`] — Dynamic Tensor Rematerialization (arXiv:2006.09616):
+//!   online evict-by-`h-DTR` with lineage replay on access, no measured
+//!   iteration and no plan.
 //!
 //! All three demonstrate the static-analysis limitations the paper argues
 //! against; Capuchin itself lives in the [`capuchin`] crate.
@@ -22,10 +25,12 @@
 #![warn(missing_debug_implementations)]
 
 mod checkpoint;
+mod dtr;
 mod lru_swap;
 mod vdnn;
 
 pub use capuchin_executor::TfOri;
 pub use checkpoint::{CheckpointMode, GradientCheckpointing};
+pub use dtr::DtrPolicy;
 pub use lru_swap::LruSwap;
 pub use vdnn::Vdnn;

@@ -14,10 +14,10 @@
 use std::collections::HashMap;
 
 use capuchin::Capuchin;
-use capuchin_baselines::{CheckpointMode, GradientCheckpointing, LruSwap, TfOri, Vdnn};
+use capuchin_baselines::{CheckpointMode, GradientCheckpointing, LruSwap, Vdnn};
 use capuchin_cluster::{
     load_jobs, synthetic_jobs, synthetic_mixed_jobs, AdmissionMode, Cluster, ClusterConfig,
-    ParseEnumError, StrategyKind,
+    JobPolicy, ParseEnumError, StrategyKind,
 };
 use capuchin_executor::{Engine, EngineConfig, ExecMode, MemoryPolicy};
 use capuchin_graph::Graph;
@@ -48,7 +48,9 @@ USAGE:
                            [--elastic on|off] [--min-batch-frac <f>]
 
 MODELS:    vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
-POLICIES:  tf-ori vdnn openai-memory openai-speed lru capuchin (default)
+POLICIES:  tf-ori capuchin (default) dtr delta — cluster job-file policies,
+           dispatched through the policy registry — plus the single-run
+           baselines vdnn openai-memory openai-speed lru
 MEMORY:    e.g. 16GiB, 800 MiB, 64KiB, or raw bytes (default 16GiB per GPU)
 CLUSTER:   schedules a multi-job workload over N simulated GPUs and prints
            cluster-stats JSON (deterministic for a fixed workload/seed).
@@ -119,16 +121,29 @@ const MODEL_NAMES: &[&str] = &[
     "bert",
 ];
 
-/// Accepted `--policy` spellings (a superset of the cluster job-file
-/// policies: the single-run subcommands also expose the baselines).
-const POLICY_NAMES: &[&str] = &[
-    "tf-ori",
-    "vdnn",
-    "openai-memory",
-    "openai-speed",
-    "lru",
-    "capuchin",
-];
+/// Single-run-only baseline spellings: policies the cluster job files do
+/// not accept (they have no admission story) but the `run`/`max-batch`
+/// subcommands expose for §6 comparisons.
+const BASELINE_POLICY_NAMES: &[&str] = &["vdnn", "openai-memory", "openai-speed", "lru"];
+
+/// Accepted `--policy` spellings: every registry policy (the spellings
+/// come from `capuchin_cluster::REGISTRY` via [`JobPolicy::ACCEPTED`])
+/// followed by the single-run baselines.
+const POLICY_NAMES_ARR: [&str; JobPolicy::ACCEPTED.len() + BASELINE_POLICY_NAMES.len()] = {
+    let mut out = [""; JobPolicy::ACCEPTED.len() + BASELINE_POLICY_NAMES.len()];
+    let mut i = 0;
+    while i < JobPolicy::ACCEPTED.len() {
+        out[i] = JobPolicy::ACCEPTED[i];
+        i += 1;
+    }
+    let mut j = 0;
+    while j < BASELINE_POLICY_NAMES.len() {
+        out[i + j] = BASELINE_POLICY_NAMES[j];
+        j += 1;
+    }
+    out
+};
+const POLICY_NAMES: &[&str] = &POLICY_NAMES_ARR;
 
 fn parse_model(s: &str) -> Result<ModelKind, CliError> {
     Ok(match s.to_lowercase().as_str() {
@@ -149,9 +164,16 @@ fn parse_model(s: &str) -> Result<ModelKind, CliError> {
     })
 }
 
-fn make_policy(name: &str, graph: &Graph) -> Box<dyn MemoryPolicy> {
+fn make_policy(name: &str, graph: &Graph, spec: &DeviceSpec) -> Box<dyn MemoryPolicy> {
+    // Registry policies (tf-ori, capuchin, dtr, delta, …) dispatch through
+    // their descriptor — the CLI adds no policy knowledge of its own.
+    if let Ok(p) = name.parse::<JobPolicy>() {
+        return p.descriptor().build(spec.memory_bytes, spec);
+    }
+    // Single-run baselines live outside the cluster registry: they have
+    // no admission story, so job files reject them, but `run`/`max-batch`
+    // still expose them for §6 comparisons.
     match name {
-        "tf-ori" => Box::new(TfOri::new()),
         "vdnn" => Box::new(Vdnn::from_graph(graph)),
         "openai-memory" => Box::new(GradientCheckpointing::from_graph(
             graph,
@@ -162,7 +184,6 @@ fn make_policy(name: &str, graph: &Graph) -> Box<dyn MemoryPolicy> {
             CheckpointMode::Speed,
         )),
         "lru" => Box::new(LruSwap::new()),
-        "capuchin" => Box::new(Capuchin::new()),
         other => fail(&ParseEnumError::unknown("policy", other, POLICY_NAMES).to_string()),
     }
 }
@@ -296,7 +317,8 @@ fn cmd_run(args: &Args) {
     let kind = args.model();
     let batch = args.batch();
     let model = kind.build(batch);
-    let policy = make_policy(args.policy_name(), &model.graph);
+    let cfg = args.config();
+    let policy = make_policy(args.policy_name(), &model.graph, &cfg.spec);
     println!(
         "{} @ batch {batch} under {} ({:.1} GiB device{})",
         kind.name(),
@@ -304,7 +326,7 @@ fn cmd_run(args: &Args) {
         args.memory() as f64 / (1 << 30) as f64,
         if args.eager { ", eager" } else { "" },
     );
-    let mut eng = Engine::new(&model.graph, args.config(), policy);
+    let mut eng = Engine::new(&model.graph, cfg, policy);
     match eng.run(args.iters()) {
         Ok(stats) => {
             println!(
@@ -347,11 +369,19 @@ fn cmd_max_batch(args: &Args) {
     let kind = args.model();
     let cfg = args.config();
     let policy_name = args.policy_name().to_owned();
+    // Plan-capable policies (capuchin, delta) need enough iterations for
+    // the measured pass plus planned steady state; unmanaged and online
+    // policies settle in three.
+    let probe_iters = if matches!(policy_name.as_str(), "capuchin" | "delta") {
+        8
+    } else {
+        3
+    };
     let fits = |b: usize| -> bool {
         let model = kind.build(b);
-        let policy = make_policy(&policy_name, &model.graph);
+        let policy = make_policy(&policy_name, &model.graph, &cfg.spec);
         Engine::new(&model.graph, cfg.clone(), policy)
-            .run(if policy_name == "capuchin" { 8 } else { 3 })
+            .run(probe_iters)
             .is_ok()
     };
     let (mut lo, mut hi) = (0usize, 8usize);

@@ -31,8 +31,10 @@
 //! admission and leaves per-budget validation cost to the admission
 //! benches. See `DESIGN.md` §13 for the memoization keys.
 
-use capuchin::{shrink_feasibility, Capuchin, FootprintEstimate, PlannerConfig};
-use capuchin_executor::{Engine, EngineConfig, ExecError, MemoryPolicy, TfOri};
+use std::cell::Cell;
+
+use capuchin::{shrink_feasibility, FootprintEstimate, PlannerConfig};
+use capuchin_executor::{Engine, EngineConfig, ExecError};
 use capuchin_graph::Graph;
 use capuchin_sim::{CopyDir, DeviceSpec, Duration};
 
@@ -122,6 +124,12 @@ pub struct ReplayIter {
     /// Swap traffic (D2H evictions + H2D prefetches) the iteration moved.
     /// Always equals the sum of `transfers[..].bytes`.
     pub swap_bytes: u64,
+    /// Kernel time spent regenerating released tensors (recompute-plan
+    /// entries and on-demand lineage replay) during the iteration.
+    pub recompute_time: Duration,
+    /// Tensors evicted reactively under allocation pressure (the engine's
+    /// passive-mode evictions, not planned proactive swaps).
+    pub evictions: u64,
     /// The iteration's recorded transfer timeline, in submission order.
     pub transfers: Vec<ReplayTransfer>,
 }
@@ -140,7 +148,7 @@ pub struct JobNeeds {
 /// Allocator slack added to the ideal peak: free-list fragmentation means
 /// a run needs slightly more than its live-byte peak (measured: ~2% for
 /// VGG16; 1/32 ≈ 3.1% keeps a margin).
-fn with_slack(peak: u64) -> u64 {
+pub(crate) fn with_slack(peak: u64) -> u64 {
     peak + peak / 32
 }
 
@@ -180,6 +188,9 @@ pub struct Admission {
     /// Engine iterations per validation/bisection run (at least 2 so
     /// Capuchin completes measured execution and runs guided iterations).
     pub validate_iters: u64,
+    /// Validation engine runs performed (successful or not) — the real
+    /// admission cost the per-job `admission_validations` stat attributes.
+    runs: Cell<u64>,
 }
 
 impl Admission {
@@ -189,7 +200,15 @@ impl Admission {
             mode,
             planner: PlannerConfig::default(),
             validate_iters: 4,
+            runs: Cell::new(0),
         }
+    }
+
+    /// Total validation engine runs this controller has performed.
+    /// Monotone; the cluster samples it around admission calls to
+    /// attribute per-job validation counts.
+    pub fn validation_runs(&self) -> u64 {
+        self.runs.get()
     }
 
     /// Derives the admission budgets for a measured job. Under Capuchin
@@ -214,16 +233,24 @@ impl Admission {
     /// at `full`, so an over-tight `full` would fail validation forever.
     /// Measured execution is the ground truth (the same doctrine as
     /// `Admission::measured_min_budget`): escalate `full` until a
-    /// keep-everything engine run actually completes. TfOri is the
-    /// stricter policy — a budget it survives also runs under Capuchin.
-    pub fn forward_needs(&self, graph: &Graph, est: &FootprintEstimate) -> JobNeeds {
+    /// keep-everything engine run actually completes. The probe policy
+    /// comes from the job policy's registry row — unmanaged execution
+    /// ([`JobPolicy::TfOri`]) is the stricter probe, so a budget it
+    /// survives also runs under any managed policy.
+    pub fn forward_needs(
+        &self,
+        graph: &Graph,
+        est: &FootprintEstimate,
+        policy: JobPolicy,
+    ) -> JobNeeds {
+        let probe = policy.descriptor().probe;
         let mut full = with_slack(est.ideal_peak);
         let step = (est.ideal_peak / 16).max(32 << 20);
         // Bounded escalation: the transient working set of one forward
         // pass is a handful of activations, far below 64 steps' worth.
         for _ in 0..64 {
             if self
-                .validate(graph, &est.spec, full, JobPolicy::TfOri, false, 2)
+                .validate(graph, &est.spec, full, probe, false, 2)
                 .is_ok()
             {
                 break;
@@ -233,6 +260,36 @@ impl Admission {
         let min = match self.mode {
             AdmissionMode::TfOri => full,
             AdmissionMode::Capuchin => self.measured_min_budget(graph, est).min(full),
+        };
+        JobNeeds { full, min }
+    }
+
+    /// Derives admission budgets for a [`crate::policy::CostClass::Heuristic`]
+    /// policy *without any validation engine run*: `full` is the
+    /// slack-padded measured peak and `min` is the Policy Maker's pure
+    /// feasibility bisection ([`min_feasible_budget`] — planner math, no
+    /// engine). The policy regenerates or pages on demand at whatever
+    /// budget it is granted; checkpoint-preemption is the backstop if the
+    /// estimate was optimistic.
+    pub fn heuristic_needs(&self, est: &FootprintEstimate) -> JobNeeds {
+        let full = with_slack(est.ideal_peak);
+        let min = match self.mode {
+            AdmissionMode::TfOri => full,
+            AdmissionMode::Capuchin => min_feasible_budget(est, &self.planner).min(full),
+        };
+        JobNeeds { full, min }
+    }
+
+    /// Heuristic counterpart of [`Admission::forward_needs`]: instead of
+    /// probing with engine runs, pads `full` by one escalation step (the
+    /// same step the measured path would take) so the
+    /// weights-dominated forward peak keeps transient headroom.
+    pub fn heuristic_forward_needs(&self, est: &FootprintEstimate) -> JobNeeds {
+        let step = (est.ideal_peak / 16).max(32 << 20);
+        let full = with_slack(est.ideal_peak).saturating_add(step);
+        let min = match self.mode {
+            AdmissionMode::TfOri => full,
+            AdmissionMode::Capuchin => min_feasible_budget(est, &self.planner).min(full),
         };
         JobNeeds { full, min }
     }
@@ -280,9 +337,10 @@ impl Admission {
     /// per-iteration wall times and swap-byte volumes the cluster replays
     /// on its clock.
     ///
-    /// Shrunk admissions always run under Capuchin (the plan is what
+    /// Shrunk admissions run under the plan-capable policy the job
+    /// policy's registry row names (`shrunk_runs_as` — a plan is what
     /// makes the budget viable); as-is admissions run the job's own
-    /// requested policy.
+    /// requested policy. Both constructors come from the registry.
     ///
     /// # Errors
     ///
@@ -304,12 +362,14 @@ impl Admission {
             return Err(ExecError::NoIterations);
         }
         let cfg = EngineConfig::for_device(spec.clone().with_memory(budget));
-        let policy: Box<dyn MemoryPolicy> = if shrunk || policy == JobPolicy::Capuchin {
-            Box::new(Capuchin::new())
+        let run_as = if shrunk {
+            policy.descriptor().shrunk_runs_as
         } else {
-            Box::new(TfOri::new())
+            policy
         };
+        let policy = run_as.descriptor().build(budget, spec);
         let mut eng = Engine::new(graph, cfg, policy);
+        self.runs.set(self.runs.get() + 1);
         let stats = eng.run(iters)?;
         Ok(stats
             .iters
@@ -318,6 +378,8 @@ impl Admission {
             .map(|(it, recs)| ReplayIter {
                 wall: it.wall(),
                 swap_bytes: it.swap_out_bytes + it.swap_in_bytes,
+                recompute_time: it.recompute_time,
+                evictions: it.passive_evictions,
                 transfers: recs
                     .iter()
                     .map(|rec| ReplayTransfer {
@@ -381,6 +443,24 @@ mod tests {
             ),
             Err(ExecError::NoIterations)
         ));
+    }
+
+    #[test]
+    fn heuristic_needs_run_no_validation_engines() {
+        let model = ModelKind::Vgg16.build(32);
+        let spec = DeviceSpec::p100_pcie3();
+        let est = measure_footprint(&model.graph, &spec).unwrap();
+        let adm = Admission::new(AdmissionMode::Capuchin);
+        let needs = adm.heuristic_needs(&est);
+        let fwd = adm.heuristic_forward_needs(&est);
+        assert_eq!(adm.validation_runs(), 0, "heuristic admission is free");
+        assert!(needs.min <= needs.full);
+        assert!(needs.min > est.weight_bytes);
+        assert!(fwd.full > needs.full, "forward heuristic pads a step");
+        // The measured path, by contrast, pays engine runs.
+        let measured = adm.needs(&model.graph, &est);
+        assert!(adm.validation_runs() > 0);
+        assert_eq!(needs.full, measured.full, "same slack-padded peak");
     }
 
     #[test]

@@ -99,11 +99,14 @@ use std::sync::Arc;
 
 use capuchin::{bisect_batch, elastic_batches, measure_footprint, measure_forward_footprint};
 use capuchin_models::ModelKind;
-use capuchin_sim::{CopyDir, DeviceSpec, Duration, Interconnect, InterconnectSpec, Time};
+use capuchin_sim::{
+    CopyDir, DeviceSpec, Duration, Interconnect, InterconnectSpec, Time, TransferModel,
+};
 
-use crate::admission::{Admission, AdmissionMode, JobNeeds, ReplayIter};
+use crate::admission::{Admission, AdmissionMode, JobNeeds, ReplayIter, ReplayTransfer};
 use crate::headroom::GpuPool;
 use crate::job::{JobClass, JobSpec, SplitMix64};
+use crate::policy::CostClass;
 use crate::stats::{
     ClusterStats, ClusterTransfer, GpuStats, JobEvent, JobEventKind, JobOutcome, JobState,
     JobStats, JobStatus, STATS_SCHEMA_VERSION,
@@ -500,6 +503,16 @@ struct JobRun {
     slo_misses: u64,
     /// Inference: the SLO in integer nanoseconds (0 for training).
     slo_ns: u64,
+    /// Kernel time spent regenerating released tensors, summed over the
+    /// replay iterations consumed (integer nanoseconds inside
+    /// [`Duration`]; floats only appear at serialization).
+    recompute_time: Duration,
+    /// Reactive evictions summed over the replay iterations consumed.
+    evictions: u64,
+    /// Validation engine runs this job triggered at admission (cache
+    /// hits charge nothing; heuristic-class policies stay at zero by
+    /// construction).
+    admission_validations: u64,
     /// Training: mid-run shrinks performed to absorb an inference burst.
     burst_shrinks: u64,
     /// Training: currently running reduced specifically for a burst; the
@@ -575,6 +588,9 @@ impl JobRun {
             latencies: Vec::new(),
             requests_served: 0,
             slo_misses: 0,
+            recompute_time: Duration::ZERO,
+            evictions: 0,
+            admission_validations: 0,
             burst_shrinks: 0,
             shrunk_for_burst: false,
             pending_shrink: None,
@@ -735,6 +751,10 @@ struct EstimateSummary {
     ideal_peak: u64,
     /// Persistent weight bytes (the gang's gradient payload).
     weight_bytes: u64,
+    /// Wall time of the unconstrained measuring iteration — the base an
+    /// unvalidated (heuristic-class) admission synthesizes its replay
+    /// from.
+    iter_wall: Duration,
 }
 
 /// Memoization key for one elastic-ladder placement probe: `(gang width,
@@ -1000,13 +1020,16 @@ pub struct Cluster {
     /// The interned [`ModelKind`] key avoids a `String` clone per probe,
     /// and only the [`EstimateSummary`] slice of the measuring run is
     /// retained — the full profile would otherwise be cloned on every
-    /// cache hit (once per arrival and elastic probe).
-    estimates: BTreeMap<(ModelKind, usize), (EstimateSummary, JobNeeds)>,
+    /// cache hit (once per arrival and elastic probe). The trailing flag
+    /// is the policy's admission cost class (`true` = heuristic):
+    /// heuristic needs skip the measured bisection, so the two classes
+    /// derive different budgets from the same measuring run.
+    estimates: BTreeMap<(ModelKind, usize, bool), (EstimateSummary, JobNeeds)>,
     /// Forward-only (inference) footprints and budgets, keyed like
     /// [`Cluster::estimates`] but measured over the graph's forward
     /// prefix — a separate map because the same `(model, replica batch)`
     /// has a strictly smaller serving footprint than its training twin.
-    forward_estimates: BTreeMap<(ModelKind, usize), (EstimateSummary, JobNeeds)>,
+    forward_estimates: BTreeMap<(ModelKind, usize, bool), (EstimateSummary, JobNeeds)>,
     /// Built training graphs keyed by `(model kind, replica batch)`.
     /// Validation runs at distinct byte budgets can't share a cache
     /// entry, but they all replan over the same graph — rebuilding it
@@ -1017,6 +1040,10 @@ pub struct Cluster {
     /// (shared, not cloned, with every admission that hits the cache),
     /// `None` records a failed run.
     validations: BTreeMap<ValidationKey, Option<Arc<Vec<ReplayIter>>>>,
+    /// Validation engine runs already attributed to some job — the
+    /// cursor [`Cluster::charge_admission`] advances against the
+    /// controller's monotone [`Admission::validation_runs`] counter.
+    charged_runs: u64,
     /// Live run state for the online API (and the batch wrappers).
     session: Session,
 }
@@ -1034,8 +1061,35 @@ impl Cluster {
             forward_estimates: BTreeMap::new(),
             models: BTreeMap::new(),
             validations: BTreeMap::new(),
+            charged_runs: 0,
             session,
         }
+    }
+
+    /// Attributes every validation engine run performed since the last
+    /// charge to `j` — called after each admission-driven block
+    /// (`estimate_at` / `validated_replay` clusters), so per-job
+    /// `admission_validations` sums exactly to the controller's total.
+    /// Cache-hit admissions charge nothing; heuristic-class policies
+    /// never run a validation engine and stay at zero.
+    fn charge_admission(&mut self, j: &mut JobRun) {
+        let total = self.admission.validation_runs();
+        j.admission_validations += total - self.charged_runs;
+        self.charged_runs = total;
+    }
+
+    /// Memoized validation entries currently held. Diagnostic hook:
+    /// heuristic-class admissions must leave this cache cold, so an
+    /// all-`dtr` workload reports zero here.
+    pub fn validation_cache_len(&self) -> usize {
+        self.validations.len()
+    }
+
+    /// Total validation engine runs the admission controller has
+    /// performed over this cluster's lifetime (all sessions — the
+    /// caches, like the controller, survive [`Cluster::reset`]).
+    pub fn validation_runs(&self) -> u64 {
+        self.admission.validation_runs()
     }
 
     /// Measures the per-replica footprint at global batch `batch`:
@@ -1045,7 +1099,8 @@ impl Cluster {
     /// 128 reuses the single-GPU batch-32 measuring run.
     fn estimate_at(&mut self, spec: &JobSpec, batch: usize) -> (EstimateSummary, JobNeeds) {
         let rb = spec.replica_batch_at(batch);
-        let key = (spec.model, rb);
+        let heuristic = spec.policy.descriptor().cost_class == CostClass::Heuristic;
+        let key = (spec.model, rb, heuristic);
         let forward = spec.is_inference();
         let cache = if forward {
             &mut self.forward_estimates
@@ -1057,28 +1112,39 @@ impl Cluster {
         }
         let model = self
             .models
-            .entry(key)
+            .entry((spec.model, rb))
             .or_insert_with(|| spec.model.build(rb));
         // Inference jobs never run the backward pass: measure (and derive
         // needs from) the forward prefix, whose peak is strictly smaller.
         let (est, needs) = if forward {
-            let fwd = model.graph.forward_prefix();
             let est = measure_forward_footprint(&model.graph, &self.cfg.spec)
                 .expect("unconstrained measuring run cannot OOM");
             // Forward-only budgets are verified by measured execution —
             // proportional slack alone undershoots when weights dominate
-            // the peak (see `Admission::forward_needs`).
-            let needs = self.admission.forward_needs(&fwd, &est);
+            // the peak (see `Admission::forward_needs`) — except for
+            // heuristic-class policies, which pad a step instead of
+            // probing with engine runs.
+            let needs = if heuristic {
+                self.admission.heuristic_forward_needs(&est)
+            } else {
+                let fwd = model.graph.forward_prefix();
+                self.admission.forward_needs(&fwd, &est, spec.policy)
+            };
             (est, needs)
         } else {
             let est = measure_footprint(&model.graph, &self.cfg.spec)
                 .expect("unconstrained measuring run cannot OOM");
-            let needs = self.admission.needs(&model.graph, &est);
+            let needs = if heuristic {
+                self.admission.heuristic_needs(&est)
+            } else {
+                self.admission.needs(&model.graph, &est)
+            };
             (est, needs)
         };
         let summary = EstimateSummary {
             ideal_peak: est.ideal_peak,
             weight_bytes: est.weight_bytes,
+            iter_wall: est.iter_wall,
         };
         let cache = if forward {
             &mut self.forward_estimates
@@ -1096,6 +1162,12 @@ impl Cluster {
         budget: u64,
         shrunk: bool,
     ) -> Option<Arc<Vec<ReplayIter>>> {
+        // Heuristic-class policies are never validated by an engine run:
+        // their replay is synthesized from the cached footprint estimate
+        // and the validation cache stays cold.
+        if spec.policy.descriptor().cost_class == CostClass::Heuristic {
+            return self.heuristic_replay(spec, batch, budget);
+        }
         let rb = spec.replica_batch_at(batch);
         // Inference validates at least 2 engine iterations regardless of
         // `spec.iters` (which inference specs leave at 1): Capuchin needs
@@ -1141,6 +1213,67 @@ impl Cluster {
             .map(Arc::new);
         self.validations.insert(key, replay.clone());
         replay
+    }
+
+    /// Synthesizes the replay trace an unvalidated (heuristic-class)
+    /// admission hands the clock: the unconstrained measuring iteration's
+    /// wall, stretched by a paging round-trip of the budget deficit.
+    ///
+    /// The model is deliberately conservative — the online policy pages
+    /// (or regenerates, usually cheaper) the bytes that no longer fit,
+    /// priced here as one D2H + H2D round trip of the deficit per
+    /// iteration on the device's own transfer model; the synthetic
+    /// transfer pair makes that traffic contend on a shared fabric like
+    /// validated swap timelines do. Below the slack-padded weight floor
+    /// even an online policy cannot run (weights are unevictable), so
+    /// the grant is refused like a failed validation — without an engine
+    /// run and without touching the validation cache.
+    fn heuristic_replay(
+        &mut self,
+        spec: &JobSpec,
+        batch: usize,
+        budget: u64,
+    ) -> Option<Arc<Vec<ReplayIter>>> {
+        let (est, _) = self.estimate_at(spec, batch);
+        if budget < crate::admission::with_slack(est.weight_bytes) {
+            return None;
+        }
+        let iters = spec.iters.min(self.cfg.validate_iters).max(2);
+        let deficit = crate::admission::with_slack(est.ideal_peak).saturating_sub(budget);
+        let iter = if deficit == 0 {
+            ReplayIter {
+                wall: est.iter_wall,
+                swap_bytes: 0,
+                recompute_time: Duration::ZERO,
+                evictions: 0,
+                transfers: Vec::new(),
+            }
+        } else {
+            let transfers = TransferModel::for_device(&self.cfg.spec);
+            let out = transfers.time(deficit, CopyDir::DeviceToHost);
+            let back = transfers.time(deficit, CopyDir::HostToDevice);
+            ReplayIter {
+                wall: est.iter_wall + out + back,
+                swap_bytes: deficit.saturating_mul(2),
+                recompute_time: Duration::ZERO,
+                evictions: 1,
+                transfers: vec![
+                    ReplayTransfer {
+                        label: format!("evict:{}", spec.policy.name()),
+                        bytes: deficit,
+                        dir: CopyDir::DeviceToHost,
+                        offset: Duration::ZERO,
+                    },
+                    ReplayTransfer {
+                        label: format!("refill:{}", spec.policy.name()),
+                        bytes: deficit,
+                        dir: CopyDir::HostToDevice,
+                        offset: out,
+                    },
+                ],
+            }
+        };
+        Some(Arc::new(vec![iter; iters as usize]))
     }
 
     /// Runs the workload to completion and returns the stats.
@@ -1470,6 +1603,7 @@ impl Cluster {
                                 .expect("ladder is never empty");
                             self.estimate_at(&spec, floor).1.min <= capacity
                         });
+                    self.charge_admission(&mut s.jobs[job]);
                     if admissible {
                         s.enqueue(job);
                         if spec.is_inference() {
@@ -1793,7 +1927,9 @@ impl Cluster {
             } else {
                 (grant, grant < s.jobs[job].needs.full, 0)
             };
-            match self.validated_replay(&spec, spec.batch, budget, shrunk) {
+            let validated = self.validated_replay(&spec, spec.batch, budget, shrunk);
+            self.charge_admission(&mut s.jobs[job]);
+            match validated {
                 Some(replay) => {
                     let j = &mut s.jobs[job];
                     j.gpus_held = gang.clone();
@@ -1928,6 +2064,7 @@ impl Cluster {
                         v
                     }
                 };
+                self.charge_admission(&mut s.jobs[job]);
                 if floor_min > s.pool.max_headroom() {
                     continue;
                 }
@@ -1973,6 +2110,7 @@ impl Cluster {
                         None => false,
                     }
                 });
+                self.charge_admission(&mut s.jobs[job]);
                 let Some(batch) = chosen else { continue };
                 let gang = picks.remove(&batch).expect("chosen batch was probed");
                 let needs = self.estimate_at(&s.jobs[job].spec, batch).1;
@@ -1984,7 +2122,9 @@ impl Cluster {
                 let grant = headroom.min(needs.full);
                 let shrunk = grant < needs.full;
                 let spec = s.jobs[job].spec.clone();
-                match self.validated_replay(&spec, batch, grant, shrunk) {
+                let validated = self.validated_replay(&spec, batch, grant, shrunk);
+                self.charge_admission(&mut s.jobs[job]);
+                match validated {
                     Some(replay) => {
                         let j = &mut s.jobs[job];
                         j.gpus_held = gang.clone();
@@ -2223,6 +2363,9 @@ impl Cluster {
                     p50_latency: latency_percentile(&j.latencies, 50),
                     p99_latency: latency_percentile(&j.latencies, 99),
                     burst_shrinks: j.burst_shrinks,
+                    recompute_time: j.recompute_time,
+                    evictions: j.evictions,
+                    admission_validations: j.admission_validations,
                 }
             })
             .collect();
@@ -2425,6 +2568,14 @@ impl Cluster {
             return;
         }
         let j = &mut s.jobs[job];
+        // Bank the consumed replay iteration's memory-management costs
+        // before the cursor advances (the same index `schedule_iter`
+        // read when it started this iteration).
+        if !j.replay.is_empty() {
+            let idx = (j.iters_done as usize).min(j.replay.len() - 1);
+            j.recompute_time += j.replay[idx].recompute_time;
+            j.evictions += j.replay[idx].evictions;
+        }
         j.iters_done += 1;
         let step = (j.cur_batch as u64).min(j.samples_total.saturating_sub(j.samples_done));
         j.samples_done += step;
@@ -2521,12 +2672,15 @@ impl Cluster {
                     .get(&b)
                     .is_none_or(|&fb| free.min(needs.full) > fb)
         });
+        self.charge_admission(&mut s.jobs[job]);
         let Some(batch) = chosen else { return false };
         let needs = self.estimate_at(&s.jobs[job].spec, batch).1;
         let grant = free.min(needs.full);
         let shrunk = grant < needs.full;
         let spec = s.jobs[job].spec.clone();
-        let Some(replay) = self.validated_replay(&spec, batch, grant, shrunk) else {
+        let validated = self.validated_replay(&spec, batch, grant, shrunk);
+        self.charge_admission(&mut s.jobs[job]);
+        let Some(replay) = validated else {
             let j = &mut s.jobs[job];
             let e = j.failed.entry(batch).or_insert(grant);
             *e = (*e).max(grant);
@@ -2691,6 +2845,11 @@ impl Cluster {
     /// queued backlog.
     fn complete_round(&mut self, s: &mut Session, job: usize, now: Time) {
         let j = &mut s.jobs[job];
+        if !j.replay.is_empty() {
+            let idx = (j.iters_done as usize).min(j.replay.len() - 1);
+            j.recompute_time += j.replay[idx].recompute_time;
+            j.evictions += j.replay[idx].evictions;
+        }
         j.iters_done += 1;
         let served = std::mem::take(&mut j.inflight);
         let n = served.len() as u64;
@@ -2830,6 +2989,7 @@ impl Cluster {
             return false;
         }
         let needs = self.estimate_at(&s.jobs[job].spec, target).1;
+        self.charge_admission(&mut s.jobs[job]);
         let old = s.jobs[job].reserved;
         let grant = old.min(needs.full);
         if grant < needs.min {
@@ -2837,7 +2997,9 @@ impl Cluster {
         }
         let shrunk = grant < needs.full;
         let spec = s.jobs[job].spec.clone();
-        let Some(replay) = self.validated_replay(&spec, target, grant, shrunk) else {
+        let validated = self.validated_replay(&spec, target, grant, shrunk);
+        self.charge_admission(&mut s.jobs[job]);
+        let Some(replay) = validated else {
             let j = &mut s.jobs[job];
             let e = j.failed.entry(target).or_insert(grant);
             *e = (*e).max(grant);
@@ -3413,6 +3575,8 @@ mod tests {
         jobs[0].replay = Arc::new(vec![ReplayIter {
             wall: Duration::from_millis(100),
             swap_bytes: 0,
+            recompute_time: Duration::ZERO,
+            evictions: 0,
             transfers: vec![],
         }]);
         let mut gpus = vec![GpuState::new(1 << 30)];

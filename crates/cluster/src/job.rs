@@ -6,26 +6,34 @@ use serde::{Deserialize, Serialize};
 use crate::parse::ParseEnumError;
 
 /// The memory policy a job requests for its own execution. Jobs admitted
-/// *shrunk* always run under Capuchin regardless (a plan is what makes
-/// the smaller budget viable).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// *shrunk* run under the plan-capable policy their registry row's
+/// `shrunk_runs_as` names (a plan is what makes the smaller budget
+/// viable). Per-policy facts — spellings, admission cost class,
+/// constructors — live in [`crate::policy::REGISTRY`]; this enum only
+/// enumerates the variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum JobPolicy {
     /// Framework-default behavior: no memory management, OOM on overflow.
     TfOri,
-    /// Capuchin's swap/recompute management.
+    /// Capuchin's swap/recompute management (measured, planned).
     Capuchin,
+    /// Dynamic Tensor Rematerialization: online evict-by-`h-DTR`, no
+    /// measured iteration — admitted on the footprint estimate alone.
+    Dtr,
+    /// DELTA-style planning: Capuchin's measured profile with swap and
+    /// recompute candidates interleaved by priced cost instead of
+    /// swaps-first.
+    Delta,
 }
 
 impl JobPolicy {
-    /// Accepted [`std::str::FromStr`] spellings, canonical first.
-    pub const ACCEPTED: &'static [&'static str] = &["tf-ori", "capuchin"];
+    /// Accepted [`std::str::FromStr`] spellings, derived from the
+    /// registry (canonical spelling first within each policy).
+    pub const ACCEPTED: &'static [&'static str] = &crate::policy::ACCEPTED_SPELLINGS;
 
-    /// CLI/stats name.
+    /// CLI/stats name (the registry row's canonical spelling).
     pub fn name(self) -> &'static str {
-        match self {
-            JobPolicy::TfOri => "tf-ori",
-            JobPolicy::Capuchin => "capuchin",
-        }
+        self.descriptor().name
     }
 }
 
@@ -39,11 +47,28 @@ impl std::str::FromStr for JobPolicy {
     type Err = ParseEnumError;
 
     fn from_str(s: &str) -> Result<JobPolicy, ParseEnumError> {
-        match s {
-            "tf-ori" => Ok(JobPolicy::TfOri),
-            "capuchin" => Ok(JobPolicy::Capuchin),
-            other => Err(ParseEnumError::unknown("job policy", other, Self::ACCEPTED)),
-        }
+        crate::policy::REGISTRY
+            .iter()
+            .find(|d| d.accepted.contains(&s))
+            .map(|d| d.policy)
+            .ok_or_else(|| ParseEnumError::unknown("job policy", s, Self::ACCEPTED))
+    }
+}
+
+// Hand-written (the derive would only accept variant names): job files
+// written before the registry existed spell policies as the wire variant
+// name (`"TfOri"`), new files may use the canonical CLI spelling
+// (`"tf-ori"`) — both parse arms come from the registry.
+impl serde::Deserialize for JobPolicy {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected a string for `JobPolicy`"))?;
+        crate::policy::REGISTRY
+            .iter()
+            .find(|d| d.wire == s || d.accepted.contains(&s))
+            .map(|d| d.policy)
+            .ok_or_else(|| serde::Error::custom("unknown or malformed variant of `JobPolicy`"))
     }
 }
 
@@ -999,12 +1024,36 @@ mod tests {
 
     #[test]
     fn policy_round_trips_through_fromstr_and_display() {
-        for p in [JobPolicy::TfOri, JobPolicy::Capuchin] {
+        for d in crate::policy::REGISTRY {
+            let p = d.policy;
             assert_eq!(p.to_string().parse::<JobPolicy>(), Ok(p));
             assert!(JobPolicy::ACCEPTED.contains(&p.name()));
+            for spelling in d.accepted {
+                assert_eq!(spelling.parse::<JobPolicy>(), Ok(p));
+            }
         }
         let err = "keras".parse::<JobPolicy>().unwrap_err();
-        assert!(err.to_string().contains("tf-ori, capuchin"), "{err}");
+        assert!(
+            err.to_string().contains("tf-ori, capuchin, dtr, delta"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn policy_round_trips_through_job_file_wire_and_canonical_spellings() {
+        for d in crate::policy::REGISTRY {
+            // Serialize still emits the wire variant name…
+            let json = serde_json::to_string(&d.policy).unwrap();
+            assert_eq!(json, format!("{:?}", d.wire));
+            // …and job-file parsing accepts both the wire name and the
+            // canonical CLI spelling.
+            for spelling in [d.wire, d.name] {
+                let v = serde_json::from_str(&format!("{spelling:?}")).unwrap();
+                assert_eq!(JobPolicy::from_value(&v).unwrap(), d.policy);
+            }
+        }
+        let bad = serde_json::from_str("\"keras\"").unwrap();
+        assert!(JobPolicy::from_value(&bad).is_err());
     }
 
     #[test]

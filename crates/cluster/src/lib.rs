@@ -87,6 +87,7 @@ pub mod cluster;
 pub mod headroom;
 pub mod job;
 pub mod parse;
+pub mod policy;
 pub mod stats;
 pub mod strategy;
 
@@ -101,6 +102,7 @@ pub use crate::job::{
     load_jobs, parse_memory, synthetic_jobs, synthetic_mixed_jobs, JobFileError, JobPolicy, JobSpec,
 };
 pub use crate::parse::ParseEnumError;
+pub use crate::policy::{CostClass, PolicyDescriptor, REGISTRY};
 pub use crate::stats::{
     ClusterStats, ClusterTransfer, GpuStats, JobEvent, JobEventKind, JobOutcome, JobState,
     JobStats, JobStatus, STATS_SCHEMA_VERSION,

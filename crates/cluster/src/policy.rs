@@ -1,0 +1,260 @@
+//! The policy registry: one descriptor per [`JobPolicy`], dispatched by
+//! everything that used to `match` on the enum.
+//!
+//! Admission, validation, job-file parsing, the CLI and the serve daemon
+//! all need per-policy facts — what the canonical spelling is, whether a
+//! validation run must be measured before admitting, which policy a
+//! *shrunk* grant actually executes under, and how to instantiate the
+//! executor-level [`MemoryPolicy`]. Before the registry each of those
+//! sites kept its own `match JobPolicy` arm; adding a policy meant
+//! finding all of them. Now a policy is added by appending one
+//! [`PolicyDescriptor`] to [`REGISTRY`] — the spellings, admission
+//! class and constructors follow from the table.
+
+use capuchin::Capuchin;
+use capuchin_baselines::DtrPolicy;
+use capuchin_executor::{MemoryPolicy, TfOri};
+use capuchin_sim::DeviceSpec;
+
+use crate::job::JobPolicy;
+
+/// How expensive it is to decide whether a job fits at a budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Admission runs a real measured iteration (and, for shrunk grants,
+    /// a validated engine run at the granted budget) before placement.
+    /// Mid-run OOM is impossible for admitted jobs; admission is slow.
+    Measured,
+    /// Admission estimates from the cached footprint measurement alone —
+    /// no validation replay, no engine run at the granted budget. Cheap
+    /// to admit; checkpoint-preemption is the backstop if the estimate
+    /// was optimistic.
+    Heuristic,
+}
+
+impl CostClass {
+    /// Stats/docs name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostClass::Measured => "measured",
+            CostClass::Heuristic => "heuristic",
+        }
+    }
+}
+
+/// Everything the rest of the system needs to know about one policy.
+pub struct PolicyDescriptor {
+    /// The enum variant this row describes.
+    pub policy: JobPolicy,
+    /// Canonical CLI/stats/job-file name.
+    pub name: &'static str,
+    /// Wire spelling in serialized job files (the Rust variant name,
+    /// kept for workload files written before the registry existed).
+    pub wire: &'static str,
+    /// Accepted `FromStr` spellings, canonical first.
+    pub accepted: &'static [&'static str],
+    /// Whether admission must run a measured validation.
+    pub cost_class: CostClass,
+    /// Whether the executor-level policy supports engine snapshots
+    /// ([`MemoryPolicy::snapshot`] returns `Some`). Cluster-level
+    /// checkpoint-preemption replays at the iteration boundary and does
+    /// not require it; single-engine checkpointing does.
+    pub snapshot: bool,
+    /// The policy a *shrunk* admission actually executes under: running
+    /// below the ideal peak needs a plan, so plan-less policies delegate.
+    pub shrunk_runs_as: JobPolicy,
+    /// The policy used to probe forward-only (inference) footprints:
+    /// unmanaged execution exposes the true peak.
+    pub probe: JobPolicy,
+    builder: fn(u64, &DeviceSpec) -> Box<dyn MemoryPolicy>,
+}
+
+impl PolicyDescriptor {
+    /// Instantiates the executor-level policy for a run at `budget`
+    /// bytes on `spec`. Current policies configure themselves from the
+    /// engine, so the arguments are forwarded for uniformity and future
+    /// budget-aware policies.
+    pub fn build(&self, budget: u64, spec: &DeviceSpec) -> Box<dyn MemoryPolicy> {
+        (self.builder)(budget, spec)
+    }
+}
+
+impl std::fmt::Debug for PolicyDescriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyDescriptor")
+            .field("policy", &self.policy)
+            .field("name", &self.name)
+            .field("wire", &self.wire)
+            .field("accepted", &self.accepted)
+            .field("cost_class", &self.cost_class)
+            .field("snapshot", &self.snapshot)
+            .field("shrunk_runs_as", &self.shrunk_runs_as)
+            .field("probe", &self.probe)
+            .finish_non_exhaustive()
+    }
+}
+
+fn build_tf_ori(_budget: u64, _spec: &DeviceSpec) -> Box<dyn MemoryPolicy> {
+    Box::new(TfOri::new())
+}
+
+fn build_capuchin(_budget: u64, _spec: &DeviceSpec) -> Box<dyn MemoryPolicy> {
+    Box::new(Capuchin::new())
+}
+
+fn build_dtr(_budget: u64, _spec: &DeviceSpec) -> Box<dyn MemoryPolicy> {
+    Box::new(DtrPolicy::new())
+}
+
+fn build_delta(_budget: u64, _spec: &DeviceSpec) -> Box<dyn MemoryPolicy> {
+    Box::new(Capuchin::delta())
+}
+
+/// One row per [`JobPolicy`] variant, canonical-name order.
+pub const REGISTRY: &[PolicyDescriptor] = &[
+    PolicyDescriptor {
+        policy: JobPolicy::TfOri,
+        name: "tf-ori",
+        wire: "TfOri",
+        accepted: &["tf-ori"],
+        cost_class: CostClass::Measured,
+        snapshot: false,
+        shrunk_runs_as: JobPolicy::Capuchin,
+        probe: JobPolicy::TfOri,
+        builder: build_tf_ori,
+    },
+    PolicyDescriptor {
+        policy: JobPolicy::Capuchin,
+        name: "capuchin",
+        wire: "Capuchin",
+        accepted: &["capuchin"],
+        cost_class: CostClass::Measured,
+        snapshot: true,
+        shrunk_runs_as: JobPolicy::Capuchin,
+        probe: JobPolicy::TfOri,
+        builder: build_capuchin,
+    },
+    PolicyDescriptor {
+        policy: JobPolicy::Dtr,
+        name: "dtr",
+        wire: "Dtr",
+        accepted: &["dtr"],
+        cost_class: CostClass::Heuristic,
+        snapshot: true,
+        shrunk_runs_as: JobPolicy::Dtr,
+        probe: JobPolicy::TfOri,
+        builder: build_dtr,
+    },
+    PolicyDescriptor {
+        policy: JobPolicy::Delta,
+        name: "delta",
+        wire: "Delta",
+        accepted: &["delta"],
+        cost_class: CostClass::Measured,
+        snapshot: true,
+        shrunk_runs_as: JobPolicy::Delta,
+        probe: JobPolicy::TfOri,
+        builder: build_delta,
+    },
+];
+
+/// Total accepted-spelling count across the registry, for the derived
+/// [`JobPolicy::ACCEPTED`] array.
+const fn accepted_count() -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    while i < REGISTRY.len() {
+        n += REGISTRY[i].accepted.len();
+        i += 1;
+    }
+    n
+}
+
+/// All accepted spellings, registry order — the single source for
+/// `JobPolicy::ACCEPTED` and parse-error suggestions.
+pub(crate) const ACCEPTED_SPELLINGS: [&str; accepted_count()] = {
+    let mut out = [""; accepted_count()];
+    let mut k = 0;
+    let mut i = 0;
+    while i < REGISTRY.len() {
+        let mut j = 0;
+        while j < REGISTRY[i].accepted.len() {
+            out[k] = REGISTRY[i].accepted[j];
+            k += 1;
+            j += 1;
+        }
+        i += 1;
+    }
+    out
+};
+
+impl JobPolicy {
+    /// The registry row for this policy.
+    pub fn descriptor(self) -> &'static PolicyDescriptor {
+        REGISTRY
+            .iter()
+            .find(|d| d.policy == self)
+            .expect("every JobPolicy variant has a registry row")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_has_a_row_and_names_are_unique() {
+        let all = [
+            JobPolicy::TfOri,
+            JobPolicy::Capuchin,
+            JobPolicy::Dtr,
+            JobPolicy::Delta,
+        ];
+        assert_eq!(REGISTRY.len(), all.len());
+        for p in all {
+            let d = p.descriptor();
+            assert_eq!(d.policy, p);
+            assert_eq!(d.accepted[0], d.name, "canonical spelling leads");
+        }
+        let mut names: Vec<&str> = REGISTRY.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REGISTRY.len(), "duplicate canonical name");
+        let mut spellings = ACCEPTED_SPELLINGS.to_vec();
+        spellings.sort_unstable();
+        spellings.dedup();
+        assert_eq!(
+            spellings.len(),
+            ACCEPTED_SPELLINGS.len(),
+            "duplicate accepted spelling"
+        );
+    }
+
+    #[test]
+    fn descriptor_snapshot_flag_matches_executor_policy() {
+        let spec = DeviceSpec::p100_pcie3();
+        for d in REGISTRY {
+            let built = d.build(1 << 30, &spec);
+            assert_eq!(
+                built.snapshot().is_some(),
+                d.snapshot,
+                "descriptor {} misdeclares snapshot support",
+                d.name
+            );
+            assert_eq!(built.name(), d.name, "built policy reports its name");
+        }
+    }
+
+    #[test]
+    fn shrunk_delegation_targets_plan_capable_policies() {
+        for d in REGISTRY {
+            let target = d.shrunk_runs_as.descriptor();
+            assert_ne!(
+                target.policy,
+                JobPolicy::TfOri,
+                "shrunk {} must not run unmanaged",
+                d.name
+            );
+        }
+    }
+}

@@ -19,11 +19,14 @@ use serde::{Deserialize, Serialize};
 /// [`JobStats::burst_shrinks`] and cluster-wide
 /// [`ClusterStats::requests_served`] / [`ClusterStats::slo_misses`] /
 /// [`ClusterStats::slo_attainment_permille`] /
-/// [`ClusterStats::burst_shrinks`] / [`ClusterStats::burst_cycles`].
+/// [`ClusterStats::burst_shrinks`] / [`ClusterStats::burst_cycles`];
+/// version 4 added the per-job memory-management cost counters —
+/// [`JobStats::recompute_time`] / [`JobStats::evictions`] /
+/// [`JobStats::admission_validations`] — and nothing else.
 /// Bump it whenever
 /// a field is added, removed, renamed, or its meaning changes — the serve
 /// smoke test pins the daemon and the client to the same number.
-pub const STATS_SCHEMA_VERSION: u32 = 3;
+pub const STATS_SCHEMA_VERSION: u32 = 4;
 
 /// One entry of the cluster's unified transfer trace: a replayed swap
 /// transfer, a gang allreduce, or a checkpoint/restore copy, resolved on
@@ -334,6 +337,17 @@ pub struct JobStats {
     /// Times this *training* job shrank its batch mid-run specifically to
     /// absorb an inference KV burst (a subset of `rebatches`).
     pub burst_shrinks: u64,
+    /// Kernel time spent regenerating released tensors, summed over the
+    /// replay iterations the job consumed (accumulated as integer
+    /// nanoseconds; rendered as seconds only at serialization).
+    pub recompute_time: Duration,
+    /// Reactive (allocation-pressure) evictions summed over the replay
+    /// iterations the job consumed.
+    pub evictions: u64,
+    /// Validation engine runs this job's admission triggered. Cache-hit
+    /// admissions charge nothing; heuristic-class policies (e.g. `dtr`)
+    /// are zero by construction.
+    pub admission_validations: u64,
 }
 
 /// Per-GPU accounting.
@@ -493,11 +507,15 @@ mod tests {
                 p50_latency: Duration::ZERO,
                 p99_latency: Duration::ZERO,
                 burst_shrinks: 0,
+                recompute_time: Duration::from_millis(5),
+                evictions: 3,
+                admission_validations: 7,
             }],
         };
         let a = stats.to_json();
         let b = stats.clone().to_json();
         assert_eq!(a, b);
         assert!(a.contains("\"oom_rejections\": 0"), "{a}");
+        assert!(a.contains("\"admission_validations\": 7"), "{a}");
     }
 }

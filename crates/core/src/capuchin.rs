@@ -55,6 +55,11 @@ pub struct CapuchinConfig {
     pub savings_margin: f64,
     /// Which iteration to measure (after weights have materialized).
     pub measure_iteration: u64,
+    /// DELTA-style joint swap/recompute ordering
+    /// ([`PlannerConfig::delta_interleave`]). The policy then reports
+    /// itself as `delta`: same measured/guided lifecycle, different
+    /// Policy Maker ordering.
+    pub delta_interleave: bool,
 }
 
 impl Default for CapuchinConfig {
@@ -71,6 +76,7 @@ impl Default for CapuchinConfig {
             peak_threshold: 0.80,
             savings_margin: 1.05,
             measure_iteration: 1,
+            delta_interleave: false,
         }
     }
 }
@@ -92,6 +98,17 @@ impl CapuchinConfig {
         }
     }
 
+    /// DELTA-style configuration (arXiv:2203.15980): identical lifecycle,
+    /// but the Policy Maker interleaves swap and recompute candidates by
+    /// priced overhead per byte instead of taking zero-overhead swaps
+    /// first.
+    pub fn delta() -> CapuchinConfig {
+        CapuchinConfig {
+            delta_interleave: true,
+            ..CapuchinConfig::default()
+        }
+    }
+
     fn planner(&self) -> PlannerConfig {
         PlannerConfig {
             enable_swap: self.enable_swap,
@@ -99,6 +116,7 @@ impl CapuchinConfig {
             enable_recompute: self.enable_recompute,
             peak_threshold: self.peak_threshold,
             savings_margin: self.savings_margin,
+            delta_interleave: self.delta_interleave,
         }
     }
 }
@@ -187,6 +205,23 @@ impl Capuchin {
     /// Creates Capuchin with default configuration.
     pub fn new() -> Capuchin {
         Capuchin::with_config(CapuchinConfig::default())
+    }
+
+    /// Creates the DELTA variant ([`CapuchinConfig::delta`]): the same
+    /// measured/guided lifecycle with the jointly-ordered Policy Maker.
+    pub fn delta() -> Capuchin {
+        Capuchin::with_config(CapuchinConfig::delta())
+    }
+
+    /// Stats/cache name: `delta` when the joint ordering is active, else
+    /// `capuchin` — the two produce different plans and must never share
+    /// a validation-cache entry.
+    fn policy_name(&self) -> &'static str {
+        if self.cfg.delta_interleave {
+            "delta"
+        } else {
+            "capuchin"
+        }
     }
 
     /// Creates Capuchin with an explicit configuration.
@@ -321,7 +356,7 @@ impl Capuchin {
 
 impl MemoryPolicy for Capuchin {
     fn name(&self) -> &str {
-        "capuchin"
+        self.policy_name()
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -330,7 +365,7 @@ impl MemoryPolicy for Capuchin {
 
     fn snapshot(&self) -> Option<PolicySnapshot> {
         Some(PolicySnapshot::new(
-            "capuchin",
+            self.policy_name(),
             CapuchinSnapshot {
                 state: self.clone(),
             },

@@ -40,6 +40,15 @@ pub struct PlannerConfig {
     pub peak_threshold: f64,
     /// Multiplier on the measured required saving (headroom).
     pub savings_margin: f64,
+    /// DELTA-style candidate ordering (arXiv:2203.15980): instead of the
+    /// paper's swaps-first two-phase selection, every step picks the
+    /// globally cheapest remaining candidate by priced overhead per byte
+    /// saved — swap and recompute candidates interleave in one ranking.
+    /// Costs come from the same [`TransferModel`] either way, so the two
+    /// orderings differ only when PCIe congestion (lane violations) makes
+    /// the greedy swaps-first order pay for transfers a joint ordering
+    /// would have recomputed around.
+    pub delta_interleave: bool,
 }
 
 impl Default for PlannerConfig {
@@ -50,6 +59,7 @@ impl Default for PlannerConfig {
             enable_recompute: true,
             peak_threshold: 0.80,
             savings_margin: 1.05,
+            delta_interleave: false,
         }
     }
 }
@@ -154,6 +164,12 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
             .then(a.key.cmp(&b.key))
     });
 
+    if cfg.delta_interleave {
+        delta_select(&mut plan, profile, &model, cfg, candidates, needed);
+        schedule_in_triggers(&mut plan, profile);
+        return plan;
+    }
+
     // ------------------------------------------------------------------
     // Phase 1: zero-overhead swaps from the top of the FT ranking —
     // accepted only while the *lane schedule* stays feasible, i.e. every
@@ -242,6 +258,94 @@ pub fn make_plan(profile: &MeasuredProfile, spec: &DeviceSpec, cfg: &PlannerConf
     }
     schedule_in_triggers(&mut plan, profile);
     plan
+}
+
+/// DELTA-style joint selection (arXiv:2203.15980): one ranking instead of
+/// the paper's two phases. Every step re-prices each remaining candidate —
+/// the cheaper of its residual swap overhead (exposed transfer plus the
+/// lane violation it would add to the already-accepted schedule) and its
+/// recompute chain — and confirms the candidate with the lowest overhead
+/// per byte saved. Re-pricing each round is what makes the ordering
+/// *joint*: as the PCIe lanes congest, swap overheads grow and the
+/// selection shifts to recomputation for exactly the tensors whose
+/// transfers no longer hide, instead of committing to every zero-FT swap
+/// up front. All arithmetic is integer (nanoseconds, permille-scaled per
+/// byte) with size/key tie-breaks, so the plan is byte-deterministic.
+fn delta_select(
+    plan: &mut Plan,
+    profile: &MeasuredProfile,
+    model: &TransferModel,
+    cfg: &PlannerConfig,
+    mut queue: Vec<Candidate>,
+    mut needed: i128,
+) {
+    // No swaps-first phase shrinks the pool, so recompute chains are
+    // initialized over the full candidate set (Algorithm 2 still adjusts
+    // them as tensors are confirmed).
+    let all_keys: HashSet<TensorKey> = queue.iter().map(|c| c.key).collect();
+    for cand in &mut queue {
+        match init_recompute(profile, cand, &all_keys) {
+            Some((srcs, time)) => {
+                cand.srcs = srcs;
+                cand.rp_time = time;
+            }
+            None => cand.recomputable = false,
+        }
+    }
+    let mut accepted: Vec<LaneItem> = Vec::new();
+    let mut recomps: Vec<(TensorKey, HashSet<TensorKey>, Duration)> = Vec::new();
+    while needed > 0 && !queue.is_empty() {
+        let mut best: Option<(u128, u64, TensorKey, usize, bool)> = None;
+        for (idx, cand) in queue.iter().enumerate() {
+            let swap_over = if cfg.enable_swap {
+                let item = LaneItem::of(cand, model);
+                let exposed = Duration::from_nanos((-cand.ft_ns).max(0) as u64);
+                Some(exposed + lane_violation(&accepted, &item))
+            } else {
+                None
+            };
+            let rec_over = if cfg.enable_recompute && cand.recomputable {
+                Some(cand.recompute_overhead())
+            } else {
+                None
+            };
+            // Ties prefer recomputation, matching the hybrid phase.
+            let (cost, use_swap) = match (swap_over, rec_over) {
+                (None, None) => continue,
+                (Some(s), None) => (s, true),
+                (None, Some(r)) => (r, false),
+                (Some(s), Some(r)) => {
+                    if r <= s {
+                        (r, false)
+                    } else {
+                        (s, true)
+                    }
+                }
+            };
+            let per_byte = cost.as_nanos() as u128 * 1_000 / u128::from(cand.size.max(1));
+            let better = match &best {
+                None => true,
+                Some((bpb, bsize, bkey, _, _)) => {
+                    (per_byte, std::cmp::Reverse(cand.size), cand.key)
+                        < (*bpb, std::cmp::Reverse(*bsize), *bkey)
+                }
+            };
+            if better {
+                best = Some((per_byte, cand.size, cand.key, idx, use_swap));
+            }
+        }
+        let Some((_, _, _, idx, use_swap)) = best else {
+            break; // nothing selectable remains (all disabled/unrecomputable)
+        };
+        let cand = queue.remove(idx);
+        needed -= cand.size as i128;
+        if use_swap {
+            accepted.push(LaneItem::of(&cand, model));
+            confirm_swap(plan, profile, model, &cand);
+        } else {
+            confirm_recompute(plan, &cand, &mut recomps, &mut queue);
+        }
+    }
 }
 
 /// Headroom-scaled saving target, `required × margin`, in exact
@@ -790,6 +894,102 @@ mod tests {
             .find(|(_, v)| v.contains(&TensorKey(1)))
             .expect("in-trigger installed");
         assert_eq!(*trigger, (TensorKey(2), 2), "moved to the 300 ms access");
+    }
+
+    #[test]
+    fn delta_picks_recompute_when_exposed_swap_costlier() {
+        // Same scenario as the hybrid test: 256 MiB with a 10 ms gap
+        // (exposed swap ≈ 41 ms) against a 200 us replay. The joint
+        // ordering must reach the same verdict as the hybrid phase.
+        let p = profile(
+            &[
+                (0, MB, &[], 50, &[0, 9_000_000]),
+                (1, 256 * MB, &[0], 200, &[1_000, 11_000]),
+            ],
+            256 * MB,
+        );
+        let cfg = PlannerConfig {
+            delta_interleave: true,
+            ..PlannerConfig::default()
+        };
+        let plan = make_plan(&p, &spec(), &cfg);
+        assert!(plan.recompute_keys.contains(&TensorKey(1)), "{plan:?}");
+        assert_eq!(plan.recompute_saving, 256 * MB);
+    }
+
+    #[test]
+    fn delta_keeps_free_swaps_when_lane_is_idle() {
+        // A 900 ms reuse gap hides the 64 MiB transfer entirely (cost 0
+        // per byte); replaying it costs 80 ms. Uncontended, the joint
+        // ordering agrees with swaps-first.
+        let p = profile(
+            &[
+                (0, MB, &[], 50, &[0, 9_000_000]),
+                (1, 64 * MB, &[0], 80_000, &[1_000, 900_000]),
+            ],
+            64 * MB,
+        );
+        let cfg = PlannerConfig {
+            delta_interleave: true,
+            ..PlannerConfig::default()
+        };
+        let plan = make_plan(&p, &spec(), &cfg);
+        assert!(plan.swaps.contains_key(&TensorKey(1)), "{plan:?}");
+        assert!(plan.recompute_keys.is_empty());
+    }
+
+    #[test]
+    fn delta_diverges_from_swaps_first_under_lane_saturation() {
+        // Three 256 MiB tensors with back-accesses packed into an 80 ms
+        // window: each swap alone has FT > 0 (gap ≈ 60 ms vs ≈ 54 ms of
+        // transfer), but the shared PCIe lanes cannot carry all three
+        // (25.6 ms per direction each), so later prefetches violate the
+        // lane schedule. A 500 us replay is far cheaper than the
+        // violation. Swaps-first commits the zero-violation prefix
+        // greedily; the joint ordering recomputes the congested tensors
+        // instead.
+        let p = profile(
+            &[
+                (0, MB, &[], 50, &[0, 9_000_000]), // alive source
+                (1, 256 * MB, &[0], 500, &[1_000, 60_000]),
+                (2, 256 * MB, &[0], 500, &[2_000, 70_000]),
+                (3, 256 * MB, &[0], 500, &[3_000, 80_000]),
+            ],
+            3 * 256 * MB,
+        );
+        let base = make_plan(&p, &spec(), &PlannerConfig::default());
+        let delta = make_plan(
+            &p,
+            &spec(),
+            &PlannerConfig {
+                delta_interleave: true,
+                ..PlannerConfig::default()
+            },
+        );
+        // Both orderings must cover the saving.
+        assert!(base.planned_saving >= 3 * 256 * MB, "{base:?}");
+        assert!(delta.planned_saving >= 3 * 256 * MB, "{delta:?}");
+        // The orderings choose different swap/recompute splits: FT-ranked
+        // head-of-line processing keeps the *longest-gap* congested swap,
+        // the joint ordering keeps whichever swap is cheapest per byte
+        // after the lane fills.
+        let base_swapped: Vec<TensorKey> = base.swaps.keys().copied().collect();
+        let delta_swapped: Vec<TensorKey> = delta.swaps.keys().copied().collect();
+        assert_ne!(
+            base_swapped, delta_swapped,
+            "orderings agreed despite saturation: {delta:?}"
+        );
+        // Determinism: planning twice yields the identical plan.
+        let again = make_plan(
+            &p,
+            &spec(),
+            &PlannerConfig {
+                delta_interleave: true,
+                ..PlannerConfig::default()
+            },
+        );
+        assert_eq!(delta.swaps, again.swaps);
+        assert_eq!(delta.recompute_keys, again.recompute_keys);
     }
 
     #[test]

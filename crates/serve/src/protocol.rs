@@ -306,6 +306,32 @@ mod tests {
     }
 
     #[test]
+    fn submit_accepts_every_registry_policy_spelling() {
+        // The daemon adds no policy parsing of its own: a `submit` goes
+        // through `JobSpec::from_value`, so every spelling the policy
+        // registry accepts works over the wire — including policies
+        // added after this test was written.
+        for d in capuchin_cluster::REGISTRY {
+            for spelling in d.accepted {
+                let line = format!(
+                    r#"{{"op":"submit","spec":{{"name":"j","model":"ResNet50",
+                        "batch":64,"policy":"{spelling}","iters":2,
+                        "priority":0,"arrival_time":0.0}}}}"#
+                );
+                let env = parse_request(&line).unwrap();
+                match env.op {
+                    Op::Submit { spec } => assert_eq!(spec.policy, d.policy),
+                    other => panic!("parsed {other:?}"),
+                }
+            }
+        }
+        let bad = r#"{"op":"submit","spec":{"name":"j","model":"ResNet50",
+            "batch":64,"policy":"keras","iters":2,"priority":0,
+            "arrival_time":0.0}}"#;
+        assert!(parse_request(bad).unwrap_err().contains("bad spec"));
+    }
+
+    #[test]
     fn every_line_leads_with_the_wire_schema_version() {
         let prefix = format!("{{\"schema_version\":{WIRE_SCHEMA_VERSION},");
         let event = JobEvent {

@@ -38,6 +38,9 @@ cargo run --release -q -p capuchin-bench --bin cluster_scale -- --smoke
 echo "==> smoke: cluster_mixed SLO-attainment guard (burst-absorption cycle + committed floor)"
 cargo run --release -q -p capuchin-bench --bin cluster_mixed -- --smoke
 
+echo "==> smoke: ablations policy matrix (registry invariants + pre-registry fixture identity)"
+cargo run --release -q -p capuchin-bench --bin ablations -- --smoke
+
 echo "==> smoke: serve daemon, external process on an ephemeral port"
 serve_log="$(mktemp)"
 ./target/release/capuchin-serve --addr 127.0.0.1:0 --clock virtual \
