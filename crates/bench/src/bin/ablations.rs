@@ -238,6 +238,15 @@ fn check_fixture(fixture: &str, stats: &ClusterStats) {
         "recompute_time",
         "evictions",
         "admission_validations",
+        // Schema-5 predictive-admission fields: identically zero /
+        // "measured" in these predictive-off runs, but the fixtures
+        // predate the fields entirely.
+        "admission_source",
+        "predicted_bytes",
+        "prediction_error_permille",
+        "mispredict_recoveries",
+        "predictor_hits",
+        "predictor_misses",
     ];
     let mut want: serde_json::Value = serde_json::from_str(&want).expect("fixture parses");
     let mut got: serde_json::Value = serde_json::from_str(&stats.to_json()).expect("stats parse");

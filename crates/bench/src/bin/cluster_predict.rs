@@ -1,0 +1,227 @@
+//! Predictive admission — validation-engine runs and admission
+//! wall-clock, cold keys vs warm keys.
+//!
+//! The footprint predictor ([`capuchin_cluster::FootprintPredictor`])
+//! lets a returning `(model, policy, class)` family admit from a fitted
+//! regression instead of a measured iteration. This bench drives the
+//! same cluster through two arrival streams and records what the
+//! predictor actually buys:
+//!
+//! * **cold** — every key unseen: admission falls back to measured
+//!   execution, so the phase pays the validation-engine runs the
+//!   pre-predictor scheduler always paid.
+//! * **warm** — the same families return (including batches *between*
+//!   the fitted ones, exercising interpolation): admissions are granted
+//!   from `prediction × safety margin` and charge **zero** new
+//!   validation-engine runs.
+//!
+//! Both phases run on one [`Cluster`] — the predictor's whole point is
+//! that its state survives across submissions, exactly as it does
+//! across `capuchin-serve` submissions. The committed artifact
+//! (`results/cluster_predict.json`) records per-phase wall-clock,
+//! per-job admission cost, validation counts and predictor counters.
+//! `--smoke` re-runs the small scenario and fails when the warm phase
+//! charges more validation runs than the committed ceiling, when any
+//! job aborts mid-run, or when the warm phase never hits the predictor
+//! — the regression gate for "admit without a measured iteration".
+
+use std::time::Instant;
+
+use capuchin_bench::write_artifact;
+use capuchin_cluster::{AdmissionMode, Cluster, ClusterConfig, JobPolicy, JobSpec, StrategyKind};
+use capuchin_models::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// One arrival stream's measured outcome. Wall-clock fields vary run to
+/// run; the simulation-side fields (validations, predictor counters,
+/// completions) are reproducible.
+#[derive(Debug, Serialize, Deserialize)]
+struct PhaseRun {
+    phase: String,
+    jobs: usize,
+    completed: usize,
+    /// Validation-engine runs this phase added to the controller total.
+    validation_runs: u64,
+    predictor_hits: u64,
+    predictor_misses: u64,
+    mispredict_recoveries: u64,
+    midrun_aborts: usize,
+    sim_makespan_secs: f64,
+    wall_secs: f64,
+    /// Wall-clock per submitted job — admission dominates this phase
+    /// cost at these scales, so cold vs warm is the predictor's saving.
+    us_per_job: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct PredictArtifact {
+    gpus: usize,
+    runs: Vec<PhaseRun>,
+}
+
+struct Scenario {
+    name: &'static str,
+    gpus: usize,
+    /// Jobs per phase (the warm stream is the same size as the cold).
+    jobs: usize,
+}
+
+/// CI guard row: small enough to finish in seconds on any machine.
+const SMOKE: Scenario = Scenario {
+    name: "smoke",
+    gpus: 64,
+    jobs: 400,
+};
+
+/// Headline row: the scheduler-scale cluster with a predictor in front.
+const LARGE: Scenario = Scenario {
+    name: "large",
+    gpus: 1024,
+    jobs: 4_000,
+};
+
+/// The family menu: two `(model, policy)` keys, cold batches at the fit
+/// points and warm batches both on and *between* them (interpolation).
+const COLD_BATCHES: &[usize] = &[16, 32, 48];
+const WARM_BATCHES: &[usize] = &[16, 24, 32, 40, 48];
+const MODELS: &[ModelKind] = &[ModelKind::ResNet50, ModelKind::DenseNet121];
+
+fn stream(n: usize, batches: &[usize], tag: &str) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| JobSpec {
+            name: format!("{tag}{i:05}"),
+            model: MODELS[i % MODELS.len()],
+            batch: batches[(i / MODELS.len()) % batches.len()],
+            gpus: 1,
+            policy: JobPolicy::Capuchin,
+            iters: 2,
+            priority: 0,
+            arrival_time: i as f64 * 0.05,
+            elastic: false,
+            ..JobSpec::default()
+        })
+        .collect()
+}
+
+fn run_phase(cluster: &mut Cluster, phase: &str, jobs: &[JobSpec]) -> PhaseRun {
+    let before = cluster.validation_runs();
+    let start = Instant::now();
+    let stats = cluster.run(jobs);
+    let wall = start.elapsed();
+    let run = PhaseRun {
+        phase: phase.to_owned(),
+        jobs: jobs.len(),
+        completed: stats.completed,
+        validation_runs: cluster.validation_runs() - before,
+        predictor_hits: stats.predictor_hits,
+        predictor_misses: stats.predictor_misses,
+        mispredict_recoveries: stats.mispredict_recoveries,
+        midrun_aborts: stats.midrun_oom_aborts,
+        sim_makespan_secs: stats.makespan.as_secs_f64(),
+        wall_secs: wall.as_secs_f64(),
+        us_per_job: wall.as_secs_f64() * 1e6 / jobs.len() as f64,
+    };
+    eprintln!(
+        "[{}] {} jobs ({} completed): {} validation runs, {} hits / {} misses, \
+         {} recoveries, {:.2}s wall, {:.1}us/job",
+        run.phase,
+        run.jobs,
+        run.completed,
+        run.validation_runs,
+        run.predictor_hits,
+        run.predictor_misses,
+        run.mispredict_recoveries,
+        run.wall_secs,
+        run.us_per_job,
+    );
+    assert_eq!(
+        run.completed, run.jobs,
+        "{phase}: {}/{} jobs completed — predictive admission stranded work",
+        run.completed, run.jobs
+    );
+    run
+}
+
+fn run_scenario(sc: &Scenario) -> PredictArtifact {
+    eprintln!("[{}] {} GPUs, {} jobs per phase", sc.name, sc.gpus, sc.jobs);
+    let cfg = ClusterConfig::builder()
+        .gpus(sc.gpus)
+        .admission(AdmissionMode::Capuchin)
+        .strategy(StrategyKind::FifoFirstFit)
+        .predictive(true)
+        .build()
+        .expect("valid predict config");
+    let mut cluster = Cluster::new(cfg);
+    let cold = run_phase(&mut cluster, "cold", &stream(sc.jobs, COLD_BATCHES, "cold"));
+    // Same cluster: the predictor (and the measured-run caches that feed
+    // it) survive the reset, exactly as across serve submissions.
+    let warm = run_phase(&mut cluster, "warm", &stream(sc.jobs, WARM_BATCHES, "warm"));
+    assert!(
+        warm.predictor_hits > 0,
+        "{}: warm stream never hit the predictor — keys failed to warm",
+        sc.name
+    );
+    PredictArtifact {
+        gpus: sc.gpus,
+        runs: vec![cold, warm],
+    }
+}
+
+/// The `--smoke` guard: warm-phase validation runs must not exceed the
+/// committed ceiling, nothing may abort mid-run, and the warm stream
+/// must actually admit from the predictor.
+fn smoke_guard() -> ! {
+    let artifact = run_scenario(&SMOKE);
+    let warm = artifact.runs.iter().find(|r| r.phase == "warm").unwrap();
+    if warm.midrun_aborts > 0 {
+        eprintln!(
+            "error: {} job(s) aborted mid-run — a predicted grant slipped \
+             past recovery",
+            warm.midrun_aborts
+        );
+        std::process::exit(1);
+    }
+    let committed = std::fs::read_to_string("results/cluster_predict.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<PredictArtifact>(&s).ok());
+    let ceiling = committed
+        .as_ref()
+        .and_then(|a| a.runs.iter().find(|r| r.phase == "warm"))
+        .map(|r| r.validation_runs);
+    match ceiling {
+        Some(ceiling) => {
+            eprintln!(
+                "[smoke] warm phase: {} validation runs vs committed ceiling {}",
+                warm.validation_runs, ceiling
+            );
+            if warm.validation_runs > ceiling {
+                eprintln!(
+                    "error: warm-key admissions charged {} validation runs \
+                     (committed ceiling {}) — predicted admission regressed \
+                     to measured execution",
+                    warm.validation_runs, ceiling
+                );
+                std::process::exit(1);
+            }
+        }
+        None => eprintln!("[smoke] no committed baseline; measurement recorded above"),
+    }
+    std::process::exit(0);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke_guard();
+    }
+    let artifact = run_scenario(&LARGE);
+    let cold = &artifact.runs[0];
+    let warm = &artifact.runs[1];
+    assert!(
+        warm.validation_runs < cold.validation_runs,
+        "warm phase charged {} validation runs vs cold's {} — the predictor \
+         bought nothing",
+        warm.validation_runs,
+        cold.validation_runs
+    );
+    write_artifact("cluster_predict", &artifact);
+}

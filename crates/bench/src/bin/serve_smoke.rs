@@ -85,10 +85,11 @@ fn ok(reply: &Value) -> &Value {
 }
 
 fn main() {
-    // Pin the wire schema: v2 added the inference stream records. Any
-    // further protocol change must bump the constant *and* this pin.
+    // Pin the wire schema: v3 added `admission_source` to status
+    // replies. Any further protocol change must bump the constant *and*
+    // this pin.
     assert_eq!(
-        WIRE_SCHEMA_VERSION, 2,
+        WIRE_SCHEMA_VERSION, 3,
         "wire schema bumped without re-pinning"
     );
 

@@ -39,13 +39,16 @@ USAGE:
                            [--strategy fifo|best-fit] [--aging-rate <r>]
                            [--preemption on|off] [--interconnect off|pcie|peer<k>]
                            [--elastic on|off] [--min-batch-frac <f>]
-                           [--slo-aware on|off]
+                           [--slo-aware on|off] [--predictive on|off]
+                           [--safety-margin <permille>] [--min-samples <n>]
                            [--out <file>] [--transfer-trace <file>]
     capuchin-cli serve     [--addr <host:port>] [--clock virtual|wall]
                            [--gpus <n>] [--memory ...] [--admission ...]
                            [--strategy ...] [--aging-rate <r>]
                            [--preemption on|off] [--interconnect ...]
                            [--elastic on|off] [--min-batch-frac <f>]
+                           [--predictive on|off] [--safety-margin <permille>]
+                           [--min-samples <n>]
 
 MODELS:    vgg16 resnet50 resnet152 inceptionv3 inceptionv4 densenet bert
 POLICIES:  tf-ori capuchin (default) dtr delta — cluster job-file policies,
@@ -75,6 +78,14 @@ CLUSTER:   schedules a multi-job workload over N simulated GPUs and prints
            elastic, and its gang cannot exceed one link domain.
            --slo-aware off disables the latency-SLO priority boost
            (the SLO-blind baseline; default on)
+           --predictive on admits returning (model, policy, class)
+           families from a fitted footprint predictor instead of a
+           measured iteration: once a key has --min-samples completed
+           runs (default 3), later arrivals are granted the predicted
+           footprint padded by --safety-margin (permille, default 1150
+           = +15%) and charge zero validation-engine runs; a prediction
+           caught under-shooting at an iteration boundary is recovered
+           by checkpoint-preemption and measured re-admission.
 SERVE:     runs the same scheduler as a long-lived daemon speaking
            line-delimited JSON over TCP (submit/cancel/status/stats/
            subscribe/drain/shutdown). --addr defaults to 127.0.0.1:7070
@@ -193,6 +204,17 @@ fn make_policy(name: &str, graph: &Graph, spec: &DeviceSpec) -> Box<dyn MemoryPo
 /// raw bytes, embedded whitespace tolerated).
 fn parse_memory(s: &str) -> Result<u64, CliError> {
     capuchin_cluster::parse_memory(s).map_err(CliError::BadMemory)
+}
+
+/// One shared `on`/`off` parser for every boolean cluster flag — the
+/// accepted-spellings message comes from the cluster crate's
+/// [`capuchin_cluster::parse_on_off`], so the CLI, job files and the
+/// serve daemon all reject a bad toggle with the same words.
+fn parse_toggle(args: &Args, key: &str, what: &'static str, default: bool) -> bool {
+    args.flags
+        .get(key)
+        .map(|s| capuchin_cluster::parse_on_off(what, s).unwrap_or_else(|e| fail(&e.to_string())))
+        .unwrap_or(default)
 }
 
 struct Args {
@@ -466,6 +488,9 @@ fn cmd_cluster(args: &Args) {
         "elastic",
         "min-batch-frac",
         "slo-aware",
+        "predictive",
+        "safety-margin",
+        "min-samples",
         "transfer-trace",
         "out",
     ]);
@@ -481,15 +506,7 @@ fn cmd_cluster(args: &Args) {
     if gpus == 0 {
         fail("--gpus must be at least 1");
     }
-    let elastic = args
-        .flags
-        .get("elastic")
-        .map(|s| match s.as_str() {
-            "on" => true,
-            "off" => false,
-            _ => fail("--elastic must be `on` or `off`"),
-        })
-        .unwrap_or(false);
+    let elastic = parse_toggle(args, "elastic", "--elastic", false);
     let min_batch_frac: f64 = args
         .flags
         .get("min-batch-frac")
@@ -579,24 +596,25 @@ fn cmd_cluster(args: &Args) {
                 .unwrap_or_else(|_| fail("--aging-rate must be a number"))
         })
         .unwrap_or(0.1);
-    let preemption = args
+    let preemption = parse_toggle(args, "preemption", "--preemption", false);
+    let slo_aware = parse_toggle(args, "slo-aware", "--slo-aware", true);
+    let predictive = parse_toggle(args, "predictive", "--predictive", false);
+    let safety_margin: u64 = args
         .flags
-        .get("preemption")
-        .map(|s| match s.as_str() {
-            "on" => true,
-            "off" => false,
-            _ => fail("--preemption must be `on` or `off`"),
+        .get("safety-margin")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--safety-margin must be an integer permille (e.g. 1150)"))
         })
-        .unwrap_or(false);
-    let slo_aware = args
+        .unwrap_or(1150);
+    let min_samples: u64 = args
         .flags
-        .get("slo-aware")
-        .map(|s| match s.as_str() {
-            "on" => true,
-            "off" => false,
-            _ => fail("--slo-aware must be `on` or `off`"),
+        .get("min-samples")
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--min-samples must be a positive integer"))
         })
-        .unwrap_or(true);
+        .unwrap_or(3);
     let cfg = ClusterConfig::builder()
         .gpus(gpus)
         .spec(DeviceSpec::p100_pcie3().with_memory(args.memory()))
@@ -608,6 +626,9 @@ fn cmd_cluster(args: &Args) {
         .elastic(elastic)
         .min_batch_fraction(min_batch_frac)
         .slo_aware(slo_aware)
+        .predictive(predictive)
+        .safety_margin_permille(safety_margin)
+        .min_samples(min_samples)
         .build()
         .unwrap_or_else(|e| fail(&e.to_string()));
     eprintln!(

@@ -152,12 +152,74 @@ pub(crate) fn with_slack(peak: u64) -> u64 {
     peak + peak / 32
 }
 
+/// Where an admission decision's budgets came from. The pipeline has
+/// three provenances, in descending cost:
+///
+/// * [`Measured`](AdmissionSource::Measured) — a real measuring run plus
+///   (under Capuchin admission) a bisection of validation engine runs;
+/// * [`Heuristic`](AdmissionSource::Heuristic) — a measuring run plus
+///   pure planner math, no validation engines
+///   ([`CostClass::Heuristic`](crate::policy::CostClass) policies);
+/// * [`Predicted`](AdmissionSource::Predicted) — no engine work at all:
+///   the [`cluster::predict`](crate::predict) regression store answered
+///   from prior completed runs, padded by the configured safety margin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionSource {
+    /// Budgets derived from a measured footprint and engine-validated
+    /// bisection — the pre-predictor default for measured-class policies.
+    Measured,
+    /// Budgets derived from the footprint estimate and planner math only
+    /// (heuristic-class policies such as DTR).
+    Heuristic,
+    /// Budgets predicted by the regression store from prior completed
+    /// runs: zero measuring and zero validation engine runs.
+    Predicted {
+        /// The safety margin (permille, ≥ 1000) the raw prediction was
+        /// multiplied by before it became the admission budget.
+        margin_permille: u64,
+    },
+}
+
+impl AdmissionSource {
+    /// Stats/wire name (`"measured"`, `"heuristic"`, `"predicted"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionSource::Measured => "measured",
+            AdmissionSource::Heuristic => "heuristic",
+            AdmissionSource::Predicted { .. } => "predicted",
+        }
+    }
+}
+
+impl std::fmt::Display for AdmissionSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed admission decision: the derived budgets plus the provenance
+/// they came from and the validation engine runs the derivation charged.
+/// This replaces the ad-hoc "needs plus infer-from-counters" convention —
+/// decision provenance is inspectable end-to-end (per-job stats carry
+/// `admission_source`, serve `status` replies carry it on the wire).
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionDecision {
+    /// The budgets admission derived (full and minimum reservation).
+    pub budgets: JobNeeds,
+    /// Where the budgets came from.
+    pub source: AdmissionSource,
+    /// Validation engine runs this decision performed. Zero for
+    /// heuristic and predicted decisions by construction; the cluster's
+    /// attribution cursor charges exactly this many runs to the job.
+    pub validations_charged: u64,
+}
+
 /// Finds the smallest budget (to within ~1/64 of the transient footprint,
 /// floor 1 MiB) for which the Policy Maker produces a feasible plan, by
 /// bisecting [`shrink_feasibility`] between the weight floor and the
 /// ideal peak.
 pub fn min_feasible_budget(est: &FootprintEstimate, planner: &PlannerConfig) -> u64 {
-    let transient = est.ideal_peak.saturating_sub(est.weight_bytes);
+    let transient = est.transient_bytes();
     if transient == 0 {
         return est.ideal_peak;
     }
@@ -319,7 +381,7 @@ impl Admission {
         if runs_at(lo) {
             return lo;
         }
-        let transient = est.ideal_peak.saturating_sub(est.weight_bytes);
+        let transient = est.transient_bytes();
         let granularity = (transient / 32).max(16 << 20);
         while hi.saturating_sub(lo) > granularity {
             let mid = lo + (hi - lo) / 2;

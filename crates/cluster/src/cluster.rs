@@ -103,10 +103,14 @@ use capuchin_sim::{
     CopyDir, DeviceSpec, Duration, Interconnect, InterconnectSpec, Time, TransferModel,
 };
 
-use crate::admission::{Admission, AdmissionMode, JobNeeds, ReplayIter, ReplayTransfer};
+use crate::admission::{
+    min_feasible_budget, Admission, AdmissionMode, AdmissionSource, JobNeeds, ReplayIter,
+    ReplayTransfer,
+};
 use crate::headroom::GpuPool;
 use crate::job::{JobClass, JobSpec, SplitMix64};
 use crate::policy::CostClass;
+use crate::predict::{key_of, FootprintPredictor, FootprintSample};
 use crate::stats::{
     ClusterStats, ClusterTransfer, GpuStats, JobEvent, JobEventKind, JobOutcome, JobState,
     JobStats, JobStatus, STATS_SCHEMA_VERSION,
@@ -166,6 +170,27 @@ pub struct ClusterConfig {
     /// baseline the `cluster_mixed` bench compares against; it changes
     /// nothing for training-only workloads (their boost is always 0).
     pub slo_aware: bool,
+    /// Predictive admission: once a `(model family, policy, class)` key
+    /// has [`ClusterConfig::min_samples`] completed measured runs, admit
+    /// on the regression store's prediction scaled by
+    /// [`ClusterConfig::safety_margin_permille`] — zero measuring and
+    /// zero validation-engine runs. Cold keys fall back to measured
+    /// admission (and their completions warm the store); an
+    /// under-shooting prediction is caught at the job's first completed
+    /// iteration boundary and recovered by checkpoint-preempting the job
+    /// back through the measured path. Off by default; with it off, no
+    /// predictor code path runs and stats are byte-identical to the
+    /// pre-predictor scheduler.
+    pub predictive: bool,
+    /// Multiplier applied to predicted *budget* targets (full and
+    /// minimum reservation), in permille: 1150 reserves 15% above the
+    /// raw prediction. Must be in `[1000, 10000]` — a prediction is
+    /// never scaled down. Ignored with `predictive` off.
+    pub safety_margin_permille: u64,
+    /// Completed measured runs a predictor key needs before its
+    /// predictions are served (at least 1). Ignored with `predictive`
+    /// off.
+    pub min_samples: u64,
 }
 
 impl Default for ClusterConfig {
@@ -182,6 +207,9 @@ impl Default for ClusterConfig {
             elastic: false,
             min_batch_fraction: 0.25,
             slo_aware: true,
+            predictive: false,
+            safety_margin_permille: 1150,
+            min_samples: 3,
         }
     }
 }
@@ -207,6 +235,12 @@ pub enum ConfigError {
     TooFewValidateIters(u64),
     /// The elastic batch floor must be a fraction in `(0, 1]`.
     BadBatchFraction(f64),
+    /// The prediction safety margin must be in `[1000, 10000]` permille —
+    /// predicted budgets are padded, never shaved.
+    BadSafetyMargin(u64),
+    /// The predictor needs at least one completed sample per key before
+    /// it can fit anything.
+    BadMinSamples(u64),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -223,6 +257,14 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::BadBatchFraction(frac) => {
                 write!(f, "min batch fraction {frac} must be in (0, 1]")
+            }
+            ConfigError::BadSafetyMargin(m) => write!(
+                f,
+                "safety margin {m} permille must be in [1000, 10000] \
+                 (predictions are padded, never shaved)"
+            ),
+            ConfigError::BadMinSamples(n) => {
+                write!(f, "predictor min samples {n} must be at least 1")
             }
         }
     }
@@ -305,6 +347,26 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Predictive admission on/off.
+    pub fn predictive(mut self, predictive: bool) -> Self {
+        self.cfg.predictive = predictive;
+        self
+    }
+
+    /// Safety margin applied to predicted budgets, in permille
+    /// (`[1000, 10000]`).
+    pub fn safety_margin_permille(mut self, safety_margin_permille: u64) -> Self {
+        self.cfg.safety_margin_permille = safety_margin_permille;
+        self
+    }
+
+    /// Completed samples a predictor key needs before predictions are
+    /// served (at least 1).
+    pub fn min_samples(mut self, min_samples: u64) -> Self {
+        self.cfg.min_samples = min_samples;
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -326,6 +388,12 @@ impl ClusterConfigBuilder {
             || cfg.min_batch_fraction > 1.0
         {
             return Err(ConfigError::BadBatchFraction(cfg.min_batch_fraction));
+        }
+        if !(1000..=10000).contains(&cfg.safety_margin_permille) {
+            return Err(ConfigError::BadSafetyMargin(cfg.safety_margin_permille));
+        }
+        if cfg.min_samples == 0 {
+            return Err(ConfigError::BadMinSamples(cfg.min_samples));
         }
         Ok(cfg)
     }
@@ -522,6 +590,26 @@ struct JobRun {
     /// applied at the job's next completed-iteration boundary (target
     /// global batch, one ladder rung below the current one).
     pending_shrink: Option<usize>,
+    /// Where this job's current admission budgets came from. Flips back
+    /// to `Measured` when a mispredict recovery re-admits the job, or
+    /// when the elastic pass re-derives (and engine-validates) budgets
+    /// at a reduced batch.
+    admission_source: AdmissionSource,
+    /// Margin-padded predicted full reservation (the budget the job was
+    /// actually admitted on); 0 for non-predicted admissions.
+    predicted_bytes: u64,
+    /// Raw (pre-margin) predicted full reservation, kept for the
+    /// first-boundary error measurement; 0 for non-predicted admissions.
+    predicted_raw_full: u64,
+    /// `|raw prediction − measured truth| × 1000 / truth` for the full
+    /// reservation, recorded when the first-boundary check runs.
+    prediction_error_permille: u64,
+    /// Times an under-shooting prediction forced a checkpoint-preempt
+    /// and measured re-admission.
+    mispredict_recoveries: u64,
+    /// The first-boundary truth check already ran (predicted admissions
+    /// run it exactly once).
+    mispredict_checked: bool,
 }
 
 impl JobRun {
@@ -594,6 +682,12 @@ impl JobRun {
             burst_shrinks: 0,
             shrunk_for_burst: false,
             pending_shrink: None,
+            admission_source: AdmissionSource::Measured,
+            predicted_bytes: 0,
+            predicted_raw_full: 0,
+            prediction_error_permille: 0,
+            mispredict_recoveries: 0,
+            mispredict_checked: false,
         }
     }
 
@@ -709,6 +803,12 @@ const EV_REGROW: u8 = 5;
 /// re-pricing or repreemption epoch bumps must not silently drop them.
 /// Staleness is the job's terminal/cancelled state instead.
 const EV_REQ_ARRIVE: u8 = 6;
+/// A mispredict recovery's device-to-host checkpoint copy drained: the
+/// job's predicted grant under-shot the verified truth, so it drops its
+/// predicted state entirely and re-enters the queue with measured
+/// budgets (unlike `EV_PREEMPT`, no checkpoint is kept — resuming one
+/// would regrant the insufficient budget verbatim).
+const EV_REMEASURE: u8 = 7;
 
 /// Event queue entry: `(time ns, class, sequence, kind, job, epoch)`
 /// under `Reverse` for min-heap order. The class ranks arrivals (0)
@@ -755,6 +855,46 @@ struct EstimateSummary {
     /// unvalidated (heuristic-class) admission synthesizes its replay
     /// from.
     iter_wall: Duration,
+}
+
+/// Measured truth for mispredict verification, cached per `(model,
+/// replica batch, forward-only)` shape: one unconstrained measuring run
+/// plus planner math — **no validation engine runs**, which is what
+/// keeps the warm-key zero-validation guarantee intact even while every
+/// predicted admission is checked.
+#[derive(Debug, Clone, Copy)]
+struct VerifiedTruth {
+    /// Peak live memory of the unconstrained measuring run.
+    ideal_peak: u64,
+    /// Smallest planner-feasible budget ([`min_feasible_budget`]) — the
+    /// floor a shrunk Capuchin grant must clear.
+    min_plan: u64,
+}
+
+/// What the footprint predictor said about one predictable arrival.
+enum PredictorOutcome {
+    /// Warm key: the arrival was admitted on the prediction.
+    Hit,
+    /// Cold key: the arrival fell back to measured admission.
+    Miss,
+    /// The predictor was not consulted (predictive off, heuristic-class
+    /// policy, or a non-predictable registry row).
+    NotConsulted,
+}
+
+/// Provenance half of an admission decision, bundled with the budgets by
+/// [`Cluster::admission_estimate`] — the internal mirror of the public
+/// [`AdmissionDecision`] before validation charging is known.
+struct AdmissionDecisionParts {
+    /// Where the budgets came from.
+    source: AdmissionSource,
+    /// Hit/miss accounting for the cluster-level predictor counters.
+    outcome: PredictorOutcome,
+    /// Pre-margin predicted full need (0 unless `source` is
+    /// [`AdmissionSource::Predicted`]) — kept for
+    /// `prediction_error_permille`, which scores the regression, not the
+    /// safety padding.
+    raw_full: u64,
 }
 
 /// Memoization key for one elastic-ladder placement probe: `(gang width,
@@ -871,6 +1011,12 @@ struct Session {
     /// Completed burst-absorption cycles: a training job shrank to
     /// absorb an inference burst and later re-grew (cluster-wide).
     burst_cycles: u64,
+    /// Predicted admissions this session: arrivals whose budgets came
+    /// from a warm predictor key (predictive mode only).
+    predictor_hits: u64,
+    /// Predictable arrivals that fell back to measured admission because
+    /// their key was still cold (predictive mode only).
+    predictor_misses: u64,
 }
 
 impl Session {
@@ -1005,6 +1151,8 @@ impl Default for Session {
             now: Time::ZERO,
             has_inference: false,
             burst_cycles: 0,
+            predictor_hits: 0,
+            predictor_misses: 0,
         }
     }
 }
@@ -1044,6 +1192,15 @@ pub struct Cluster {
     /// cursor [`Cluster::charge_admission`] advances against the
     /// controller's monotone [`Admission::validation_runs`] counter.
     charged_runs: u64,
+    /// Footprint regression store fed by completed measured runs. Like
+    /// the estimate caches it survives [`Cluster::reset`], which is what
+    /// lets a `capuchin-serve` daemon warm it across online submissions —
+    /// the longer the daemon lives, the more admissions are free.
+    predictor: FootprintPredictor,
+    /// Measured truth for mispredict verification, keyed by `(model,
+    /// replica batch, forward-only)` and shared by every predicted job of
+    /// the same shape. Populated without validation engine runs.
+    truths: BTreeMap<(ModelKind, usize, bool), VerifiedTruth>,
     /// Live run state for the online API (and the batch wrappers).
     session: Session,
 }
@@ -1062,6 +1219,8 @@ impl Cluster {
             models: BTreeMap::new(),
             validations: BTreeMap::new(),
             charged_runs: 0,
+            predictor: FootprintPredictor::new(),
+            truths: BTreeMap::new(),
             session,
         }
     }
@@ -1090,6 +1249,24 @@ impl Cluster {
     /// caches, like the controller, survive [`Cluster::reset`]).
     pub fn validation_runs(&self) -> u64 {
         self.admission.validation_runs()
+    }
+
+    /// The footprint regression store (read-only). Like the admission
+    /// caches it survives [`Cluster::reset`] — a serve daemon's predictor
+    /// keeps warming across submissions for its whole lifetime.
+    pub fn predictor(&self) -> &FootprintPredictor {
+        &self.predictor
+    }
+
+    /// Predicted admissions this session (warm predictor keys).
+    pub fn predictor_hits(&self) -> u64 {
+        self.session.predictor_hits
+    }
+
+    /// Predictable arrivals that fell back to measured admission this
+    /// session (cold predictor keys).
+    pub fn predictor_misses(&self) -> u64 {
+        self.session.predictor_misses
     }
 
     /// Measures the per-replica footprint at global batch `batch`:
@@ -1153,6 +1330,94 @@ impl Cluster {
         };
         cache.insert(key, (summary, needs));
         (summary, needs)
+    }
+
+    /// Admission-time budget derivation, provenance included — the entry
+    /// point [`EV_ARRIVE`] dispatches instead of calling
+    /// [`Cluster::estimate_at`] directly.
+    ///
+    /// Heuristic-class policies estimate exactly as before. For
+    /// measured-class (predictable) policies with predictive mode on,
+    /// the regression store is consulted first: a warm key admits on
+    /// `prediction × safety margin` — zero measuring and zero validation
+    /// engine runs, even when the estimate cache happens to hold the
+    /// shape (the warm-key guarantee is keyed on the *family*, not the
+    /// batch) — and a cold key falls back to measured estimation, whose
+    /// completion later feeds the store. With predictive off this is
+    /// exactly the old two-provenance pipeline.
+    fn admission_estimate(
+        &mut self,
+        spec: &JobSpec,
+    ) -> (EstimateSummary, JobNeeds, AdmissionDecisionParts) {
+        let descriptor = spec.policy.descriptor();
+        if descriptor.cost_class == CostClass::Heuristic {
+            let (est, needs) = self.estimate_at(spec, spec.batch);
+            return (
+                est,
+                needs,
+                AdmissionDecisionParts {
+                    source: AdmissionSource::Heuristic,
+                    outcome: PredictorOutcome::NotConsulted,
+                    raw_full: 0,
+                },
+            );
+        }
+        if self.cfg.predictive && descriptor.predictable {
+            let features = spec.predict_features();
+            let key = key_of(spec);
+            if let Some(raw) =
+                self.predictor
+                    .predict(&key, features.replica_batch(), self.cfg.min_samples)
+            {
+                let margin = self.cfg.safety_margin_permille;
+                let padded = raw.with_margin(margin);
+                let est = EstimateSummary {
+                    ideal_peak: padded.ideal_peak,
+                    weight_bytes: padded.weight_bytes,
+                    iter_wall: padded.iter_wall,
+                };
+                let needs = JobNeeds {
+                    full: padded.full,
+                    min: match self.admission.mode {
+                        // TfOri admission never shrinks: min == full,
+                        // exactly like the measured path.
+                        AdmissionMode::TfOri => padded.full,
+                        AdmissionMode::Capuchin => padded.min,
+                    },
+                };
+                return (
+                    est,
+                    needs,
+                    AdmissionDecisionParts {
+                        source: AdmissionSource::Predicted {
+                            margin_permille: margin,
+                        },
+                        outcome: PredictorOutcome::Hit,
+                        raw_full: raw.full,
+                    },
+                );
+            }
+            let (est, needs) = self.estimate_at(spec, spec.batch);
+            return (
+                est,
+                needs,
+                AdmissionDecisionParts {
+                    source: AdmissionSource::Measured,
+                    outcome: PredictorOutcome::Miss,
+                    raw_full: 0,
+                },
+            );
+        }
+        let (est, needs) = self.estimate_at(spec, spec.batch);
+        (
+            est,
+            needs,
+            AdmissionDecisionParts {
+                source: AdmissionSource::Measured,
+                outcome: PredictorOutcome::NotConsulted,
+                raw_full: 0,
+            },
+        )
     }
 
     fn validated_replay(
@@ -1235,10 +1500,51 @@ impl Cluster {
         budget: u64,
     ) -> Option<Arc<Vec<ReplayIter>>> {
         let (est, _) = self.estimate_at(spec, batch);
+        let iters = spec.iters.min(self.cfg.validate_iters).max(2);
+        self.synthesize_replay(spec.policy.name(), &est, budget, iters)
+    }
+
+    /// Synthesizes the replay trace a predicted admission hands the
+    /// clock, from the regression store alone — the predicted analogue of
+    /// [`Cluster::heuristic_replay`], sharing its deficit-paging model
+    /// via [`Cluster::synthesize_replay`]. No measuring run, no
+    /// validation engine run: that absence *is* the warm-key guarantee.
+    /// `None` when the key went cold (impossible once warm — the store
+    /// only grows) or the budget sits below the predicted weight floor.
+    fn predicted_replay(&self, spec: &JobSpec, budget: u64) -> Option<Arc<Vec<ReplayIter>>> {
+        let features = spec.predict_features();
+        let p = self
+            .predictor
+            .predict(
+                &key_of(spec),
+                features.replica_batch(),
+                self.cfg.min_samples,
+            )?
+            .with_margin(self.cfg.safety_margin_permille);
+        let est = EstimateSummary {
+            ideal_peak: p.ideal_peak,
+            weight_bytes: p.weight_bytes,
+            iter_wall: p.iter_wall,
+        };
+        let iters = spec.iters.min(self.cfg.validate_iters).max(2);
+        self.synthesize_replay(spec.policy.name(), &est, budget, iters)
+    }
+
+    /// The shared deficit-paging replay model behind
+    /// [`Cluster::heuristic_replay`] and [`Cluster::predicted_replay`]:
+    /// the (estimated or predicted) unconstrained iteration wall,
+    /// stretched by one D2H + H2D round trip of whatever slice of the
+    /// slack-padded peak the budget cannot hold.
+    fn synthesize_replay(
+        &self,
+        policy_name: &str,
+        est: &EstimateSummary,
+        budget: u64,
+        iters: u64,
+    ) -> Option<Arc<Vec<ReplayIter>>> {
         if budget < crate::admission::with_slack(est.weight_bytes) {
             return None;
         }
-        let iters = spec.iters.min(self.cfg.validate_iters).max(2);
         let deficit = crate::admission::with_slack(est.ideal_peak).saturating_sub(budget);
         let iter = if deficit == 0 {
             ReplayIter {
@@ -1259,13 +1565,13 @@ impl Cluster {
                 evictions: 1,
                 transfers: vec![
                     ReplayTransfer {
-                        label: format!("evict:{}", spec.policy.name()),
+                        label: format!("evict:{policy_name}"),
                         bytes: deficit,
                         dir: CopyDir::DeviceToHost,
                         offset: Duration::ZERO,
                     },
                     ReplayTransfer {
-                        label: format!("refill:{}", spec.policy.name()),
+                        label: format!("refill:{policy_name}"),
                         bytes: deficit,
                         dir: CopyDir::HostToDevice,
                         offset: out,
@@ -1448,6 +1754,7 @@ impl Cluster {
             },
             preemptions: j.preemptions,
             rebatches: j.rebatches,
+            admission_source: j.admission_source.name().to_owned(),
         })
     }
 
@@ -1564,7 +1871,17 @@ impl Cluster {
                     s.jobs[job].rejected = true;
                 } else {
                     let spec = s.jobs[job].spec.clone();
-                    let (est, base) = self.estimate_at(&spec, spec.batch);
+                    let (est, base, decision) = self.admission_estimate(&spec);
+                    match decision.outcome {
+                        PredictorOutcome::Hit => s.predictor_hits += 1,
+                        PredictorOutcome::Miss => s.predictor_misses += 1,
+                        PredictorOutcome::NotConsulted => {}
+                    }
+                    s.jobs[job].admission_source = decision.source;
+                    if let AdmissionSource::Predicted { .. } = decision.source {
+                        s.jobs[job].predicted_bytes = base.full;
+                        s.jobs[job].predicted_raw_full = decision.raw_full;
+                    }
                     let capacity = self.cfg.spec.memory_bytes;
                     let needs = if spec.is_inference() {
                         // Admission prices a full round's KV state on
@@ -1774,6 +2091,69 @@ impl Cluster {
                     abort_job(s, job, now);
                 }
             }
+            EV_REMEASURE => {
+                // Mispredict checkpoint copy drained: the predicted
+                // grant is surrendered wholesale and the job re-enters
+                // admission on the measured path. Unlike EV_PREEMPT no
+                // checkpoint is kept — resuming one would regrant the
+                // insufficient budget verbatim.
+                let held = std::mem::take(&mut s.jobs[job].gpus_held);
+                assert!(!held.is_empty(), "recovering job holds its gang");
+                let reserved = s.jobs[job].reserved;
+                s.preempting -= 1;
+                s.resident_jobs.remove(&job);
+                for &gpu in &held {
+                    s.release_on(gpu, reserved, now);
+                    remove_resident(&mut s.gpus[gpu], job);
+                }
+                let spec = s.jobs[job].spec.clone();
+                let (est, base) = self.estimate_at(&spec, spec.batch);
+                // The re-measurement's engine runs bill the job whose
+                // prediction forced them, not whoever admits next.
+                self.charge_admission(&mut s.jobs[job]);
+                let capacity = self.cfg.spec.memory_bytes;
+                let needs = if spec.is_inference() {
+                    let kv = spec.kv_bytes_per_request;
+                    let max_in = spec.max_inflight.max(1) as u64;
+                    JobNeeds {
+                        full: base.full.saturating_add(max_in.saturating_mul(kv)),
+                        min: base.min.saturating_add(kv),
+                    }
+                } else {
+                    base
+                };
+                let j = &mut s.jobs[job];
+                j.preempting = false;
+                j.checkpoint = None;
+                j.admission_source = AdmissionSource::Measured;
+                j.base_needs = base;
+                j.needs = needs;
+                j.footprint = est.ideal_peak;
+                j.grad_bytes = if spec.is_inference() {
+                    0
+                } else {
+                    est.weight_bytes
+                };
+                j.queued_at = now;
+                s.events.push(JobEvent {
+                    t: now,
+                    job: job as u64,
+                    name: spec.name.clone(),
+                    kind: JobEventKind::Preempted,
+                });
+                for &gpu in &held {
+                    reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
+                }
+                if needs.min <= capacity {
+                    s.enqueue(job);
+                } else {
+                    // The measured truth does not fit a bare GPU: the
+                    // prediction admitted an impossible job. Abort it —
+                    // this is the one mispredict outcome that cannot be
+                    // recovered by re-queueing.
+                    abort_job(s, job, now);
+                }
+            }
             other => unreachable!("unknown event kind {other}"),
         }
     }
@@ -1927,7 +2307,20 @@ impl Cluster {
             } else {
                 (grant, grant < s.jobs[job].needs.full, 0)
             };
-            let validated = self.validated_replay(&spec, spec.batch, budget, shrunk);
+            // A predicted admission synthesizes its replay from the
+            // regression store — no engine run. Everything else (measured
+            // and heuristic provenance alike) goes through
+            // `validated_replay`, which internally routes heuristic-class
+            // policies to their own synthetic path.
+            let predicted = matches!(
+                s.jobs[job].admission_source,
+                AdmissionSource::Predicted { .. }
+            );
+            let validated = if predicted {
+                self.predicted_replay(&spec, budget)
+            } else {
+                self.validated_replay(&spec, spec.batch, budget, shrunk)
+            };
             self.charge_admission(&mut s.jobs[job]);
             match validated {
                 Some(replay) => {
@@ -2127,6 +2520,11 @@ impl Cluster {
                 match validated {
                     Some(replay) => {
                         let j = &mut s.jobs[job];
+                        // The reduced-batch grant was engine-validated,
+                        // whatever the arrival-time provenance said:
+                        // record the stronger guarantee and skip
+                        // mispredict verification.
+                        j.admission_source = AdmissionSource::Measured;
                         j.gpus_held = gang.clone();
                         j.reserved = grant;
                         j.shrunk = shrunk;
@@ -2366,6 +2764,10 @@ impl Cluster {
                     recompute_time: j.recompute_time,
                     evictions: j.evictions,
                     admission_validations: j.admission_validations,
+                    admission_source: j.admission_source.name().to_owned(),
+                    predicted_bytes: j.predicted_bytes,
+                    prediction_error_permille: j.prediction_error_permille,
+                    mispredict_recoveries: j.mispredict_recoveries,
                 }
             })
             .collect();
@@ -2413,6 +2815,9 @@ impl Cluster {
                 .unwrap_or(1000),
             burst_shrinks: jobs.iter().map(|j| j.burst_shrinks).sum(),
             burst_cycles: s.burst_cycles,
+            mispredict_recoveries: jobs.iter().map(|j| j.mispredict_recoveries).sum(),
+            predictor_hits: s.predictor_hits,
+            predictor_misses: s.predictor_misses,
             makespan,
             aggregate_samples_per_sec: if makespan.as_secs_f64() == 0.0 {
                 0.0
@@ -2555,6 +2960,187 @@ fn settle_comm(
 }
 
 impl Cluster {
+    /// Measured truth for mispredict verification, memoized per `(model,
+    /// replica batch, forward-only)`: one unconstrained measuring run
+    /// plus planner math ([`min_feasible_budget`]) — **zero validation
+    /// engine runs**, so checking predictions never erodes the warm-key
+    /// guarantee.
+    fn verify_truth(&mut self, spec: &JobSpec) -> VerifiedTruth {
+        let rb = spec.replica_batch();
+        let forward = spec.is_inference();
+        let key = (spec.model, rb, forward);
+        if let Some(&t) = self.truths.get(&key) {
+            return t;
+        }
+        let model = self
+            .models
+            .entry((spec.model, rb))
+            .or_insert_with(|| spec.model.build(rb));
+        let est = if forward {
+            measure_forward_footprint(&model.graph, &self.cfg.spec)
+        } else {
+            measure_footprint(&model.graph, &self.cfg.spec)
+        }
+        .expect("unconstrained measuring run cannot OOM");
+        let t = VerifiedTruth {
+            ideal_peak: est.ideal_peak,
+            min_plan: min_feasible_budget(&est, &self.admission.planner),
+        };
+        self.truths.insert(key, t);
+        t
+    }
+
+    /// Checks a predicted admission against measured truth at the job's
+    /// first completed iteration (or serving round) boundary — the
+    /// bottom rung of the fallback ladder. A prediction that *held*
+    /// (the grant clears what the truth actually requires) just records
+    /// its error score. An under-shoot triggers checkpoint-preemption
+    /// recovery: the boundary iteration is discarded as wasted work, the
+    /// state is copied to the host, and [`EV_REMEASURE`] re-enters
+    /// admission on the measured path. Returns whether a recovery is now
+    /// in flight (the caller must return without banking progress).
+    fn verify_prediction(&mut self, s: &mut Session, job: usize, now: Time) -> bool {
+        if !self.cfg.predictive
+            || s.jobs[job].mispredict_checked
+            || !matches!(
+                s.jobs[job].admission_source,
+                AdmissionSource::Predicted { .. }
+            )
+        {
+            return false;
+        }
+        s.jobs[job].mispredict_checked = true;
+        let spec = s.jobs[job].spec.clone();
+        let truth = self.verify_truth(&spec);
+        let true_full = crate::admission::with_slack(truth.ideal_peak);
+        // Score the regression itself (pre-margin) — the safety padding
+        // is the knob, not the model.
+        if true_full > 0 {
+            let diff = s.jobs[job].predicted_raw_full.abs_diff(true_full) as u128;
+            s.jobs[job].prediction_error_permille = ((diff * 1000) / true_full as u128) as u64;
+        }
+        // What the grant actually had to clear: TfOri runs unmanaged at
+        // the slack-padded peak; Capuchin only needs the smallest
+        // planner-feasible budget.
+        let required = match self.admission.mode {
+            AdmissionMode::TfOri => true_full,
+            AdmissionMode::Capuchin => truth.min_plan.min(true_full),
+        };
+        // A serving round's KV slots ride on top of the forward base the
+        // truth describes; compare the base slice of the reservation.
+        let kv_held = if spec.is_inference() {
+            spec.kv_bytes_per_request
+                .saturating_mul(s.jobs[job].inflight.len() as u64)
+        } else {
+            0
+        };
+        if s.jobs[job].reserved.saturating_sub(kv_held) >= required {
+            return false;
+        }
+        // Under-shoot: no feasible plan fits the grant. Recover.
+        s.jobs[job].mispredict_recoveries += 1;
+        if spec.is_inference() {
+            // Give the round's requests back to the queue in arrival
+            // order and return their KV slots before checkpointing.
+            let n = s.jobs[job].inflight.len() as u64;
+            while let Some(t0) = s.jobs[job].inflight.pop() {
+                s.jobs[job].req_queue.push_front(t0);
+            }
+            let kv = spec.kv_bytes_per_request.saturating_mul(n);
+            if kv > 0 {
+                let held = s.jobs[job].gpus_held.clone();
+                s.jobs[job].reserved -= kv;
+                for &gpu in &held {
+                    s.release_on(gpu, kv, now);
+                }
+            }
+        }
+        let width = s.jobs[job].gpus_held.len().max(1) as u64;
+        let copy = match s.fabric.as_mut() {
+            Some(f) => {
+                let bytes = s.jobs[job].reserved * width;
+                let tr = f.host_transfer(now, bytes);
+                s.transfers.push(ClusterTransfer {
+                    job: s.jobs[job].spec.name.clone(),
+                    iter: u64::MAX,
+                    label: "mispredict-checkpoint".to_owned(),
+                    link: "host".to_owned(),
+                    dir: CopyDir::DeviceToHost,
+                    bytes,
+                    want: now,
+                    start: tr.start,
+                    end: tr.end,
+                    wait: tr.start.saturating_since(now),
+                    charge: Duration::ZERO,
+                    lead: Duration::ZERO,
+                });
+                tr.end.saturating_since(now)
+            }
+            None => self
+                .cfg
+                .spec
+                .copy_time(s.jobs[job].reserved, CopyDir::DeviceToHost),
+        };
+        let j = &mut s.jobs[job];
+        // The boundary iteration that exposed the mispredict is not
+        // banked: its compute is wasted work, like an interrupted
+        // iteration under preemption.
+        j.wasted_work += now.saturating_since(j.iter_started);
+        j.preemptions += 1;
+        j.checkpoint_overhead += copy;
+        j.preempting = true;
+        if let Some(since) = j.reduced_since.take() {
+            j.elastic_reduced_time += now.saturating_since(since);
+        }
+        j.epoch += 1;
+        let (at, epoch) = (now + copy, j.epoch);
+        s.preempting += 1;
+        s.heap.push(ev(at, s.seq, EV_REMEASURE, job, epoch));
+        s.seq += 1;
+        true
+    }
+
+    /// Feeds a completed measured admission's shape into the regression
+    /// store. Only measured-provenance completions qualify — predicted
+    /// admissions would re-feed the predictor its own output, and
+    /// heuristic budgets were never validated. The cached estimate entry
+    /// is the ground truth being recorded, so a missing entry (possible
+    /// after an elastic job finished at a reduced batch) just skips.
+    fn feed_predictor(&mut self, s: &Session, job: usize) {
+        if !self.cfg.predictive {
+            return;
+        }
+        let j = &s.jobs[job];
+        let spec = &j.spec;
+        if !spec.policy.descriptor().predictable
+            || !matches!(j.admission_source, AdmissionSource::Measured)
+        {
+            return;
+        }
+        let rb = spec.replica_batch();
+        let heuristic = false;
+        let key = (spec.model, rb, heuristic);
+        let cache = if spec.is_inference() {
+            &self.forward_estimates
+        } else {
+            &self.estimates
+        };
+        let Some(&(est, needs)) = cache.get(&key) else {
+            return;
+        };
+        self.predictor.observe(
+            key_of(spec),
+            FootprintSample {
+                replica_batch: rb as u64,
+                full: needs.full,
+                min: needs.min,
+                ideal_peak: est.ideal_peak,
+                weight_bytes: est.weight_bytes,
+                iter_wall: est.iter_wall,
+            },
+        );
+    }
+
     /// Marks the in-flight iteration complete (compute and boundary
     /// communication both drained): advances the samples cursor by the
     /// current batch (clamped — the final iteration carries a partial
@@ -2565,6 +3151,12 @@ impl Cluster {
         if s.jobs[job].spec.is_inference() {
             // A serving round ended; its requests complete together.
             self.complete_round(s, job, now);
+            return;
+        }
+        // A predicted grant is checked against measured truth at its
+        // first completed boundary; an under-shoot discards this
+        // iteration and checkpoint-preempts into measured re-admission.
+        if self.verify_prediction(s, job, now) {
             return;
         }
         let j = &mut s.jobs[job];
@@ -2610,6 +3202,9 @@ impl Cluster {
             for &gpu in &held {
                 reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
             }
+            // A measured completion is ground truth: warm the predictor
+            // so the next arrival of this family admits for free.
+            self.feed_predictor(s, job);
             return;
         }
         // A burst-absorption shrink decided by the serving loop applies
@@ -2686,6 +3281,9 @@ impl Cluster {
             *e = (*e).max(grant);
             return false;
         };
+        // The regrown grant was engine-validated: upgrade a predicted
+        // provenance to the stronger measured guarantee.
+        s.jobs[job].admission_source = AdmissionSource::Measured;
         // Charge the batch change like a preemption round-trip: D2H of
         // the old reservation, then H2D of the new, on every replica. On
         // a shared fabric both serialize on the host link.
@@ -2844,6 +3442,12 @@ impl Cluster {
     /// requests served) or immediately opens the next round over the
     /// queued backlog.
     fn complete_round(&mut self, s: &mut Session, job: usize, now: Time) {
+        // Same first-boundary check as training: an under-shot predicted
+        // grant requeues the round's requests and re-enters admission on
+        // the measured path before anything is banked.
+        if self.verify_prediction(s, job, now) {
+            return;
+        }
         let j = &mut s.jobs[job];
         if !j.replay.is_empty() {
             let idx = (j.iters_done as usize).min(j.replay.len() - 1);
@@ -2914,6 +3518,7 @@ impl Cluster {
             for &gpu in &held {
                 reprice_residents(&mut s.jobs, &s.gpus, gpu, now, &mut s.seq, &mut s.heap);
             }
+            self.feed_predictor(s, job);
             return;
         }
         // Backlog waiting: the next round opens in the same instant.
@@ -3005,6 +3610,9 @@ impl Cluster {
             *e = (*e).max(grant);
             return false;
         };
+        // Same provenance upgrade as re-grow: the shrunk grant is now
+        // engine-validated.
+        s.jobs[job].admission_source = AdmissionSource::Measured;
         let width = s.jobs[job].gpus_held.len().max(1) as u64;
         let copy = match s.fabric.as_mut() {
             Some(f) => {
@@ -3747,10 +4355,36 @@ mod tests {
                 .unwrap_err(),
             ConfigError::BadBatchFraction(1.5)
         );
+        assert_eq!(
+            ClusterConfig::builder()
+                .safety_margin_permille(999)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadSafetyMargin(999)
+        );
+        assert_eq!(
+            ClusterConfig::builder()
+                .safety_margin_permille(10001)
+                .build()
+                .unwrap_err(),
+            ConfigError::BadSafetyMargin(10001)
+        );
+        assert_eq!(
+            ClusterConfig::builder().min_samples(0).build().unwrap_err(),
+            ConfigError::BadMinSamples(0)
+        );
         let msg = ConfigError::TooFewValidateIters(1).to_string();
         assert!(msg.contains("at least 2 iterations"), "{msg}");
+        let msg = ConfigError::BadSafetyMargin(999).to_string();
+        assert!(msg.contains("never shaved"), "{msg}");
         assert!(ClusterConfig::builder()
             .min_batch_fraction(1.0)
+            .build()
+            .is_ok());
+        assert!(ClusterConfig::builder()
+            .predictive(true)
+            .safety_margin_permille(1000)
+            .min_samples(1)
             .build()
             .is_ok());
     }
@@ -3845,5 +4479,152 @@ mod tests {
         let off = Cluster::new(cfg(false)).run(&jobs).to_json();
         let on = Cluster::new(cfg(true)).run(&jobs).to_json();
         assert_eq!(off, on);
+    }
+
+    /// With predictive admission *off* (the default) the new knobs are
+    /// provably inert: same-seed stats JSON is byte-identical to a
+    /// default-config run, with every predictor counter zero and every
+    /// measured job reporting `measured` provenance.
+    #[test]
+    fn predictive_off_is_byte_identical_to_default() {
+        let jobs = synthetic_jobs(5, 4, 0.3);
+        let base = Cluster::new(ClusterConfig::builder().gpus(2).build().unwrap()).run(&jobs);
+        let off = Cluster::new(
+            ClusterConfig::builder()
+                .gpus(2)
+                .predictive(false)
+                .safety_margin_permille(2000)
+                .min_samples(7)
+                .build()
+                .unwrap(),
+        )
+        .run(&jobs);
+        assert_eq!(base.to_json(), off.to_json());
+        assert_eq!(off.predictor_hits, 0);
+        assert_eq!(off.predictor_misses, 0);
+        assert_eq!(off.mispredict_recoveries, 0);
+        for j in &off.jobs {
+            assert_ne!(j.admission_source, "predicted", "{}", j.name);
+            assert_eq!(j.predicted_bytes, 0);
+        }
+    }
+
+    /// The warm-key guarantee: once a completed measured run has fed the
+    /// predictor, the next arrival of the same `(model, policy, class)`
+    /// family is admitted on the prediction with **zero** validation
+    /// engine runs charged — and completes without a mid-run OOM abort.
+    #[test]
+    fn warm_key_predicted_admission_charges_zero_validations() {
+        let family = |name: &str, arrival: f64| JobSpec {
+            name: name.into(),
+            model: capuchin_models::ModelKind::Vgg16,
+            batch: 16,
+            gpus: 1,
+            policy: JobPolicy::Capuchin,
+            iters: 3,
+            priority: 0,
+            arrival_time: arrival,
+            elastic: false,
+            ..JobSpec::default()
+        };
+        // The second arrival lands well after the first completes, so
+        // its key is warm.
+        let jobs = vec![family("cold", 0.0), family("warm", 120.0)];
+        let cfg = ClusterConfig::builder()
+            .gpus(1)
+            .predictive(true)
+            .min_samples(1)
+            .build()
+            .unwrap();
+        let mut cluster = Cluster::new(cfg);
+        let stats = cluster.run(&jobs);
+        assert_eq!(stats.completed, 2, "{}", stats.to_json());
+        assert_eq!(stats.midrun_oom_aborts, 0);
+        assert_eq!(stats.predictor_misses, 1);
+        assert_eq!(stats.predictor_hits, 1);
+        let cold = &stats.jobs[0];
+        assert_eq!(cold.admission_source, "measured");
+        assert!(cold.admission_validations > 0, "cold run must validate");
+        let warm = &stats.jobs[1];
+        assert_eq!(warm.admission_source, "predicted", "{}", stats.to_json());
+        assert_eq!(
+            warm.admission_validations, 0,
+            "warm-key admission must charge zero engine runs"
+        );
+        assert!(warm.predicted_bytes > 0);
+        assert_eq!(warm.mispredict_recoveries, 0, "same-shape prediction holds");
+        // Attribution stays complete with the predicted path in play.
+        let billed: u64 = stats.jobs.iter().map(|j| j.admission_validations).sum();
+        assert_eq!(billed, cluster.validation_runs());
+
+        // The store survives `reset` (how a serve daemon warms across
+        // online submissions): a second same-workload run on the same
+        // cluster admits *both* jobs predicted, charging nothing.
+        let again = cluster.run(&jobs);
+        assert_eq!(again.completed, 2);
+        assert_eq!(again.predictor_hits, 2);
+        assert_eq!(again.predictor_misses, 0);
+        for j in &again.jobs {
+            assert_eq!(j.admission_source, "predicted", "{}", j.name);
+            assert_eq!(j.admission_validations, 0);
+        }
+    }
+
+    /// The fallback ladder's bottom rung: a prediction extrapolated to an
+    /// unseen (larger) batch under-shoots under TfOri admission, is
+    /// caught at the first completed-iteration boundary, and the job is
+    /// checkpoint-preempted into a measured re-admission — completing
+    /// without over-commit instead of aborting.
+    #[test]
+    fn undershooting_prediction_recovers_via_remeasure() {
+        let job = |name: &str, batch: usize, arrival: f64| JobSpec {
+            name: name.into(),
+            model: capuchin_models::ModelKind::Vgg16,
+            batch,
+            gpus: 1,
+            policy: JobPolicy::TfOri,
+            iters: 3,
+            priority: 0,
+            arrival_time: arrival,
+            elastic: false,
+            ..JobSpec::default()
+        };
+        // One sample at batch 16 fits a flat line; predicting batch 48
+        // from it under-shoots the true footprint by far more than the
+        // 15% safety margin covers.
+        let jobs = vec![job("seed", 16, 0.0), job("big", 48, 120.0)];
+        let cfg = ClusterConfig::builder()
+            .gpus(1)
+            .admission(AdmissionMode::TfOri)
+            .predictive(true)
+            .min_samples(1)
+            .build()
+            .unwrap();
+        let mut cluster = Cluster::new(cfg);
+        let stats = cluster.run(&jobs);
+        assert_eq!(stats.completed, 2, "{}", stats.to_json());
+        assert_eq!(stats.midrun_oom_aborts, 0);
+        assert_eq!(stats.predictor_hits, 1);
+        let big = &stats.jobs[1];
+        assert_eq!(
+            big.mispredict_recoveries,
+            1,
+            "under-shoot must trigger exactly one recovery: {}",
+            stats.to_json()
+        );
+        assert_eq!(stats.mispredict_recoveries, 1);
+        // Re-admission downgraded the provenance to the measured truth
+        // and billed the re-measurement to the mispredicting job.
+        assert_eq!(big.admission_source, "measured");
+        assert!(big.admission_validations > 0);
+        assert!(big.prediction_error_permille > 150, "error beyond margin");
+        assert!(big.preemptions >= 1, "recovery rides the preemption path");
+        assert!(big.checkpoint_overhead > Duration::ZERO);
+        // No over-commit at any instant, recovery window included.
+        for g in &stats.per_gpu {
+            assert!(g.peak_reserved_bytes <= g.capacity);
+        }
+        let billed: u64 = stats.jobs.iter().map(|j| j.admission_validations).sum();
+        assert_eq!(billed, cluster.validation_runs());
     }
 }

@@ -88,21 +88,25 @@ pub mod headroom;
 pub mod job;
 pub mod parse;
 pub mod policy;
+pub mod predict;
 pub mod stats;
 pub mod strategy;
 
 pub use crate::admission::{
-    min_feasible_budget, Admission, AdmissionMode, JobNeeds, ReplayIter, ReplayTransfer,
+    min_feasible_budget, Admission, AdmissionDecision, AdmissionMode, AdmissionSource, JobNeeds,
+    ReplayIter, ReplayTransfer,
 };
 pub use crate::cluster::{
     CancelError, Cluster, ClusterConfig, ClusterConfigBuilder, ConfigError, JobId,
 };
 pub use crate::headroom::GpuPool;
 pub use crate::job::{
-    load_jobs, parse_memory, synthetic_jobs, synthetic_mixed_jobs, JobFileError, JobPolicy, JobSpec,
+    load_jobs, parse_memory, synthetic_jobs, synthetic_mixed_jobs, JobFileError, JobPolicy,
+    JobSpec, PredictFeatures,
 };
-pub use crate::parse::ParseEnumError;
+pub use crate::parse::{parse_on_off, ParseEnumError};
 pub use crate::policy::{CostClass, PolicyDescriptor, REGISTRY};
+pub use crate::predict::{FootprintPredictor, FootprintSample, PredictKey, PredictedFootprint};
 pub use crate::stats::{
     ClusterStats, ClusterTransfer, GpuStats, JobEvent, JobEventKind, JobOutcome, JobState,
     JobStats, JobStatus, STATS_SCHEMA_VERSION,

@@ -49,6 +49,21 @@ impl std::fmt::Display for ParseEnumError {
 
 impl std::error::Error for ParseEnumError {}
 
+/// Parses an `on`/`off` toggle value (the spelling every boolean cluster
+/// flag uses), through the same error machinery as the enums — `what`
+/// names the flag in the message (e.g. `"--predictive"`).
+///
+/// # Errors
+///
+/// Returns a [`ParseEnumError`] listing `on, off` for anything else.
+pub fn parse_on_off(what: &'static str, given: &str) -> Result<bool, ParseEnumError> {
+    match given {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(ParseEnumError::unknown(what, other, &["on", "off"])),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +74,16 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("`bogus`"), "{msg}");
         assert!(msg.contains("tf-ori, capuchin"), "{msg}");
+    }
+
+    #[test]
+    fn on_off_round_trips_and_rejects_everything_else() {
+        assert_eq!(parse_on_off("--predictive", "on"), Ok(true));
+        assert_eq!(parse_on_off("--predictive", "off"), Ok(false));
+        let msg = parse_on_off("--predictive", "maybe")
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("--predictive"), "{msg}");
+        assert!(msg.contains("on, off"), "{msg}");
     }
 }

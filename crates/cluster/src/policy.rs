@@ -66,6 +66,12 @@ pub struct PolicyDescriptor {
     /// The policy used to probe forward-only (inference) footprints:
     /// unmanaged execution exposes the true peak.
     pub probe: JobPolicy,
+    /// Whether the footprint predictor ([`crate::predict`]) may stand in
+    /// for this policy's admission when its key is warm and
+    /// [`crate::ClusterConfig::predictive`] is on. Only meaningful for
+    /// [`CostClass::Measured`] rows — heuristic admission is already
+    /// validation-free, so there is nothing for a prediction to save.
+    pub predictable: bool,
     builder: fn(u64, &DeviceSpec) -> Box<dyn MemoryPolicy>,
 }
 
@@ -121,6 +127,7 @@ pub const REGISTRY: &[PolicyDescriptor] = &[
         snapshot: false,
         shrunk_runs_as: JobPolicy::Capuchin,
         probe: JobPolicy::TfOri,
+        predictable: true,
         builder: build_tf_ori,
     },
     PolicyDescriptor {
@@ -132,6 +139,7 @@ pub const REGISTRY: &[PolicyDescriptor] = &[
         snapshot: true,
         shrunk_runs_as: JobPolicy::Capuchin,
         probe: JobPolicy::TfOri,
+        predictable: true,
         builder: build_capuchin,
     },
     PolicyDescriptor {
@@ -143,6 +151,7 @@ pub const REGISTRY: &[PolicyDescriptor] = &[
         snapshot: true,
         shrunk_runs_as: JobPolicy::Dtr,
         probe: JobPolicy::TfOri,
+        predictable: false,
         builder: build_dtr,
     },
     PolicyDescriptor {
@@ -154,6 +163,7 @@ pub const REGISTRY: &[PolicyDescriptor] = &[
         snapshot: true,
         shrunk_runs_as: JobPolicy::Delta,
         probe: JobPolicy::TfOri,
+        predictable: true,
         builder: build_delta,
     },
 ];
@@ -242,6 +252,22 @@ mod tests {
                 d.name
             );
             assert_eq!(built.name(), d.name, "built policy reports its name");
+        }
+    }
+
+    #[test]
+    fn predictable_rows_are_exactly_the_measured_class() {
+        // Prediction replaces *measured* admission cost; a heuristic row
+        // claiming predictability would silently change its provenance
+        // without saving anything, and a non-predictable measured row
+        // would never warm its key.
+        for d in REGISTRY {
+            assert_eq!(
+                d.predictable,
+                d.cost_class == CostClass::Measured,
+                "registry row {} predictable/cost_class mismatch",
+                d.name
+            );
         }
     }
 

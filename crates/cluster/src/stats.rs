@@ -22,11 +22,18 @@ use serde::{Deserialize, Serialize};
 /// [`ClusterStats::burst_shrinks`] / [`ClusterStats::burst_cycles`];
 /// version 4 added the per-job memory-management cost counters —
 /// [`JobStats::recompute_time`] / [`JobStats::evictions`] /
-/// [`JobStats::admission_validations`] — and nothing else.
+/// [`JobStats::admission_validations`] — and nothing else;
+/// version 5 added the predictive-admission fields — per-job
+/// [`JobStats::admission_source`] / [`JobStats::predicted_bytes`] /
+/// [`JobStats::prediction_error_permille`] /
+/// [`JobStats::mispredict_recoveries`], cluster-wide
+/// [`ClusterStats::mispredict_recoveries`] /
+/// [`ClusterStats::predictor_hits`] / [`ClusterStats::predictor_misses`],
+/// and the [`JobStatus::admission_source`] live field — and nothing else.
 /// Bump it whenever
 /// a field is added, removed, renamed, or its meaning changes — the serve
 /// smoke test pins the daemon and the client to the same number.
-pub const STATS_SCHEMA_VERSION: u32 = 4;
+pub const STATS_SCHEMA_VERSION: u32 = 5;
 
 /// One entry of the cluster's unified transfer trace: a replayed swap
 /// transfer, a gang allreduce, or a checkpoint/restore copy, resolved on
@@ -167,6 +174,10 @@ pub struct JobStatus {
     pub preemptions: u64,
     /// Elastic batch changes so far.
     pub rebatches: u64,
+    /// Where the job's admission budgets came from
+    /// ([`crate::AdmissionSource::name`]): `measured`, `heuristic`, or
+    /// `predicted`.
+    pub admission_source: String,
 }
 
 /// One lifecycle transition, recorded by the online core in occurrence
@@ -346,8 +357,27 @@ pub struct JobStats {
     pub evictions: u64,
     /// Validation engine runs this job's admission triggered. Cache-hit
     /// admissions charge nothing; heuristic-class policies (e.g. `dtr`)
-    /// are zero by construction.
+    /// are zero by construction, and so are warm-key predicted
+    /// admissions — unless a mispredict forced a measured re-admission,
+    /// whose runs bill this job (keeping the per-job sum equal to the
+    /// controller total).
     pub admission_validations: u64,
+    /// Where the admission budgets came from
+    /// ([`crate::AdmissionSource::name`]): `measured`, `heuristic`, or
+    /// `predicted`. A predicted job that was re-admitted after a
+    /// mispredict (or engine-validated by an elastic batch change)
+    /// reports the stronger `measured` provenance it ended with.
+    pub admission_source: String,
+    /// Margin-padded predicted full reservation the job was admitted on
+    /// (zero unless admitted `predicted`).
+    pub predicted_bytes: u64,
+    /// Regression error at first verification:
+    /// `|raw prediction − measured full| × 1000 / measured full`, before
+    /// the safety margin (zero for unverified or non-predicted jobs).
+    pub prediction_error_permille: u64,
+    /// Checkpoint-preemption recoveries forced by an under-shooting
+    /// prediction (a subset of `preemptions`).
+    pub mispredict_recoveries: u64,
 }
 
 /// Per-GPU accounting.
@@ -411,6 +441,16 @@ pub struct ClusterStats {
     /// an inference burst later re-grew its batch after the burst
     /// drained.
     pub burst_cycles: u64,
+    /// Total mispredict-forced recoveries across all jobs (see
+    /// [`JobStats::mispredict_recoveries`]).
+    pub mispredict_recoveries: u64,
+    /// Predictable arrivals admitted on a warm predictor key — with zero
+    /// validation engine runs. Always zero with predictive mode off.
+    pub predictor_hits: u64,
+    /// Predictable arrivals whose key was cold (fell back to measured
+    /// admission, which later feeds the store). Always zero with
+    /// predictive mode off.
+    pub predictor_misses: u64,
     /// First arrival → last completion.
     pub makespan: Duration,
     /// Total training samples processed divided by the makespan.
@@ -460,6 +500,9 @@ mod tests {
             slo_attainment_permille: 1000,
             burst_shrinks: 0,
             burst_cycles: 0,
+            mispredict_recoveries: 0,
+            predictor_hits: 2,
+            predictor_misses: 1,
             makespan: Duration::from_millis(12),
             aggregate_samples_per_sec: 1234.5,
             mean_queueing_delay: Duration::from_micros(3),
@@ -510,6 +553,10 @@ mod tests {
                 recompute_time: Duration::from_millis(5),
                 evictions: 3,
                 admission_validations: 7,
+                admission_source: "predicted".into(),
+                predicted_bytes: 9 << 30,
+                prediction_error_permille: 12,
+                mispredict_recoveries: 0,
             }],
         };
         let a = stats.to_json();
@@ -517,5 +564,7 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("\"oom_rejections\": 0"), "{a}");
         assert!(a.contains("\"admission_validations\": 7"), "{a}");
+        assert!(a.contains("\"admission_source\": \"predicted\""), "{a}");
+        assert!(a.contains("\"predictor_hits\": 2"), "{a}");
     }
 }

@@ -79,7 +79,8 @@ proptest! {
     ) {
         let jobs = jobs_from(picks);
         let capacity = capacity_gib_halves << 29;
-        let stats = Cluster::new(small_cluster(gpus, capacity)).run(&jobs);
+        let mut cluster = Cluster::new(small_cluster(gpus, capacity));
+        let stats = cluster.run(&jobs);
 
         // (1) No over-commit at any simulated instant, on any GPU,
         // whatever the policy mix — heuristic grants included.
@@ -90,6 +91,14 @@ proptest! {
                 g.gpu, g.peak_reserved_bytes, g.capacity
             );
         }
+
+        // (2b) Validation attribution is complete: every engine run the
+        // controller performed is billed to exactly one job.
+        let billed: u64 = stats.jobs.iter().map(|j| j.admission_validations).sum();
+        prop_assert_eq!(
+            billed, cluster.validation_runs(),
+            "per-job admission_validations must sum to the controller total"
+        );
 
         // (3) Same workload, same config: byte-identical stats.
         let again = Cluster::new(small_cluster(gpus, capacity)).run(&jobs);
@@ -157,6 +166,15 @@ fn assert_matches_fixture(fixture: &str, stats: &ClusterStats) {
         "recompute_time",
         "evictions",
         "admission_validations",
+        // Schema-5 predictive-admission fields. All are identically
+        // zero / "measured" in these predictive-off runs, but the
+        // fixtures predate the fields entirely.
+        "admission_source",
+        "predicted_bytes",
+        "prediction_error_permille",
+        "mispredict_recoveries",
+        "predictor_hits",
+        "predictor_misses",
     ];
     let mut want: serde_json::Value = serde_json::from_str(&want).expect("fixture parses");
     let mut got: serde_json::Value = serde_json::from_str(&stats.to_json()).expect("stats parse");

@@ -43,6 +43,17 @@ pub struct FootprintEstimate {
     pub profile: MeasuredProfile,
 }
 
+impl FootprintEstimate {
+    /// Transient bytes of the measured peak: everything above the
+    /// persistent-weight floor. This is the batch-scaled part of the
+    /// footprint — activations, gradients, workspaces — and therefore
+    /// the quantity a footprint predictor's batch coefficient tracks;
+    /// the weight floor is batch-invariant.
+    pub fn transient_bytes(&self) -> u64 {
+        self.ideal_peak.saturating_sub(self.weight_bytes)
+    }
+}
+
 /// The Policy Maker's verdict on fitting a job into a byte budget.
 #[derive(Debug, Clone)]
 pub struct ShrinkPlan {

@@ -33,9 +33,12 @@ use serde::{Deserialize as _, Serialize as _, Value};
 /// the payload of `stats`/`drain` replies: version 1 is the protocol as
 /// introduced; version 2 adds the inference stream records
 /// (`request_arrived`, `request_served`, `slo_missed`, the latter two
-/// carrying an integer `latency_us`). Bump on any change to request or
+/// carrying an integer `latency_us`); version 3 adds the
+/// `admission_source` field to `status` replies (the typed
+/// [`capuchin_cluster::AdmissionSource`] provenance: `measured`,
+/// `heuristic`, or `predicted`). Bump on any change to request or
 /// reply shapes.
-pub const WIRE_SCHEMA_VERSION: u32 = 2;
+pub const WIRE_SCHEMA_VERSION: u32 = 3;
 
 /// Default bound on a subscriber's stream queue (messages, not bytes).
 pub const DEFAULT_EVENT_QUEUE: usize = 256;

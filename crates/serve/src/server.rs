@@ -86,7 +86,7 @@ impl ServeConfig {
     /// knobs (and their defaults) with `capuchin-cli cluster`:
     /// `addr`, `clock`, `gpus`, `memory`, `admission`, `strategy`,
     /// `aging-rate`, `preemption`, `interconnect`, `elastic`,
-    /// `min-batch-frac`.
+    /// `min-batch-frac`, `predictive`, `safety-margin`, `min-samples`.
     ///
     /// # Errors
     ///
@@ -104,6 +104,9 @@ impl ServeConfig {
             "interconnect",
             "elastic",
             "min-batch-frac",
+            "predictive",
+            "safety-margin",
+            "min-samples",
         ];
         let mut unknown: Vec<&str> = flags
             .keys()
@@ -153,16 +156,31 @@ impl ServeConfig {
             Some(s) => InterconnectSpec::parse(s)?,
             None => None,
         };
+        let safety_margin: u64 = match flags.get("safety-margin") {
+            Some(s) => s
+                .parse()
+                .map_err(|_| "--safety-margin must be an integer permille (e.g. 1150)")?,
+            None => 1150,
+        };
+        let min_samples: u64 = match flags.get("min-samples") {
+            Some(s) => s
+                .parse()
+                .map_err(|_| "--min-samples must be a positive integer")?,
+            None => 3,
+        };
         let cluster = ClusterConfig::builder()
             .gpus(gpus)
             .spec(DeviceSpec::p100_pcie3().with_memory(memory))
             .admission(admission)
             .strategy(strategy)
             .aging_rate(aging_rate)
-            .preemption(on_off(flags, "preemption")?)
+            .preemption(on_off(flags, "preemption", "--preemption")?)
             .interconnect(interconnect)
-            .elastic(on_off(flags, "elastic")?)
+            .elastic(on_off(flags, "elastic", "--elastic")?)
             .min_batch_fraction(min_batch_frac)
+            .predictive(on_off(flags, "predictive", "--predictive")?)
+            .safety_margin_permille(safety_margin)
+            .min_samples(min_samples)
             .build()
             .map_err(|e| e.to_string())?;
         Ok(ServeConfig {
@@ -179,11 +197,10 @@ impl ServeConfig {
     }
 }
 
-fn on_off(flags: &HashMap<String, String>, key: &str) -> Result<bool, String> {
-    match flags.get(key).map(String::as_str) {
-        None | Some("off") => Ok(false),
-        Some("on") => Ok(true),
-        Some(other) => Err(format!("--{key} must be `on` or `off`, got `{other}`")),
+fn on_off(flags: &HashMap<String, String>, key: &str, what: &'static str) -> Result<bool, String> {
+    match flags.get(key) {
+        None => Ok(false),
+        Some(s) => capuchin_cluster::parse_on_off(what, s).map_err(|e| e.to_string()),
     }
 }
 

@@ -41,6 +41,9 @@ cargo run --release -q -p capuchin-bench --bin cluster_mixed -- --smoke
 echo "==> smoke: ablations policy matrix (registry invariants + pre-registry fixture identity)"
 cargo run --release -q -p capuchin-bench --bin ablations -- --smoke
 
+echo "==> smoke: cluster_predict warm-key validation ceiling (predicted admission stays measurement-free)"
+cargo run --release -q -p capuchin-bench --bin cluster_predict -- --smoke
+
 echo "==> smoke: serve daemon, external process on an ephemeral port"
 serve_log="$(mktemp)"
 ./target/release/capuchin-serve --addr 127.0.0.1:0 --clock virtual \
